@@ -1,0 +1,16 @@
+//===- fig2_single_kernel.cpp - Reproduces paper Fig. 2 ----------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/harness/BenchHarness.h"
+
+using namespace smlir;
+
+int main() {
+  auto Results = bench::runAll(workloads::getSingleKernelWorkloads());
+  bench::printFigure(
+      "Fig. 2: single-kernel benchmarks (speedup over DPC++)", Results);
+  return 0;
+}

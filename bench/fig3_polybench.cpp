@@ -1,0 +1,16 @@
+//===- fig3_polybench.cpp - Reproduces paper Fig. 3 --------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/harness/BenchHarness.h"
+
+using namespace smlir;
+
+int main() {
+  auto Results = bench::runAll(workloads::getPolybenchWorkloads());
+  bench::printFigure("Fig. 3: Polybench benchmarks (speedup over DPC++)",
+                     Results);
+  return 0;
+}

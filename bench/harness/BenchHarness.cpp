@@ -1,0 +1,116 @@
+//===- BenchHarness.cpp - Figure/table reproduction harness ------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/harness/BenchHarness.h"
+
+#include "core/Compiler.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace smlir;
+using namespace smlir::bench;
+
+namespace {
+
+/// Runs \p W under \p Flow: compile once, run twice (the first run warms
+/// the driver/JIT and is discarded, as in the paper's methodology), report
+/// the second run's makespan. Returns 0 on failure.
+double measureFlow(const workloads::Workload &W, core::CompilerFlow Flow,
+                   bool &ValidatedOut, std::string &Error) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program = W.Build(Ctx);
+
+  core::CompilerOptions Options;
+  Options.Flow = Flow;
+  core::Compiler TheCompiler(Options);
+  exec::Device Dev;
+  auto Exe = TheCompiler.compile(Program, Dev, &Error);
+  if (!Exe) {
+    ValidatedOut = false;
+    return 0.0;
+  }
+  rt::RunResult Warmup = rt::runProgram(Program, *Exe, Dev);
+  if (!Warmup.Success) {
+    Error = Warmup.Error;
+    ValidatedOut = false;
+    return 0.0;
+  }
+  rt::RunResult Run = rt::runProgram(Program, *Exe, Dev);
+  ValidatedOut = Run.Success && Run.Validated;
+  if (!Run.Success)
+    Error = Run.Error;
+  return Run.Stats.Makespan;
+}
+
+double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+} // namespace
+
+BenchResult bench::runWorkload(const workloads::Workload &W) {
+  BenchResult Result;
+  Result.Name = W.Name;
+
+  bool BaseValid = false, OptValid = false;
+  Result.DPCPPTime =
+      measureFlow(W, core::CompilerFlow::DPCPP, BaseValid, Result.Error);
+  Result.SYCLMLIRTime =
+      measureFlow(W, core::CompilerFlow::SYCLMLIR, OptValid, Result.Error);
+  Result.Validated = BaseValid && OptValid;
+
+  if (W.ACppFailsValidation) {
+    // Models the paper's AdaptiveCpp validation failures (missing bars).
+    Result.ACppValidated = false;
+  } else {
+    Result.ACppTime = measureFlow(W, core::CompilerFlow::AdaptiveCpp,
+                                  Result.ACppValidated, Result.Error);
+  }
+  return Result;
+}
+
+std::vector<BenchResult>
+bench::runAll(const std::vector<workloads::Workload> &List) {
+  std::vector<BenchResult> Results;
+  Results.reserve(List.size());
+  for (const workloads::Workload &W : List)
+    Results.push_back(runWorkload(W));
+  return Results;
+}
+
+void bench::printFigure(std::string_view Title,
+                        const std::vector<BenchResult> &Results) {
+  std::printf("\n=== %.*s ===\n", static_cast<int>(Title.size()),
+              Title.data());
+  std::printf("%-28s %14s %14s %12s\n", "benchmark", "AdaptiveCpp",
+              "SYCL-MLIR", "validated");
+  std::printf("%-28s %14s %14s %12s\n", "", "(speedup)", "(speedup)", "");
+
+  std::vector<double> ACppSpeedups, SYCLMLIRSpeedups;
+  for (const BenchResult &R : Results) {
+    char ACppText[32];
+    if (R.ACppValidated) {
+      std::snprintf(ACppText, sizeof(ACppText), "%.2fx", R.acppSpeedup());
+      ACppSpeedups.push_back(R.acppSpeedup());
+    } else {
+      std::snprintf(ACppText, sizeof(ACppText), "failed");
+    }
+    SYCLMLIRSpeedups.push_back(R.syclMlirSpeedup());
+    std::printf("%-28s %14s %13.2fx %12s\n", R.Name.c_str(), ACppText,
+                R.syclMlirSpeedup(), R.Validated ? "yes" : "NO");
+    if (!R.Validated && !R.Error.empty())
+      std::printf("    error: %s\n", R.Error.c_str());
+  }
+  std::printf("%-28s %13.2fx %13.2fx\n", "geo.-mean",
+              geomean(ACppSpeedups), geomean(SYCLMLIRSpeedups));
+}

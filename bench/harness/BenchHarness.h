@@ -1,0 +1,59 @@
+//===- BenchHarness.h - Figure/table reproduction harness -------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared harness for the paper-figure benchmarks: runs each workload
+/// under the three compiler configurations (DPC++-like baseline,
+/// AdaptiveCpp-like, SYCL-MLIR), following the paper's methodology of
+/// discarding a warm-up run, and prints speedup-over-DPC++ rows plus the
+/// geometric means the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_BENCH_BENCHHARNESS_H
+#define SMLIR_BENCH_BENCHHARNESS_H
+
+#include "bench/workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace smlir {
+namespace bench {
+
+/// Measured result of one workload across configurations.
+struct BenchResult {
+  std::string Name;
+  double DPCPPTime = 0.0;
+  double SYCLMLIRTime = 0.0;
+  double ACppTime = 0.0;
+  bool ACppValidated = false;
+  bool Validated = false; // DPC++ and SYCL-MLIR validation.
+  std::string Error;
+
+  double syclMlirSpeedup() const {
+    return SYCLMLIRTime > 0.0 ? DPCPPTime / SYCLMLIRTime : 0.0;
+  }
+  double acppSpeedup() const {
+    return ACppValidated && ACppTime > 0.0 ? DPCPPTime / ACppTime : 0.0;
+  }
+};
+
+/// Runs one workload under all three configurations (with one discarded
+/// warm-up run each, as in the paper's methodology).
+BenchResult runWorkload(const workloads::Workload &W);
+
+/// Runs a list of workloads, printing one row per workload.
+std::vector<BenchResult> runAll(const std::vector<workloads::Workload> &List);
+
+/// Prints a figure-style table: speedups over DPC++ plus geometric means.
+void printFigure(std::string_view Title,
+                 const std::vector<BenchResult> &Results);
+
+} // namespace bench
+} // namespace smlir
+
+#endif // SMLIR_BENCH_BENCHHARNESS_H

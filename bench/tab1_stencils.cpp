@@ -1,0 +1,15 @@
+//===- tab1_stencils.cpp - Reproduces the stencil evaluation (paper SVIII) ---===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/harness/BenchHarness.h"
+
+using namespace smlir;
+
+int main() {
+  auto Results = bench::runAll(workloads::getStencilWorkloads());
+  bench::printFigure("Stencil workloads (speedup over DPC++)", Results);
+  return 0;
+}

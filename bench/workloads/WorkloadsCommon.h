@@ -1,0 +1,113 @@
+//===- WorkloadsCommon.h - Shared workload helpers --------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_BENCH_WORKLOADSCOMMON_H
+#define SMLIR_BENCH_WORKLOADSCOMMON_H
+
+#include "frontend/HostIRImporter.h"
+#include "frontend/KernelBuilder.h"
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace smlir {
+namespace workloads {
+namespace detail {
+
+using exec::Storage;
+using frontend::AccessorArg;
+using frontend::KernelBuilder;
+using frontend::ScalarArg;
+using frontend::SourceProgram;
+using frontend::SubmitDecl;
+
+/// Deterministic pseudo-data: small values avoiding float cancellation.
+inline double seqValue(size_t I, double Scale, int64_t Mod) {
+  return Scale * (static_cast<double>(I % Mod) - Mod / 2);
+}
+
+/// Buffer initializer producing seqValue data.
+inline std::function<void(Storage &)> initSeq(double Scale, int64_t Mod) {
+  return [Scale, Mod](Storage &S) {
+    if (S.StorageKind == Storage::Kind::Float) {
+      for (size_t I = 0; I < S.Floats.size(); ++I)
+        S.Floats[I] = seqValue(I, Scale, Mod);
+    } else {
+      for (size_t I = 0; I < S.Ints.size(); ++I)
+        S.Ints[I] = static_cast<int64_t>(I % Mod) - Mod / 2;
+    }
+  };
+}
+
+inline std::function<void(Storage &)> initZero() {
+  return [](Storage &S) {
+    for (double &V : S.Floats)
+      V = 0.0;
+    for (int64_t &V : S.Ints)
+      V = 0;
+  };
+}
+
+/// Reads buffer contents into a host vector.
+inline std::vector<double> toHost(const Storage *S) {
+  if (S->StorageKind == Storage::Kind::Float)
+    return S->Floats;
+  std::vector<double> Result(S->Ints.size());
+  for (size_t I = 0; I < S->Ints.size(); ++I)
+    Result[I] = static_cast<double>(S->Ints[I]);
+  return Result;
+}
+
+/// Elementwise closeness check with relative tolerance.
+inline bool allClose(const std::vector<double> &Got,
+                     const std::vector<double> &Want, double Tol = 1e-4) {
+  if (Got.size() != Want.size())
+    return false;
+  for (size_t I = 0; I < Got.size(); ++I) {
+    double Mag = std::max({std::fabs(Got[I]), std::fabs(Want[I]), 1.0});
+    if (std::fabs(Got[I] - Want[I]) > Tol * Mag)
+      return false;
+  }
+  return true;
+}
+
+/// 1D range helper.
+inline exec::NDRange range1(int64_t N, int64_t Local = 0) {
+  exec::NDRange R;
+  R.Dim = 1;
+  R.Global = {N, 1, 1};
+  if (Local > 0) {
+    R.Local = {Local, 1, 1};
+    R.HasLocal = true;
+  }
+  return R;
+}
+
+/// 2D range helper.
+inline exec::NDRange range2(int64_t N0, int64_t N1, int64_t Local = 0) {
+  exec::NDRange R;
+  R.Dim = 2;
+  R.Global = {N0, N1, 1};
+  if (Local > 0) {
+    R.Local = {Local, Local, 1};
+    R.HasLocal = true;
+  }
+  return R;
+}
+
+/// Whole-buffer accessor argument.
+inline AccessorArg acc(std::string Buffer, sycl::AccessMode Mode) {
+  return AccessorArg{std::move(Buffer), Mode, {}, {}};
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace smlir
+
+#endif // SMLIR_BENCH_WORKLOADSCOMMON_H

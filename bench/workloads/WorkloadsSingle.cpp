@@ -1,0 +1,456 @@
+//===- WorkloadsSingle.cpp - SYCL-Bench single-kernel workloads (Fig. 2) -----===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/workloads/Workloads.h"
+#include "bench/workloads/WorkloadsCommon.h"
+
+using namespace smlir;
+using namespace smlir::workloads;
+using namespace smlir::workloads::detail;
+
+namespace {
+
+/// Element-type selector for typed workload variants.
+struct Elem {
+  exec::Storage::Kind Kind;
+  unsigned Width;
+  const char *Label;
+
+  Type deviceType(KernelBuilder &KB) const {
+    return Kind == exec::Storage::Kind::Float
+               ? (Width == 32 ? KB.f32() : KB.f64())
+               : (Width == 32 ? KB.i32() : KB.i64());
+  }
+  bool isFloat() const { return Kind == exec::Storage::Kind::Float; }
+};
+
+const Elem F32{exec::Storage::Kind::Float, 32, "float32"};
+const Elem F64{exec::Storage::Kind::Float, 64, "float64"};
+const Elem I32{exec::Storage::Kind::Int, 32, "int32"};
+const Elem I64{exec::Storage::Kind::Int, 64, "int64"};
+
+//===----------------------------------------------------------------------===//
+// VecAdd / ScalProd: C[i] = A[i] (+|*) B[i]
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeElementwise(MLIRContext &Ctx, const std::string &Kernel,
+                              Elem E, int64_t N, bool IsMul) {
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, Kernel, 1, /*UsesNDItem=*/false);
+  Type Ty = E.deviceType(KB);
+  Value A = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value B = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value C = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Write);
+  Value I = KB.gid(0);
+  Value AV = KB.loadAcc(A, {I}), BV = KB.loadAcc(B, {I});
+  Value R = E.isFloat() ? (IsMul ? KB.mulf(AV, BV) : KB.addf(AV, BV))
+                        : (IsMul ? KB.muli(AV, BV) : KB.addi(AV, BV));
+  KB.storeAcc(C, {I}, R);
+  KB.finish();
+
+  Program.Buffers = {{"A", E.Kind, {N}, initSeq(1.0, 13), E.Width},
+                     {"B", E.Kind, {N}, initSeq(1.0, 7), E.Width},
+                     {"C", E.Kind, {N}, initZero(), E.Width}};
+  Program.Submits = {{Kernel,
+                      range1(N),
+                      {acc("A", sycl::AccessMode::Read),
+                       acc("B", sycl::AccessMode::Read),
+                       acc("C", sycl::AccessMode::Write)}}};
+  Program.Verify = [N, IsMul](const auto &Buffers) {
+    auto A = toHost(Buffers.at("A")), B = toHost(Buffers.at("B")),
+         C = toHost(Buffers.at("C"));
+    std::vector<double> Want(N);
+    for (int64_t I = 0; I < N; ++I)
+      Want[I] = IsMul ? A[I] * B[I] : A[I] + B[I];
+    return allClose(C, Want);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// LinReg: out[i] = a*x[i] + b  (a, b constant scalars -> DAE candidates)
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeLinReg(MLIRContext &Ctx, Elem E, int64_t N) {
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "lin_reg", 1, /*UsesNDItem=*/false);
+  Type Ty = E.deviceType(KB);
+  Value X = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Out = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Write);
+  Value Alpha = KB.addScalarArg(Ty);
+  Value Beta = KB.addScalarArg(Ty);
+  Value I = KB.gid(0);
+  KB.storeAcc(Out, {I}, KB.addf(KB.mulf(Alpha, KB.loadAcc(X, {I})), Beta));
+  KB.finish();
+
+  double A = 1.5, B = -2.0;
+  Program.Buffers = {{"X", E.Kind, {N}, initSeq(0.25, 17), E.Width},
+                     {"Out", E.Kind, {N}, initZero(), E.Width}};
+  Program.Submits = {{"lin_reg",
+                      range1(N),
+                      {acc("X", sycl::AccessMode::Read),
+                       acc("Out", sycl::AccessMode::Write),
+                       E.Width == 32 ? ScalarArg::f32(A) : ScalarArg::f64(A),
+                       E.Width == 32 ? ScalarArg::f32(B)
+                                     : ScalarArg::f64(B)}}};
+  Program.Verify = [N, A, B](const auto &Buffers) {
+    auto X = toHost(Buffers.at("X")), Out = toHost(Buffers.at("Out"));
+    std::vector<double> Want(N);
+    for (int64_t I = 0; I < N; ++I)
+      Want[I] = A * X[I] + B;
+    return allClose(Out, Want);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// LinRegCoeff: out[i] = (x[i]-mx)*(y[i]-my)
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeLinRegCoeff(MLIRContext &Ctx, Elem E, int64_t N) {
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "lin_reg_coeff", 1, /*UsesNDItem=*/false);
+  Type Ty = E.deviceType(KB);
+  Value X = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Y = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Out = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Write);
+  Value MX = KB.addScalarArg(Ty);
+  Value MY = KB.addScalarArg(Ty);
+  Value I = KB.gid(0);
+  Value DX = KB.subf(KB.loadAcc(X, {I}), MX);
+  Value DY = KB.subf(KB.loadAcc(Y, {I}), MY);
+  KB.storeAcc(Out, {I}, KB.mulf(DX, DY));
+  KB.finish();
+
+  double MXV = 0.5, MYV = -0.25;
+  Program.Buffers = {{"X", E.Kind, {N}, initSeq(0.5, 11), E.Width},
+                     {"Y", E.Kind, {N}, initSeq(0.25, 19), E.Width},
+                     {"Out", E.Kind, {N}, initZero(), E.Width}};
+  Program.Submits = {
+      {"lin_reg_coeff",
+       range1(N),
+       {acc("X", sycl::AccessMode::Read), acc("Y", sycl::AccessMode::Read),
+        acc("Out", sycl::AccessMode::Write),
+        E.Width == 32 ? ScalarArg::f32(MXV) : ScalarArg::f64(MXV),
+        E.Width == 32 ? ScalarArg::f32(MYV) : ScalarArg::f64(MYV)}}};
+  Program.Verify = [N, MXV, MYV](const auto &Buffers) {
+    auto X = toHost(Buffers.at("X")), Y = toHost(Buffers.at("Y")),
+         Out = toHost(Buffers.at("Out"));
+    std::vector<double> Want(N);
+    for (int64_t I = 0; I < N; ++I)
+      Want[I] = (X[I] - MXV) * (Y[I] - MYV);
+    return allClose(Out, Want);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// KMeans: nearest of 4 centroids per point
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeKMeans(MLIRContext &Ctx, Elem E, int64_t N) {
+  constexpr int64_t K = 4;
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "kmeans", 1, /*UsesNDItem=*/false);
+  Type Ty = E.deviceType(KB);
+  Value Points = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Centroids = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Assign = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Write);
+  Value I = KB.gid(0);
+  Value P = KB.loadAcc(Points, {I});
+  Value Best = KB.cFloat(Ty, 1e30);
+  Value BestIdx = KB.cFloat(Ty, 0.0);
+  auto Results = KB.forLoop(
+      KB.cIdx(0), KB.cIdx(K), KB.cIdx(1), {Best, BestIdx},
+      [&](KernelBuilder &KB2, Value C,
+          const std::vector<Value> &Carried) -> std::vector<Value> {
+        Value Cent = KB2.loadAcc(Centroids, {C});
+        Value D = KB2.subf(P, Cent);
+        Value Dist = KB2.mulf(D, D);
+        Value Lt =
+            KB2.cmpf(arith::CmpFPredicate::olt, Dist, Carried[0]);
+        Value CIdx = KB2.sitofp(C, Cent.getType());
+        return {KB2.select(Lt, Dist, Carried[0]),
+                KB2.select(Lt, CIdx, Carried[1])};
+      });
+  KB.storeAcc(Assign, {I}, Results[1]);
+  KB.finish();
+
+  Program.Buffers = {{"P", E.Kind, {N}, initSeq(0.5, 23), E.Width},
+                     {"C", E.Kind, {K},
+                      [](exec::Storage &S) {
+                        for (size_t I = 0; I < S.Floats.size(); ++I)
+                          S.Floats[I] = 3.0 * static_cast<double>(I) - 4.5;
+                      },
+                      E.Width},
+                     {"Assign", E.Kind, {N}, initZero(), E.Width}};
+  Program.Submits = {{"kmeans",
+                      range1(N),
+                      {acc("P", sycl::AccessMode::Read),
+                       acc("C", sycl::AccessMode::Read),
+                       acc("Assign", sycl::AccessMode::Write)}}};
+  Program.Verify = [N](const auto &Buffers) {
+    auto P = toHost(Buffers.at("P")), C = toHost(Buffers.at("C")),
+         Assign = toHost(Buffers.at("Assign"));
+    std::vector<double> Want(N);
+    for (int64_t I = 0; I < N; ++I) {
+      double Best = 1e30;
+      double BestIdx = 0;
+      for (size_t J = 0; J < C.size(); ++J) {
+        double D = (P[I] - C[J]) * (P[I] - C[J]);
+        if (D < Best) {
+          Best = D;
+          BestIdx = static_cast<double>(J);
+        }
+      }
+      Want[I] = BestIdx;
+    }
+    return allClose(Assign, Want);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// MolDyn: short-range force over a fixed neighborhood
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeMolDyn(MLIRContext &Ctx, int64_t N) {
+  constexpr int64_t Neighbors = 16;
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "mol_dyn", 1, /*UsesNDItem=*/false);
+  Type Ty = KB.f32();
+  Value Pos = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Force = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Write);
+  Value I = KB.gid(0);
+  Value P = KB.loadAcc(Pos, {I});
+  Value NConst = KB.cIdx(N);
+  Value Zero = KB.cFloat(Ty, 0.0);
+  auto Results = KB.forLoop(
+      KB.cIdx(1), KB.cIdx(Neighbors + 1), KB.cIdx(1), {Zero},
+      [&](KernelBuilder &KB2, Value J,
+          const std::vector<Value> &Carried) -> std::vector<Value> {
+        // Neighbor index: (i + j) mod N.
+        Value NIdx = KB2.builder()
+                         .create<arith::RemSIOp>(
+                             KB2.loc(), KB2.addi(I, J), NConst)
+                         .getOperation()
+                         ->getResult(0);
+        Value Q = KB2.loadAcc(Pos, {NIdx});
+        Value D = KB2.subf(P, Q);
+        Value R2 = KB2.addf(KB2.mulf(D, D), KB2.cFloat(Ty, 0.01));
+        return {KB2.addf(Carried[0], KB2.divf(D, R2))};
+      });
+  KB.storeAcc(Force, {I}, Results[0]);
+  KB.finish();
+
+  Program.Buffers = {{"Pos", exec::Storage::Kind::Float, {N},
+                      initSeq(0.125, 29), 32},
+                     {"Force", exec::Storage::Kind::Float, {N}, initZero(),
+                      32}};
+  Program.Submits = {{"mol_dyn",
+                      range1(N),
+                      {acc("Pos", sycl::AccessMode::Read),
+                       acc("Force", sycl::AccessMode::Write)}}};
+  Program.Verify = [N](const auto &Buffers) {
+    auto Pos = toHost(Buffers.at("Pos")),
+         Force = toHost(Buffers.at("Force"));
+    std::vector<double> Want(N, 0.0);
+    for (int64_t I = 0; I < N; ++I) {
+      for (int64_t J = 1; J <= Neighbors; ++J) {
+        double D = Pos[I] - Pos[(I + J) % N];
+        Want[I] += D / (D * D + 0.01);
+      }
+    }
+    return allClose(Force, Want);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// NBody: all-pairs acceleration
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeNBody(MLIRContext &Ctx, Elem E, int64_t N) {
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "nbody", 1, /*UsesNDItem=*/false);
+  Type Ty = E.deviceType(KB);
+  Value X = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Acc = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Write);
+  Value I = KB.gid(0);
+  Value XI = KB.loadAcc(X, {I});
+  Value Zero = KB.cFloat(Ty, 0.0);
+  auto Results = KB.forLoop(
+      KB.cIdx(0), KB.cIdx(N), KB.cIdx(1), {Zero},
+      [&](KernelBuilder &KB2, Value J,
+          const std::vector<Value> &Carried) -> std::vector<Value> {
+        Value DX = KB2.subf(KB2.loadAcc(X, {J}), XI);
+        Value R = KB2.addf(KB2.mulf(DX, DX), KB2.cFloat(Ty, 0.5));
+        Value Inv = KB2.divf(DX, KB2.mulf(R, KB2.sqrt(R)));
+        return {KB2.addf(Carried[0], Inv)};
+      });
+  KB.storeAcc(Acc, {I}, Results[0]);
+  KB.finish();
+
+  Program.Buffers = {{"X", E.Kind, {N}, initSeq(0.5, 31), E.Width},
+                     {"Acc", E.Kind, {N}, initZero(), E.Width}};
+  Program.Submits = {{"nbody",
+                      range1(N),
+                      {acc("X", sycl::AccessMode::Read),
+                       acc("Acc", sycl::AccessMode::Write)}}};
+  Program.Verify = [N](const auto &Buffers) {
+    auto X = toHost(Buffers.at("X")), Acc = toHost(Buffers.at("Acc"));
+    std::vector<double> Want(N, 0.0);
+    for (int64_t I = 0; I < N; ++I) {
+      for (int64_t J = 0; J < N; ++J) {
+        double DX = X[J] - X[I];
+        double R = DX * DX + 0.5;
+        Want[I] += DX / (R * std::sqrt(R));
+      }
+    }
+    return allClose(Acc, Want, 1e-3);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// Sobel filters (3/5/7): 2D convolution with border clamping
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeSobel(MLIRContext &Ctx, int64_t N, int64_t F) {
+  SourceProgram Program(&Ctx);
+  std::string Kernel = "sobel" + std::to_string(F);
+  KernelBuilder KB(Program, Kernel, 2, /*UsesNDItem=*/false);
+  Type Ty = KB.f32();
+  Value Img = KB.addAccessorArg(Ty, 2, sycl::AccessMode::Read);
+  Value Filter = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Out = KB.addAccessorArg(Ty, 2, sycl::AccessMode::Write);
+  Value I = KB.gid(0), J = KB.gid(1);
+  Value Half = KB.cIdx(F / 2);
+  Value NM1 = KB.cIdx(N - 1);
+  Value C0 = KB.cIdx(0);
+  Value FC = KB.cIdx(F);
+  Value Zero = KB.cFloat(Ty, 0.0);
+
+  auto Clamp = [&](KernelBuilder &KB2, Value V) {
+    Value Low = KB2.builder()
+                    .create<arith::MaxSIOp>(KB2.loc(), V, C0)
+                    .getOperation()
+                    ->getResult(0);
+    return KB2.builder()
+        .create<arith::MinSIOp>(KB2.loc(), Low, NM1)
+        .getOperation()
+        ->getResult(0);
+  };
+
+  auto Outer = KB.forLoop(
+      KB.cIdx(0), FC, KB.cIdx(1), {Zero},
+      [&](KernelBuilder &KB1, Value DI,
+          const std::vector<Value> &CarryI) -> std::vector<Value> {
+        auto Inner = KB1.forLoop(
+            KB1.cIdx(0), FC, KB1.cIdx(1), {CarryI[0]},
+            [&](KernelBuilder &KB2, Value DJ,
+                const std::vector<Value> &CarryJ) -> std::vector<Value> {
+              Value XI = Clamp(KB2, KB2.subi(KB2.addi(I, DI), Half));
+              Value XJ = Clamp(KB2, KB2.subi(KB2.addi(J, DJ), Half));
+              Value Pixel = KB2.loadAcc(Img, {XI, XJ});
+              Value Coef =
+                  KB2.loadAcc(Filter, {KB2.addi(KB2.muli(DI, FC), DJ)});
+              return {KB2.addf(CarryJ[0], KB2.mulf(Pixel, Coef))};
+            });
+        return {Inner[0]};
+      });
+  KB.storeAcc(Out, {I, J}, Outer[0]);
+  KB.finish();
+
+  auto InitFilter = [F](exec::Storage &S) {
+    // Separable derivative-of-smoothing coefficients.
+    for (int64_t DI = 0; DI < F; ++DI)
+      for (int64_t DJ = 0; DJ < F; ++DJ)
+        S.Floats[DI * F + DJ] =
+            static_cast<double>(DJ - F / 2) / (1.0 + std::abs(DI - F / 2));
+  };
+  Program.Buffers = {
+      {"Img", exec::Storage::Kind::Float, {N, N}, initSeq(0.25, 37), 32},
+      {"Filter", exec::Storage::Kind::Float, {F * F}, InitFilter, 32},
+      {"Out", exec::Storage::Kind::Float, {N, N}, initZero(), 32}};
+  Program.Submits = {{Kernel,
+                      range2(N, N),
+                      {acc("Img", sycl::AccessMode::Read),
+                       acc("Filter", sycl::AccessMode::Read),
+                       acc("Out", sycl::AccessMode::Write)}}};
+  Program.Verify = [N, F](const auto &Buffers) {
+    auto Img = toHost(Buffers.at("Img")),
+         Filter = toHost(Buffers.at("Filter")),
+         Out = toHost(Buffers.at("Out"));
+    std::vector<double> Want(N * N, 0.0);
+    auto ClampI = [N](int64_t V) {
+      return std::max<int64_t>(0, std::min<int64_t>(N - 1, V));
+    };
+    for (int64_t I = 0; I < N; ++I) {
+      for (int64_t J = 0; J < N; ++J) {
+        double Sum = 0.0;
+        for (int64_t DI = 0; DI < F; ++DI)
+          for (int64_t DJ = 0; DJ < F; ++DJ)
+            Sum += Img[ClampI(I + DI - F / 2) * N + ClampI(J + DJ - F / 2)] *
+                   Filter[DI * F + DJ];
+        Want[I * N + J] = Sum;
+      }
+    }
+    return allClose(Out, Want, 1e-3);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+} // namespace
+
+std::vector<Workload> workloads::getSingleKernelWorkloads() {
+  std::vector<Workload> List;
+  auto Add = [&](std::string Name, bool ACppFails,
+                 std::function<SourceProgram(MLIRContext &)> Build) {
+    List.push_back(
+        Workload{std::move(Name), "single-kernel", ACppFails, std::move(Build)});
+  };
+
+  constexpr int64_t N1D = 16384;
+  for (Elem E : {F32, F64})
+    Add(std::string("KMeans (") + E.Label + ")", false,
+        [E](MLIRContext &Ctx) { return makeKMeans(Ctx, E, N1D / 2); });
+  for (Elem E : {F32, F64})
+    Add(std::string("LinReg (") + E.Label + ")", false,
+        [E](MLIRContext &Ctx) { return makeLinReg(Ctx, E, N1D / 2); });
+  for (Elem E : {F32, F64})
+    Add(std::string("LinReg Coeff. (") + E.Label + ")", false,
+        [E](MLIRContext &Ctx) { return makeLinRegCoeff(Ctx, E, N1D / 2); });
+  Add("MolDyn", false,
+      [](MLIRContext &Ctx) { return makeMolDyn(Ctx, 4096); });
+  for (Elem E : {F32, F64})
+    Add(std::string("NBody (") + E.Label + ")", false,
+        [E](MLIRContext &Ctx) { return makeNBody(Ctx, E, 256); });
+  for (Elem E : {F32, F64, I32, I64})
+    Add(std::string("ScalProd (") + E.Label + ")", false,
+        [E](MLIRContext &Ctx) {
+          return makeElementwise(Ctx, "scal_prod", E, N1D, /*IsMul=*/true);
+        });
+  Add("Sobel3", false,
+      [](MLIRContext &Ctx) { return makeSobel(Ctx, 64, 3); });
+  Add("Sobel5", true,
+      [](MLIRContext &Ctx) { return makeSobel(Ctx, 48, 5); });
+  Add("Sobel7", true,
+      [](MLIRContext &Ctx) { return makeSobel(Ctx, 32, 7); });
+  for (Elem E : {F32, F64, I32, I64})
+    Add(std::string("VecAdd (") + E.Label + ")", false,
+        [E](MLIRContext &Ctx) {
+          return makeElementwise(Ctx, "vec_add", E, N1D, /*IsMul=*/false);
+        });
+  return List;
+}

@@ -1,0 +1,330 @@
+//===- WorkloadsStencil.cpp - oneAPI-samples stencil workloads ---------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's complementary stencil evaluation (§VIII): 1D heat transfer
+/// in buffer/accessor and USM variants, the iso2dfd 2D wave propagation
+/// stencil and the jacobi solver (with the next-iteration preparation on
+/// the host, as the paper describes adapting it).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/workloads/Workloads.h"
+#include "bench/workloads/WorkloadsCommon.h"
+
+using namespace smlir;
+using namespace smlir::workloads;
+using namespace smlir::workloads::detail;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// 1D heat transfer (buffer/accessor and USM variants)
+//===----------------------------------------------------------------------===//
+
+/// out[i] = in[i] + k*(in[i-1] - 2 in[i] + in[i+1]) with clamped borders.
+/// The USM variant indexes raw pointers (accessor.get_pointer) as USM
+/// kernels do, bypassing the subscript-based SYCL addressing.
+void addHeatKernel(SourceProgram &Program, const std::string &Name,
+                   int64_t N, bool UseUSMPointers) {
+  KernelBuilder KB(Program, Name, 1, /*UsesNDItem=*/false);
+  Type Ty = KB.f32();
+  Value In = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+  Value Out = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Write);
+  Value I = KB.gid(0);
+  Value C0 = KB.cIdx(0), NM1 = KB.cIdx(N - 1), One = KB.cIdx(1);
+  OpBuilder &B = KB.builder();
+  auto Clamp = [&](Value V) {
+    Value Low = B.create<arith::MaxSIOp>(KB.loc(), V, C0)
+                    .getOperation()
+                    ->getResult(0);
+    return B.create<arith::MinSIOp>(KB.loc(), Low, NM1)
+        .getOperation()
+        ->getResult(0);
+  };
+  Value Im = Clamp(KB.subi(I, One)), Ip = Clamp(KB.addi(I, One));
+
+  Value VC, VM, VP;
+  if (UseUSMPointers) {
+    Value InPtr = B.create<sycl::AccessorGetPointerOp>(KB.loc(), In)
+                      .getOperation()
+                      ->getResult(0);
+    auto LoadRaw = [&](Value Idx) {
+      return B.create<affine::AffineLoadOp>(KB.loc(), InPtr,
+                                            std::vector<Value>{Idx})
+          .getOperation()
+          ->getResult(0);
+    };
+    VC = LoadRaw(I);
+    VM = LoadRaw(Im);
+    VP = LoadRaw(Ip);
+  } else {
+    VC = KB.loadAcc(In, {I});
+    VM = KB.loadAcc(In, {Im});
+    VP = KB.loadAcc(In, {Ip});
+  }
+  Value K = KB.cFloat(Ty, 0.125);
+  Value Lap = KB.addf(KB.subf(VM, KB.addf(VC, VC)), VP);
+  Value Result = KB.addf(VC, KB.mulf(K, Lap));
+  if (UseUSMPointers) {
+    Value OutPtr = B.create<sycl::AccessorGetPointerOp>(KB.loc(), Out)
+                       .getOperation()
+                       ->getResult(0);
+    B.create<affine::AffineStoreOp>(KB.loc(), Result, OutPtr,
+                                    std::vector<Value>{I});
+  } else {
+    KB.storeAcc(Out, {I}, Result);
+  }
+  KB.finish();
+}
+
+std::vector<double> refHeat(std::vector<double> Cur, int64_t N,
+                            int64_t Steps) {
+  std::vector<double> Next(N);
+  auto ClampI = [N](int64_t V) {
+    return std::max<int64_t>(0, std::min<int64_t>(N - 1, V));
+  };
+  for (int64_t T = 0; T < Steps; ++T) {
+    for (int64_t I = 0; I < N; ++I)
+      Next[I] = Cur[I] + 0.125 * (Cur[ClampI(I - 1)] - 2.0 * Cur[I] +
+                                  Cur[ClampI(I + 1)]);
+    std::swap(Cur, Next);
+  }
+  return Cur;
+}
+
+SourceProgram makeHeat(MLIRContext &Ctx, int64_t N, int64_t Steps,
+                       bool UseUSMPointers) {
+  SourceProgram Program(&Ctx);
+  std::string Kernel = UseUSMPointers ? "heat_usm" : "heat_buf";
+  addHeatKernel(Program, Kernel, N, UseUSMPointers);
+  Program.Buffers = {
+      {"A", exec::Storage::Kind::Float, {N}, initSeq(1.0, 23), 32},
+      {"B", exec::Storage::Kind::Float, {N}, initZero(), 32}};
+  for (int64_t T = 0; T < Steps; ++T) {
+    bool Forward = (T % 2) == 0;
+    Program.Submits.push_back(
+        {Kernel,
+         range1(N),
+         {acc(Forward ? "A" : "B", sycl::AccessMode::Read),
+          acc(Forward ? "B" : "A", sycl::AccessMode::Write)}});
+  }
+  std::string FinalBuffer = (Steps % 2) == 0 ? "A" : "B";
+  Program.Verify = [N, Steps, FinalBuffer](const auto &Buffers) {
+    std::vector<double> Init(N);
+    for (int64_t I = 0; I < N; ++I)
+      Init[I] = seqValue(I, 1.0, 23);
+    return allClose(toHost(Buffers.at(FinalBuffer)),
+                    refHeat(std::move(Init), N, Steps), 1e-3);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// iso2dfd: 2D isotropic wave propagation
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeIso2dfd(MLIRContext &Ctx, int64_t N, int64_t Steps) {
+  SourceProgram Program(&Ctx);
+  {
+    // next = 2*cur - prev + vel * laplacian(cur).
+    KernelBuilder KB(Program, "iso2dfd", 2, /*UsesNDItem=*/true);
+    Type Ty = KB.f32();
+    Value Next = KB.addAccessorArg(Ty, 2, sycl::AccessMode::Write);
+    Value Cur = KB.addAccessorArg(Ty, 2, sycl::AccessMode::Read);
+    Value Prev = KB.addAccessorArg(Ty, 2, sycl::AccessMode::Read);
+    Value Vel = KB.addAccessorArg(Ty, 2, sycl::AccessMode::Read);
+    Value I = KB.gid(0), J = KB.gid(1);
+    Value C0 = KB.cIdx(0), NM1 = KB.cIdx(N - 1), One = KB.cIdx(1);
+    OpBuilder &B = KB.builder();
+    auto Clamp = [&](Value V) {
+      Value Low = B.create<arith::MaxSIOp>(KB.loc(), V, C0)
+                      .getOperation()
+                      ->getResult(0);
+      return B.create<arith::MinSIOp>(KB.loc(), Low, NM1)
+          .getOperation()
+          ->getResult(0);
+    };
+    Value CC = KB.loadAcc(Cur, {I, J});
+    Value CN = KB.loadAcc(Cur, {Clamp(KB.subi(I, One)), J});
+    Value CS = KB.loadAcc(Cur, {Clamp(KB.addi(I, One)), J});
+    Value CW = KB.loadAcc(Cur, {I, Clamp(KB.subi(J, One))});
+    Value CE = KB.loadAcc(Cur, {I, Clamp(KB.addi(J, One))});
+    Value PV = KB.loadAcc(Prev, {I, J});
+    Value VV = KB.loadAcc(Vel, {I, J});
+    Value Four = KB.cFloat(Ty, 4.0);
+    Value Lap = KB.subf(KB.addf(KB.addf(CN, CS), KB.addf(CW, CE)),
+                        KB.mulf(Four, CC));
+    Value Two = KB.cFloat(Ty, 2.0);
+    Value Result =
+        KB.addf(KB.subf(KB.mulf(Two, CC), PV), KB.mulf(VV, Lap));
+    KB.storeAcc(Next, {I, J}, Result);
+    KB.finish();
+  }
+  Program.Buffers = {
+      {"U0", exec::Storage::Kind::Float, {N, N}, initSeq(0.25, 19), 32},
+      {"U1", exec::Storage::Kind::Float, {N, N}, initSeq(0.25, 19), 32},
+      {"U2", exec::Storage::Kind::Float, {N, N}, initZero(), 32},
+      {"Vel", exec::Storage::Kind::Float, {N, N},
+       [](exec::Storage &S) {
+         for (double &V : S.Floats)
+           V = 0.1;
+       },
+       32}};
+  // Rotate (prev, cur, next) through U0/U1/U2.
+  const char *Names[3] = {"U0", "U1", "U2"};
+  for (int64_t T = 0; T < Steps; ++T) {
+    const char *Prev = Names[T % 3];
+    const char *Cur = Names[(T + 1) % 3];
+    const char *Next = Names[(T + 2) % 3];
+    Program.Submits.push_back({"iso2dfd",
+                               range2(N, N, 8),
+                               {acc(Next, sycl::AccessMode::Write),
+                                acc(Cur, sycl::AccessMode::Read),
+                                acc(Prev, sycl::AccessMode::Read),
+                                acc("Vel", sycl::AccessMode::Read)}});
+  }
+  Program.Verify = [N, Steps](const auto &Buffers) {
+    std::vector<std::vector<double>> U(3);
+    U[0].resize(N * N);
+    for (int64_t I = 0; I < N * N; ++I)
+      U[0][I] = seqValue(I, 0.25, 19);
+    U[1] = U[0];
+    U[2].assign(N * N, 0.0);
+    auto ClampV = [N](int64_t V) {
+      return std::max<int64_t>(0, std::min<int64_t>(N - 1, V));
+    };
+    for (int64_t T = 0; T < Steps; ++T) {
+      auto &Prev = U[T % 3];
+      auto &Cur = U[(T + 1) % 3];
+      auto &Next = U[(T + 2) % 3];
+      for (int64_t I = 0; I < N; ++I)
+        for (int64_t J = 0; J < N; ++J) {
+          double CC = Cur[I * N + J];
+          double Lap = Cur[ClampV(I - 1) * N + J] +
+                       Cur[ClampV(I + 1) * N + J] +
+                       Cur[I * N + ClampV(J - 1)] +
+                       Cur[I * N + ClampV(J + 1)] - 4.0 * CC;
+          Next[I * N + J] = 2.0 * CC - Prev[I * N + J] + 0.1 * Lap;
+        }
+    }
+    const char *FinalName[3] = {"U0", "U1", "U2"};
+    return allClose(toHost(Buffers.at(FinalName[(Steps + 1) % 3])),
+                    U[(Steps + 1) % 3], 1e-3);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+//===----------------------------------------------------------------------===//
+// jacobi: iterative linear solve, preparation on the host
+//===----------------------------------------------------------------------===//
+
+SourceProgram makeJacobi(MLIRContext &Ctx, int64_t N, int64_t Steps) {
+  SourceProgram Program(&Ctx);
+  {
+    // xnew[i] = (b[i] - (sum_j A[i][j] x[j] - A[i][i] x[i])) / A[i][i].
+    KernelBuilder KB(Program, "jacobi", 1, /*UsesNDItem=*/true);
+    Type Ty = KB.f32();
+    Value A = KB.addAccessorArg(Ty, 2, sycl::AccessMode::Read);
+    Value BV = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+    Value X = KB.addAccessorArg(Ty, 1, sycl::AccessMode::Read);
+    Value XNew = KB.addAccessorArg(Ty, 1, sycl::AccessMode::ReadWrite);
+    Value I = KB.gid(0);
+    Value SumView = KB.subscript(XNew, {I});
+    KB.storeView(SumView, KB.cFloat(Ty, 0.0));
+    KB.forLoop(0, N, [&](KernelBuilder &KB2, Value J) {
+      Value AV = KB2.loadAcc(A, {I, J});
+      Value XV = KB2.loadAcc(X, {J});
+      KB2.storeView(SumView,
+                    KB2.addf(KB2.loadView(SumView), KB2.mulf(AV, XV)));
+    });
+    Value AII = KB.loadAcc(A, {I, I});
+    Value XI = KB.loadAcc(X, {I});
+    Value Sum = KB.subf(KB.loadView(SumView), KB.mulf(AII, XI));
+    Value Result = KB.divf(KB.subf(KB.loadAcc(BV, {I}), Sum), AII);
+    KB.storeView(SumView, Result);
+    KB.finish();
+  }
+  // Diagonally dominant system for convergence.
+  Program.Buffers = {
+      {"A", exec::Storage::Kind::Float, {N, N},
+       [N](exec::Storage &S) {
+         for (int64_t I = 0; I < N; ++I)
+           for (int64_t J = 0; J < N; ++J)
+             S.Floats[I * N + J] =
+                 I == J ? static_cast<double>(N)
+                        : 0.01 * seqValue(I * N + J, 1.0, 9);
+       },
+       32},
+      {"B", exec::Storage::Kind::Float, {N}, initSeq(0.5, 11), 32},
+      {"X0", exec::Storage::Kind::Float, {N}, initZero(), 32},
+      {"X1", exec::Storage::Kind::Float, {N}, initZero(), 32}};
+  for (int64_t T = 0; T < Steps; ++T) {
+    bool Forward = (T % 2) == 0;
+    // The paper adapted jacobi so the "prepare next iteration" step runs
+    // on the host; here that preparation is the buffer swap itself.
+    Program.Submits.push_back(
+        {"jacobi",
+         range1(N, 8),
+         {acc("A", sycl::AccessMode::Read), acc("B", sycl::AccessMode::Read),
+          acc(Forward ? "X0" : "X1", sycl::AccessMode::Read),
+          acc(Forward ? "X1" : "X0", sycl::AccessMode::ReadWrite)}});
+  }
+  std::string FinalBuffer = (Steps % 2) == 0 ? "X0" : "X1";
+  Program.Verify = [N, Steps, FinalBuffer](const auto &Buffers) {
+    auto A = toHost(Buffers.at("A")), B = toHost(Buffers.at("B"));
+    std::vector<double> X(N, 0.0), XNew(N);
+    for (int64_t T = 0; T < Steps; ++T) {
+      for (int64_t I = 0; I < N; ++I) {
+        double Sum = 0.0;
+        for (int64_t J = 0; J < N; ++J)
+          if (J != I)
+            Sum += A[I * N + J] * X[J];
+        XNew[I] = (B[I] - Sum) / A[I * N + I];
+      }
+      std::swap(X, XNew);
+    }
+    return allClose(toHost(Buffers.at(FinalBuffer)), X, 1e-3);
+  };
+  importHostIR(Program);
+  return Program;
+}
+
+} // namespace
+
+std::vector<Workload> workloads::getStencilWorkloads() {
+  std::vector<Workload> List;
+  // The paper: "AdaptiveCpp achieves an 1.5x speedup on iso2dfd, but fails
+  // to execute the remaining stencil workloads correctly."
+  List.push_back(Workload{"1D HeatTransfer (buffer)", "stencil", true,
+                          [](MLIRContext &Ctx) {
+                            return makeHeat(Ctx, 128, 6, false);
+                          }});
+  List.push_back(Workload{"1D HeatTransfer (USM)", "stencil", true,
+                          [](MLIRContext &Ctx) {
+                            return makeHeat(Ctx, 128, 6, true);
+                          }});
+  List.push_back(Workload{"iso2dfd", "stencil", false,
+                          [](MLIRContext &Ctx) {
+                            return makeIso2dfd(Ctx, 48, 4);
+                          }});
+  List.push_back(Workload{"jacobi", "stencil", true,
+                          [](MLIRContext &Ctx) {
+                            return makeJacobi(Ctx, 96, 3);
+                          }});
+  return List;
+}
+
+std::vector<Workload> workloads::getAllWorkloads() {
+  std::vector<Workload> All = getSingleKernelWorkloads();
+  auto Poly = getPolybenchWorkloads();
+  auto Stencil = getStencilWorkloads();
+  All.insert(All.end(), Poly.begin(), Poly.end());
+  All.insert(All.end(), Stencil.begin(), Stencil.end());
+  return All;
+}

@@ -1,0 +1,87 @@
+//===- divergence_analysis.cpp - Paper Listing 2 live ------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the Uniformity Analysis (paper §V-C) on the paper's Listing 2 —
+/// parsed from the textual IR — and prints the computed uniformity of
+/// every value, showing how non-uniformity flows from the work-item id
+/// through memory (via the Reaching Definition Analysis) into a divergent
+/// branch condition.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Uniformity.h"
+#include "dialect/Builtin.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <cstdio>
+
+using namespace smlir;
+
+int main() {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+
+  // Paper Listing 2 in this project's textual IR.
+  const char *Source = R"(module {
+  func.func @non_uniform(%arg1: memref<?x!sycl.nd_item<2>>, %idx: index) attributes {sycl.kernel} {
+    %c0_i32 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %c0_i64 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %alloca = "memref.alloca"() : () -> (memref<10xindex>)
+    %gid_x = "sycl.nd_item.get_global_id"(%arg1, %c0_i32) {name = "gid_x"} : (memref<?x!sycl.nd_item<2>>, i32) -> (index)
+    %cond = "arith.cmpi"(%gid_x, %c0_i64) {predicate = "sgt", name = "cond"} : (index, index) -> (i1)
+    "scf.if"(%cond) ({
+      "memref.store"(%c1, %alloca, %idx) : (index, memref<10xindex>, index) -> ()
+      "scf.yield"() : () -> ()
+    }, {
+      "memref.store"(%c2, %alloca, %idx) : (index, memref<10xindex>, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (i1) -> ()
+    %load = "memref.load"(%alloca, %idx) {name = "load"} : (memref<10xindex>, index) -> (index)
+    %cond1 = "arith.cmpi"(%load, %c0_i64) {predicate = "sgt", name = "cond1"} : (index, index) -> (i1)
+    "func.return"() : () -> ()
+  }
+})";
+
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  if (!Module || verify(Module.get(), &Error).failed()) {
+    std::printf("error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("=== Paper Listing 2 ===\n%s\n", Module->str().c_str());
+
+  UniformityAnalysis UA(Module.get());
+  std::printf("=== Uniformity of each named value ===\n");
+  Module->walk([&](Operation *Op) {
+    auto Name = Op->getAttrOfType<StringAttr>("name");
+    if (!Name || Op->getNumResults() == 0)
+      return;
+    std::printf("  %%%-8s -> %s\n", Name.getValue().c_str(),
+                std::string(stringifyUniformity(
+                                UA.getUniformity(Op->getResult(0))))
+                    .c_str());
+  });
+
+  std::printf("\n=== Divergent-region classification ===\n");
+  Module->walk([&](Operation *Op) {
+    if (Op->getName().getStringRef() != "memref.store")
+      return;
+    std::printf("  store %s is %s a divergent region\n",
+                Op->str().substr(0, 40).c_str(),
+                UA.isInDivergentRegion(Op) ? "IN" : "NOT in");
+  });
+  std::printf("\nThe branch on %%cond is divergent; the values stored under "
+              "it make the\nsubsequent load — and therefore %%cond1 — "
+              "non-uniform, exactly as the\npaper describes. Loop "
+              "Internalization uses this to refuse injecting\nbarriers "
+              "into such regions.\n");
+  return 0;
+}

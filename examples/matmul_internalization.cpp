@@ -1,0 +1,143 @@
+//===- matmul_internalization.cpp - Paper Listings 6 -> 7 live ---------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's flagship transformation (§VI-C): a naive
+/// matrix-multiply kernel (Listing 6) is tiled by the work-group size and
+/// its reused accessor rows are prefetched into work-group local memory
+/// with group barriers (Listing 7). The example prints the kernel before
+/// and after, then runs both the DPC++-like baseline and the SYCL-MLIR
+/// flow and compares results and memory traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "frontend/HostIRImporter.h"
+#include "frontend/KernelBuilder.h"
+#include "runtime/Runtime.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace smlir;
+
+namespace {
+
+frontend::SourceProgram makeMatMul(MLIRContext &Ctx, int64_t N, int64_t M) {
+  frontend::SourceProgram Program(&Ctx);
+  frontend::KernelBuilder KB(Program, "matrix_multiply", 2,
+                             /*UsesNDItem=*/true);
+  Value A = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Read);
+  Value B = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Read);
+  Value C = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::ReadWrite);
+  Value I = KB.gid(0), J = KB.gid(1);
+  // Paper Listing 6: for k: C[i][j] += A[i][k] * B[k][j].
+  Value CView = KB.subscript(C, {I, J});
+  KB.forLoop(0, N, [&](frontend::KernelBuilder &KB2, Value K) {
+    Value AV = KB2.loadAcc(A, {I, K});
+    Value BV = KB2.loadAcc(B, {K, J});
+    KB2.storeView(CView,
+                  KB2.addf(KB2.loadView(CView), KB2.mulf(AV, BV)));
+  });
+  KB.finish();
+
+  Program.Buffers = {
+      {"A", exec::Storage::Kind::Float, {N, N},
+       [](exec::Storage &S) {
+         for (size_t I = 0; I < S.Floats.size(); ++I)
+           S.Floats[I] = static_cast<double>(I % 7) - 3.0;
+       }},
+      {"B", exec::Storage::Kind::Float, {N, N},
+       [](exec::Storage &S) {
+         for (size_t I = 0; I < S.Floats.size(); ++I)
+           S.Floats[I] = static_cast<double>(I % 5) - 2.0;
+       }},
+      {"C", exec::Storage::Kind::Float, {N, N},
+       [](exec::Storage &S) {
+         for (double &V : S.Floats)
+           V = 0.0;
+       }}};
+  exec::NDRange Range;
+  Range.Dim = 2;
+  Range.Global = {N, N, 1};
+  Range.Local = {M, M, 1};
+  Range.HasLocal = true;
+  Program.Submits = {
+      {"matrix_multiply",
+       Range,
+       {frontend::AccessorArg{"A", sycl::AccessMode::Read, {}, {}},
+        frontend::AccessorArg{"B", sycl::AccessMode::Read, {}, {}},
+        frontend::AccessorArg{"C", sycl::AccessMode::ReadWrite, {}, {}}}}};
+  Program.Verify =
+      [N](const std::map<std::string, exec::Storage *> &Buffers) {
+        exec::Storage *A = Buffers.at("A");
+        exec::Storage *B = Buffers.at("B");
+        exec::Storage *C = Buffers.at("C");
+        for (int64_t I = 0; I < N; ++I)
+          for (int64_t J = 0; J < N; ++J) {
+            double Expected = 0.0;
+            for (int64_t K = 0; K < N; ++K)
+              Expected += A->Floats[I * N + K] * B->Floats[K * N + J];
+            if (std::fabs(C->Floats[I * N + J] - Expected) > 1e-5)
+              return false;
+          }
+        return true;
+      };
+  frontend::importHostIR(Program);
+  return Program;
+}
+
+void runFlow(frontend::SourceProgram &Program, core::CompilerFlow Flow,
+             bool PrintKernel) {
+  core::CompilerOptions Options;
+  Options.Flow = Flow;
+  core::Compiler Compiler(Options);
+  exec::Device Device;
+  std::string Error;
+  auto Exe = Compiler.compile(Program, Device, &Error);
+  if (!Exe) {
+    std::printf("compile failed: %s\n", Error.c_str());
+    return;
+  }
+  if (PrintKernel)
+    std::printf("=== Kernel after %s flow ===\n%s\n",
+                std::string(core::stringifyFlow(Flow)).c_str(),
+                Exe->getKernelIR("matrix_multiply").c_str());
+  rt::RunResult Result = rt::runProgram(Program, *Exe, Device);
+  const exec::LaunchStats &S = Result.Stats.Aggregate;
+  std::printf("%-11s validated=%-3s time=%9.1f global=%llu (coalesced %llu) "
+              "local=%llu barriers=%llu\n",
+              std::string(core::stringifyFlow(Flow)).c_str(),
+              Result.Validated ? "yes" : "NO", Result.Stats.Makespan,
+              static_cast<unsigned long long>(S.CoalescedGlobalAccesses +
+                                              S.UncoalescedGlobalAccesses),
+              static_cast<unsigned long long>(S.CoalescedGlobalAccesses),
+              static_cast<unsigned long long>(S.LocalAccesses),
+              static_cast<unsigned long long>(S.Barriers));
+}
+
+} // namespace
+
+int main() {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program = makeMatMul(Ctx, 32, 8);
+
+  std::printf("=== Kernel as written (paper Listing 6) ===\n");
+  FuncOp Source =
+      FuncOp::cast(Program.getKernelsModule().lookupSymbol(
+          "matrix_multiply"));
+  std::printf("%s\n", Source.getOperation()->str().c_str());
+
+  runFlow(Program, core::CompilerFlow::DPCPP, /*PrintKernel=*/false);
+  runFlow(Program, core::CompilerFlow::SYCLMLIR, /*PrintKernel=*/true);
+  std::printf(
+      "\nThe SYCL-MLIR kernel shows the Listing 7 structure: a tiled outer "
+      "loop,\ncooperative tile stores into memory space 3 (work-group "
+      "local), two\nsycl.group_barrier ops, and an inner loop reading the "
+      "tiles.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- Dominance.cpp - Structured-CFG dominance helpers ---------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominance.h"
+
+#include "ir/Block.h"
+
+using namespace smlir;
+
+/// Ascends from \p Op until reaching an operation directly contained in
+/// \p TargetBlock; returns null if \p Op is not nested there.
+static Operation *findAncestorInBlock(Operation *Op, Block *TargetBlock) {
+  while (Op && Op->getBlock() != TargetBlock)
+    Op = Op->getParentOp();
+  return Op;
+}
+
+bool smlir::properlyDominates(Operation *A, Operation *B) {
+  if (A == B)
+    return false;
+  Operation *BAncestor = findAncestorInBlock(B, A->getBlock());
+  if (!BAncestor)
+    return false;
+  if (BAncestor == A)
+    // B is nested inside A: A does not strictly precede it.
+    return false;
+  for (Operation *Cursor = A->getNextNode(); Cursor;
+       Cursor = Cursor->getNextNode())
+    if (Cursor == BAncestor)
+      return true;
+  return false;
+}
+
+bool smlir::dominates(Value Val, Operation *User) {
+  if (Val.isBlockArgument()) {
+    // A block argument dominates everything nested in its block.
+    Block *Owner = Val.getOwnerBlock();
+    for (Operation *Cursor = User; Cursor; Cursor = Cursor->getParentOp())
+      if (Cursor->getBlock() == Owner)
+        return true;
+    return false;
+  }
+  Operation *Def = Val.getDefiningOp();
+  return Def == User ? false : properlyDominates(Def, User);
+}
+
+std::vector<Operation *> smlir::getEnclosingOps(Operation *Op,
+                                                Operation *Limit) {
+  std::vector<Operation *> Chain;
+  for (Operation *Parent = Op->getParentOp(); Parent && Parent != Limit;
+       Parent = Parent->getParentOp())
+    Chain.push_back(Parent);
+  return Chain;
+}

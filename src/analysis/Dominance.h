@@ -1,0 +1,37 @@
+//===- Dominance.h - Structured-CFG dominance helpers -----------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominance queries for structured control flow. With scf/affine regions
+/// (no unstructured branches), an operation A dominates B iff A's block is
+/// an ancestor of (or equal to) B's block and A precedes B's ancestor chain
+/// within that block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_ANALYSIS_DOMINANCE_H
+#define SMLIR_ANALYSIS_DOMINANCE_H
+
+#include "ir/Operation.h"
+#include "ir/Value.h"
+
+namespace smlir {
+
+/// Returns true if \p A is executed strictly before \p B on every path
+/// reaching \p B (structured control flow).
+bool properlyDominates(Operation *A, Operation *B);
+
+/// Returns true if \p Val is available at \p User (defined before it).
+bool dominates(Value Val, Operation *User);
+
+/// Returns the chain of enclosing region-holding ops of \p Op, innermost
+/// first, up to (and excluding) \p Limit.
+std::vector<Operation *> getEnclosingOps(Operation *Op,
+                                         Operation *Limit = nullptr);
+
+} // namespace smlir
+
+#endif // SMLIR_ANALYSIS_DOMINANCE_H

@@ -1,0 +1,395 @@
+//===- MemoryAccess.cpp - SYCL memory access pattern analysis ---------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryAccess.h"
+
+#include "analysis/Dominance.h"
+#include "dialect/Arith.h"
+#include "dialect/MemRef.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "ir/Block.h"
+
+#include <map>
+
+using namespace smlir;
+
+std::string_view smlir::stringifyAccessPattern(AccessPattern Pattern) {
+  switch (Pattern) {
+  case AccessPattern::Linear:
+    return "Linear";
+  case AccessPattern::ReverseLinear:
+    return "ReverseLinear";
+  case AccessPattern::Broadcast:
+    return "Broadcast";
+  case AccessPattern::NonLinear:
+    return "NonLinear";
+  }
+  return "";
+}
+
+namespace {
+
+/// A linear combination of symbolic variables plus a constant.
+struct AffineExpr {
+  bool Valid = true;
+  std::map<detail::ValueImpl *, int64_t> Coeffs;
+  int64_t Constant = 0;
+
+  static AffineExpr invalid() {
+    AffineExpr E;
+    E.Valid = false;
+    return E;
+  }
+
+  AffineExpr scaled(int64_t Factor) const {
+    AffineExpr Result = *this;
+    for (auto &[Var, Coeff] : Result.Coeffs)
+      Coeff *= Factor;
+    Result.Constant *= Factor;
+    return Result;
+  }
+
+  AffineExpr plus(const AffineExpr &Other, int64_t Sign) const {
+    AffineExpr Result = *this;
+    for (const auto &[Var, Coeff] : Other.Coeffs)
+      Result.Coeffs[Var] += Sign * Coeff;
+    Result.Constant += Sign * Other.Constant;
+    return Result;
+  }
+};
+
+/// Kind+dimension key canonicalizing work-item id queries: two
+/// `get_global_id(0)` calls denote the same variable.
+struct ThreadVarKey {
+  enum class Kind { GlobalID, LocalID, ItemID } VarKind;
+  int64_t Dim;
+  bool operator<(const ThreadVarKey &Other) const {
+    if (VarKind != Other.VarKind)
+      return VarKind < Other.VarKind;
+    return Dim < Other.Dim;
+  }
+};
+
+/// Builds affine expressions from SSA index computations.
+class AffineChainBuilder {
+public:
+  AffineExpr build(Value Val) {
+    // Constants.
+    if (auto Const = getConstantIntValue(Val)) {
+      AffineExpr E;
+      E.Constant = *Const;
+      return E;
+    }
+
+    // Loop induction variables.
+    if (Val.isBlockArgument()) {
+      Block *Owner = Val.getOwnerBlock();
+      if (auto Loop = LoopLikeOp::dyn_cast(Owner->getParentOp()))
+        if (Val == Loop.getInductionVar())
+          return variable(Val);
+      return AffineExpr::invalid();
+    }
+
+    Operation *Def = Val.getDefiningOp();
+
+    // Work-item id queries (canonicalized by kind and dimension).
+    if (auto Key = getThreadVarKey(Def)) {
+      auto [It, Inserted] = CanonicalThreadVars.try_emplace(*Key, Val);
+      return variable(It->second);
+    }
+
+    if (auto Cast = arith::IndexCastOp::dyn_cast(Def))
+      return build(Cast.getOperand());
+    if (auto Add = arith::AddIOp::dyn_cast(Def))
+      return build(Add.getLhs()).plus(build(Add.getRhs()), 1);
+    if (auto Sub = arith::SubIOp::dyn_cast(Def))
+      return build(Sub.getLhs()).plus(build(Sub.getRhs()), -1);
+    if (auto Mul = arith::MulIOp::dyn_cast(Def)) {
+      if (auto Factor = getConstantIntValue(Mul.getRhs()))
+        return build(Mul.getLhs()).scaled(*Factor);
+      if (auto Factor = getConstantIntValue(Mul.getLhs()))
+        return build(Mul.getRhs()).scaled(*Factor);
+      return AffineExpr::invalid();
+    }
+    return AffineExpr::invalid();
+  }
+
+  /// Thread variables in canonical order (kind, then dimension).
+  std::vector<Value> getThreadVars() const {
+    std::vector<Value> Vars;
+    for (const auto &[Key, Val] : CanonicalThreadVars)
+      Vars.push_back(Val);
+    return Vars;
+  }
+
+private:
+  AffineExpr variable(Value Val) {
+    AffineExpr E;
+    E.Coeffs[Val.getImpl()] = 1;
+    return E;
+  }
+
+  static std::optional<ThreadVarKey> getThreadVarKey(Operation *Def) {
+    if (!Def)
+      return std::nullopt;
+    auto MakeKey =
+        [&](ThreadVarKey::Kind Kind,
+            Value Dim) -> std::optional<ThreadVarKey> {
+      auto Const = getConstantIntValue(Dim);
+      if (!Const)
+        return std::nullopt;
+      return ThreadVarKey{Kind, *Const};
+    };
+    if (auto Get = sycl::NDItemGetGlobalIDOp::dyn_cast(Def))
+      return MakeKey(ThreadVarKey::Kind::GlobalID, Get.getDim());
+    if (auto Get = sycl::NDItemGetLocalIDOp::dyn_cast(Def))
+      return MakeKey(ThreadVarKey::Kind::LocalID, Get.getDim());
+    if (auto Get = sycl::ItemGetIDOp::dyn_cast(Def))
+      return MakeKey(ThreadVarKey::Kind::ItemID, Get.getDim());
+    return std::nullopt;
+  }
+
+  std::map<ThreadVarKey, Value> CanonicalThreadVars;
+};
+
+/// Finds the `sycl.constructor` defining the contents of \p IDMem that is
+/// live at \p At (nearest dominating constructor).
+sycl::ConstructorOp findDominatingConstructor(Value IDMem, Operation *At) {
+  sycl::ConstructorOp Best(nullptr);
+  for (OpOperand *Use : IDMem.getUses()) {
+    auto Ctor = sycl::ConstructorOp::dyn_cast(Use->getOwner());
+    if (!Ctor || Ctor.getDst() != IDMem)
+      continue;
+    if (!properlyDominates(Ctor.getOperation(), At))
+      continue;
+    if (!Best ||
+        properlyDominates(Best.getOperation(), Ctor.getOperation()))
+      Best = Ctor;
+  }
+  return Best;
+}
+
+/// Collects the loop nest enclosing \p Op (outermost first).
+std::vector<LoopLikeOp> getEnclosingLoops(Operation *Op) {
+  std::vector<LoopLikeOp> Loops;
+  for (Operation *Parent = Op->getParentOp(); Parent;
+       Parent = Parent->getParentOp())
+    if (auto Loop = LoopLikeOp::dyn_cast(Parent))
+      Loops.insert(Loops.begin(), Loop);
+  return Loops;
+}
+
+} // namespace
+
+/// Determines the ND-range dimensionality from the enclosing kernel's
+/// leading item/nd_item argument; defaults to 1.
+static unsigned getKernelNDDims(Operation *AccessOp) {
+  for (Operation *Parent = AccessOp->getParentOp(); Parent;
+       Parent = Parent->getParentOp()) {
+    if (Parent->getName().getStringRef() != "func.func")
+      continue;
+    Region &Body = Parent->getRegion(0);
+    if (Body.empty())
+      return 1;
+    for (Value Arg : Body.front().getArguments()) {
+      auto MemTy = Arg.getType().dyn_cast<MemRefType>();
+      if (!MemTy)
+        continue;
+      Type Elem = MemTy.getElementType();
+      if (auto Item = Elem.dyn_cast<sycl::ItemType>())
+        return Item.getDim();
+      if (auto NDItem = Elem.dyn_cast<sycl::NDItemType>())
+        return NDItem.getDim();
+    }
+    return 1;
+  }
+  return 1;
+}
+
+MemoryAccess MemoryAccessAnalysis::analyze(Operation *AccessOp) const {
+  MemoryAccess Result;
+  Result.NDDims = getKernelNDDims(AccessOp);
+
+  // Decompose the access op.
+  Value MemRef;
+  std::vector<Value> Indices;
+  if (auto Load = affine::AffineLoadOp::dyn_cast(AccessOp)) {
+    MemRef = Load.getMemRef();
+    Indices = Load.getIndices();
+    Result.IsRead = true;
+  } else if (auto Load = memref::LoadOp::dyn_cast(AccessOp)) {
+    MemRef = Load.getMemRef();
+    Indices = Load.getIndices();
+    Result.IsRead = true;
+  } else if (auto Store = affine::AffineStoreOp::dyn_cast(AccessOp)) {
+    MemRef = Store.getMemRef();
+    Indices = Store.getIndices();
+    Result.IsRead = false;
+  } else if (auto Store = memref::StoreOp::dyn_cast(AccessOp)) {
+    MemRef = Store.getMemRef();
+    Indices = Store.getIndices();
+    Result.IsRead = false;
+  } else {
+    return Result;
+  }
+
+  // Resolve subscripted accessors: the row indices come from the id the
+  // accessor was subscripted with; the access op's own index must then be
+  // a constant (folded into the last row's offset).
+  int64_t TrailingOffset = 0;
+  if (Operation *Def = MemRef.getDefiningOp()) {
+    if (auto Subscript = sycl::AccessorSubscriptOp::dyn_cast(Def)) {
+      if (Indices.size() != 1)
+        return Result;
+      auto Trailing = getConstantIntValue(Indices[0]);
+      if (!Trailing)
+        return Result;
+      TrailingOffset = *Trailing;
+      auto Ctor = findDominatingConstructor(Subscript.getID(),
+                                            Subscript.getOperation());
+      if (!Ctor)
+        return Result;
+      Indices = Ctor.getIndices();
+      Result.BaseMemory = Subscript.getAccessor();
+    }
+  }
+  if (!Result.BaseMemory)
+    Result.BaseMemory = MemRef;
+
+  // Build affine expressions per index dimension.
+  AffineChainBuilder Builder;
+  std::vector<AffineExpr> Exprs;
+  Exprs.reserve(Indices.size());
+  for (Value Index : Indices) {
+    AffineExpr E = Builder.build(Index);
+    if (!E.Valid)
+      return Result;
+    Exprs.push_back(std::move(E));
+  }
+  if (Exprs.empty())
+    return Result;
+  Exprs.back().Constant += TrailingOffset;
+
+  // Column layout: canonical thread vars, then enclosing loop IVs
+  // (outermost first).
+  Result.ThreadVars = Builder.getThreadVars();
+  for (LoopLikeOp Loop : getEnclosingLoops(AccessOp))
+    Result.LoopIVs.push_back(Loop.getInductionVar());
+
+  std::vector<detail::ValueImpl *> Columns;
+  for (Value Var : Result.ThreadVars)
+    Columns.push_back(Var.getImpl());
+  for (Value IV : Result.LoopIVs)
+    Columns.push_back(IV.getImpl());
+
+  for (AffineExpr &E : Exprs) {
+    std::vector<int64_t> Row(Columns.size(), 0);
+    for (const auto &[Var, Coeff] : E.Coeffs) {
+      bool Found = false;
+      for (size_t I = 0; I < Columns.size(); ++I) {
+        if (Columns[I] == Var) {
+          Row[I] = Coeff;
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        return Result; // Index depends on a non-affine variable.
+    }
+    Result.Matrix.push_back(std::move(Row));
+    Result.Offsets.push_back(E.Constant);
+  }
+
+  Result.Valid = true;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryAccess classification
+//===----------------------------------------------------------------------===//
+
+std::vector<std::vector<int64_t>>
+MemoryAccess::getInterWorkItemMatrix() const {
+  std::vector<std::vector<int64_t>> Sub;
+  for (const auto &Row : Matrix)
+    Sub.emplace_back(Row.begin(), Row.begin() + getNumThreadVars());
+  return Sub;
+}
+
+std::vector<std::vector<int64_t>>
+MemoryAccess::getIntraWorkItemMatrix() const {
+  std::vector<std::vector<int64_t>> Sub;
+  for (const auto &Row : Matrix)
+    Sub.emplace_back(Row.begin() + getNumThreadVars(), Row.end());
+  return Sub;
+}
+
+AccessPattern MemoryAccess::classifyInterWorkItem() const {
+  auto Inter = getInterWorkItemMatrix();
+  if (Inter.empty())
+    return AccessPattern::NonLinear;
+
+  // Consecutive work-items within a sub-group differ in the *last*
+  // ND-range dimension (SYCL linearization). Coalescing is therefore
+  // governed by how the address varies with the "fast" thread variables:
+  // ids queried in dimension NDDims-1. Slower dimensions are uniform
+  // within a sub-group.
+  unsigned FastDim = NDDims - 1;
+  std::vector<bool> IsFastCol(ThreadVars.size(), false);
+  for (unsigned Col = 0; Col < ThreadVars.size(); ++Col) {
+    Operation *Def = ThreadVars[Col].getDefiningOp();
+    if (!Def)
+      continue;
+    if (auto Dim = getConstantIntValue(Def->getOperand(1)))
+      IsFastCol[Col] = static_cast<unsigned>(*Dim) == FastDim;
+  }
+
+  // Sum of fast-variable coefficients per index dimension.
+  bool AnyFast = false;
+  int64_t LastRowFastCoeff = 0;
+  for (unsigned Row = 0; Row < Inter.size(); ++Row) {
+    int64_t FastCoeff = 0;
+    for (unsigned Col = 0; Col < Inter[Row].size(); ++Col)
+      if (IsFastCol[Col])
+        FastCoeff += Inter[Row][Col];
+    if (FastCoeff != 0) {
+      AnyFast = true;
+      // Fast variation in a non-last index dimension is a large stride.
+      if (Row + 1 != Inter.size())
+        return AccessPattern::NonLinear;
+      LastRowFastCoeff = FastCoeff;
+    }
+  }
+  if (!AnyFast)
+    // The address is uniform across the sub-group.
+    return AccessPattern::Broadcast;
+  if (LastRowFastCoeff == 1)
+    return AccessPattern::Linear;
+  if (LastRowFastCoeff == -1)
+    return AccessPattern::ReverseLinear;
+  return AccessPattern::NonLinear;
+}
+
+bool MemoryAccess::isCoalescable() const {
+  switch (classifyInterWorkItem()) {
+  case AccessPattern::Linear:
+  case AccessPattern::ReverseLinear:
+  case AccessPattern::Broadcast:
+    return true;
+  case AccessPattern::NonLinear:
+    return false;
+  }
+  return false;
+}
+
+bool MemoryAccess::hasTemporalReuse() const {
+  for (const auto &Row : getIntraWorkItemMatrix())
+    for (int64_t Entry : Row)
+      if (Entry != 0)
+        return true;
+  return false;
+}

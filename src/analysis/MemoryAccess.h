@@ -1,0 +1,106 @@
+//===- MemoryAccess.h - SYCL memory access pattern analysis -----*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory Access Analysis (paper §V-D, based on Kaeli et al. [14]): derives
+/// the access pattern of SYCL memory accesses in a kernel as an access
+/// matrix over work-item ids and loop induction variables plus an offset
+/// vector, e.g. for Listing 3:
+///
+///   [1 0 0]   [gid_x]   [1]
+///   [0 0 2] x [gid_y] + [0]
+///   [0 1 2]   [  i  ]   [2]
+///
+/// The inter–work-item submatrix (loop-IV columns removed) determines
+/// whether the access can be coalesced by the GPU (Linear/ReverseLinear);
+/// the intra–work-item submatrix (thread columns removed) determines
+/// temporal reuse. Used by Loop Internalization (paper §VI-C) and by the
+/// device cost model (coalescing classification).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_ANALYSIS_MEMORYACCESS_H
+#define SMLIR_ANALYSIS_MEMORYACCESS_H
+
+#include "ir/Operation.h"
+#include "ir/Value.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace smlir {
+
+/// Classification of an inter-work-item access matrix (after [14]).
+enum class AccessPattern {
+  /// Consecutive work-items access consecutive addresses.
+  Linear,
+  /// Consecutive work-items access consecutive addresses in reverse.
+  ReverseLinear,
+  /// The address does not depend on the work-item id (broadcast).
+  Broadcast,
+  /// Anything else: not coalescable.
+  NonLinear,
+};
+
+std::string_view stringifyAccessPattern(AccessPattern Pattern);
+
+/// The derived pattern of one memory access.
+struct MemoryAccess {
+  bool Valid = false;
+
+  /// Thread-variable columns (work-item id values), ordered by queried
+  /// dimension; each entry is the canonical id value.
+  std::vector<Value> ThreadVars;
+  /// Loop induction variable columns, outermost loop first.
+  std::vector<Value> LoopIVs;
+  /// Access matrix: one row per index dimension; row length equals
+  /// ThreadVars.size() + LoopIVs.size() (thread columns first).
+  std::vector<std::vector<int64_t>> Matrix;
+  /// Constant offset per index dimension.
+  std::vector<int64_t> Offsets;
+  /// The accessed memory (accessor memref or plain memref).
+  Value BaseMemory;
+  /// True when the access reads memory (load), false for stores.
+  bool IsRead = true;
+  /// Dimensionality of the enclosing kernel's ND-range (from the item
+  /// argument); consecutive work-items vary in the last dimension.
+  unsigned NDDims = 1;
+
+  unsigned getNumThreadVars() const { return ThreadVars.size(); }
+  unsigned getNumLoopIVs() const { return LoopIVs.size(); }
+
+  /// Matrix with loop-IV columns removed.
+  std::vector<std::vector<int64_t>> getInterWorkItemMatrix() const;
+  /// Matrix with thread-variable columns removed.
+  std::vector<std::vector<int64_t>> getIntraWorkItemMatrix() const;
+
+  /// Pattern of the inter-work-item matrix.
+  AccessPattern classifyInterWorkItem() const;
+  /// True if the access can be serviced by coalesced transactions.
+  bool isCoalescable() const;
+  /// True if the same work-item revisits addresses across loop iterations
+  /// of the surrounding loop nest (intra matrix non-zero, paper §VI-C).
+  bool hasTemporalReuse() const;
+};
+
+/// Derives access matrices for load/store operations in SYCL kernels.
+class MemoryAccessAnalysis {
+public:
+  explicit MemoryAccessAnalysis(Operation *Root) : Root(Root) {}
+
+  /// Analyzes one access op: `affine.load`/`affine.store`,
+  /// `memref.load`/`memref.store`, accessing either a plain memref or the
+  /// result of a `sycl.accessor.subscript`.
+  MemoryAccess analyze(Operation *AccessOp) const;
+
+private:
+  Operation *Root;
+};
+
+} // namespace smlir
+
+#endif // SMLIR_ANALYSIS_MEMORYACCESS_H

@@ -1,0 +1,139 @@
+//===- ReachingDefinitions.cpp - Reaching definition analysis ---------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReachingDefinitions.h"
+
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "ir/Block.h"
+#include "support/STLExtras.h"
+
+using namespace smlir;
+
+/// Returns true for types that denote memory (memref or opaque pointer).
+static bool isMemoryType(Type Ty) {
+  return Ty.isa<MemRefType>() || Ty.isa<llvmir::PtrType>();
+}
+
+ReachingDefinitionAnalysis::ReachingDefinitionAnalysis(Operation *Root)
+    : Root(Root), AA(std::make_unique<SYCLAliasAnalysis>(Root)) {
+  // Collect tracked objects: all memory-typed underlying objects appearing
+  // in the function (arguments, allocations).
+  std::set<detail::ValueImpl *> Seen;
+  auto Track = [&](Value Val) {
+    if (!isMemoryType(Val.getType()))
+      return;
+    Value Base = AliasAnalysis::getUnderlyingObject(Val);
+    if (Seen.insert(Base.getImpl()).second)
+      TrackedObjects.push_back(Base);
+  };
+  if (!Root->getRegions().empty() && !Root->getRegion(0).empty())
+    for (Value Arg : Root->getRegion(0).front().getArguments())
+      Track(Arg);
+  Root->walk([&](Operation *Op) {
+    for (Value Operand : Op->getOperands())
+      Track(Operand);
+    for (Value Result : Op->getResults())
+      Track(Result);
+  });
+
+  if (Root->getRegions().empty() || Root->getRegion(0).empty())
+    return;
+  walkBlock(&Root->getRegion(0).front(), State());
+}
+
+ReachingDefinitionAnalysis::State
+ReachingDefinitionAnalysis::join(const State &A, const State &B) {
+  State Result = A;
+  for (const auto &[Key, Defs] : B) {
+    Definitions &Into = Result[Key];
+    Into.Mods.insert(Defs.Mods.begin(), Defs.Mods.end());
+    Into.PMods.insert(Defs.PMods.begin(), Defs.PMods.end());
+  }
+  return Result;
+}
+
+void ReachingDefinitionAnalysis::applyEffects(Operation *Op, State &S) {
+  std::vector<MemoryEffect> Effects;
+  bool Known = Op->getEffects(Effects);
+  if (!Known) {
+    // Unknown effects (e.g. calls, kernel launches): potentially modifies
+    // every tracked object.
+    for (Value Obj : TrackedObjects)
+      S[Obj.getImpl()].PMods.insert(Op);
+    return;
+  }
+  for (const MemoryEffect &Effect : Effects) {
+    if (Effect.Kind != EffectKind::Write)
+      continue;
+    if (!Effect.Val) {
+      // Write to an unspecified resource (e.g. a barrier).
+      for (Value Obj : TrackedObjects)
+        S[Obj.getImpl()].PMods.insert(Op);
+      continue;
+    }
+    for (Value Obj : TrackedObjects) {
+      switch (AA->alias(Effect.Val, Obj)) {
+      case AliasResult::MustAlias:
+        // Strong update: this write overwrites the whole location.
+        S[Obj.getImpl()] = Definitions{{Op}, {}};
+        break;
+      case AliasResult::MayAlias:
+      case AliasResult::PartialAlias:
+        S[Obj.getImpl()].PMods.insert(Op);
+        break;
+      case AliasResult::NoAlias:
+        break;
+      }
+    }
+  }
+}
+
+ReachingDefinitionAnalysis::State
+ReachingDefinitionAnalysis::walkBlock(Block *B, State In) {
+  for (Operation *Op : *B) {
+    InStates[Op] = In;
+    if (auto If = scf::IfOp::dyn_cast(Op)) {
+      State ThenOut = walkBlock(If.getThenBlock(), In);
+      State ElseOut =
+          If.hasElse() ? walkBlock(If.getElseBlock(), In) : In;
+      In = join(ThenOut, ElseOut);
+      continue;
+    }
+    if (auto Loop = LoopLikeOp::dyn_cast(Op)) {
+      // The body may run zero or more times: iterate to fixpoint.
+      State Fix = In;
+      for (int Iter = 0; Iter < 8; ++Iter) {
+        State Out = walkBlock(Loop.getBody(), Fix);
+        State NewFix = join(Fix, Out);
+        if (NewFix == Fix)
+          break;
+        Fix = std::move(NewFix);
+      }
+      In = Fix;
+      continue;
+    }
+    if (Op->getNumRegions() > 0) {
+      // Other region-holding ops: process bodies sequentially.
+      for (auto &R : Op->getRegions())
+        for (auto &Nested : *R)
+          In = walkBlock(Nested.get(), In);
+      continue;
+    }
+    applyEffects(Op, In);
+  }
+  return In;
+}
+
+Definitions ReachingDefinitionAnalysis::getDefinitions(Value MemVal,
+                                                       Operation *At) const {
+  Value Base = AliasAnalysis::getUnderlyingObject(MemVal);
+  auto StateIt = InStates.find(At);
+  if (StateIt == InStates.end())
+    return Definitions();
+  auto DefsIt = StateIt->second.find(Base.getImpl());
+  return DefsIt == StateIt->second.end() ? Definitions() : DefsIt->second;
+}

@@ -1,0 +1,285 @@
+//===- Uniformity.cpp - Uniformity (divergence) analysis --------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Uniformity.h"
+
+#include "dialect/Builtin.h"
+#include "dialect/SCF.h"
+#include "ir/Block.h"
+
+using namespace smlir;
+
+std::string_view smlir::stringifyUniformity(Uniformity U) {
+  switch (U) {
+  case Uniformity::Uniform:
+    return "uniform";
+  case Uniformity::Unknown:
+    return "unknown";
+  case Uniformity::NonUniform:
+    return "non-uniform";
+  }
+  return "";
+}
+
+UniformityAnalysis::UniformityAnalysis(Operation *Root) : Root(Root) {
+  // Collect functions and initialize parameter summaries: kernel entry
+  // points have uniform parameters by definition (paper §V-C); other
+  // functions start at unknown and are refined from call sites.
+  std::vector<Operation *> Functions;
+  auto CollectFrom = [&](Operation *Op) {
+    if (FuncOp::dyn_cast(Op))
+      Functions.push_back(Op);
+  };
+  if (FuncOp::dyn_cast(Root))
+    Functions.push_back(Root);
+  else
+    Root->walk(CollectFrom);
+
+  for (Operation *Func : Functions) {
+    FuncOp F = FuncOp::cast(Func);
+    bool IsKernel = Func->hasAttr("sycl.kernel");
+    // A standalone function analyzed in isolation behaves like an entry
+    // point for parameter purposes only if marked as a kernel.
+    FunctionSummary Summary;
+    Summary.Params.assign(F.getNumArguments(), IsKernel
+                                                   ? Uniformity::Uniform
+                                                   : Uniformity::Unknown);
+    Summary.Returns.assign(F.getFunctionType().getNumResults(),
+                           Uniformity::Uniform);
+    Summaries[Func] = std::move(Summary);
+    if (!F.isDeclaration())
+      ReachingDefs[Func] =
+          std::make_unique<ReachingDefinitionAnalysis>(Func);
+  }
+
+  // Inter-procedural fixpoint.
+  for (int Iter = 0; Iter < 8; ++Iter) {
+    Changed = false;
+
+    // Refine callee parameter uniformity from call-site actuals. If a
+    // function has no call sites (an entry), its parameters keep their
+    // initial state.
+    std::map<Operation *, std::vector<Uniformity>> CalleeParams;
+    auto Scope = ModuleOp::dyn_cast(Root);
+    if (Scope) {
+      Root->walk([&](Operation *Op) {
+        auto Call = CallOp::dyn_cast(Op);
+        if (!Call)
+          return;
+        FuncOp Callee = Call.resolveCallee(Scope);
+        if (!Callee)
+          return;
+        auto &Params = CalleeParams[Callee.getOperation()];
+        Params.resize(Callee.getNumArguments(), Uniformity::Uniform);
+        Uniformity Control = controlUniformity(Op);
+        for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+          Params[I] =
+              meet(Params[I], meet(lookup(Op->getOperand(I)), Control));
+      });
+      for (auto &[Callee, Params] : CalleeParams) {
+        if (Callee->hasAttr("sycl.kernel"))
+          continue;
+        auto &Summary = Summaries[Callee];
+        for (unsigned I = 0; I < Params.size(); ++I)
+          if (Summary.Params[I] != Params[I]) {
+            Summary.Params[I] = Params[I];
+            Changed = true;
+          }
+      }
+    }
+
+    for (Operation *Func : Functions)
+      analyzeFunction(Func);
+    if (!Changed)
+      break;
+  }
+}
+
+Uniformity UniformityAnalysis::lookup(Value Val) const {
+  auto It = Values.find(Val.getImpl());
+  return It == Values.end() ? Uniformity::Unknown : It->second;
+}
+
+Uniformity UniformityAnalysis::getUniformity(Value Val) const {
+  return lookup(Val);
+}
+
+void UniformityAnalysis::update(Value Val, Uniformity U) {
+  auto It = Values.find(Val.getImpl());
+  if (It == Values.end()) {
+    Values.emplace(Val.getImpl(), U);
+    Changed = true;
+    return;
+  }
+  Uniformity Merged = meet(It->second, U);
+  if (Merged != It->second) {
+    It->second = Merged;
+    Changed = true;
+  }
+}
+
+Uniformity UniformityAnalysis::controlUniformity(Operation *Op) const {
+  Uniformity Result = Uniformity::Uniform;
+  for (Operation *Parent = Op->getParentOp(); Parent;
+       Parent = Parent->getParentOp()) {
+    if (FuncOp::dyn_cast(Parent))
+      break;
+    if (auto If = scf::IfOp::dyn_cast(Parent)) {
+      Result = meet(Result, lookup(If.getCondition()));
+      continue;
+    }
+    if (auto Loop = LoopLikeOp::dyn_cast(Parent)) {
+      // Divergent trip counts make everything in the body divergent.
+      Result = meet(Result, lookup(Loop.getLowerBound()));
+      Result = meet(Result, lookup(Loop.getUpperBound()));
+      Result = meet(Result, lookup(Loop.getStep()));
+    }
+  }
+  return Result;
+}
+
+bool UniformityAnalysis::isInDivergentRegion(Operation *Op) const {
+  return controlUniformity(Op) != Uniformity::Uniform;
+}
+
+void UniformityAnalysis::analyzeFunction(Operation *Func) {
+  FuncOp F = FuncOp::cast(Func);
+  if (F.isDeclaration())
+    return;
+  const FunctionSummary &Summary = Summaries[Func];
+  Block *Entry = F.getEntryBlock();
+  for (unsigned I = 0, E = Entry->getNumArguments(); I != E; ++I)
+    update(Entry->getArgument(I), Summary.Params[I]);
+  walkBlock(Entry, Func);
+}
+
+void UniformityAnalysis::walkBlock(Block *B, Operation *Func) {
+  for (Operation *Op : *B)
+    visitOp(Op, Func);
+}
+
+void UniformityAnalysis::visitOp(Operation *Op, Operation *Func) {
+  // Sources of non-uniformity (SYCL work-item id queries).
+  if (Op->hasTrait(OpTrait::NonUniformSource)) {
+    for (Value Result : Op->getResults())
+      update(Result, Uniformity::NonUniform);
+    return;
+  }
+
+  // Calls: results take the callee's return summary.
+  if (auto Call = CallOp::dyn_cast(Op)) {
+    auto Scope = ModuleOp::dyn_cast(Root);
+    FuncOp Callee = Scope ? Call.resolveCallee(Scope) : FuncOp(nullptr);
+    if (Callee) {
+      auto It = Summaries.find(Callee.getOperation());
+      for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+        update(Op->getResult(I), It != Summaries.end() && I < It->second.Returns.size()
+                                     ? It->second.Returns[I]
+                                     : Uniformity::Unknown);
+    } else {
+      for (Value Result : Op->getResults())
+        update(Result, Uniformity::Unknown);
+    }
+    return;
+  }
+
+  // Record return uniformity into the function summary.
+  if (ReturnOp::dyn_cast(Op)) {
+    auto &Summary = Summaries[Func];
+    Uniformity Control = controlUniformity(Op);
+    for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I) {
+      Uniformity U = meet(lookup(Op->getOperand(I)), Control);
+      if (I < Summary.Returns.size() && Summary.Returns[I] != meet(Summary.Returns[I], U)) {
+        Summary.Returns[I] = meet(Summary.Returns[I], U);
+        Changed = true;
+      }
+    }
+    return;
+  }
+
+  // Structured control flow.
+  if (auto If = scf::IfOp::dyn_cast(Op)) {
+    walkBlock(If.getThenBlock(), Func);
+    if (If.hasElse())
+      walkBlock(If.getElseBlock(), Func);
+    Uniformity Cond = lookup(If.getCondition());
+    for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I) {
+      Uniformity U = Cond;
+      for (unsigned RI = 0; RI < 2; ++RI) {
+        Region &R = Op->getRegion(RI);
+        if (R.empty())
+          continue;
+        if (Operation *Yield = R.front().getTerminator())
+          U = meet(U, lookup(Yield->getOperand(I)));
+      }
+      update(Op->getResult(I), U);
+    }
+    return;
+  }
+
+  if (auto Loop = LoopLikeOp::dyn_cast(Op)) {
+    Uniformity Bounds = meet(meet(lookup(Loop.getLowerBound()),
+                                  lookup(Loop.getUpperBound())),
+                             lookup(Loop.getStep()));
+    update(Loop.getInductionVar(), Bounds);
+    for (unsigned I = 0, E = Loop.getNumIterArgs(); I != E; ++I)
+      update(Loop.getRegionIterArg(I),
+             meet(Bounds, lookup(Loop.getInitArg(I))));
+    // Two passes propagate loop-carried lowering through yields.
+    for (int Pass = 0; Pass < 2; ++Pass) {
+      walkBlock(Loop.getBody(), Func);
+      Operation *Yield = Loop.getYield();
+      for (unsigned I = 0, E = Loop.getNumIterArgs(); I != E; ++I)
+        update(Loop.getRegionIterArg(I), lookup(Yield->getOperand(I)));
+    }
+    Operation *Yield = Loop.getYield();
+    for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+      update(Op->getResult(I),
+             meet(Bounds, lookup(Yield->getOperand(I))));
+    return;
+  }
+
+  // Generic operations: meet over operands...
+  Uniformity U = Uniformity::Uniform;
+  for (Value Operand : Op->getOperands())
+    U = meet(U, lookup(Operand));
+
+  // ...and over memory effects (paper §V-C): reads are refined through the
+  // Reaching Definition Analysis; unknown effects are pessimistic.
+  if (!Op->hasTrait(OpTrait::Pure)) {
+    std::vector<MemoryEffect> Effects;
+    if (!Op->getEffects(Effects)) {
+      U = meet(U, Uniformity::Unknown);
+    } else {
+      auto RDIt = ReachingDefs.find(Func);
+      for (const MemoryEffect &Effect : Effects) {
+        if (Effect.Kind != EffectKind::Read)
+          continue;
+        if (RDIt == ReachingDefs.end()) {
+          U = meet(U, Uniformity::Unknown);
+          continue;
+        }
+        Definitions Defs =
+            RDIt->second->getDefinitions(Effect.Val, Op);
+        auto AccountFor = [&](Operation *Def) {
+          // The stored value's uniformity and the divergence of the path
+          // the store executed under both taint the loaded value.
+          Uniformity StoredU = Uniformity::Uniform;
+          for (Value DefOperand : Def->getOperands())
+            StoredU = meet(StoredU, lookup(DefOperand));
+          U = meet(U, meet(StoredU, controlUniformity(Def)));
+        };
+        for (Operation *Def : Defs.Mods)
+          AccountFor(Def);
+        for (Operation *Def : Defs.PMods)
+          AccountFor(Def);
+      }
+    }
+  }
+
+  for (Value Result : Op->getResults())
+    update(Result, U);
+}

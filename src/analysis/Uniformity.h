@@ -1,0 +1,83 @@
+//===- Uniformity.h - Uniformity (divergence) analysis ----------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniformity Analysis (paper §V-C): an inter-procedural data-flow analysis
+/// classifying each SSA value as uniform (all work-items in a work-group
+/// compute the same value), non-uniform, or unknown. Sources of
+/// non-uniformity are operations carrying the NonUniformSource trait (e.g.
+/// `sycl.nd_item.get_global_id`). Memory is handled through the Reaching
+/// Definition Analysis: a load is non-uniform if a reaching (potential)
+/// modifier stored a non-uniform value or executed under a divergent
+/// branch. Used by Loop Internalization to reject loops in divergent
+/// regions, where injecting a group barrier would deadlock (paper §VI-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_ANALYSIS_UNIFORMITY_H
+#define SMLIR_ANALYSIS_UNIFORMITY_H
+
+#include "analysis/ReachingDefinitions.h"
+#include "ir/Operation.h"
+
+#include <map>
+#include <memory>
+
+namespace smlir {
+
+/// Lattice of work-item uniformity. Ordered Uniform < Unknown < NonUniform
+/// for the meet operation.
+enum class Uniformity { Uniform, Unknown, NonUniform };
+
+std::string_view stringifyUniformity(Uniformity U);
+
+/// Meet: the most pessimistic of the two.
+inline Uniformity meet(Uniformity A, Uniformity B) {
+  return static_cast<Uniformity>(
+      std::max(static_cast<int>(A), static_cast<int>(B)));
+}
+
+class UniformityAnalysis {
+public:
+  /// \p Root is a module (inter-procedural) or a single function.
+  explicit UniformityAnalysis(Operation *Root);
+
+  /// The computed uniformity of \p Val (Unknown if never seen).
+  Uniformity getUniformity(Value Val) const;
+  bool isUniform(Value Val) const {
+    return getUniformity(Val) == Uniformity::Uniform;
+  }
+
+  /// True if \p Op executes under a possibly divergent branch: some
+  /// enclosing condition or loop bound within its function is not provably
+  /// uniform.
+  bool isInDivergentRegion(Operation *Op) const;
+
+private:
+  struct FunctionSummary {
+    std::vector<Uniformity> Params;
+    std::vector<Uniformity> Returns;
+  };
+
+  void analyzeFunction(Operation *Func);
+  void walkBlock(Block *B, Operation *Func);
+  void visitOp(Operation *Op, Operation *Func);
+  Uniformity controlUniformity(Operation *Op) const;
+  Uniformity lookup(Value Val) const;
+  /// Sets \p Val to \p U, recording whether anything changed.
+  void update(Value Val, Uniformity U);
+
+  Operation *Root;
+  std::map<detail::ValueImpl *, Uniformity> Values;
+  std::map<Operation *, FunctionSummary> Summaries;
+  std::map<Operation *, std::unique_ptr<ReachingDefinitionAnalysis>>
+      ReachingDefs;
+  bool Changed = false;
+};
+
+} // namespace smlir
+
+#endif // SMLIR_ANALYSIS_UNIFORMITY_H

@@ -1,0 +1,25 @@
+//===- AllDialects.cpp - Bulk dialect registration --------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "dialect/MemRef.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "ir/MLIRContext.h"
+
+using namespace smlir;
+
+void smlir::registerAllDialects(MLIRContext &Context) {
+  registerBuiltinDialect(Context);
+  arith::registerArithDialect(Context);
+  math::registerMathDialect(Context);
+  memref::registerMemRefDialect(Context);
+  scf::registerSCFDialect(Context);
+  affine::registerAffineDialect(Context);
+  sycl::registerSYCLDialect(Context);
+  llvmir::registerLLVMDialect(Context);
+}

@@ -1,0 +1,549 @@
+//===- Arith.cpp - Arithmetic and math dialects -----------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+
+#include <cmath>
+
+using namespace smlir;
+using namespace smlir::arith;
+
+//===----------------------------------------------------------------------===//
+// Constant helpers
+//===----------------------------------------------------------------------===//
+
+std::optional<int64_t> smlir::getConstantIntValue(Value Val) {
+  Operation *Def = Val.getDefiningOp();
+  if (!Def || !Def->hasTrait(OpTrait::ConstantLike))
+    return std::nullopt;
+  if (auto Attr = Def->getAttrOfType<IntegerAttr>("value"))
+    return Attr.getValue();
+  return std::nullopt;
+}
+
+std::optional<double> smlir::getConstantFloatValue(Value Val) {
+  Operation *Def = Val.getDefiningOp();
+  if (!Def || !Def->hasTrait(OpTrait::ConstantLike))
+    return std::nullopt;
+  if (auto Attr = Def->getAttrOfType<FloatAttr>("value"))
+    return Attr.getValue();
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// ConstantOp
+//===----------------------------------------------------------------------===//
+
+void ConstantOp::build(OpBuilder &Builder, OperationState &State,
+                       Attribute Value) {
+  State.addAttribute("value", Value);
+  if (auto IntAttr = Value.dyn_cast<IntegerAttr>())
+    State.addType(IntAttr.getType());
+  else if (auto FloatAttr_ = Value.dyn_cast<FloatAttr>())
+    State.addType(FloatAttr_.getType());
+  else
+    assert(false && "unsupported constant attribute kind");
+}
+
+LogicalResult ConstantOp::verifyOp(Operation *Op) {
+  Attribute Value = Op->getAttr("value");
+  if (!Value || Op->getNumResults() != 1)
+    return failure();
+  if (auto IntAttr = Value.dyn_cast<IntegerAttr>())
+    return success(IntAttr.getType() == Op->getResultType(0));
+  if (auto FloatAttr_ = Value.dyn_cast<FloatAttr>())
+    return success(FloatAttr_.getType() == Op->getResultType(0));
+  return failure();
+}
+
+Value arith::createIndexConstant(OpBuilder &Builder, Location Loc,
+                                 int64_t Value) {
+  return Builder
+      .create<ConstantOp>(Loc, Builder.getIndexAttr(Value))
+      .getOperation()
+      ->getResult(0);
+}
+
+Value arith::createIntConstant(OpBuilder &Builder, Location Loc, Type Ty,
+                               int64_t Value) {
+  return Builder.create<ConstantOp>(Loc, IntegerAttr::get(Ty, Value))
+      .getOperation()
+      ->getResult(0);
+}
+
+Value arith::createFloatConstant(OpBuilder &Builder, Location Loc, Type Ty,
+                                 double Value) {
+  return Builder.create<ConstantOp>(Loc, FloatAttr::get(Ty, Value))
+      .getOperation()
+      ->getResult(0);
+}
+
+Value arith::createBoolConstant(OpBuilder &Builder, Location Loc,
+                                bool Value) {
+  return Builder.create<ConstantOp>(Loc, Builder.getBoolAttr(Value))
+      .getOperation()
+      ->getResult(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Folding helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using IntFn = int64_t (*)(int64_t, int64_t);
+using FloatFn = double (*)(double, double);
+
+/// Folds an integer binary op: constant-folds when both operands are
+/// constants; applies left/right identities when given.
+OpFoldResult foldIntBinary(Operation *Op, const std::vector<Attribute> &Ops,
+                           IntFn Fn, std::optional<int64_t> RightIdentity,
+                           std::optional<int64_t> RightZero = std::nullopt) {
+  auto Lhs = Ops[0] ? Ops[0].dyn_cast<IntegerAttr>() : IntegerAttr();
+  auto Rhs = Ops[1] ? Ops[1].dyn_cast<IntegerAttr>() : IntegerAttr();
+  if (Lhs && Rhs)
+    return Attribute(
+        IntegerAttr::get(Lhs.getType(), Fn(Lhs.getValue(), Rhs.getValue())));
+  if (Rhs && RightIdentity && Rhs.getValue() == *RightIdentity)
+    return Op->getOperand(0);
+  if (Rhs && RightZero && Rhs.getValue() == *RightZero)
+    return Attribute(IntegerAttr::get(Rhs.getType(), *RightZero));
+  return OpFoldResult();
+}
+
+OpFoldResult foldFloatBinary(Operation *Op, const std::vector<Attribute> &Ops,
+                             FloatFn Fn) {
+  auto Lhs = Ops[0] ? Ops[0].dyn_cast<FloatAttr>() : FloatAttr();
+  auto Rhs = Ops[1] ? Ops[1].dyn_cast<FloatAttr>() : FloatAttr();
+  if (Lhs && Rhs)
+    return Attribute(
+        FloatAttr::get(Lhs.getType(), Fn(Lhs.getValue(), Rhs.getValue())));
+  return OpFoldResult();
+}
+
+OpFoldResult foldAddI(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A + B; }, 0);
+}
+OpFoldResult foldSubI(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A - B; }, 0);
+}
+OpFoldResult foldMulI(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A * B; }, 1, 0);
+}
+OpFoldResult foldDivSI(Operation *Op, const std::vector<Attribute> &Ops) {
+  auto Rhs = Ops[1] ? Ops[1].dyn_cast<IntegerAttr>() : IntegerAttr();
+  if (Rhs && Rhs.getValue() == 0)
+    return OpFoldResult(); // Division by zero: do not fold.
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A / B; }, 1);
+}
+OpFoldResult foldRemSI(Operation *Op, const std::vector<Attribute> &Ops) {
+  auto Rhs = Ops[1] ? Ops[1].dyn_cast<IntegerAttr>() : IntegerAttr();
+  if (Rhs && Rhs.getValue() == 0)
+    return OpFoldResult();
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A % B; }, std::nullopt);
+}
+OpFoldResult foldAndI(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A & B; }, -1, 0);
+}
+OpFoldResult foldOrI(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A | B; }, 0);
+}
+OpFoldResult foldXOrI(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A ^ B; }, 0);
+}
+OpFoldResult foldMinSI(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A < B ? A : B; },
+      std::nullopt);
+}
+OpFoldResult foldMaxSI(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldIntBinary(
+      Op, Ops, [](int64_t A, int64_t B) { return A > B ? A : B; },
+      std::nullopt);
+}
+OpFoldResult foldAddF(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldFloatBinary(Op, Ops,
+                         [](double A, double B) { return A + B; });
+}
+OpFoldResult foldSubF(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldFloatBinary(Op, Ops,
+                         [](double A, double B) { return A - B; });
+}
+OpFoldResult foldMulF(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldFloatBinary(Op, Ops,
+                         [](double A, double B) { return A * B; });
+}
+OpFoldResult foldDivF(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldFloatBinary(Op, Ops,
+                         [](double A, double B) { return A / B; });
+}
+OpFoldResult foldMinF(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldFloatBinary(
+      Op, Ops, [](double A, double B) { return A < B ? A : B; });
+}
+OpFoldResult foldMaxF(Operation *Op, const std::vector<Attribute> &Ops) {
+  return foldFloatBinary(
+      Op, Ops, [](double A, double B) { return A > B ? A : B; });
+}
+OpFoldResult foldNegF(Operation *Op, const std::vector<Attribute> &Ops) {
+  if (auto Operand = Ops[0] ? Ops[0].dyn_cast<FloatAttr>() : FloatAttr())
+    return Attribute(FloatAttr::get(Operand.getType(), -Operand.getValue()));
+  return OpFoldResult();
+}
+
+OpFoldResult foldCmpI(Operation *Op, const std::vector<Attribute> &Ops) {
+  auto Lhs = Ops[0] ? Ops[0].dyn_cast<IntegerAttr>() : IntegerAttr();
+  auto Rhs = Ops[1] ? Ops[1].dyn_cast<IntegerAttr>() : IntegerAttr();
+  if (!Lhs || !Rhs)
+    return OpFoldResult();
+  auto Pred = parseCmpIPredicate(
+      Op->getAttrOfType<StringAttr>("predicate").getValue());
+  if (!Pred)
+    return OpFoldResult();
+  int64_t A = Lhs.getValue(), B = Rhs.getValue();
+  bool Result = false;
+  switch (*Pred) {
+  case CmpIPredicate::eq:
+    Result = A == B;
+    break;
+  case CmpIPredicate::ne:
+    Result = A != B;
+    break;
+  case CmpIPredicate::slt:
+    Result = A < B;
+    break;
+  case CmpIPredicate::sle:
+    Result = A <= B;
+    break;
+  case CmpIPredicate::sgt:
+    Result = A > B;
+    break;
+  case CmpIPredicate::sge:
+    Result = A >= B;
+    break;
+  }
+  return Attribute(getBoolAttr(Op->getContext(), Result));
+}
+
+OpFoldResult foldCmpF(Operation *Op, const std::vector<Attribute> &Ops) {
+  auto Lhs = Ops[0] ? Ops[0].dyn_cast<FloatAttr>() : FloatAttr();
+  auto Rhs = Ops[1] ? Ops[1].dyn_cast<FloatAttr>() : FloatAttr();
+  if (!Lhs || !Rhs)
+    return OpFoldResult();
+  auto Pred = parseCmpFPredicate(
+      Op->getAttrOfType<StringAttr>("predicate").getValue());
+  if (!Pred)
+    return OpFoldResult();
+  double A = Lhs.getValue(), B = Rhs.getValue();
+  bool Result = false;
+  switch (*Pred) {
+  case CmpFPredicate::oeq:
+    Result = A == B;
+    break;
+  case CmpFPredicate::one:
+    Result = A != B;
+    break;
+  case CmpFPredicate::olt:
+    Result = A < B;
+    break;
+  case CmpFPredicate::ole:
+    Result = A <= B;
+    break;
+  case CmpFPredicate::ogt:
+    Result = A > B;
+    break;
+  case CmpFPredicate::oge:
+    Result = A >= B;
+    break;
+  }
+  return Attribute(getBoolAttr(Op->getContext(), Result));
+}
+
+OpFoldResult foldSelect(Operation *Op, const std::vector<Attribute> &Ops) {
+  if (Op->getOperand(1) == Op->getOperand(2))
+    return Op->getOperand(1);
+  auto Cond = Ops[0] ? Ops[0].dyn_cast<IntegerAttr>() : IntegerAttr();
+  if (!Cond)
+    return OpFoldResult();
+  return Cond.getValue() ? Op->getOperand(1) : Op->getOperand(2);
+}
+
+OpFoldResult foldIndexCast(Operation *Op, const std::vector<Attribute> &Ops) {
+  if (auto Operand = Ops[0] ? Ops[0].dyn_cast<IntegerAttr>() : IntegerAttr())
+    return Attribute(
+        IntegerAttr::get(Op->getResultType(0), Operand.getValue()));
+  // index_cast(index_cast(x)) with matching types folds to x.
+  if (Operation *Def = Op->getOperand(0).getDefiningOp())
+    if (auto Inner = IndexCastOp::dyn_cast(Def))
+      if (Inner.getOperand().getType() == Op->getResultType(0))
+        return Inner.getOperand();
+  return OpFoldResult();
+}
+
+OpFoldResult foldExtSI(Operation *Op, const std::vector<Attribute> &Ops) {
+  if (auto Operand = Ops[0] ? Ops[0].dyn_cast<IntegerAttr>() : IntegerAttr())
+    return Attribute(
+        IntegerAttr::get(Op->getResultType(0), Operand.getValue()));
+  return OpFoldResult();
+}
+
+OpFoldResult foldTruncI(Operation *Op, const std::vector<Attribute> &Ops) {
+  auto Operand = Ops[0] ? Ops[0].dyn_cast<IntegerAttr>() : IntegerAttr();
+  if (!Operand)
+    return OpFoldResult();
+  auto ResultTy = Op->getResultType(0).cast<IntegerType>();
+  uint64_t Mask = ResultTy.getWidth() >= 64
+                      ? ~0ull
+                      : ((1ull << ResultTy.getWidth()) - 1);
+  return Attribute(IntegerAttr::get(
+      ResultTy, static_cast<int64_t>(
+                    static_cast<uint64_t>(Operand.getValue()) & Mask)));
+}
+
+OpFoldResult foldSIToFP(Operation *Op, const std::vector<Attribute> &Ops) {
+  if (auto Operand = Ops[0] ? Ops[0].dyn_cast<IntegerAttr>() : IntegerAttr())
+    return Attribute(FloatAttr::get(Op->getResultType(0),
+                                    static_cast<double>(Operand.getValue())));
+  return OpFoldResult();
+}
+
+OpFoldResult foldFPToSI(Operation *Op, const std::vector<Attribute> &Ops) {
+  if (auto Operand = Ops[0] ? Ops[0].dyn_cast<FloatAttr>() : FloatAttr())
+    return Attribute(IntegerAttr::get(
+        Op->getResultType(0), static_cast<int64_t>(Operand.getValue())));
+  return OpFoldResult();
+}
+
+/// Verifies a binary op: two same-typed operands, same-typed result.
+LogicalResult verifySameTypeBinary(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return failure();
+  Type Ty = Op->getOperand(0).getType();
+  return success(Op->getOperand(1).getType() == Ty &&
+                 Op->getResultType(0) == Ty);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CmpIOp / CmpFOp / SelectOp
+//===----------------------------------------------------------------------===//
+
+std::string_view arith::stringifyCmpIPredicate(CmpIPredicate Pred) {
+  switch (Pred) {
+  case CmpIPredicate::eq:
+    return "eq";
+  case CmpIPredicate::ne:
+    return "ne";
+  case CmpIPredicate::slt:
+    return "slt";
+  case CmpIPredicate::sle:
+    return "sle";
+  case CmpIPredicate::sgt:
+    return "sgt";
+  case CmpIPredicate::sge:
+    return "sge";
+  }
+  return "";
+}
+
+std::optional<CmpIPredicate>
+arith::parseCmpIPredicate(std::string_view Str) {
+  if (Str == "eq")
+    return CmpIPredicate::eq;
+  if (Str == "ne")
+    return CmpIPredicate::ne;
+  if (Str == "slt")
+    return CmpIPredicate::slt;
+  if (Str == "sle")
+    return CmpIPredicate::sle;
+  if (Str == "sgt")
+    return CmpIPredicate::sgt;
+  if (Str == "sge")
+    return CmpIPredicate::sge;
+  return std::nullopt;
+}
+
+std::string_view arith::stringifyCmpFPredicate(CmpFPredicate Pred) {
+  switch (Pred) {
+  case CmpFPredicate::oeq:
+    return "oeq";
+  case CmpFPredicate::one:
+    return "one";
+  case CmpFPredicate::olt:
+    return "olt";
+  case CmpFPredicate::ole:
+    return "ole";
+  case CmpFPredicate::ogt:
+    return "ogt";
+  case CmpFPredicate::oge:
+    return "oge";
+  }
+  return "";
+}
+
+std::optional<CmpFPredicate>
+arith::parseCmpFPredicate(std::string_view Str) {
+  if (Str == "oeq")
+    return CmpFPredicate::oeq;
+  if (Str == "one")
+    return CmpFPredicate::one;
+  if (Str == "olt")
+    return CmpFPredicate::olt;
+  if (Str == "ole")
+    return CmpFPredicate::ole;
+  if (Str == "ogt")
+    return CmpFPredicate::ogt;
+  if (Str == "oge")
+    return CmpFPredicate::oge;
+  return std::nullopt;
+}
+
+void CmpIOp::build(OpBuilder &Builder, OperationState &State,
+                   CmpIPredicate Pred, Value Lhs, Value Rhs) {
+  State.addAttribute("predicate",
+                     StringAttr::get(Builder.getContext(),
+                                     stringifyCmpIPredicate(Pred)));
+  State.addOperands({Lhs, Rhs});
+  State.addType(Builder.getI1Type());
+}
+
+CmpIPredicate CmpIOp::getPredicate() const {
+  return *parseCmpIPredicate(
+      TheOp->getAttrOfType<StringAttr>("predicate").getValue());
+}
+
+LogicalResult CmpIOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return failure();
+  auto Pred = Op->getAttrOfType<StringAttr>("predicate");
+  if (!Pred || !parseCmpIPredicate(Pred.getValue()))
+    return failure();
+  return success(Op->getOperand(0).getType() ==
+                     Op->getOperand(1).getType() &&
+                 Op->getResultType(0).isInteger(1) &&
+                 Op->getOperand(0).getType().isIntOrIndex());
+}
+
+void CmpFOp::build(OpBuilder &Builder, OperationState &State,
+                   CmpFPredicate Pred, Value Lhs, Value Rhs) {
+  State.addAttribute("predicate",
+                     StringAttr::get(Builder.getContext(),
+                                     stringifyCmpFPredicate(Pred)));
+  State.addOperands({Lhs, Rhs});
+  State.addType(Builder.getI1Type());
+}
+
+CmpFPredicate CmpFOp::getPredicate() const {
+  return *parseCmpFPredicate(
+      TheOp->getAttrOfType<StringAttr>("predicate").getValue());
+}
+
+LogicalResult CmpFOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return failure();
+  auto Pred = Op->getAttrOfType<StringAttr>("predicate");
+  if (!Pred || !parseCmpFPredicate(Pred.getValue()))
+    return failure();
+  return success(Op->getOperand(0).getType() ==
+                     Op->getOperand(1).getType() &&
+                 Op->getResultType(0).isInteger(1) &&
+                 Op->getOperand(0).getType().isFloat());
+}
+
+void SelectOp::build(OpBuilder &Builder, OperationState &State,
+                     Value Condition, Value TrueValue, Value FalseValue) {
+  State.addOperands({Condition, TrueValue, FalseValue});
+  State.addType(TrueValue.getType());
+}
+
+LogicalResult SelectOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() != 3 || Op->getNumResults() != 1)
+    return failure();
+  return success(Op->getOperand(0).getType().isInteger(1) &&
+                 Op->getOperand(1).getType() ==
+                     Op->getOperand(2).getType() &&
+                 Op->getResultType(0) == Op->getOperand(1).getType());
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+void arith::registerArithDialect(MLIRContext &Context) {
+  auto *ArithDialect =
+      Context.registerDialect(std::make_unique<Dialect>("arith", &Context));
+  uint64_t Pure = traits(OpTrait::Pure);
+
+  registerOp<ConstantOp>(Context, ArithDialect,
+                         {traits(OpTrait::Pure, OpTrait::ConstantLike),
+                          &ConstantOp::verifyOp});
+
+  registerOp<AddIOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldAddI});
+  registerOp<SubIOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldSubI});
+  registerOp<MulIOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldMulI});
+  registerOp<DivSIOp>(Context, ArithDialect,
+                      {Pure, &verifySameTypeBinary, &foldDivSI});
+  registerOp<RemSIOp>(Context, ArithDialect,
+                      {Pure, &verifySameTypeBinary, &foldRemSI});
+  registerOp<AndIOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldAndI});
+  registerOp<OrIOp>(Context, ArithDialect,
+                    {Pure, &verifySameTypeBinary, &foldOrI});
+  registerOp<XOrIOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldXOrI});
+  registerOp<MinSIOp>(Context, ArithDialect,
+                      {Pure, &verifySameTypeBinary, &foldMinSI});
+  registerOp<MaxSIOp>(Context, ArithDialect,
+                      {Pure, &verifySameTypeBinary, &foldMaxSI});
+  registerOp<AddFOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldAddF});
+  registerOp<SubFOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldSubF});
+  registerOp<MulFOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldMulF});
+  registerOp<DivFOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldDivF});
+  registerOp<MinFOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldMinF});
+  registerOp<MaxFOp>(Context, ArithDialect,
+                     {Pure, &verifySameTypeBinary, &foldMaxF});
+  registerOp<NegFOp>(Context, ArithDialect, {Pure, nullptr, &foldNegF});
+
+  registerOp<IndexCastOp>(Context, ArithDialect,
+                          {Pure, nullptr, &foldIndexCast});
+  registerOp<SIToFPOp>(Context, ArithDialect, {Pure, nullptr, &foldSIToFP});
+  registerOp<FPToSIOp>(Context, ArithDialect, {Pure, nullptr, &foldFPToSI});
+  registerOp<ExtSIOp>(Context, ArithDialect, {Pure, nullptr, &foldExtSI});
+  registerOp<TruncIOp>(Context, ArithDialect, {Pure, nullptr, &foldTruncI});
+
+  registerOp<CmpIOp>(Context, ArithDialect,
+                     {Pure, &CmpIOp::verifyOp, &foldCmpI});
+  registerOp<CmpFOp>(Context, ArithDialect,
+                     {Pure, &CmpFOp::verifyOp, &foldCmpF});
+  registerOp<SelectOp>(Context, ArithDialect,
+                       {Pure, &SelectOp::verifyOp, &foldSelect});
+}
+
+void math::registerMathDialect(MLIRContext &Context) {
+  auto *MathDialect =
+      Context.registerDialect(std::make_unique<Dialect>("math", &Context));
+  uint64_t Pure = traits(OpTrait::Pure);
+  registerOp<math::SqrtOp>(Context, MathDialect, {Pure});
+  registerOp<math::ExpOp>(Context, MathDialect, {Pure});
+  registerOp<math::FAbsOp>(Context, MathDialect, {Pure});
+}

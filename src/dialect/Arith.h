@@ -1,0 +1,234 @@
+//===- Arith.h - Arithmetic and math dialects -------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arith dialect (constants, integer/float arithmetic, comparisons,
+/// select, casts) with constant folding, and the small math dialect (sqrt,
+/// exp, fabs) used by the benchmark kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_DIALECT_ARITH_H
+#define SMLIR_DIALECT_ARITH_H
+
+#include "ir/Builders.h"
+#include "ir/OpDefinition.h"
+
+#include <optional>
+
+namespace smlir {
+namespace arith {
+
+//===----------------------------------------------------------------------===//
+// ConstantOp
+//===----------------------------------------------------------------------===//
+
+/// Materializes a compile-time constant from its `value` attribute.
+class ConstantOp : public OpBase<ConstantOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "arith.constant"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Attribute Value);
+
+  Attribute getValue() const { return TheOp->getAttr("value"); }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// Convenience constant builders.
+Value createIndexConstant(OpBuilder &Builder, Location Loc, int64_t Value);
+Value createIntConstant(OpBuilder &Builder, Location Loc, Type Ty,
+                        int64_t Value);
+Value createFloatConstant(OpBuilder &Builder, Location Loc, Type Ty,
+                          double Value);
+Value createBoolConstant(OpBuilder &Builder, Location Loc, bool Value);
+
+//===----------------------------------------------------------------------===//
+// Binary operations
+//===----------------------------------------------------------------------===//
+
+/// Declares a same-type binary arithmetic op wrapper class.
+#define SMLIR_DECLARE_BINARY_OP(ClassName, OpName)                            \
+  class ClassName : public OpBase<ClassName> {                                \
+  public:                                                                     \
+    using OpBase::OpBase;                                                     \
+    static constexpr const char *getOperationName() { return OpName; }        \
+    static void build(OpBuilder &Builder, OperationState &State, Value Lhs,   \
+                      Value Rhs) {                                            \
+      State.addOperands({Lhs, Rhs});                                          \
+      State.addType(Lhs.getType());                                           \
+    }                                                                         \
+    Value getLhs() const { return TheOp->getOperand(0); }                     \
+    Value getRhs() const { return TheOp->getOperand(1); }                     \
+  };
+
+SMLIR_DECLARE_BINARY_OP(AddIOp, "arith.addi")
+SMLIR_DECLARE_BINARY_OP(SubIOp, "arith.subi")
+SMLIR_DECLARE_BINARY_OP(MulIOp, "arith.muli")
+SMLIR_DECLARE_BINARY_OP(DivSIOp, "arith.divsi")
+SMLIR_DECLARE_BINARY_OP(RemSIOp, "arith.remsi")
+SMLIR_DECLARE_BINARY_OP(AndIOp, "arith.andi")
+SMLIR_DECLARE_BINARY_OP(OrIOp, "arith.ori")
+SMLIR_DECLARE_BINARY_OP(XOrIOp, "arith.xori")
+SMLIR_DECLARE_BINARY_OP(MinSIOp, "arith.minsi")
+SMLIR_DECLARE_BINARY_OP(MaxSIOp, "arith.maxsi")
+SMLIR_DECLARE_BINARY_OP(AddFOp, "arith.addf")
+SMLIR_DECLARE_BINARY_OP(SubFOp, "arith.subf")
+SMLIR_DECLARE_BINARY_OP(MulFOp, "arith.mulf")
+SMLIR_DECLARE_BINARY_OP(DivFOp, "arith.divf")
+SMLIR_DECLARE_BINARY_OP(MinFOp, "arith.minf")
+SMLIR_DECLARE_BINARY_OP(MaxFOp, "arith.maxf")
+
+#undef SMLIR_DECLARE_BINARY_OP
+
+//===----------------------------------------------------------------------===//
+// Unary operations and casts
+//===----------------------------------------------------------------------===//
+
+/// Declares a unary op wrapper whose result type equals the operand type.
+#define SMLIR_DECLARE_UNARY_OP(ClassName, OpName)                             \
+  class ClassName : public OpBase<ClassName> {                                \
+  public:                                                                     \
+    using OpBase::OpBase;                                                     \
+    static constexpr const char *getOperationName() { return OpName; }        \
+    static void build(OpBuilder &Builder, OperationState &State,              \
+                      Value Operand) {                                        \
+      State.addOperand(Operand);                                              \
+      State.addType(Operand.getType());                                       \
+    }                                                                         \
+    Value getOperand() const { return TheOp->getOperand(0); }                 \
+  };
+
+SMLIR_DECLARE_UNARY_OP(NegFOp, "arith.negf")
+
+/// Declares a cast op wrapper whose result type is given at build time.
+#define SMLIR_DECLARE_CAST_OP(ClassName, OpName)                              \
+  class ClassName : public OpBase<ClassName> {                                \
+  public:                                                                     \
+    using OpBase::OpBase;                                                     \
+    static constexpr const char *getOperationName() { return OpName; }        \
+    static void build(OpBuilder &Builder, OperationState &State,              \
+                      Value Operand, Type ResultTy) {                         \
+      State.addOperand(Operand);                                              \
+      State.addType(ResultTy);                                                \
+    }                                                                         \
+    Value getOperand() const { return TheOp->getOperand(0); }                 \
+  };
+
+SMLIR_DECLARE_CAST_OP(IndexCastOp, "arith.index_cast")
+SMLIR_DECLARE_CAST_OP(SIToFPOp, "arith.sitofp")
+SMLIR_DECLARE_CAST_OP(FPToSIOp, "arith.fptosi")
+SMLIR_DECLARE_CAST_OP(ExtSIOp, "arith.extsi")
+SMLIR_DECLARE_CAST_OP(TruncIOp, "arith.trunci")
+
+#undef SMLIR_DECLARE_CAST_OP
+
+//===----------------------------------------------------------------------===//
+// Comparisons and select
+//===----------------------------------------------------------------------===//
+
+/// Integer comparison predicates (also used for index values).
+enum class CmpIPredicate { eq, ne, slt, sle, sgt, sge };
+
+/// Float comparison predicates (ordered comparisons).
+enum class CmpFPredicate { oeq, one, olt, ole, ogt, oge };
+
+std::string_view stringifyCmpIPredicate(CmpIPredicate Pred);
+std::optional<CmpIPredicate> parseCmpIPredicate(std::string_view Str);
+std::string_view stringifyCmpFPredicate(CmpFPredicate Pred);
+std::optional<CmpFPredicate> parseCmpFPredicate(std::string_view Str);
+
+/// Integer/index comparison yielding i1.
+class CmpIOp : public OpBase<CmpIOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "arith.cmpi"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    CmpIPredicate Pred, Value Lhs, Value Rhs);
+
+  CmpIPredicate getPredicate() const;
+  Value getLhs() const { return TheOp->getOperand(0); }
+  Value getRhs() const { return TheOp->getOperand(1); }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// Float comparison yielding i1.
+class CmpFOp : public OpBase<CmpFOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "arith.cmpf"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    CmpFPredicate Pred, Value Lhs, Value Rhs);
+
+  CmpFPredicate getPredicate() const;
+  Value getLhs() const { return TheOp->getOperand(0); }
+  Value getRhs() const { return TheOp->getOperand(1); }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// Ternary select: `cond ? trueValue : falseValue`.
+class SelectOp : public OpBase<SelectOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "arith.select"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Value Condition, Value TrueValue, Value FalseValue);
+
+  Value getCondition() const { return TheOp->getOperand(0); }
+  Value getTrueValue() const { return TheOp->getOperand(1); }
+  Value getFalseValue() const { return TheOp->getOperand(2); }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// Registers the arith dialect (with folders).
+void registerArithDialect(MLIRContext &Context);
+
+} // namespace arith
+
+namespace math {
+
+#define SMLIR_DECLARE_MATH_OP(ClassName, OpName)                              \
+  class ClassName : public OpBase<ClassName> {                                \
+  public:                                                                     \
+    using OpBase::OpBase;                                                     \
+    static constexpr const char *getOperationName() { return OpName; }        \
+    static void build(OpBuilder &Builder, OperationState &State,              \
+                      Value Operand) {                                        \
+      State.addOperand(Operand);                                              \
+      State.addType(Operand.getType());                                       \
+    }                                                                         \
+    Value getOperand() const { return TheOp->getOperand(0); }                 \
+  };
+
+SMLIR_DECLARE_MATH_OP(SqrtOp, "math.sqrt")
+SMLIR_DECLARE_MATH_OP(ExpOp, "math.exp")
+SMLIR_DECLARE_MATH_OP(FAbsOp, "math.fabs")
+
+#undef SMLIR_DECLARE_MATH_OP
+
+/// Registers the math dialect.
+void registerMathDialect(MLIRContext &Context);
+
+} // namespace math
+
+/// If \p Val is defined by an integer-typed arith.constant, returns its
+/// value.
+std::optional<int64_t> getConstantIntValue(Value Val);
+
+/// If \p Val is defined by a float-typed arith.constant, returns its value.
+std::optional<double> getConstantFloatValue(Value Val);
+
+} // namespace smlir
+
+#endif // SMLIR_DIALECT_ARITH_H

@@ -1,0 +1,178 @@
+//===- Builtin.cpp - Builtin and func dialects ------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Builtin.h"
+
+#include "ir/Block.h"
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// ModuleOp
+//===----------------------------------------------------------------------===//
+
+void ModuleOp::build(OpBuilder &Builder, OperationState &State,
+                     std::string_view Name) {
+  if (!Name.empty())
+    State.addAttribute("sym_name",
+                       StringAttr::get(Builder.getContext(), Name));
+  State.addRegion();
+}
+
+ModuleOp ModuleOp::create(MLIRContext *Context, std::string_view Name) {
+  OpBuilder Builder(Context);
+  OperationState State(Location::unknown(Context), getOperationName());
+  build(Builder, State, Name);
+  Operation *Op = Operation::create(Context, State);
+  Op->getRegion(0).getOrCreateEntryBlock();
+  return ModuleOp(Op);
+}
+
+Operation *ModuleOp::lookupSymbol(std::string_view Name) const {
+  for (Operation *Op : *getBody()) {
+    auto SymName = Op->getAttrOfType<StringAttr>("sym_name");
+    if (SymName && SymName.getValue() == Name)
+      return Op;
+  }
+  return nullptr;
+}
+
+Operation *ModuleOp::lookupSymbol(SymbolRefAttr Ref) const {
+  Operation *Current = getOperation();
+  const auto &Path = Ref.getPath();
+  for (size_t I = 0; I < Path.size(); ++I) {
+    auto Module = ModuleOp::dyn_cast(Current);
+    if (!Module)
+      return nullptr;
+    Current = Module.lookupSymbol(Path[I]);
+    if (!Current)
+      return nullptr;
+  }
+  return Current;
+}
+
+LogicalResult ModuleOp::verifyOp(Operation *Op) {
+  if (Op->getNumRegions() != 1 || Op->getNumResults() != 0 ||
+      Op->getNumOperands() != 0)
+    return failure();
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// FuncOp
+//===----------------------------------------------------------------------===//
+
+void FuncOp::build(OpBuilder &Builder, OperationState &State,
+                   std::string_view Name, FunctionType Ty) {
+  State.addAttribute("sym_name", StringAttr::get(Builder.getContext(), Name));
+  State.addAttribute("function_type", TypeAttr::get(Ty));
+  State.addRegion();
+}
+
+Block *FuncOp::addEntryBlock() {
+  assert(isDeclaration() && "function already has a body");
+  Block &Entry = TheOp->getRegion(0).emplaceBlock();
+  for (Type Input : getFunctionType().getInputs())
+    Entry.addArgument(Input);
+  return &Entry;
+}
+
+void FuncOp::eraseArgument(unsigned Index) {
+  FunctionType Ty = getFunctionType();
+  std::vector<Type> Inputs = Ty.getInputs();
+  assert(Index < Inputs.size() && "argument index out of range");
+  Inputs.erase(Inputs.begin() + Index);
+  setFunctionType(
+      FunctionType::get(getContext(), std::move(Inputs), Ty.getResults()));
+  if (!isDeclaration())
+    getEntryBlock()->eraseArgument(Index);
+}
+
+LogicalResult FuncOp::verifyOp(Operation *Op) {
+  auto TyAttr = Op->getAttrOfType<TypeAttr>("function_type");
+  if (!TyAttr || !TyAttr.getValue().isa<FunctionType>())
+    return failure();
+  if (!Op->getAttrOfType<StringAttr>("sym_name"))
+    return failure();
+  FuncOp Func = FuncOp::cast(Op);
+  if (Func.isDeclaration())
+    return success();
+  auto FuncTy = TyAttr.getValue().cast<FunctionType>();
+  Block *Entry = Func.getEntryBlock();
+  if (Entry->getNumArguments() != FuncTy.getNumInputs())
+    return failure();
+  for (unsigned I = 0, E = FuncTy.getNumInputs(); I != E; ++I)
+    if (Entry->getArgument(I).getType() != FuncTy.getInput(I))
+      return failure();
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// ReturnOp
+//===----------------------------------------------------------------------===//
+
+void ReturnOp::build(OpBuilder &Builder, OperationState &State,
+                     const std::vector<Value> &Operands) {
+  State.addOperands(Operands);
+}
+
+LogicalResult ReturnOp::verifyOp(Operation *Op) {
+  auto Func = FuncOp::dyn_cast(Op->getParentOp());
+  if (!Func)
+    return failure();
+  FunctionType FuncTy = Func.getFunctionType();
+  if (Op->getNumOperands() != FuncTy.getNumResults())
+    return failure();
+  for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+    if (Op->getOperand(I).getType() != FuncTy.getResult(I))
+      return failure();
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// CallOp
+//===----------------------------------------------------------------------===//
+
+void CallOp::build(OpBuilder &Builder, OperationState &State,
+                   std::string_view Callee,
+                   const std::vector<Value> &Operands,
+                   const std::vector<Type> &Results) {
+  State.addAttribute("callee",
+                     SymbolRefAttr::get(Builder.getContext(), Callee));
+  State.addOperands(Operands);
+  State.addTypes(Results);
+}
+
+FuncOp CallOp::resolveCallee(ModuleOp Scope) const {
+  return FuncOp::dyn_cast(Scope.lookupSymbol(getCallee()));
+}
+
+LogicalResult CallOp::verifyOp(Operation *Op) {
+  return success(Op->getAttrOfType<SymbolRefAttr>("callee") ? true : false);
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+void smlir::registerBuiltinDialect(MLIRContext &Context) {
+  auto *BuiltinDialect =
+      Context.registerDialect(std::make_unique<Dialect>("builtin", &Context));
+  auto *FuncDialect =
+      Context.registerDialect(std::make_unique<Dialect>("func", &Context));
+
+  registerOp<ModuleOp>(Context, BuiltinDialect,
+                       {traits(OpTrait::IsolatedFromAbove, OpTrait::Symbol,
+                               OpTrait::SymbolTable,
+                               OpTrait::RecursiveMemoryEffects),
+                        &ModuleOp::verifyOp});
+  registerOp<FuncOp>(Context, FuncDialect,
+                     {traits(OpTrait::IsolatedFromAbove, OpTrait::Symbol),
+                      &FuncOp::verifyOp});
+  registerOp<ReturnOp>(Context, FuncDialect,
+                       {traits(OpTrait::IsTerminator), &ReturnOp::verifyOp});
+  registerOp<CallOp>(Context, FuncDialect, {0, &CallOp::verifyOp});
+}

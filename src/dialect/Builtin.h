@@ -1,0 +1,150 @@
+//===- Builtin.h - Builtin and func dialects --------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The builtin dialect (`builtin.module`) and func dialect (`func.func`,
+/// `func.return`, `func.call`), plus symbol-table lookup helpers. Modules
+/// can nest: the joint host+device representation stores device kernels in
+/// a nested module named `kernels` (paper Listing 9: `@kernels::@K`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_DIALECT_BUILTIN_H
+#define SMLIR_DIALECT_BUILTIN_H
+
+#include "ir/Builders.h"
+#include "ir/OpDefinition.h"
+
+namespace smlir {
+
+//===----------------------------------------------------------------------===//
+// ModuleOp
+//===----------------------------------------------------------------------===//
+
+/// A (possibly named) container of functions and nested modules.
+class ModuleOp : public OpBase<ModuleOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "builtin.module"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    std::string_view Name = "");
+
+  /// Creates a detached module (the usual top-level entry point).
+  static ModuleOp create(MLIRContext *Context, std::string_view Name = "");
+
+  Block *getBody() const {
+    return &TheOp->getRegion(0).getOrCreateEntryBlock();
+  }
+
+  std::string getName() const {
+    auto Attr = TheOp->getAttrOfType<StringAttr>("sym_name");
+    return Attr ? Attr.getValue() : std::string();
+  }
+
+  /// Finds the operation defining symbol \p Name directly in this module.
+  Operation *lookupSymbol(std::string_view Name) const;
+
+  /// Resolves a (possibly nested) symbol reference such as
+  /// `@kernels::@K` starting at this module.
+  Operation *lookupSymbol(SymbolRefAttr Ref) const;
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+//===----------------------------------------------------------------------===//
+// FuncOp
+//===----------------------------------------------------------------------===//
+
+/// A named function with a single-region body (empty for declarations).
+class FuncOp : public OpBase<FuncOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "func.func"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    std::string_view Name, FunctionType Ty);
+
+  std::string getName() const {
+    return TheOp->getAttrOfType<StringAttr>("sym_name").getValue();
+  }
+  FunctionType getFunctionType() const {
+    return TheOp->getAttrOfType<TypeAttr>("function_type")
+        .getValue()
+        .cast<FunctionType>();
+  }
+  void setFunctionType(FunctionType Ty) {
+    TheOp->setAttr("function_type", TypeAttr::get(Ty));
+  }
+
+  bool isDeclaration() const { return TheOp->getRegion(0).empty(); }
+  Region &getBody() const { return TheOp->getRegion(0); }
+
+  /// Creates the entry block with arguments matching the signature.
+  Block *addEntryBlock();
+
+  Block *getEntryBlock() const { return &TheOp->getRegion(0).front(); }
+  unsigned getNumArguments() const {
+    return getFunctionType().getNumInputs();
+  }
+  Value getArgument(unsigned Index) const {
+    return getEntryBlock()->getArgument(Index);
+  }
+
+  /// Erases argument \p Index from both the signature and the entry block
+  /// (the block argument must be unused).
+  void eraseArgument(unsigned Index);
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+//===----------------------------------------------------------------------===//
+// ReturnOp
+//===----------------------------------------------------------------------===//
+
+/// Function terminator returning zero or more values.
+class ReturnOp : public OpBase<ReturnOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "func.return"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    const std::vector<Value> &Operands = {});
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+//===----------------------------------------------------------------------===//
+// CallOp
+//===----------------------------------------------------------------------===//
+
+/// Direct call to a function declared in the nearest symbol table.
+class CallOp : public OpBase<CallOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "func.call"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    std::string_view Callee,
+                    const std::vector<Value> &Operands,
+                    const std::vector<Type> &Results);
+
+  std::string getCallee() const {
+    return TheOp->getAttrOfType<SymbolRefAttr>("callee").getLeafReference();
+  }
+
+  /// Resolves the callee function within \p Scope (a module).
+  FuncOp resolveCallee(ModuleOp Scope) const;
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// Registers the builtin and func dialects.
+void registerBuiltinDialect(MLIRContext &Context);
+
+} // namespace smlir
+
+#endif // SMLIR_DIALECT_BUILTIN_H

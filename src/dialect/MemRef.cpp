@@ -1,0 +1,67 @@
+//===- MemRef.cpp - MemRef dialect ------------------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/MemRef.h"
+
+using namespace smlir;
+using namespace smlir::memref;
+
+LogicalResult AllocaOp::verifyOp(Operation *Op) {
+  if (Op->getNumResults() != 1 || Op->getNumOperands() != 0)
+    return failure();
+  auto Ty = Op->getResultType(0).dyn_cast<MemRefType>();
+  return success(Ty && Ty.hasStaticShape());
+}
+
+void AllocaOp::getEffects(Operation *Op,
+                          std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Allocate, Op->getResult(0)});
+}
+
+LogicalResult LoadOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() < 1 || Op->getNumResults() != 1)
+    return failure();
+  auto Ty = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+  if (!Ty)
+    return failure();
+  if (Op->getNumOperands() - 1 != Ty.getRank())
+    return failure();
+  for (unsigned I = 1, E = Op->getNumOperands(); I != E; ++I)
+    if (!Op->getOperand(I).getType().isIntOrIndex())
+      return failure();
+  return success(Op->getResultType(0) == Ty.getElementType());
+}
+
+void LoadOp::getEffects(Operation *Op, std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Read, Op->getOperand(0)});
+}
+
+LogicalResult StoreOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() < 2 || Op->getNumResults() != 0)
+    return failure();
+  auto Ty = Op->getOperand(1).getType().dyn_cast<MemRefType>();
+  if (!Ty)
+    return failure();
+  if (Op->getNumOperands() - 2 != Ty.getRank())
+    return failure();
+  return success(Op->getOperand(0).getType() == Ty.getElementType());
+}
+
+void StoreOp::getEffects(Operation *Op, std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Write, Op->getOperand(1)});
+}
+
+void memref::registerMemRefDialect(MLIRContext &Context) {
+  auto *MemRefDialect =
+      Context.registerDialect(std::make_unique<Dialect>("memref", &Context));
+  registerOp<AllocaOp>(Context, MemRefDialect,
+                       {0, &AllocaOp::verifyOp, nullptr,
+                        &AllocaOp::getEffects});
+  registerOp<LoadOp>(Context, MemRefDialect,
+                     {0, &LoadOp::verifyOp, nullptr, &LoadOp::getEffects});
+  registerOp<StoreOp>(Context, MemRefDialect,
+                      {0, &StoreOp::verifyOp, nullptr, &StoreOp::getEffects});
+}

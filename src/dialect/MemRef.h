@@ -1,0 +1,96 @@
+//===- MemRef.h - MemRef dialect --------------------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memref dialect: stack allocation and memory access on shaped memory
+/// references. The memory space of a memref models the SYCL memory
+/// hierarchy (global / local / private, paper §II-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_DIALECT_MEMREF_H
+#define SMLIR_DIALECT_MEMREF_H
+
+#include "ir/Builders.h"
+#include "ir/OpDefinition.h"
+
+namespace smlir {
+namespace memref {
+
+/// Allocates private (or, in kernels, work-group local) memory with a
+/// static shape.
+class AllocaOp : public OpBase<AllocaOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "memref.alloca"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    MemRefType Ty) {
+    State.addType(Ty);
+  }
+
+  MemRefType getType() const {
+    return TheOp->getResultType(0).cast<MemRefType>();
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Loads an element: `memref.load %ref[%i, %j]`.
+class LoadOp : public OpBase<LoadOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "memref.load"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value MemRef,
+                    const std::vector<Value> &Indices) {
+    State.addOperand(MemRef);
+    State.addOperands(Indices);
+    State.addType(MemRef.getType().cast<MemRefType>().getElementType());
+  }
+
+  Value getMemRef() const { return TheOp->getOperand(0); }
+  std::vector<Value> getIndices() const {
+    std::vector<Value> Operands = TheOp->getOperands();
+    return std::vector<Value>(Operands.begin() + 1, Operands.end());
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Stores an element: `memref.store %v, %ref[%i, %j]`.
+class StoreOp : public OpBase<StoreOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "memref.store"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value ToStore,
+                    Value MemRef, const std::vector<Value> &Indices) {
+    State.addOperand(ToStore);
+    State.addOperand(MemRef);
+    State.addOperands(Indices);
+  }
+
+  Value getValueToStore() const { return TheOp->getOperand(0); }
+  Value getMemRef() const { return TheOp->getOperand(1); }
+  std::vector<Value> getIndices() const {
+    std::vector<Value> Operands = TheOp->getOperands();
+    return std::vector<Value>(Operands.begin() + 2, Operands.end());
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Registers the memref dialect.
+void registerMemRefDialect(MLIRContext &Context);
+
+} // namespace memref
+} // namespace smlir
+
+#endif // SMLIR_DIALECT_MEMREF_H

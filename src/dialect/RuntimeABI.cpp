@@ -1,0 +1,247 @@
+//===- RuntimeABI.cpp - Simulated DPC++ runtime ABI --------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/RuntimeABI.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace smlir;
+using namespace smlir::abi;
+
+/// Itanium-style one-letter mangling of element types.
+static char mangleElem(Type Ty) {
+  if (Ty.isF32())
+    return 'f';
+  if (Ty.isF64())
+    return 'd';
+  if (Ty.isInteger(32))
+    return 'i';
+  if (Ty.isInteger(64))
+    return 'l';
+  return 'v';
+}
+
+static Type demangleElem(MLIRContext *Context, char C) {
+  switch (C) {
+  case 'f':
+    return FloatType::get(Context, 32);
+  case 'd':
+    return FloatType::get(Context, 64);
+  case 'i':
+    return IntegerType::get(Context, 32);
+  case 'l':
+    return IntegerType::get(Context, 64);
+  default:
+    return Type();
+  }
+}
+
+/// SYCL 2020 access_mode enumerator values (as they appear in mangled
+/// DPC++ symbols).
+static unsigned mangleMode(sycl::AccessMode Mode) {
+  switch (Mode) {
+  case sycl::AccessMode::Read:
+    return 1024;
+  case sycl::AccessMode::Write:
+    return 1025;
+  case sycl::AccessMode::ReadWrite:
+    return 1026;
+  }
+  return 1026;
+}
+
+static std::optional<sycl::AccessMode> demangleMode(unsigned Value) {
+  switch (Value) {
+  case 1024:
+    return sycl::AccessMode::Read;
+  case 1025:
+    return sycl::AccessMode::Write;
+  case 1026:
+    return sycl::AccessMode::ReadWrite;
+  default:
+    return std::nullopt;
+  }
+}
+
+std::string abi::rangeCtor(unsigned Dim) {
+  std::string Name = "_ZN4sycl3_V15rangeILi" + std::to_string(Dim) + "EEC2E";
+  for (unsigned I = 0; I < Dim; ++I)
+    Name += 'm';
+  return Name;
+}
+
+std::string abi::idCtor(unsigned Dim) {
+  std::string Name = "_ZN4sycl3_V12idILi" + std::to_string(Dim) + "EEC2E";
+  for (unsigned I = 0; I < Dim; ++I)
+    Name += 'm';
+  return Name;
+}
+
+std::string abi::bufferCtor(unsigned Dim, Type ElementType) {
+  return std::string("_ZN4sycl3_V16bufferI") + mangleElem(ElementType) +
+         "Li" + std::to_string(Dim) + "EEC2EPvRKNS0_5rangeILi" +
+         std::to_string(Dim) + "EEE";
+}
+
+std::string abi::accessorCtor(unsigned Dim, Type ElementType,
+                              sycl::AccessMode Mode) {
+  return std::string("_ZN4sycl3_V18accessorI") + mangleElem(ElementType) +
+         "Li" + std::to_string(Dim) + "ELNS0_6access4modeE" +
+         std::to_string(mangleMode(Mode)) + "EEC2ERNS0_6bufferI" +
+         mangleElem(ElementType) + "Li" + std::to_string(Dim) +
+         "EEERNS0_7handlerE";
+}
+
+std::string abi::localAccessorCtor(unsigned Dim, Type ElementType) {
+  return std::string("_ZN4sycl3_V114local_accessorI") +
+         mangleElem(ElementType) + "Li" + std::to_string(Dim) +
+         "EEC2ERKNS0_5rangeILi" + std::to_string(Dim) + "EEERNS0_7handlerE";
+}
+
+std::string abi::parallelFor(std::string_view KernelName, unsigned Dim,
+                             bool IsNDRange) {
+  std::string Name = "_ZN4sycl3_V17handler12parallel_forIZ";
+  Name += std::to_string(KernelName.size());
+  Name += KernelName;
+  Name += "EEv";
+  Name += IsNDRange ? "NS0_8nd_rangeILi" : "NS0_5rangeILi";
+  Name += std::to_string(Dim);
+  Name += "EEE";
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal cursor over a mangled name.
+struct Cursor {
+  std::string_view Text;
+
+  bool consume(std::string_view Prefix) {
+    if (!Text.starts_with(Prefix))
+      return false;
+    Text.remove_prefix(Prefix.size());
+    return true;
+  }
+
+  std::optional<unsigned> number() {
+    size_t Len = 0;
+    while (Len < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Len])))
+      ++Len;
+    if (Len == 0)
+      return std::nullopt;
+    unsigned Value = std::strtoul(std::string(Text.substr(0, Len)).c_str(),
+                                  nullptr, 10);
+    Text.remove_prefix(Len);
+    return Value;
+  }
+
+  std::optional<char> one() {
+    if (Text.empty())
+      return std::nullopt;
+    char C = Text.front();
+    Text.remove_prefix(1);
+    return C;
+  }
+};
+
+} // namespace
+
+CallInfo abi::parseCallee(MLIRContext *Context, std::string_view Name) {
+  CallInfo Info;
+  Cursor C{Name};
+  if (!C.consume("_ZN4sycl3_V1"))
+    return Info;
+
+  if (C.consume("5rangeILi")) {
+    auto Dim = C.number();
+    if (!Dim || !C.consume("EEC2E"))
+      return Info;
+    Info.CallKind = CallInfo::Kind::RangeCtor;
+    Info.Dim = *Dim;
+    return Info;
+  }
+  if (C.consume("2idILi")) {
+    auto Dim = C.number();
+    if (!Dim || !C.consume("EEC2E"))
+      return Info;
+    Info.CallKind = CallInfo::Kind::IDCtor;
+    Info.Dim = *Dim;
+    return Info;
+  }
+  if (C.consume("6bufferI")) {
+    auto Elem = C.one();
+    if (!Elem || !C.consume("Li"))
+      return Info;
+    auto Dim = C.number();
+    if (!Dim)
+      return Info;
+    Info.ElementType = demangleElem(Context, *Elem);
+    if (!Info.ElementType)
+      return Info;
+    Info.CallKind = CallInfo::Kind::BufferCtor;
+    Info.Dim = *Dim;
+    return Info;
+  }
+  if (C.consume("8accessorI")) {
+    auto Elem = C.one();
+    if (!Elem || !C.consume("Li"))
+      return Info;
+    auto Dim = C.number();
+    if (!Dim || !C.consume("ELNS0_6access4modeE"))
+      return Info;
+    auto ModeValue = C.number();
+    if (!ModeValue)
+      return Info;
+    auto Mode = demangleMode(*ModeValue);
+    Info.ElementType = demangleElem(Context, *Elem);
+    if (!Mode || !Info.ElementType)
+      return Info;
+    Info.CallKind = CallInfo::Kind::AccessorCtor;
+    Info.Dim = *Dim;
+    Info.Mode = *Mode;
+    return Info;
+  }
+  if (C.consume("14local_accessorI")) {
+    auto Elem = C.one();
+    if (!Elem || !C.consume("Li"))
+      return Info;
+    auto Dim = C.number();
+    if (!Dim)
+      return Info;
+    Info.ElementType = demangleElem(Context, *Elem);
+    if (!Info.ElementType)
+      return Info;
+    Info.CallKind = CallInfo::Kind::LocalAccessorCtor;
+    Info.Dim = *Dim;
+    return Info;
+  }
+  if (C.consume("7handler12parallel_forIZ")) {
+    auto NameLen = C.number();
+    if (!NameLen || C.Text.size() < *NameLen)
+      return Info;
+    Info.KernelName = std::string(C.Text.substr(0, *NameLen));
+    C.Text.remove_prefix(*NameLen);
+    if (!C.consume("EEv"))
+      return Info;
+    if (C.consume("NS0_8nd_rangeILi"))
+      Info.IsNDRange = true;
+    else if (!C.consume("NS0_5rangeILi"))
+      return Info;
+    auto Dim = C.number();
+    if (!Dim)
+      return Info;
+    Info.CallKind = CallInfo::Kind::ParallelFor;
+    Info.Dim = *Dim;
+    return Info;
+  }
+  return Info;
+}

@@ -1,0 +1,73 @@
+//===- RuntimeABI.h - Simulated DPC++ runtime ABI ---------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The (simulated) DPC++ runtime ABI: mangled symbol names for the SYCL
+/// runtime entry points that appear in LLVM IR produced from SYCL host
+/// code. The frontend's host importer emits `llvm.call`s to these symbols;
+/// the Host Raising pass (paper §VII-A) pattern-matches them back. The
+/// paper notes this coupling explicitly: "changes to SYCL runtime code can
+/// lead to raising pattern matching to fail, forcing this pass to be
+/// up-to-date with runtime changes" — encoding both directions against one
+/// ABI table reproduces that design point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_DIALECT_RUNTIMEABI_H
+#define SMLIR_DIALECT_RUNTIMEABI_H
+
+#include "dialect/SYCL.h"
+
+#include <optional>
+#include <string>
+
+namespace smlir {
+namespace abi {
+
+/// What a runtime call does, recovered from its mangled name.
+struct CallInfo {
+  enum class Kind {
+    RangeCtor,
+    IDCtor,
+    BufferCtor,
+    AccessorCtor,
+    LocalAccessorCtor,
+    ParallelFor,
+    Unknown,
+  };
+
+  Kind CallKind = Kind::Unknown;
+  unsigned Dim = 1;
+  Type ElementType;                 // Buffer/accessor element type.
+  sycl::AccessMode Mode = sycl::AccessMode::ReadWrite;
+  bool IsNDRange = false;           // parallel_for with nd_range.
+  std::string KernelName;           // parallel_for kernel type name.
+};
+
+/// Mangled constructor name for `sycl::range<Dim>`.
+std::string rangeCtor(unsigned Dim);
+/// Mangled constructor name for `sycl::id<Dim>`.
+std::string idCtor(unsigned Dim);
+/// Mangled constructor name for `sycl::buffer<Elem, Dim>`.
+std::string bufferCtor(unsigned Dim, Type ElementType);
+/// Mangled constructor name for `sycl::accessor<Elem, Dim, Mode>`.
+std::string accessorCtor(unsigned Dim, Type ElementType,
+                         sycl::AccessMode Mode);
+/// Mangled constructor name for `sycl::local_accessor<Elem, Dim>`.
+std::string localAccessorCtor(unsigned Dim, Type ElementType);
+/// Mangled name of `sycl::handler::parallel_for<KernelName>` with a
+/// range<Dim> (or nd_range<Dim> when \p IsNDRange).
+std::string parallelFor(std::string_view KernelName, unsigned Dim,
+                        bool IsNDRange);
+
+/// Recovers the call information from a mangled runtime symbol name.
+/// Returns Kind::Unknown for symbols not part of the ABI.
+CallInfo parseCallee(MLIRContext *Context, std::string_view Name);
+
+} // namespace abi
+} // namespace smlir
+
+#endif // SMLIR_DIALECT_RUNTIMEABI_H

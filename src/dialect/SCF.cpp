@@ -1,0 +1,182 @@
+//===- SCF.cpp - Structured control flow and affine dialects ----------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/SCF.h"
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// Shared loop helpers
+//===----------------------------------------------------------------------===//
+
+/// Creates the loop body block (induction variable + iter args) if absent.
+static Block *ensureLoopBody(Operation *Op) {
+  Region &R = Op->getRegion(0);
+  if (!R.empty())
+    return &R.front();
+  Block &Body = R.emplaceBlock();
+  Body.addArgument(IndexType::get(Op->getContext()));
+  for (unsigned I = 3, E = Op->getNumOperands(); I != E; ++I)
+    Body.addArgument(Op->getOperand(I).getType());
+  return &Body;
+}
+
+/// Shared verifier for scf.for / affine.for.
+static LogicalResult verifyLoopOp(Operation *Op, const char *YieldName) {
+  if (Op->getNumOperands() < 3 || Op->getNumRegions() != 1)
+    return failure();
+  for (unsigned I = 0; I < 3; ++I)
+    if (!Op->getOperand(I).getType().isIntOrIndex())
+      return failure();
+  unsigned NumIterArgs = Op->getNumOperands() - 3;
+  if (Op->getNumResults() != NumIterArgs)
+    return failure();
+  for (unsigned I = 0; I != NumIterArgs; ++I)
+    if (Op->getOperand(3 + I).getType() != Op->getResultType(I))
+      return failure();
+  Region &R = Op->getRegion(0);
+  if (R.empty())
+    return failure(); // A loop must have a body.
+  Block &Body = R.front();
+  if (Body.getNumArguments() != 1 + NumIterArgs)
+    return failure();
+  if (!Body.getArgument(0).getType().isIntOrIndex())
+    return failure();
+  Operation *Terminator = Body.getTerminator();
+  if (!Terminator || Terminator->getName().getStringRef() != YieldName)
+    return failure();
+  if (Terminator->getNumOperands() != NumIterArgs)
+    return failure();
+  for (unsigned I = 0; I != NumIterArgs; ++I)
+    if (Terminator->getOperand(I).getType() != Op->getResultType(I))
+      return failure();
+  return success();
+}
+
+static void buildLoopOp(OperationState &State, Value LowerBound,
+                        Value UpperBound, Value Step,
+                        const std::vector<Value> &IterArgs) {
+  State.addOperands({LowerBound, UpperBound, Step});
+  State.addOperands(IterArgs);
+  for (Value Arg : IterArgs)
+    State.addType(Arg.getType());
+  State.addRegion();
+}
+
+//===----------------------------------------------------------------------===//
+// scf dialect
+//===----------------------------------------------------------------------===//
+
+LogicalResult scf::IfOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() != 1 || Op->getNumRegions() != 2)
+    return failure();
+  if (!Op->getOperand(0).getType().isInteger(1))
+    return failure();
+  // Results require both branches to yield matching values.
+  for (unsigned RI = 0; RI < 2; ++RI) {
+    Region &R = Op->getRegion(RI);
+    if (R.empty()) {
+      if (Op->getNumResults() > 0)
+        return failure();
+      continue;
+    }
+    Operation *Terminator = R.front().getTerminator();
+    if (!Terminator ||
+        Terminator->getName().getStringRef() != YieldOp::getOperationName())
+      return failure();
+    if (Terminator->getNumOperands() != Op->getNumResults())
+      return failure();
+    for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+      if (Terminator->getOperand(I).getType() != Op->getResultType(I))
+        return failure();
+  }
+  return success();
+}
+
+void scf::ForOp::build(OpBuilder &Builder, OperationState &State,
+                       Value LowerBound, Value UpperBound, Value Step,
+                       const std::vector<Value> &IterArgs) {
+  buildLoopOp(State, LowerBound, UpperBound, Step, IterArgs);
+}
+
+Block *scf::ForOp::getBody() const { return ensureLoopBody(TheOp); }
+
+LogicalResult scf::ForOp::verifyOp(Operation *Op) {
+  return verifyLoopOp(Op, YieldOp::getOperationName());
+}
+
+void scf::registerSCFDialect(MLIRContext &Context) {
+  auto *SCFDialect =
+      Context.registerDialect(std::make_unique<Dialect>("scf", &Context));
+  registerOp<scf::YieldOp>(Context, SCFDialect,
+                           {traits(OpTrait::IsTerminator)});
+  registerOp<scf::IfOp>(Context, SCFDialect,
+                        {traits(OpTrait::RecursiveMemoryEffects),
+                         &scf::IfOp::verifyOp});
+  registerOp<scf::ForOp>(Context, SCFDialect,
+                         {traits(OpTrait::RecursiveMemoryEffects),
+                          &scf::ForOp::verifyOp});
+}
+
+//===----------------------------------------------------------------------===//
+// affine dialect
+//===----------------------------------------------------------------------===//
+
+void affine::AffineForOp::build(OpBuilder &Builder, OperationState &State,
+                                Value LowerBound, Value UpperBound,
+                                Value Step,
+                                const std::vector<Value> &IterArgs) {
+  buildLoopOp(State, LowerBound, UpperBound, Step, IterArgs);
+}
+
+Block *affine::AffineForOp::getBody() const { return ensureLoopBody(TheOp); }
+
+LogicalResult affine::AffineForOp::verifyOp(Operation *Op) {
+  return verifyLoopOp(Op, AffineYieldOp::getOperationName());
+}
+
+void affine::AffineLoadOp::getEffects(Operation *Op,
+                                      std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Read, Op->getOperand(0)});
+}
+
+void affine::AffineStoreOp::getEffects(Operation *Op,
+                                       std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Write, Op->getOperand(1)});
+}
+
+void affine::registerAffineDialect(MLIRContext &Context) {
+  auto *AffineDialect =
+      Context.registerDialect(std::make_unique<Dialect>("affine", &Context));
+  registerOp<affine::AffineYieldOp>(Context, AffineDialect,
+                                    {traits(OpTrait::IsTerminator)});
+  registerOp<affine::AffineForOp>(Context, AffineDialect,
+                                  {traits(OpTrait::RecursiveMemoryEffects),
+                                   &affine::AffineForOp::verifyOp});
+  registerOp<affine::AffineLoadOp>(Context, AffineDialect,
+                                   {0, nullptr, nullptr,
+                                    &affine::AffineLoadOp::getEffects});
+  registerOp<affine::AffineStoreOp>(Context, AffineDialect,
+                                    {0, nullptr, nullptr,
+                                     &affine::AffineStoreOp::getEffects});
+}
+
+//===----------------------------------------------------------------------===//
+// LoopLikeOp
+//===----------------------------------------------------------------------===//
+
+Block *smlir::LoopLikeOp::getBody() const { return ensureLoopBody(TheOp); }
+
+bool smlir::LoopLikeOp::isDefinedOutsideOfLoop(Value Val) const {
+  Block *DefBlock = Val.getParentBlock();
+  for (Block *B = DefBlock; B; ) {
+    Operation *Parent = B->getParentOp();
+    if (Parent == TheOp)
+      return false;
+    B = Parent ? Parent->getBlock() : nullptr;
+  }
+  return true;
+}

@@ -1,0 +1,272 @@
+//===- SCF.h - Structured control flow and affine dialects ------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured control flow (`scf.if`, `scf.for`, `scf.yield`) and the
+/// affine loop dialect (`affine.for`, `affine.yield`, `affine.load`,
+/// `affine.store`) that the paper's listings and optimizations operate on.
+/// Loops carry `iter_args` loop-carried values; the Detect Reduction pass
+/// (paper §VI-B) rewrites memory-based reductions into iter_args form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_DIALECT_SCF_H
+#define SMLIR_DIALECT_SCF_H
+
+#include "ir/Block.h"
+#include "ir/Builders.h"
+#include "ir/OpDefinition.h"
+
+namespace smlir {
+namespace scf {
+
+//===----------------------------------------------------------------------===//
+// YieldOp
+//===----------------------------------------------------------------------===//
+
+/// Terminator yielding values to the parent `scf.if`/`scf.for`.
+class YieldOp : public OpBase<YieldOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "scf.yield"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    const std::vector<Value> &Operands = {}) {
+    State.addOperands(Operands);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// IfOp
+//===----------------------------------------------------------------------===//
+
+/// Structured conditional with optional else region and results.
+class IfOp : public OpBase<IfOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "scf.if"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Value Condition, const std::vector<Type> &Results = {}) {
+    State.addOperand(Condition);
+    State.addTypes(Results);
+    State.addRegions(2);
+  }
+
+  Value getCondition() const { return TheOp->getOperand(0); }
+  Region &getThenRegion() const { return TheOp->getRegion(0); }
+  Region &getElseRegion() const { return TheOp->getRegion(1); }
+
+  /// Returns the then block, creating it on first use.
+  Block *getThenBlock() const {
+    return &getThenRegion().getOrCreateEntryBlock();
+  }
+  bool hasElse() const { return !getElseRegion().empty(); }
+  /// Returns the else block, creating it on first use.
+  Block *getElseBlock() const {
+    return &getElseRegion().getOrCreateEntryBlock();
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+//===----------------------------------------------------------------------===//
+// ForOp
+//===----------------------------------------------------------------------===//
+
+/// Counted loop `for %iv = %lb to %ub step %step iter_args(...)`.
+class ForOp : public OpBase<ForOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "scf.for"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Value LowerBound, Value UpperBound, Value Step,
+                    const std::vector<Value> &IterArgs = {});
+
+  Value getLowerBound() const { return TheOp->getOperand(0); }
+  Value getUpperBound() const { return TheOp->getOperand(1); }
+  Value getStep() const { return TheOp->getOperand(2); }
+  unsigned getNumIterArgs() const { return TheOp->getNumOperands() - 3; }
+  Value getInitArg(unsigned Index) const {
+    return TheOp->getOperand(3 + Index);
+  }
+
+  /// Returns the loop body, creating the block (induction variable + iter
+  /// args) on first use.
+  Block *getBody() const;
+  Value getInductionVar() const { return getBody()->getArgument(0); }
+  Value getRegionIterArg(unsigned Index) const {
+    return getBody()->getArgument(1 + Index);
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// Registers the scf dialect.
+void registerSCFDialect(MLIRContext &Context);
+
+} // namespace scf
+
+namespace affine {
+
+/// Terminator yielding values to the parent `affine.for`.
+class AffineYieldOp : public OpBase<AffineYieldOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "affine.yield"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    const std::vector<Value> &Operands = {}) {
+    State.addOperands(Operands);
+  }
+};
+
+/// Counted affine loop; structurally identical to scf.for but
+/// distinguished so affine passes can anchor on it (paper Listings 3-5).
+class AffineForOp : public OpBase<AffineForOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "affine.for"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Value LowerBound, Value UpperBound, Value Step,
+                    const std::vector<Value> &IterArgs = {});
+
+  Value getLowerBound() const { return TheOp->getOperand(0); }
+  Value getUpperBound() const { return TheOp->getOperand(1); }
+  Value getStep() const { return TheOp->getOperand(2); }
+  unsigned getNumIterArgs() const { return TheOp->getNumOperands() - 3; }
+  Value getInitArg(unsigned Index) const {
+    return TheOp->getOperand(3 + Index);
+  }
+
+  Block *getBody() const;
+  Value getInductionVar() const { return getBody()->getArgument(0); }
+  Value getRegionIterArg(unsigned Index) const {
+    return getBody()->getArgument(1 + Index);
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// Affine element load; same semantics as memref.load.
+class AffineLoadOp : public OpBase<AffineLoadOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "affine.load"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value MemRef,
+                    const std::vector<Value> &Indices) {
+    State.addOperand(MemRef);
+    State.addOperands(Indices);
+    State.addType(MemRef.getType().cast<MemRefType>().getElementType());
+  }
+
+  Value getMemRef() const { return TheOp->getOperand(0); }
+  std::vector<Value> getIndices() const {
+    std::vector<Value> Operands = TheOp->getOperands();
+    return std::vector<Value>(Operands.begin() + 1, Operands.end());
+  }
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Affine element store; same semantics as memref.store.
+class AffineStoreOp : public OpBase<AffineStoreOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "affine.store"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Value ToStore, Value MemRef,
+                    const std::vector<Value> &Indices) {
+    State.addOperand(ToStore);
+    State.addOperand(MemRef);
+    State.addOperands(Indices);
+  }
+
+  Value getValueToStore() const { return TheOp->getOperand(0); }
+  Value getMemRef() const { return TheOp->getOperand(1); }
+  std::vector<Value> getIndices() const {
+    std::vector<Value> Operands = TheOp->getOperands();
+    return std::vector<Value>(Operands.begin() + 2, Operands.end());
+  }
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Registers the affine dialect.
+void registerAffineDialect(MLIRContext &Context);
+
+} // namespace affine
+
+//===----------------------------------------------------------------------===//
+// LoopLikeOp
+//===----------------------------------------------------------------------===//
+
+/// Uniform view over `scf.for` and `affine.for` (the project's equivalent
+/// of MLIR's LoopLikeOpInterface), used by LICM, Detect Reduction and Loop
+/// Internalization.
+class LoopLikeOp {
+public:
+  LoopLikeOp() = default;
+  /*implicit*/ LoopLikeOp(scf::ForOp Op) : TheOp(Op.getOperation()) {}
+  /*implicit*/ LoopLikeOp(affine::AffineForOp Op)
+      : TheOp(Op.getOperation()) {}
+
+  static bool classof(Operation *Op) {
+    const std::string &Name = Op->getName().getStringRef();
+    return Name == scf::ForOp::getOperationName() ||
+           Name == affine::AffineForOp::getOperationName();
+  }
+  static LoopLikeOp dyn_cast(Operation *Op) {
+    LoopLikeOp Loop;
+    if (Op && classof(Op))
+      Loop.TheOp = Op;
+    return Loop;
+  }
+
+  explicit operator bool() const { return TheOp != nullptr; }
+  Operation *getOperation() const { return TheOp; }
+  Operation *operator->() const { return TheOp; }
+
+  bool isAffine() const {
+    return TheOp->getName().getStringRef() ==
+           affine::AffineForOp::getOperationName();
+  }
+
+  Value getLowerBound() const { return TheOp->getOperand(0); }
+  Value getUpperBound() const { return TheOp->getOperand(1); }
+  Value getStep() const { return TheOp->getOperand(2); }
+  unsigned getNumIterArgs() const { return TheOp->getNumOperands() - 3; }
+  Value getInitArg(unsigned Index) const {
+    return TheOp->getOperand(3 + Index);
+  }
+
+  Block *getBody() const;
+  Value getInductionVar() const { return getBody()->getArgument(0); }
+  Value getRegionIterArg(unsigned Index) const {
+    return getBody()->getArgument(1 + Index);
+  }
+  Operation *getYield() const { return getBody()->getTerminator(); }
+
+  /// True if \p Val is defined outside the loop body.
+  bool isDefinedOutsideOfLoop(Value Val) const;
+
+  /// The yield/terminator op name matching this loop's dialect.
+  const char *getYieldOpName() const {
+    return isAffine() ? affine::AffineYieldOp::getOperationName()
+                      : scf::YieldOp::getOperationName();
+  }
+
+private:
+  Operation *TheOp = nullptr;
+};
+
+} // namespace smlir
+
+#endif // SMLIR_DIALECT_SCF_H

@@ -1,0 +1,579 @@
+//===- SYCL.cpp - SYCL dialect (types, device ops, host ops) ----------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/SYCL.h"
+
+#include "ir/Parser.h"
+
+#include <optional>
+#include <sstream>
+
+using namespace smlir;
+using namespace smlir::sycl;
+
+//===----------------------------------------------------------------------===//
+// Enum helpers
+//===----------------------------------------------------------------------===//
+
+std::string_view sycl::stringifyAccessMode(AccessMode Mode) {
+  switch (Mode) {
+  case AccessMode::Read:
+    return "read";
+  case AccessMode::Write:
+    return "write";
+  case AccessMode::ReadWrite:
+    return "read_write";
+  }
+  return "";
+}
+
+std::string_view sycl::stringifyAccessTarget(AccessTarget Target) {
+  switch (Target) {
+  case AccessTarget::Device:
+    return "device";
+  case AccessTarget::Local:
+    return "local";
+  }
+  return "";
+}
+
+static std::optional<AccessMode> parseAccessMode(std::string_view Str) {
+  if (Str == "read")
+    return AccessMode::Read;
+  if (Str == "write")
+    return AccessMode::Write;
+  if (Str == "read_write")
+    return AccessMode::ReadWrite;
+  return std::nullopt;
+}
+
+static std::optional<AccessTarget> parseAccessTarget(std::string_view Str) {
+  if (Str == "device")
+    return AccessTarget::Device;
+  if (Str == "local")
+    return AccessTarget::Local;
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Type storages
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared storage shape for dimension-only SYCL types; Tag provides the
+/// distinct TypeID per concrete type.
+template <typename Tag>
+struct DimTypeStorage : detail::TypeStorage {
+  DimTypeStorage(MLIRContext *Context, std::string Key, unsigned Dim)
+      : TypeStorage(TypeID::get<DimTypeStorage<Tag>>(), Context,
+                    std::move(Key)),
+        Dim(Dim) {}
+  unsigned Dim;
+};
+
+struct AccessorTypeStorage : detail::TypeStorage {
+  AccessorTypeStorage(MLIRContext *Context, std::string Key, unsigned Dim,
+                      Type ElementType, AccessMode Mode, AccessTarget Target)
+      : TypeStorage(TypeID::get<AccessorTypeStorage>(), Context,
+                    std::move(Key)),
+        Dim(Dim), ElementType(ElementType), Mode(Mode), Target(Target) {}
+  unsigned Dim;
+  Type ElementType;
+  AccessMode Mode;
+  AccessTarget Target;
+};
+
+struct BufferTypeStorage : detail::TypeStorage {
+  BufferTypeStorage(MLIRContext *Context, std::string Key, unsigned Dim,
+                    Type ElementType)
+      : TypeStorage(TypeID::get<BufferTypeStorage>(), Context,
+                    std::move(Key)),
+        Dim(Dim), ElementType(ElementType) {}
+  unsigned Dim;
+  Type ElementType;
+};
+
+struct PtrTypeStorage : detail::TypeStorage {
+  PtrTypeStorage(MLIRContext *Context, std::string Key)
+      : TypeStorage(TypeID::get<PtrTypeStorage>(), Context, std::move(Key)) {}
+};
+
+} // namespace
+
+#define SMLIR_DEFINE_SYCL_DIM_TYPE(ClassName)                                 \
+  namespace {                                                                 \
+  struct ClassName##Tag {};                                                   \
+  }                                                                           \
+  ClassName ClassName::get(MLIRContext *Context, unsigned Dim) {              \
+    assert(Dim >= 1 && Dim <= 3 && "SYCL types are 1-3 dimensional");         \
+    std::string Key = std::string("!sycl.") + getMnemonic() + "<" +           \
+                      std::to_string(Dim) + ">";                              \
+    auto *Storage = Context->getTypeStorage(Key, [&] {                        \
+      return std::make_unique<DimTypeStorage<ClassName##Tag>>(Context, Key,   \
+                                                              Dim);           \
+    });                                                                       \
+    return ClassName(Storage);                                                \
+  }                                                                           \
+  unsigned ClassName::getDim() const {                                        \
+    return static_cast<const DimTypeStorage<ClassName##Tag> *>(Impl)->Dim;    \
+  }                                                                           \
+  bool ClassName::classof(Type Ty) {                                          \
+    return Ty.getTypeID() == TypeID::get<DimTypeStorage<ClassName##Tag>>();   \
+  }
+
+SMLIR_DEFINE_SYCL_DIM_TYPE(IDType)
+SMLIR_DEFINE_SYCL_DIM_TYPE(RangeType)
+SMLIR_DEFINE_SYCL_DIM_TYPE(ItemType)
+SMLIR_DEFINE_SYCL_DIM_TYPE(NDItemType)
+SMLIR_DEFINE_SYCL_DIM_TYPE(GroupType)
+SMLIR_DEFINE_SYCL_DIM_TYPE(NDRangeType)
+
+#undef SMLIR_DEFINE_SYCL_DIM_TYPE
+
+AccessorType AccessorType::get(MLIRContext *Context, unsigned Dim,
+                               Type ElementType, AccessMode Mode,
+                               AccessTarget Target) {
+  std::ostringstream Key;
+  Key << "!sycl.accessor<" << Dim << ", " << ElementType.str() << ", "
+      << stringifyAccessMode(Mode) << ", " << stringifyAccessTarget(Target)
+      << ">";
+  std::string KeyStr = Key.str();
+  auto *Storage = Context->getTypeStorage(KeyStr, [&] {
+    return std::make_unique<AccessorTypeStorage>(Context, KeyStr, Dim,
+                                                 ElementType, Mode, Target);
+  });
+  return AccessorType(Storage);
+}
+
+unsigned AccessorType::getDim() const {
+  return static_cast<const AccessorTypeStorage *>(Impl)->Dim;
+}
+Type AccessorType::getElementType() const {
+  return static_cast<const AccessorTypeStorage *>(Impl)->ElementType;
+}
+AccessMode AccessorType::getMode() const {
+  return static_cast<const AccessorTypeStorage *>(Impl)->Mode;
+}
+AccessTarget AccessorType::getTarget() const {
+  return static_cast<const AccessorTypeStorage *>(Impl)->Target;
+}
+bool AccessorType::classof(Type Ty) {
+  return Ty.getTypeID() == TypeID::get<AccessorTypeStorage>();
+}
+
+BufferType BufferType::get(MLIRContext *Context, unsigned Dim,
+                           Type ElementType) {
+  std::ostringstream Key;
+  Key << "!sycl.buffer<" << Dim << ", " << ElementType.str() << ">";
+  std::string KeyStr = Key.str();
+  auto *Storage = Context->getTypeStorage(KeyStr, [&] {
+    return std::make_unique<BufferTypeStorage>(Context, KeyStr, Dim,
+                                               ElementType);
+  });
+  return BufferType(Storage);
+}
+
+unsigned BufferType::getDim() const {
+  return static_cast<const BufferTypeStorage *>(Impl)->Dim;
+}
+Type BufferType::getElementType() const {
+  return static_cast<const BufferTypeStorage *>(Impl)->ElementType;
+}
+bool BufferType::classof(Type Ty) {
+  return Ty.getTypeID() == TypeID::get<BufferTypeStorage>();
+}
+
+MemRefType sycl::getObjectMemRefType(Type ObjTy) {
+  return MemRefType::get(ObjTy.getContext(), {1}, ObjTy);
+}
+
+MemRefType sycl::getObjectArgMemRefType(Type ObjTy) {
+  return MemRefType::get(ObjTy.getContext(), {MemRefType::kDynamic}, ObjTy);
+}
+
+//===----------------------------------------------------------------------===//
+// SYCL type parsing (hooked into the IR parser)
+//===----------------------------------------------------------------------===//
+
+/// Splits "a, b, c" at depth-0 commas.
+static std::vector<std::string_view> splitParams(std::string_view Body) {
+  std::vector<std::string_view> Parts;
+  unsigned Depth = 0;
+  size_t Start = 0;
+  for (size_t I = 0; I < Body.size(); ++I) {
+    char C = Body[I];
+    if (C == '<' || C == '(')
+      ++Depth;
+    else if (C == '>' || C == ')')
+      --Depth;
+    else if (C == ',' && Depth == 0) {
+      Parts.push_back(Body.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  Parts.push_back(Body.substr(Start));
+  // Trim whitespace.
+  for (auto &Part : Parts) {
+    while (!Part.empty() && Part.front() == ' ')
+      Part.remove_prefix(1);
+    while (!Part.empty() && Part.back() == ' ')
+      Part.remove_suffix(1);
+  }
+  return Parts;
+}
+
+/// Parses "sycl.<mnemonic><params>" (text after '!').
+static Type parseSYCLType(MLIRContext *Context, std::string_view Text) {
+  if (!Text.starts_with("sycl."))
+    return Type();
+  Text.remove_prefix(5);
+  size_t Open = Text.find('<');
+  if (Open == std::string_view::npos || Text.back() != '>')
+    return Type();
+  std::string_view Mnemonic = Text.substr(0, Open);
+  std::string_view Body = Text.substr(Open + 1, Text.size() - Open - 2);
+  std::vector<std::string_view> Params = splitParams(Body);
+
+  auto ParseDim = [](std::string_view Str) -> std::optional<unsigned> {
+    if (Str == "1")
+      return 1;
+    if (Str == "2")
+      return 2;
+    if (Str == "3")
+      return 3;
+    return std::nullopt;
+  };
+
+  if (Mnemonic == "accessor") {
+    if (Params.size() != 4)
+      return Type();
+    auto Dim = ParseDim(Params[0]);
+    Type Element = parseTypeString(Context, Params[1]);
+    auto Mode = parseAccessMode(Params[2]);
+    auto Target = parseAccessTarget(Params[3]);
+    if (!Dim || !Element || !Mode || !Target)
+      return Type();
+    return AccessorType::get(Context, *Dim, Element, *Mode, *Target);
+  }
+  if (Mnemonic == "buffer") {
+    if (Params.size() != 2)
+      return Type();
+    auto Dim = ParseDim(Params[0]);
+    Type Element = parseTypeString(Context, Params[1]);
+    if (!Dim || !Element)
+      return Type();
+    return BufferType::get(Context, *Dim, Element);
+  }
+  if (Params.size() != 1)
+    return Type();
+  auto Dim = ParseDim(Params[0]);
+  if (!Dim)
+    return Type();
+  if (Mnemonic == "id")
+    return IDType::get(Context, *Dim);
+  if (Mnemonic == "range")
+    return RangeType::get(Context, *Dim);
+  if (Mnemonic == "item")
+    return ItemType::get(Context, *Dim);
+  if (Mnemonic == "nd_item")
+    return NDItemType::get(Context, *Dim);
+  if (Mnemonic == "group")
+    return GroupType::get(Context, *Dim);
+  if (Mnemonic == "nd_range")
+    return NDRangeType::get(Context, *Dim);
+  return Type();
+}
+
+//===----------------------------------------------------------------------===//
+// Device operations
+//===----------------------------------------------------------------------===//
+
+void ConstructorOp::build(OpBuilder &Builder, OperationState &State,
+                          std::string_view Kind, Value Dst,
+                          const std::vector<Value> &Indices) {
+  State.addAttribute("kind",
+                     SymbolRefAttr::get(Builder.getContext(), Kind));
+  State.addOperand(Dst);
+  State.addOperands(Indices);
+}
+
+LogicalResult ConstructorOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() < 1 || Op->getNumResults() != 0)
+    return failure();
+  if (!Op->getAttrOfType<SymbolRefAttr>("kind"))
+    return failure();
+  auto DstTy = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+  if (!DstTy)
+    return failure();
+  Type Element = DstTy.getElementType();
+  unsigned Dim = 0;
+  if (auto ID = Element.dyn_cast<IDType>())
+    Dim = ID.getDim();
+  else if (auto Range = Element.dyn_cast<RangeType>())
+    Dim = Range.getDim();
+  else
+    return failure();
+  return success(Op->getNumOperands() - 1 == Dim);
+}
+
+void ConstructorOp::getEffects(Operation *Op,
+                               std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Write, Op->getOperand(0)});
+}
+
+void AccessorSubscriptOp::build(OpBuilder &Builder, OperationState &State,
+                                Value Accessor, Value ID) {
+  State.addOperands({Accessor, ID});
+  auto AccTy = Accessor.getType()
+                   .cast<MemRefType>()
+                   .getElementType()
+                   .cast<AccessorType>();
+  MemorySpace Space =
+      AccTy.isLocal() ? MemorySpace::Local : MemorySpace::Global;
+  State.addType(MemRefType::get(Builder.getContext(),
+                                {MemRefType::kDynamic},
+                                AccTy.getElementType(), Space));
+}
+
+AccessorType AccessorSubscriptOp::getAccessorType() const {
+  return getAccessor()
+      .getType()
+      .cast<MemRefType>()
+      .getElementType()
+      .cast<AccessorType>();
+}
+
+LogicalResult AccessorSubscriptOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return failure();
+  auto AccMemTy = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+  auto IDMemTy = Op->getOperand(1).getType().dyn_cast<MemRefType>();
+  if (!AccMemTy || !IDMemTy)
+    return failure();
+  auto AccTy = AccMemTy.getElementType().dyn_cast<AccessorType>();
+  auto IDTy = IDMemTy.getElementType().dyn_cast<IDType>();
+  if (!AccTy || !IDTy)
+    return failure();
+  return success(AccTy.getDim() == IDTy.getDim());
+}
+
+void AccessorSubscriptOp::getEffects(Operation *Op,
+                                     std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Read, Op->getOperand(0)});
+  Effects.push_back({EffectKind::Read, Op->getOperand(1)});
+}
+
+void AccessorGetPointerOp::build(OpBuilder &Builder, OperationState &State,
+                                 Value Accessor) {
+  State.addOperand(Accessor);
+  auto AccTy = Accessor.getType()
+                   .cast<MemRefType>()
+                   .getElementType()
+                   .cast<AccessorType>();
+  MemorySpace Space =
+      AccTy.isLocal() ? MemorySpace::Local : MemorySpace::Global;
+  State.addType(MemRefType::get(Builder.getContext(),
+                                {MemRefType::kDynamic},
+                                AccTy.getElementType(), Space));
+}
+
+void AccessorGetPointerOp::getEffects(Operation *Op,
+                                      std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Read, Op->getOperand(0)});
+}
+
+void GroupBarrierOp::getEffects(Operation *Op,
+                                std::vector<MemoryEffect> &Effects) {
+  // A barrier orders all memory accesses of the work-group: model as a
+  // read/write on an unspecified resource so nothing is moved across it.
+  Effects.push_back({EffectKind::Read, Value()});
+  Effects.push_back({EffectKind::Write, Value()});
+}
+
+//===----------------------------------------------------------------------===//
+// Host operations
+//===----------------------------------------------------------------------===//
+
+void HostConstructorOp::build(OpBuilder &Builder, OperationState &State,
+                              Value Obj, const std::vector<Value> &Args,
+                              Type ObjType) {
+  State.addOperand(Obj);
+  State.addOperands(Args);
+  State.addAttribute("objType", TypeAttr::get(ObjType));
+}
+
+LogicalResult HostConstructorOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() < 1 || Op->getNumResults() != 0)
+    return failure();
+  return success(Op->getAttrOfType<TypeAttr>("objType") ? true : false);
+}
+
+void HostConstructorOp::getEffects(Operation *Op,
+                                   std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Write, Op->getOperand(0)});
+  for (unsigned I = 1, E = Op->getNumOperands(); I != E; ++I)
+    Effects.push_back({EffectKind::Read, Op->getOperand(I)});
+}
+
+void HostScheduleKernelOp::build(OpBuilder &Builder, OperationState &State,
+                                 Value Handler, SymbolRefAttr Kernel,
+                                 Value GlobalRange, Value LocalRange,
+                                 const std::vector<Value> &Args,
+                                 const std::vector<std::string> &ArgKinds) {
+  assert(Args.size() == ArgKinds.size() && "one kind per kernel argument");
+  State.addOperand(Handler);
+  State.addAttribute("kernel", Kernel);
+  State.addOperand(GlobalRange);
+  if (LocalRange) {
+    State.addOperand(LocalRange);
+    State.addAttribute("has_local_range",
+                       UnitAttr::get(Builder.getContext()));
+  }
+  State.addOperands(Args);
+  std::vector<Attribute> Kinds;
+  Kinds.reserve(ArgKinds.size());
+  for (const std::string &Kind : ArgKinds)
+    Kinds.push_back(StringAttr::get(Builder.getContext(), Kind));
+  State.addAttribute("arg_kinds",
+                     ArrayAttr::get(Builder.getContext(), std::move(Kinds)));
+}
+
+LogicalResult HostScheduleKernelOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() < 2 || Op->getNumResults() != 0)
+    return failure();
+  if (!Op->getAttrOfType<SymbolRefAttr>("kernel"))
+    return failure();
+  auto Kinds = Op->getAttrOfType<ArrayAttr>("arg_kinds");
+  if (!Kinds)
+    return failure();
+  unsigned NumRangeOperands = Op->hasAttr("has_local_range") ? 3 : 2;
+  return success(Op->getNumOperands() - NumRangeOperands == Kinds.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+void sycl::registerSYCLDialect(MLIRContext &Context) {
+  auto *SYCLDialect =
+      Context.registerDialect(std::make_unique<Dialect>("sycl", &Context));
+  Context.registerTypeParser("sycl", &parseSYCLType);
+
+  registerOp<ConstructorOp>(Context, SYCLDialect,
+                            {0, &ConstructorOp::verifyOp, nullptr,
+                             &ConstructorOp::getEffects});
+
+  // Getter ops: read-only. Work-item id queries are non-uniformity sources
+  // (paper §V-C); range/group queries are uniform across the work-group.
+  uint64_t NonUniform = traits(OpTrait::NonUniformSource);
+#define SMLIR_REGISTER_GETTER(ClassName, Traits)                              \
+  registerOp<ClassName>(Context, SYCLDialect,                                 \
+                        {Traits, nullptr, nullptr, &ClassName::getEffects});
+  SMLIR_REGISTER_GETTER(IDGetOp, 0)
+  SMLIR_REGISTER_GETTER(RangeGetOp, 0)
+  SMLIR_REGISTER_GETTER(ItemGetIDOp, NonUniform)
+  SMLIR_REGISTER_GETTER(ItemGetRangeOp, 0)
+  SMLIR_REGISTER_GETTER(NDItemGetGlobalIDOp, NonUniform)
+  SMLIR_REGISTER_GETTER(NDItemGetLocalIDOp, NonUniform)
+  SMLIR_REGISTER_GETTER(NDItemGetGroupIDOp, 0)
+  SMLIR_REGISTER_GETTER(NDItemGetGlobalRangeOp, 0)
+  SMLIR_REGISTER_GETTER(NDItemGetLocalRangeOp, 0)
+  SMLIR_REGISTER_GETTER(NDItemGetGroupRangeOp, 0)
+  SMLIR_REGISTER_GETTER(AccessorGetRangeOp, 0)
+  SMLIR_REGISTER_GETTER(AccessorGetOffsetOp, 0)
+#undef SMLIR_REGISTER_GETTER
+
+  registerOp<AccessorSubscriptOp>(Context, SYCLDialect,
+                                  {0, &AccessorSubscriptOp::verifyOp,
+                                   nullptr,
+                                   &AccessorSubscriptOp::getEffects});
+  registerOp<AccessorGetPointerOp>(Context, SYCLDialect,
+                                   {0, nullptr, nullptr,
+                                    &AccessorGetPointerOp::getEffects});
+  registerOp<GroupBarrierOp>(Context, SYCLDialect,
+                             {0, nullptr, nullptr,
+                              &GroupBarrierOp::getEffects});
+  registerOp<AccessorsDisjointOp>(Context, SYCLDialect,
+                                  {0, nullptr, nullptr,
+                                   &AccessorsDisjointOp::getEffects});
+
+  registerOp<HostConstructorOp>(Context, SYCLDialect,
+                                {0, &HostConstructorOp::verifyOp, nullptr,
+                                 &HostConstructorOp::getEffects});
+  registerOp<HostScheduleKernelOp>(Context, SYCLDialect,
+                                   {0, &HostScheduleKernelOp::verifyOp});
+}
+
+//===----------------------------------------------------------------------===//
+// LLVM-like dialect
+//===----------------------------------------------------------------------===//
+
+using namespace smlir::llvmir;
+
+PtrType PtrType::get(MLIRContext *Context) {
+  std::string Key = "!llvm.ptr";
+  auto *Storage = Context->getTypeStorage(Key, [&] {
+    return std::make_unique<PtrTypeStorage>(Context, Key);
+  });
+  return PtrType(Storage);
+}
+
+bool PtrType::classof(Type Ty) {
+  return Ty.getTypeID() == TypeID::get<PtrTypeStorage>();
+}
+
+void LLVMAllocaOp::build(OpBuilder &Builder, OperationState &State,
+                         Type ObjType) {
+  if (ObjType)
+    State.addAttribute("objType", TypeAttr::get(ObjType));
+  State.addType(PtrType::get(Builder.getContext()));
+}
+
+void LLVMAllocaOp::getEffects(Operation *Op,
+                              std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Allocate, Op->getResult(0)});
+}
+
+void LLVMCallOp::build(OpBuilder &Builder, OperationState &State,
+                       std::string_view Callee,
+                       const std::vector<Value> &Operands,
+                       const std::vector<Type> &Results) {
+  State.addAttribute("callee",
+                     SymbolRefAttr::get(Builder.getContext(), Callee));
+  State.addOperands(Operands);
+  State.addTypes(Results);
+}
+
+void LLVMLoadOp::getEffects(Operation *Op,
+                            std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Read, Op->getOperand(0)});
+}
+
+void LLVMStoreOp::getEffects(Operation *Op,
+                             std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Write, Op->getOperand(1)});
+}
+
+static Type parseLLVMType(MLIRContext *Context, std::string_view Text) {
+  if (Text == "llvm.ptr")
+    return PtrType::get(Context);
+  return Type();
+}
+
+void llvmir::registerLLVMDialect(MLIRContext &Context) {
+  auto *LLVMDialect =
+      Context.registerDialect(std::make_unique<Dialect>("llvm", &Context));
+  Context.registerTypeParser("llvm", &parseLLVMType);
+
+  registerOp<LLVMAllocaOp>(Context, LLVMDialect,
+                           {0, nullptr, nullptr, &LLVMAllocaOp::getEffects});
+  registerOp<LLVMCallOp>(Context, LLVMDialect, {});
+  registerOp<LLVMLoadOp>(Context, LLVMDialect,
+                         {0, nullptr, nullptr, &LLVMLoadOp::getEffects});
+  registerOp<LLVMStoreOp>(Context, LLVMDialect,
+                          {0, nullptr, nullptr, &LLVMStoreOp::getEffects});
+}

@@ -1,0 +1,407 @@
+//===- SYCL.h - SYCL dialect (types, device ops, host ops) ------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SYCL dialect (paper §IV): types modeling the SYCL classes `id`,
+/// `range`, `item`, `nd_item`, `group`, `nd_range`, `accessor` and
+/// `buffer`; device operations for work-item queries and accessor memory
+/// access; host operations (`sycl.host.*`) capturing object construction
+/// and kernel scheduling (paper Listing 9). Operations yielding work-item
+/// dependent values carry the NonUniformSource trait consumed by the
+/// Uniformity Analysis (paper §V-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_DIALECT_SYCL_H
+#define SMLIR_DIALECT_SYCL_H
+
+#include "ir/Builders.h"
+#include "ir/OpDefinition.h"
+
+namespace smlir {
+namespace sycl {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Access mode of an accessor (paper §II-A: encoded statically via template
+/// parameters in SYCL).
+enum class AccessMode { Read, Write, ReadWrite };
+
+/// Where an accessor points: global device memory or work-group local
+/// memory.
+enum class AccessTarget { Device, Local };
+
+std::string_view stringifyAccessMode(AccessMode Mode);
+std::string_view stringifyAccessTarget(AccessTarget Target);
+
+/// Declares a SYCL type parameterized only by dimensionality (1-3).
+#define SMLIR_DECLARE_SYCL_DIM_TYPE(ClassName, Mnemonic)                      \
+  class ClassName : public Type {                                            \
+  public:                                                                     \
+    using Type::Type;                                                         \
+    static ClassName get(MLIRContext *Context, unsigned Dim);                 \
+    unsigned getDim() const;                                                  \
+    static bool classof(Type Ty);                                             \
+    static constexpr const char *getMnemonic() { return Mnemonic; }           \
+  };
+
+SMLIR_DECLARE_SYCL_DIM_TYPE(IDType, "id")
+SMLIR_DECLARE_SYCL_DIM_TYPE(RangeType, "range")
+SMLIR_DECLARE_SYCL_DIM_TYPE(ItemType, "item")
+SMLIR_DECLARE_SYCL_DIM_TYPE(NDItemType, "nd_item")
+SMLIR_DECLARE_SYCL_DIM_TYPE(GroupType, "group")
+SMLIR_DECLARE_SYCL_DIM_TYPE(NDRangeType, "nd_range")
+
+#undef SMLIR_DECLARE_SYCL_DIM_TYPE
+
+/// `!sycl.accessor<dims, elem, mode, target>`: typed window into a buffer
+/// (or local memory), carrying the dynamic range/offset at runtime.
+class AccessorType : public Type {
+public:
+  using Type::Type;
+  static AccessorType get(MLIRContext *Context, unsigned Dim,
+                          Type ElementType, AccessMode Mode,
+                          AccessTarget Target = AccessTarget::Device);
+  unsigned getDim() const;
+  Type getElementType() const;
+  AccessMode getMode() const;
+  AccessTarget getTarget() const;
+  bool isLocal() const { return getTarget() == AccessTarget::Local; }
+  static bool classof(Type Ty);
+};
+
+/// `!sycl.buffer<dims, elem>`: host-side owning container (paper §II-A).
+class BufferType : public Type {
+public:
+  using Type::Type;
+  static BufferType get(MLIRContext *Context, unsigned Dim,
+                        Type ElementType);
+  unsigned getDim() const;
+  Type getElementType() const;
+  static bool classof(Type Ty);
+};
+
+/// Returns `memref<1x!objTy>` — SYCL objects live behind memrefs in device
+/// IR, matching the paper's listings (e.g. `memref<1x!sycl_id_3>`).
+MemRefType getObjectMemRefType(Type ObjTy);
+/// Returns `memref<?x!objTy>` — used for kernel arguments.
+MemRefType getObjectArgMemRefType(Type ObjTy);
+
+//===----------------------------------------------------------------------===//
+// Device operations
+//===----------------------------------------------------------------------===//
+
+/// `sycl.constructor @id(%dst, %i, %j, %k)` — constructs an id/range into
+/// the destination memref (paper Listing 3 line 18).
+class ConstructorOp : public OpBase<ConstructorOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "sycl.constructor";
+  }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    std::string_view Kind, Value Dst,
+                    const std::vector<Value> &Indices);
+
+  std::string getKind() const {
+    return TheOp->getAttrOfType<SymbolRefAttr>("kind").getLeafReference();
+  }
+  Value getDst() const { return TheOp->getOperand(0); }
+  std::vector<Value> getIndices() const {
+    std::vector<Value> Operands = TheOp->getOperands();
+    return std::vector<Value>(Operands.begin() + 1, Operands.end());
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Declares a `(obj-memref, i32 dim) -> index` SYCL getter op.
+#define SMLIR_DECLARE_SYCL_GETTER_OP(ClassName, OpName)                       \
+  class ClassName : public OpBase<ClassName> {                                \
+  public:                                                                     \
+    using OpBase::OpBase;                                                     \
+    static constexpr const char *getOperationName() { return OpName; }        \
+    static void build(OpBuilder &Builder, OperationState &State, Value Obj,   \
+                      Value Dim) {                                            \
+      State.addOperands({Obj, Dim});                                          \
+      State.addType(Builder.getIndexType());                                  \
+    }                                                                         \
+    Value getObj() const { return TheOp->getOperand(0); }                     \
+    Value getDim() const { return TheOp->getOperand(1); }                     \
+    static void getEffects(Operation *Op,                                     \
+                           std::vector<MemoryEffect> &Effects) {              \
+      Effects.push_back({EffectKind::Read, Op->getOperand(0)});               \
+    }                                                                         \
+  };
+
+// id / range element access.
+SMLIR_DECLARE_SYCL_GETTER_OP(IDGetOp, "sycl.id.get")
+SMLIR_DECLARE_SYCL_GETTER_OP(RangeGetOp, "sycl.range.get")
+// item queries (paper Listing 3).
+SMLIR_DECLARE_SYCL_GETTER_OP(ItemGetIDOp, "sycl.item.get_id")
+SMLIR_DECLARE_SYCL_GETTER_OP(ItemGetRangeOp, "sycl.item.get_range")
+// nd_item queries (paper Listing 2, Listings 6-7).
+SMLIR_DECLARE_SYCL_GETTER_OP(NDItemGetGlobalIDOp,
+                             "sycl.nd_item.get_global_id")
+SMLIR_DECLARE_SYCL_GETTER_OP(NDItemGetLocalIDOp, "sycl.nd_item.get_local_id")
+SMLIR_DECLARE_SYCL_GETTER_OP(NDItemGetGroupIDOp, "sycl.nd_item.get_group_id")
+SMLIR_DECLARE_SYCL_GETTER_OP(NDItemGetGlobalRangeOp,
+                             "sycl.nd_item.get_global_range")
+SMLIR_DECLARE_SYCL_GETTER_OP(NDItemGetLocalRangeOp,
+                             "sycl.nd_item.get_local_range")
+SMLIR_DECLARE_SYCL_GETTER_OP(NDItemGetGroupRangeOp,
+                             "sycl.nd_item.get_group_range")
+// accessor member queries (paper §VII-B: accessor members propagation).
+SMLIR_DECLARE_SYCL_GETTER_OP(AccessorGetRangeOp, "sycl.accessor.get_range")
+SMLIR_DECLARE_SYCL_GETTER_OP(AccessorGetOffsetOp, "sycl.accessor.get_offset")
+
+#undef SMLIR_DECLARE_SYCL_GETTER_OP
+
+/// `sycl.accessor.subscript %acc[%id]` — yields a one-element view into the
+/// accessor's memory (paper Listing 3 line 20).
+class AccessorSubscriptOp : public OpBase<AccessorSubscriptOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "sycl.accessor.subscript";
+  }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Value Accessor, Value ID);
+
+  Value getAccessor() const { return TheOp->getOperand(0); }
+  Value getID() const { return TheOp->getOperand(1); }
+  /// The accessor type of the subscripted accessor operand.
+  AccessorType getAccessorType() const;
+
+  static LogicalResult verifyOp(Operation *Op);
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// `sycl.accessor.get_pointer %acc` — the raw memory view of an accessor.
+class AccessorGetPointerOp : public OpBase<AccessorGetPointerOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "sycl.accessor.get_pointer";
+  }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Value Accessor);
+
+  Value getAccessor() const { return TheOp->getOperand(0); }
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// `sycl.accessors.disjoint %a, %b -> i1` — runtime check that two
+/// accessors cover disjoint memory. Materialized by the LICM pass when
+/// hoisting is blocked only by a may-alias relation that can be resolved
+/// at runtime (paper §VI-A: "versioning the transformed loop with a
+/// versioning condition to check that the operands preventing hoisting do
+/// not overlap in memory").
+class AccessorsDisjointOp : public OpBase<AccessorsDisjointOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "sycl.accessors.disjoint";
+  }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value A,
+                    Value B) {
+    State.addOperands({A, B});
+    State.addType(Builder.getI1Type());
+  }
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects) {
+    Effects.push_back({EffectKind::Read, Op->getOperand(0)});
+    Effects.push_back({EffectKind::Read, Op->getOperand(1)});
+  }
+};
+
+/// `sycl.group_barrier %nditem` — work-group barrier (paper Listing 7).
+/// Must not execute in a divergent region (paper §V-C / §VI-C).
+class GroupBarrierOp : public OpBase<GroupBarrierOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "sycl.group_barrier";
+  }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    Value NDItem) {
+    State.addOperand(NDItem);
+  }
+
+  Value getNDItem() const { return TheOp->getOperand(0); }
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+//===----------------------------------------------------------------------===//
+// Host operations (paper §VII-A, Listing 9)
+//===----------------------------------------------------------------------===//
+
+/// `sycl.host.constructor(%obj, %args...) {objType = !sycl.buffer<...>}` —
+/// raised construction of a SYCL runtime object.
+class HostConstructorOp : public OpBase<HostConstructorOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "sycl.host.constructor";
+  }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value Obj,
+                    const std::vector<Value> &Args, Type ObjType);
+
+  Value getObj() const { return TheOp->getOperand(0); }
+  Type getObjType() const {
+    return TheOp->getAttrOfType<TypeAttr>("objType").getValue();
+  }
+  std::vector<Value> getArgs() const {
+    std::vector<Value> Operands = TheOp->getOperands();
+    return std::vector<Value>(Operands.begin() + 1, Operands.end());
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// `sycl.host.schedule_kernel %handler -> @kernels::@K [range %r](%args)` —
+/// raised kernel scheduling carrying the full invocation context: ND-range
+/// and kernel arguments (paper Listing 9 line 11).
+class HostScheduleKernelOp : public OpBase<HostScheduleKernelOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "sycl.host.schedule_kernel";
+  }
+
+  /// \p ArgKinds holds one of "accessor", "scalar" per kernel argument.
+  static void build(OpBuilder &Builder, OperationState &State, Value Handler,
+                    SymbolRefAttr Kernel, Value GlobalRange,
+                    Value LocalRange /*null if none*/,
+                    const std::vector<Value> &Args,
+                    const std::vector<std::string> &ArgKinds);
+
+  Value getHandler() const { return TheOp->getOperand(0); }
+  SymbolRefAttr getKernel() const {
+    return TheOp->getAttrOfType<SymbolRefAttr>("kernel");
+  }
+  Value getGlobalRange() const { return TheOp->getOperand(1); }
+  bool hasLocalRange() const { return TheOp->hasAttr("has_local_range"); }
+  Value getLocalRange() const {
+    assert(hasLocalRange() && "no local range operand");
+    return TheOp->getOperand(2);
+  }
+  unsigned getNumKernelArgs() const {
+    return TheOp->getNumOperands() - (hasLocalRange() ? 3 : 2);
+  }
+  Value getKernelArg(unsigned Index) const {
+    return TheOp->getOperand((hasLocalRange() ? 3 : 2) + Index);
+  }
+  std::string getArgKind(unsigned Index) const {
+    return TheOp->getAttrOfType<ArrayAttr>("arg_kinds")[Index]
+        .cast<StringAttr>()
+        .getValue();
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// Registers the sycl dialect (types and ops).
+void registerSYCLDialect(MLIRContext &Context);
+
+} // namespace sycl
+
+//===----------------------------------------------------------------------===//
+// LLVM-like dialect (pre-raising host IR)
+//===----------------------------------------------------------------------===//
+
+namespace llvmir {
+
+/// `!llvm.ptr` — opaque pointer used by unraised host code.
+class PtrType : public Type {
+public:
+  using Type::Type;
+  static PtrType get(MLIRContext *Context);
+  static bool classof(Type Ty);
+};
+
+/// Stack allocation of a runtime object; `objType` plays the role of the
+/// allocated type in LLVM IR's `alloca`.
+class LLVMAllocaOp : public OpBase<LLVMAllocaOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "llvm.alloca"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Type ObjType);
+
+  Type getObjType() const {
+    auto Attr = TheOp->getAttrOfType<TypeAttr>("objType");
+    return Attr ? Attr.getValue() : Type();
+  }
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Call into the (simulated) DPC++ runtime ABI; the Host Raising pass
+/// pattern-matches these by callee name (paper §VII-A).
+class LLVMCallOp : public OpBase<LLVMCallOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "llvm.call"; }
+
+  static void build(OpBuilder &Builder, OperationState &State,
+                    std::string_view Callee,
+                    const std::vector<Value> &Operands,
+                    const std::vector<Type> &Results = {});
+
+  std::string getCallee() const {
+    return TheOp->getAttrOfType<SymbolRefAttr>("callee").getLeafReference();
+  }
+};
+
+/// Scalar load through an opaque pointer.
+class LLVMLoadOp : public OpBase<LLVMLoadOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "llvm.load"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value Ptr,
+                    Type ResultTy) {
+    State.addOperand(Ptr);
+    State.addType(ResultTy);
+  }
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Scalar store through an opaque pointer.
+class LLVMStoreOp : public OpBase<LLVMStoreOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "llvm.store"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value Val,
+                    Value Ptr) {
+    State.addOperands({Val, Ptr});
+  }
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Registers the llvm-like dialect.
+void registerLLVMDialect(MLIRContext &Context);
+
+} // namespace llvmir
+} // namespace smlir
+
+#endif // SMLIR_DIALECT_SYCL_H

@@ -1,0 +1,903 @@
+//===- Interpreter.cpp - Virtual GPU kernel interpreter ---------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel interpreter behind exec::Device. Work-items are resumable
+/// machines with explicit frame stacks; work-groups execute with
+/// run-to-barrier cooperative scheduling, so `sycl.group_barrier` has real
+/// synchronization semantics (and divergent barriers are detected as the
+/// deadlocks they would be on hardware, paper §V-C). Per-site coalescing
+/// classification comes from the Memory Access Analysis (paper §V-D),
+/// tying the cost model to the same machinery Loop Internalization uses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Device.h"
+
+#include "analysis/MemoryAccess.h"
+#include "dialect/Arith.h"
+#include "dialect/MemRef.h"
+#include "dialect/SCF.h"
+#include "ir/Block.h"
+
+#include <cmath>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+using namespace smlir;
+using namespace smlir::exec;
+
+namespace {
+
+enum class OpCode : uint8_t {
+  Unknown,
+  Constant,
+  AddI, SubI, MulI, DivSI, RemSI, AndI, OrI, XOrI, MinSI, MaxSI,
+  AddF, SubF, MulF, DivF, MinF, MaxF, NegF,
+  CmpI, CmpF, Select,
+  IndexCast, SIToFP, FPToSI, ExtSI, TruncI,
+  Sqrt, Exp, FAbs,
+  Alloca, Load, Store,
+  SCFIf, LoopFor, Yield, Return, Call,
+  SYCLConstructor, IDGet, RangeGet,
+  ItemGetID, ItemGetRange,
+  NDGlobalID, NDLocalID, NDGroupID, NDGlobalRange, NDLocalRange,
+  NDGroupRange,
+  AccSubscript, AccGetRange, AccGetOffset, AccGetPointer,
+  Barrier, AccessorsDisjoint,
+};
+
+/// A heap cell for a SYCL object value (id/range, item state, accessor).
+struct ObjCell {
+  // id / range payload.
+  std::array<int64_t, 3> Vals = {0, 0, 0};
+  unsigned Dim = 0;
+  // item / nd_item payload.
+  std::array<int64_t, 3> GlobalID = {0, 0, 0};
+  std::array<int64_t, 3> LocalID = {0, 0, 0};
+  std::array<int64_t, 3> GroupID = {0, 0, 0};
+  std::array<int64_t, 3> GlobalRange = {1, 1, 1};
+  std::array<int64_t, 3> LocalRange = {1, 1, 1};
+  // accessor payload.
+  AccessorData Acc;
+};
+
+/// A runtime value.
+struct InterpValue {
+  enum class Kind : uint8_t { None, Int, Float, MemRef, Obj };
+  Kind K = Kind::None;
+  int64_t I = 0;
+  double F = 0.0;
+  MemRefVal M;
+  ObjCell *O = nullptr;
+
+  static InterpValue makeInt(int64_t Value) {
+    InterpValue V;
+    V.K = Kind::Int;
+    V.I = Value;
+    return V;
+  }
+  static InterpValue makeFloat(double Value) {
+    InterpValue V;
+    V.K = Kind::Float;
+    V.F = Value;
+    return V;
+  }
+  static InterpValue makeMemRef(MemRefVal Value) {
+    InterpValue V;
+    V.K = Kind::MemRef;
+    V.M = Value;
+    return V;
+  }
+  static InterpValue makeObj(ObjCell *Cell) {
+    InterpValue V;
+    V.K = Kind::Obj;
+    V.O = Cell;
+    return V;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Execution plan (per kernel, cached)
+//===----------------------------------------------------------------------===//
+
+struct ExecutionPlan {
+  /// Dense slot per SSA value across the kernel and its callees.
+  std::unordered_map<detail::ValueImpl *, uint32_t> Slots;
+  uint32_t NumSlots = 0;
+  /// Opcode per operation.
+  std::unordered_map<Operation *, OpCode> OpCodes;
+  /// Per access site: true if the access pattern coalesces (paper §V-D).
+  std::unordered_map<Operation *, bool> Coalesced;
+  /// Resolved callees of func.call ops.
+  std::unordered_map<Operation *, Operation *> Callees;
+};
+
+OpCode classifyOp(Operation *Op) {
+  static const std::unordered_map<std::string, OpCode> Table = {
+      {"arith.constant", OpCode::Constant},
+      {"arith.addi", OpCode::AddI},
+      {"arith.subi", OpCode::SubI},
+      {"arith.muli", OpCode::MulI},
+      {"arith.divsi", OpCode::DivSI},
+      {"arith.remsi", OpCode::RemSI},
+      {"arith.andi", OpCode::AndI},
+      {"arith.ori", OpCode::OrI},
+      {"arith.xori", OpCode::XOrI},
+      {"arith.minsi", OpCode::MinSI},
+      {"arith.maxsi", OpCode::MaxSI},
+      {"arith.addf", OpCode::AddF},
+      {"arith.subf", OpCode::SubF},
+      {"arith.mulf", OpCode::MulF},
+      {"arith.divf", OpCode::DivF},
+      {"arith.minf", OpCode::MinF},
+      {"arith.maxf", OpCode::MaxF},
+      {"arith.negf", OpCode::NegF},
+      {"arith.cmpi", OpCode::CmpI},
+      {"arith.cmpf", OpCode::CmpF},
+      {"arith.select", OpCode::Select},
+      {"arith.index_cast", OpCode::IndexCast},
+      {"arith.sitofp", OpCode::SIToFP},
+      {"arith.fptosi", OpCode::FPToSI},
+      {"arith.extsi", OpCode::ExtSI},
+      {"arith.trunci", OpCode::TruncI},
+      {"math.sqrt", OpCode::Sqrt},
+      {"math.exp", OpCode::Exp},
+      {"math.fabs", OpCode::FAbs},
+      {"memref.alloca", OpCode::Alloca},
+      {"memref.load", OpCode::Load},
+      {"affine.load", OpCode::Load},
+      {"memref.store", OpCode::Store},
+      {"affine.store", OpCode::Store},
+      {"scf.if", OpCode::SCFIf},
+      {"scf.for", OpCode::LoopFor},
+      {"affine.for", OpCode::LoopFor},
+      {"scf.yield", OpCode::Yield},
+      {"affine.yield", OpCode::Yield},
+      {"func.return", OpCode::Return},
+      {"func.call", OpCode::Call},
+      {"sycl.constructor", OpCode::SYCLConstructor},
+      {"sycl.id.get", OpCode::IDGet},
+      {"sycl.range.get", OpCode::RangeGet},
+      {"sycl.item.get_id", OpCode::ItemGetID},
+      {"sycl.item.get_range", OpCode::ItemGetRange},
+      {"sycl.nd_item.get_global_id", OpCode::NDGlobalID},
+      {"sycl.nd_item.get_local_id", OpCode::NDLocalID},
+      {"sycl.nd_item.get_group_id", OpCode::NDGroupID},
+      {"sycl.nd_item.get_global_range", OpCode::NDGlobalRange},
+      {"sycl.nd_item.get_local_range", OpCode::NDLocalRange},
+      {"sycl.nd_item.get_group_range", OpCode::NDGroupRange},
+      {"sycl.accessor.subscript", OpCode::AccSubscript},
+      {"sycl.accessor.get_range", OpCode::AccGetRange},
+      {"sycl.accessor.get_offset", OpCode::AccGetOffset},
+      {"sycl.accessor.get_pointer", OpCode::AccGetPointer},
+      {"sycl.group_barrier", OpCode::Barrier},
+      {"sycl.accessors.disjoint", OpCode::AccessorsDisjoint},
+  };
+  auto It = Table.find(Op->getName().getStringRef());
+  return It == Table.end() ? OpCode::Unknown : It->second;
+}
+
+/// Builds the execution plan for \p Kernel (and transitively called
+/// functions within the surrounding module).
+std::unique_ptr<ExecutionPlan> buildPlan(FuncOp Kernel) {
+  auto Plan = std::make_unique<ExecutionPlan>();
+  MemoryAccessAnalysis MAA(Kernel.getOperation());
+
+  // The module holding callable siblings (the @kernels module).
+  auto Scope = ModuleOp::dyn_cast(Kernel.getOperation()->getParentOp());
+
+  std::vector<Operation *> Pending = {Kernel.getOperation()};
+  std::unordered_map<Operation *, bool> Visited;
+  while (!Pending.empty()) {
+    Operation *Func = Pending.back();
+    Pending.pop_back();
+    if (Visited[Func])
+      continue;
+    Visited[Func] = true;
+
+    // Number block arguments and results.
+    Func->walk([&](Operation *Op) {
+      for (auto &R : Op->getRegions())
+        for (auto &B : *R)
+          for (Value Arg : B->getArguments())
+            Plan->Slots.emplace(Arg.getImpl(), Plan->NumSlots),
+                Plan->NumSlots =
+                    std::max<uint32_t>(Plan->NumSlots,
+                                       Plan->Slots[Arg.getImpl()] + 1);
+      for (Value Result : Op->getResults())
+        Plan->Slots.emplace(Result.getImpl(), Plan->NumSlots),
+            Plan->NumSlots = std::max<uint32_t>(
+                Plan->NumSlots, Plan->Slots[Result.getImpl()] + 1);
+      OpCode Code = classifyOp(Op);
+      Plan->OpCodes[Op] = Code;
+      if (Code == OpCode::Load || Code == OpCode::Store) {
+        MemoryAccess MA = MAA.analyze(Op);
+        Plan->Coalesced[Op] = MA.Valid && MA.isCoalescable();
+      }
+      if (Code == OpCode::Call && Scope) {
+        auto Callee = CallOp::cast(Op).resolveCallee(Scope);
+        if (Callee) {
+          Plan->Callees[Op] = Callee.getOperation();
+          Pending.push_back(Callee.getOperation());
+        }
+      }
+    });
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Work-item machine
+//===----------------------------------------------------------------------===//
+
+enum class Status { Running, AtBarrier, Done, Error };
+
+/// Per-work-group shared state: local memory allocations.
+struct GroupContext {
+  std::map<Operation *, std::unique_ptr<Storage>> LocalAllocas;
+  std::deque<ObjCell> SharedObjects;
+};
+
+/// Counter accumulation shared across the launch.
+struct Counters {
+  LaunchStats *Stats;
+  const DeviceProperties *Props;
+  double Cost = 0.0;
+};
+
+class WorkItem {
+public:
+  WorkItem(const ExecutionPlan &Plan, FuncOp Kernel, const NDRange &Range,
+           const std::vector<KernelArg> &Args, GroupContext &Group,
+           Counters &Count, std::array<int64_t, 3> GroupID,
+           std::array<int64_t, 3> LocalID)
+      : Plan(Plan), Group(Group), Count(Count) {
+    Env.resize(Plan.NumSlots);
+
+    // Build the item/nd_item object.
+    ObjCell &Item = Objects.emplace_back();
+    Item.Dim = Range.Dim;
+    for (unsigned D = 0; D < Range.Dim; ++D) {
+      Item.GroupID[D] = GroupID[D];
+      Item.LocalID[D] = LocalID[D];
+      Item.GlobalID[D] = GroupID[D] * Range.Local[D] + LocalID[D];
+      Item.GlobalRange[D] = Range.Global[D];
+      Item.LocalRange[D] = Range.Local[D];
+    }
+
+    Block *Entry = Kernel.getEntryBlock();
+    set(Entry->getArgument(0), InterpValue::makeObj(&Item));
+    for (unsigned I = 0; I < Args.size(); ++I) {
+      const KernelArg &Arg = Args[I];
+      InterpValue V;
+      switch (Arg.ArgKind) {
+      case KernelArg::Kind::Accessor: {
+        ObjCell &Acc = Objects.emplace_back();
+        Acc.Acc = Arg.Accessor;
+        V = InterpValue::makeObj(&Acc);
+        break;
+      }
+      case KernelArg::Kind::IntScalar:
+        V = InterpValue::makeInt(Arg.IntValue);
+        break;
+      case KernelArg::Kind::FloatScalar:
+        V = InterpValue::makeFloat(Arg.FloatValue);
+        break;
+      }
+      set(Entry->getArgument(1 + I), V);
+    }
+    Stack.push_back(Frame{Entry, Entry->front(), nullptr, 0, 0, 0});
+  }
+
+  /// Runs until the next barrier, completion or error.
+  Status run() {
+    while (true) {
+      if (Stack.empty())
+        return Status::Done;
+      Frame &F = Stack.back();
+      Operation *Op = F.Next;
+      if (!Op)
+        return fail("block ended without terminator");
+      F.Next = Op->getNextNode();
+      ++Count.Stats->StepsExecuted;
+      Status S = execute(Op);
+      if (S != Status::Running)
+        return S;
+    }
+  }
+
+  Operation *getBarrierOp() const { return LastBarrier; }
+  const std::string &getError() const { return ErrorMessage; }
+
+private:
+  struct Frame {
+    Block *B;
+    Operation *Next;
+    Operation *Owner; // Loop / if / call op owning this frame.
+    int64_t IV, UB, Step;
+  };
+
+  Status fail(std::string Message) {
+    ErrorMessage = std::move(Message);
+    return Status::Error;
+  }
+
+  const InterpValue &get(Value V) const {
+    auto It = Plan.Slots.find(V.getImpl());
+    assert(It != Plan.Slots.end() && "value without slot");
+    return Env[It->second];
+  }
+  void set(Value V, InterpValue Val) {
+    auto It = Plan.Slots.find(V.getImpl());
+    assert(It != Plan.Slots.end() && "value without slot");
+    Env[It->second] = Val;
+  }
+
+  int64_t getInt(Value V) const { return get(V).I; }
+  double getFloat(Value V) const { return get(V).F; }
+
+  void chargeAccess(Operation *Op, const MemRefVal &M) {
+    switch (M.Store->Space) {
+    case MemorySpace::Global: {
+      auto It = Plan.Coalesced.find(Op);
+      bool IsCoalesced = It != Plan.Coalesced.end() && It->second;
+      if (IsCoalesced) {
+        ++Count.Stats->CoalescedGlobalAccesses;
+        Count.Cost += Count.Props->CoalescedAccessCost;
+      } else {
+        ++Count.Stats->UncoalescedGlobalAccesses;
+        Count.Cost += Count.Props->UncoalescedAccessCost;
+      }
+      break;
+    }
+    case MemorySpace::Local:
+      ++Count.Stats->LocalAccesses;
+      Count.Cost += Count.Props->LocalAccessCost;
+      break;
+    case MemorySpace::Private:
+      ++Count.Stats->PrivateAccesses;
+      Count.Cost += Count.Props->PrivateAccessCost;
+      break;
+    }
+  }
+
+  /// Computes the linear element index of a load/store.
+  int64_t linearIndex(Operation *Op, const MemRefVal &M, unsigned FirstIdx) {
+    MemRefType Ty =
+        Op->getOperand(FirstIdx - 1).getType().cast<MemRefType>();
+    const auto &Shape = Ty.getShape();
+    int64_t Linear = 0;
+    for (unsigned I = 0; I + FirstIdx < Op->getNumOperands(); ++I) {
+      int64_t Extent = Shape[I] == MemRefType::kDynamic ? 0 : Shape[I];
+      Linear = (I == 0 ? 0 : Linear * Extent) +
+               getInt(Op->getOperand(FirstIdx + I));
+    }
+    return M.Offset + Linear;
+  }
+
+  Status execute(Operation *Op) {
+    auto CodeIt = Plan.OpCodes.find(Op);
+    OpCode Code = CodeIt == Plan.OpCodes.end() ? classifyOp(Op)
+                                               : CodeIt->second;
+    auto ChargeArith = [&] { Count.Cost += Count.Props->ArithCost; };
+
+    switch (Code) {
+    case OpCode::Constant: {
+      Attribute ValueAttr = Op->getAttr("value");
+      if (auto IntAttr = ValueAttr.dyn_cast<IntegerAttr>())
+        set(Op->getResult(0), InterpValue::makeInt(IntAttr.getValue()));
+      else
+        set(Op->getResult(0),
+            InterpValue::makeFloat(ValueAttr.cast<FloatAttr>().getValue()));
+      return Status::Running;
+    }
+
+#define SMLIR_INT_BINOP(CASE, EXPR)                                           \
+  case OpCode::CASE: {                                                        \
+    int64_t A = getInt(Op->getOperand(0)), B = getInt(Op->getOperand(1));     \
+    (void)B;                                                                  \
+    ++Count.Stats->ArithOps;                                                  \
+    ChargeArith();                                                            \
+    set(Op->getResult(0), InterpValue::makeInt(EXPR));                        \
+    return Status::Running;                                                   \
+  }
+      SMLIR_INT_BINOP(AddI, A + B)
+      SMLIR_INT_BINOP(SubI, A - B)
+      SMLIR_INT_BINOP(MulI, A * B)
+      SMLIR_INT_BINOP(DivSI, B == 0 ? 0 : A / B)
+      SMLIR_INT_BINOP(RemSI, B == 0 ? 0 : A % B)
+      SMLIR_INT_BINOP(AndI, A & B)
+      SMLIR_INT_BINOP(OrI, A | B)
+      SMLIR_INT_BINOP(XOrI, A ^ B)
+      SMLIR_INT_BINOP(MinSI, A < B ? A : B)
+      SMLIR_INT_BINOP(MaxSI, A > B ? A : B)
+#undef SMLIR_INT_BINOP
+
+#define SMLIR_FLOAT_BINOP(CASE, EXPR)                                         \
+  case OpCode::CASE: {                                                        \
+    double A = getFloat(Op->getOperand(0)),                                   \
+           B = getFloat(Op->getOperand(1));                                   \
+    ++Count.Stats->ArithOps;                                                  \
+    ChargeArith();                                                            \
+    set(Op->getResult(0), InterpValue::makeFloat(EXPR));                      \
+    return Status::Running;                                                   \
+  }
+      SMLIR_FLOAT_BINOP(AddF, A + B)
+      SMLIR_FLOAT_BINOP(SubF, A - B)
+      SMLIR_FLOAT_BINOP(MulF, A * B)
+      SMLIR_FLOAT_BINOP(DivF, A / B)
+      SMLIR_FLOAT_BINOP(MinF, A < B ? A : B)
+      SMLIR_FLOAT_BINOP(MaxF, A > B ? A : B)
+#undef SMLIR_FLOAT_BINOP
+
+    case OpCode::NegF:
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      set(Op->getResult(0),
+          InterpValue::makeFloat(-getFloat(Op->getOperand(0))));
+      return Status::Running;
+
+    case OpCode::CmpI: {
+      int64_t A = getInt(Op->getOperand(0)), B = getInt(Op->getOperand(1));
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      auto Pred = *arith::parseCmpIPredicate(
+          Op->getAttrOfType<StringAttr>("predicate").getValue());
+      bool R = false;
+      switch (Pred) {
+      case arith::CmpIPredicate::eq: R = A == B; break;
+      case arith::CmpIPredicate::ne: R = A != B; break;
+      case arith::CmpIPredicate::slt: R = A < B; break;
+      case arith::CmpIPredicate::sle: R = A <= B; break;
+      case arith::CmpIPredicate::sgt: R = A > B; break;
+      case arith::CmpIPredicate::sge: R = A >= B; break;
+      }
+      set(Op->getResult(0), InterpValue::makeInt(R ? 1 : 0));
+      return Status::Running;
+    }
+    case OpCode::CmpF: {
+      double A = getFloat(Op->getOperand(0)),
+             B = getFloat(Op->getOperand(1));
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      auto Pred = *arith::parseCmpFPredicate(
+          Op->getAttrOfType<StringAttr>("predicate").getValue());
+      bool R = false;
+      switch (Pred) {
+      case arith::CmpFPredicate::oeq: R = A == B; break;
+      case arith::CmpFPredicate::one: R = A != B; break;
+      case arith::CmpFPredicate::olt: R = A < B; break;
+      case arith::CmpFPredicate::ole: R = A <= B; break;
+      case arith::CmpFPredicate::ogt: R = A > B; break;
+      case arith::CmpFPredicate::oge: R = A >= B; break;
+      }
+      set(Op->getResult(0), InterpValue::makeInt(R ? 1 : 0));
+      return Status::Running;
+    }
+    case OpCode::Select: {
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      bool C = getInt(Op->getOperand(0)) != 0;
+      set(Op->getResult(0), get(Op->getOperand(C ? 1 : 2)));
+      return Status::Running;
+    }
+
+    case OpCode::IndexCast:
+    case OpCode::ExtSI:
+      set(Op->getResult(0), get(Op->getOperand(0)));
+      return Status::Running;
+    case OpCode::TruncI: {
+      auto Width = Op->getResultType(0).cast<IntegerType>().getWidth();
+      uint64_t Mask = Width >= 64 ? ~0ull : ((1ull << Width) - 1);
+      set(Op->getResult(0),
+          InterpValue::makeInt(static_cast<int64_t>(
+              static_cast<uint64_t>(getInt(Op->getOperand(0))) & Mask)));
+      return Status::Running;
+    }
+    case OpCode::SIToFP:
+      set(Op->getResult(0),
+          InterpValue::makeFloat(
+              static_cast<double>(getInt(Op->getOperand(0)))));
+      return Status::Running;
+    case OpCode::FPToSI:
+      set(Op->getResult(0),
+          InterpValue::makeInt(
+              static_cast<int64_t>(getFloat(Op->getOperand(0)))));
+      return Status::Running;
+
+    case OpCode::Sqrt:
+    case OpCode::Exp:
+    case OpCode::FAbs: {
+      ++Count.Stats->MathOps;
+      Count.Cost += Count.Props->MathCost;
+      double A = getFloat(Op->getOperand(0));
+      double R = Code == OpCode::Sqrt   ? std::sqrt(A)
+                 : Code == OpCode::Exp ? std::exp(A)
+                                        : std::fabs(A);
+      set(Op->getResult(0), InterpValue::makeFloat(R));
+      return Status::Running;
+    }
+
+    case OpCode::Alloca: {
+      auto Ty = Op->getResultType(0).cast<MemRefType>();
+      Type Elem = Ty.getElementType();
+      if (!Elem.isIntOrIndex() && !Elem.isFloat()) {
+        // SYCL object allocation: one cell.
+        ObjCell &Cell = Objects.emplace_back();
+        set(Op->getResult(0), InterpValue::makeObj(&Cell));
+        return Status::Running;
+      }
+      Storage::Kind Kind = Elem.isFloat() ? Storage::Kind::Float
+                                          : Storage::Kind::Int;
+      if (Ty.getMemorySpace() == MemorySpace::Local) {
+        // Work-group shared allocation: one per group per site.
+        auto &Slot = Group.LocalAllocas[Op];
+        if (!Slot)
+          Slot = std::make_unique<Storage>(Kind, Ty.getNumElements(),
+                                           MemorySpace::Local);
+        set(Op->getResult(0), InterpValue::makeMemRef({Slot.get(), 0}));
+        return Status::Running;
+      }
+      PrivateAllocas.push_back(std::make_unique<Storage>(
+          Kind, Ty.getNumElements(), MemorySpace::Private));
+      set(Op->getResult(0),
+          InterpValue::makeMemRef({PrivateAllocas.back().get(), 0}));
+      return Status::Running;
+    }
+
+    case OpCode::Load: {
+      MemRefVal M = get(Op->getOperand(0)).M;
+      if (!M.Store)
+        return fail("load from uninitialized memref");
+      int64_t Index = linearIndex(Op, M, 1);
+      if (Index < 0 || static_cast<size_t>(Index) >= M.Store->size())
+        return fail("device memory load out of bounds");
+      chargeAccess(Op, M);
+      if (M.Store->StorageKind == Storage::Kind::Float)
+        set(Op->getResult(0),
+            InterpValue::makeFloat(M.Store->Floats[Index]));
+      else
+        set(Op->getResult(0), InterpValue::makeInt(M.Store->Ints[Index]));
+      return Status::Running;
+    }
+    case OpCode::Store: {
+      MemRefVal M = get(Op->getOperand(1)).M;
+      if (!M.Store)
+        return fail("store to uninitialized memref");
+      int64_t Index = linearIndex(Op, M, 2);
+      if (Index < 0 || static_cast<size_t>(Index) >= M.Store->size())
+        return fail("device memory store out of bounds");
+      chargeAccess(Op, M);
+      if (M.Store->StorageKind == Storage::Kind::Float)
+        M.Store->Floats[Index] = getFloat(Op->getOperand(0));
+      else
+        M.Store->Ints[Index] = getInt(Op->getOperand(0));
+      return Status::Running;
+    }
+
+    case OpCode::SCFIf: {
+      bool C = getInt(Op->getOperand(0)) != 0;
+      Region &R = Op->getRegion(C ? 0 : 1);
+      if (R.empty() || R.front().empty()) {
+        if (Op->getNumResults() > 0)
+          return fail("scf.if with results but empty branch");
+        return Status::Running;
+      }
+      Stack.push_back(Frame{&R.front(), R.front().front(), Op, 0, 0, 0});
+      return Status::Running;
+    }
+
+    case OpCode::LoopFor: {
+      int64_t Lb = getInt(Op->getOperand(0));
+      int64_t Ub = getInt(Op->getOperand(1));
+      int64_t Step = getInt(Op->getOperand(2));
+      if (Step <= 0)
+        return fail("loop with non-positive step");
+      Block &Body = Op->getRegion(0).front();
+      if (Lb >= Ub) {
+        // Zero-trip: results are the init values.
+        for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+          set(Op->getResult(I), get(Op->getOperand(3 + I)));
+        return Status::Running;
+      }
+      set(Body.getArgument(0), InterpValue::makeInt(Lb));
+      for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+        set(Body.getArgument(1 + I), get(Op->getOperand(3 + I)));
+      Stack.push_back(Frame{&Body, Body.front(), Op, Lb, Ub, Step});
+      return Status::Running;
+    }
+
+    case OpCode::Yield: {
+      Frame &F = Stack.back();
+      Operation *Owner = F.Owner;
+      if (!Owner)
+        return fail("yield outside of a structured op");
+      if (Plan.OpCodes.count(Owner) &&
+          Plan.OpCodes.at(Owner) == OpCode::LoopFor) {
+        // Loop back edge or exit.
+        std::vector<InterpValue> Yielded;
+        Yielded.reserve(Op->getNumOperands());
+        for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+          Yielded.push_back(get(Op->getOperand(I)));
+        F.IV += F.Step;
+        if (F.IV < F.UB) {
+          set(F.B->getArgument(0), InterpValue::makeInt(F.IV));
+          for (unsigned I = 0; I < Yielded.size(); ++I)
+            set(F.B->getArgument(1 + I), Yielded[I]);
+          F.Next = F.B->front();
+          return Status::Running;
+        }
+        for (unsigned I = 0; I < Yielded.size(); ++I)
+          set(Owner->getResult(I), Yielded[I]);
+        Stack.pop_back();
+        return Status::Running;
+      }
+      // scf.if.
+      for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+        set(Owner->getResult(I), get(Op->getOperand(I)));
+      Stack.pop_back();
+      return Status::Running;
+    }
+
+    case OpCode::Return: {
+      // Find the enclosing call frame (function body frame).
+      std::vector<InterpValue> Results;
+      Results.reserve(Op->getNumOperands());
+      for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+        Results.push_back(get(Op->getOperand(I)));
+      // Pop frames down to and including the function frame.
+      while (!Stack.empty()) {
+        Frame F = Stack.back();
+        Stack.pop_back();
+        if (!F.Owner) // Kernel entry frame.
+          return Status::Done;
+        if (Plan.Callees.count(F.Owner)) {
+          for (unsigned I = 0; I < Results.size(); ++I)
+            set(F.Owner->getResult(I), Results[I]);
+          return Status::Running;
+        }
+      }
+      return Status::Done;
+    }
+
+    case OpCode::Call: {
+      auto CalleeIt = Plan.Callees.find(Op);
+      if (CalleeIt == Plan.Callees.end())
+        return fail("call to unknown function '" +
+                    CallOp::cast(Op).getCallee() + "'");
+      FuncOp Callee = FuncOp::cast(CalleeIt->second);
+      if (Callee.isDeclaration())
+        return fail("call to function declaration");
+      Block *Entry = Callee.getEntryBlock();
+      for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+        set(Entry->getArgument(I), get(Op->getOperand(I)));
+      Stack.push_back(Frame{Entry, Entry->front(), Op, 0, 0, 0});
+      return Status::Running;
+    }
+
+    case OpCode::SYCLConstructor: {
+      ObjCell *Cell = get(Op->getOperand(0)).O;
+      if (!Cell)
+        return fail("sycl.constructor into non-object");
+      Cell->Dim = Op->getNumOperands() - 1;
+      for (unsigned I = 1, E = Op->getNumOperands(); I != E; ++I)
+        Cell->Vals[I - 1] = getInt(Op->getOperand(I));
+      return Status::Running;
+    }
+    case OpCode::IDGet:
+    case OpCode::RangeGet: {
+      ObjCell *Cell = get(Op->getOperand(0)).O;
+      int64_t D = getInt(Op->getOperand(1));
+      set(Op->getResult(0), InterpValue::makeInt(Cell->Vals[D]));
+      return Status::Running;
+    }
+    case OpCode::ItemGetID:
+    case OpCode::NDGlobalID: {
+      ObjCell *Cell = get(Op->getOperand(0)).O;
+      set(Op->getResult(0),
+          InterpValue::makeInt(
+              Cell->GlobalID[getInt(Op->getOperand(1))]));
+      return Status::Running;
+    }
+    case OpCode::ItemGetRange:
+    case OpCode::NDGlobalRange: {
+      ObjCell *Cell = get(Op->getOperand(0)).O;
+      set(Op->getResult(0),
+          InterpValue::makeInt(
+              Cell->GlobalRange[getInt(Op->getOperand(1))]));
+      return Status::Running;
+    }
+    case OpCode::NDLocalID: {
+      ObjCell *Cell = get(Op->getOperand(0)).O;
+      set(Op->getResult(0),
+          InterpValue::makeInt(Cell->LocalID[getInt(Op->getOperand(1))]));
+      return Status::Running;
+    }
+    case OpCode::NDGroupID: {
+      ObjCell *Cell = get(Op->getOperand(0)).O;
+      set(Op->getResult(0),
+          InterpValue::makeInt(Cell->GroupID[getInt(Op->getOperand(1))]));
+      return Status::Running;
+    }
+    case OpCode::NDLocalRange: {
+      ObjCell *Cell = get(Op->getOperand(0)).O;
+      set(Op->getResult(0),
+          InterpValue::makeInt(Cell->LocalRange[getInt(Op->getOperand(1))]));
+      return Status::Running;
+    }
+    case OpCode::NDGroupRange: {
+      ObjCell *Cell = get(Op->getOperand(0)).O;
+      int64_t D = getInt(Op->getOperand(1));
+      set(Op->getResult(0),
+          InterpValue::makeInt(Cell->GlobalRange[D] / Cell->LocalRange[D]));
+      return Status::Running;
+    }
+
+    case OpCode::AccSubscript: {
+      ObjCell *Acc = get(Op->getOperand(0)).O;
+      ObjCell *ID = get(Op->getOperand(1)).O;
+      if (!Acc || !ID)
+        return fail("accessor subscript on non-object");
+      std::array<int64_t, 3> Index = ID->Vals;
+      set(Op->getResult(0),
+          InterpValue::makeMemRef(
+              {Acc->Acc.Data, Acc->Acc.linearize(Index)}));
+      return Status::Running;
+    }
+    case OpCode::AccGetRange: {
+      ObjCell *Acc = get(Op->getOperand(0)).O;
+      set(Op->getResult(0),
+          InterpValue::makeInt(Acc->Acc.Range[getInt(Op->getOperand(1))]));
+      return Status::Running;
+    }
+    case OpCode::AccGetOffset: {
+      ObjCell *Acc = get(Op->getOperand(0)).O;
+      set(Op->getResult(0),
+          InterpValue::makeInt(Acc->Acc.Offset[getInt(Op->getOperand(1))]));
+      return Status::Running;
+    }
+    case OpCode::AccGetPointer: {
+      ObjCell *Acc = get(Op->getOperand(0)).O;
+      std::array<int64_t, 3> Zero = {0, 0, 0};
+      set(Op->getResult(0),
+          InterpValue::makeMemRef(
+              {Acc->Acc.Data, Acc->Acc.linearize(Zero)}));
+      return Status::Running;
+    }
+
+    case OpCode::Barrier:
+      ++Count.Stats->Barriers;
+      Count.Cost += Count.Props->BarrierCost;
+      LastBarrier = Op;
+      return Status::AtBarrier;
+
+    case OpCode::AccessorsDisjoint: {
+      ObjCell *A = get(Op->getOperand(0)).O;
+      ObjCell *B = get(Op->getOperand(1)).O;
+      bool Disjoint = false;
+      if (A->Acc.Data != B->Acc.Data) {
+        Disjoint = true;
+      } else if (A->Acc.Dim == 1 && B->Acc.Dim == 1) {
+        int64_t ABegin = A->Acc.Offset[0],
+                AEnd = ABegin + A->Acc.Range[0];
+        int64_t BBegin = B->Acc.Offset[0],
+                BEnd = BBegin + B->Acc.Range[0];
+        Disjoint = AEnd <= BBegin || BEnd <= ABegin;
+      }
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      set(Op->getResult(0), InterpValue::makeInt(Disjoint ? 1 : 0));
+      return Status::Running;
+    }
+
+    case OpCode::Unknown:
+      return fail("interpreter cannot execute '" +
+                  Op->getName().getStringRef() + "'");
+    }
+    return fail("unhandled opcode");
+  }
+
+  const ExecutionPlan &Plan;
+  GroupContext &Group;
+  Counters &Count;
+  std::vector<InterpValue> Env;
+  std::vector<Frame> Stack;
+  std::deque<ObjCell> Objects;
+  std::vector<std::unique_ptr<Storage>> PrivateAllocas;
+  Operation *LastBarrier = nullptr;
+  std::string ErrorMessage;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Device
+//===----------------------------------------------------------------------===//
+
+Device::Device(DeviceProperties Props) : Props(Props) {}
+Device::~Device() = default;
+
+Storage *Device::allocate(Storage::Kind Kind, size_t Size,
+                          MemorySpace Space) {
+  Allocations.push_back(std::make_unique<Storage>(Kind, Size, Space));
+  return Allocations.back().get();
+}
+
+LogicalResult Device::launch(FuncOp Kernel, const NDRange &Range,
+                             const std::vector<KernelArg> &Args,
+                             LaunchStats &Stats,
+                             std::string *ErrorMessage) {
+  auto Fail = [&](std::string Message) {
+    if (ErrorMessage)
+      *ErrorMessage = std::move(Message);
+    return failure();
+  };
+  if (Kernel.isDeclaration())
+    return Fail("kernel has no body");
+  if (Kernel.getNumArguments() != 1 + Args.size())
+    return Fail("kernel argument count mismatch");
+
+  std::unique_ptr<ExecutionPlan> Plan = buildPlan(Kernel);
+  Counters Count{&Stats, &Props, 0.0};
+
+  std::array<int64_t, 3> NumGroups = {1, 1, 1};
+  for (unsigned D = 0; D < Range.Dim; ++D) {
+    if (Range.Local[D] <= 0 || Range.Global[D] % Range.Local[D] != 0)
+      return Fail("global range not divisible by work-group size");
+    NumGroups[D] = Range.Global[D] / Range.Local[D];
+  }
+
+  // Execute group by group.
+  for (int64_t G2 = 0; G2 < NumGroups[2]; ++G2) {
+    for (int64_t G1 = 0; G1 < NumGroups[1]; ++G1) {
+      for (int64_t G0 = 0; G0 < NumGroups[0]; ++G0) {
+        GroupContext Group;
+        std::vector<std::unique_ptr<WorkItem>> Items;
+        for (int64_t L2 = 0; L2 < Range.Local[2]; ++L2)
+          for (int64_t L1 = 0; L1 < Range.Local[1]; ++L1)
+            for (int64_t L0 = 0; L0 < Range.Local[0]; ++L0)
+              Items.push_back(std::make_unique<WorkItem>(
+                  *Plan, Kernel, Range, Args, Group, Count,
+                  std::array<int64_t, 3>{G0, G1, G2},
+                  std::array<int64_t, 3>{L0, L1, L2}));
+
+        // Run-to-barrier phases.
+        while (true) {
+          unsigned NumDone = 0, NumAtBarrier = 0;
+          Operation *BarrierOp = nullptr;
+          for (auto &Item : Items) {
+            Status S = Item->run();
+            if (S == Status::Error)
+              return Fail(Item->getError());
+            if (S == Status::Done) {
+              ++NumDone;
+              continue;
+            }
+            ++NumAtBarrier;
+            if (!BarrierOp)
+              BarrierOp = Item->getBarrierOp();
+            else if (BarrierOp != Item->getBarrierOp())
+              return Fail("divergent barrier: work-items reached "
+                          "different barriers (deadlock)");
+          }
+          if (NumDone == Items.size())
+            break;
+          if (NumAtBarrier != Items.size())
+            return Fail("divergent barrier: only part of the work-group "
+                        "reached the barrier (deadlock)");
+        }
+      }
+    }
+  }
+
+  Stats.SimTime =
+      Props.LaunchOverhead + Props.PerArgCost * Args.size() +
+      Count.Cost / (static_cast<double>(Props.ComputeUnits) *
+                    Props.SIMDWidth);
+  return success();
+}

@@ -1,0 +1,175 @@
+//===- HostIRImporter.cpp - Host LLVM-dialect IR synthesis -------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/HostIRImporter.h"
+
+#include "dialect/Arith.h"
+#include "dialect/RuntimeABI.h"
+#include "frontend/KernelBuilder.h"
+#include "ir/Block.h"
+
+#include <map>
+
+using namespace smlir;
+using namespace smlir::frontend;
+
+namespace {
+
+Type elementTypeFor(MLIRContext *Context, exec::Storage::Kind Kind,
+                    unsigned Width) {
+  return Kind == exec::Storage::Kind::Float
+             ? Type(FloatType::get(Context, Width))
+             : Type(IntegerType::get(Context, Width));
+}
+
+/// Emits an alloca + range constructor call for constant \p Sizes.
+Value emitRange(OpBuilder &Builder, Location Loc,
+                const std::vector<int64_t> &Sizes) {
+  MLIRContext *Ctx = Builder.getContext();
+  Value Range = Builder
+                    .create<llvmir::LLVMAllocaOp>(
+                        Loc, sycl::RangeType::get(Ctx, Sizes.size()))
+                    .getOperation()
+                    ->getResult(0);
+  std::vector<Value> Operands = {Range};
+  for (int64_t Size : Sizes)
+    Operands.push_back(arith::createIntConstant(
+        Builder, Loc, IntegerType::get(Ctx, 64), Size));
+  Builder.create<llvmir::LLVMCallOp>(Loc, abi::rangeCtor(Sizes.size()),
+                                     Operands);
+  return Range;
+}
+
+/// Emits an alloca + id constructor call for constant \p Values.
+Value emitID(OpBuilder &Builder, Location Loc,
+             const std::vector<int64_t> &Values) {
+  MLIRContext *Ctx = Builder.getContext();
+  Value ID = Builder
+                 .create<llvmir::LLVMAllocaOp>(
+                     Loc, sycl::IDType::get(Ctx, Values.size()))
+                 .getOperation()
+                 ->getResult(0);
+  std::vector<Value> Operands = {ID};
+  for (int64_t V : Values)
+    Operands.push_back(arith::createIntConstant(
+        Builder, Loc, IntegerType::get(Ctx, 64), V));
+  Builder.create<llvmir::LLVMCallOp>(Loc, abi::idCtor(Values.size()),
+                                     Operands);
+  return ID;
+}
+
+} // namespace
+
+void frontend::importHostIR(SourceProgram &Program) {
+  MLIRContext *Ctx = Program.Context;
+  ModuleOp Top = ModuleOp::cast(
+      getOrCreateKernelsModule(Program).getOperation()->getParentOp());
+  OpBuilder Builder(Ctx);
+  Builder.setInsertionPointToEnd(Top.getBody());
+  Location Loc = Location::get(Ctx, "host_main");
+  auto PtrTy = llvmir::PtrType::get(Ctx);
+
+  auto HostMain = Builder.create<FuncOp>(
+      Loc, "host_main", FunctionType::get(Ctx, {}, {}));
+  Block *Entry = HostMain.addEntryBlock();
+  Builder.setInsertionPointToEnd(Entry);
+  (void)PtrTy;
+
+  // Buffers: host data pointer + range + buffer object.
+  std::map<std::string, Value> BufferObjs;
+  for (const BufferDecl &Buffer : Program.Buffers) {
+    Value Data = Builder.create<llvmir::LLVMAllocaOp>(Loc, Type())
+                     .getOperation()
+                     ->getResult(0);
+    Value Range = emitRange(Builder, Loc, Buffer.Shape);
+    Type Elem = elementTypeFor(Ctx, Buffer.Kind, Buffer.Width);
+    Value Buf =
+        Builder
+            .create<llvmir::LLVMAllocaOp>(
+                Loc,
+                sycl::BufferType::get(Ctx, Buffer.Shape.size(), Elem))
+            .getOperation()
+            ->getResult(0);
+    Builder.create<llvmir::LLVMCallOp>(
+        Loc, abi::bufferCtor(Buffer.Shape.size(), Elem),
+        std::vector<Value>{Buf, Data, Range});
+    BufferObjs[Buffer.Name] = Buf;
+  }
+
+  // Submissions: handler + ranges + accessors + parallel_for call.
+  for (const SubmitDecl &Submit : Program.Submits) {
+    Value Handler = Builder.create<llvmir::LLVMAllocaOp>(Loc, Type())
+                        .getOperation()
+                        ->getResult(0);
+    std::vector<int64_t> GlobalSizes(
+        Submit.Range.Global.begin(),
+        Submit.Range.Global.begin() + Submit.Range.Dim);
+    Value GlobalRange = emitRange(Builder, Loc, GlobalSizes);
+    Value LocalRange;
+    if (Submit.Range.HasLocal) {
+      std::vector<int64_t> LocalSizes(
+          Submit.Range.Local.begin(),
+          Submit.Range.Local.begin() + Submit.Range.Dim);
+      LocalRange = emitRange(Builder, Loc, LocalSizes);
+    }
+
+    std::vector<Value> CallArgs = {Handler, GlobalRange};
+    if (LocalRange)
+      CallArgs.push_back(LocalRange);
+
+    for (const KernelArgDecl &Arg : Submit.Args) {
+      if (const auto *Scalar = std::get_if<ScalarArg>(&Arg)) {
+        switch (Scalar->ScalarKind) {
+        case ScalarArg::Kind::I64:
+          CallArgs.push_back(arith::createIntConstant(
+              Builder, Loc, IntegerType::get(Ctx, 64), Scalar->IntValue));
+          break;
+        case ScalarArg::Kind::F64:
+          CallArgs.push_back(arith::createFloatConstant(
+              Builder, Loc, FloatType::get(Ctx, 64), Scalar->FloatValue));
+          break;
+        case ScalarArg::Kind::F32:
+          CallArgs.push_back(arith::createFloatConstant(
+              Builder, Loc, FloatType::get(Ctx, 32), Scalar->FloatValue));
+          break;
+        }
+        continue;
+      }
+      const auto &Acc = std::get<AccessorArg>(Arg);
+      const BufferDecl *Buffer = Program.findBuffer(Acc.Buffer);
+      assert(Buffer && "accessor over undeclared buffer");
+      Type Elem = elementTypeFor(Ctx, Buffer->Kind, Buffer->Width);
+      unsigned Dim = Buffer->Shape.size();
+      Value AccObj =
+          Builder
+              .create<llvmir::LLVMAllocaOp>(
+                  Loc, sycl::AccessorType::get(Ctx, Dim, Elem, Acc.Mode))
+              .getOperation()
+              ->getResult(0);
+      std::vector<Value> CtorArgs = {AccObj, BufferObjs[Acc.Buffer],
+                                     Handler};
+      if (!Acc.Range.empty()) {
+        // Ranged accessor: explicit sub-range and offset.
+        CtorArgs.push_back(emitRange(Builder, Loc, Acc.Range));
+        CtorArgs.push_back(emitID(
+            Builder, Loc,
+            Acc.Offset.empty() ? std::vector<int64_t>(Dim, 0)
+                               : Acc.Offset));
+      }
+      Builder.create<llvmir::LLVMCallOp>(
+          Loc, abi::accessorCtor(Dim, Elem, Acc.Mode), CtorArgs);
+      CallArgs.push_back(AccObj);
+    }
+
+    Builder.create<llvmir::LLVMCallOp>(
+        Loc,
+        abi::parallelFor(Submit.Kernel, Submit.Range.Dim,
+                         Submit.Range.HasLocal),
+        CallArgs);
+  }
+
+  Builder.create<ReturnOp>(Loc);
+}

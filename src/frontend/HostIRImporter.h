@@ -1,0 +1,32 @@
+//===- HostIRImporter.h - Host LLVM-dialect IR synthesis --------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes the pre-raising host IR for a SourceProgram: an
+/// LLVM-dialect-like `@host_main` function consisting of allocas and calls
+/// into the simulated DPC++ runtime ABI. This is the stand-in for the
+/// paper's `mlir-translate` step (Fig. 1): "we take an alternative
+/// approach obtaining MLIR host code from LLVM IR". The Host Raising pass
+/// (paper §VII-A) then recovers `sycl.host.*` semantics from these calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_FRONTEND_HOSTIRIMPORTER_H
+#define SMLIR_FRONTEND_HOSTIRIMPORTER_H
+
+#include "frontend/SourceProgram.h"
+
+namespace smlir {
+namespace frontend {
+
+/// Appends `@host_main` (unraised host IR) to the program's top-level
+/// module. Must be called after all kernels have been built.
+void importHostIR(SourceProgram &Program);
+
+} // namespace frontend
+} // namespace smlir
+
+#endif // SMLIR_FRONTEND_HOSTIRIMPORTER_H

@@ -1,0 +1,245 @@
+//===- KernelBuilder.cpp - Device kernel construction DSL --------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/KernelBuilder.h"
+
+#include "dialect/MemRef.h"
+#include "ir/Block.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+using namespace smlir;
+using namespace smlir::frontend;
+
+ModuleOp frontend::getOrCreateKernelsModule(SourceProgram &Program) {
+  if (!Program.DeviceModule) {
+    ModuleOp Top = ModuleOp::create(Program.Context);
+    OpBuilder Builder(Program.Context);
+    Builder.setInsertionPointToEnd(Top.getBody());
+    ModuleOp Kernels =
+        Builder.create<ModuleOp>(Builder.getUnknownLoc(), "kernels");
+    Kernels.getBody(); // Materialize the body block.
+    Program.DeviceModule = OwningOpRef(Top.getOperation());
+  }
+  return Program.getKernelsModule();
+}
+
+KernelBuilder::KernelBuilder(SourceProgram &Program, std::string Name,
+                             unsigned Dims, bool UsesNDItem)
+    : Program(Program), Context(Program.Context), Builder(Program.Context),
+      Loc(Location::get(Program.Context, "kernel:" + Name)),
+      Kernel(nullptr), Name(Name), Dims(Dims), UsesNDItem(UsesNDItem) {
+  // Create the kernel eagerly with the leading item/nd_item argument;
+  // further arguments are appended via addAccessorArg/addScalarArg.
+  Type ItemTy = UsesNDItem
+                    ? Type(sycl::NDItemType::get(Context, Dims))
+                    : Type(sycl::ItemType::get(Context, Dims));
+  Type ItemMemTy = sycl::getObjectArgMemRefType(ItemTy);
+  ModuleOp Kernels = getOrCreateKernelsModule(Program);
+  Builder.setInsertionPointToEnd(Kernels.getBody());
+  Kernel = Builder.create<FuncOp>(
+      Loc, this->Name, FunctionType::get(Context, {ItemMemTy}, {}));
+  Kernel.getOperation()->setAttr("sycl.kernel", UnitAttr::get(Context));
+  Block *Entry = Kernel.addEntryBlock();
+  Builder.setInsertionPointToEnd(Entry);
+  ItemArg = Entry->getArgument(0);
+}
+
+/// Appends one argument of type \p Ty to the kernel signature and entry
+/// block.
+static Value appendArgument(FuncOp Kernel, Type Ty) {
+  FunctionType OldTy = Kernel.getFunctionType();
+  std::vector<Type> Inputs = OldTy.getInputs();
+  Inputs.push_back(Ty);
+  Kernel.setFunctionType(FunctionType::get(
+      Kernel.getContext(), std::move(Inputs), OldTy.getResults()));
+  return Kernel.getEntryBlock()->addArgument(Ty);
+}
+
+Value KernelBuilder::addAccessorArg(Type ElementType, unsigned Dim,
+                                    sycl::AccessMode Mode) {
+  auto AccTy = sycl::AccessorType::get(Context, Dim, ElementType, Mode);
+  return appendArgument(Kernel, sycl::getObjectArgMemRefType(AccTy));
+}
+
+Value KernelBuilder::addScalarArg(Type Ty) {
+  return appendArgument(Kernel, Ty);
+}
+
+void KernelBuilder::finish() {
+  Builder.create<ReturnOp>(Loc);
+  std::string Error;
+  if (verify(Kernel.getOperation(), &Error).failed())
+    reportFatalError("kernel '" + Name + "' failed to verify: " + Error);
+}
+
+Value KernelBuilder::cIdx(int64_t Value) {
+  return arith::createIndexConstant(Builder, Loc, Value);
+}
+Value KernelBuilder::cI32(int64_t Value) {
+  return arith::createIntConstant(Builder, Loc, i32(), Value);
+}
+Value KernelBuilder::cFloat(Type Ty, double Value) {
+  return arith::createFloatConstant(Builder, Loc, Ty, Value);
+}
+
+Value KernelBuilder::gid(unsigned Dim) {
+  Value DimConst = cI32(Dim);
+  if (UsesNDItem)
+    return Builder
+        .create<sycl::NDItemGetGlobalIDOp>(Loc, ItemArg, DimConst)
+        .getOperation()
+        ->getResult(0);
+  return Builder.create<sycl::ItemGetIDOp>(Loc, ItemArg, DimConst)
+      .getOperation()
+      ->getResult(0);
+}
+
+Value KernelBuilder::lid(unsigned Dim) {
+  assert(UsesNDItem && "local id requires an nd_item kernel");
+  return Builder
+      .create<sycl::NDItemGetLocalIDOp>(Loc, ItemArg, cI32(Dim))
+      .getOperation()
+      ->getResult(0);
+}
+
+Value KernelBuilder::globalRange(unsigned Dim) {
+  Value DimConst = cI32(Dim);
+  if (UsesNDItem)
+    return Builder
+        .create<sycl::NDItemGetGlobalRangeOp>(Loc, ItemArg, DimConst)
+        .getOperation()
+        ->getResult(0);
+  return Builder.create<sycl::ItemGetRangeOp>(Loc, ItemArg, DimConst)
+      .getOperation()
+      ->getResult(0);
+}
+
+Value KernelBuilder::localRange(unsigned Dim) {
+  assert(UsesNDItem && "local range requires an nd_item kernel");
+  return Builder
+      .create<sycl::NDItemGetLocalRangeOp>(Loc, ItemArg, cI32(Dim))
+      .getOperation()
+      ->getResult(0);
+}
+
+void KernelBuilder::barrier() {
+  assert(UsesNDItem && "barrier requires an nd_item kernel");
+  Builder.create<sycl::GroupBarrierOp>(Loc, ItemArg);
+}
+
+#define SMLIR_KB_BINOP(Method, OpTy)                                          \
+  Value KernelBuilder::Method(Value A, Value B) {                             \
+    return Builder.create<OpTy>(Loc, A, B).getOperation()->getResult(0);      \
+  }
+SMLIR_KB_BINOP(addi, arith::AddIOp)
+SMLIR_KB_BINOP(subi, arith::SubIOp)
+SMLIR_KB_BINOP(muli, arith::MulIOp)
+SMLIR_KB_BINOP(divi, arith::DivSIOp)
+SMLIR_KB_BINOP(addf, arith::AddFOp)
+SMLIR_KB_BINOP(subf, arith::SubFOp)
+SMLIR_KB_BINOP(mulf, arith::MulFOp)
+SMLIR_KB_BINOP(divf, arith::DivFOp)
+#undef SMLIR_KB_BINOP
+
+Value KernelBuilder::sqrt(Value A) {
+  return Builder.create<math::SqrtOp>(Loc, A).getOperation()->getResult(0);
+}
+
+Value KernelBuilder::cmpi(arith::CmpIPredicate Pred, Value A, Value B) {
+  return Builder.create<arith::CmpIOp>(Loc, Pred, A, B)
+      .getOperation()
+      ->getResult(0);
+}
+
+Value KernelBuilder::cmpf(arith::CmpFPredicate Pred, Value A, Value B) {
+  return Builder.create<arith::CmpFOp>(Loc, Pred, A, B)
+      .getOperation()
+      ->getResult(0);
+}
+
+Value KernelBuilder::select(Value Cond, Value TrueValue, Value FalseValue) {
+  return Builder.create<arith::SelectOp>(Loc, Cond, TrueValue, FalseValue)
+      .getOperation()
+      ->getResult(0);
+}
+
+Value KernelBuilder::sitofp(Value A, Type Ty) {
+  return Builder.create<arith::SIToFPOp>(Loc, A, Ty)
+      .getOperation()
+      ->getResult(0);
+}
+
+Value KernelBuilder::subscript(Value Accessor,
+                               const std::vector<Value> &Indices) {
+  auto IDTy = sycl::IDType::get(Context, Indices.size());
+  Value IDMem =
+      Builder.create<memref::AllocaOp>(Loc, sycl::getObjectMemRefType(IDTy))
+          .getOperation()
+          ->getResult(0);
+  Builder.create<sycl::ConstructorOp>(Loc, "id", IDMem, Indices);
+  return Builder.create<sycl::AccessorSubscriptOp>(Loc, Accessor, IDMem)
+      .getOperation()
+      ->getResult(0);
+}
+
+Value KernelBuilder::loadView(Value View) {
+  return Builder
+      .create<affine::AffineLoadOp>(Loc, View, std::vector<Value>{cIdx(0)})
+      .getOperation()
+      ->getResult(0);
+}
+
+void KernelBuilder::storeView(Value View, Value Val) {
+  Builder.create<affine::AffineStoreOp>(Loc, Val, View,
+                                        std::vector<Value>{cIdx(0)});
+}
+
+Value KernelBuilder::loadAcc(Value Accessor,
+                             const std::vector<Value> &Indices) {
+  return loadView(subscript(Accessor, Indices));
+}
+
+void KernelBuilder::storeAcc(Value Accessor,
+                             const std::vector<Value> &Indices, Value Val) {
+  storeView(subscript(Accessor, Indices), Val);
+}
+
+Value KernelBuilder::accRange(Value Accessor, unsigned Dim) {
+  return Builder.create<sycl::AccessorGetRangeOp>(Loc, Accessor, cI32(Dim))
+      .getOperation()
+      ->getResult(0);
+}
+
+std::vector<Value> KernelBuilder::forLoop(
+    Value Lb, Value Ub, Value Step, const std::vector<Value> &Inits,
+    const std::function<std::vector<Value>(
+        KernelBuilder &, Value, const std::vector<Value> &)> &Body) {
+  auto For =
+      Builder.create<affine::AffineForOp>(Loc, Lb, Ub, Step, Inits);
+  {
+    OpBuilder::InsertionGuard Guard(Builder);
+    Builder.setInsertionPointToEnd(For.getBody());
+    std::vector<Value> Carried;
+    for (unsigned I = 0; I < Inits.size(); ++I)
+      Carried.push_back(For.getRegionIterArg(I));
+    std::vector<Value> Yields = Body(*this, For.getInductionVar(), Carried);
+    assert(Yields.size() == Inits.size() && "yield arity mismatch");
+    Builder.create<affine::AffineYieldOp>(Loc, Yields);
+  }
+  return For.getOperation()->getResults();
+}
+
+void KernelBuilder::forLoop(
+    int64_t Lb, int64_t Ub,
+    const std::function<void(KernelBuilder &, Value)> &Body) {
+  forLoop(cIdx(Lb), cIdx(Ub), cIdx(1), {},
+          [&](KernelBuilder &KB, Value IV,
+              const std::vector<Value> &) -> std::vector<Value> {
+            Body(KB, IV);
+            return {};
+          });
+}

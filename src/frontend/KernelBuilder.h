@@ -1,0 +1,173 @@
+//===- KernelBuilder.h - Device kernel construction DSL ---------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small embedded DSL for authoring SYCL device kernels directly as MLIR
+/// in the SYCL dialect — the stand-in for the paper's Polygeist-based
+/// device frontend (C++ -> MLIR). Kernels produced here have exactly the
+/// shape of the paper's listings: an item/nd_item argument, accessor
+/// arguments behind memrefs, `sycl.constructor` + `sycl.accessor.subscript`
+/// addressing and affine loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_FRONTEND_KERNELBUILDER_H
+#define SMLIR_FRONTEND_KERNELBUILDER_H
+
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "frontend/SourceProgram.h"
+#include "ir/Builders.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace smlir {
+namespace frontend {
+
+/// Builds one kernel function into a program's `@kernels` module.
+///
+/// Typical usage:
+/// \code
+///   KernelBuilder KB(Program, "vecadd", 1, /*UsesNDItem=*/false);
+///   Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+///   Value B = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+///   Value C = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Write);
+///   Value I = KB.gid(0);
+///   KB.storeAcc(C, {I}, KB.addf(KB.loadAcc(A, {I}), KB.loadAcc(B, {I})));
+///   KB.finish();
+/// \endcode
+class KernelBuilder {
+public:
+  /// Starts a kernel named \p Name over a \p Dims-dimensional index space.
+  /// \p UsesNDItem selects an nd_item argument (work-group queries and
+  /// barriers) instead of a plain item.
+  KernelBuilder(SourceProgram &Program, std::string Name, unsigned Dims,
+                bool UsesNDItem);
+
+  MLIRContext *getContext() const { return Context; }
+  OpBuilder &builder() { return Builder; }
+  Location loc() const { return Loc; }
+  FuncOp getKernel() const { return Kernel; }
+
+  //===------------------------------------------------------------------===//
+  // Arguments
+  //===------------------------------------------------------------------===//
+
+  /// Appends an accessor argument and returns its SSA value.
+  Value addAccessorArg(Type ElementType, unsigned Dim,
+                       sycl::AccessMode Mode);
+  /// Appends a scalar argument and returns its SSA value.
+  Value addScalarArg(Type Ty);
+
+  /// Terminates the kernel with func.return and verifies it.
+  void finish();
+
+  //===------------------------------------------------------------------===//
+  // Types and constants
+  //===------------------------------------------------------------------===//
+
+  Type f32() { return FloatType::get(Context, 32); }
+  Type f64() { return FloatType::get(Context, 64); }
+  Type i32() { return IntegerType::get(Context, 32); }
+  Type i64() { return IntegerType::get(Context, 64); }
+  Type index() { return IndexType::get(Context); }
+
+  Value cIdx(int64_t Value);
+  Value cI32(int64_t Value);
+  Value cFloat(Type Ty, double Value);
+
+  //===------------------------------------------------------------------===//
+  // Work-item queries
+  //===------------------------------------------------------------------===//
+
+  /// Global id in dimension \p Dim.
+  Value gid(unsigned Dim);
+  /// Local id in dimension \p Dim (nd_item kernels only).
+  Value lid(unsigned Dim);
+  /// Global range in dimension \p Dim.
+  Value globalRange(unsigned Dim);
+  /// Work-group size in dimension \p Dim (nd_item kernels only).
+  Value localRange(unsigned Dim);
+  /// Inserts a work-group barrier (nd_item kernels only).
+  void barrier();
+
+  //===------------------------------------------------------------------===//
+  // Arithmetic sugar
+  //===------------------------------------------------------------------===//
+
+  Value addi(Value A, Value B);
+  Value subi(Value A, Value B);
+  Value muli(Value A, Value B);
+  Value divi(Value A, Value B);
+  Value addf(Value A, Value B);
+  Value subf(Value A, Value B);
+  Value mulf(Value A, Value B);
+  Value divf(Value A, Value B);
+  Value sqrt(Value A);
+  Value cmpi(arith::CmpIPredicate Pred, Value A, Value B);
+  Value cmpf(arith::CmpFPredicate Pred, Value A, Value B);
+  Value select(Value Cond, Value TrueValue, Value FalseValue);
+  Value sitofp(Value A, Type Ty);
+
+  //===------------------------------------------------------------------===//
+  // Accessor memory access (paper Listing 3 shape)
+  //===------------------------------------------------------------------===//
+
+  /// Builds constructor + subscript, yielding the element view memref.
+  Value subscript(Value Accessor, const std::vector<Value> &Indices);
+  /// Loads through a previously built element view.
+  Value loadView(Value View);
+  /// Stores through a previously built element view.
+  void storeView(Value View, Value Val);
+  /// subscript + load.
+  Value loadAcc(Value Accessor, const std::vector<Value> &Indices);
+  /// subscript + store.
+  void storeAcc(Value Accessor, const std::vector<Value> &Indices,
+                Value Val);
+  /// Accessor range query.
+  Value accRange(Value Accessor, unsigned Dim);
+
+  //===------------------------------------------------------------------===//
+  // Loops
+  //===------------------------------------------------------------------===//
+
+  /// Builds an `affine.for` from \p Lb to \p Ub (step \p Step) with
+  /// loop-carried values \p Inits. \p Body receives the induction variable
+  /// and current iteration values and returns the yielded values. Returns
+  /// the loop results.
+  std::vector<Value>
+  forLoop(Value Lb, Value Ub, Value Step, const std::vector<Value> &Inits,
+          const std::function<std::vector<Value>(
+              KernelBuilder &, Value, const std::vector<Value> &)> &Body);
+
+  /// Convenience constant-bound loop without carried values.
+  void forLoop(int64_t Lb, int64_t Ub,
+               const std::function<void(KernelBuilder &, Value)> &Body);
+
+private:
+  SourceProgram &Program;
+  MLIRContext *Context;
+  OpBuilder Builder;
+  Location Loc;
+  FuncOp Kernel;
+  std::string Name;
+  unsigned Dims;
+  bool UsesNDItem;
+  Value ItemArg;
+};
+
+/// Creates (or returns) the program's top-level module with a nested
+/// `@kernels` module.
+ModuleOp getOrCreateKernelsModule(SourceProgram &Program);
+
+} // namespace frontend
+} // namespace smlir
+
+#endif // SMLIR_FRONTEND_KERNELBUILDER_H

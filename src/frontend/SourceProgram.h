@@ -1,0 +1,114 @@
+//===- SourceProgram.h - Declarative SYCL program description ---*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frontend's program representation: device kernels (already MLIR,
+/// produced by the KernelBuilder — the Polygeist stand-in) plus a
+/// declarative description of the host program (buffers, kernel
+/// submissions, validation). The HostIRImporter lowers the host side to
+/// LLVM-dialect IR (the mlir-translate stand-in, paper Fig. 1), and the
+/// runtime executes the same description against a compiled executable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_FRONTEND_SOURCEPROGRAM_H
+#define SMLIR_FRONTEND_SOURCEPROGRAM_H
+
+#include "dialect/Builtin.h"
+#include "dialect/SYCL.h"
+#include "exec/Device.h"
+#include "ir/Parser.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace smlir {
+namespace frontend {
+
+/// A host-side buffer declaration.
+struct BufferDecl {
+  std::string Name;
+  exec::Storage::Kind Kind = exec::Storage::Kind::Float;
+  std::vector<int64_t> Shape;
+  /// Fills the initial contents (optional).
+  std::function<void(exec::Storage &)> Init;
+  /// Element bit width (32/64) — determines the device element type (f32
+  /// vs f64, i32 vs i64). Storage precision is uniform; the width affects
+  /// IR types only.
+  unsigned Width = 32;
+
+  int64_t numElements() const {
+    int64_t Count = 1;
+    for (int64_t Dim : Shape)
+      Count *= Dim;
+    return Count;
+  }
+};
+
+/// A kernel argument in a submission: an accessor over a named buffer, or
+/// a scalar constant.
+struct AccessorArg {
+  std::string Buffer;
+  sycl::AccessMode Mode = sycl::AccessMode::ReadWrite;
+  /// Ranged accessor: sub-range and offset (empty: whole buffer).
+  std::vector<int64_t> Range;
+  std::vector<int64_t> Offset;
+};
+
+struct ScalarArg {
+  enum class Kind { I64, F64, F32 } ScalarKind = Kind::I64;
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  static ScalarArg i64(int64_t Value) { return {Kind::I64, Value, 0.0}; }
+  static ScalarArg f64(double Value) { return {Kind::F64, 0, Value}; }
+  static ScalarArg f32(double Value) { return {Kind::F32, 0, Value}; }
+};
+
+using KernelArgDecl = std::variant<AccessorArg, ScalarArg>;
+
+/// One queue.submit with a parallel_for.
+struct SubmitDecl {
+  std::string Kernel;
+  exec::NDRange Range;
+  std::vector<KernelArgDecl> Args;
+};
+
+/// Full program: device kernels + host behavior.
+struct SourceProgram {
+  explicit SourceProgram(MLIRContext *Context) : Context(Context) {}
+
+  MLIRContext *Context;
+  /// Top-level module holding the nested `@kernels` module.
+  OwningOpRef DeviceModule;
+  std::vector<BufferDecl> Buffers;
+  std::vector<SubmitDecl> Submits;
+  /// Validates final buffer contents (name -> storage).
+  std::function<bool(const std::map<std::string, exec::Storage *> &)>
+      Verify;
+
+  const BufferDecl *findBuffer(std::string_view Name) const {
+    for (const BufferDecl &Buffer : Buffers)
+      if (Buffer.Name == Name)
+        return &Buffer;
+    return nullptr;
+  }
+
+  /// The nested kernels module.
+  ModuleOp getKernelsModule() const {
+    auto Top = ModuleOp::cast(DeviceModule.get());
+    return ModuleOp::cast(Top.lookupSymbol("kernels"));
+  }
+};
+
+} // namespace frontend
+} // namespace smlir
+
+#endif // SMLIR_FRONTEND_SOURCEPROGRAM_H

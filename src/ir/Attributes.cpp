@@ -1,0 +1,343 @@
+//===- Attributes.cpp - IR attribute system -------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Attributes.h"
+
+#include "ir/MLIRContext.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// Attribute
+//===----------------------------------------------------------------------===//
+
+MLIRContext *Attribute::getContext() const {
+  assert(Impl && "null attribute");
+  return Impl->Context;
+}
+
+TypeID Attribute::getTypeID() const {
+  assert(Impl && "null attribute");
+  return Impl->ID;
+}
+
+const std::string &Attribute::str() const {
+  assert(Impl && "null attribute");
+  return Impl->Key;
+}
+
+void Attribute::print(std::ostream &OS) const {
+  OS << (Impl ? Impl->Key : std::string("<<null attribute>>"));
+}
+
+//===----------------------------------------------------------------------===//
+// Storage classes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct IntegerAttrStorage : detail::AttributeStorage {
+  IntegerAttrStorage(MLIRContext *Context, std::string Key, Type Ty,
+                     int64_t Value)
+      : AttributeStorage(TypeID::get<IntegerAttrStorage>(), Context,
+                         std::move(Key)),
+        Ty(Ty), Value(Value) {}
+  Type Ty;
+  int64_t Value;
+};
+
+struct FloatAttrStorage : detail::AttributeStorage {
+  FloatAttrStorage(MLIRContext *Context, std::string Key, Type Ty,
+                   double Value)
+      : AttributeStorage(TypeID::get<FloatAttrStorage>(), Context,
+                         std::move(Key)),
+        Ty(Ty), Value(Value) {}
+  Type Ty;
+  double Value;
+};
+
+struct StringAttrStorage : detail::AttributeStorage {
+  StringAttrStorage(MLIRContext *Context, std::string Key, std::string Value)
+      : AttributeStorage(TypeID::get<StringAttrStorage>(), Context,
+                         std::move(Key)),
+        Value(std::move(Value)) {}
+  std::string Value;
+};
+
+struct TypeAttrStorage : detail::AttributeStorage {
+  TypeAttrStorage(MLIRContext *Context, std::string Key, Type Ty)
+      : AttributeStorage(TypeID::get<TypeAttrStorage>(), Context,
+                         std::move(Key)),
+        Ty(Ty) {}
+  Type Ty;
+};
+
+struct ArrayAttrStorage : detail::AttributeStorage {
+  ArrayAttrStorage(MLIRContext *Context, std::string Key,
+                   std::vector<Attribute> Elements)
+      : AttributeStorage(TypeID::get<ArrayAttrStorage>(), Context,
+                         std::move(Key)),
+        Elements(std::move(Elements)) {}
+  std::vector<Attribute> Elements;
+};
+
+struct SymbolRefAttrStorage : detail::AttributeStorage {
+  SymbolRefAttrStorage(MLIRContext *Context, std::string Key,
+                       std::vector<std::string> Path)
+      : AttributeStorage(TypeID::get<SymbolRefAttrStorage>(), Context,
+                         std::move(Key)),
+        Path(std::move(Path)) {}
+  std::vector<std::string> Path;
+};
+
+struct UnitAttrStorage : detail::AttributeStorage {
+  UnitAttrStorage(MLIRContext *Context, std::string Key)
+      : AttributeStorage(TypeID::get<UnitAttrStorage>(), Context,
+                         std::move(Key)) {}
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IntegerAttr
+//===----------------------------------------------------------------------===//
+
+IntegerAttr IntegerAttr::get(Type Ty, int64_t Value) {
+  MLIRContext *Context = Ty.getContext();
+  std::string Key = std::to_string(Value) + " : " + Ty.str();
+  auto *Storage = Context->getAttributeStorage(Key, [&] {
+    return std::make_unique<IntegerAttrStorage>(Context, Key, Ty, Value);
+  });
+  return IntegerAttr(Storage);
+}
+
+int64_t IntegerAttr::getValue() const {
+  return static_cast<const IntegerAttrStorage *>(Impl)->Value;
+}
+
+Type IntegerAttr::getType() const {
+  return static_cast<const IntegerAttrStorage *>(Impl)->Ty;
+}
+
+bool IntegerAttr::classof(Attribute Attr) {
+  return Attr.getTypeID() == TypeID::get<IntegerAttrStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// FloatAttr
+//===----------------------------------------------------------------------===//
+
+/// Prints \p Value so that it parses back to the identical double.
+static std::string printFloatExact(double Value) {
+  std::ostringstream OS;
+  OS.precision(std::numeric_limits<double>::max_digits10);
+  OS << Value;
+  std::string Text = OS.str();
+  // Ensure the token is recognizable as a float literal.
+  if (Text.find_first_of(".eE") == std::string::npos &&
+      Text.find("inf") == std::string::npos &&
+      Text.find("nan") == std::string::npos)
+    Text += ".0";
+  return Text;
+}
+
+FloatAttr FloatAttr::get(Type Ty, double Value) {
+  MLIRContext *Context = Ty.getContext();
+  std::string Key = printFloatExact(Value) + " : " + Ty.str();
+  auto *Storage = Context->getAttributeStorage(Key, [&] {
+    return std::make_unique<FloatAttrStorage>(Context, Key, Ty, Value);
+  });
+  return FloatAttr(Storage);
+}
+
+double FloatAttr::getValue() const {
+  return static_cast<const FloatAttrStorage *>(Impl)->Value;
+}
+
+Type FloatAttr::getType() const {
+  return static_cast<const FloatAttrStorage *>(Impl)->Ty;
+}
+
+bool FloatAttr::classof(Attribute Attr) {
+  return Attr.getTypeID() == TypeID::get<FloatAttrStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// StringAttr
+//===----------------------------------------------------------------------===//
+
+/// Escapes \p Value for inclusion in a double-quoted string literal.
+static std::string escapeString(std::string_view Value) {
+  std::string Out;
+  Out.reserve(Value.size() + 2);
+  Out += '"';
+  for (char C : Value) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+StringAttr StringAttr::get(MLIRContext *Context, std::string_view Value) {
+  std::string Key = escapeString(Value);
+  auto *Storage = Context->getAttributeStorage(Key, [&] {
+    return std::make_unique<StringAttrStorage>(Context, Key,
+                                               std::string(Value));
+  });
+  return StringAttr(Storage);
+}
+
+const std::string &StringAttr::getValue() const {
+  return static_cast<const StringAttrStorage *>(Impl)->Value;
+}
+
+bool StringAttr::classof(Attribute Attr) {
+  return Attr.getTypeID() == TypeID::get<StringAttrStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// TypeAttr
+//===----------------------------------------------------------------------===//
+
+TypeAttr TypeAttr::get(Type Ty) {
+  MLIRContext *Context = Ty.getContext();
+  const std::string &Key = Ty.str();
+  auto *Storage = Context->getAttributeStorage(Key, [&] {
+    return std::make_unique<TypeAttrStorage>(Context, Key, Ty);
+  });
+  return TypeAttr(Storage);
+}
+
+Type TypeAttr::getValue() const {
+  return static_cast<const TypeAttrStorage *>(Impl)->Ty;
+}
+
+bool TypeAttr::classof(Attribute Attr) {
+  return Attr.getTypeID() == TypeID::get<TypeAttrStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// ArrayAttr
+//===----------------------------------------------------------------------===//
+
+ArrayAttr ArrayAttr::get(MLIRContext *Context,
+                         std::vector<Attribute> Elements) {
+  std::ostringstream Key;
+  Key << "[";
+  for (size_t I = 0; I < Elements.size(); ++I) {
+    if (I)
+      Key << ", ";
+    Key << Elements[I].str();
+  }
+  Key << "]";
+  std::string KeyStr = Key.str();
+  auto *Storage = Context->getAttributeStorage(KeyStr, [&] {
+    return std::make_unique<ArrayAttrStorage>(Context, KeyStr,
+                                              std::move(Elements));
+  });
+  return ArrayAttr(Storage);
+}
+
+const std::vector<Attribute> &ArrayAttr::getValue() const {
+  return static_cast<const ArrayAttrStorage *>(Impl)->Elements;
+}
+
+bool ArrayAttr::classof(Attribute Attr) {
+  return Attr.getTypeID() == TypeID::get<ArrayAttrStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// SymbolRefAttr
+//===----------------------------------------------------------------------===//
+
+SymbolRefAttr SymbolRefAttr::get(MLIRContext *Context,
+                                 std::vector<std::string> Path) {
+  assert(!Path.empty() && "symbol ref requires at least one component");
+  std::string Key;
+  for (size_t I = 0; I < Path.size(); ++I) {
+    if (I)
+      Key += "::";
+    Key += "@" + Path[I];
+  }
+  auto *Storage = Context->getAttributeStorage(Key, [&] {
+    return std::make_unique<SymbolRefAttrStorage>(Context, Key,
+                                                  std::move(Path));
+  });
+  return SymbolRefAttr(Storage);
+}
+
+SymbolRefAttr SymbolRefAttr::get(MLIRContext *Context,
+                                 std::string_view Root) {
+  return get(Context, std::vector<std::string>{std::string(Root)});
+}
+
+const std::vector<std::string> &SymbolRefAttr::getPath() const {
+  return static_cast<const SymbolRefAttrStorage *>(Impl)->Path;
+}
+
+bool SymbolRefAttr::classof(Attribute Attr) {
+  return Attr.getTypeID() == TypeID::get<SymbolRefAttrStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// UnitAttr
+//===----------------------------------------------------------------------===//
+
+UnitAttr UnitAttr::get(MLIRContext *Context) {
+  std::string Key = "unit";
+  auto *Storage = Context->getAttributeStorage(Key, [&] {
+    return std::make_unique<UnitAttrStorage>(Context, Key);
+  });
+  return UnitAttr(Storage);
+}
+
+bool UnitAttr::classof(Attribute Attr) {
+  return Attr.getTypeID() == TypeID::get<UnitAttrStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+IntegerAttr smlir::getBoolAttr(MLIRContext *Context, bool Value) {
+  return IntegerAttr::get(IntegerType::get(Context, 1), Value ? 1 : 0);
+}
+
+IntegerAttr smlir::getI64Attr(MLIRContext *Context, int64_t Value) {
+  return IntegerAttr::get(IntegerType::get(Context, 64), Value);
+}
+
+IntegerAttr smlir::getIndexAttr(MLIRContext *Context, int64_t Value) {
+  return IntegerAttr::get(IndexType::get(Context), Value);
+}
+
+ArrayAttr smlir::getIndexArrayAttr(MLIRContext *Context,
+                                   const std::vector<int64_t> &Values) {
+  std::vector<Attribute> Elements;
+  Elements.reserve(Values.size());
+  for (int64_t Value : Values)
+    Elements.push_back(getIndexAttr(Context, Value));
+  return ArrayAttr::get(Context, std::move(Elements));
+}

@@ -1,0 +1,189 @@
+//===- Attributes.h - IR attribute system -----------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniqued, immutable compile-time values attached to operations: integers,
+/// floats, strings, types, arrays, symbol references and the unit attribute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_ATTRIBUTES_H
+#define SMLIR_IR_ATTRIBUTES_H
+
+#include "ir/Types.h"
+
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smlir {
+
+namespace detail {
+
+/// Base class for uniqued attribute storage; the canonical printed form is
+/// the uniquing key.
+struct AttributeStorage {
+  AttributeStorage(TypeID ID, MLIRContext *Context, std::string Key)
+      : ID(ID), Context(Context), Key(std::move(Key)) {}
+  virtual ~AttributeStorage() = default;
+
+  TypeID ID;
+  MLIRContext *Context;
+  std::string Key;
+};
+
+} // namespace detail
+
+/// Value-semantic handle to a uniqued attribute. A default-constructed
+/// Attribute is null.
+class Attribute {
+public:
+  using Storage = detail::AttributeStorage;
+
+  Attribute() = default;
+  explicit Attribute(Storage *Impl) : Impl(Impl) {}
+
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(Attribute Other) const { return Impl == Other.Impl; }
+  bool operator!=(Attribute Other) const { return Impl != Other.Impl; }
+
+  MLIRContext *getContext() const;
+  TypeID getTypeID() const;
+
+  template <typename U>
+  bool isa() const {
+    assert(Impl && "isa<> used on a null attribute");
+    return U::classof(*this);
+  }
+  template <typename U>
+  U dyn_cast() const {
+    return Impl && isa<U>() ? U(Impl) : U();
+  }
+  template <typename U>
+  U cast() const {
+    assert(isa<U>() && "cast<U>() on incompatible attribute");
+    return U(Impl);
+  }
+
+  const std::string &str() const;
+  void print(std::ostream &OS) const;
+
+  Storage *getImpl() const { return Impl; }
+
+protected:
+  Storage *Impl = nullptr;
+};
+
+inline std::ostream &operator<<(std::ostream &OS, Attribute Attr) {
+  Attr.print(OS);
+  return OS;
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete attributes
+//===----------------------------------------------------------------------===//
+
+/// A typed integer constant, e.g. `42 : i32` or `7 : index`. Also used for
+/// booleans (i1).
+class IntegerAttr : public Attribute {
+public:
+  using Attribute::Attribute;
+  static IntegerAttr get(Type Ty, int64_t Value);
+  int64_t getValue() const;
+  Type getType() const;
+  static bool classof(Attribute Attr);
+};
+
+/// A typed floating-point constant, e.g. `2.5 : f32`.
+class FloatAttr : public Attribute {
+public:
+  using Attribute::Attribute;
+  static FloatAttr get(Type Ty, double Value);
+  double getValue() const;
+  Type getType() const;
+  static bool classof(Attribute Attr);
+};
+
+/// A string constant, e.g. `"a"`.
+class StringAttr : public Attribute {
+public:
+  using Attribute::Attribute;
+  static StringAttr get(MLIRContext *Context, std::string_view Value);
+  const std::string &getValue() const;
+  static bool classof(Attribute Attr);
+};
+
+/// An attribute wrapping a type, e.g. `!sycl.buffer<1, f32>`.
+class TypeAttr : public Attribute {
+public:
+  using Attribute::Attribute;
+  static TypeAttr get(Type Ty);
+  Type getValue() const;
+  static bool classof(Attribute Attr);
+};
+
+/// An ordered list of attributes, e.g. `[0 : index, 1 : index]`.
+class ArrayAttr : public Attribute {
+public:
+  using Attribute::Attribute;
+  static ArrayAttr get(MLIRContext *Context, std::vector<Attribute> Elements);
+  const std::vector<Attribute> &getValue() const;
+  unsigned size() const { return getValue().size(); }
+  Attribute operator[](unsigned Index) const { return getValue()[Index]; }
+  static bool classof(Attribute Attr);
+};
+
+/// A (possibly nested) reference to a symbol, e.g. `@kernels::@K`.
+class SymbolRefAttr : public Attribute {
+public:
+  using Attribute::Attribute;
+  static SymbolRefAttr get(MLIRContext *Context,
+                           std::vector<std::string> Path);
+  static SymbolRefAttr get(MLIRContext *Context, std::string_view Root);
+  const std::vector<std::string> &getPath() const;
+  /// The first path component.
+  const std::string &getRootReference() const { return getPath().front(); }
+  /// The final path component (the symbol actually referenced).
+  const std::string &getLeafReference() const { return getPath().back(); }
+  static bool classof(Attribute Attr);
+};
+
+/// A value-less attribute whose presence carries the information.
+class UnitAttr : public Attribute {
+public:
+  using Attribute::Attribute;
+  static UnitAttr get(MLIRContext *Context);
+  static bool classof(Attribute Attr);
+};
+
+//===----------------------------------------------------------------------===//
+// Convenience helpers
+//===----------------------------------------------------------------------===//
+
+/// Builds an i1 IntegerAttr.
+IntegerAttr getBoolAttr(MLIRContext *Context, bool Value);
+/// Builds an i64 IntegerAttr.
+IntegerAttr getI64Attr(MLIRContext *Context, int64_t Value);
+/// Builds an index-typed IntegerAttr.
+IntegerAttr getIndexAttr(MLIRContext *Context, int64_t Value);
+/// Builds an ArrayAttr of index-typed IntegerAttrs.
+ArrayAttr getIndexArrayAttr(MLIRContext *Context,
+                            const std::vector<int64_t> &Values);
+
+} // namespace smlir
+
+namespace std {
+template <>
+struct hash<smlir::Attribute> {
+  size_t operator()(const smlir::Attribute &Attr) const {
+    return hash<void *>()(static_cast<void *>(Attr.getImpl()));
+  }
+};
+} // namespace std
+
+#endif // SMLIR_IR_ATTRIBUTES_H

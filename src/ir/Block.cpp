@@ -1,0 +1,124 @@
+//===- Block.cpp - Blocks and regions --------------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Block.h"
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+Block::~Block() {
+  // Drop all operand references first so deletion order does not matter.
+  for (Operation *Op = FirstOp; Op; Op = Op->getNextNode())
+    Op->dropAllReferences();
+  Operation *Op = FirstOp;
+  while (Op) {
+    Operation *Next = Op->getNextNode();
+    remove(Op);
+    delete Op;
+    Op = Next;
+  }
+}
+
+Operation *Block::getParentOp() const {
+  return ParentRegion ? ParentRegion->getParentOp() : nullptr;
+}
+
+Value Block::addArgument(Type Ty) {
+  Arguments.push_back(
+      std::make_unique<detail::BlockArgumentImpl>(Ty, this, Arguments.size()));
+  return Value(Arguments.back().get());
+}
+
+std::vector<Value> Block::getArguments() const {
+  std::vector<Value> Vals;
+  Vals.reserve(Arguments.size());
+  for (const auto &Arg : Arguments)
+    Vals.push_back(Value(Arg.get()));
+  return Vals;
+}
+
+void Block::eraseArgument(unsigned Index) {
+  assert(Index < Arguments.size() && "argument index out of range");
+  assert(Arguments[Index]->Uses.empty() && "erasing argument with uses");
+  Arguments.erase(Arguments.begin() + Index);
+  for (unsigned I = Index, E = Arguments.size(); I != E; ++I)
+    Arguments[I]->Index = I;
+}
+
+unsigned Block::getNumOperations() const {
+  unsigned Count = 0;
+  for (Operation *Op = FirstOp; Op; Op = Op->getNextNode())
+    ++Count;
+  return Count;
+}
+
+void Block::push_back(Operation *Op) { insertBefore(nullptr, Op); }
+
+void Block::insertBefore(Operation *Before, Operation *Op) {
+  assert(!Op->ParentBlock && "op already in a block");
+  assert((!Before || Before->ParentBlock == this) &&
+         "insertion point not in this block");
+  Op->ParentBlock = this;
+  if (!Before) {
+    // Append at the end.
+    Op->PrevOp = LastOp;
+    Op->NextOp = nullptr;
+    if (LastOp)
+      LastOp->NextOp = Op;
+    else
+      FirstOp = Op;
+    LastOp = Op;
+    return;
+  }
+  Op->NextOp = Before;
+  Op->PrevOp = Before->PrevOp;
+  if (Before->PrevOp)
+    Before->PrevOp->NextOp = Op;
+  else
+    FirstOp = Op;
+  Before->PrevOp = Op;
+}
+
+void Block::remove(Operation *Op) {
+  assert(Op->ParentBlock == this && "op not in this block");
+  if (Op->PrevOp)
+    Op->PrevOp->NextOp = Op->NextOp;
+  else
+    FirstOp = Op->NextOp;
+  if (Op->NextOp)
+    Op->NextOp->PrevOp = Op->PrevOp;
+  else
+    LastOp = Op->PrevOp;
+  Op->PrevOp = Op->NextOp = nullptr;
+  Op->ParentBlock = nullptr;
+}
+
+Operation *Block::getTerminator() const {
+  if (!LastOp || !LastOp->hasTrait(OpTrait::IsTerminator))
+    return nullptr;
+  return LastOp;
+}
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+Block &Region::emplaceBlock() {
+  Blocks.push_back(std::make_unique<Block>());
+  Blocks.back()->ParentRegion = this;
+  return *Blocks.back();
+}
+
+void Region::takeBody(Region &Other) {
+  assert(Blocks.empty() && "takeBody into non-empty region");
+  Blocks = std::move(Other.Blocks);
+  Other.Blocks.clear();
+  for (auto &B : Blocks)
+    B->ParentRegion = this;
+}

@@ -1,0 +1,154 @@
+//===- Block.h - Blocks and regions -----------------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocks (sequences of operations with arguments) and regions (lists of
+/// blocks nested under an operation). Control flow in this project is fully
+/// structured (scf/affine), so most regions hold exactly one block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_BLOCK_H
+#define SMLIR_IR_BLOCK_H
+
+#include "ir/Operation.h"
+#include "ir/Value.h"
+
+#include <iterator>
+#include <memory>
+#include <vector>
+
+namespace smlir {
+
+class Region;
+
+/// A sequence of operations with block arguments. Operations are stored in
+/// an intrusive doubly-linked list.
+class Block {
+public:
+  Block() = default;
+  ~Block();
+
+  Block(const Block &) = delete;
+  Block &operator=(const Block &) = delete;
+
+  Region *getParent() const { return ParentRegion; }
+  /// The operation owning the parent region, or null.
+  Operation *getParentOp() const;
+
+  //===------------------------------------------------------------------===//
+  // Arguments
+  //===------------------------------------------------------------------===//
+
+  Value addArgument(Type Ty);
+  Value getArgument(unsigned Index) const {
+    assert(Index < Arguments.size() && "argument index out of range");
+    return Value(Arguments[Index].get());
+  }
+  unsigned getNumArguments() const { return Arguments.size(); }
+  std::vector<Value> getArguments() const;
+  /// Removes the argument at \p Index (must be unused); reindexes the rest.
+  void eraseArgument(unsigned Index);
+
+  //===------------------------------------------------------------------===//
+  // Operation list
+  //===------------------------------------------------------------------===//
+
+  /// Forward iterator over the operations of a block.
+  class iterator {
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Operation *;
+    using difference_type = std::ptrdiff_t;
+    using pointer = Operation **;
+    using reference = Operation *;
+
+    iterator() = default;
+    explicit iterator(Operation *Op) : Cur(Op) {}
+    Operation *operator*() const { return Cur; }
+    iterator &operator++() {
+      Cur = Cur->getNextNode();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator Copy = *this;
+      ++*this;
+      return Copy;
+    }
+    bool operator==(const iterator &Other) const { return Cur == Other.Cur; }
+    bool operator!=(const iterator &Other) const { return Cur != Other.Cur; }
+
+  private:
+    Operation *Cur = nullptr;
+  };
+
+  iterator begin() const { return iterator(FirstOp); }
+  iterator end() const { return iterator(nullptr); }
+  bool empty() const { return FirstOp == nullptr; }
+  Operation *front() const { return FirstOp; }
+  Operation *back() const { return LastOp; }
+  unsigned getNumOperations() const;
+
+  /// Appends \p Op (must be detached).
+  void push_back(Operation *Op);
+  /// Inserts \p Op (detached) before \p Before; appends if \p Before is
+  /// null.
+  void insertBefore(Operation *Before, Operation *Op);
+  /// Unlinks \p Op from this block without deleting it.
+  void remove(Operation *Op);
+
+  /// The block terminator (last op, which must have the IsTerminator
+  /// trait), or null for an empty/unterminated block.
+  Operation *getTerminator() const;
+
+private:
+  friend class Region;
+
+  Region *ParentRegion = nullptr;
+  std::vector<std::unique_ptr<detail::BlockArgumentImpl>> Arguments;
+  Operation *FirstOp = nullptr;
+  Operation *LastOp = nullptr;
+};
+
+/// A list of blocks owned by an operation.
+class Region {
+public:
+  explicit Region(Operation *ParentOp) : ParentOp(ParentOp) {}
+
+  Operation *getParentOp() const { return ParentOp; }
+  bool empty() const { return Blocks.empty(); }
+  unsigned getNumBlocks() const { return Blocks.size(); }
+
+  Block &front() const {
+    assert(!Blocks.empty() && "front() on empty region");
+    return *Blocks.front();
+  }
+
+  /// Appends a fresh block and returns it.
+  Block &emplaceBlock();
+
+  /// Ensures the region has an entry block and returns it.
+  Block &getOrCreateEntryBlock() {
+    return Blocks.empty() ? emplaceBlock() : front();
+  }
+
+  auto begin() const { return Blocks.begin(); }
+  auto end() const { return Blocks.end(); }
+
+  /// Removes all blocks (and their ops).
+  void clear() { Blocks.clear(); }
+
+  /// Moves all blocks of \p Other into this region (which must be empty).
+  void takeBody(Region &Other);
+
+private:
+  Operation *ParentOp;
+  std::vector<std::unique_ptr<Block>> Blocks;
+};
+
+} // namespace smlir
+
+#endif // SMLIR_IR_BLOCK_H

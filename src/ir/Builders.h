@@ -1,0 +1,143 @@
+//===- Builders.h - IR construction helpers ---------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpBuilder: creates operations at a managed insertion point, mirroring
+/// mlir::OpBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_BUILDERS_H
+#define SMLIR_IR_BUILDERS_H
+
+#include "ir/Block.h"
+#include "ir/MLIRContext.h"
+#include "ir/Operation.h"
+
+#include <utility>
+
+namespace smlir {
+
+/// Creates operations and inserts them at a configurable insertion point.
+class OpBuilder {
+public:
+  explicit OpBuilder(MLIRContext *Context) : Context(Context) {}
+  virtual ~OpBuilder() = default;
+
+  MLIRContext *getContext() const { return Context; }
+
+  //===------------------------------------------------------------------===//
+  // Insertion point management
+  //===------------------------------------------------------------------===//
+
+  /// Clears the insertion point: created ops are left detached.
+  void clearInsertionPoint() {
+    InsertBlock = nullptr;
+    InsertBefore = nullptr;
+  }
+  void setInsertionPointToStart(Block *B) {
+    InsertBlock = B;
+    InsertBefore = B->front();
+  }
+  void setInsertionPointToEnd(Block *B) {
+    InsertBlock = B;
+    InsertBefore = nullptr;
+  }
+  /// Inserts before \p Op.
+  void setInsertionPoint(Operation *Op) {
+    InsertBlock = Op->getBlock();
+    InsertBefore = Op;
+  }
+  /// Inserts after \p Op.
+  void setInsertionPointAfter(Operation *Op) {
+    InsertBlock = Op->getBlock();
+    InsertBefore = Op->getNextNode();
+  }
+
+  Block *getInsertionBlock() const { return InsertBlock; }
+  Operation *getInsertionPoint() const { return InsertBefore; }
+
+  /// RAII guard restoring the insertion point on destruction.
+  class InsertionGuard {
+  public:
+    explicit InsertionGuard(OpBuilder &Builder)
+        : Builder(Builder), Block(Builder.InsertBlock),
+          Before(Builder.InsertBefore) {}
+    ~InsertionGuard() {
+      Builder.InsertBlock = Block;
+      Builder.InsertBefore = Before;
+    }
+
+  private:
+    OpBuilder &Builder;
+    smlir::Block *Block;
+    Operation *Before;
+  };
+
+  //===------------------------------------------------------------------===//
+  // Operation creation
+  //===------------------------------------------------------------------===//
+
+  /// Inserts \p Op (detached) at the insertion point; no-op when the
+  /// insertion point is cleared. Virtual so pattern drivers can observe
+  /// newly created operations.
+  virtual Operation *insert(Operation *Op) {
+    if (InsertBlock)
+      InsertBlock->insertBefore(InsertBefore, Op);
+    return Op;
+  }
+
+  /// Creates an op from \p State and inserts it.
+  Operation *createOperation(const OperationState &State) {
+    return insert(Operation::create(Context, State));
+  }
+
+  /// Builds an op of type \p OpTy via its static `build` method and inserts
+  /// it.
+  template <typename OpTy, typename... Args>
+  OpTy create(Location Loc, Args &&...BuildArgs) {
+    OperationState State(Loc, OpTy::getOperationName());
+    OpTy::build(*this, State, std::forward<Args>(BuildArgs)...);
+    return OpTy::cast(createOperation(State));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Common types, attributes, locations
+  //===------------------------------------------------------------------===//
+
+  Location getUnknownLoc() { return Location::unknown(Context); }
+  IndexType getIndexType() { return IndexType::get(Context); }
+  IntegerType getI1Type() { return IntegerType::get(Context, 1); }
+  IntegerType getI32Type() { return IntegerType::get(Context, 32); }
+  IntegerType getI64Type() { return IntegerType::get(Context, 64); }
+  FloatType getF32Type() { return FloatType::get(Context, 32); }
+  FloatType getF64Type() { return FloatType::get(Context, 64); }
+
+  IntegerAttr getIndexAttr(int64_t Value) {
+    return IntegerAttr::get(getIndexType(), Value);
+  }
+  IntegerAttr getI64IntegerAttr(int64_t Value) {
+    return IntegerAttr::get(getI64Type(), Value);
+  }
+  IntegerAttr getI32IntegerAttr(int64_t Value) {
+    return IntegerAttr::get(getI32Type(), Value);
+  }
+  IntegerAttr getBoolAttr(bool Value) {
+    return IntegerAttr::get(getI1Type(), Value ? 1 : 0);
+  }
+  StringAttr getStringAttr(std::string_view Value) {
+    return StringAttr::get(Context, Value);
+  }
+
+private:
+  MLIRContext *Context;
+  Block *InsertBlock = nullptr;
+  Operation *InsertBefore = nullptr;
+};
+
+} // namespace smlir
+
+#endif // SMLIR_IR_BUILDERS_H

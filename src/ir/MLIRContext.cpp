@@ -1,0 +1,99 @@
+//===- MLIRContext.cpp - Global IR context --------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/MLIRContext.h"
+
+#include "ir/Operation.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <set>
+#include <unordered_map>
+
+using namespace smlir;
+
+Dialect::~Dialect() = default;
+
+struct MLIRContext::Impl {
+  std::unordered_map<std::string, std::unique_ptr<detail::TypeStorage>>
+      TypeStorages;
+  std::unordered_map<std::string, std::unique_ptr<detail::AttributeStorage>>
+      AttributeStorages;
+  std::set<std::string> InternedStrings;
+  std::unordered_map<std::string, std::unique_ptr<Dialect>> Dialects;
+  std::unordered_map<std::string, std::unique_ptr<AbstractOperation>>
+      Operations;
+  std::unordered_map<std::string, DialectTypeParseFn> TypeParsers;
+};
+
+MLIRContext::MLIRContext() : TheImpl(std::make_unique<Impl>()) {}
+MLIRContext::~MLIRContext() = default;
+
+detail::TypeStorage *MLIRContext::getTypeStorage(
+    const std::string &Key,
+    const std::function<std::unique_ptr<detail::TypeStorage>()> &MakeFn) {
+  auto It = TheImpl->TypeStorages.find(Key);
+  if (It != TheImpl->TypeStorages.end())
+    return It->second.get();
+  auto Storage = MakeFn();
+  assert(Storage->Key == Key && "storage key mismatch");
+  auto *Raw = Storage.get();
+  TheImpl->TypeStorages.emplace(Key, std::move(Storage));
+  return Raw;
+}
+
+detail::AttributeStorage *MLIRContext::getAttributeStorage(
+    const std::string &Key,
+    const std::function<std::unique_ptr<detail::AttributeStorage>()>
+        &MakeFn) {
+  auto It = TheImpl->AttributeStorages.find(Key);
+  if (It != TheImpl->AttributeStorages.end())
+    return It->second.get();
+  auto Storage = MakeFn();
+  assert(Storage->Key == Key && "storage key mismatch");
+  auto *Raw = Storage.get();
+  TheImpl->AttributeStorages.emplace(Key, std::move(Storage));
+  return Raw;
+}
+
+const std::string *MLIRContext::internString(std::string_view Str) {
+  return &*TheImpl->InternedStrings.emplace(Str).first;
+}
+
+Dialect *MLIRContext::registerDialect(std::unique_ptr<Dialect> D) {
+  assert(!getDialect(D->getNamespace()) && "dialect registered twice");
+  auto *Raw = D.get();
+  TheImpl->Dialects.emplace(D->getNamespace(), std::move(D));
+  return Raw;
+}
+
+Dialect *MLIRContext::getDialect(std::string_view Name) const {
+  auto It = TheImpl->Dialects.find(std::string(Name));
+  return It == TheImpl->Dialects.end() ? nullptr : It->second.get();
+}
+
+void MLIRContext::registerOperation(std::unique_ptr<AbstractOperation> Op) {
+  assert(!getRegisteredOperation(Op->getName()) &&
+         "operation registered twice");
+  TheImpl->Operations.emplace(Op->getName(), std::move(Op));
+}
+
+const AbstractOperation *
+MLIRContext::getRegisteredOperation(std::string_view Name) const {
+  auto It = TheImpl->Operations.find(std::string(Name));
+  return It == TheImpl->Operations.end() ? nullptr : It->second.get();
+}
+
+void MLIRContext::registerTypeParser(std::string_view DialectName,
+                                     DialectTypeParseFn ParseFn) {
+  TheImpl->TypeParsers.emplace(std::string(DialectName), std::move(ParseFn));
+}
+
+const DialectTypeParseFn *
+MLIRContext::getTypeParser(std::string_view DialectName) const {
+  auto It = TheImpl->TypeParsers.find(std::string(DialectName));
+  return It == TheImpl->TypeParsers.end() ? nullptr : &It->second;
+}

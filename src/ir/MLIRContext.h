@@ -1,0 +1,120 @@
+//===- MLIRContext.h - Global IR context ------------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MLIRContext owns all uniqued IR objects (types, attributes, interned
+/// strings) and the registries for dialects and operations. Every IR entity
+/// is created through and owned by a context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_MLIRCONTEXT_H
+#define SMLIR_IR_MLIRCONTEXT_H
+
+#include "ir/Attributes.h"
+#include "ir/Types.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smlir {
+
+class AbstractOperation;
+class Dialect;
+
+/// Callback used by the parser to parse a dialect type. It receives the
+/// full type text after the `!` sigil (e.g. "sycl.id<2>") and returns the
+/// parsed type or null on error.
+using DialectTypeParseFn =
+    std::function<Type(MLIRContext *, std::string_view)>;
+
+/// Owns uniqued IR storage and the dialect/operation registries.
+class MLIRContext {
+public:
+  MLIRContext();
+  ~MLIRContext();
+
+  MLIRContext(const MLIRContext &) = delete;
+  MLIRContext &operator=(const MLIRContext &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Uniquing
+  //===--------------------------------------------------------------------===//
+
+  /// Returns the uniqued type storage for \p Key, creating it with \p MakeFn
+  /// on first use. \p MakeFn must produce a storage whose Key matches.
+  detail::TypeStorage *
+  getTypeStorage(const std::string &Key,
+                 const std::function<std::unique_ptr<detail::TypeStorage>()>
+                     &MakeFn);
+
+  /// Returns the uniqued attribute storage for \p Key, creating it with
+  /// \p MakeFn on first use.
+  detail::AttributeStorage *getAttributeStorage(
+      const std::string &Key,
+      const std::function<std::unique_ptr<detail::AttributeStorage>()>
+          &MakeFn);
+
+  /// Interns \p Str and returns a stable pointer to it (used by Location).
+  const std::string *internString(std::string_view Str);
+
+  //===--------------------------------------------------------------------===//
+  // Dialect and operation registries
+  //===--------------------------------------------------------------------===//
+
+  /// Registers dialect \p D (takes ownership). Asserts on duplicates.
+  Dialect *registerDialect(std::unique_ptr<Dialect> D);
+
+  /// Returns the registered dialect named \p Name, or null.
+  Dialect *getDialect(std::string_view Name) const;
+
+  /// Registers the op description \p Op (takes ownership).
+  void registerOperation(std::unique_ptr<AbstractOperation> Op);
+
+  /// Returns the registered description for op \p Name, or null.
+  const AbstractOperation *getRegisteredOperation(std::string_view Name) const;
+
+  /// Registers a parse hook for types of dialect \p DialectName.
+  void registerTypeParser(std::string_view DialectName,
+                          DialectTypeParseFn ParseFn);
+
+  /// Returns the type parse hook for \p DialectName, or null.
+  const DialectTypeParseFn *getTypeParser(std::string_view DialectName) const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> TheImpl;
+};
+
+/// A dialect groups the operations, types and attributes of one domain
+/// (paper §II-B). Concrete dialects register their operations in their
+/// constructor.
+class Dialect {
+public:
+  Dialect(std::string Name, MLIRContext *Context)
+      : Name(std::move(Name)), Context(Context) {}
+  virtual ~Dialect();
+
+  const std::string &getNamespace() const { return Name; }
+  MLIRContext *getContext() const { return Context; }
+
+private:
+  std::string Name;
+  MLIRContext *Context;
+};
+
+/// Registers all dialects of this project (builtin, func, arith, math,
+/// memref, scf, affine, sycl, llvm) into \p Context. Idempotent per context
+/// only if called once; typically called right after context creation.
+void registerAllDialects(MLIRContext &Context);
+
+} // namespace smlir
+
+#endif // SMLIR_IR_MLIRCONTEXT_H

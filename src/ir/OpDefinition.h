@@ -1,0 +1,83 @@
+//===- OpDefinition.h - Concrete op wrapper infrastructure ------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CRTP base class for concrete operation wrappers (the equivalent of
+/// TableGen-generated op classes in MLIR) and the registration helper
+/// dialects use to install their ops into a context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_OPDEFINITION_H
+#define SMLIR_IR_OPDEFINITION_H
+
+#include "ir/MLIRContext.h"
+#include "ir/Operation.h"
+
+#include <memory>
+
+namespace smlir {
+
+/// CRTP base for typed operation wrappers. A wrapper is a thin,
+/// value-semantic view over an `Operation *` whose name matches
+/// `ConcreteOp::getOperationName()`.
+template <typename ConcreteOp>
+class OpBase {
+public:
+  /*implicit*/ OpBase(Operation *Op = nullptr) : TheOp(Op) {}
+
+  static bool classof(Operation *Op) {
+    return Op->getName().getStringRef() == ConcreteOp::getOperationName();
+  }
+
+  /// Returns a wrapper if \p Op has the right name, a null wrapper
+  /// otherwise. Accepts null input.
+  static ConcreteOp dyn_cast(Operation *Op) {
+    return Op && classof(Op) ? ConcreteOp(Op) : ConcreteOp(nullptr);
+  }
+  static ConcreteOp cast(Operation *Op) {
+    assert(Op && classof(Op) && "cast to incompatible op");
+    return ConcreteOp(Op);
+  }
+
+  explicit operator bool() const { return TheOp != nullptr; }
+  Operation *operator->() const { return TheOp; }
+  Operation *getOperation() const { return TheOp; }
+  MLIRContext *getContext() const { return TheOp->getContext(); }
+  Location getLoc() const { return TheOp->getLoc(); }
+  bool operator==(const OpBase &Other) const { return TheOp == Other.TheOp; }
+
+protected:
+  Operation *TheOp;
+};
+
+/// Configuration passed when registering an op kind.
+struct OpRegistration {
+  uint64_t Traits = 0;
+  AbstractOperation::VerifyFn Verify = nullptr;
+  AbstractOperation::FoldFn Fold = nullptr;
+  AbstractOperation::EffectsFn Effects = nullptr;
+};
+
+/// Combines OpTrait flags into a bitmask.
+inline uint64_t traits() { return 0; }
+template <typename... Rest>
+uint64_t traits(OpTrait First, Rest... Others) {
+  return static_cast<uint64_t>(First) | traits(Others...);
+}
+
+/// Registers op kind \p OpTy with \p Context on behalf of \p OpDialect.
+template <typename OpTy>
+void registerOp(MLIRContext &Context, Dialect *OpDialect,
+                OpRegistration Config = {}) {
+  Context.registerOperation(std::make_unique<AbstractOperation>(
+      OpTy::getOperationName(), OpDialect, Config.Traits, Config.Verify,
+      Config.Fold, Config.Effects));
+}
+
+} // namespace smlir
+
+#endif // SMLIR_IR_OPDEFINITION_H

@@ -1,0 +1,316 @@
+//===- Operation.cpp - IR operations ---------------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Operation.h"
+
+#include "ir/Block.h"
+#include "ir/MLIRContext.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// Location
+//===----------------------------------------------------------------------===//
+
+Location Location::unknown(MLIRContext *Context) {
+  return Location(Context->internString("?"));
+}
+
+Location Location::get(MLIRContext *Context, std::string_view Desc) {
+  return Location(Context->internString(Desc));
+}
+
+const std::string &Location::str() const {
+  static const std::string Unknown = "?";
+  return Str ? *Str : Unknown;
+}
+
+//===----------------------------------------------------------------------===//
+// Value methods that need Operation/Block
+//===----------------------------------------------------------------------===//
+
+Operation *Value::getDefiningOp() const {
+  assert(Impl && "null value");
+  if (auto *Result = dyn_cast<detail::OpResultImpl>(Impl))
+    return Result->Owner;
+  return nullptr;
+}
+
+Block *Value::getParentBlock() const {
+  assert(Impl && "null value");
+  if (auto *Result = dyn_cast<detail::OpResultImpl>(Impl))
+    return Result->Owner->getBlock();
+  return cast<detail::BlockArgumentImpl>(Impl)->Owner;
+}
+
+unsigned Value::getIndex() const {
+  assert(Impl && "null value");
+  if (auto *Result = dyn_cast<detail::OpResultImpl>(Impl))
+    return Result->Index;
+  return cast<detail::BlockArgumentImpl>(Impl)->Index;
+}
+
+Block *Value::getOwnerBlock() const {
+  return cast<detail::BlockArgumentImpl>(Impl)->Owner;
+}
+
+void Value::replaceAllUsesWith(Value NewValue) {
+  assert(Impl && "null value");
+  assert(NewValue && "replacement must be non-null");
+  // Copy the use list: OpOperand::set mutates it.
+  std::vector<OpOperand *> Uses = Impl->Uses;
+  for (OpOperand *Use : Uses)
+    Use->set(NewValue);
+}
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+Operation::Operation(MLIRContext *Context, OperationName Name, Location Loc)
+    : Context(Context), Name(Name), Loc(Loc) {}
+
+Operation *Operation::create(MLIRContext *Context,
+                             const OperationState &State) {
+  const AbstractOperation *Abstract =
+      Context->getRegisteredOperation(State.Name);
+  if (!Abstract)
+    reportFatalError("creating unregistered operation '" + State.Name + "'");
+
+  auto *Op = new Operation(Context, OperationName(Abstract), State.Loc);
+  Op->Operands.reserve(State.Operands.size());
+  for (unsigned I = 0, E = State.Operands.size(); I != E; ++I)
+    Op->Operands.push_back(
+        std::make_unique<OpOperand>(Op, I, State.Operands[I]));
+  Op->Results.reserve(State.Types.size());
+  for (unsigned I = 0, E = State.Types.size(); I != E; ++I)
+    Op->Results.push_back(
+        std::make_unique<detail::OpResultImpl>(State.Types[I], Op, I));
+  for (const auto &[AttrName, Attr] : State.Attributes)
+    Op->Attrs[AttrName] = Attr;
+  for (unsigned I = 0; I != State.NumRegions; ++I)
+    Op->Regions.push_back(std::make_unique<Region>(Op));
+  return Op;
+}
+
+Operation::~Operation() {
+  assert(!ParentBlock && "deleting an operation still linked in a block");
+  // Regions are destroyed first so nested uses of our results disappear
+  // before the results do.
+  Regions.clear();
+  Operands.clear();
+#ifndef NDEBUG
+  for (auto &Result : Results)
+    assert(Result->Uses.empty() && "deleting op with live uses");
+#endif
+}
+
+std::vector<Value> Operation::getOperands() const {
+  std::vector<Value> Vals;
+  Vals.reserve(Operands.size());
+  for (const auto &Operand : Operands)
+    Vals.push_back(Operand->get());
+  return Vals;
+}
+
+void Operation::addOperand(Value Val) {
+  Operands.push_back(std::make_unique<OpOperand>(this, Operands.size(), Val));
+}
+
+void Operation::eraseOperand(unsigned Index) {
+  assert(Index < Operands.size() && "operand index out of range");
+  Operands.erase(Operands.begin() + Index);
+  // Fix the cached indices of trailing operands. OpOperand has no setter for
+  // its index by design; recreate the trailing operands instead.
+  for (unsigned I = Index, E = Operands.size(); I != E; ++I) {
+    Value Val = Operands[I]->get();
+    Operands[I] = std::make_unique<OpOperand>(this, I, Val);
+  }
+}
+
+std::vector<Value> Operation::getResults() const {
+  std::vector<Value> Vals;
+  Vals.reserve(Results.size());
+  for (const auto &Result : Results)
+    Vals.push_back(Value(Result.get()));
+  return Vals;
+}
+
+bool Operation::use_empty() const {
+  for (const auto &Result : Results)
+    if (!Result->Uses.empty())
+      return false;
+  return true;
+}
+
+void Operation::replaceAllUsesWith(const std::vector<Value> &NewValues) {
+  assert(NewValues.size() == Results.size() && "arity mismatch");
+  for (unsigned I = 0, E = Results.size(); I != E; ++I)
+    getResult(I).replaceAllUsesWith(NewValues[I]);
+}
+
+Attribute Operation::getAttr(std::string_view AttrName) const {
+  auto It = Attrs.find(AttrName);
+  return It == Attrs.end() ? Attribute() : It->second;
+}
+
+void Operation::setAttr(std::string_view AttrName, Attribute Attr) {
+  Attrs[std::string(AttrName)] = Attr;
+}
+
+void Operation::removeAttr(std::string_view AttrName) {
+  auto It = Attrs.find(AttrName);
+  if (It != Attrs.end())
+    Attrs.erase(It);
+}
+
+Region *Operation::getParentRegion() const {
+  return ParentBlock ? ParentBlock->getParent() : nullptr;
+}
+
+Operation *Operation::getParentOp() const {
+  Region *Parent = getParentRegion();
+  return Parent ? Parent->getParentOp() : nullptr;
+}
+
+Operation *Operation::getParentOfName(std::string_view OpName) const {
+  for (Operation *Op = getParentOp(); Op; Op = Op->getParentOp())
+    if (Op->getName().getStringRef() == OpName)
+      return Op;
+  return nullptr;
+}
+
+bool Operation::isProperAncestor(Operation *Other) const {
+  for (Operation *Op = Other->getParentOp(); Op; Op = Op->getParentOp())
+    if (Op == this)
+      return true;
+  return false;
+}
+
+void Operation::remove() {
+  if (ParentBlock)
+    ParentBlock->remove(this);
+}
+
+void Operation::erase() {
+  remove();
+  delete this;
+}
+
+void Operation::moveBefore(Operation *Other) {
+  remove();
+  Other->getBlock()->insertBefore(Other, this);
+}
+
+void Operation::moveAfter(Operation *Other) {
+  remove();
+  Other->getBlock()->insertBefore(Other->getNextNode(), this);
+}
+
+void Operation::dropAllReferences() {
+  for (auto &Operand : Operands)
+    Operand->set(Value());
+  // Nested operations may reference values defined in the surrounding
+  // blocks; drop those links too so teardown order does not matter.
+  for (auto &R : Regions)
+    for (auto &B : *R)
+      for (Operation *Nested : *B)
+        Nested->dropAllReferences();
+}
+
+LogicalResult Operation::verifyInvariants() {
+  if (auto *Verify = Name.getAbstractOperation()->getVerifyFn())
+    return Verify(this);
+  return success();
+}
+
+OpFoldResult Operation::fold(const std::vector<Attribute> &ConstOperands) {
+  if (auto *Fold = Name.getAbstractOperation()->getFoldFn())
+    return Fold(this, ConstOperands);
+  return OpFoldResult();
+}
+
+bool Operation::getEffects(std::vector<MemoryEffect> &Effects) const {
+  const AbstractOperation *Abstract = Name.getAbstractOperation();
+  if (Abstract->hasTrait(OpTrait::Pure) ||
+      Abstract->hasTrait(OpTrait::IsTerminator))
+    return true;
+  if (Abstract->hasTrait(OpTrait::RecursiveMemoryEffects)) {
+    // Aggregate effects of nested operations.
+    bool Known = true;
+    for (const auto &R : Regions)
+      for (const auto &B : *R)
+        for (Operation *Nested : *B)
+          Known &= Nested->getEffects(Effects);
+    return Known;
+  }
+  if (auto *EffectsFn = Abstract->getEffectsFn()) {
+    EffectsFn(const_cast<Operation *>(this), Effects);
+    return true;
+  }
+  return false;
+}
+
+bool Operation::isMemoryEffectFree() const {
+  if (hasTrait(OpTrait::Pure))
+    return true;
+  std::vector<MemoryEffect> Effects;
+  if (!getEffects(Effects))
+    return false;
+  return Effects.empty();
+}
+
+void Operation::walk(const std::function<void(Operation *)> &Callback) {
+  for (auto &R : Regions) {
+    for (auto &B : *R) {
+      Operation *Op = B->front();
+      while (Op) {
+        // Capture the next op first: the callback may erase Op.
+        Operation *Next = Op->getNextNode();
+        Op->walk(Callback);
+        Op = Next;
+      }
+    }
+  }
+  Callback(this);
+}
+
+Operation *Operation::clone(IRMapping &Mapper) const {
+  OperationState State(Loc, Name.getStringRef());
+  for (const auto &Operand : Operands)
+    State.addOperand(Mapper.lookupOrSelf(Operand->get()));
+  for (const auto &Result : Results)
+    State.addType(Result->Ty);
+  for (const auto &[AttrName, Attr] : Attrs)
+    State.addAttribute(AttrName, Attr);
+  State.addRegions(Regions.size());
+  Operation *Clone = Operation::create(Context, State);
+  for (unsigned I = 0, E = Results.size(); I != E; ++I)
+    Mapper.map(Value(Results[I].get()), Clone->getResult(I));
+  for (unsigned RI = 0, RE = Regions.size(); RI != RE; ++RI) {
+    for (const auto &B : *Regions[RI]) {
+      Block &NewBlock = Clone->getRegion(RI).emplaceBlock();
+      for (Value Arg : B->getArguments())
+        Mapper.map(Arg, NewBlock.addArgument(Arg.getType()));
+      for (Operation *Nested : *B)
+        NewBlock.push_back(Nested->clone(Mapper));
+    }
+  }
+  return Clone;
+}
+
+std::string Operation::str() const {
+  std::ostringstream OS;
+  print(OS);
+  return OS.str();
+}
+
+void Operation::dump() const { std::fputs((str() + "\n").c_str(), stderr); }

@@ -1,0 +1,417 @@
+//===- Operation.h - IR operations ------------------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic `Operation` class: named, attribute-carrying instructions
+/// with operands, results and nested regions, plus the `AbstractOperation`
+/// registry entry carrying per-op hooks (verifier, folder, memory effects)
+/// and traits. Nesting regions is what lets this project represent SYCL
+/// host and device code in one module (paper §III).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_OPERATION_H
+#define SMLIR_IR_OPERATION_H
+
+#include "ir/Attributes.h"
+#include "ir/Value.h"
+#include "support/LogicalResult.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smlir {
+
+class Block;
+class Dialect;
+class MLIRContext;
+class Operation;
+class Region;
+
+//===----------------------------------------------------------------------===//
+// Location
+//===----------------------------------------------------------------------===//
+
+/// A lightweight source location: an interned string (file:line or a
+/// symbolic description). Unknown locations print as `?`.
+class Location {
+public:
+  Location() = default;
+  explicit Location(const std::string *Str) : Str(Str) {}
+
+  static Location unknown(MLIRContext *Context);
+  static Location get(MLIRContext *Context, std::string_view Desc);
+
+  const std::string &str() const;
+  bool isUnknown() const { return Str == nullptr || str() == "?"; }
+
+private:
+  const std::string *Str = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Traits and memory effects
+//===----------------------------------------------------------------------===//
+
+/// Operation traits, stored as a bitmask on AbstractOperation.
+enum class OpTrait : uint64_t {
+  None = 0,
+  /// Terminates its block (func.return, scf.yield, ...).
+  IsTerminator = 1 << 0,
+  /// No memory effects; freely speculatable, CSE-able and DCE-able.
+  Pure = 1 << 1,
+  /// Yields a work-item dependent (non-uniform) value; consumed by the
+  /// Uniformity Analysis (paper §V-C).
+  NonUniformSource = 1 << 2,
+  /// Materializes a constant from its `value` attribute.
+  ConstantLike = 1 << 3,
+  /// Memory effects are those of the ops nested in its regions (scf.if/for).
+  RecursiveMemoryEffects = 1 << 4,
+  /// Regions may not use values defined above (func.func, module).
+  IsolatedFromAbove = 1 << 5,
+  /// Defines a symbol via a `sym_name` attribute.
+  Symbol = 1 << 6,
+  /// Holds a symbol table in its single region (module).
+  SymbolTable = 1 << 7,
+};
+
+/// The kind of a memory effect an operation has on a value.
+enum class EffectKind { Read, Write, Allocate, Free };
+
+/// One memory effect instance: \p Kind on \p Val. A null value denotes an
+/// effect on an unspecified resource.
+struct MemoryEffect {
+  EffectKind Kind;
+  Value Val;
+};
+
+/// Result of a fold attempt: either an existing Value or a constant
+/// Attribute (materialized by the canonicalizer).
+struct OpFoldResult {
+  OpFoldResult() = default;
+  /*implicit*/ OpFoldResult(Attribute Attr) : Attr(Attr) {}
+  /*implicit*/ OpFoldResult(Value Val) : Val(Val) {}
+
+  explicit operator bool() const { return static_cast<bool>(Attr) || static_cast<bool>(Val); }
+
+  Attribute Attr;
+  Value Val;
+};
+
+//===----------------------------------------------------------------------===//
+// AbstractOperation
+//===----------------------------------------------------------------------===//
+
+/// Registered, per-op-kind metadata: name, traits and behavioral hooks.
+class AbstractOperation {
+public:
+  using VerifyFn = LogicalResult (*)(Operation *);
+  using FoldFn = OpFoldResult (*)(Operation *,
+                                  const std::vector<Attribute> &);
+  using EffectsFn = void (*)(Operation *, std::vector<MemoryEffect> &);
+
+  AbstractOperation(std::string Name, Dialect *OpDialect, uint64_t Traits,
+                    VerifyFn Verify, FoldFn Fold, EffectsFn Effects)
+      : Name(std::move(Name)), OpDialect(OpDialect), Traits(Traits),
+        Verify(Verify), Fold(Fold), Effects(Effects) {}
+
+  const std::string &getName() const { return Name; }
+  Dialect *getDialect() const { return OpDialect; }
+  bool hasTrait(OpTrait Trait) const {
+    return Traits & static_cast<uint64_t>(Trait);
+  }
+  /// True if the op declares its memory effects (via Pure or an effects
+  /// hook); false means effects are unknown and must be treated
+  /// conservatively.
+  bool hasDefinedEffects() const {
+    return hasTrait(OpTrait::Pure) || Effects != nullptr ||
+           hasTrait(OpTrait::RecursiveMemoryEffects) ||
+           hasTrait(OpTrait::IsTerminator);
+  }
+
+  VerifyFn getVerifyFn() const { return Verify; }
+  FoldFn getFoldFn() const { return Fold; }
+  EffectsFn getEffectsFn() const { return Effects; }
+
+private:
+  std::string Name;
+  Dialect *OpDialect;
+  uint64_t Traits;
+  VerifyFn Verify;
+  FoldFn Fold;
+  EffectsFn Effects;
+};
+
+/// The name of an operation, always resolved to a registered
+/// AbstractOperation.
+class OperationName {
+public:
+  OperationName() = default;
+  /*implicit*/ OperationName(const AbstractOperation *Abstract)
+      : Abstract(Abstract) {}
+
+  const std::string &getStringRef() const { return Abstract->getName(); }
+  const AbstractOperation *getAbstractOperation() const { return Abstract; }
+  bool operator==(const OperationName &Other) const {
+    return Abstract == Other.Abstract;
+  }
+
+private:
+  const AbstractOperation *Abstract = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// IRMapping
+//===----------------------------------------------------------------------===//
+
+/// Maps original values to replacement values during cloning.
+class IRMapping {
+public:
+  void map(Value From, Value To) { Mapping[From.getImpl()] = To; }
+  /// Returns the mapped value, or \p From itself if unmapped.
+  Value lookupOrSelf(Value From) const {
+    auto It = Mapping.find(From.getImpl());
+    return It == Mapping.end() ? From : It->second;
+  }
+  bool contains(Value From) const {
+    return Mapping.find(From.getImpl()) != Mapping.end();
+  }
+
+private:
+  std::map<detail::ValueImpl *, Value> Mapping;
+};
+
+//===----------------------------------------------------------------------===//
+// OperationState
+//===----------------------------------------------------------------------===//
+
+/// Aggregates everything needed to create an Operation; filled in by the
+/// static `build` methods of concrete ops.
+struct OperationState {
+  OperationState(Location Loc, std::string Name)
+      : Loc(Loc), Name(std::move(Name)) {}
+
+  Location Loc;
+  std::string Name;
+  std::vector<Value> Operands;
+  std::vector<Type> Types;
+  std::vector<std::pair<std::string, Attribute>> Attributes;
+  unsigned NumRegions = 0;
+
+  void addOperands(std::initializer_list<Value> Vals) {
+    Operands.insert(Operands.end(), Vals.begin(), Vals.end());
+  }
+  void addOperands(const std::vector<Value> &Vals) {
+    Operands.insert(Operands.end(), Vals.begin(), Vals.end());
+  }
+  void addOperand(Value Val) { Operands.push_back(Val); }
+  void addTypes(std::initializer_list<Type> Tys) {
+    Types.insert(Types.end(), Tys.begin(), Tys.end());
+  }
+  void addTypes(const std::vector<Type> &Tys) {
+    Types.insert(Types.end(), Tys.begin(), Tys.end());
+  }
+  void addType(Type Ty) { Types.push_back(Ty); }
+  void addAttribute(std::string Name, Attribute Attr) {
+    Attributes.emplace_back(std::move(Name), Attr);
+  }
+  void addRegion() { ++NumRegions; }
+  void addRegions(unsigned Count) { NumRegions += Count; }
+};
+
+//===----------------------------------------------------------------------===//
+// Operation
+//===----------------------------------------------------------------------===//
+
+/// A generic IR operation. Owns its operands, results, attributes and
+/// nested regions; lives in an intrusive list within a Block.
+class Operation {
+public:
+  /// Creates a detached operation from \p State. The op name must be
+  /// registered in \p Context.
+  static Operation *create(MLIRContext *Context, const OperationState &State);
+
+  ~Operation();
+
+  MLIRContext *getContext() const { return Context; }
+  OperationName getName() const { return Name; }
+  Location getLoc() const { return Loc; }
+  bool hasTrait(OpTrait Trait) const {
+    return Name.getAbstractOperation()->hasTrait(Trait);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Operands
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumOperands() const { return Operands.size(); }
+  Value getOperand(unsigned Index) const {
+    assert(Index < Operands.size() && "operand index out of range");
+    return Operands[Index]->get();
+  }
+  void setOperand(unsigned Index, Value Val) {
+    assert(Index < Operands.size() && "operand index out of range");
+    Operands[Index]->set(Val);
+  }
+  OpOperand &getOpOperand(unsigned Index) { return *Operands[Index]; }
+  std::vector<Value> getOperands() const;
+  /// Appends an operand (used by ops with variadic operand lists).
+  void addOperand(Value Val);
+  /// Removes the operand at \p Index.
+  void eraseOperand(unsigned Index);
+
+  //===------------------------------------------------------------------===//
+  // Results
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumResults() const { return Results.size(); }
+  Value getResult(unsigned Index) const {
+    assert(Index < Results.size() && "result index out of range");
+    return Value(Results[Index].get());
+  }
+  std::vector<Value> getResults() const;
+  Type getResultType(unsigned Index) const {
+    return getResult(Index).getType();
+  }
+  /// Returns true if no result has any use.
+  bool use_empty() const;
+  /// Replaces all uses of this op's results with \p NewValues (same arity).
+  void replaceAllUsesWith(const std::vector<Value> &NewValues);
+
+  //===------------------------------------------------------------------===//
+  // Attributes
+  //===------------------------------------------------------------------===//
+
+  Attribute getAttr(std::string_view AttrName) const;
+  template <typename AttrT>
+  AttrT getAttrOfType(std::string_view AttrName) const {
+    Attribute Attr = getAttr(AttrName);
+    return Attr ? Attr.dyn_cast<AttrT>() : AttrT();
+  }
+  bool hasAttr(std::string_view AttrName) const {
+    return static_cast<bool>(getAttr(AttrName));
+  }
+  void setAttr(std::string_view AttrName, Attribute Attr);
+  void removeAttr(std::string_view AttrName);
+  const std::map<std::string, Attribute, std::less<>> &getAttrs() const {
+    return Attrs;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Regions and block placement
+  //===------------------------------------------------------------------===//
+
+  unsigned getNumRegions() const { return Regions.size(); }
+  Region &getRegion(unsigned Index) {
+    assert(Index < Regions.size() && "region index out of range");
+    return *Regions[Index];
+  }
+  const std::vector<std::unique_ptr<Region>> &getRegions() const {
+    return Regions;
+  }
+
+  Block *getBlock() const { return ParentBlock; }
+  /// The region containing this operation's block, or null if detached.
+  Region *getParentRegion() const;
+  /// The operation owning the region containing this op, or null.
+  Operation *getParentOp() const;
+  /// Walks parents until an op named \p OpName is found; null if none.
+  Operation *getParentOfName(std::string_view OpName) const;
+  /// Returns true if this op is a (transitive) parent of \p Other.
+  bool isProperAncestor(Operation *Other) const;
+
+  Operation *getNextNode() const { return NextOp; }
+  Operation *getPrevNode() const { return PrevOp; }
+
+  /// Unlinks this op from its block without deleting it.
+  void remove();
+  /// Unlinks and deletes this op. Results must be unused.
+  void erase();
+  /// Unlinks this op and inserts it before \p Other.
+  void moveBefore(Operation *Other);
+  /// Unlinks this op and inserts it after \p Other.
+  void moveAfter(Operation *Other);
+  /// Drops all operand references (used during bulk teardown).
+  void dropAllReferences();
+
+  /// Deep-clones this operation (attributes, regions, nested ops). Operands
+  /// are remapped through \p Mapper; the clone's results are recorded in
+  /// \p Mapper. The clone is returned detached.
+  Operation *clone(IRMapping &Mapper) const;
+
+  //===------------------------------------------------------------------===//
+  // Hooks
+  //===------------------------------------------------------------------===//
+
+  /// Runs the registered verifier hook for this op (not recursive; use
+  /// verify(Operation*) from Verifier.h for recursive verification).
+  LogicalResult verifyInvariants();
+
+  /// Attempts to fold this op given constant operand values (null entries
+  /// for non-constant operands). Only single-result ops fold.
+  OpFoldResult fold(const std::vector<Attribute> &ConstOperands);
+
+  /// Collects the memory effects of this op. Returns false if effects are
+  /// unknown (no hook registered and not Pure).
+  bool getEffects(std::vector<MemoryEffect> &Effects) const;
+
+  /// True if the op is free of memory effects (Pure, or empty effect list,
+  /// considering recursive effects for region-holding ops).
+  bool isMemoryEffectFree() const;
+
+  //===------------------------------------------------------------------===//
+  // Walking and printing
+  //===------------------------------------------------------------------===//
+
+  /// Post-order walk over this op and all nested ops. The callback may
+  /// erase the op it is given.
+  void walk(const std::function<void(Operation *)> &Callback);
+
+  /// Post-order walk filtered to ops castable to OpTy.
+  template <typename OpTy>
+  void walk(const std::function<void(OpTy)> &Callback) {
+    walk([&](Operation *Op) {
+      if (auto Concrete = OpTy::dyn_cast(Op))
+        Callback(Concrete);
+    });
+  }
+
+  void print(std::ostream &OS) const;
+  std::string str() const;
+  void dump() const;
+
+  /// Member-template casting to concrete op wrappers.
+  template <typename OpTy>
+  bool isa() const {
+    return OpTy::classof(const_cast<Operation *>(this));
+  }
+
+private:
+  Operation(MLIRContext *Context, OperationName Name, Location Loc);
+
+  friend class Block;
+
+  MLIRContext *Context;
+  OperationName Name;
+  Location Loc;
+  std::vector<std::unique_ptr<OpOperand>> Operands;
+  std::vector<std::unique_ptr<detail::OpResultImpl>> Results;
+  std::map<std::string, Attribute, std::less<>> Attrs;
+  std::vector<std::unique_ptr<Region>> Regions;
+
+  Block *ParentBlock = nullptr;
+  Operation *PrevOp = nullptr;
+  Operation *NextOp = nullptr;
+};
+
+} // namespace smlir
+
+#endif // SMLIR_IR_OPERATION_H

@@ -1,0 +1,1098 @@
+//===- Parser.cpp - Textual IR parsing --------------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Block.h"
+#include "ir/Builders.h"
+#include "ir/MLIRContext.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// Type text parsing
+//===----------------------------------------------------------------------===//
+
+static void skipSpacesAndComments(std::string_view Src, size_t &Pos) {
+  while (Pos < Src.size()) {
+    if (std::isspace(static_cast<unsigned char>(Src[Pos]))) {
+      ++Pos;
+      continue;
+    }
+    if (Src[Pos] == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+      while (Pos < Src.size() && Src[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    break;
+  }
+}
+
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '.' || C == '$';
+}
+
+/// Reads an identifier (letters, digits, '_', '.', '$') at \p Pos.
+static std::string_view readIdent(std::string_view Src, size_t &Pos) {
+  size_t Start = Pos;
+  while (Pos < Src.size() && isIdentChar(Src[Pos]))
+    ++Pos;
+  return Src.substr(Start, Pos - Start);
+}
+
+static void setError(std::string *ErrorMessage, std::string_view Msg) {
+  if (ErrorMessage && ErrorMessage->empty())
+    *ErrorMessage = std::string(Msg);
+}
+
+Type smlir::parseTypeFromSource(MLIRContext *Context, std::string_view Src,
+                                size_t &Pos, std::string *ErrorMessage) {
+  skipSpacesAndComments(Src, Pos);
+  if (Pos >= Src.size()) {
+    setError(ErrorMessage, "expected type, found end of input");
+    return Type();
+  }
+
+  // Dialect type: !dialect.mnemonic<...>.
+  if (Src[Pos] == '!') {
+    ++Pos;
+    size_t Start = Pos;
+    std::string_view Ident = readIdent(Src, Pos);
+    if (Ident.empty()) {
+      setError(ErrorMessage, "expected dialect type name after '!'");
+      return Type();
+    }
+    if (Pos < Src.size() && Src[Pos] == '<') {
+      unsigned Depth = 0;
+      do {
+        if (Src[Pos] == '<')
+          ++Depth;
+        else if (Src[Pos] == '>')
+          --Depth;
+        ++Pos;
+        if (Pos > Src.size()) {
+          setError(ErrorMessage, "unbalanced '<' in dialect type");
+          return Type();
+        }
+      } while (Depth > 0 && Pos < Src.size());
+      if (Depth > 0) {
+        setError(ErrorMessage, "unbalanced '<' in dialect type");
+        return Type();
+      }
+    }
+    std::string_view Full = Src.substr(Start, Pos - Start);
+    size_t Dot = Full.find('.');
+    std::string_view DialectName =
+        Dot == std::string_view::npos ? Full.substr(0, Full.find('<'))
+                                      : Full.substr(0, Dot);
+    const DialectTypeParseFn *Hook = Context->getTypeParser(DialectName);
+    if (!Hook) {
+      setError(ErrorMessage,
+               "no registered parser for dialect type '!" +
+                   std::string(Full) + "'");
+      return Type();
+    }
+    Type Result = (*Hook)(Context, Full);
+    if (!Result)
+      setError(ErrorMessage,
+               "failed to parse dialect type '!" + std::string(Full) + "'");
+    return Result;
+  }
+
+  // Function type: (inputs) -> (results).
+  if (Src[Pos] == '(') {
+    ++Pos;
+    std::vector<Type> Inputs;
+    skipSpacesAndComments(Src, Pos);
+    while (Pos < Src.size() && Src[Pos] != ')') {
+      Type Input = parseTypeFromSource(Context, Src, Pos, ErrorMessage);
+      if (!Input)
+        return Type();
+      Inputs.push_back(Input);
+      skipSpacesAndComments(Src, Pos);
+      if (Pos < Src.size() && Src[Pos] == ',') {
+        ++Pos;
+        skipSpacesAndComments(Src, Pos);
+      }
+    }
+    if (Pos >= Src.size()) {
+      setError(ErrorMessage, "unbalanced '(' in function type");
+      return Type();
+    }
+    ++Pos; // ')'
+    skipSpacesAndComments(Src, Pos);
+    if (Pos + 1 >= Src.size() || Src[Pos] != '-' || Src[Pos + 1] != '>') {
+      setError(ErrorMessage, "expected '->' in function type");
+      return Type();
+    }
+    Pos += 2;
+    skipSpacesAndComments(Src, Pos);
+    std::vector<Type> Results;
+    if (Pos < Src.size() && Src[Pos] == '(') {
+      ++Pos;
+      skipSpacesAndComments(Src, Pos);
+      while (Pos < Src.size() && Src[Pos] != ')') {
+        Type Result = parseTypeFromSource(Context, Src, Pos, ErrorMessage);
+        if (!Result)
+          return Type();
+        Results.push_back(Result);
+        skipSpacesAndComments(Src, Pos);
+        if (Pos < Src.size() && Src[Pos] == ',') {
+          ++Pos;
+          skipSpacesAndComments(Src, Pos);
+        }
+      }
+      if (Pos >= Src.size()) {
+        setError(ErrorMessage, "unbalanced '(' in function type results");
+        return Type();
+      }
+      ++Pos; // ')'
+    } else {
+      Type Result = parseTypeFromSource(Context, Src, Pos, ErrorMessage);
+      if (!Result)
+        return Type();
+      Results.push_back(Result);
+    }
+    return FunctionType::get(Context, std::move(Inputs), std::move(Results));
+  }
+
+  // memref<shape x elem (, space)?>.
+  if (Src.substr(Pos).starts_with("memref<")) {
+    Pos += 7;
+    std::vector<int64_t> Shape;
+    while (true) {
+      skipSpacesAndComments(Src, Pos);
+      if (Pos < Src.size() && Src[Pos] == '?') {
+        if (Pos + 1 < Src.size() && Src[Pos + 1] == 'x') {
+          Shape.push_back(MemRefType::kDynamic);
+          Pos += 2;
+          continue;
+        }
+        setError(ErrorMessage, "expected 'x' after '?' in memref shape");
+        return Type();
+      }
+      if (Pos < Src.size() &&
+          std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+        size_t DigitEnd = Pos;
+        while (DigitEnd < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[DigitEnd])))
+          ++DigitEnd;
+        // A digit run followed by 'x' is a shape dimension; otherwise it is
+        // the start of something malformed (element types never start with
+        // a digit).
+        if (DigitEnd < Src.size() && Src[DigitEnd] == 'x') {
+          Shape.push_back(
+              std::strtoll(Src.substr(Pos, DigitEnd - Pos).data(), nullptr,
+                           10));
+          Pos = DigitEnd + 1;
+          continue;
+        }
+      }
+      break;
+    }
+    Type Element = parseTypeFromSource(Context, Src, Pos, ErrorMessage);
+    if (!Element)
+      return Type();
+    skipSpacesAndComments(Src, Pos);
+    MemorySpace Space = MemorySpace::Global;
+    if (Pos < Src.size() && Src[Pos] == ',') {
+      ++Pos;
+      skipSpacesAndComments(Src, Pos);
+      size_t End = Pos;
+      while (End < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[End])))
+        ++End;
+      if (End == Pos) {
+        setError(ErrorMessage, "expected memory space integer in memref");
+        return Type();
+      }
+      Space = static_cast<MemorySpace>(
+          std::strtol(Src.substr(Pos, End - Pos).data(), nullptr, 10));
+      Pos = End;
+      skipSpacesAndComments(Src, Pos);
+    }
+    if (Pos >= Src.size() || Src[Pos] != '>') {
+      setError(ErrorMessage, "expected '>' to close memref type");
+      return Type();
+    }
+    ++Pos;
+    return MemRefType::get(Context, std::move(Shape), Element, Space);
+  }
+
+  // Builtin scalar types.
+  size_t IdentStart = Pos;
+  std::string_view Ident = readIdent(Src, Pos);
+  if (Ident == "index")
+    return IndexType::get(Context);
+  if (Ident == "f32")
+    return FloatType::get(Context, 32);
+  if (Ident == "f64")
+    return FloatType::get(Context, 64);
+  if (Ident.size() > 1 && Ident[0] == 'i') {
+    bool AllDigits = true;
+    for (char C : Ident.substr(1))
+      AllDigits &= static_cast<bool>(
+          std::isdigit(static_cast<unsigned char>(C)));
+    if (AllDigits)
+      return IntegerType::get(
+          Context, std::strtol(Ident.substr(1).data(), nullptr, 10));
+  }
+  Pos = IdentStart;
+  setError(ErrorMessage, "unknown type '" + std::string(Ident) + "'");
+  return Type();
+}
+
+Type smlir::parseTypeString(MLIRContext *Context, std::string_view Text,
+                            std::string *ErrorMessage) {
+  size_t Pos = 0;
+  Type Result = parseTypeFromSource(Context, Text, Pos, ErrorMessage);
+  if (!Result)
+    return Type();
+  skipSpacesAndComments(Text, Pos);
+  if (Pos != Text.size()) {
+    setError(ErrorMessage, "trailing characters after type");
+    return Type();
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class TokKind {
+  EndOfFile,
+  Error,
+  Ident,        // bare identifier (may contain '.')
+  Integer,      // [-]digits
+  Float,        // [-]digits.digits[e[-]digits]
+  String,       // "..."
+  PercentId,    // %name
+  AtId,         // @name
+  CaretId,      // ^name
+  Arrow,        // ->
+  DoubleColon,  // ::
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Equal,
+  Colon,
+  Comma,
+  Bang,
+};
+
+struct Token {
+  TokKind Kind = TokKind::EndOfFile;
+  std::string Spelling;
+  size_t Start = 0; // offset of first character in the source
+};
+
+class Lexer {
+public:
+  Lexer(std::string_view Src, size_t Pos = 0) : Src(Src), Pos(Pos) {}
+
+  size_t getPos() const { return Pos; }
+  void setPos(size_t NewPos) { Pos = NewPos; }
+
+  Token next() {
+    skipSpacesAndComments(Src, Pos);
+    Token Tok;
+    Tok.Start = Pos;
+    if (Pos >= Src.size()) {
+      Tok.Kind = TokKind::EndOfFile;
+      return Tok;
+    }
+    char C = Src[Pos];
+    switch (C) {
+    case '(':
+      return punct(Tok, TokKind::LParen);
+    case ')':
+      return punct(Tok, TokKind::RParen);
+    case '{':
+      return punct(Tok, TokKind::LBrace);
+    case '}':
+      return punct(Tok, TokKind::RBrace);
+    case '[':
+      return punct(Tok, TokKind::LBracket);
+    case ']':
+      return punct(Tok, TokKind::RBracket);
+    case '<':
+      return punct(Tok, TokKind::Less);
+    case '>':
+      return punct(Tok, TokKind::Greater);
+    case '=':
+      return punct(Tok, TokKind::Equal);
+    case ',':
+      return punct(Tok, TokKind::Comma);
+    case '!':
+      return punct(Tok, TokKind::Bang);
+    case ':':
+      if (Pos + 1 < Src.size() && Src[Pos + 1] == ':') {
+        Tok.Kind = TokKind::DoubleColon;
+        Tok.Spelling = "::";
+        Pos += 2;
+        return Tok;
+      }
+      return punct(Tok, TokKind::Colon);
+    case '-':
+      if (Pos + 1 < Src.size() && Src[Pos + 1] == '>') {
+        Tok.Kind = TokKind::Arrow;
+        Tok.Spelling = "->";
+        Pos += 2;
+        return Tok;
+      }
+      if (Pos + 1 < Src.size() &&
+          std::isdigit(static_cast<unsigned char>(Src[Pos + 1])))
+        return lexNumber(Tok);
+      Tok.Kind = TokKind::Error;
+      return Tok;
+    case '"':
+      return lexString(Tok);
+    case '%':
+    case '@':
+    case '^': {
+      ++Pos;
+      std::string_view Name = readIdent(Src, Pos);
+      Tok.Kind = C == '%' ? TokKind::PercentId
+                          : (C == '@' ? TokKind::AtId : TokKind::CaretId);
+      Tok.Spelling = std::string(Name);
+      return Tok;
+    }
+    default:
+      break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(Tok);
+    if (isIdentChar(C)) {
+      Tok.Kind = TokKind::Ident;
+      Tok.Spelling = std::string(readIdent(Src, Pos));
+      return Tok;
+    }
+    Tok.Kind = TokKind::Error;
+    return Tok;
+  }
+
+private:
+  Token punct(Token Tok, TokKind Kind) {
+    Tok.Kind = Kind;
+    Tok.Spelling = std::string(1, Src[Pos]);
+    ++Pos;
+    return Tok;
+  }
+
+  Token lexNumber(Token Tok) {
+    size_t Start = Pos;
+    if (Src[Pos] == '-')
+      ++Pos;
+    while (Pos < Src.size() &&
+           std::isdigit(static_cast<unsigned char>(Src[Pos])))
+      ++Pos;
+    bool IsFloat = false;
+    if (Pos < Src.size() && Src[Pos] == '.') {
+      IsFloat = true;
+      ++Pos;
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos])))
+        ++Pos;
+    }
+    if (Pos < Src.size() && (Src[Pos] == 'e' || Src[Pos] == 'E')) {
+      size_t Save = Pos;
+      ++Pos;
+      if (Pos < Src.size() && (Src[Pos] == '-' || Src[Pos] == '+'))
+        ++Pos;
+      if (Pos < Src.size() &&
+          std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+        IsFloat = true;
+        while (Pos < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[Pos])))
+          ++Pos;
+      } else {
+        Pos = Save;
+      }
+    }
+    Tok.Kind = IsFloat ? TokKind::Float : TokKind::Integer;
+    Tok.Spelling = std::string(Src.substr(Start, Pos - Start));
+    return Tok;
+  }
+
+  Token lexString(Token Tok) {
+    ++Pos; // opening quote
+    std::string Value;
+    while (Pos < Src.size() && Src[Pos] != '"') {
+      if (Src[Pos] == '\\' && Pos + 1 < Src.size()) {
+        ++Pos;
+        switch (Src[Pos]) {
+        case 'n':
+          Value += '\n';
+          break;
+        case 't':
+          Value += '\t';
+          break;
+        default:
+          Value += Src[Pos];
+        }
+        ++Pos;
+        continue;
+      }
+      Value += Src[Pos++];
+    }
+    if (Pos >= Src.size()) {
+      Tok.Kind = TokKind::Error;
+      return Tok;
+    }
+    ++Pos; // closing quote
+    Tok.Kind = TokKind::String;
+    Tok.Spelling = std::move(Value);
+    return Tok;
+  }
+
+  std::string_view Src;
+  size_t Pos;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(MLIRContext *Context, std::string_view Src)
+      : Context(Context), Src(Src), Lex(Src), Builder(Context) {
+    advance();
+  }
+
+  /// Parses one top-level operation into a detached block, returning it.
+  Operation *parseTopLevel() {
+    pushScope(/*Isolated=*/true);
+    Block Staging;
+    if (!parseOperation(&Staging))
+      return nullptr;
+    if (Cur.Kind != TokKind::EndOfFile) {
+      emitError("expected a single top-level operation");
+      return nullptr;
+    }
+    Operation *Top = Staging.front();
+    Staging.remove(Top);
+    return Top;
+  }
+
+  const std::string &getError() const { return ErrMsg; }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token helpers
+  //===------------------------------------------------------------------===//
+
+  void advance() { Cur = Lex.next(); }
+
+  bool consumeIf(TokKind Kind) {
+    if (Cur.Kind != Kind)
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokKind Kind, std::string_view What) {
+    if (consumeIf(Kind))
+      return true;
+    emitError("expected " + std::string(What) + ", found '" + Cur.Spelling +
+              "'");
+    return false;
+  }
+
+  void emitError(std::string_view Msg) {
+    if (!ErrMsg.empty())
+      return;
+    unsigned Line = 1, Col = 1;
+    for (size_t I = 0; I < Cur.Start && I < Src.size(); ++I) {
+      if (Src[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    ErrMsg = "line " + std::to_string(Line) + ":" + std::to_string(Col) +
+             ": " + std::string(Msg);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scopes
+  //===------------------------------------------------------------------===//
+
+  struct Scope {
+    bool Isolated;
+    std::unordered_map<std::string, Value> Values;
+  };
+
+  void pushScope(bool Isolated) { Scopes.push_back(Scope{Isolated, {}}); }
+  void popScope() { Scopes.pop_back(); }
+
+  void defineValue(const std::string &Name, Value Val) {
+    Scopes.back().Values[Name] = Val;
+  }
+
+  Value lookupValue(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->Values.find(Name);
+      if (Found != It->Values.end())
+        return Found->second;
+      if (It->Isolated)
+        break;
+    }
+    return Value();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Types embedded in the token stream
+  //===------------------------------------------------------------------===//
+
+  /// Parses a type starting at the current token by switching to text mode,
+  /// then re-syncs the lexer.
+  Type parseType() {
+    size_t Pos = Cur.Start;
+    std::string TypeErr;
+    Type Result = parseTypeFromSource(Context, Src, Pos, &TypeErr);
+    if (!Result) {
+      emitError(TypeErr.empty() ? "failed to parse type" : TypeErr);
+      return Type();
+    }
+    Lex.setPos(Pos);
+    advance();
+    return Result;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Attributes
+  //===------------------------------------------------------------------===//
+
+  Attribute parseAttributeValue() {
+    switch (Cur.Kind) {
+    case TokKind::Integer: {
+      int64_t Value = std::strtoll(Cur.Spelling.c_str(), nullptr, 10);
+      advance();
+      Type Ty = IntegerType::get(Context, 64);
+      if (consumeIf(TokKind::Colon)) {
+        Ty = parseType();
+        if (!Ty)
+          return Attribute();
+      }
+      return IntegerAttr::get(Ty, Value);
+    }
+    case TokKind::Float: {
+      double Value = std::strtod(Cur.Spelling.c_str(), nullptr);
+      advance();
+      Type Ty = FloatType::get(Context, 64);
+      if (consumeIf(TokKind::Colon)) {
+        Ty = parseType();
+        if (!Ty)
+          return Attribute();
+      }
+      return FloatAttr::get(Ty, Value);
+    }
+    case TokKind::String: {
+      std::string Value = Cur.Spelling;
+      advance();
+      return StringAttr::get(Context, Value);
+    }
+    case TokKind::LBracket: {
+      advance();
+      std::vector<Attribute> Elements;
+      while (Cur.Kind != TokKind::RBracket) {
+        Attribute Element = parseAttributeValue();
+        if (!Element)
+          return Attribute();
+        Elements.push_back(Element);
+        if (!consumeIf(TokKind::Comma))
+          break;
+      }
+      if (!expect(TokKind::RBracket, "']'"))
+        return Attribute();
+      return ArrayAttr::get(Context, std::move(Elements));
+    }
+    case TokKind::AtId: {
+      std::vector<std::string> Path;
+      Path.push_back(Cur.Spelling);
+      advance();
+      while (consumeIf(TokKind::DoubleColon)) {
+        if (Cur.Kind != TokKind::AtId) {
+          emitError("expected '@symbol' after '::'");
+          return Attribute();
+        }
+        Path.push_back(Cur.Spelling);
+        advance();
+      }
+      return SymbolRefAttr::get(Context, std::move(Path));
+    }
+    case TokKind::Bang: {
+      // Dialect type attribute: rewind to the '!' and parse as type.
+      Type Ty = parseTypeAtToken();
+      return Ty ? TypeAttr::get(Ty) : Attribute();
+    }
+    case TokKind::LParen: {
+      Type Ty = parseTypeAtToken();
+      return Ty ? TypeAttr::get(Ty) : Attribute();
+    }
+    case TokKind::Ident: {
+      if (Cur.Spelling == "true" || Cur.Spelling == "false") {
+        bool Value = Cur.Spelling == "true";
+        advance();
+        return getBoolAttr(Context, Value);
+      }
+      if (Cur.Spelling == "unit") {
+        advance();
+        return UnitAttr::get(Context);
+      }
+      if (isTypeKeyword(Cur.Spelling)) {
+        Type Ty = parseTypeAtToken();
+        return Ty ? TypeAttr::get(Ty) : Attribute();
+      }
+      emitError("unexpected identifier '" + Cur.Spelling +
+                "' in attribute value");
+      return Attribute();
+    }
+    default:
+      emitError("expected attribute value");
+      return Attribute();
+    }
+  }
+
+  static bool isTypeKeyword(const std::string &Spelling) {
+    if (Spelling == "index" || Spelling == "f32" || Spelling == "f64")
+      return true;
+    if (Spelling.rfind("memref", 0) == 0)
+      return true;
+    if (Spelling.size() > 1 && Spelling[0] == 'i') {
+      for (char C : Spelling.substr(1))
+        if (!std::isdigit(static_cast<unsigned char>(C)))
+          return false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Parses a type whose text begins at the current token.
+  Type parseTypeAtToken() {
+    size_t Pos = Cur.Start;
+    std::string TypeErr;
+    Type Ty = parseTypeFromSource(Context, Src, Pos, &TypeErr);
+    if (!Ty) {
+      emitError(TypeErr);
+      return Type();
+    }
+    Lex.setPos(Pos);
+    advance();
+    return Ty;
+  }
+
+  /// Parses `{name (= value)?, ...}` into \p Attrs. The opening brace has
+  /// not been consumed yet.
+  bool parseAttrDict(std::vector<std::pair<std::string, Attribute>> &Attrs) {
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+    while (Cur.Kind != TokKind::RBrace) {
+      if (Cur.Kind != TokKind::Ident && Cur.Kind != TokKind::String) {
+        emitError("expected attribute name");
+        return false;
+      }
+      std::string Name = Cur.Spelling;
+      advance();
+      Attribute Value;
+      if (consumeIf(TokKind::Equal)) {
+        Value = parseAttributeValue();
+        if (!Value)
+          return false;
+      } else {
+        Value = UnitAttr::get(Context);
+      }
+      Attrs.emplace_back(std::move(Name), Value);
+      if (!consumeIf(TokKind::Comma))
+        break;
+    }
+    return expect(TokKind::RBrace, "'}'");
+  }
+
+  //===------------------------------------------------------------------===//
+  // Operations
+  //===------------------------------------------------------------------===//
+
+  /// Parses one operation and appends it to \p InsertInto. Returns the op
+  /// or null on error.
+  Operation *parseOperation(Block *InsertInto) {
+    std::vector<std::string> ResultNames;
+    if (Cur.Kind == TokKind::PercentId) {
+      ResultNames.push_back(Cur.Spelling);
+      advance();
+      while (consumeIf(TokKind::Comma)) {
+        if (Cur.Kind != TokKind::PercentId) {
+          emitError("expected result name after ','");
+          return nullptr;
+        }
+        ResultNames.push_back(Cur.Spelling);
+        advance();
+      }
+      if (!expect(TokKind::Equal, "'=' after result names"))
+        return nullptr;
+    }
+
+    Operation *Op = nullptr;
+    if (Cur.Kind == TokKind::String)
+      Op = parseGenericOperation(InsertInto);
+    else if (Cur.Kind == TokKind::Ident && Cur.Spelling == "module")
+      Op = parseModuleOperation(InsertInto);
+    else if (Cur.Kind == TokKind::Ident && Cur.Spelling == "func.func")
+      Op = parseFuncOperation(InsertInto);
+    else {
+      emitError("expected operation");
+      return nullptr;
+    }
+    if (!Op)
+      return nullptr;
+
+    if (ResultNames.size() != Op->getNumResults()) {
+      emitError("operation defines " + std::to_string(Op->getNumResults()) +
+                " results but " + std::to_string(ResultNames.size()) +
+                " names were given");
+      return nullptr;
+    }
+    for (unsigned I = 0; I < ResultNames.size(); ++I)
+      defineValue(ResultNames[I], Op->getResult(I));
+    return Op;
+  }
+
+  Operation *parseGenericOperation(Block *InsertInto) {
+    std::string OpName = Cur.Spelling;
+    advance();
+    if (!expect(TokKind::LParen, "'(' after operation name"))
+      return nullptr;
+    std::vector<std::string> OperandNames;
+    while (Cur.Kind == TokKind::PercentId) {
+      OperandNames.push_back(Cur.Spelling);
+      advance();
+      if (!consumeIf(TokKind::Comma))
+        break;
+    }
+    if (!expect(TokKind::RParen, "')' after operands"))
+      return nullptr;
+
+    // Skip region bodies for now, recording their source ranges.
+    std::vector<size_t> RegionStarts;
+    if (Cur.Kind == TokKind::LParen) {
+      advance();
+      while (Cur.Kind == TokKind::LBrace) {
+        RegionStarts.push_back(Cur.Start);
+        size_t End = skipBalancedBraces(Cur.Start);
+        if (End == 0)
+          return nullptr;
+        Lex.setPos(End);
+        advance();
+        if (!consumeIf(TokKind::Comma))
+          break;
+      }
+      if (!expect(TokKind::RParen, "')' after region list"))
+        return nullptr;
+    }
+
+    std::vector<std::pair<std::string, Attribute>> Attrs;
+    if (Cur.Kind == TokKind::LBrace && !parseAttrDict(Attrs))
+      return nullptr;
+
+    if (!expect(TokKind::Colon, "':' before operation type"))
+      return nullptr;
+    Type FnTy = parseType();
+    if (!FnTy)
+      return nullptr;
+    auto FuncTy = FnTy.dyn_cast<FunctionType>();
+    if (!FuncTy) {
+      emitError("expected function type after ':'");
+      return nullptr;
+    }
+    if (FuncTy.getNumInputs() != OperandNames.size()) {
+      emitError("operand count mismatch with type signature");
+      return nullptr;
+    }
+
+    OperationState State(Location::unknown(Context), OpName);
+    for (unsigned I = 0; I < OperandNames.size(); ++I) {
+      Value Operand = lookupValue(OperandNames[I]);
+      if (!Operand) {
+        emitError("use of undefined value '%" + OperandNames[I] + "'");
+        return nullptr;
+      }
+      if (Operand.getType() != FuncTy.getInput(I)) {
+        emitError("operand '%" + OperandNames[I] +
+                  "' type mismatch: expected " + FuncTy.getInput(I).str() +
+                  ", found " + Operand.getType().str());
+        return nullptr;
+      }
+      State.addOperand(Operand);
+    }
+    State.addTypes(FuncTy.getResults());
+    State.Attributes = std::move(Attrs);
+    State.addRegions(RegionStarts.size());
+    if (!Context->getRegisteredOperation(OpName)) {
+      emitError("unregistered operation '" + OpName + "'");
+      return nullptr;
+    }
+    Operation *Op = Operation::create(Context, State);
+    InsertInto->push_back(Op);
+
+    // Now parse the deferred region bodies.
+    size_t Resume = Lex.getPos();
+    Token ResumeTok = Cur;
+    bool Isolated = Op->hasTrait(OpTrait::IsolatedFromAbove);
+    for (unsigned I = 0; I < RegionStarts.size(); ++I) {
+      Lex.setPos(RegionStarts[I]);
+      advance();
+      if (!parseRegionBody(Op->getRegion(I), Isolated))
+        return nullptr;
+    }
+    Lex.setPos(Resume);
+    Cur = ResumeTok;
+    return Op;
+  }
+
+  /// Given the offset of a '{', returns the offset just past its matching
+  /// '}'; 0 on error. Skips strings and comments.
+  size_t skipBalancedBraces(size_t Start) {
+    size_t Pos = Start;
+    unsigned Depth = 0;
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '"') {
+        ++Pos;
+        while (Pos < Src.size() && Src[Pos] != '"') {
+          if (Src[Pos] == '\\')
+            ++Pos;
+          ++Pos;
+        }
+        ++Pos;
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (C == '{')
+        ++Depth;
+      else if (C == '}') {
+        --Depth;
+        if (Depth == 0)
+          return Pos + 1;
+      }
+      ++Pos;
+    }
+    emitError("unbalanced '{'");
+    return 0;
+  }
+
+  /// Parses `{ (^label(args))? ops... }` into \p R.
+  bool parseRegionBody(Region &R, bool Isolated) {
+    if (!expect(TokKind::LBrace, "'{' to begin region"))
+      return false;
+    pushScope(Isolated);
+    bool First = true;
+    while (Cur.Kind != TokKind::RBrace) {
+      Block *B;
+      if (Cur.Kind == TokKind::CaretId) {
+        advance();
+        B = &R.emplaceBlock();
+        if (consumeIf(TokKind::LParen)) {
+          while (Cur.Kind == TokKind::PercentId) {
+            std::string Name = Cur.Spelling;
+            advance();
+            if (!expect(TokKind::Colon, "':' after block argument name"))
+              return false;
+            Type ArgTy = parseType();
+            if (!ArgTy)
+              return false;
+            defineValue(Name, B->addArgument(ArgTy));
+            if (!consumeIf(TokKind::Comma))
+              break;
+          }
+          if (!expect(TokKind::RParen, "')' after block arguments"))
+            return false;
+        }
+        if (!expect(TokKind::Colon, "':' after block header"))
+          return false;
+      } else {
+        if (!First) {
+          emitError("expected block header or '}'");
+          return false;
+        }
+        B = &R.emplaceBlock();
+      }
+      First = false;
+      while (Cur.Kind != TokKind::RBrace && Cur.Kind != TokKind::CaretId) {
+        if (!parseOperation(B))
+          return false;
+      }
+    }
+    popScope();
+    return expect(TokKind::RBrace, "'}' to end region");
+  }
+
+  Operation *parseModuleOperation(Block *InsertInto) {
+    advance(); // 'module'
+    OperationState State(Location::unknown(Context), "builtin.module");
+    if (Cur.Kind == TokKind::AtId) {
+      State.addAttribute("sym_name", StringAttr::get(Context, Cur.Spelling));
+      advance();
+    }
+    if (Cur.Kind == TokKind::Ident && Cur.Spelling == "attributes") {
+      advance();
+      std::vector<std::pair<std::string, Attribute>> Attrs;
+      if (!parseAttrDict(Attrs))
+        return nullptr;
+      for (auto &Entry : Attrs)
+        State.Attributes.push_back(std::move(Entry));
+    }
+    State.addRegion();
+    Operation *Op = Operation::create(Context, State);
+    InsertInto->push_back(Op);
+    if (!parseRegionBody(Op->getRegion(0), /*Isolated=*/true))
+      return nullptr;
+    // Modules hold a single block.
+    if (Op->getRegion(0).empty())
+      Op->getRegion(0).emplaceBlock();
+    return Op;
+  }
+
+  Operation *parseFuncOperation(Block *InsertInto) {
+    advance(); // 'func.func'
+    std::string Visibility;
+    if (Cur.Kind == TokKind::Ident &&
+        (Cur.Spelling == "private" || Cur.Spelling == "public")) {
+      Visibility = Cur.Spelling;
+      advance();
+    }
+    if (Cur.Kind != TokKind::AtId) {
+      emitError("expected function name");
+      return nullptr;
+    }
+    std::string Name = Cur.Spelling;
+    advance();
+    if (!expect(TokKind::LParen, "'(' in function signature"))
+      return nullptr;
+
+    std::vector<std::string> ArgNames;
+    std::vector<Type> ArgTypes;
+    bool IsDeclaration = false;
+    while (Cur.Kind != TokKind::RParen) {
+      if (Cur.Kind == TokKind::PercentId) {
+        ArgNames.push_back(Cur.Spelling);
+        advance();
+        if (!expect(TokKind::Colon, "':' after argument name"))
+          return nullptr;
+      } else {
+        IsDeclaration = true;
+      }
+      Type ArgTy = parseType();
+      if (!ArgTy)
+        return nullptr;
+      ArgTypes.push_back(ArgTy);
+      if (!consumeIf(TokKind::Comma))
+        break;
+    }
+    if (!expect(TokKind::RParen, "')' in function signature"))
+      return nullptr;
+
+    std::vector<Type> ResultTypes;
+    if (consumeIf(TokKind::Arrow)) {
+      if (consumeIf(TokKind::LParen)) {
+        while (Cur.Kind != TokKind::RParen) {
+          Type ResultTy = parseType();
+          if (!ResultTy)
+            return nullptr;
+          ResultTypes.push_back(ResultTy);
+          if (!consumeIf(TokKind::Comma))
+            break;
+        }
+        if (!expect(TokKind::RParen, "')' after result types"))
+          return nullptr;
+      } else {
+        Type ResultTy = parseType();
+        if (!ResultTy)
+          return nullptr;
+        ResultTypes.push_back(ResultTy);
+      }
+    }
+
+    OperationState State(Location::unknown(Context), "func.func");
+    State.addAttribute("sym_name", StringAttr::get(Context, Name));
+    State.addAttribute(
+        "function_type",
+        TypeAttr::get(FunctionType::get(Context, ArgTypes, ResultTypes)));
+    if (!Visibility.empty())
+      State.addAttribute("sym_visibility",
+                         StringAttr::get(Context, Visibility));
+    if (Cur.Kind == TokKind::Ident && Cur.Spelling == "attributes") {
+      advance();
+      std::vector<std::pair<std::string, Attribute>> Attrs;
+      if (!parseAttrDict(Attrs))
+        return nullptr;
+      for (auto &Entry : Attrs)
+        State.Attributes.push_back(std::move(Entry));
+    }
+    State.addRegion();
+    Operation *Op = Operation::create(Context, State);
+    InsertInto->push_back(Op);
+
+    bool HasBody = Cur.Kind == TokKind::LBrace && !IsDeclaration;
+    if (HasBody) {
+      advance(); // '{'
+      pushScope(/*Isolated=*/true);
+      Block &Entry = Op->getRegion(0).emplaceBlock();
+      for (unsigned I = 0; I < ArgNames.size(); ++I)
+        defineValue(ArgNames[I], Entry.addArgument(ArgTypes[I]));
+      while (Cur.Kind != TokKind::RBrace) {
+        if (!parseOperation(&Entry))
+          return nullptr;
+      }
+      popScope();
+      if (!expect(TokKind::RBrace, "'}' to end function body"))
+        return nullptr;
+    }
+    return Op;
+  }
+
+  MLIRContext *Context;
+  std::string_view Src;
+  Lexer Lex;
+  OpBuilder Builder;
+  Token Cur;
+  std::string ErrMsg;
+  std::vector<Scope> Scopes;
+};
+
+} // namespace
+
+OwningOpRef smlir::parseSourceString(MLIRContext *Context,
+                                     std::string_view Source,
+                                     std::string *ErrorMessage) {
+  Parser TheParser(Context, Source);
+  Operation *Op = TheParser.parseTopLevel();
+  if (!Op) {
+    if (ErrorMessage)
+      *ErrorMessage = TheParser.getError();
+    return OwningOpRef();
+  }
+  return OwningOpRef(Op);
+}

@@ -1,0 +1,81 @@
+//===- Pass.cpp - Pass and pass manager infrastructure ---------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Pass.h"
+
+#include "ir/Block.h"
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+using namespace smlir;
+
+Pass::~Pass() = default;
+
+LogicalResult FunctionPass::runOnOperation(Operation *Root,
+                                           AnalysisManager &AM) {
+  // Collect functions first: passes may restructure the module.
+  std::vector<Operation *> Functions;
+  Root->walk([&](Operation *Op) {
+    if (Op->getName().getStringRef() == "func.func")
+      Functions.push_back(Op);
+  });
+  for (Operation *Func : Functions)
+    if (runOnFunction(Func, AM).failed())
+      return failure();
+  return success();
+}
+
+LogicalResult PassManager::run(Operation *Root) {
+  AnalysisManager AM;
+  TimingsMs.assign(Passes.size(), 0.0);
+  for (unsigned I = 0, E = Passes.size(); I != E; ++I) {
+    Pass &P = *Passes[I];
+    auto Start = std::chrono::steady_clock::now();
+    LogicalResult Result = P.runOnOperation(Root, AM);
+    auto End = std::chrono::steady_clock::now();
+    TimingsMs[I] =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    // Transformations may have changed the IR arbitrarily.
+    AM.invalidateAll();
+
+    if (Result.failed()) {
+      std::fprintf(stderr, "pass '%s' failed\n", P.getName().c_str());
+      return failure();
+    }
+    if (PrintAfterEach) {
+      std::fprintf(stderr, "// ----- IR after %s -----\n",
+                   P.getName().c_str());
+      Root->dump();
+    }
+    if (VerifyEach) {
+      std::string Error;
+      if (verify(Root, &Error).failed()) {
+        std::fprintf(stderr, "verification failed after pass '%s': %s\n",
+                     P.getName().c_str(), Error.c_str());
+        return failure();
+      }
+    }
+  }
+  return success();
+}
+
+std::string PassManager::getReport() const {
+  std::ostringstream OS;
+  OS << "=== Pass report ===\n";
+  for (unsigned I = 0, E = Passes.size(); I != E; ++I) {
+    OS << "  " << Passes[I]->getName();
+    if (I < TimingsMs.size())
+      OS << "  (" << TimingsMs[I] << " ms)";
+    OS << "\n";
+    for (const auto &[Stat, Count] : Passes[I]->getStatistics())
+      OS << "    " << Stat << ": " << Count << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,149 @@
+//===- Pass.h - Pass and pass manager infrastructure ------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass infrastructure: Pass base class with statistics, an analysis
+/// manager with per-root caching, and a PassManager with verification,
+/// timing and IR-printing instrumentation (paper §II-B: "MLIR also provides
+/// a common infrastructure for creating analyses and transformation
+/// passes").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_PASS_H
+#define SMLIR_IR_PASS_H
+
+#include "ir/Operation.h"
+#include "support/LogicalResult.h"
+#include "support/TypeID.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smlir {
+
+/// Caches analyses per (analysis type, root operation). Analyses are
+/// constructed on demand with `AnalysisT(Operation *Root)` and invalidated
+/// wholesale after each transformation pass.
+class AnalysisManager {
+public:
+  template <typename AnalysisT>
+  AnalysisT &get(Operation *Root) {
+    Key K{TypeID::get<AnalysisT>(), Root};
+    auto It = Cache.find(K);
+    if (It == Cache.end()) {
+      auto Holder = std::make_shared<Model<AnalysisT>>(Root);
+      It = Cache.emplace(K, Holder).first;
+    }
+    return static_cast<Model<AnalysisT> *>(It->second.get())->Analysis;
+  }
+
+  void invalidateAll() { Cache.clear(); }
+
+private:
+  struct Concept {
+    virtual ~Concept() = default;
+  };
+  template <typename AnalysisT>
+  struct Model : Concept {
+    explicit Model(Operation *Root) : Analysis(Root) {}
+    AnalysisT Analysis;
+  };
+
+  using Key = std::pair<TypeID, Operation *>;
+  std::map<Key, std::shared_ptr<Concept>> Cache;
+};
+
+/// Base class for all transformation passes.
+class Pass {
+public:
+  Pass(std::string Name, std::string Argument)
+      : Name(std::move(Name)), Argument(std::move(Argument)) {}
+  virtual ~Pass();
+
+  const std::string &getName() const { return Name; }
+  /// Command-line style pass mnemonic, e.g. "detect-reduction".
+  const std::string &getArgument() const { return Argument; }
+
+  /// Runs this pass on \p Root. Failure aborts the pipeline.
+  virtual LogicalResult runOnOperation(Operation *Root,
+                                       AnalysisManager &AM) = 0;
+
+  /// Named counters reported by the pass manager when statistics are
+  /// enabled.
+  void incrementStatistic(const std::string &Stat, int64_t Delta = 1) {
+    Statistics[Stat] += Delta;
+  }
+  const std::map<std::string, int64_t> &getStatistics() const {
+    return Statistics;
+  }
+
+private:
+  std::string Name;
+  std::string Argument;
+  std::map<std::string, int64_t> Statistics;
+};
+
+/// Convenience base for passes operating on every `func.func` in the
+/// module, including functions nested in inner modules (the joint
+/// host+device representation keeps device kernels in a nested `@kernels`
+/// module).
+class FunctionPass : public Pass {
+public:
+  using Pass::Pass;
+
+  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) final;
+
+  /// Runs on a single function.
+  virtual LogicalResult runOnFunction(Operation *Func, AnalysisManager &AM) = 0;
+};
+
+/// Runs a sequence of passes over a module with optional instrumentation.
+class PassManager {
+public:
+  explicit PassManager(MLIRContext *Context) : Context(Context) {}
+
+  MLIRContext *getContext() const { return Context; }
+
+  void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  template <typename PassT, typename... Args>
+  void addPass(Args &&...PassArgs) {
+    Passes.push_back(std::make_unique<PassT>(std::forward<Args>(PassArgs)...));
+  }
+
+  /// Verify the IR after each pass (on by default).
+  void enableVerifier(bool Enable = true) { VerifyEach = Enable; }
+  /// Print the IR to stderr after each pass.
+  void enableIRPrinting(bool Enable = true) { PrintAfterEach = Enable; }
+  /// Collect per-pass wall-clock timing.
+  void enableTiming(bool Enable = true) { TimePasses = Enable; }
+
+  /// Runs all passes on \p Root; stops and fails on the first pass failure
+  /// or verification error.
+  LogicalResult run(Operation *Root);
+
+  /// Human-readable timing/statistics report for the last run.
+  std::string getReport() const;
+
+  const std::vector<std::unique_ptr<Pass>> &getPasses() const {
+    return Passes;
+  }
+
+private:
+  MLIRContext *Context;
+  std::vector<std::unique_ptr<Pass>> Passes;
+  std::vector<double> TimingsMs;
+  bool VerifyEach = true;
+  bool PrintAfterEach = false;
+  bool TimePasses = false;
+};
+
+} // namespace smlir
+
+#endif // SMLIR_IR_PASS_H

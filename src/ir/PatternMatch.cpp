@@ -1,0 +1,160 @@
+//===- PatternMatch.cpp - Pattern rewriting infrastructure -----------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PatternMatch.h"
+
+#include "ir/Block.h"
+
+#include <set>
+
+using namespace smlir;
+
+PatternRewriter::~PatternRewriter() = default;
+
+void PatternRewriter::eraseOp(Operation *Op) {
+  assert(Op->use_empty() && "erasing op with live uses");
+  Op->erase();
+}
+
+void PatternRewriter::replaceOp(Operation *Op,
+                                const std::vector<Value> &NewValues) {
+  Op->replaceAllUsesWith(NewValues);
+  eraseOp(Op);
+}
+
+RewritePattern::~RewritePattern() = default;
+
+namespace {
+
+/// Rewriter that keeps the greedy driver's worklist consistent with IR
+/// mutations.
+class GreedyDriver : public PatternRewriter {
+public:
+  explicit GreedyDriver(MLIRContext *Context) : PatternRewriter(Context) {}
+
+  void addToWorklist(Operation *Op) {
+    if (InSet.insert(Op).second)
+      Worklist.push_back(Op);
+  }
+
+  Operation *popWorklist() {
+    while (!Worklist.empty()) {
+      Operation *Op = Worklist.back();
+      Worklist.pop_back();
+      if (InSet.erase(Op))
+        return Op;
+    }
+    return nullptr;
+  }
+
+  Operation *insert(Operation *Op) override {
+    PatternRewriter::insert(Op);
+    addToWorklist(Op);
+    return Op;
+  }
+
+  void eraseOp(Operation *Op) override {
+    // Revisit producers: they may become dead.
+    for (Value Operand : Op->getOperands())
+      if (Operation *Def = Operand.getDefiningOp())
+        addToWorklist(Def);
+    // Purge the erased subtree from the worklist.
+    Op->walk([&](Operation *Nested) {
+      if (Nested != Op)
+        InSet.erase(Nested);
+    });
+    InSet.erase(Op);
+    Op->erase();
+  }
+
+  void replaceOp(Operation *Op,
+                 const std::vector<Value> &NewValues) override {
+    // Revisit consumers: they may now fold.
+    for (Value Result : Op->getResults())
+      for (OpOperand *Use : Result.getUses())
+        addToWorklist(Use->getOwner());
+    Op->replaceAllUsesWith(NewValues);
+    eraseOp(Op);
+  }
+
+  bool isTriviallyDead(Operation *Op) const {
+    return Op->use_empty() && !Op->hasTrait(OpTrait::IsTerminator) &&
+           Op->isMemoryEffectFree();
+  }
+
+private:
+  std::vector<Operation *> Worklist;
+  std::set<Operation *> InSet;
+};
+
+/// Creates an `arith.constant` materializing \p Value of type \p Ty.
+Operation *materializeConstant(PatternRewriter &Rewriter, Attribute Value,
+                               Type Ty, Location Loc) {
+  OperationState State(Loc, "arith.constant");
+  State.addAttribute("value", Value);
+  State.addType(Ty);
+  return Rewriter.createOperation(State);
+}
+
+} // namespace
+
+LogicalResult smlir::applyPatternsGreedily(Operation *Root,
+                                           const RewritePatternSet &Patterns) {
+  GreedyDriver Driver(Root->getContext());
+
+  // Seed the worklist with all nested ops (not the root itself).
+  Root->walk([&](Operation *Op) {
+    if (Op != Root)
+      Driver.addToWorklist(Op);
+  });
+
+  // Generous bound against non-converging pattern sets.
+  int64_t Budget = 1000000;
+  while (Operation *Op = Driver.popWorklist()) {
+    if (--Budget < 0)
+      return failure();
+
+    if (Driver.isTriviallyDead(Op)) {
+      Driver.eraseOp(Op);
+      continue;
+    }
+
+    // Attempt to fold with constant operand values.
+    if (Op->getNumResults() == 1 && !Op->hasTrait(OpTrait::ConstantLike)) {
+      std::vector<Attribute> ConstOperands;
+      ConstOperands.reserve(Op->getNumOperands());
+      for (Value Operand : Op->getOperands()) {
+        Operation *Def = Operand.getDefiningOp();
+        ConstOperands.push_back(Def && Def->hasTrait(OpTrait::ConstantLike)
+                                    ? Def->getAttr("value")
+                                    : Attribute());
+      }
+      OpFoldResult Folded = Op->fold(ConstOperands);
+      if (Folded.Val) {
+        Driver.replaceOp(Op, {Folded.Val});
+        continue;
+      }
+      if (Folded.Attr) {
+        Driver.setInsertionPoint(Op);
+        Operation *Constant = materializeConstant(
+            Driver, Folded.Attr, Op->getResultType(0), Op->getLoc());
+        Driver.replaceOp(Op, {Constant->getResult(0)});
+        continue;
+      }
+    }
+
+    // Attempt the rewrite patterns.
+    for (const auto &Pattern : Patterns.get()) {
+      if (!Pattern->getRootName().empty() &&
+          Pattern->getRootName() != Op->getName().getStringRef())
+        continue;
+      Driver.setInsertionPoint(Op);
+      if (Pattern->matchAndRewrite(Op, Driver).succeeded())
+        break; // Op may be gone; move on.
+    }
+  }
+  return success();
+}

@@ -1,0 +1,99 @@
+//===- PatternMatch.h - Pattern rewriting infrastructure --------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrite patterns and the greedy pattern-application driver used by the
+/// canonicalizer (paper §II-B: "gradual lowering process through dialect
+/// conversion and pattern rewriting").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_PATTERNMATCH_H
+#define SMLIR_IR_PATTERNMATCH_H
+
+#include "ir/Builders.h"
+#include "support/LogicalResult.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smlir {
+
+/// Builder that also notifies the greedy driver about IR changes so the
+/// worklist stays consistent.
+class PatternRewriter : public OpBuilder {
+public:
+  explicit PatternRewriter(MLIRContext *Context) : OpBuilder(Context) {}
+  virtual ~PatternRewriter();
+
+  /// Erases \p Op (results must be unused after replacement).
+  virtual void eraseOp(Operation *Op);
+
+  /// Replaces all uses of \p Op's results with \p NewValues and erases it.
+  virtual void replaceOp(Operation *Op, const std::vector<Value> &NewValues);
+
+  /// Builds a replacement op and uses its results to replace \p Op.
+  template <typename OpTy, typename... Args>
+  OpTy replaceOpWithNewOp(Operation *Op, Args &&...BuildArgs) {
+    setInsertionPoint(Op);
+    OpTy NewOp =
+        create<OpTy>(Op->getLoc(), std::forward<Args>(BuildArgs)...);
+    replaceOp(Op, NewOp.getOperation()->getResults());
+    return NewOp;
+  }
+};
+
+/// A rewrite rule anchored on a specific operation name ("" matches any
+/// operation).
+class RewritePattern {
+public:
+  RewritePattern(std::string RootName, unsigned Benefit = 1)
+      : RootName(std::move(RootName)), Benefit(Benefit) {}
+  virtual ~RewritePattern();
+
+  const std::string &getRootName() const { return RootName; }
+  unsigned getBenefit() const { return Benefit; }
+
+  /// Attempts to match \p Op and rewrite it through \p Rewriter. Returning
+  /// success means the IR was modified.
+  virtual LogicalResult matchAndRewrite(Operation *Op,
+                                        PatternRewriter &Rewriter) const = 0;
+
+private:
+  std::string RootName;
+  unsigned Benefit;
+};
+
+/// An ordered set of rewrite patterns.
+class RewritePatternSet {
+public:
+  template <typename PatternT, typename... Args>
+  void add(Args &&...PatternArgs) {
+    Patterns.push_back(
+        std::make_unique<PatternT>(std::forward<Args>(PatternArgs)...));
+  }
+  void add(std::unique_ptr<RewritePattern> Pattern) {
+    Patterns.push_back(std::move(Pattern));
+  }
+
+  const std::vector<std::unique_ptr<RewritePattern>> &get() const {
+    return Patterns;
+  }
+
+private:
+  std::vector<std::unique_ptr<RewritePattern>> Patterns;
+};
+
+/// Applies \p Patterns to all ops nested under \p Root until fixpoint,
+/// interleaved with op folding and dead-code elimination of side-effect
+/// free ops. Returns success if a fixpoint was reached (almost always).
+LogicalResult applyPatternsGreedily(Operation *Root,
+                                    const RewritePatternSet &Patterns);
+
+} // namespace smlir
+
+#endif // SMLIR_IR_PATTERNMATCH_H

@@ -1,0 +1,192 @@
+//===- Printer.cpp - Textual IR printing -----------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints operations in a parseable textual form: the MLIR generic operation
+/// syntax for all ops, plus custom forms for `builtin.module` and
+/// `func.func`. The parser (Parser.cpp) accepts exactly this format, giving
+/// full print/parse round-tripping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Block.h"
+#include "ir/Operation.h"
+#include "support/STLExtras.h"
+
+#include <ostream>
+#include <unordered_map>
+
+using namespace smlir;
+
+namespace {
+
+/// Stateful printer assigning SSA names while walking the IR tree.
+class AsmPrinter {
+public:
+  explicit AsmPrinter(std::ostream &OS) : OS(OS) {}
+
+  void printTopLevel(const Operation *Op) { printOp(Op); }
+
+private:
+  void indent() {
+    for (unsigned I = 0; I < IndentLevel; ++I)
+      OS << "  ";
+  }
+
+  const std::string &nameOf(Value Val) {
+    auto It = Names.find(Val.getImpl());
+    if (It != Names.end())
+      return It->second;
+    std::string Name = (Val.isBlockArgument() ? "%arg" : "%") +
+                       std::to_string(NextId++);
+    return Names.emplace(Val.getImpl(), std::move(Name)).first->second;
+  }
+
+  void printOp(const Operation *Op) {
+    const std::string &OpName = Op->getName().getStringRef();
+    indent();
+    if (OpName == "builtin.module") {
+      printModule(Op);
+      return;
+    }
+    if (OpName == "func.func") {
+      printFunc(Op);
+      return;
+    }
+    printGenericOp(Op);
+  }
+
+  void printModule(const Operation *Op) {
+    OS << "module";
+    if (auto Name = Op->getAttrOfType<StringAttr>("sym_name"))
+      OS << " @" << Name.getValue();
+    printAttrDict(Op, {"sym_name"}, /*WithKeyword=*/true);
+    OS << " ";
+    printRegionBody(Op->getRegions()[0].get());
+    OS << "\n";
+  }
+
+  void printFunc(const Operation *Op) {
+    auto Name = Op->getAttrOfType<StringAttr>("sym_name");
+    auto FuncTy =
+        Op->getAttrOfType<TypeAttr>("function_type").getValue().cast<FunctionType>();
+    OS << "func.func @" << Name.getValue() << "(";
+    Region *Body = Op->getRegions()[0].get();
+    bool HasBody = !Body->empty();
+    if (HasBody) {
+      Block &Entry = Body->front();
+      interleaveComma(Entry.getArguments(), OS, [&](Value Arg) {
+        OS << nameOf(Arg) << ": " << Arg.getType();
+      });
+    } else {
+      interleaveComma(FuncTy.getInputs(), OS,
+                      [&](Type Ty) { OS << Ty; });
+    }
+    OS << ")";
+    if (FuncTy.getNumResults() > 0) {
+      OS << " -> (";
+      interleaveComma(FuncTy.getResults(), OS, [&](Type Ty) { OS << Ty; });
+      OS << ")";
+    }
+    printAttrDict(Op, {"sym_name", "function_type"}, /*WithKeyword=*/true);
+    if (HasBody) {
+      OS << " ";
+      printRegionBody(Body, /*PrintEntryArgs=*/false);
+    }
+    OS << "\n";
+  }
+
+  void printGenericOp(const Operation *Op) {
+    if (Op->getNumResults() > 0) {
+      interleaveComma(Op->getResults(), OS,
+                      [&](Value Result) { OS << nameOf(Result); });
+      OS << " = ";
+    }
+    OS << '"' << Op->getName().getStringRef() << "\"(";
+    interleaveComma(Op->getOperands(), OS,
+                    [&](Value Operand) { OS << nameOf(Operand); });
+    OS << ")";
+    if (Op->getNumRegions() > 0) {
+      OS << " (";
+      interleave(
+          Op->getRegions(),
+          [&](const std::unique_ptr<Region> &R) { printRegionBody(R.get()); },
+          [&] { OS << ", "; });
+      OS << ")";
+    }
+    printAttrDict(Op, {}, /*WithKeyword=*/false);
+    OS << " : (";
+    interleaveComma(Op->getOperands(), OS,
+                    [&](Value Operand) { OS << Operand.getType(); });
+    OS << ") -> (";
+    interleaveComma(Op->getResults(), OS,
+                    [&](Value Result) { OS << Result.getType(); });
+    OS << ")\n";
+  }
+
+  /// Prints `{ blocks }`. When \p PrintEntryArgs is false the entry block
+  /// header is suppressed (func signature already introduced the names).
+  void printRegionBody(const Region *R, bool PrintEntryArgs = true) {
+    OS << "{\n";
+    ++IndentLevel;
+    bool IsEntry = true;
+    for (const auto &B : *R) {
+      bool NeedsHeader =
+          (!IsEntry) || (PrintEntryArgs && B->getNumArguments() > 0);
+      if (NeedsHeader) {
+        indent();
+        OS << "^bb" << NextBlockId++ << "(";
+        interleaveComma(B->getArguments(), OS, [&](Value Arg) {
+          OS << nameOf(Arg) << ": " << Arg.getType();
+        });
+        OS << "):\n";
+      }
+      for (Operation *Nested : *B)
+        printOp(Nested);
+      IsEntry = false;
+    }
+    --IndentLevel;
+    indent();
+    OS << "}";
+  }
+
+  /// Prints the attribute dictionary, skipping names in \p Elided. With
+  /// \p WithKeyword, prints ` attributes {...}` (custom-form style).
+  void printAttrDict(const Operation *Op,
+                     std::initializer_list<std::string_view> Elided,
+                     bool WithKeyword) {
+    std::vector<std::pair<std::string, Attribute>> ToPrint;
+    for (const auto &[Name, Attr] : Op->getAttrs()) {
+      bool IsElided = false;
+      for (std::string_view E : Elided)
+        IsElided |= (Name == E);
+      if (!IsElided)
+        ToPrint.emplace_back(Name, Attr);
+    }
+    if (ToPrint.empty())
+      return;
+    OS << (WithKeyword ? " attributes {" : " {");
+    interleaveComma(ToPrint, OS, [&](const auto &Entry) {
+      OS << Entry.first;
+      if (!Entry.second.template isa<UnitAttr>())
+        OS << " = " << Entry.second;
+    });
+    OS << "}";
+  }
+
+  std::ostream &OS;
+  unsigned IndentLevel = 0;
+  unsigned NextId = 0;
+  unsigned NextBlockId = 0;
+  std::unordered_map<detail::ValueImpl *, std::string> Names;
+};
+
+} // namespace
+
+void Operation::print(std::ostream &OS) const {
+  AsmPrinter Printer(OS);
+  Printer.printTopLevel(this);
+}

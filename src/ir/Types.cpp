@@ -1,0 +1,261 @@
+//===- Types.cpp - IR type system -----------------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Types.h"
+
+#include "ir/MLIRContext.h"
+#include "support/ErrorHandling.h"
+
+#include <sstream>
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// Type
+//===----------------------------------------------------------------------===//
+
+MLIRContext *Type::getContext() const {
+  assert(Impl && "null type");
+  return Impl->Context;
+}
+
+TypeID Type::getTypeID() const {
+  assert(Impl && "null type");
+  return Impl->ID;
+}
+
+const std::string &Type::str() const {
+  assert(Impl && "null type");
+  return Impl->Key;
+}
+
+void Type::print(std::ostream &OS) const {
+  OS << (Impl ? Impl->Key : std::string("<<null type>>"));
+}
+
+bool Type::isInteger(unsigned Width) const {
+  auto IntTy = dyn_cast<IntegerType>();
+  return IntTy && IntTy.getWidth() == Width;
+}
+bool Type::isIndex() const { return Impl && isa<IndexType>(); }
+bool Type::isF32() const {
+  auto FloatTy = dyn_cast<FloatType>();
+  return FloatTy && FloatTy.getWidth() == 32;
+}
+bool Type::isF64() const {
+  auto FloatTy = dyn_cast<FloatType>();
+  return FloatTy && FloatTy.getWidth() == 64;
+}
+bool Type::isIntOrIndex() const {
+  return Impl && (isa<IntegerType>() || isa<IndexType>());
+}
+bool Type::isFloat() const { return Impl && isa<FloatType>(); }
+
+//===----------------------------------------------------------------------===//
+// Storage classes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct IntegerTypeStorage : detail::TypeStorage {
+  IntegerTypeStorage(MLIRContext *Context, std::string Key, unsigned Width)
+      : TypeStorage(TypeID::get<IntegerTypeStorage>(), Context,
+                    std::move(Key)),
+        Width(Width) {}
+  unsigned Width;
+};
+
+struct FloatTypeStorage : detail::TypeStorage {
+  FloatTypeStorage(MLIRContext *Context, std::string Key, unsigned Width)
+      : TypeStorage(TypeID::get<FloatTypeStorage>(), Context, std::move(Key)),
+        Width(Width) {}
+  unsigned Width;
+};
+
+struct IndexTypeStorage : detail::TypeStorage {
+  IndexTypeStorage(MLIRContext *Context, std::string Key)
+      : TypeStorage(TypeID::get<IndexTypeStorage>(), Context,
+                    std::move(Key)) {}
+};
+
+struct FunctionTypeStorage : detail::TypeStorage {
+  FunctionTypeStorage(MLIRContext *Context, std::string Key,
+                      std::vector<Type> Inputs, std::vector<Type> Results)
+      : TypeStorage(TypeID::get<FunctionTypeStorage>(), Context,
+                    std::move(Key)),
+        Inputs(std::move(Inputs)), Results(std::move(Results)) {}
+  std::vector<Type> Inputs;
+  std::vector<Type> Results;
+};
+
+struct MemRefTypeStorage : detail::TypeStorage {
+  MemRefTypeStorage(MLIRContext *Context, std::string Key,
+                    std::vector<int64_t> Shape, Type ElementType,
+                    MemorySpace Space)
+      : TypeStorage(TypeID::get<MemRefTypeStorage>(), Context,
+                    std::move(Key)),
+        Shape(std::move(Shape)), ElementType(ElementType), Space(Space) {}
+  std::vector<int64_t> Shape;
+  Type ElementType;
+  MemorySpace Space;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IntegerType
+//===----------------------------------------------------------------------===//
+
+IntegerType IntegerType::get(MLIRContext *Context, unsigned Width) {
+  std::string Key = "i" + std::to_string(Width);
+  auto *Storage = Context->getTypeStorage(Key, [&] {
+    return std::make_unique<IntegerTypeStorage>(Context, Key, Width);
+  });
+  return IntegerType(Storage);
+}
+
+unsigned IntegerType::getWidth() const {
+  return static_cast<const IntegerTypeStorage *>(Impl)->Width;
+}
+
+bool IntegerType::classof(Type Ty) {
+  return Ty.getTypeID() == TypeID::get<IntegerTypeStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// FloatType
+//===----------------------------------------------------------------------===//
+
+FloatType FloatType::get(MLIRContext *Context, unsigned Width) {
+  assert((Width == 32 || Width == 64) && "only f32/f64 supported");
+  std::string Key = "f" + std::to_string(Width);
+  auto *Storage = Context->getTypeStorage(Key, [&] {
+    return std::make_unique<FloatTypeStorage>(Context, Key, Width);
+  });
+  return FloatType(Storage);
+}
+
+unsigned FloatType::getWidth() const {
+  return static_cast<const FloatTypeStorage *>(Impl)->Width;
+}
+
+bool FloatType::classof(Type Ty) {
+  return Ty.getTypeID() == TypeID::get<FloatTypeStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// IndexType
+//===----------------------------------------------------------------------===//
+
+IndexType IndexType::get(MLIRContext *Context) {
+  std::string Key = "index";
+  auto *Storage = Context->getTypeStorage(Key, [&] {
+    return std::make_unique<IndexTypeStorage>(Context, Key);
+  });
+  return IndexType(Storage);
+}
+
+bool IndexType::classof(Type Ty) {
+  return Ty.getTypeID() == TypeID::get<IndexTypeStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionType
+//===----------------------------------------------------------------------===//
+
+FunctionType FunctionType::get(MLIRContext *Context, std::vector<Type> Inputs,
+                               std::vector<Type> Results) {
+  std::ostringstream Key;
+  Key << "(";
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    if (I)
+      Key << ", ";
+    Key << Inputs[I].str();
+  }
+  Key << ") -> (";
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (I)
+      Key << ", ";
+    Key << Results[I].str();
+  }
+  Key << ")";
+  std::string KeyStr = Key.str();
+  auto *Storage = Context->getTypeStorage(KeyStr, [&] {
+    return std::make_unique<FunctionTypeStorage>(
+        Context, KeyStr, std::move(Inputs), std::move(Results));
+  });
+  return FunctionType(Storage);
+}
+
+const std::vector<Type> &FunctionType::getInputs() const {
+  return static_cast<const FunctionTypeStorage *>(Impl)->Inputs;
+}
+
+const std::vector<Type> &FunctionType::getResults() const {
+  return static_cast<const FunctionTypeStorage *>(Impl)->Results;
+}
+
+bool FunctionType::classof(Type Ty) {
+  return Ty.getTypeID() == TypeID::get<FunctionTypeStorage>();
+}
+
+//===----------------------------------------------------------------------===//
+// MemRefType
+//===----------------------------------------------------------------------===//
+
+MemRefType MemRefType::get(MLIRContext *Context, std::vector<int64_t> Shape,
+                           Type ElementType, MemorySpace Space) {
+  std::ostringstream Key;
+  Key << "memref<";
+  for (int64_t Dim : Shape) {
+    if (Dim == kDynamic)
+      Key << "?x";
+    else
+      Key << Dim << "x";
+  }
+  Key << ElementType.str();
+  if (Space != MemorySpace::Global)
+    Key << ", " << static_cast<uint32_t>(Space);
+  Key << ">";
+  std::string KeyStr = Key.str();
+  auto *Storage = Context->getTypeStorage(KeyStr, [&] {
+    return std::make_unique<MemRefTypeStorage>(Context, KeyStr,
+                                               std::move(Shape), ElementType,
+                                               Space);
+  });
+  return MemRefType(Storage);
+}
+
+const std::vector<int64_t> &MemRefType::getShape() const {
+  return static_cast<const MemRefTypeStorage *>(Impl)->Shape;
+}
+
+Type MemRefType::getElementType() const {
+  return static_cast<const MemRefTypeStorage *>(Impl)->ElementType;
+}
+
+MemorySpace MemRefType::getMemorySpace() const {
+  return static_cast<const MemRefTypeStorage *>(Impl)->Space;
+}
+
+bool MemRefType::hasStaticShape() const {
+  for (int64_t Dim : getShape())
+    if (Dim == kDynamic)
+      return false;
+  return true;
+}
+
+int64_t MemRefType::getNumElements() const {
+  assert(hasStaticShape() && "getNumElements on dynamic memref");
+  int64_t Count = 1;
+  for (int64_t Dim : getShape())
+    Count *= Dim;
+  return Count;
+}
+
+bool MemRefType::classof(Type Ty) {
+  return Ty.getTypeID() == TypeID::get<MemRefTypeStorage>();
+}

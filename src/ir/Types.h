@@ -1,0 +1,188 @@
+//===- Types.h - IR type system ---------------------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR type system: the value-semantic `Type` handle, the uniqued
+/// `TypeStorage` hierarchy and the builtin types (integer, float, index,
+/// function, memref). Dialects (e.g. the SYCL dialect) define additional
+/// types by deriving their own storages and registering a parse hook with
+/// the context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_TYPES_H
+#define SMLIR_IR_TYPES_H
+
+#include "support/TypeID.h"
+
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smlir {
+
+class MLIRContext;
+
+namespace detail {
+
+/// Base class for uniqued type storage. Each storage caches its canonical
+/// printed form, which doubles as the uniquing key.
+struct TypeStorage {
+  TypeStorage(TypeID ID, MLIRContext *Context, std::string Key)
+      : ID(ID), Context(Context), Key(std::move(Key)) {}
+  virtual ~TypeStorage() = default;
+
+  TypeID ID;
+  MLIRContext *Context;
+  /// Canonical textual form, e.g. "memref<?xf32, 3>".
+  std::string Key;
+};
+
+} // namespace detail
+
+/// Value-semantic handle to a uniqued type. Copyable, cheap, and comparable
+/// by pointer identity. A default-constructed Type is null.
+class Type {
+public:
+  using Storage = detail::TypeStorage;
+
+  Type() = default;
+  explicit Type(Storage *Impl) : Impl(Impl) {}
+
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(Type Other) const { return Impl == Other.Impl; }
+  bool operator!=(Type Other) const { return Impl != Other.Impl; }
+  bool operator<(Type Other) const { return Impl < Other.Impl; }
+
+  MLIRContext *getContext() const;
+  TypeID getTypeID() const;
+
+  template <typename U>
+  bool isa() const {
+    assert(Impl && "isa<> used on a null type");
+    return U::classof(*this);
+  }
+  template <typename U>
+  U dyn_cast() const {
+    return Impl && isa<U>() ? U(Impl) : U();
+  }
+  template <typename U>
+  U cast() const {
+    assert(isa<U>() && "cast<U>() on incompatible type");
+    return U(Impl);
+  }
+
+  /// Returns the canonical textual form of this type.
+  const std::string &str() const;
+  void print(std::ostream &OS) const;
+
+  /// Convenience integer/float queries.
+  bool isInteger(unsigned Width) const;
+  bool isIndex() const;
+  bool isF32() const;
+  bool isF64() const;
+  bool isIntOrIndex() const;
+  bool isFloat() const;
+
+  Storage *getImpl() const { return Impl; }
+
+protected:
+  Storage *Impl = nullptr;
+};
+
+inline std::ostream &operator<<(std::ostream &OS, Type Ty) {
+  Ty.print(OS);
+  return OS;
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin types
+//===----------------------------------------------------------------------===//
+
+/// Signless integer type of arbitrary bit width (i1, i8, i32, i64, ...).
+class IntegerType : public Type {
+public:
+  using Type::Type;
+  static IntegerType get(MLIRContext *Context, unsigned Width);
+  unsigned getWidth() const;
+  static bool classof(Type Ty);
+};
+
+/// IEEE float type (f32 or f64).
+class FloatType : public Type {
+public:
+  using Type::Type;
+  static FloatType get(MLIRContext *Context, unsigned Width);
+  unsigned getWidth() const;
+  static bool classof(Type Ty);
+};
+
+/// Target-width integer type used for indexing (modeled as 64-bit).
+class IndexType : public Type {
+public:
+  using Type::Type;
+  static IndexType get(MLIRContext *Context);
+  static bool classof(Type Ty);
+};
+
+/// Function type: `(inputs) -> (results)`.
+class FunctionType : public Type {
+public:
+  using Type::Type;
+  static FunctionType get(MLIRContext *Context, std::vector<Type> Inputs,
+                          std::vector<Type> Results);
+  const std::vector<Type> &getInputs() const;
+  const std::vector<Type> &getResults() const;
+  unsigned getNumInputs() const { return getInputs().size(); }
+  unsigned getNumResults() const { return getResults().size(); }
+  Type getInput(unsigned Index) const { return getInputs()[Index]; }
+  Type getResult(unsigned Index) const { return getResults()[Index]; }
+  static bool classof(Type Ty);
+};
+
+/// Memory spaces used by memref types, mirroring the SYCL memory hierarchy
+/// (paper §II-A): global device memory, work-group local memory and
+/// work-item private memory.
+enum class MemorySpace : uint32_t {
+  Global = 0,
+  Local = 3,
+  Private = 5,
+};
+
+/// A shaped reference into memory: `memref<4x?xf32, space>`. The shape uses
+/// kDynamic for unknown extents.
+class MemRefType : public Type {
+public:
+  using Type::Type;
+  static constexpr int64_t kDynamic = -1;
+
+  static MemRefType get(MLIRContext *Context, std::vector<int64_t> Shape,
+                        Type ElementType,
+                        MemorySpace Space = MemorySpace::Global);
+  const std::vector<int64_t> &getShape() const;
+  Type getElementType() const;
+  MemorySpace getMemorySpace() const;
+  unsigned getRank() const { return getShape().size(); }
+  bool hasStaticShape() const;
+  /// Number of elements; valid only for static shapes.
+  int64_t getNumElements() const;
+  static bool classof(Type Ty);
+};
+
+} // namespace smlir
+
+namespace std {
+template <>
+struct hash<smlir::Type> {
+  size_t operator()(const smlir::Type &Ty) const {
+    return hash<void *>()(static_cast<void *>(Ty.getImpl()));
+  }
+};
+} // namespace std
+
+#endif // SMLIR_IR_TYPES_H

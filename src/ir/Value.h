@@ -1,0 +1,179 @@
+//===- Value.h - SSA values and use-def chains ------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA values (operation results and block arguments) with full use-def
+/// chains. `Value` is a value-semantic handle over the underlying impl, as
+/// in MLIR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_VALUE_H
+#define SMLIR_IR_VALUE_H
+
+#include "ir/Types.h"
+
+#include <cassert>
+#include <vector>
+
+namespace smlir {
+
+class Block;
+class Operation;
+class OpOperand;
+
+namespace detail {
+
+/// Underlying storage for an SSA value.
+struct ValueImpl {
+  enum class Kind { OpResult, BlockArgument };
+
+  ValueImpl(Kind ValueKind, Type Ty) : ValueKind(ValueKind), Ty(Ty) {}
+  virtual ~ValueImpl() = default;
+
+  Kind ValueKind;
+  Type Ty;
+  /// All operands currently using this value.
+  std::vector<OpOperand *> Uses;
+};
+
+/// A result of an operation.
+struct OpResultImpl : ValueImpl {
+  OpResultImpl(Type Ty, Operation *Owner, unsigned Index)
+      : ValueImpl(Kind::OpResult, Ty), Owner(Owner), Index(Index) {}
+
+  Operation *Owner;
+  unsigned Index;
+
+  static bool classof(const ValueImpl *V) {
+    return V->ValueKind == Kind::OpResult;
+  }
+};
+
+/// An argument of a block (including loop induction variables and
+/// iteration arguments of structured loops).
+struct BlockArgumentImpl : ValueImpl {
+  BlockArgumentImpl(Type Ty, Block *Owner, unsigned Index)
+      : ValueImpl(Kind::BlockArgument, Ty), Owner(Owner), Index(Index) {}
+
+  Block *Owner;
+  unsigned Index;
+
+  static bool classof(const ValueImpl *V) {
+    return V->ValueKind == Kind::BlockArgument;
+  }
+};
+
+} // namespace detail
+
+/// Value-semantic handle to an SSA value. A default-constructed Value is
+/// null.
+class Value {
+public:
+  Value() = default;
+  /*implicit*/ Value(detail::ValueImpl *Impl) : Impl(Impl) {}
+
+  explicit operator bool() const { return Impl != nullptr; }
+  bool operator==(Value Other) const { return Impl == Other.Impl; }
+  bool operator!=(Value Other) const { return Impl != Other.Impl; }
+  bool operator<(Value Other) const { return Impl < Other.Impl; }
+
+  Type getType() const {
+    assert(Impl && "null value");
+    return Impl->Ty;
+  }
+
+  /// Returns the defining operation if this is an OpResult, null otherwise.
+  Operation *getDefiningOp() const;
+
+  /// Returns the block owning this value: the defining op's block for
+  /// results, the owner block for block arguments.
+  Block *getParentBlock() const;
+
+  bool isBlockArgument() const {
+    return Impl->ValueKind == detail::ValueImpl::Kind::BlockArgument;
+  }
+  bool isOpResult() const {
+    return Impl->ValueKind == detail::ValueImpl::Kind::OpResult;
+  }
+
+  /// For block arguments: the argument index; for op results: the result
+  /// index.
+  unsigned getIndex() const;
+
+  /// Returns the block owning this block argument (asserts otherwise).
+  Block *getOwnerBlock() const;
+
+  const std::vector<OpOperand *> &getUses() const { return Impl->Uses; }
+  bool use_empty() const { return Impl->Uses.empty(); }
+  bool hasOneUse() const { return Impl->Uses.size() == 1; }
+  unsigned getNumUses() const { return Impl->Uses.size(); }
+
+  /// Replaces every use of this value with \p NewValue.
+  void replaceAllUsesWith(Value NewValue);
+
+  detail::ValueImpl *getImpl() const { return Impl; }
+
+private:
+  detail::ValueImpl *Impl = nullptr;
+};
+
+/// A use of a Value by an Operation; the link in the use-def chain.
+/// OpOperands are owned by operations and have stable addresses.
+class OpOperand {
+public:
+  OpOperand(Operation *Owner, unsigned Index, Value Val)
+      : Owner(Owner), Index(Index) {
+    set(Val);
+  }
+  ~OpOperand() { drop(); }
+
+  OpOperand(const OpOperand &) = delete;
+  OpOperand &operator=(const OpOperand &) = delete;
+
+  Operation *getOwner() const { return Owner; }
+  unsigned getOperandNumber() const { return Index; }
+  Value get() const { return Val; }
+
+  /// Points this operand at \p NewValue, maintaining use lists.
+  void set(Value NewValue) {
+    drop();
+    Val = NewValue;
+    if (Val)
+      Val.getImpl()->Uses.push_back(this);
+  }
+
+private:
+  void drop() {
+    if (!Val)
+      return;
+    auto &Uses = Val.getImpl()->Uses;
+    for (auto It = Uses.begin(); It != Uses.end(); ++It) {
+      if (*It == this) {
+        Uses.erase(It);
+        break;
+      }
+    }
+    Val = Value();
+  }
+
+  Operation *Owner;
+  unsigned Index;
+  Value Val;
+};
+
+} // namespace smlir
+
+namespace std {
+template <>
+struct hash<smlir::Value> {
+  size_t operator()(const smlir::Value &V) const {
+    return hash<void *>()(static_cast<void *>(V.getImpl()));
+  }
+};
+} // namespace std
+
+#endif // SMLIR_IR_VALUE_H

@@ -1,0 +1,102 @@
+//===- Verifier.cpp - IR structural verification ---------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Block.h"
+#include "ir/Operation.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace smlir;
+
+namespace {
+
+/// Verification context tracking visible SSA values while descending the
+/// region tree.
+class VerifierImpl {
+public:
+  LogicalResult verifyOp(Operation *Op) {
+    // Operands must be non-null and visible at this point.
+    for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I) {
+      Value Operand = Op->getOperand(I);
+      if (!Operand)
+        return error(Op, "operand #" + std::to_string(I) + " is null");
+      if (!isVisible(Operand))
+        return error(Op, "operand #" + std::to_string(I) +
+                             " does not dominate its use (or crosses an "
+                             "isolated region)");
+    }
+
+    // Per-op invariants.
+    if (Op->verifyInvariants().failed()) {
+      if (Error.empty())
+        Error = "operation '" + Op->getName().getStringRef() +
+                "' failed to verify";
+      return failure();
+    }
+
+    // Regions.
+    bool Isolated = Op->hasTrait(OpTrait::IsolatedFromAbove);
+    for (auto &R : Op->getRegions()) {
+      if (Isolated)
+        Barriers.push_back(Visible.size());
+      for (auto &B : *R) {
+        // Block arguments become visible.
+        size_t Mark = Visible.size();
+        for (Value Arg : B->getArguments())
+          Visible.push_back(Arg.getImpl());
+        // Terminators may only appear last.
+        for (Operation *Nested : *B) {
+          if (Nested->hasTrait(OpTrait::IsTerminator) &&
+              Nested->getNextNode())
+            return error(Nested, "terminator is not the last operation in "
+                                 "its block");
+          if (verifyOp(Nested).failed())
+            return failure();
+          for (Value Result : Nested->getResults())
+            Visible.push_back(Result.getImpl());
+        }
+        Visible.resize(Mark);
+      }
+      if (Isolated)
+        Barriers.pop_back();
+    }
+    return success();
+  }
+
+  std::string Error;
+
+private:
+  bool isVisible(Value Val) const {
+    size_t Floor = Barriers.empty() ? 0 : Barriers.back();
+    for (size_t I = Visible.size(); I > Floor; --I)
+      if (Visible[I - 1] == Val.getImpl())
+        return true;
+    return false;
+  }
+
+  LogicalResult error(Operation *Op, std::string Message) {
+    Error = "'" + Op->getName().getStringRef() + "': " + std::move(Message);
+    return failure();
+  }
+
+  std::vector<detail::ValueImpl *> Visible;
+  std::vector<size_t> Barriers;
+};
+
+} // namespace
+
+LogicalResult smlir::verify(Operation *Op, std::string *ErrorMessage) {
+  VerifierImpl Impl;
+  // Make the top-level op's own operands trivially visible (top-level ops
+  // normally have none).
+  LogicalResult Result = Impl.verifyOp(Op);
+  if (Result.failed() && ErrorMessage)
+    *ErrorMessage = Impl.Error;
+  return Result;
+}

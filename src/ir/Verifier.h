@@ -1,0 +1,32 @@
+//===- Verifier.h - IR structural verification ------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive IR verification: SSA visibility (def-before-use, region
+/// nesting, isolation), terminator placement, and per-op invariants via the
+/// registered verify hooks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_VERIFIER_H
+#define SMLIR_IR_VERIFIER_H
+
+#include "support/LogicalResult.h"
+
+#include <string>
+
+namespace smlir {
+
+class Operation;
+
+/// Verifies \p Op and all nested operations. On failure returns failure()
+/// and fills \p ErrorMessage (if non-null) with a description of the first
+/// problem found.
+LogicalResult verify(Operation *Op, std::string *ErrorMessage = nullptr);
+
+} // namespace smlir
+
+#endif // SMLIR_IR_VERIFIER_H

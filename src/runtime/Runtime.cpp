@@ -1,0 +1,194 @@
+//===- Runtime.cpp - SYCL-like host runtime ----------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include <algorithm>
+
+using namespace smlir;
+using namespace smlir::rt;
+
+KernelLauncher::~KernelLauncher() = default;
+
+//===----------------------------------------------------------------------===//
+// Buffer
+//===----------------------------------------------------------------------===//
+
+Buffer::Buffer(Queue &Q, exec::Storage::Kind Kind,
+               std::vector<int64_t> Shape)
+    : Q(Q), Shape(std::move(Shape)) {
+  Data = Q.getDevice().allocate(Kind, numElements());
+}
+
+int64_t Buffer::numElements() const {
+  int64_t Count = 1;
+  for (int64_t Dim : Shape)
+    Count *= Dim;
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Handler
+//===----------------------------------------------------------------------===//
+
+exec::AccessorData Handler::require(Buffer &Buf, sycl::AccessMode Mode) {
+  return require(Buf, Mode, Buf.getShape(),
+                 std::vector<int64_t>(Buf.getShape().size(), 0));
+}
+
+exec::AccessorData Handler::require(Buffer &Buf, sycl::AccessMode Mode,
+                                    const std::vector<int64_t> &Range,
+                                    const std::vector<int64_t> &Offset) {
+  exec::AccessorData Acc;
+  Acc.Data = Buf.getStorage();
+  Acc.Dim = Buf.getDim();
+  // The accessor's indexable range; the full buffer range is used for
+  // linearization, so a ranged accessor keeps the buffer's row pitch.
+  for (unsigned D = 0; D < Acc.Dim; ++D) {
+    Acc.Range[D] = Buf.getShape()[D];
+    Acc.Offset[D] = D < Offset.size() ? Offset[D] : 0;
+  }
+  Requirements.push_back(Requirement{&Buf, Mode, Acc});
+  return Acc;
+}
+
+void Handler::parallelFor(std::string Kernel, const exec::NDRange &R,
+                          std::vector<exec::KernelArg> KernelArgs) {
+  KernelName = std::move(Kernel);
+  Range = R;
+  Args = std::move(KernelArgs);
+}
+
+//===----------------------------------------------------------------------===//
+// Queue
+//===----------------------------------------------------------------------===//
+
+Queue::Queue(exec::Device &Dev, KernelLauncher &Launcher)
+    : Dev(Dev), Launcher(Launcher) {}
+
+exec::Storage *Queue::mallocDevice(exec::Storage::Kind Kind, size_t Size) {
+  return Dev.allocate(Kind, Size);
+}
+
+LogicalResult Queue::submit(
+    const std::function<void(Handler &)> &CommandGroup,
+    std::string *ErrorMessage) {
+  Handler CGH(*this);
+  CommandGroup(CGH);
+  if (CGH.KernelName.empty()) {
+    if (ErrorMessage)
+      *ErrorMessage = "command group without a parallel_for";
+    return failure();
+  }
+
+  // Dependency tracking (paper §II-A): a command depends on the last
+  // writer of every buffer it touches, and writers additionally depend on
+  // previous readers.
+  double EarliestStart = 0.0;
+  for (const Requirement &Req : CGH.Requirements) {
+    EarliestStart = std::max(EarliestStart, Req.Buf->LastWrite.EndTime);
+    if (Req.Mode != sycl::AccessMode::Read)
+      EarliestStart = std::max(EarliestStart, Req.Buf->LastRead.EndTime);
+  }
+
+  exec::LaunchStats Launch;
+  if (Launcher
+          .launchKernel(CGH.KernelName, CGH.Range, CGH.Args, Launch,
+                        ErrorMessage)
+          .failed())
+    return failure();
+
+  double EndTime = EarliestStart + Launch.SimTime;
+  for (const Requirement &Req : CGH.Requirements) {
+    if (Req.Mode == sycl::AccessMode::Read)
+      Req.Buf->LastRead.EndTime =
+          std::max(Req.Buf->LastRead.EndTime, EndTime);
+    else
+      Req.Buf->LastWrite.EndTime = EndTime;
+  }
+
+  ++Stats.NumLaunches;
+  Stats.TotalKernelTime += Launch.SimTime;
+  Stats.Makespan = std::max(Stats.Makespan, EndTime);
+  Stats.Aggregate.CoalescedGlobalAccesses += Launch.CoalescedGlobalAccesses;
+  Stats.Aggregate.UncoalescedGlobalAccesses +=
+      Launch.UncoalescedGlobalAccesses;
+  Stats.Aggregate.LocalAccesses += Launch.LocalAccesses;
+  Stats.Aggregate.PrivateAccesses += Launch.PrivateAccesses;
+  Stats.Aggregate.ArithOps += Launch.ArithOps;
+  Stats.Aggregate.MathOps += Launch.MathOps;
+  Stats.Aggregate.Barriers += Launch.Barriers;
+  Stats.Aggregate.StepsExecuted += Launch.StepsExecuted;
+  Stats.Aggregate.SimTime += Launch.SimTime;
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Program runner
+//===----------------------------------------------------------------------===//
+
+RunResult rt::runProgram(const frontend::SourceProgram &Program,
+                         KernelLauncher &Launcher, exec::Device &Dev) {
+  RunResult Result;
+  Queue Q(Dev, Launcher);
+
+  // Materialize and initialize buffers.
+  std::map<std::string, std::unique_ptr<Buffer>> Buffers;
+  for (const frontend::BufferDecl &Decl : Program.Buffers) {
+    auto Buf = std::make_unique<Buffer>(Q, Decl.Kind, Decl.Shape);
+    if (Decl.Init)
+      Decl.Init(*Buf->getStorage());
+    Buffers[Decl.Name] = std::move(Buf);
+  }
+
+  // Run every submission.
+  for (const frontend::SubmitDecl &Submit : Program.Submits) {
+    std::string Error;
+    LogicalResult Submitted = Q.submit(
+        [&](Handler &CGH) {
+          std::vector<exec::KernelArg> Args;
+          for (const frontend::KernelArgDecl &Arg : Submit.Args) {
+            if (const auto *Scalar =
+                    std::get_if<frontend::ScalarArg>(&Arg)) {
+              if (Scalar->ScalarKind == frontend::ScalarArg::Kind::I64)
+                Args.push_back(exec::KernelArg::intScalar(Scalar->IntValue));
+              else
+                Args.push_back(
+                    exec::KernelArg::floatScalar(Scalar->FloatValue));
+              continue;
+            }
+            const auto &AccDecl = std::get<frontend::AccessorArg>(Arg);
+            Buffer &Buf = *Buffers.at(AccDecl.Buffer);
+            exec::AccessorData Acc =
+                AccDecl.Range.empty()
+                    ? CGH.require(Buf, AccDecl.Mode)
+                    : CGH.require(Buf, AccDecl.Mode, AccDecl.Range,
+                                  AccDecl.Offset);
+            Args.push_back(exec::KernelArg::accessor(Acc));
+          }
+          CGH.parallelFor(Submit.Kernel, Submit.Range, std::move(Args));
+        },
+        &Error);
+    if (Submitted.failed()) {
+      Result.Error = "kernel '" + Submit.Kernel + "': " + Error;
+      return Result;
+    }
+  }
+
+  Result.Success = true;
+  Result.Stats = Q.getStats();
+
+  // Validate final buffer contents.
+  if (Program.Verify) {
+    std::map<std::string, exec::Storage *> Final;
+    for (auto &[Name, Buf] : Buffers)
+      Final[Name] = Buf->getStorage();
+    Result.Validated = Program.Verify(Final);
+  } else {
+    Result.Validated = true;
+  }
+  return Result;
+}

@@ -1,0 +1,74 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast infrastructure -*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the style of llvm/Support/Casting.h. Classes
+/// participate by providing a static `classof(const From *)` member. This
+/// header provides the pointer-based `isa<>`, `cast<>` and `dyn_cast<>`
+/// function templates used throughout the project (the value-semantic IR
+/// handles Type/Attribute/Value provide member-template equivalents).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_SUPPORT_CASTING_H
+#define SMLIR_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace smlir {
+
+/// Returns true if \p Val is an instance of the To class. \p Val must not be
+/// null.
+template <typename To, typename From>
+bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Returns true if \p Val is non-null and an instance of the To class.
+template <typename To, typename From>
+bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Casts \p Val to the To class, asserting that the dynamic type matches.
+template <typename To, typename From>
+To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Casts \p Val to the To class, asserting that the dynamic type matches.
+template <typename To, typename From>
+const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Returns \p Val cast to the To class if its dynamic type matches, null
+/// otherwise. \p Val must not be null.
+template <typename To, typename From>
+To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Returns \p Val cast to the To class if its dynamic type matches, null
+/// otherwise. \p Val must not be null.
+template <typename To, typename From>
+const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates a null input (yielding null).
+template <typename To, typename From>
+To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace smlir
+
+#endif // SMLIR_SUPPORT_CASTING_H

@@ -1,0 +1,25 @@
+//===- ErrorHandling.cpp - Fatal error and unreachable helpers -----------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace smlir;
+
+void smlir::reportFatalError(std::string_view Message) {
+  std::fprintf(stderr, "fatal error: %.*s\n",
+               static_cast<int>(Message.size()), Message.data());
+  std::abort();
+}
+
+void detail::unreachableInternal(const char *Message, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line,
+               Message ? Message : "");
+  std::abort();
+}

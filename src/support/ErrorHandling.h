@@ -1,0 +1,36 @@
+//===- ErrorHandling.h - Fatal error and unreachable helpers ----*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting in the style of llvm/Support/ErrorHandling.h.
+/// `smlir_unreachable` marks code paths that are bugs if ever executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_SUPPORT_ERRORHANDLING_H
+#define SMLIR_SUPPORT_ERRORHANDLING_H
+
+#include <string_view>
+
+namespace smlir {
+
+/// Reports a fatal error to stderr and aborts the process. Use for
+/// unrecoverable conditions triggered by user input (malformed IR text,
+/// invalid pipeline specifications); use assertions for internal invariants.
+[[noreturn]] void reportFatalError(std::string_view Message);
+
+namespace detail {
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+} // namespace detail
+
+} // namespace smlir
+
+/// Marks a point in code that should never be reached (a bug otherwise).
+#define smlir_unreachable(Message)                                            \
+  ::smlir::detail::unreachableInternal(Message, __FILE__, __LINE__)
+
+#endif // SMLIR_SUPPORT_ERRORHANDLING_H

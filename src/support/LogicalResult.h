@@ -1,0 +1,51 @@
+//===- LogicalResult.h - Success/failure result type ------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-state success/failure result type mirroring mlir::LogicalResult,
+/// used by verifiers, folders, pattern rewrites and parsers. Exceptions are
+/// not used in this code base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_SUPPORT_LOGICALRESULT_H
+#define SMLIR_SUPPORT_LOGICALRESULT_H
+
+namespace smlir {
+
+/// Represents the result of an operation that can fail. Must be checked via
+/// succeeded()/failed(); it intentionally does not convert to bool to avoid
+/// ambiguity about which state `true` denotes.
+class LogicalResult {
+public:
+  static LogicalResult success(bool IsSuccess = true) {
+    return LogicalResult(IsSuccess);
+  }
+  static LogicalResult failure(bool IsFailure = true) {
+    return LogicalResult(!IsFailure);
+  }
+
+  bool succeeded() const { return IsSuccess; }
+  bool failed() const { return !IsSuccess; }
+
+private:
+  explicit LogicalResult(bool IsSuccess) : IsSuccess(IsSuccess) {}
+
+  bool IsSuccess;
+};
+
+inline LogicalResult success(bool IsSuccess = true) {
+  return LogicalResult::success(IsSuccess);
+}
+inline LogicalResult failure(bool IsFailure = true) {
+  return LogicalResult::failure(IsFailure);
+}
+inline bool succeeded(LogicalResult Result) { return Result.succeeded(); }
+inline bool failed(LogicalResult Result) { return Result.failed(); }
+
+} // namespace smlir
+
+#endif // SMLIR_SUPPORT_LOGICALRESULT_H

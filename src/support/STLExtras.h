@@ -1,0 +1,65 @@
+//===- STLExtras.h - Small STL helper utilities -----------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A handful of helpers in the spirit of llvm/ADT/STLExtras.h: range
+/// predicates, interleaved printing and enumerate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_SUPPORT_STLEXTRAS_H
+#define SMLIR_SUPPORT_STLEXTRAS_H
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+#include <utility>
+
+namespace smlir {
+
+/// Returns true if \p Pred holds for every element of \p Range.
+template <typename RangeT, typename PredT>
+bool allOf(RangeT &&Range, PredT Pred) {
+  return std::all_of(Range.begin(), Range.end(), Pred);
+}
+
+/// Returns true if \p Pred holds for some element of \p Range.
+template <typename RangeT, typename PredT>
+bool anyOf(RangeT &&Range, PredT Pred) {
+  return std::any_of(Range.begin(), Range.end(), Pred);
+}
+
+/// Returns true if \p Range contains \p Element.
+template <typename RangeT, typename ElementT>
+bool isContained(RangeT &&Range, const ElementT &Element) {
+  return std::find(Range.begin(), Range.end(), Element) != Range.end();
+}
+
+/// Calls \p EachFn on every element of \p Range, calling \p BetweenFn
+/// between consecutive elements. Typically used for comma-separated
+/// printing.
+template <typename RangeT, typename EachFnT, typename BetweenFnT>
+void interleave(RangeT &&Range, EachFnT EachFn, BetweenFnT BetweenFn) {
+  auto It = Range.begin(), End = Range.end();
+  if (It == End)
+    return;
+  EachFn(*It);
+  for (++It; It != End; ++It) {
+    BetweenFn();
+    EachFn(*It);
+  }
+}
+
+/// Prints \p Range to \p OS using \p EachFn, separating elements with a
+/// comma and a space.
+template <typename RangeT, typename EachFnT>
+void interleaveComma(RangeT &&Range, std::ostream &OS, EachFnT EachFn) {
+  interleave(std::forward<RangeT>(Range), EachFn, [&] { OS << ", "; });
+}
+
+} // namespace smlir
+
+#endif // SMLIR_SUPPORT_STLEXTRAS_H

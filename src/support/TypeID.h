@@ -1,0 +1,60 @@
+//===- TypeID.h - Unique type identifiers -----------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A unique identifier per C++ type, mirroring mlir::TypeID. Used to
+/// implement `classof` for IR type/attribute storages and to key analysis
+/// caches, without relying on C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_SUPPORT_TYPEID_H
+#define SMLIR_SUPPORT_TYPEID_H
+
+#include <cstddef>
+#include <functional>
+
+namespace smlir {
+
+/// An opaque, process-unique identifier for a C++ type.
+class TypeID {
+public:
+  TypeID() : Storage(nullptr) {}
+
+  /// Returns the unique identifier of type \p T.
+  template <typename T>
+  static TypeID get() {
+    static char Tag;
+    return TypeID(&Tag);
+  }
+
+  bool operator==(const TypeID &Other) const {
+    return Storage == Other.Storage;
+  }
+  bool operator!=(const TypeID &Other) const { return !(*this == Other); }
+  bool operator<(const TypeID &Other) const { return Storage < Other.Storage; }
+
+  /// Returns an opaque pointer suitable for hashing.
+  const void *getAsOpaquePointer() const { return Storage; }
+
+private:
+  explicit TypeID(const void *Storage) : Storage(Storage) {}
+
+  const void *Storage;
+};
+
+} // namespace smlir
+
+namespace std {
+template <>
+struct hash<smlir::TypeID> {
+  size_t operator()(const smlir::TypeID &ID) const {
+    return hash<const void *>()(ID.getAsOpaquePointer());
+  }
+};
+} // namespace std
+
+#endif // SMLIR_SUPPORT_TYPEID_H

@@ -1,0 +1,142 @@
+//===- Cleanup.cpp - Canonicalizer, CSE and DCE passes ----------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Passes.h"
+
+#include "ir/Block.h"
+#include "ir/PatternMatch.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace smlir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Canonicalizer
+//===----------------------------------------------------------------------===//
+
+class CanonicalizerPass : public Pass {
+public:
+  CanonicalizerPass() : Pass("Canonicalizer", "canonicalize") {}
+
+  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+    RewritePatternSet Patterns;
+    return applyPatternsGreedily(Root, Patterns);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// CSE
+//===----------------------------------------------------------------------===//
+
+/// Structural key of an operation: name, operands, attributes, result
+/// types. Only pure, region-free ops are keyed.
+std::string makeCSEKey(Operation *Op) {
+  std::ostringstream Key;
+  Key << Op->getName().getStringRef();
+  for (Value Operand : Op->getOperands())
+    Key << "|" << Operand.getImpl();
+  for (const auto &[Name, Attr] : Op->getAttrs())
+    Key << "#" << Name << "=" << Attr.str();
+  for (Value Result : Op->getResults())
+    Key << "^" << Result.getType().str();
+  return Key.str();
+}
+
+class CSEPass : public Pass {
+public:
+  CSEPass() : Pass("CSE", "cse") {}
+
+  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+    std::vector<std::map<std::string, Operation *>> Scopes;
+    for (auto &R : Root->getRegions())
+      for (auto &B : *R)
+        runOnBlock(B.get(), Scopes);
+    return success();
+  }
+
+private:
+  void runOnBlock(Block *B,
+                  std::vector<std::map<std::string, Operation *>> &Scopes) {
+    Scopes.emplace_back();
+    Operation *Op = B->front();
+    while (Op) {
+      Operation *Next = Op->getNextNode();
+      bool IsCSECandidate = Op->hasTrait(OpTrait::Pure) &&
+                            Op->getNumRegions() == 0 &&
+                            Op->getNumResults() > 0;
+      if (IsCSECandidate) {
+        std::string Key = makeCSEKey(Op);
+        Operation *Existing = nullptr;
+        for (auto It = Scopes.rbegin(); It != Scopes.rend() && !Existing;
+             ++It) {
+          auto Found = It->find(Key);
+          if (Found != It->end())
+            Existing = Found->second;
+        }
+        if (Existing) {
+          Op->replaceAllUsesWith(Existing->getResults());
+          Op->erase();
+          incrementStatistic("num-cse'd");
+          Op = Next;
+          continue;
+        }
+        Scopes.back()[Key] = Op;
+      }
+      // Recurse into nested regions with the current scopes visible
+      // (region nesting implies dominance in structured control flow).
+      for (auto &R : Op->getRegions())
+        for (auto &Nested : *R)
+          runOnBlock(Nested.get(), Scopes);
+      Op = Next;
+    }
+    Scopes.pop_back();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+class DCEPass : public Pass {
+public:
+  DCEPass() : Pass("DCE", "dce") {}
+
+  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      Root->walk([&](Operation *Op) {
+        if (Op == Root || !Op->use_empty() ||
+            Op->hasTrait(OpTrait::IsTerminator))
+          return;
+        if (!Op->isMemoryEffectFree())
+          return;
+        Op->erase();
+        incrementStatistic("num-dce'd");
+        Changed = true;
+      });
+    }
+    return success();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> smlir::createCanonicalizerPass() {
+  return std::make_unique<CanonicalizerPass>();
+}
+
+std::unique_ptr<Pass> smlir::createCSEPass() {
+  return std::make_unique<CSEPass>();
+}
+
+std::unique_ptr<Pass> smlir::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}

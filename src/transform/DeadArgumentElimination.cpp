@@ -1,0 +1,150 @@
+//===- DeadArgumentElimination.cpp - SYCL dead argument elimination ---------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SYCL Dead Argument Elimination (paper §VII-B): after host-device
+/// constant propagation, kernel arguments whose values were propagated
+/// become unused. This pass removes them from the kernel signature and
+/// from the host `sycl.host.schedule_kernel` operands, so the runtime does
+/// not set them at launch ("making kernel launches more efficient on the
+/// host side"). Removed indices are recorded as `sycl.dead_args` on the
+/// schedule for the runtime's accounting, and the kernel's
+/// `sycl.arg_noalias` pairs are remapped.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Builtin.h"
+#include "dialect/SYCL.h"
+#include "ir/Block.h"
+#include "transform/Passes.h"
+
+#include <map>
+#include <optional>
+
+using namespace smlir;
+
+namespace {
+
+class DAEPass : public Pass {
+public:
+  DAEPass() : Pass("SYCLDeadArgumentElimination", "sycl-dae") {}
+
+  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+    auto Top = ModuleOp::dyn_cast(Root);
+    if (!Top)
+      return success();
+
+    // Kernel -> schedule sites.
+    std::map<Operation *, std::vector<sycl::HostScheduleKernelOp>> Sites;
+    std::vector<Operation *> Kernels;
+    Root->walk([&](Operation *Op) {
+      if (auto Schedule = sycl::HostScheduleKernelOp::dyn_cast(Op)) {
+        if (Operation *Kernel = Top.lookupSymbol(Schedule.getKernel()))
+          Sites[Kernel].push_back(Schedule);
+        return;
+      }
+      if (FuncOp::dyn_cast(Op) && Op->hasAttr("sycl.kernel"))
+        Kernels.push_back(Op);
+    });
+
+    for (Operation *KernelOp : Kernels)
+      processKernel(FuncOp::cast(KernelOp), Sites[KernelOp]);
+    return success();
+  }
+
+private:
+  void processKernel(FuncOp Kernel,
+                     const std::vector<sycl::HostScheduleKernelOp> &Sites) {
+    if (Kernel.isDeclaration())
+      return;
+    Block *Entry = Kernel.getEntryBlock();
+
+    // Argument 0 is the item/nd_item and always stays.
+    std::vector<unsigned> Dead;
+    for (unsigned I = 1, E = Entry->getNumArguments(); I != E; ++I)
+      if (Entry->getArgument(I).use_empty())
+        Dead.push_back(I);
+    if (Dead.empty())
+      return;
+
+    // Remap sycl.arg_noalias to the post-removal indices (pairs touching a
+    // dead argument are dropped).
+    remapNoAliasPairs(Kernel, Dead);
+
+    // Remove from the kernel (highest first to keep indices stable).
+    for (auto It = Dead.rbegin(); It != Dead.rend(); ++It) {
+      Kernel.eraseArgument(*It);
+      incrementStatistic("num-dead-args");
+    }
+
+    // Remove the corresponding operands from every schedule site and
+    // record the original indices.
+    for (sycl::HostScheduleKernelOp Schedule : Sites) {
+      unsigned RangeOperands = Schedule.hasLocalRange() ? 3 : 2;
+      std::vector<Attribute> DeadAttrs;
+      std::vector<Attribute> Kinds;
+      auto OldKinds =
+          Schedule.getOperation()->getAttrOfType<ArrayAttr>("arg_kinds");
+      for (unsigned I = 0; I < OldKinds.size(); ++I) {
+        bool IsDead = false;
+        for (unsigned D : Dead)
+          IsDead |= (D == I + 1);
+        if (!IsDead)
+          Kinds.push_back(OldKinds[I]);
+      }
+      for (auto It = Dead.rbegin(); It != Dead.rend(); ++It) {
+        unsigned KernelArg = *It;             // Index in kernel signature.
+        unsigned ScheduleArg = KernelArg - 1; // Index among kernel args.
+        Schedule.getOperation()->eraseOperand(RangeOperands + ScheduleArg);
+        DeadAttrs.push_back(
+            getIndexAttr(Schedule.getContext(),
+                         static_cast<int64_t>(KernelArg)));
+      }
+      MLIRContext *Ctx = Schedule.getContext();
+      Schedule.getOperation()->setAttr("arg_kinds",
+                                       ArrayAttr::get(Ctx, Kinds));
+      Schedule.getOperation()->setAttr(
+          "dead_args", ArrayAttr::get(Ctx, DeadAttrs));
+    }
+  }
+
+  void remapNoAliasPairs(FuncOp Kernel, const std::vector<unsigned> &Dead) {
+    auto Pairs = Kernel.getOperation()->getAttrOfType<ArrayAttr>(
+        "sycl.arg_noalias");
+    if (!Pairs)
+      return;
+    auto Remap = [&](int64_t Index) -> std::optional<int64_t> {
+      int64_t Shift = 0;
+      for (unsigned D : Dead) {
+        if (static_cast<int64_t>(D) == Index)
+          return std::nullopt;
+        if (static_cast<int64_t>(D) < Index)
+          ++Shift;
+      }
+      return Index - Shift;
+    };
+    std::vector<Attribute> NewPairs;
+    MLIRContext *Ctx = Kernel.getContext();
+    for (unsigned I = 0; I < Pairs.size(); ++I) {
+      auto Pair = Pairs[I].cast<ArrayAttr>();
+      auto First = Remap(Pair[0].cast<IntegerAttr>().getValue());
+      auto Second = Remap(Pair[1].cast<IntegerAttr>().getValue());
+      if (First && Second)
+        NewPairs.push_back(getIndexArrayAttr(Ctx, {*First, *Second}));
+    }
+    if (NewPairs.empty())
+      Kernel.getOperation()->removeAttr("sycl.arg_noalias");
+    else
+      Kernel.getOperation()->setAttr("sycl.arg_noalias",
+                                     ArrayAttr::get(Ctx, NewPairs));
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> smlir::createDeadArgumentEliminationPass() {
+  return std::make_unique<DAEPass>();
+}

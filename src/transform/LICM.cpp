@@ -1,0 +1,336 @@
+//===- LICM.cpp - Memory-aware loop invariant code motion -------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop Invariant Code Motion (paper §VI-A). Unlike the upstream MLIR
+/// utility, this pass also hoists operations that read or write memory,
+/// using the SYCL-specialized alias analysis:
+///   - read-only ops hoist when no write in the loop may alias the read;
+///   - write ops hoist when nothing else in the loop reads or writes the
+///     written location;
+///   - when hoisting side-effecting ops, the loop is guarded by a
+///     versioning condition (`lb < ub`) so the hoisted effect only occurs
+///     if the loop runs at least once;
+///   - reads blocked only by may-aliasing accessor writes are hoisted
+///     under a runtime `sycl.accessors.disjoint` check, with the original
+///     loop kept as the fallback version.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+#include "dialect/Arith.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "ir/Block.h"
+#include "ir/Builders.h"
+#include "transform/Passes.h"
+
+#include <set>
+
+using namespace smlir;
+
+namespace {
+
+/// One memory effect occurring somewhere in the loop, with its op.
+struct LoopEffect {
+  Operation *Op;
+  EffectKind Kind;
+  Value Val; // Null: unspecified resource.
+};
+
+/// Summary of everything the loop touches.
+struct LoopMemoryInfo {
+  std::vector<LoopEffect> Effects;
+  bool HasUnknown = false;
+};
+
+LoopMemoryInfo collectLoopMemory(LoopLikeOp Loop) {
+  LoopMemoryInfo Info;
+  Loop.getOperation()->walk([&](Operation *Op) {
+    if (Op == Loop.getOperation())
+      return;
+    if (Op->hasTrait(OpTrait::Pure) || Op->hasTrait(OpTrait::IsTerminator) ||
+        Op->hasTrait(OpTrait::RecursiveMemoryEffects))
+      return;
+    std::vector<MemoryEffect> Effects;
+    if (!Op->getEffects(Effects)) {
+      Info.HasUnknown = true;
+      return;
+    }
+    for (const MemoryEffect &Effect : Effects)
+      Info.Effects.push_back({Op, Effect.Kind, Effect.Val});
+  });
+  return Info;
+}
+
+/// Pair of accessor bases requiring a runtime disjointness check.
+struct RuntimeCheck {
+  Value A, B;
+  bool operator<(const RuntimeCheck &Other) const {
+    if (A != Other.A)
+      return A < Other.A;
+    return B < Other.B;
+  }
+};
+
+/// Returns the accessor base if \p MemVal is (a view of) an accessor
+/// kernel argument, null otherwise.
+Value getAccessorBase(Value MemVal) {
+  Value Base = AliasAnalysis::getUnderlyingObject(MemVal);
+  if (auto MemTy = Base.getType().dyn_cast<MemRefType>())
+    if (MemTy.getElementType().isa<sycl::AccessorType>())
+      return Base;
+  return Value();
+}
+
+class LICMPass : public FunctionPass {
+public:
+  explicit LICMPass(bool MemoryAware)
+      : FunctionPass(MemoryAware ? "SYCLMemoryAwareLICM" : "BasicLICM",
+                     "licm"),
+        MemoryAware(MemoryAware) {}
+
+  LogicalResult runOnFunction(Operation *Func, AnalysisManager &AM) override {
+    SYCLAliasAnalysis AA(Func);
+    // Innermost loops first; repeat so ops hoisted out of inner loops can
+    // continue outward.
+    for (int Round = 0; Round < 3; ++Round) {
+      bool Changed = false;
+      std::vector<LoopLikeOp> Loops;
+      Func->walk([&](Operation *Op) {
+        if (auto Loop = LoopLikeOp::dyn_cast(Op))
+          Loops.push_back(Loop);
+      });
+      for (LoopLikeOp Loop : Loops)
+        Changed |= processLoop(Loop, AA);
+      if (!Changed)
+        break;
+    }
+    return success();
+  }
+
+private:
+  bool MemoryAware;
+
+  /// Is \p Val usable before the loop (defined outside, or produced by an
+  /// op already marked hoistable)?
+  static bool isInvariant(Value Val, LoopLikeOp Loop,
+                          const std::set<Operation *> &Hoisted) {
+    if (Loop.isDefinedOutsideOfLoop(Val))
+      return true;
+    Operation *Def = Val.getDefiningOp();
+    return Def && Hoisted.count(Def);
+  }
+
+  bool processLoop(LoopLikeOp Loop, SYCLAliasAnalysis &AA) {
+    // The unoptimized fallback version created by a previous round must
+    // stay untouched.
+    if (Loop.getOperation()->hasAttr("licm.fallback"))
+      return false;
+    Block *Body = Loop.getBody();
+    LoopMemoryInfo Memory = collectLoopMemory(Loop);
+
+    std::vector<Operation *> HoistList;
+    std::set<Operation *> HoistSet;
+    std::set<RuntimeCheck> RuntimeChecks;
+    bool HoistedSideEffects = false;
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (Operation *Op : *Body) {
+        if (HoistSet.count(Op) || Op->hasTrait(OpTrait::IsTerminator))
+          continue;
+        bool OperandsInvariant = true;
+        for (Value Operand : Op->getOperands())
+          OperandsInvariant &= isInvariant(Operand, Loop, HoistSet);
+        if (!OperandsInvariant)
+          continue;
+
+        if (Op->hasTrait(OpTrait::Pure) && Op->getNumRegions() == 0) {
+          HoistList.push_back(Op);
+          HoistSet.insert(Op);
+          Changed = true;
+          continue;
+        }
+        if (!MemoryAware || Op->getNumRegions() != 0)
+          continue;
+
+        std::vector<MemoryEffect> Effects;
+        if (!Op->getEffects(Effects) || Memory.HasUnknown)
+          continue;
+        bool ReadsOnly = true, WritesOnly = true, HasUntargeted = false;
+        for (const MemoryEffect &Effect : Effects) {
+          if (!Effect.Val)
+            HasUntargeted = true;
+          ReadsOnly &= Effect.Kind == EffectKind::Read;
+          WritesOnly &= Effect.Kind == EffectKind::Write;
+        }
+        if (HasUntargeted || Effects.empty())
+          continue;
+
+        if (ReadsOnly && canHoistRead(Op, Effects, Memory, AA,
+                                      RuntimeChecks)) {
+          HoistList.push_back(Op);
+          HoistSet.insert(Op);
+          HoistedSideEffects = true;
+          Changed = true;
+          continue;
+        }
+        if (WritesOnly && canHoistWrite(Op, Effects, Memory, AA)) {
+          HoistList.push_back(Op);
+          HoistSet.insert(Op);
+          HoistedSideEffects = true;
+          Changed = true;
+        }
+      }
+    }
+
+    if (HoistList.empty())
+      return false;
+
+    if (!HoistedSideEffects && RuntimeChecks.empty()) {
+      // Pure hoists need no guard.
+      for (Operation *Op : HoistList) {
+        Op->remove();
+        Loop.getOperation()->getBlock()->insertBefore(Loop.getOperation(),
+                                                      Op);
+        incrementStatistic("num-hoisted");
+      }
+      return true;
+    }
+
+    hoistWithVersioning(Loop, HoistList, RuntimeChecks);
+    return true;
+  }
+
+  /// A read hoists if no write in the loop may alias it; conflicts that
+  /// are exclusively accessor-vs-accessor may-aliases become runtime
+  /// checks (collected into \p RuntimeChecks).
+  bool canHoistRead(Operation *Op, const std::vector<MemoryEffect> &Effects,
+                    const LoopMemoryInfo &Memory, SYCLAliasAnalysis &AA,
+                    std::set<RuntimeCheck> &RuntimeChecks) {
+    std::set<RuntimeCheck> NewChecks;
+    for (const MemoryEffect &Read : Effects) {
+      for (const LoopEffect &Other : Memory.Effects) {
+        if (Other.Kind != EffectKind::Write)
+          continue;
+        if (!Other.Val)
+          return false;
+        AliasResult AR = AA.alias(Read.Val, Other.Val);
+        if (AR == AliasResult::NoAlias)
+          continue;
+        // A definite conflict cannot be versioned away.
+        if (AR == AliasResult::MustAlias || AR == AliasResult::PartialAlias)
+          return false;
+        Value BaseRead = getAccessorBase(Read.Val);
+        Value BaseWrite = getAccessorBase(Other.Val);
+        if (!BaseRead || !BaseWrite || BaseRead == BaseWrite)
+          return false;
+        NewChecks.insert(BaseRead < BaseWrite
+                             ? RuntimeCheck{BaseRead, BaseWrite}
+                             : RuntimeCheck{BaseWrite, BaseRead});
+      }
+    }
+    // Bound the number of runtime checks per loop.
+    std::set<RuntimeCheck> Merged = RuntimeChecks;
+    Merged.insert(NewChecks.begin(), NewChecks.end());
+    if (Merged.size() > 2)
+      return false;
+    RuntimeChecks = std::move(Merged);
+    return true;
+  }
+
+  /// A store hoists if nothing else in the loop reads or writes the
+  /// written location.
+  bool canHoistWrite(Operation *Op, const std::vector<MemoryEffect> &Effects,
+                     const LoopMemoryInfo &Memory, SYCLAliasAnalysis &AA) {
+    for (const MemoryEffect &Write : Effects) {
+      for (const LoopEffect &Other : Memory.Effects) {
+        if (Other.Op == Op)
+          continue;
+        if (Other.Kind != EffectKind::Read &&
+            Other.Kind != EffectKind::Write)
+          continue;
+        if (!Other.Val)
+          return false;
+        if (AA.alias(Write.Val, Other.Val) != AliasResult::NoAlias)
+          return false;
+      }
+    }
+    return true;
+  }
+
+  /// Builds:
+  ///   %cond = (lb < ub) [ && disjoint checks ]
+  ///   %res = scf.if %cond { hoisted...; %r = loop'; yield %r }
+  ///                  else { %r = original-loop; yield %r }
+  void hoistWithVersioning(LoopLikeOp Loop,
+                           const std::vector<Operation *> &HoistList,
+                           const std::set<RuntimeCheck> &RuntimeChecks) {
+    Operation *LoopOp = Loop.getOperation();
+    OpBuilder Builder(LoopOp->getContext());
+    Builder.setInsertionPoint(LoopOp);
+    Location Loc = LoopOp->getLoc();
+
+    Value Cond = Builder
+                     .create<arith::CmpIOp>(Loc, arith::CmpIPredicate::slt,
+                                            Loop.getLowerBound(),
+                                            Loop.getUpperBound())
+                     .getOperation()
+                     ->getResult(0);
+    for (const RuntimeCheck &Check : RuntimeChecks) {
+      Value Disjoint =
+          Builder.create<sycl::AccessorsDisjointOp>(Loc, Check.A, Check.B)
+              .getOperation()
+              ->getResult(0);
+      Cond = Builder.create<arith::AndIOp>(Loc, Cond, Disjoint)
+                 .getOperation()
+                 ->getResult(0);
+      incrementStatistic("num-runtime-checks");
+    }
+
+    std::vector<Type> ResultTypes;
+    for (Value Result : LoopOp->getResults())
+      ResultTypes.push_back(Result.getType());
+    auto If = Builder.create<scf::IfOp>(Loc, Cond, ResultTypes);
+
+    // Fallback version: a clone of the untouched loop.
+    {
+      IRMapping Mapper;
+      Operation *Clone = LoopOp->clone(Mapper);
+      Clone->setAttr("licm.fallback", UnitAttr::get(LoopOp->getContext()));
+      Block *Else = If.getElseBlock();
+      Else->push_back(Clone);
+      OpBuilder ElseBuilder(LoopOp->getContext());
+      ElseBuilder.setInsertionPointToEnd(Else);
+      ElseBuilder.create<scf::YieldOp>(Loc, Clone->getResults());
+    }
+
+    // Uses of the loop's results now come from the scf.if.
+    LoopOp->replaceAllUsesWith(If.getOperation()->getResults());
+
+    // Optimized version: hoisted ops, then the loop.
+    Block *Then = If.getThenBlock();
+    for (Operation *Op : HoistList) {
+      Op->remove();
+      Then->push_back(Op);
+      incrementStatistic("num-hoisted");
+    }
+    LoopOp->remove();
+    Then->push_back(LoopOp);
+    OpBuilder ThenBuilder(LoopOp->getContext());
+    ThenBuilder.setInsertionPointToEnd(Then);
+    ThenBuilder.create<scf::YieldOp>(Loc, LoopOp->getResults());
+    incrementStatistic("num-versioned-loops");
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> smlir::createLICMPass(bool MemoryAware) {
+  return std::make_unique<LICMPass>(MemoryAware);
+}

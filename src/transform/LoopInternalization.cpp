@@ -1,0 +1,439 @@
+//===- LoopInternalization.cpp - Local-memory loop tiling -------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop Internalization (paper §VI-C): for loops inside SYCL kernels, SYCL
+/// accessor loads exhibiting temporal reuse (per the Memory Access
+/// Analysis) are prefetched into work-group local memory. The loop is
+/// tiled by the work-group size; each work-item cooperatively loads one
+/// tile element per outer iteration; group barriers delimit the prefetch
+/// and consume phases (Listings 6 -> 7). The Uniformity Analysis rejects
+/// loops in divergent regions, where the injected barriers would deadlock.
+///
+/// Supported access shape (covers the GEMM-class and matrix-vector
+/// workloads the paper reports): each index dimension is either exactly
+/// one work-item id (coefficient 1, offset 0) or exactly the loop
+/// induction variable (coefficient 1, offset 0).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryAccess.h"
+#include "analysis/Uniformity.h"
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "dialect/MemRef.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "ir/Block.h"
+#include "ir/Builders.h"
+#include "transform/Passes.h"
+
+#include <optional>
+
+using namespace smlir;
+
+namespace {
+
+/// The role of one index dimension of a candidate access.
+struct RowInfo {
+  enum class Kind { ThreadVar, LoopIV } RowKind;
+  /// For ThreadVar rows: the ND-range dimension of the id query and the
+  /// id value itself.
+  unsigned ThreadDim = 0;
+  Value ThreadValue;
+};
+
+/// A load selected for prefetching into local memory.
+struct Candidate {
+  Operation *LoadOp;
+  sycl::AccessorSubscriptOp Subscript;
+  std::vector<RowInfo> Rows;
+  /// For the loop-IV row: the work-group dimension whose local id
+  /// enumerates the tile (the "spare" dimension).
+  unsigned SpareDim = 0;
+  Type ElementType;
+};
+
+/// Returns the ND-range dimension queried by the op defining \p ThreadVar.
+std::optional<unsigned> getThreadVarDim(Value ThreadVar) {
+  Operation *Def = ThreadVar.getDefiningOp();
+  if (!Def)
+    return std::nullopt;
+  if (!sycl::NDItemGetGlobalIDOp::dyn_cast(Def) &&
+      !sycl::ItemGetIDOp::dyn_cast(Def))
+    return std::nullopt;
+  auto Dim = getConstantIntValue(Def->getOperand(1));
+  if (!Dim)
+    return std::nullopt;
+  return static_cast<unsigned>(*Dim);
+}
+
+class LoopInternalizationPass : public Pass {
+public:
+  LoopInternalizationPass()
+      : Pass("LoopInternalization", "loop-internalization") {}
+
+  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+    UniformityAnalysis UA(Root);
+    MemoryAccessAnalysis MAA(Root);
+
+    std::vector<Operation *> Kernels;
+    Root->walk([&](Operation *Op) {
+      if (FuncOp::dyn_cast(Op) && Op->hasAttr("sycl.kernel"))
+        Kernels.push_back(Op);
+    });
+    for (Operation *Kernel : Kernels)
+      processKernel(FuncOp::cast(Kernel), UA, MAA);
+    return success();
+  }
+
+private:
+  void processKernel(FuncOp Kernel, UniformityAnalysis &UA,
+                     MemoryAccessAnalysis &MAA) {
+    // Host information: the constant work-group size (paper §VII-B
+    // propagates it; without it no tile size is known).
+    auto WGSize =
+        Kernel.getOperation()->getAttrOfType<ArrayAttr>("sycl.wg_size");
+    if (!WGSize || WGSize.size() == 0)
+      return;
+    int64_t TileSize = WGSize[0].cast<IntegerAttr>().getValue();
+    for (unsigned I = 1; I < WGSize.size(); ++I)
+      if (WGSize[I].cast<IntegerAttr>().getValue() != TileSize)
+        return; // Non-square work-groups are not tiled.
+
+    // The kernel must take an nd_item (needed for local ids and barriers).
+    Value NDItem;
+    unsigned NDDims = 0;
+    if (Kernel.isDeclaration())
+      return;
+    for (Value Arg : Kernel.getEntryBlock()->getArguments()) {
+      if (auto MemTy = Arg.getType().dyn_cast<MemRefType>()) {
+        if (auto ItemTy =
+                MemTy.getElementType().dyn_cast<sycl::NDItemType>()) {
+          NDItem = Arg;
+          NDDims = ItemTy.getDim();
+          break;
+        }
+      }
+    }
+    if (!NDItem)
+      return;
+
+    // Collect candidate loops first: the rewrite invalidates iteration.
+    std::vector<LoopLikeOp> Loops;
+    Kernel.getOperation()->walk([&](Operation *Op) {
+      if (auto Loop = LoopLikeOp::dyn_cast(Op))
+        Loops.push_back(Loop);
+    });
+    for (LoopLikeOp Loop : Loops)
+      processLoop(Kernel, Loop, NDItem, NDDims, TileSize, UA, MAA);
+  }
+
+  void processLoop(FuncOp Kernel, LoopLikeOp Loop, Value NDItem,
+                   unsigned NDDims, int64_t TileSize, UniformityAnalysis &UA,
+                   MemoryAccessAnalysis &MAA) {
+    // The injected barriers deadlock in divergent regions (paper §V-C):
+    // reject loops whose execution is not work-group uniform.
+    if (UA.isInDivergentRegion(Loop.getOperation())) {
+      incrementStatistic("num-divergent-rejections");
+      return;
+    }
+
+    // Require a constant, tile-aligned iteration space with step 1.
+    auto Lb = getConstantIntValue(Loop.getLowerBound());
+    auto Ub = getConstantIntValue(Loop.getUpperBound());
+    auto Step = getConstantIntValue(Loop.getStep());
+    if (!Lb || !Ub || !Step || *Step != 1)
+      return;
+    if ((*Ub - *Lb) <= 0 || (*Ub - *Lb) % TileSize != 0 ||
+        (*Ub - *Lb) < TileSize)
+      return;
+
+    std::vector<Candidate> Candidates =
+        collectCandidates(Loop, NDDims, MAA);
+    if (Candidates.empty())
+      return;
+
+    rewrite(Kernel, Loop, NDItem, TileSize, Candidates);
+    incrementStatistic("num-internalized-loops");
+    incrementStatistic("num-prefetched-accesses", Candidates.size());
+  }
+
+  std::vector<Candidate> collectCandidates(LoopLikeOp Loop, unsigned NDDims,
+                                           MemoryAccessAnalysis &MAA) {
+    std::vector<Candidate> Candidates;
+    for (Operation *Op : *Loop.getBody()) {
+      if (!affine::AffineLoadOp::dyn_cast(Op) &&
+          !memref::LoadOp::dyn_cast(Op))
+        continue;
+      MemoryAccess MA = MAA.analyze(Op);
+      // Prefetch loads that revisit data across loop iterations (paper
+      // §VI-C: temporal reuse).
+      if (!MA.Valid || !MA.hasTemporalReuse())
+        continue;
+      // Only accessor-based accesses have a local-memory equivalent.
+      Value MemRef = Op->getOperand(0);
+      auto Subscript = sycl::AccessorSubscriptOp::dyn_cast(
+          MemRef.getDefiningOp());
+      if (!Subscript)
+        continue;
+
+      Candidate C;
+      C.LoadOp = Op;
+      C.Subscript = Subscript;
+      C.ElementType = Op->getResultType(0);
+      if (!matchRows(MA, Loop, NDDims, C))
+        continue;
+      Candidates.push_back(std::move(C));
+    }
+    return Candidates;
+  }
+
+  /// Checks the restricted row shape and fills Candidate::Rows.
+  bool matchRows(const MemoryAccess &MA, LoopLikeOp Loop, unsigned NDDims,
+                 Candidate &C) {
+    if (MA.Matrix.size() > 2 || MA.Matrix.empty())
+      return false;
+    unsigned NumIVRows = 0;
+    std::vector<bool> ThreadDimUsed(NDDims, false);
+    for (unsigned Row = 0; Row < MA.Matrix.size(); ++Row) {
+      if (MA.Offsets[Row] != 0)
+        return false;
+      // Exactly one coefficient of 1 in this row.
+      int NonZeroCol = -1;
+      for (unsigned Col = 0; Col < MA.Matrix[Row].size(); ++Col) {
+        if (MA.Matrix[Row][Col] == 0)
+          continue;
+        if (MA.Matrix[Row][Col] != 1 || NonZeroCol != -1)
+          return false;
+        NonZeroCol = Col;
+      }
+      if (NonZeroCol < 0)
+        return false;
+
+      RowInfo Info;
+      if (static_cast<unsigned>(NonZeroCol) < MA.getNumThreadVars()) {
+        Info.RowKind = RowInfo::Kind::ThreadVar;
+        Info.ThreadValue = MA.ThreadVars[NonZeroCol];
+        auto Dim = getThreadVarDim(Info.ThreadValue);
+        if (!Dim || *Dim >= NDDims)
+          return false;
+        Info.ThreadDim = *Dim;
+        ThreadDimUsed[*Dim] = true;
+        // The id must be available before the loop.
+        if (!Loop.isDefinedOutsideOfLoop(Info.ThreadValue))
+          return false;
+      } else {
+        Value IV = MA.LoopIVs[NonZeroCol - MA.getNumThreadVars()];
+        if (IV != Loop.getInductionVar())
+          return false;
+        Info.RowKind = RowInfo::Kind::LoopIV;
+        ++NumIVRows;
+      }
+      C.Rows.push_back(Info);
+    }
+    if (NumIVRows != 1)
+      return false;
+    // Pick a spare work-group dimension to enumerate the IV row of the
+    // tile during the cooperative prefetch.
+    for (unsigned D = 0; D < NDDims; ++D)
+      if (!ThreadDimUsed[D])
+        C.SpareDim = D;
+    if (MA.Matrix.size() == 2) {
+      bool FoundSpare = false;
+      for (unsigned D = 0; D < NDDims && !FoundSpare; ++D)
+        if (!ThreadDimUsed[D]) {
+          C.SpareDim = D;
+          FoundSpare = true;
+        }
+      if (!FoundSpare)
+        return false;
+    }
+    return true;
+  }
+
+  /// Performs the Listing 6 -> Listing 7 rewrite.
+  void rewrite(FuncOp Kernel, LoopLikeOp Loop, Value NDItem,
+               int64_t TileSize, const std::vector<Candidate> &Candidates) {
+    Operation *LoopOp = Loop.getOperation();
+    MLIRContext *Ctx = LoopOp->getContext();
+    OpBuilder Builder(Ctx);
+    Location Loc = LoopOp->getLoc();
+    Block *Entry = Kernel.getEntryBlock();
+
+    // Local ids per dimension, created once before the loop.
+    Builder.setInsertionPoint(LoopOp);
+    std::vector<Value> LocalIDs;
+    unsigned NDDims = NDItem.getType()
+                          .cast<MemRefType>()
+                          .getElementType()
+                          .cast<sycl::NDItemType>()
+                          .getDim();
+    for (unsigned D = 0; D < NDDims; ++D) {
+      Value DimConst = arith::createIntConstant(
+          Builder, Loc, IntegerType::get(Ctx, 32), D);
+      LocalIDs.push_back(
+          Builder.create<sycl::NDItemGetLocalIDOp>(Loc, NDItem, DimConst)
+              .getOperation()
+              ->getResult(0));
+    }
+
+    // Allocate one local-memory tile per candidate at the kernel entry.
+    std::vector<Value> Tiles;
+    {
+      OpBuilder EntryBuilder(Ctx);
+      if (Entry->empty())
+        EntryBuilder.setInsertionPointToEnd(Entry);
+      else
+        EntryBuilder.setInsertionPoint(Entry->front());
+      for (const Candidate &C : Candidates) {
+        std::vector<int64_t> Shape(C.Rows.size(), TileSize);
+        auto TileTy = MemRefType::get(Ctx, Shape, C.ElementType,
+                                      MemorySpace::Local);
+        Tiles.push_back(EntryBuilder.create<memref::AllocaOp>(Loc, TileTy)
+                            .getOperation()
+                            ->getResult(0));
+      }
+    }
+
+    // Outer (tiled) loop: iterates the original space with step M.
+    Builder.setInsertionPoint(LoopOp);
+    Value TileConst = arith::createIndexConstant(Builder, Loc, TileSize);
+    std::vector<Value> OuterInits;
+    for (unsigned I = 0, E = Loop.getNumIterArgs(); I != E; ++I)
+      OuterInits.push_back(Loop.getInitArg(I));
+    auto Outer = Builder.create<affine::AffineForOp>(
+        Loc, Loop.getLowerBound(), Loop.getUpperBound(), TileConst,
+        OuterInits);
+    Block *OuterBody = Outer.getBody();
+    Value T = Outer.getInductionVar();
+
+    OpBuilder OB(Ctx);
+    OB.setInsertionPointToEnd(OuterBody);
+
+    // Cooperative prefetch: each work-item loads one element per tile.
+    for (unsigned CI = 0; CI < Candidates.size(); ++CI) {
+      const Candidate &C = Candidates[CI];
+      // Global element indices and tile coordinates per row.
+      std::vector<Value> GlobalIdx, TileIdx;
+      for (const RowInfo &Row : C.Rows) {
+        if (Row.RowKind == RowInfo::Kind::ThreadVar) {
+          GlobalIdx.push_back(Row.ThreadValue);
+          TileIdx.push_back(LocalIDs[Row.ThreadDim]);
+        } else {
+          Value Offset = LocalIDs[C.SpareDim];
+          GlobalIdx.push_back(
+              OB.create<arith::AddIOp>(Loc, T, Offset)
+                  .getOperation()
+                  ->getResult(0));
+          TileIdx.push_back(Offset);
+        }
+      }
+      // Load the global element through a fresh id + subscript.
+      auto IDTy = sycl::IDType::get(Ctx, GlobalIdx.size());
+      Value IDMem =
+          OB.create<memref::AllocaOp>(Loc, sycl::getObjectMemRefType(IDTy))
+              .getOperation()
+              ->getResult(0);
+      OB.create<sycl::ConstructorOp>(Loc, "id", IDMem, GlobalIdx);
+      Value View = OB.create<sycl::AccessorSubscriptOp>(
+                         Loc, C.Subscript.getAccessor(), IDMem)
+                       .getOperation()
+                       ->getResult(0);
+      Value Zero = arith::createIndexConstant(OB, Loc, 0);
+      Value Element =
+          OB.create<affine::AffineLoadOp>(Loc, View,
+                                          std::vector<Value>{Zero})
+              .getOperation()
+              ->getResult(0);
+      OB.create<memref::StoreOp>(Loc, Element, Tiles[CI], TileIdx);
+    }
+
+    // Barrier: the tile must be fully initialized (Listing 7 line 16).
+    OB.create<sycl::GroupBarrierOp>(Loc, NDItem);
+
+    // Inner loop over the tile.
+    Value Zero = arith::createIndexConstant(OB, Loc, 0);
+    Value One = arith::createIndexConstant(OB, Loc, 1);
+    std::vector<Value> InnerInits;
+    for (unsigned I = 0, E = Loop.getNumIterArgs(); I != E; ++I)
+      InnerInits.push_back(Outer.getRegionIterArg(I));
+    auto Inner = OB.create<affine::AffineForOp>(Loc, Zero, TileConst, One,
+                                                InnerInits);
+    Block *InnerBody = Inner.getBody();
+
+    // Second barrier: all work-items finish consuming before the next
+    // prefetch overwrites the tile (Listing 7 line 19).
+    OB.create<sycl::GroupBarrierOp>(Loc, NDItem);
+    std::vector<Value> InnerResults;
+    for (unsigned I = 0, E = Inner.getNumIterArgs(); I != E; ++I)
+      InnerResults.push_back(Inner.getOperation()->getResult(I));
+    OB.create<affine::AffineYieldOp>(Loc, InnerResults);
+
+    // Populate the inner body: original IV = t + k.
+    OpBuilder IB(Ctx);
+    IB.setInsertionPointToEnd(InnerBody);
+    Value OrigIV = IB.create<arith::AddIOp>(Loc, T, Inner.getInductionVar())
+                       .getOperation()
+                       ->getResult(0);
+
+    // Move the original body across.
+    Block *OldBody = Loop.getBody();
+    Loop.getInductionVar().replaceAllUsesWith(OrigIV);
+    for (unsigned I = 0, E = Loop.getNumIterArgs(); I != E; ++I)
+      Loop.getRegionIterArg(I).replaceAllUsesWith(
+          Inner.getRegionIterArg(I));
+    Operation *Op = OldBody->front();
+    while (Op) {
+      Operation *Next = Op->getNextNode();
+      Op->remove();
+      InnerBody->push_back(Op);
+      Op = Next;
+    }
+    // The moved terminator becomes the inner loop's yield; retype if the
+    // source loop was an scf.for.
+    Operation *MovedYield = InnerBody->getTerminator();
+    if (!MovedYield ||
+        MovedYield->getName().getStringRef() !=
+            affine::AffineYieldOp::getOperationName()) {
+      OpBuilder YB(Ctx);
+      YB.setInsertionPointToEnd(InnerBody);
+      YB.create<affine::AffineYieldOp>(Loc, MovedYield->getOperands());
+      MovedYield->erase();
+    }
+
+    // Substitute the candidate loads with tile loads (Listing 7 line 18).
+    for (unsigned CI = 0; CI < Candidates.size(); ++CI) {
+      const Candidate &C = Candidates[CI];
+      std::vector<Value> TileIdx;
+      for (const RowInfo &Row : C.Rows) {
+        if (Row.RowKind == RowInfo::Kind::ThreadVar)
+          TileIdx.push_back(LocalIDs[Row.ThreadDim]);
+        else
+          TileIdx.push_back(Inner.getInductionVar());
+      }
+      OpBuilder LB(Ctx);
+      LB.setInsertionPoint(C.LoadOp);
+      Value TileVal = LB.create<memref::LoadOp>(Loc, Tiles[CI], TileIdx)
+                          .getOperation()
+                          ->getResult(0);
+      C.LoadOp->getResult(0).replaceAllUsesWith(TileVal);
+      C.LoadOp->erase();
+    }
+
+    // Splice the tiled nest in place of the original loop.
+    for (unsigned I = 0, E = LoopOp->getNumResults(); I != E; ++I)
+      LoopOp->getResult(I).replaceAllUsesWith(
+          Outer.getOperation()->getResult(I));
+    LoopOp->erase();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> smlir::createLoopInternalizationPass() {
+  return std::make_unique<LoopInternalizationPass>();
+}

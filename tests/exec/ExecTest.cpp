@@ -1,0 +1,401 @@
+//===- ExecTest.cpp - Virtual device / interpreter unit tests ----------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the execution substrate: ND-range decomposition, barrier
+/// synchronization semantics (run-to-barrier scheduling), divergent
+/// barrier deadlock detection, ranged accessors, loops with iter_args,
+/// function calls inside kernels, and the runtime disjointness check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "exec/Device.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace smlir;
+using namespace smlir::exec;
+
+namespace {
+
+class ExecTest : public ::testing::Test {
+protected:
+  ExecTest() { registerAllDialects(Ctx); }
+
+  /// Parses a module and returns the kernel named @K.
+  FuncOp parseKernel(const char *Source) {
+    std::string Error;
+    Module = parseSourceString(&Ctx, Source, &Error);
+    EXPECT_TRUE(Module) << Error;
+    if (!Module)
+      return FuncOp(nullptr);
+    EXPECT_TRUE(verify(Module.get(), &Error).succeeded()) << Error;
+    return FuncOp::dyn_cast(ModuleOp::cast(Module.get()).lookupSymbol("K"));
+  }
+
+  AccessorData wholeBuffer(Storage *S) {
+    AccessorData Acc;
+    Acc.Data = S;
+    Acc.Dim = 1;
+    Acc.Range = {static_cast<int64_t>(S->size()), 1, 1};
+    return Acc;
+  }
+
+  MLIRContext Ctx;
+  OwningOpRef Module;
+  Device Dev;
+};
+
+TEST_F(ExecTest, GlobalIdsCoverTheNDRange) {
+  // out[gid] = gid; every element must be written exactly once.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<?x!sycl.item<1>>,
+               %out: memref<?x!sycl.accessor<1, i64, write, device>>) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "sycl.item.get_id"(%item, %c0) : (memref<?x!sycl.item<1>>, i32) -> (index)
+    %id = "memref.alloca"() : () -> (memref<1x!sycl.id<1>>)
+    "sycl.constructor"(%id, %gid) {kind = @id} : (memref<1x!sycl.id<1>>, index) -> ()
+    %view = "sycl.accessor.subscript"(%out, %id) : (memref<?x!sycl.accessor<1, i64, write, device>>, memref<1x!sycl.id<1>>) -> (memref<?xi64>)
+    "affine.store"(%gid, %view, %zero) : (index, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 64);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {64, 1, 1};
+  Range.Local = {16, 1, 1};
+  LaunchStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Dev.launch(K, Range, {KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  for (int64_t I = 0; I < 64; ++I)
+    EXPECT_EQ(Out->Ints[I], I);
+}
+
+TEST_F(ExecTest, BarrierSynchronizesLocalMemory) {
+  // Each work-item writes tile[lid], barriers, then reads its neighbor's
+  // slot. Without real barrier semantics the neighbor value would be
+  // stale for some execution orders.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<?x!sycl.nd_item<1>>,
+               %out: memref<?x!sycl.accessor<1, i64, write, device>>) attributes {sycl.kernel} {
+    %c0_i32 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %one = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c8 = "arith.constant"() {value = 8 : index} : () -> (index)
+    %tile = "memref.alloca"() : () -> (memref<8xindex, 3>)
+    %gid = "sycl.nd_item.get_global_id"(%item, %c0_i32) : (memref<?x!sycl.nd_item<1>>, i32) -> (index)
+    %lid = "sycl.nd_item.get_local_id"(%item, %c0_i32) : (memref<?x!sycl.nd_item<1>>, i32) -> (index)
+    "memref.store"(%gid, %tile, %lid) : (index, memref<8xindex, 3>, index) -> ()
+    "sycl.group_barrier"(%item) : (memref<?x!sycl.nd_item<1>>) -> ()
+    %next = "arith.addi"(%lid, %one) : (index, index) -> (index)
+    %wrapped = "arith.remsi"(%next, %c8) : (index, index) -> (index)
+    %neighbor = "memref.load"(%tile, %wrapped) : (memref<8xindex, 3>, index) -> (index)
+    %id = "memref.alloca"() : () -> (memref<1x!sycl.id<1>>)
+    "sycl.constructor"(%id, %gid) {kind = @id} : (memref<1x!sycl.id<1>>, index) -> ()
+    %view = "sycl.accessor.subscript"(%out, %id) : (memref<?x!sycl.accessor<1, i64, write, device>>, memref<1x!sycl.id<1>>) -> (memref<?xi64>)
+    "affine.store"(%neighbor, %view, %zero) : (index, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 32);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {32, 1, 1};
+  Range.Local = {8, 1, 1};
+  Range.HasLocal = true;
+  LaunchStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Dev.launch(K, Range, {KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  // out[gid] = global id of the next work-item in the group (wrapping).
+  for (int64_t G = 0; G < 4; ++G)
+    for (int64_t L = 0; L < 8; ++L)
+      EXPECT_EQ(Out->Ints[G * 8 + L], G * 8 + (L + 1) % 8);
+  EXPECT_EQ(Stats.Barriers, 32u);
+  EXPECT_GT(Stats.LocalAccesses, 0u);
+}
+
+TEST_F(ExecTest, DivergentBarrierIsDetectedAsDeadlock) {
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<?x!sycl.nd_item<1>>) attributes {sycl.kernel} {
+    %c0_i32 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %c4 = "arith.constant"() {value = 4 : index} : () -> (index)
+    %gid = "sycl.nd_item.get_global_id"(%item, %c0_i32) : (memref<?x!sycl.nd_item<1>>, i32) -> (index)
+    %cond = "arith.cmpi"(%gid, %c4) {predicate = "slt"} : (index, index) -> (i1)
+    "scf.if"(%cond) ({
+      "sycl.group_barrier"(%item) : (memref<?x!sycl.nd_item<1>>) -> ()
+      "scf.yield"() : () -> ()
+    }, {
+      "scf.yield"() : () -> ()
+    }) : (i1) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {8, 1, 1};
+  Range.Local = {8, 1, 1};
+  Range.HasLocal = true;
+  LaunchStats Stats;
+  std::string Error;
+  EXPECT_TRUE(Dev.launch(K, Range, {}, Stats, &Error).failed());
+  EXPECT_NE(Error.find("divergent barrier"), std::string::npos) << Error;
+}
+
+TEST_F(ExecTest, RangedAccessorsApplyOffsets) {
+  // The accessor covers the buffer with offset 8: writes land shifted.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<?x!sycl.item<1>>,
+               %out: memref<?x!sycl.accessor<1, i64, write, device>>) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "sycl.item.get_id"(%item, %c0) : (memref<?x!sycl.item<1>>, i32) -> (index)
+    %id = "memref.alloca"() : () -> (memref<1x!sycl.id<1>>)
+    "sycl.constructor"(%id, %gid) {kind = @id} : (memref<1x!sycl.id<1>>, index) -> ()
+    %view = "sycl.accessor.subscript"(%out, %id) : (memref<?x!sycl.accessor<1, i64, write, device>>, memref<1x!sycl.id<1>>) -> (memref<?xi64>)
+    "affine.store"(%gid, %view, %zero) : (index, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 32);
+  AccessorData Acc = wholeBuffer(Out);
+  Acc.Offset = {8, 0, 0};
+  Acc.Range = {32, 1, 1};
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {8, 1, 1};
+  LaunchStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Dev.launch(K, Range, {KernelArg::accessor(Acc)}, Stats,
+                         &Error)
+                  .succeeded())
+      << Error;
+  for (int64_t I = 0; I < 8; ++I) {
+    EXPECT_EQ(Out->Ints[8 + I], I);
+    EXPECT_EQ(Out->Ints[I], 0);
+  }
+}
+
+TEST_F(ExecTest, OutOfBoundsAccessIsAnError) {
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<?x!sycl.item<1>>,
+               %out: memref<?x!sycl.accessor<1, i64, write, device>>) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %big = "arith.constant"() {value = 1000 : index} : () -> (index)
+    %id = "memref.alloca"() : () -> (memref<1x!sycl.id<1>>)
+    "sycl.constructor"(%id, %big) {kind = @id} : (memref<1x!sycl.id<1>>, index) -> ()
+    %view = "sycl.accessor.subscript"(%out, %id) : (memref<?x!sycl.accessor<1, i64, write, device>>, memref<1x!sycl.id<1>>) -> (memref<?xi64>)
+    "affine.store"(%zero, %view, %zero) : (index, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 8);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {1, 1, 1};
+  LaunchStats Stats;
+  std::string Error;
+  EXPECT_TRUE(Dev.launch(K, Range, {KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .failed());
+  EXPECT_NE(Error.find("out of bounds"), std::string::npos);
+}
+
+TEST_F(ExecTest, LoopCarriedValuesAndZeroTripLoops) {
+  // sum = sum_{k=lb}^{ub} k, with (lb, ub) as scalar args; a zero-trip
+  // loop yields the init value.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<?x!sycl.item<1>>,
+               %out: memref<?x!sycl.accessor<1, i64, write, device>>,
+               %lb: index, %ub: index) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %one = "arith.constant"() {value = 1 : index} : () -> (index)
+    %sum = "scf.for"(%lb, %ub, %one, %zero) ({
+    ^bb0(%k: index, %acc: index):
+      %next = "arith.addi"(%acc, %k) : (index, index) -> (index)
+      "scf.yield"(%next) : (index) -> ()
+    }) : (index, index, index, index) -> (index)
+    %gid = "sycl.item.get_id"(%item, %c0) : (memref<?x!sycl.item<1>>, i32) -> (index)
+    %id = "memref.alloca"() : () -> (memref<1x!sycl.id<1>>)
+    "sycl.constructor"(%id, %gid) {kind = @id} : (memref<1x!sycl.id<1>>, index) -> ()
+    %view = "sycl.accessor.subscript"(%out, %id) : (memref<?x!sycl.accessor<1, i64, write, device>>, memref<1x!sycl.id<1>>) -> (memref<?xi64>)
+    "affine.store"(%sum, %view, %zero) : (index, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 1);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {1, 1, 1};
+  LaunchStats Stats;
+  std::string Error;
+  // 0..10 -> 45.
+  ASSERT_TRUE(Dev.launch(K, Range,
+                         {KernelArg::accessor(wholeBuffer(Out)),
+                          KernelArg::intScalar(0), KernelArg::intScalar(10)},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  EXPECT_EQ(Out->Ints[0], 45);
+  // Zero-trip: lb >= ub -> init value 0.
+  ASSERT_TRUE(Dev.launch(K, Range,
+                         {KernelArg::accessor(wholeBuffer(Out)),
+                          KernelArg::intScalar(5), KernelArg::intScalar(5)},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  EXPECT_EQ(Out->Ints[0], 0);
+}
+
+TEST_F(ExecTest, KernelCallsHelperFunction) {
+  FuncOp K = parseKernel(R"(module {
+  func.func @helper(%x: index) -> (index) {
+    %two = "arith.constant"() {value = 2 : index} : () -> (index)
+    %r = "arith.muli"(%x, %two) : (index, index) -> (index)
+    "func.return"(%r) : (index) -> ()
+  }
+  func.func @K(%item: memref<?x!sycl.item<1>>,
+               %out: memref<?x!sycl.accessor<1, i64, write, device>>) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "sycl.item.get_id"(%item, %c0) : (memref<?x!sycl.item<1>>, i32) -> (index)
+    %doubled = "func.call"(%gid) {callee = @helper} : (index) -> (index)
+    %id = "memref.alloca"() : () -> (memref<1x!sycl.id<1>>)
+    "sycl.constructor"(%id, %gid) {kind = @id} : (memref<1x!sycl.id<1>>, index) -> ()
+    %view = "sycl.accessor.subscript"(%out, %id) : (memref<?x!sycl.accessor<1, i64, write, device>>, memref<1x!sycl.id<1>>) -> (memref<?xi64>)
+    "affine.store"(%doubled, %view, %zero) : (index, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 8);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {8, 1, 1};
+  LaunchStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Dev.launch(K, Range, {KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  for (int64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Out->Ints[I], 2 * I);
+}
+
+TEST_F(ExecTest, AccessorsDisjointSemantics) {
+  // Two accessors over the same storage with (dis)joint 1D windows.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<?x!sycl.item<1>>,
+               %a: memref<?x!sycl.accessor<1, i64, read, device>>,
+               %b: memref<?x!sycl.accessor<1, i64, read, device>>,
+               %out: memref<?x!sycl.accessor<1, i64, write, device>>) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %d = "sycl.accessors.disjoint"(%a, %b) : (memref<?x!sycl.accessor<1, i64, read, device>>, memref<?x!sycl.accessor<1, i64, read, device>>) -> (i1)
+    %ext = "arith.extsi"(%d) : (i1) -> (i64)
+    %id = "memref.alloca"() : () -> (memref<1x!sycl.id<1>>)
+    "sycl.constructor"(%id, %zero) {kind = @id} : (memref<1x!sycl.id<1>>, index) -> ()
+    %view = "sycl.accessor.subscript"(%out, %id) : (memref<?x!sycl.accessor<1, i64, write, device>>, memref<1x!sycl.id<1>>) -> (memref<?xi64>)
+    "affine.store"(%ext, %view, %zero) : (i64, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Data = Dev.allocate(Storage::Kind::Int, 32);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 1);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {1, 1, 1};
+
+  auto Window = [&](int64_t Offset, int64_t Size) {
+    AccessorData Acc;
+    Acc.Data = Data;
+    Acc.Dim = 1;
+    Acc.Range = {Size, 1, 1};
+    Acc.Offset = {Offset, 0, 0};
+    return Acc;
+  };
+  LaunchStats Stats;
+  std::string Error;
+  // Overlapping windows [0,16) and [8,24): not disjoint.
+  ASSERT_TRUE(Dev.launch(K, Range,
+                         {KernelArg::accessor(Window(0, 16)),
+                          KernelArg::accessor(Window(8, 16)),
+                          KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  EXPECT_EQ(Out->Ints[0], 0);
+  // Disjoint windows [0,8) and [16,24).
+  ASSERT_TRUE(Dev.launch(K, Range,
+                         {KernelArg::accessor(Window(0, 8)),
+                          KernelArg::accessor(Window(16, 8)),
+                          KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  EXPECT_EQ(Out->Ints[0], 1);
+}
+
+TEST_F(ExecTest, LaunchStatsAndSimTimeAccounting) {
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<?x!sycl.item<1>>,
+               %out: memref<?x!sycl.accessor<1, i64, write, device>>) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "sycl.item.get_id"(%item, %c0) : (memref<?x!sycl.item<1>>, i32) -> (index)
+    %two = "arith.constant"() {value = 2 : index} : () -> (index)
+    %v = "arith.muli"(%gid, %two) : (index, index) -> (index)
+    %id = "memref.alloca"() : () -> (memref<1x!sycl.id<1>>)
+    "sycl.constructor"(%id, %gid) {kind = @id} : (memref<1x!sycl.id<1>>, index) -> ()
+    %view = "sycl.accessor.subscript"(%out, %id) : (memref<?x!sycl.accessor<1, i64, write, device>>, memref<1x!sycl.id<1>>) -> (memref<?xi64>)
+    "affine.store"(%v, %view, %zero) : (index, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 16);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {16, 1, 1};
+  LaunchStats Stats;
+  std::string Error;
+  ASSERT_TRUE(Dev.launch(K, Range, {KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  // One muli per work-item.
+  EXPECT_EQ(Stats.ArithOps, 16u);
+  // One store per work-item; the contiguous pattern coalesces.
+  EXPECT_EQ(Stats.CoalescedGlobalAccesses, 16u);
+  EXPECT_EQ(Stats.UncoalescedGlobalAccesses, 0u);
+  EXPECT_GT(Stats.StepsExecuted, 16u * 5);
+  // SimTime = overhead + per-arg + cost/lanes.
+  const DeviceProperties &P = Dev.getProperties();
+  EXPECT_GT(Stats.SimTime, P.LaunchOverhead);
+}
+
+} // namespace

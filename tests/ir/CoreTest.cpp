@@ -1,0 +1,433 @@
+//===- CoreTest.cpp - IR core infrastructure tests --------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "dialect/MemRef.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "ir/Block.h"
+#include "ir/Builders.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/PatternMatch.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace smlir;
+
+namespace {
+
+class IRCoreTest : public ::testing::Test {
+protected:
+  IRCoreTest() { registerAllDialects(Ctx); }
+
+  MLIRContext Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRCoreTest, IntegerTypesAreUniqued) {
+  IntegerType A = IntegerType::get(&Ctx, 32);
+  IntegerType B = IntegerType::get(&Ctx, 32);
+  IntegerType C = IntegerType::get(&Ctx, 64);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.getWidth(), 32u);
+  EXPECT_EQ(A.str(), "i32");
+}
+
+TEST_F(IRCoreTest, TypeCasting) {
+  Type Ty = IntegerType::get(&Ctx, 1);
+  EXPECT_TRUE(Ty.isa<IntegerType>());
+  EXPECT_FALSE(Ty.isa<FloatType>());
+  EXPECT_TRUE(Ty.isInteger(1));
+  EXPECT_FALSE(Ty.dyn_cast<FloatType>());
+  EXPECT_TRUE(Ty.dyn_cast<IntegerType>());
+}
+
+TEST_F(IRCoreTest, MemRefTypeProperties) {
+  auto F32 = FloatType::get(&Ctx, 32);
+  auto Ty = MemRefType::get(&Ctx, {4, MemRefType::kDynamic}, F32,
+                            MemorySpace::Local);
+  EXPECT_EQ(Ty.getRank(), 2u);
+  EXPECT_FALSE(Ty.hasStaticShape());
+  EXPECT_EQ(Ty.getElementType(), F32);
+  EXPECT_EQ(Ty.getMemorySpace(), MemorySpace::Local);
+  EXPECT_EQ(Ty.str(), "memref<4x?xf32, 3>");
+
+  auto Static = MemRefType::get(&Ctx, {2, 3}, F32);
+  EXPECT_TRUE(Static.hasStaticShape());
+  EXPECT_EQ(Static.getNumElements(), 6);
+}
+
+TEST_F(IRCoreTest, FunctionTypeRoundTrip) {
+  auto F64 = FloatType::get(&Ctx, 64);
+  auto Index = IndexType::get(&Ctx);
+  auto FnTy = FunctionType::get(&Ctx, {F64, Index}, {F64});
+  EXPECT_EQ(FnTy.getNumInputs(), 2u);
+  EXPECT_EQ(FnTy.getNumResults(), 1u);
+  EXPECT_EQ(FnTy.getInput(1), Index);
+  EXPECT_EQ(parseTypeString(&Ctx, FnTy.str()), FnTy);
+}
+
+TEST_F(IRCoreTest, SYCLTypesAreUniquedAndParseable) {
+  auto ID2 = sycl::IDType::get(&Ctx, 2);
+  EXPECT_EQ(ID2.getDim(), 2u);
+  EXPECT_EQ(ID2.str(), "!sycl.id<2>");
+  EXPECT_EQ(parseTypeString(&Ctx, "!sycl.id<2>"), ID2);
+
+  auto Acc = sycl::AccessorType::get(&Ctx, 3, FloatType::get(&Ctx, 32),
+                                     sycl::AccessMode::ReadWrite);
+  EXPECT_EQ(Acc.str(), "!sycl.accessor<3, f32, read_write, device>");
+  EXPECT_EQ(parseTypeString(&Ctx, Acc.str()), Acc);
+  EXPECT_FALSE(Acc.isLocal());
+
+  auto MemTy = parseTypeString(&Ctx, "memref<1x!sycl.id<3>>");
+  ASSERT_TRUE(MemTy);
+  EXPECT_TRUE(MemTy.cast<MemRefType>().getElementType().isa<sycl::IDType>());
+}
+
+//===----------------------------------------------------------------------===//
+// Attributes
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRCoreTest, AttributesAreUniqued) {
+  auto A = getI64Attr(&Ctx, 42);
+  auto B = getI64Attr(&Ctx, 42);
+  auto C = getI64Attr(&Ctx, 43);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.getValue(), 42);
+  EXPECT_EQ(A.str(), "42 : i64");
+}
+
+TEST_F(IRCoreTest, SymbolRefAttrPath) {
+  auto Ref = SymbolRefAttr::get(
+      &Ctx, std::vector<std::string>{"kernels", "K"});
+  EXPECT_EQ(Ref.getRootReference(), "kernels");
+  EXPECT_EQ(Ref.getLeafReference(), "K");
+  EXPECT_EQ(Ref.str(), "@kernels::@K");
+}
+
+TEST_F(IRCoreTest, ArrayAttrComposition) {
+  auto Arr = getIndexArrayAttr(&Ctx, {1, 2, 3});
+  EXPECT_EQ(Arr.size(), 3u);
+  EXPECT_EQ(Arr[1].cast<IntegerAttr>().getValue(), 2);
+}
+
+TEST_F(IRCoreTest, FloatAttrExactRoundTrip) {
+  auto F = FloatAttr::get(FloatType::get(&Ctx, 64), 0.1);
+  EXPECT_DOUBLE_EQ(F.getValue(), 0.1);
+}
+
+//===----------------------------------------------------------------------===//
+// Operations, values, use-def
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRCoreTest, BuildFunctionAndUseDefChains) {
+  ModuleOp Module = ModuleOp::create(&Ctx);
+  OpBuilder Builder(&Ctx);
+  Builder.setInsertionPointToEnd(Module.getBody());
+
+  auto I64 = Builder.getI64Type();
+  auto Func = Builder.create<FuncOp>(
+      Builder.getUnknownLoc(), "add",
+      FunctionType::get(&Ctx, {I64, I64}, {I64}));
+  Block *Entry = Func.addEntryBlock();
+  Builder.setInsertionPointToEnd(Entry);
+  Value A = Entry->getArgument(0), B = Entry->getArgument(1);
+  auto Add = Builder.create<arith::AddIOp>(Builder.getUnknownLoc(), A, B);
+  Value Sum = Add.getOperation()->getResult(0);
+  Builder.create<ReturnOp>(Builder.getUnknownLoc(),
+                           std::vector<Value>{Sum});
+
+  EXPECT_EQ(A.getNumUses(), 1u);
+  EXPECT_TRUE(Sum.hasOneUse());
+  EXPECT_EQ(Sum.getDefiningOp(), Add.getOperation());
+  EXPECT_TRUE(A.isBlockArgument());
+  EXPECT_FALSE(Sum.isBlockArgument());
+
+  std::string Error;
+  EXPECT_TRUE(verify(Module.getOperation(), &Error).succeeded()) << Error;
+  Module.getOperation()->dropAllReferences();
+  Module.getOperation()->erase();
+}
+
+TEST_F(IRCoreTest, ReplaceAllUsesWith) {
+  ModuleOp Module = ModuleOp::create(&Ctx);
+  OpBuilder Builder(&Ctx);
+  Builder.setInsertionPointToEnd(Module.getBody());
+  auto Func = Builder.create<FuncOp>(
+      Builder.getUnknownLoc(), "f",
+      FunctionType::get(&Ctx, {}, {}));
+  Builder.setInsertionPointToEnd(Func.addEntryBlock());
+  Location Loc = Builder.getUnknownLoc();
+  Value C1 = arith::createIndexConstant(Builder, Loc, 1);
+  Value C2 = arith::createIndexConstant(Builder, Loc, 2);
+  Value Sum = Builder.create<arith::AddIOp>(Loc, C1, C1)
+                  .getOperation()
+                  ->getResult(0);
+  (void)Sum;
+  EXPECT_EQ(C1.getNumUses(), 2u);
+  C1.replaceAllUsesWith(C2);
+  EXPECT_EQ(C1.getNumUses(), 0u);
+  EXPECT_EQ(C2.getNumUses(), 2u);
+  Builder.create<ReturnOp>(Loc);
+  Module.getOperation()->dropAllReferences();
+  Module.getOperation()->erase();
+}
+
+TEST_F(IRCoreTest, WalkVisitsNestedOps) {
+  ModuleOp Module = ModuleOp::create(&Ctx);
+  OpBuilder Builder(&Ctx);
+  Builder.setInsertionPointToEnd(Module.getBody());
+  auto Func = Builder.create<FuncOp>(Builder.getUnknownLoc(), "f",
+                                     FunctionType::get(&Ctx, {}, {}));
+  Builder.setInsertionPointToEnd(Func.addEntryBlock());
+  Location Loc = Builder.getUnknownLoc();
+  Value Cond = arith::createBoolConstant(Builder, Loc, true);
+  auto If = Builder.create<scf::IfOp>(Loc, Cond);
+  {
+    OpBuilder::InsertionGuard Guard(Builder);
+    Builder.setInsertionPointToEnd(If.getThenBlock());
+    arith::createIndexConstant(Builder, Loc, 7);
+    Builder.create<scf::YieldOp>(Loc);
+  }
+  Builder.create<ReturnOp>(Loc);
+
+  unsigned Count = 0;
+  Module.getOperation()->walk([&](Operation *) { ++Count; });
+  // module, func, bool const, scf.if, index const, yield, return.
+  EXPECT_EQ(Count, 7u);
+
+  unsigned NumConstants = 0;
+  Module.getOperation()->walk<arith::ConstantOp>(
+      [&](arith::ConstantOp) { ++NumConstants; });
+  EXPECT_EQ(NumConstants, 2u);
+  Module.getOperation()->dropAllReferences();
+  Module.getOperation()->erase();
+}
+
+TEST_F(IRCoreTest, CloneDeepCopiesRegions) {
+  ModuleOp Module = ModuleOp::create(&Ctx);
+  OpBuilder Builder(&Ctx);
+  Builder.setInsertionPointToEnd(Module.getBody());
+  auto Func = Builder.create<FuncOp>(Builder.getUnknownLoc(), "f",
+                                     FunctionType::get(&Ctx, {}, {}));
+  Builder.setInsertionPointToEnd(Func.addEntryBlock());
+  Location Loc = Builder.getUnknownLoc();
+  Value Lb = arith::createIndexConstant(Builder, Loc, 0);
+  Value Ub = arith::createIndexConstant(Builder, Loc, 10);
+  Value Step = arith::createIndexConstant(Builder, Loc, 1);
+  auto For = Builder.create<scf::ForOp>(Loc, Lb, Ub, Step);
+  {
+    OpBuilder::InsertionGuard Guard(Builder);
+    Builder.setInsertionPointToEnd(For.getBody());
+    Builder.create<scf::YieldOp>(Loc);
+  }
+  Builder.create<ReturnOp>(Loc);
+
+  IRMapping Mapper;
+  Operation *Clone = For.getOperation()->clone(Mapper);
+  ASSERT_EQ(Clone->getNumRegions(), 1u);
+  EXPECT_EQ(Clone->getRegion(0).front().getNumArguments(), 1u);
+  // The clone shares the (unmapped) bound operands.
+  EXPECT_EQ(Clone->getOperand(0), Lb);
+  Clone->dropAllReferences();
+  Clone->erase();
+  Module.getOperation()->dropAllReferences();
+  Module.getOperation()->erase();
+}
+
+//===----------------------------------------------------------------------===//
+// Print / parse round-tripping
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRCoreTest, PrintParseRoundTrip) {
+  const char *Source = R"(module @test {
+  func.func @axpy(%arg0: f64, %arg1: memref<?xf64>, %arg2: index) -> (f64) {
+    %0 = "memref.load"(%arg1, %arg2) : (memref<?xf64>, index) -> (f64)
+    %1 = "arith.mulf"(%0, %arg0) : (f64, f64) -> (f64)
+    "func.return"(%1) : (f64) -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+  EXPECT_TRUE(verify(Module.get(), &Error).succeeded()) << Error;
+
+  std::string Printed = Module->str();
+  OwningOpRef Reparsed = parseSourceString(&Ctx, Printed, &Error);
+  ASSERT_TRUE(Reparsed) << Error << "\n" << Printed;
+  EXPECT_EQ(Printed, Reparsed->str());
+}
+
+TEST_F(IRCoreTest, ParseNestedModulesAndSymbolLookup) {
+  const char *Source = R"(module {
+  module @kernels {
+    func.func @K(%arg0: memref<?x!sycl.nd_item<2>>) {
+      "func.return"() : () -> ()
+    }
+  }
+  func.func @host() {
+    "func.return"() : () -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+  auto Top = ModuleOp::cast(Module.get());
+  auto Ref =
+      SymbolRefAttr::get(&Ctx, std::vector<std::string>{"kernels", "K"});
+  Operation *K = Top.lookupSymbol(Ref);
+  ASSERT_NE(K, nullptr);
+  EXPECT_EQ(FuncOp::cast(K).getName(), "K");
+  EXPECT_EQ(Top.lookupSymbol("host"), Top.lookupSymbol("host"));
+  EXPECT_EQ(Top.lookupSymbol("nope"), nullptr);
+}
+
+TEST_F(IRCoreTest, ParseScfIfWithRegionsAndAttrs) {
+  const char *Source = R"(module {
+  func.func @f(%arg0: i1, %arg1: memref<1xi64>) {
+    %c = "arith.constant"() {value = 5 : i64} : () -> (i64)
+    "scf.if"(%arg0) ({
+      "memref.store"(%c, %arg1, %i) {tag = "a"} : (i64, memref<1xi64>, index) -> ()
+      "scf.yield"() : () -> ()
+    }, {
+      "scf.yield"() : () -> ()
+    }) : (i1) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  // %i is undefined: expect a parse error mentioning it.
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  EXPECT_FALSE(Module);
+  EXPECT_NE(Error.find("%i"), std::string::npos);
+}
+
+TEST_F(IRCoreTest, ParserReportsTypeMismatch) {
+  const char *Source = R"(module {
+  func.func @f(%arg0: i32) {
+    %0 = "arith.addi"(%arg0, %arg0) : (i64, i64) -> (i64)
+    "func.return"() : () -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  EXPECT_FALSE(Module);
+  EXPECT_NE(Error.find("mismatch"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRCoreTest, VerifierRejectsBadReturnArity) {
+  const char *Source = R"(module {
+  func.func @f() -> (i64) {
+    "func.return"() : () -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+  EXPECT_TRUE(verify(Module.get(), &Error).failed());
+}
+
+TEST_F(IRCoreTest, VerifierRejectsMisplacedTerminator) {
+  ModuleOp Module = ModuleOp::create(&Ctx);
+  OpBuilder Builder(&Ctx);
+  Builder.setInsertionPointToEnd(Module.getBody());
+  auto Func = Builder.create<FuncOp>(Builder.getUnknownLoc(), "f",
+                                     FunctionType::get(&Ctx, {}, {}));
+  Builder.setInsertionPointToEnd(Func.addEntryBlock());
+  Location Loc = Builder.getUnknownLoc();
+  Builder.create<ReturnOp>(Loc);
+  arith::createIndexConstant(Builder, Loc, 0); // After the terminator.
+  std::string Error;
+  EXPECT_TRUE(verify(Module.getOperation(), &Error).failed());
+  Module.getOperation()->dropAllReferences();
+  Module.getOperation()->erase();
+}
+
+//===----------------------------------------------------------------------===//
+// Folding / greedy rewriting
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRCoreTest, GreedyDriverFoldsConstants) {
+  const char *Source = R"(module {
+  func.func @f() -> (i64) {
+    %a = "arith.constant"() {value = 20 : i64} : () -> (i64)
+    %b = "arith.constant"() {value = 22 : i64} : () -> (i64)
+    %c = "arith.addi"(%a, %b) : (i64, i64) -> (i64)
+    "func.return"(%c) : (i64) -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+
+  RewritePatternSet Patterns;
+  ASSERT_TRUE(applyPatternsGreedily(Module.get(), Patterns).succeeded());
+
+  // The function should now return a single constant 42.
+  unsigned NumOps = 0;
+  int64_t ConstValue = 0;
+  Module->walk([&](Operation *Op) {
+    if (auto Const = arith::ConstantOp::dyn_cast(Op)) {
+      ++NumOps;
+      ConstValue = Const.getValue().cast<IntegerAttr>().getValue();
+    }
+  });
+  EXPECT_EQ(NumOps, 1u);
+  EXPECT_EQ(ConstValue, 42);
+}
+
+TEST_F(IRCoreTest, GreedyDriverRemovesDeadPureOps) {
+  const char *Source = R"(module {
+  func.func @f() {
+    %a = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %b = "arith.addi"(%a, %a) : (i64, i64) -> (i64)
+    "func.return"() : () -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+  RewritePatternSet Patterns;
+  ASSERT_TRUE(applyPatternsGreedily(Module.get(), Patterns).succeeded());
+  unsigned Remaining = 0;
+  Module->walk([&](Operation *) { ++Remaining; });
+  EXPECT_EQ(Remaining, 3u) << Module->str(); // module, func, return.
+}
+
+TEST_F(IRCoreTest, IdentityFolds) {
+  const char *Source = R"(module {
+  func.func @f(%arg0: i64) -> (i64) {
+    %zero = "arith.constant"() {value = 0 : i64} : () -> (i64)
+    %one = "arith.constant"() {value = 1 : i64} : () -> (i64)
+    %a = "arith.addi"(%arg0, %zero) : (i64, i64) -> (i64)
+    %b = "arith.muli"(%a, %one) : (i64, i64) -> (i64)
+    "func.return"(%b) : (i64) -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+  RewritePatternSet Patterns;
+  ASSERT_TRUE(applyPatternsGreedily(Module.get(), Patterns).succeeded());
+  // Everything folds away; the function returns its argument.
+  unsigned Remaining = 0;
+  Module->walk([&](Operation *) { ++Remaining; });
+  EXPECT_EQ(Remaining, 3u) << Module->str();
+}
+
+} // namespace

@@ -1,0 +1,392 @@
+//===- PropertyTest.cpp - Property-based test sweeps -------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based sweeps (parameterized gtest):
+///   1. Print/parse round-tripping over every workload's joint module.
+///   2. Memory Access Analysis recovers exactly the coefficients a
+///      randomly generated affine index expression was built from.
+///   3. Randomly generated elementwise kernels compute identical results
+///      under all compiler flows, matching a host-side reference.
+///   4. Randomly shaped reduction loops are semantics-preserving across
+///      flows (exercising Detect Reduction and LICM on arbitrary shapes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryAccess.h"
+#include "bench/workloads/Workloads.h"
+#include "core/Compiler.h"
+#include "frontend/HostIRImporter.h"
+#include "frontend/KernelBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace smlir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// 1. Round-trip over all workload modules
+//===----------------------------------------------------------------------===//
+
+class RoundTrip : public ::testing::TestWithParam<workloads::Workload> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program = GetParam().Build(Ctx);
+  std::string First = Program.DeviceModule->str();
+  std::string Error;
+  OwningOpRef Reparsed = parseSourceString(&Ctx, First, &Error);
+  ASSERT_TRUE(Reparsed) << GetParam().Name << ": " << Error;
+  EXPECT_TRUE(verify(Reparsed.get(), &Error).succeeded()) << Error;
+  EXPECT_EQ(First, Reparsed->str()) << GetParam().Name;
+}
+
+std::string workloadName(
+    const ::testing::TestParamInfo<workloads::Workload> &Info) {
+  std::string Clean;
+  for (char C : Info.param.Name)
+    if (std::isalnum(static_cast<unsigned char>(C)))
+      Clean += C;
+  return Clean + "_" + std::to_string(Info.index);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, RoundTrip,
+                         ::testing::ValuesIn(workloads::getAllWorkloads()),
+                         workloadName);
+
+//===----------------------------------------------------------------------===//
+// 2. Access-matrix recovery property
+//===----------------------------------------------------------------------===//
+
+class AccessMatrixProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AccessMatrixProperty, RecoversGeneratedCoefficients) {
+  std::mt19937 Gen(GetParam());
+  std::uniform_int_distribution<int64_t> Coef(0, 4);
+  std::uniform_int_distribution<int64_t> Off(0, 7);
+
+  // Random 3-row index expression over (gid0, gid1, iv).
+  int64_t C[3][3], O[3];
+  for (int R = 0; R < 3; ++R) {
+    for (int V = 0; V < 3; ++V)
+      C[R][V] = Coef(Gen);
+    O[R] = Off(Gen);
+  }
+  // Ensure each variable appears somewhere so column order is fixed.
+  C[0][0] = std::max<int64_t>(C[0][0], 1);
+  C[1][1] = std::max<int64_t>(C[1][1], 1);
+  C[2][2] = std::max<int64_t>(C[2][2], 1);
+
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program(&Ctx);
+  frontend::KernelBuilder KB(Program, "k", 2, /*UsesNDItem=*/true);
+  Value Acc = KB.addAccessorArg(KB.f32(), 3, sycl::AccessMode::Read);
+  Value Out = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Write);
+  Value G0 = KB.gid(0), G1 = KB.gid(1);
+  Operation *TaggedLoad = nullptr;
+  KB.forLoop(0, 8, [&](frontend::KernelBuilder &KB2, Value IV) {
+    auto Row = [&](int R) {
+      Value Sum = KB2.cIdx(O[R]);
+      Value Vars[3] = {G0, G1, IV};
+      for (int V = 0; V < 3; ++V)
+        if (C[R][V] != 0)
+          Sum = KB2.addi(Sum, KB2.muli(Vars[V], KB2.cIdx(C[R][V])));
+      return Sum;
+    };
+    Value V = KB2.loadAcc(Acc, {Row(0), Row(1), Row(2)});
+    TaggedLoad = V.getDefiningOp();
+    KB2.storeAcc(Out, {KB2.gid(0)}, V);
+  });
+  KB.finish();
+
+  MemoryAccessAnalysis MAA(Program.DeviceModule.get());
+  MemoryAccess MA = MAA.analyze(TaggedLoad);
+  ASSERT_TRUE(MA.Valid) << "seed " << GetParam();
+  ASSERT_EQ(MA.ThreadVars.size(), 2u);
+  ASSERT_EQ(MA.LoopIVs.size(), 1u);
+  for (int R = 0; R < 3; ++R) {
+    EXPECT_EQ(MA.Offsets[R], O[R]);
+    for (int V = 0; V < 3; ++V)
+      EXPECT_EQ(MA.Matrix[R][V], C[R][V])
+          << "seed " << GetParam() << " row " << R << " var " << V;
+  }
+  // Temporal reuse iff the IV column is non-zero somewhere — it is, by
+  // construction (C[2][2] >= 1).
+  EXPECT_TRUE(MA.hasTemporalReuse());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccessMatrixProperty,
+                         ::testing::Range(0u, 24u));
+
+//===----------------------------------------------------------------------===//
+// 3. Random elementwise kernels: flow equivalence + reference match
+//===----------------------------------------------------------------------===//
+
+/// A random arithmetic expression over (a, b, c) with a parallel host
+/// evaluator.
+struct ExprGen {
+  std::mt19937 Gen;
+  explicit ExprGen(unsigned Seed) : Gen(Seed) {}
+
+  struct Node {
+    Value V;
+    std::function<double(double, double, double)> Eval;
+  };
+
+  Node generate(frontend::KernelBuilder &KB, Value A, Value B, Value C,
+                unsigned Depth) {
+    std::uniform_int_distribution<int> Pick(0, Depth == 0 ? 3 : 6);
+    switch (Pick(Gen)) {
+    case 0:
+      return {A, [](double X, double, double) { return X; }};
+    case 1:
+      return {B, [](double, double Y, double) { return Y; }};
+    case 2:
+      return {C, [](double, double, double Z) { return Z; }};
+    case 3: {
+      std::uniform_real_distribution<double> Const(-2.0, 2.0);
+      // Keep the constant exactly representable in f32.
+      float K = static_cast<float>(Const(Gen));
+      return {KB.cFloat(KB.f32(), K),
+              [K](double, double, double) { return K; }};
+    }
+    case 4: {
+      Node L = generate(KB, A, B, C, Depth - 1);
+      Node R = generate(KB, A, B, C, Depth - 1);
+      return {KB.addf(L.V, R.V),
+              [L, R](double X, double Y, double Z) {
+                return L.Eval(X, Y, Z) + R.Eval(X, Y, Z);
+              }};
+    }
+    case 5: {
+      Node L = generate(KB, A, B, C, Depth - 1);
+      Node R = generate(KB, A, B, C, Depth - 1);
+      return {KB.subf(L.V, R.V),
+              [L, R](double X, double Y, double Z) {
+                return L.Eval(X, Y, Z) - R.Eval(X, Y, Z);
+              }};
+    }
+    default: {
+      Node L = generate(KB, A, B, C, Depth - 1);
+      Node R = generate(KB, A, B, C, Depth - 1);
+      return {KB.mulf(L.V, R.V),
+              [L, R](double X, double Y, double Z) {
+                return L.Eval(X, Y, Z) * R.Eval(X, Y, Z);
+              }};
+    }
+    }
+  }
+};
+
+class RandomKernelEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomKernelEquivalence, AllFlowsMatchReference) {
+  constexpr int64_t N = 64;
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program(&Ctx);
+  std::function<double(double, double, double)> Reference;
+  {
+    frontend::KernelBuilder KB(Program, "rand", 1, /*UsesNDItem=*/false);
+    Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+    Value B = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+    Value O = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::ReadWrite);
+    Value I = KB.gid(0);
+    Value AV = KB.loadAcc(A, {I});
+    Value BV = KB.loadAcc(B, {I});
+    Value OV = KB.loadAcc(O, {I});
+    ExprGen G(GetParam());
+    auto Root = G.generate(KB, AV, BV, OV, 3);
+    Reference = Root.Eval;
+    KB.storeAcc(O, {I}, Root.V);
+    KB.finish();
+  }
+  Program.Buffers = {
+      {"A", exec::Storage::Kind::Float, {N},
+       [](exec::Storage &S) {
+         for (size_t I = 0; I < S.Floats.size(); ++I)
+           S.Floats[I] = static_cast<double>(I % 5) - 2.0;
+       }},
+      {"B", exec::Storage::Kind::Float, {N},
+       [](exec::Storage &S) {
+         for (size_t I = 0; I < S.Floats.size(); ++I)
+           S.Floats[I] = static_cast<double>(I % 3) - 1.0;
+       }},
+      {"O", exec::Storage::Kind::Float, {N},
+       [](exec::Storage &S) {
+         for (size_t I = 0; I < S.Floats.size(); ++I)
+           S.Floats[I] = 0.5 * static_cast<double>(I % 7);
+       }}};
+  exec::NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {N, 1, 1};
+  Program.Submits = {
+      {"rand",
+       Range,
+       {frontend::AccessorArg{"A", sycl::AccessMode::Read, {}, {}},
+        frontend::AccessorArg{"B", sycl::AccessMode::Read, {}, {}},
+        frontend::AccessorArg{"O", sycl::AccessMode::ReadWrite, {}, {}}}}};
+  frontend::importHostIR(Program);
+
+  for (auto Flow : {core::CompilerFlow::DPCPP, core::CompilerFlow::SYCLMLIR,
+                    core::CompilerFlow::AdaptiveCpp}) {
+    core::CompilerOptions Options;
+    Options.Flow = Flow;
+    core::Compiler TheCompiler(Options);
+    exec::Device Dev;
+    std::string Error;
+    auto Exe = TheCompiler.compile(Program, Dev, &Error);
+    ASSERT_TRUE(Exe) << Error;
+    rt::RunResult Result = rt::runProgram(Program, *Exe, Dev);
+    ASSERT_TRUE(Result.Success) << Result.Error;
+
+    // Re-run manually to inspect the output buffer.
+    rt::Queue Q(Dev, *Exe);
+    rt::Buffer BufA(Q, exec::Storage::Kind::Float, {N});
+    rt::Buffer BufB(Q, exec::Storage::Kind::Float, {N});
+    rt::Buffer BufO(Q, exec::Storage::Kind::Float, {N});
+    for (int64_t I = 0; I < N; ++I) {
+      BufA.getStorage()->Floats[I] = static_cast<double>(I % 5) - 2.0;
+      BufB.getStorage()->Floats[I] = static_cast<double>(I % 3) - 1.0;
+      BufO.getStorage()->Floats[I] = 0.5 * static_cast<double>(I % 7);
+    }
+    std::vector<double> Want(N);
+    for (int64_t I = 0; I < N; ++I)
+      Want[I] = Reference(BufA.getStorage()->Floats[I],
+                          BufB.getStorage()->Floats[I],
+                          BufO.getStorage()->Floats[I]);
+    ASSERT_TRUE(Q.submit([&](rt::Handler &CGH) {
+                   auto A = CGH.require(BufA, sycl::AccessMode::Read);
+                   auto B = CGH.require(BufB, sycl::AccessMode::Read);
+                   auto O = CGH.require(BufO, sycl::AccessMode::ReadWrite);
+                   CGH.parallelFor("rand", Range,
+                                   {exec::KernelArg::accessor(A),
+                                    exec::KernelArg::accessor(B),
+                                    exec::KernelArg::accessor(O)});
+                 }).succeeded());
+    for (int64_t I = 0; I < N; ++I)
+      EXPECT_NEAR(BufO.getStorage()->Floats[I], Want[I],
+                  1e-6 * std::max(1.0, std::fabs(Want[I])))
+          << "seed " << GetParam() << " flow "
+          << core::stringifyFlow(Flow) << " index " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelEquivalence,
+                         ::testing::Range(0u, 16u));
+
+//===----------------------------------------------------------------------===//
+// 4. Random reduction loops: flow equivalence
+//===----------------------------------------------------------------------===//
+
+struct LoopShape {
+  unsigned Seed;
+  int64_t Trip;
+};
+
+class RandomReductionLoop : public ::testing::TestWithParam<LoopShape> {};
+
+TEST_P(RandomReductionLoop, FlowsAgree) {
+  const LoopShape &Shape = GetParam();
+  constexpr int64_t N = 32;
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  std::mt19937 Gen(Shape.Seed);
+  std::uniform_int_distribution<int> OpPick(0, 1);
+  bool UseMul = OpPick(Gen) == 1;
+
+  frontend::SourceProgram Program(&Ctx);
+  {
+    frontend::KernelBuilder KB(Program, "red", 1, /*UsesNDItem=*/true);
+    Value In = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Read);
+    Value Out = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::ReadWrite);
+    Value I = KB.gid(0);
+    Value OutView = KB.subscript(Out, {I});
+    KB.forLoop(0, Shape.Trip, [&](frontend::KernelBuilder &KB2, Value K) {
+      Value V = KB2.loadAcc(In, {I, K});
+      Value Cur = KB2.loadView(OutView);
+      KB2.storeView(OutView, UseMul ? KB2.mulf(Cur, V)
+                                    : KB2.addf(Cur, V));
+    });
+    KB.finish();
+  }
+  Program.Buffers = {
+      {"In", exec::Storage::Kind::Float, {N, N},
+       [](exec::Storage &S) {
+         for (size_t I = 0; I < S.Floats.size(); ++I)
+           S.Floats[I] = 1.0 + 0.01 * static_cast<double>(I % 9);
+       }},
+      {"Out", exec::Storage::Kind::Float, {N},
+       [](exec::Storage &S) {
+         for (double &V : S.Floats)
+           V = 1.0;
+       }}};
+  exec::NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {N, 1, 1};
+  Range.Local = {8, 1, 1};
+  Range.HasLocal = true;
+  Program.Submits = {
+      {"red",
+       Range,
+       {frontend::AccessorArg{"In", sycl::AccessMode::Read, {}, {}},
+        frontend::AccessorArg{"Out", sycl::AccessMode::ReadWrite, {}, {}}}}};
+  Program.Verify =
+      [&, UseMul, Trip = Shape.Trip](
+          const std::map<std::string, exec::Storage *> &Buffers) {
+        exec::Storage *In = Buffers.at("In");
+        exec::Storage *Out = Buffers.at("Out");
+        for (int64_t I = 0; I < N; ++I) {
+          double Acc = 1.0;
+          for (int64_t K = 0; K < Trip; ++K) {
+            double V = In->Floats[I * N + K];
+            Acc = UseMul ? Acc * V : Acc + V;
+          }
+          if (std::fabs(Out->Floats[I] - Acc) >
+              1e-5 * std::max(1.0, std::fabs(Acc)))
+            return false;
+        }
+        return true;
+      };
+  frontend::importHostIR(Program);
+
+  for (auto Flow : {core::CompilerFlow::DPCPP,
+                    core::CompilerFlow::SYCLMLIR}) {
+    core::CompilerOptions Options;
+    Options.Flow = Flow;
+    core::Compiler TheCompiler(Options);
+    exec::Device Dev;
+    std::string Error;
+    auto Exe = TheCompiler.compile(Program, Dev, &Error);
+    ASSERT_TRUE(Exe) << Error;
+    rt::RunResult Result = rt::runProgram(Program, *Exe, Dev);
+    EXPECT_TRUE(Result.Success) << Result.Error;
+    EXPECT_TRUE(Result.Validated)
+        << "seed " << Shape.Seed << " trip " << Shape.Trip << " flow "
+        << core::stringifyFlow(Flow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomReductionLoop,
+    ::testing::Values(LoopShape{0, 0}, LoopShape{1, 1}, LoopShape{2, 7},
+                      LoopShape{3, 8}, LoopShape{4, 16}, LoopShape{5, 24},
+                      LoopShape{6, 32}, LoopShape{7, 5}),
+    [](const ::testing::TestParamInfo<LoopShape> &Info) {
+      return "seed" + std::to_string(Info.param.Seed) + "_trip" +
+             std::to_string(Info.param.Trip);
+    });
+
+} // namespace
