@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run every ctest suite. Used locally and
+# by CI (.github/workflows/ci.yml). Extra args are forwarded to ctest.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"

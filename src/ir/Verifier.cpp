@@ -42,6 +42,9 @@ public:
 
     // Regions.
     bool Isolated = Op->hasTrait(OpTrait::IsolatedFromAbove);
+    // Symbol-table bodies (module) hold symbol ops with no terminator;
+    // every other non-empty block must end in one.
+    bool RequiresTerminator = !Op->hasTrait(OpTrait::SymbolTable);
     for (auto &R : Op->getRegions()) {
       if (Isolated)
         Barriers.push_back(Visible.size());
@@ -60,6 +63,14 @@ public:
             return failure();
           for (Value Result : Nested->getResults())
             Visible.push_back(Result.getImpl());
+        }
+        if (RequiresTerminator) {
+          if (B->empty())
+            return error(Op, "block is not terminated (block is empty)");
+          if (!B->back()->hasTrait(OpTrait::IsTerminator))
+            return error(B->back(),
+                         "block is not terminated (last operation is not a "
+                         "terminator)");
         }
         Visible.resize(Mark);
       }

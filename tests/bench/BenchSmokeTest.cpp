@@ -1,0 +1,51 @@
+//===- BenchSmokeTest.cpp - BenchHarness smoke coverage ----------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs `BenchHarness` end-to-end over one stencil and one Polybench
+/// workload (the problem sizes are already tiny — the device is an
+/// interpreter) so the benchmark code path is exercised on every test run
+/// and can never silently rot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/harness/BenchHarness.h"
+
+#include <gtest/gtest.h>
+
+using namespace smlir;
+
+namespace {
+
+workloads::Workload findWorkload(std::vector<workloads::Workload> List,
+                                 const std::string &Name) {
+  for (auto &W : List)
+    if (W.Name == Name)
+      return W;
+  ADD_FAILURE() << "workload '" << Name << "' not found";
+  return {};
+}
+
+void expectSmokeRun(const workloads::Workload &W) {
+  ASSERT_TRUE(W.Build) << "workload has no builder";
+  bench::BenchResult Result = bench::runWorkload(W);
+  EXPECT_TRUE(Result.Validated) << W.Name << ": " << Result.Error;
+  EXPECT_GT(Result.DPCPPTime, 0.0) << W.Name;
+  EXPECT_GT(Result.SYCLMLIRTime, 0.0) << W.Name;
+  EXPECT_GT(Result.syclMlirSpeedup(), 0.0) << W.Name;
+}
+
+TEST(BenchSmoke, StencilWorkloadRuns) {
+  expectSmokeRun(
+      findWorkload(workloads::getStencilWorkloads(), "iso2dfd"));
+}
+
+TEST(BenchSmoke, PolybenchWorkloadRuns) {
+  expectSmokeRun(
+      findWorkload(workloads::getPolybenchWorkloads(), "GEMM"));
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- GoldenIR.cpp - Golden-IR pass-pipeline snapshot harness ---------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GoldenIR.h"
+
+#include "ir/MLIRContext.h"
+#include "ir/Operation.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace smlir {
+namespace golden {
+
+namespace {
+
+constexpr const char *BeforeMarker = "// ----- before -----";
+constexpr const char *AfterMarker = "// ----- after -----";
+
+std::string readFile(const std::string &Path, bool &Exists) {
+  std::ifstream In(Path, std::ios::binary);
+  Exists = In.good();
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+bool writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out.good())
+    return false;
+  Out << Content;
+  return Out.good();
+}
+
+/// Splits \p Text into lines (without terminators) for diff reporting.
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// Reports the first differing line between the expected and actual
+/// snapshot, with one line of surrounding context on each side.
+std::string firstDifference(const std::string &Expected,
+                            const std::string &Actual) {
+  std::vector<std::string> E = splitLines(Expected), A = splitLines(Actual);
+  size_t N = std::min(E.size(), A.size());
+  size_t I = 0;
+  while (I < N && E[I] == A[I])
+    ++I;
+  std::ostringstream Out;
+  if (I == N && E.size() == A.size())
+    return "(texts differ only in trailing whitespace)";
+  Out << "first difference at line " << (I + 1) << ":\n";
+  if (I > 0)
+    Out << "   " << (I < E.size() ? E[I - 1] : A[I - 1]) << "\n";
+  Out << " - " << (I < E.size() ? E[I] : std::string("<end of file>"))
+      << "\n";
+  Out << " + " << (I < A.size() ? A[I] : std::string("<end of file>"))
+      << "\n";
+  return Out.str();
+}
+
+/// Parses \p Section and verifies the result; used to guarantee every
+/// snapshot stays readable by the project's own parser.
+::testing::AssertionResult roundTrip(MLIRContext &Ctx,
+                                     const std::string &Section,
+                                     const char *Label) {
+  std::string Error;
+  OwningOpRef Reparsed = parseSourceString(&Ctx, Section, &Error);
+  if (!Reparsed)
+    return ::testing::AssertionFailure()
+           << "snapshot '" << Label
+           << "' section failed to re-parse: " << Error;
+  if (verify(Reparsed.get(), &Error).failed())
+    return ::testing::AssertionFailure()
+           << "snapshot '" << Label
+           << "' section failed to re-verify: " << Error;
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace
+
+std::string snapshotDir() {
+  if (const char *Env = std::getenv("SMLIR_GOLDEN_DIR"); Env && *Env)
+    return Env;
+  return SMLIR_GOLDEN_SNAPSHOT_DIR;
+}
+
+bool updateRequested() {
+  const char *Env = std::getenv("UPDATE_GOLDEN");
+  return Env && *Env && std::string_view(Env) != "0";
+}
+
+::testing::AssertionResult
+checkGoldenPipeline(MLIRContext &Ctx, Operation *Module,
+                    const std::string &Name,
+                    std::vector<std::unique_ptr<Pass>> Passes) {
+  std::string Error;
+  if (verify(Module, &Error).failed())
+    return ::testing::AssertionFailure()
+           << "fixture module for '" << Name
+           << "' does not verify: " << Error;
+
+  std::string Pipeline;
+  for (const auto &P : Passes) {
+    if (!Pipeline.empty())
+      Pipeline += ",";
+    Pipeline += P->getArgument();
+  }
+
+  std::string Before = Module->str();
+
+  PassManager PM(&Ctx);
+  for (auto &P : Passes)
+    PM.addPass(std::move(P));
+  if (PM.run(Module).failed())
+    return ::testing::AssertionFailure()
+           << "pipeline '" << Pipeline << "' failed on fixture '" << Name
+           << "'";
+  if (verify(Module, &Error).failed())
+    return ::testing::AssertionFailure()
+           << "pipeline '" << Pipeline << "' produced IR that does not "
+           << "verify for '" << Name << "': " << Error;
+
+  std::string After = Module->str();
+
+  if (auto RT = roundTrip(Ctx, Before, "before"); !RT)
+    return RT;
+  if (auto RT = roundTrip(Ctx, After, "after"); !RT)
+    return RT;
+
+  std::ostringstream Snapshot;
+  Snapshot << "// Golden-IR snapshot '" << Name << "'\n"
+           << "// pipeline: " << Pipeline << "\n"
+           << "// Regenerate with: UPDATE_GOLDEN=1 ./GoldenIRTest "
+           << "(or UPDATE_GOLDEN=1 ctest -R GoldenIR)\n"
+           << BeforeMarker << "\n"
+           << Before << (Before.empty() || Before.back() == '\n' ? "" : "\n")
+           << AfterMarker << "\n"
+           << After << (After.empty() || After.back() == '\n' ? "" : "\n");
+  std::string Actual = Snapshot.str();
+
+  std::string Path = snapshotDir() + "/" + Name + ".mlir.expected";
+  if (updateRequested()) {
+    if (!writeFile(Path, Actual))
+      return ::testing::AssertionFailure()
+             << "UPDATE_GOLDEN: failed to write " << Path;
+    return ::testing::AssertionSuccess() << "updated " << Path;
+  }
+
+  bool Exists = false;
+  std::string Expected = readFile(Path, Exists);
+  if (!Exists)
+    return ::testing::AssertionFailure()
+           << "missing snapshot " << Path
+           << " - run with UPDATE_GOLDEN=1 to create it";
+  if (Expected != Actual)
+    return ::testing::AssertionFailure()
+           << "snapshot mismatch for " << Path << "\n"
+           << firstDifference(Expected, Actual)
+           << "rerun with UPDATE_GOLDEN=1 to accept the new output";
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace golden
+} // namespace smlir

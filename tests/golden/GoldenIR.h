@@ -1,0 +1,71 @@
+//===- GoldenIR.h - Golden-IR pass-pipeline snapshot harness ----*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A snapshot-testing harness for transformation passes: runs a pass
+/// pipeline over a fixture module, prints the IR before and after through
+/// `ir/Printer`, and diffs the result against a checked-in
+/// `<name>.mlir.expected` file. Setting `UPDATE_GOLDEN=1` in the
+/// environment regenerates the snapshots in the source tree instead of
+/// comparing. Every printed section is additionally round-tripped through
+/// `ir/Parser` + `ir/Verifier`, so a snapshot can never record IR the
+/// project itself cannot re-read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_TESTS_GOLDEN_GOLDENIR_H
+#define SMLIR_TESTS_GOLDEN_GOLDENIR_H
+
+#include "ir/Pass.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smlir {
+
+class MLIRContext;
+class Operation;
+
+namespace golden {
+
+/// Directory holding the checked-in `.mlir.expected` snapshots. Defaults
+/// to the source-tree `tests/golden/snapshots` path baked in at compile
+/// time; override with the `SMLIR_GOLDEN_DIR` environment variable.
+std::string snapshotDir();
+
+/// True when `UPDATE_GOLDEN` is set to a non-empty value other than "0":
+/// snapshots are rewritten in place instead of compared.
+bool updateRequested();
+
+/// Runs \p Passes over \p Module (mutating it), then checks the printed
+/// before/after IR against `<Name>.mlir.expected` in snapshotDir().
+///
+/// The check fails if: the input module does not verify, any pass fails,
+/// the output does not verify, either printed section fails to re-parse
+/// and re-verify, the snapshot file is missing (run with UPDATE_GOLDEN=1
+/// to create it), or the file content differs from the freshly produced
+/// snapshot.
+::testing::AssertionResult
+checkGoldenPipeline(MLIRContext &Ctx, Operation *Module,
+                    const std::string &Name,
+                    std::vector<std::unique_ptr<Pass>> Passes);
+
+/// Convenience for single-pass checks.
+inline ::testing::AssertionResult
+checkGoldenPass(MLIRContext &Ctx, Operation *Module, const std::string &Name,
+                std::unique_ptr<Pass> P) {
+  std::vector<std::unique_ptr<Pass>> Passes;
+  Passes.push_back(std::move(P));
+  return checkGoldenPipeline(Ctx, Module, Name, std::move(Passes));
+}
+
+} // namespace golden
+} // namespace smlir
+
+#endif // SMLIR_TESTS_GOLDEN_GOLDENIR_H

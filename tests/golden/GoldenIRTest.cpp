@@ -1,0 +1,332 @@
+//===- GoldenIRTest.cpp - Golden-IR snapshots for every transform pass -------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One golden before/after snapshot per transformation pass: memory-aware
+/// LICM, Detect Reduction, Loop Internalization, Host Raising, host-device
+/// constant propagation, dead argument elimination, and the cleanup
+/// pipeline (canonicalize + CSE + DCE). Fixtures mirror the paper's
+/// listings; snapshots live in `tests/golden/snapshots/` and are refreshed
+/// with `UPDATE_GOLDEN=1`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GoldenIR.h"
+
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "dialect/MemRef.h"
+#include "dialect/RuntimeABI.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "frontend/HostIRImporter.h"
+#include "frontend/KernelBuilder.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/Pass.h"
+#include "ir/Verifier.h"
+#include "transform/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace smlir;
+using namespace smlir::frontend;
+
+namespace {
+
+class GoldenIRTest : public ::testing::Test {
+protected:
+  GoldenIRTest() { registerAllDialects(Ctx); }
+
+  OwningOpRef parse(const char *Source) {
+    std::string Error;
+    OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+    EXPECT_TRUE(Module) << Error;
+    return Module;
+  }
+
+  /// Runs \p Passes as a precondition pipeline (e.g. raising before a
+  /// device-side golden check) without snapshotting it.
+  void preRun(Operation *Root, std::vector<std::unique_ptr<Pass>> Passes) {
+    PassManager PM(&Ctx);
+    for (auto &P : Passes)
+      PM.addPass(std::move(P));
+    ASSERT_TRUE(PM.run(Root).succeeded());
+  }
+
+  MLIRContext Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// Memory-aware LICM (paper §VI-A)
+//===----------------------------------------------------------------------===//
+
+TEST_F(GoldenIRTest, LICM) {
+  // The load from %in is loop-invariant and provably disjoint from the
+  // store into a fresh alloca, so the memory-aware LICM hoists it and
+  // versions the loop with a trip-count guard.
+  const char *Source = R"(module {
+  func.func @f(%in: memref<4xf32>, %n: index) {
+    %out = "memref.alloca"() : () -> (memref<16xf32>)
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%c0, %n, %c1) ({
+    ^bb0(%iv: index):
+      %v = "memref.load"(%in, %c0) {tag = "inv_load"} : (memref<4xf32>, index) -> (f32)
+      "memref.store"(%v, %out, %iv) : (f32, memref<16xf32>, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(Module);
+  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Module.get(), "licm",
+                                      createLICMPass()));
+}
+
+//===----------------------------------------------------------------------===//
+// Detect Reduction (paper §VI-B, Listings 4 -> 5)
+//===----------------------------------------------------------------------===//
+
+TEST_F(GoldenIRTest, DetectReduction) {
+  const char *Source = R"(module {
+  func.func @f(%ptr: memref<1xf32>, %lb: index, %ub: index) {
+    %other = "memref.alloca"() : () -> (memref<64xf32>)
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    "affine.for"(%lb, %ub, %c1) ({
+    ^bb0(%iv: index):
+      %val = "affine.load"(%ptr, %c0) : (memref<1xf32>, index) -> (f32)
+      %o = "affine.load"(%other, %iv) : (memref<64xf32>, index) -> (f32)
+      %res = "arith.addf"(%val, %o) : (f32, f32) -> (f32)
+      "affine.store"(%res, %ptr, %c0) : (f32, memref<1xf32>, index) -> ()
+      "affine.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(Module);
+  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Module.get(), "detect-reduction",
+                                      createDetectReductionPass()));
+}
+
+//===----------------------------------------------------------------------===//
+// Cleanup pipeline (canonicalize + CSE + DCE)
+//===----------------------------------------------------------------------===//
+
+TEST_F(GoldenIRTest, Cleanup) {
+  // Holds one folding opportunity (2 + 3), one common subexpression
+  // (%x/%y) and one dead op (%dead).
+  const char *Source = R"(module {
+  func.func @f(%a: index) -> (index) {
+    %c2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %c3 = "arith.constant"() {value = 3 : index} : () -> (index)
+    %fold = "arith.addi"(%c2, %c3) : (index, index) -> (index)
+    %x = "arith.addi"(%a, %fold) : (index, index) -> (index)
+    %y = "arith.addi"(%a, %fold) : (index, index) -> (index)
+    %dead = "arith.muli"(%x, %y) : (index, index) -> (index)
+    %sum = "arith.addi"(%x, %y) : (index, index) -> (index)
+    "func.return"(%sum) : (index) -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(Module);
+  std::vector<std::unique_ptr<Pass>> Passes;
+  Passes.push_back(createCanonicalizerPass());
+  Passes.push_back(createCSEPass());
+  Passes.push_back(createDCEPass());
+  EXPECT_TRUE(golden::checkGoldenPipeline(Ctx, Module.get(), "cleanup",
+                                          std::move(Passes)));
+}
+
+//===----------------------------------------------------------------------===//
+// Host Raising (paper §VII-A, Listings 8 -> 9)
+//===----------------------------------------------------------------------===//
+
+TEST_F(GoldenIRTest, HostRaising) {
+  // The unraised host IR of paper Listing 8, as the importer would emit
+  // it: llvm.call sites against the DPC++ runtime ABI.
+  ModuleOp Top = ModuleOp::create(&Ctx);
+  OpBuilder Builder(&Ctx);
+  Builder.setInsertionPointToEnd(Top.getBody());
+  Location Loc = Builder.getUnknownLoc();
+
+  auto PtrTy = llvmir::PtrType::get(&Ctx);
+  auto F32 = Builder.getF32Type();
+  auto HostFunc = Builder.create<FuncOp>(
+      Loc, "cgf", FunctionType::get(&Ctx, {PtrTy, PtrTy, PtrTy, PtrTy}, {}));
+  Block *Entry = HostFunc.addEntryBlock();
+  Builder.setInsertionPointToEnd(Entry);
+  Value Cgh = Entry->getArgument(0);
+  Value BufA = Entry->getArgument(1), BufB = Entry->getArgument(2),
+        BufC = Entry->getArgument(3);
+
+  Value Size =
+      arith::createIntConstant(Builder, Loc, Builder.getI64Type(), 1024);
+  auto RangeTy = sycl::RangeType::get(&Ctx, 1);
+  Value Range = Builder.create<llvmir::LLVMAllocaOp>(Loc, RangeTy)
+                    .getOperation()
+                    ->getResult(0);
+  Builder.create<llvmir::LLVMCallOp>(Loc, smlir::abi::rangeCtor(1),
+                                     std::vector<Value>{Range, Size});
+
+  auto MakeAccessor = [&](Value Buf, sycl::AccessMode Mode) {
+    auto AccTy = sycl::AccessorType::get(&Ctx, 1, F32, Mode);
+    Value Acc = Builder.create<llvmir::LLVMAllocaOp>(Loc, AccTy)
+                    .getOperation()
+                    ->getResult(0);
+    Builder.create<llvmir::LLVMCallOp>(
+        Loc, smlir::abi::accessorCtor(1, F32, Mode),
+        std::vector<Value>{Acc, Buf, Cgh});
+    return Acc;
+  };
+  Value A = MakeAccessor(BufA, sycl::AccessMode::Read);
+  Value B = MakeAccessor(BufB, sycl::AccessMode::Read);
+  Value C = MakeAccessor(BufC, sycl::AccessMode::Write);
+
+  Builder.create<llvmir::LLVMCallOp>(
+      Loc, smlir::abi::parallelFor("K", 1, /*IsNDRange=*/false),
+      std::vector<Value>{Cgh, Range, A, B, C});
+  Builder.create<ReturnOp>(Loc);
+
+  OwningOpRef Owned(Top.getOperation());
+  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Owned.get(), "host-raising",
+                                      createHostRaisingPass()));
+}
+
+//===----------------------------------------------------------------------===//
+// Host-device constant propagation (paper §VII-B)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A 2D nd_item kernel using global/local range queries, launched with a
+/// fully constant ND-range: everything the propagation pass folds.
+SourceProgram makeRangeQueryProgram(MLIRContext &Ctx) {
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "K", 2, /*UsesNDItem=*/true);
+  Value Out = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Write);
+  Value I = KB.gid(0), J = KB.gid(1);
+  Value G = KB.globalRange(0);
+  Value L = KB.localRange(1);
+  Value V = KB.sitofp(KB.addi(G, L), KB.f32());
+  KB.storeAcc(Out, {I, J}, V);
+  KB.finish();
+  Program.Buffers = {{"Out", exec::Storage::Kind::Float, {16, 16}, nullptr}};
+  exec::NDRange Range;
+  Range.Dim = 2;
+  Range.Global = {16, 16, 1};
+  Range.Local = {8, 8, 1};
+  Range.HasLocal = true;
+  Program.Submits = {
+      {"K", Range, {AccessorArg{"Out", sycl::AccessMode::Write, {}, {}}}}};
+  importHostIR(Program);
+  return Program;
+}
+
+} // namespace
+
+TEST_F(GoldenIRTest, HostDeviceProp) {
+  SourceProgram Program = makeRangeQueryProgram(Ctx);
+  // Raise first so the snapshot isolates the propagation step.
+  {
+    std::vector<std::unique_ptr<Pass>> Pre;
+    Pre.push_back(createHostRaisingPass());
+    preRun(Program.DeviceModule.get(), std::move(Pre));
+  }
+  EXPECT_TRUE(golden::checkGoldenPass(
+      Ctx, Program.DeviceModule.get(), "host-device-prop",
+      createHostDeviceConstantPropagationPass()));
+}
+
+//===----------------------------------------------------------------------===//
+// Dead argument elimination (paper §VII-B)
+//===----------------------------------------------------------------------===//
+
+TEST_F(GoldenIRTest, DeadArgElim) {
+  // After propagation + cleanup, the scalar argument (constant actual)
+  // is unused; DAE shrinks the kernel signature and the host schedule.
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "scale", 1, /*UsesNDItem=*/false);
+  Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::ReadWrite);
+  Value S = KB.addScalarArg(KB.f32());
+  Value I = KB.gid(0);
+  KB.storeAcc(A, {I}, KB.mulf(KB.loadAcc(A, {I}), S));
+  KB.finish();
+  Program.Buffers = {{"A", exec::Storage::Kind::Float, {128}, nullptr}};
+  exec::NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {128, 1, 1};
+  Program.Submits = {{"scale",
+                      Range,
+                      {AccessorArg{"A", sycl::AccessMode::ReadWrite, {}, {}},
+                       ScalarArg::f32(2.0)}}};
+  importHostIR(Program);
+
+  {
+    std::vector<std::unique_ptr<Pass>> Pre;
+    Pre.push_back(createHostRaisingPass());
+    Pre.push_back(createHostDeviceConstantPropagationPass());
+    Pre.push_back(createCanonicalizerPass());
+    Pre.push_back(createCSEPass());
+    Pre.push_back(createDCEPass());
+    preRun(Program.DeviceModule.get(), std::move(Pre));
+  }
+  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Program.DeviceModule.get(),
+                                      "dead-arg-elim",
+                                      createDeadArgumentEliminationPass()));
+}
+
+//===----------------------------------------------------------------------===//
+// Loop Internalization (paper §VI-C, Listings 6 -> 7)
+//===----------------------------------------------------------------------===//
+
+TEST_F(GoldenIRTest, LoopInternalization) {
+  // Paper Listing 6: naive matmul, launched with an 8x8 work-group so the
+  // pass can tile and prefetch into local memory.
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "matrix_multiply", 2, /*UsesNDItem=*/true);
+  Value A = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Read);
+  Value B = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Read);
+  Value C = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::ReadWrite);
+  Value I = KB.gid(0), J = KB.gid(1);
+  Value CView = KB.subscript(C, {I, J});
+  KB.forLoop(0, 32, [&](KernelBuilder &KB2, Value K) {
+    Value AV = KB2.loadAcc(A, {I, K});
+    Value BV = KB2.loadAcc(B, {K, J});
+    KB2.storeView(CView, KB2.addf(KB2.loadView(CView), KB2.mulf(AV, BV)));
+  });
+  KB.finish();
+  Program.Buffers = {{"A", exec::Storage::Kind::Float, {32, 32}, nullptr},
+                     {"B", exec::Storage::Kind::Float, {32, 32}, nullptr},
+                     {"C", exec::Storage::Kind::Float, {32, 32}, nullptr}};
+  exec::NDRange Range;
+  Range.Dim = 2;
+  Range.Global = {32, 32, 1};
+  Range.Local = {8, 8, 1};
+  Range.HasLocal = true;
+  Program.Submits = {
+      {"matrix_multiply",
+       Range,
+       {AccessorArg{"A", sycl::AccessMode::Read, {}, {}},
+        AccessorArg{"B", sycl::AccessMode::Read, {}, {}},
+        AccessorArg{"C", sycl::AccessMode::ReadWrite, {}, {}}}}};
+  importHostIR(Program);
+
+  {
+    std::vector<std::unique_ptr<Pass>> Pre;
+    Pre.push_back(createHostRaisingPass());
+    Pre.push_back(createHostDeviceConstantPropagationPass());
+    preRun(Program.DeviceModule.get(), std::move(Pre));
+  }
+  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Program.DeviceModule.get(),
+                                      "loop-internalization",
+                                      createLoopInternalizationPass()));
+}
+
+} // namespace
