@@ -11,6 +11,9 @@
 /// plus the host-device propagation + DAE and LICM switches. Each row
 /// reports speedup over the DPC++ baseline with one optimization disabled
 /// at a time, and the Gramschmidt divergent-region rejection statistic.
+/// Each ablation is a variant pipeline string compiled via
+/// CompilerOptions::PipelineOverride — the same strings run under
+/// `smlir-opt --pass-pipeline=...`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +22,7 @@
 #include "runtime/Runtime.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace smlir;
 
@@ -48,6 +52,15 @@ double measure(const workloads::Workload &W,
   return Run.Stats.Makespan;
 }
 
+/// The default SYCL-MLIR pipeline with one optimization switched off, as
+/// a pipeline string: each ablation is pipeline data a plain
+/// `smlir-opt --pass-pipeline=...` invocation can replay.
+std::string pipelineWithout(void (*Disable)(core::CompilerOptions &)) {
+  core::CompilerOptions Options;
+  Disable(Options);
+  return core::Compiler::getPipeline(Options);
+}
+
 } // namespace
 
 int main() {
@@ -71,28 +84,29 @@ int main() {
     Baseline.Flow = core::CompilerFlow::DPCPP;
     double Base = measure(W, Baseline);
 
-    auto SpeedupWith = [&](auto Tweak) {
+    // Each ablation compiles through PipelineOverride with a variant of
+    // the default joint-flow pipeline string.
+    auto SpeedupWith = [&](const std::string &Pipeline) {
       core::CompilerOptions Options;
       Options.Flow = core::CompilerFlow::SYCLMLIR;
-      Tweak(Options);
+      Options.PipelineOverride = Pipeline;
       double Time = measure(W, Options);
       return Time > 0.0 ? Base / Time : 0.0;
     };
 
-    double Full = SpeedupWith([](core::CompilerOptions &) {});
-    double NoReduction = SpeedupWith(
-        [](core::CompilerOptions &O) { O.EnableDetectReduction = false; });
-    double NoInternal = SpeedupWith([](core::CompilerOptions &O) {
-      O.EnableLoopInternalization = false;
-    });
-    double NoHostProp = SpeedupWith([](core::CompilerOptions &O) {
-      // Without host information neither constants nor disjointness are
-      // available; dependent device optimizations lose their legality
-      // facts.
-      O.EnableHostDeviceProp = false;
-    });
-    double NoLICM = SpeedupWith(
-        [](core::CompilerOptions &O) { O.EnableLICM = false; });
+    double Full = SpeedupWith(
+        core::Compiler::getPipeline(core::CompilerOptions()));
+    double NoReduction = SpeedupWith(pipelineWithout(
+        [](core::CompilerOptions &O) { O.EnableDetectReduction = false; }));
+    double NoInternal = SpeedupWith(pipelineWithout([](
+        core::CompilerOptions &O) { O.EnableLoopInternalization = false; }));
+    // Without host information neither constants nor disjointness are
+    // available; dependent device optimizations lose their legality
+    // facts.
+    double NoHostProp = SpeedupWith(pipelineWithout(
+        [](core::CompilerOptions &O) { O.EnableHostDeviceProp = false; }));
+    double NoLICM = SpeedupWith(pipelineWithout(
+        [](core::CompilerOptions &O) { O.EnableLICM = false; }));
 
     std::printf("%-14s %9.2fx %9.2fx %9.2fx %9.2fx %9.2fx\n",
                 W.Name.c_str(), Full, NoReduction, NoInternal, NoHostProp,

@@ -10,3 +10,7 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+
+# Smoke the standalone pipeline driver: every golden snapshot must be
+# reproducible via `smlir-opt --pass-pipeline=<recorded pipeline>`.
+BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/smoke_smlir_opt.sh"

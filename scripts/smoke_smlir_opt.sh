@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Replays golden-IR snapshots through smlir-opt: extracts each snapshot's
+# "before" section plus the pipeline recorded in its header, runs
+#   smlir-opt --pass-pipeline=<recorded pipeline> before.mlir
+# and diffs stdout byte-for-byte against the "after" section. Proves the
+# standalone driver reproduces exactly what the in-process pass manager
+# produced. With no arguments, checks every snapshot under
+# tests/golden/snapshots; otherwise checks the given snapshot files.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+SMLIR_OPT="${SMLIR_OPT:-$BUILD_DIR/tools/smlir-opt}"
+
+if [[ ! -x "$SMLIR_OPT" ]]; then
+  echo "smoke_smlir_opt: $SMLIR_OPT not found or not executable" >&2
+  echo "(build first: cmake --build $BUILD_DIR --target smlir-opt)" >&2
+  exit 1
+fi
+
+snapshots=("$@")
+if [[ ${#snapshots[@]} -eq 0 ]]; then
+  snapshots=("$REPO_ROOT"/tests/golden/snapshots/*.mlir.expected)
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for snapshot in "${snapshots[@]}"; do
+  pipeline="$(sed -n 's|^// pipeline: ||p' "$snapshot")"
+  awk '/^\/\/ ----- before -----$/{flag=1;next}/^\/\/ ----- after -----$/{flag=0}flag' \
+    "$snapshot" > "$tmp/before.mlir"
+  awk '/^\/\/ ----- after -----$/{flag=1;next}flag' \
+    "$snapshot" > "$tmp/expected.mlir"
+  "$SMLIR_OPT" --pass-pipeline="$pipeline" "$tmp/before.mlir" \
+    > "$tmp/actual.mlir"
+  if ! diff -u "$tmp/expected.mlir" "$tmp/actual.mlir"; then
+    echo "smoke_smlir_opt: MISMATCH for $(basename "$snapshot")" \
+         "(pipeline '$pipeline')" >&2
+    exit 1
+  fi
+  echo "smlir-opt reproduced $(basename "$snapshot") (pipeline '$pipeline')"
+done

@@ -20,6 +20,8 @@
 #include "ir/Operation.h"
 #include "ir/Value.h"
 
+#include <string_view>
+
 namespace smlir {
 
 /// Result of an alias query.
@@ -37,6 +39,9 @@ std::string_view stringifyAliasResult(AliasResult Result);
 /// everything else conservatively may alias.
 class AliasAnalysis {
 public:
+  /// Name under which the AnalysisManager reports cache traffic.
+  static constexpr std::string_view AnalysisName = "alias-analysis";
+
   explicit AliasAnalysis(Operation *Root) : Root(Root) {}
   virtual ~AliasAnalysis();
 
@@ -61,6 +66,8 @@ protected:
 /// host-derived accessor disjointness).
 class SYCLAliasAnalysis : public AliasAnalysis {
 public:
+  static constexpr std::string_view AnalysisName = "sycl-alias-analysis";
+
   using AliasAnalysis::AliasAnalysis;
 
   AliasResult alias(Value A, Value B) override;

@@ -18,6 +18,8 @@
 #include "ir/Operation.h"
 #include "ir/Value.h"
 
+#include <string_view>
+
 namespace smlir {
 
 /// Returns true if \p A is executed strictly before \p B on every path
@@ -31,6 +33,33 @@ bool dominates(Value Val, Operation *User);
 /// first, up to (and excluding) \p Limit.
 std::vector<Operation *> getEnclosingOps(Operation *Op,
                                          Operation *Limit = nullptr);
+
+/// Dominance as an AnalysisManager-cacheable analysis over one root
+/// (module or function). Queries delegate to the structured-CFG helpers
+/// above; caching it lets passes that keep the region structure intact
+/// (canonicalize, CSE, DCE) declare it preserved instead of forcing a
+/// recompute-per-pass, which the analysis cache statistics make visible.
+class DominanceInfo {
+public:
+  static constexpr std::string_view AnalysisName = "dominance";
+
+  explicit DominanceInfo(Operation *Root) : Root(Root) {}
+
+  Operation *getRoot() const { return Root; }
+
+  /// True if \p A executes strictly before \p B on every path (structured
+  /// control flow).
+  bool properlyDominates(Operation *A, Operation *B) const {
+    return smlir::properlyDominates(A, B);
+  }
+  /// True if \p Val is available at \p User.
+  bool dominates(Value Val, Operation *User) const {
+    return smlir::dominates(Val, User);
+  }
+
+private:
+  Operation *Root;
+};
 
 } // namespace smlir
 

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 namespace smlir {
@@ -90,6 +91,8 @@ struct MemoryAccess {
 /// Derives access matrices for load/store operations in SYCL kernels.
 class MemoryAccessAnalysis {
 public:
+  static constexpr std::string_view AnalysisName = "memory-access";
+
   explicit MemoryAccessAnalysis(Operation *Root) : Root(Root) {}
 
   /// Analyzes one access op: `affine.load`/`affine.store`,

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string_view>
 
 namespace smlir {
 
@@ -42,6 +43,8 @@ struct Definitions {
 /// every tracked memory value at the point just before the operation.
 class ReachingDefinitionAnalysis {
 public:
+  static constexpr std::string_view AnalysisName = "reaching-definitions";
+
   /// \p Root must be a function-like operation with a single-block body.
   explicit ReachingDefinitionAnalysis(Operation *Root);
 

@@ -25,6 +25,7 @@
 
 #include <map>
 #include <memory>
+#include <string_view>
 
 namespace smlir {
 
@@ -42,6 +43,8 @@ inline Uniformity meet(Uniformity A, Uniformity B) {
 
 class UniformityAnalysis {
 public:
+  static constexpr std::string_view AnalysisName = "uniformity";
+
   /// \p Root is a module (inter-procedural) or a single function.
   explicit UniformityAnalysis(Operation *Root);
 

@@ -8,6 +8,7 @@
 
 #include "dialect/SYCL.h"
 #include "ir/Block.h"
+#include "ir/PassRegistry.h"
 #include "transform/Passes.h"
 
 #include <sstream>
@@ -126,37 +127,73 @@ LogicalResult Executable::launchKernel(std::string_view Name,
 // Compiler
 //===----------------------------------------------------------------------===//
 
-void Compiler::buildPipeline(PassManager &PM,
-                             const CompilerOptions &Options) {
+/// Joins pipeline elements with commas; `func:`-prefixed runs of
+/// function-scoped passes are folded into one `func(...)` group by
+/// emitPipeline below.
+namespace {
+struct PipelineBuilder {
+  std::vector<std::string> Elements;
+
+  /// Appends a module-scoped pass.
+  void add(std::string Mnemonic) { Elements.push_back(std::move(Mnemonic)); }
+  /// Appends a function-scoped pass; adjacent ones share a func(...) group
+  /// so each function flows through them back-to-back and preserved
+  /// analyses stay cached per function.
+  void addFunc(std::string Mnemonic) {
+    if (!Elements.empty() && Elements.back().starts_with("func(")) {
+      std::string &Group = Elements.back();
+      Group.insert(Group.size() - 1, "," + Mnemonic);
+      return;
+    }
+    Elements.push_back("func(" + std::move(Mnemonic) + ")");
+  }
+
+  std::string str() const {
+    std::string Result;
+    for (const std::string &E : Elements) {
+      if (!Result.empty())
+        Result += ",";
+      Result += E;
+    }
+    return Result;
+  }
+};
+} // namespace
+
+std::string Compiler::getPipeline(const CompilerOptions &Options) {
+  if (!Options.PipelineOverride.empty())
+    return Options.PipelineOverride;
+
+  PipelineBuilder P;
   switch (Options.Flow) {
   case CompilerFlow::DPCPP:
     // SMCP baseline: standard middle-end cleanups; no SYCL semantics.
-    PM.addPass(createCanonicalizerPass());
-    PM.addPass(createCSEPass());
-    PM.addPass(createLICMPass(/*MemoryAware=*/false));
-    PM.addPass(createDCEPass());
-    return;
+    P.add("canonicalize");
+    P.add("cse");
+    P.addFunc("basic-licm");
+    P.add("dce");
+    break;
 
   case CompilerFlow::SYCLMLIR:
     // Joint flow (paper §IV, §VI, §VII).
-    PM.addPass(createHostRaisingPass());
-    PM.addPass(createCanonicalizerPass());
+    P.add("host-raising");
+    P.add("canonicalize");
     if (Options.EnableHostDeviceProp)
-      PM.addPass(createHostDeviceConstantPropagationPass());
-    PM.addPass(createCanonicalizerPass());
-    PM.addPass(createCSEPass());
+      P.add("host-device-prop");
+    P.add("canonicalize");
+    P.add("cse");
     if (Options.EnableLICM)
-      PM.addPass(createLICMPass(/*MemoryAware=*/true));
+      P.addFunc("licm");
     if (Options.EnableDetectReduction)
-      PM.addPass(createDetectReductionPass());
+      P.addFunc("detect-reduction");
     if (Options.EnableLoopInternalization)
-      PM.addPass(createLoopInternalizationPass());
-    PM.addPass(createCanonicalizerPass());
-    PM.addPass(createCSEPass());
-    PM.addPass(createDCEPass());
+      P.add("loop-internalization");
+    P.add("canonicalize");
+    P.add("cse");
+    P.add("dce");
     if (Options.EnableDAE)
-      PM.addPass(createDeadArgumentEliminationPass());
-    return;
+      P.add("sycl-dae");
+    break;
 
   case CompilerFlow::AdaptiveCpp:
     // SSCP: runtime information is available at (JIT) compile time, but
@@ -165,16 +202,24 @@ void Compiler::buildPipeline(PassManager &PM,
     // (when the runtime-specialized aliasing facts allow it), which is the
     // LLVM-level analogue of Detect Reduction — modeled here by running
     // that pass; Loop Internalization has no LLVM counterpart.
-    PM.addPass(createHostRaisingPass());
-    PM.addPass(createCanonicalizerPass());
-    PM.addPass(createHostDeviceConstantPropagationPass());
-    PM.addPass(createCanonicalizerPass());
-    PM.addPass(createCSEPass());
-    PM.addPass(createLICMPass(/*MemoryAware=*/false));
-    PM.addPass(createDetectReductionPass());
-    PM.addPass(createDCEPass());
-    return;
+    P.add("host-raising");
+    P.add("canonicalize");
+    P.add("host-device-prop");
+    P.add("canonicalize");
+    P.add("cse");
+    P.addFunc("basic-licm");
+    P.addFunc("detect-reduction");
+    P.add("dce");
+    break;
   }
+  return P.str();
+}
+
+LogicalResult Compiler::buildPipeline(PassManager &PM,
+                                      const CompilerOptions &Options,
+                                      std::string *ErrorMessage) {
+  registerAllPasses();
+  return parsePassPipeline(getPipeline(Options), PM, ErrorMessage);
 }
 
 std::unique_ptr<Executable>
@@ -208,12 +253,10 @@ Compiler::compile(const frontend::SourceProgram &Program, exec::Device &Dev,
   MLIRContext *Ctx = Program.Context;
   PassManager PM(Ctx);
   PM.enableVerifier(Options.VerifyPasses);
-  buildPipeline(PM, Options);
-  if (PM.run(Module.get()).failed()) {
-    if (ErrorMessage)
-      *ErrorMessage = "pass pipeline failed";
+  if (buildPipeline(PM, Options, ErrorMessage).failed())
     return nullptr;
-  }
+  if (PM.run(Module.get(), ErrorMessage).failed())
+    return nullptr;
   LastReport = PM.getReport();
 
   return std::make_unique<Executable>(std::move(Module), Options, Dev);

@@ -51,6 +51,11 @@ struct CompilerOptions {
   bool VerifyPasses = true;
   /// Simulated JIT cost per kernel operation (AdaptiveCpp flow).
   double JITCostPerOp = 400.0;
+  /// When non-empty, compiled with exactly this textual pass pipeline
+  /// instead of the pipeline derived from Flow and the switches above
+  /// (see ir/PassRegistry.h for the grammar). Ablation studies and
+  /// pipeline experiments are string edits, not recompiles.
+  std::string PipelineOverride;
 };
 
 /// A compiled program: the optimized joint module plus launch metadata.
@@ -93,9 +98,16 @@ public:
                                       exec::Device &Dev,
                                       std::string *ErrorMessage = nullptr);
 
-  /// Populates \p PM with the pipeline for \p Options (exposed for tests
-  /// and pass-pipeline experiments).
-  static void buildPipeline(PassManager &PM, const CompilerOptions &Options);
+  /// The textual pass pipeline for \p Options: PipelineOverride when set,
+  /// otherwise the flow's pipeline with disabled optimizations omitted.
+  /// Runnable as-is by `smlir-opt --pass-pipeline=<result>`.
+  static std::string getPipeline(const CompilerOptions &Options);
+
+  /// Populates \p PM by parsing getPipeline(\p Options) through the pass
+  /// registry (exposed for tests and pass-pipeline experiments).
+  static LogicalResult buildPipeline(PassManager &PM,
+                                     const CompilerOptions &Options,
+                                     std::string *ErrorMessage = nullptr);
 
   /// Pass statistics report of the last compile() call.
   const std::string &getLastReport() const { return LastReport; }

@@ -6,48 +6,140 @@
 
 #include "ir/Pass.h"
 
+#include "ir/Attributes.h"
 #include "ir/Block.h"
+#include "ir/MLIRContext.h"
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
 
 #include <chrono>
 #include <cstdio>
+#include <ostream>
 #include <sstream>
 
 using namespace smlir;
 
 Pass::~Pass() = default;
 
-LogicalResult FunctionPass::runOnOperation(Operation *Root,
-                                           AnalysisManager &AM) {
-  // Collect functions first: passes may restructure the module.
+void Pass::printPipelineElement(std::ostream &OS) const { OS << Argument; }
+
+/// Collects every `func.func` under \p Root (including \p Root itself),
+/// resolving the OperationName once instead of string-comparing per op.
+static std::vector<Operation *> collectFunctions(Operation *Root) {
   std::vector<Operation *> Functions;
+  const AbstractOperation *FuncAbstract =
+      Root->getContext()->getRegisteredOperation("func.func");
+  if (!FuncAbstract)
+    return Functions;
+  OperationName FuncName(FuncAbstract);
   Root->walk([&](Operation *Op) {
-    if (Op->getName().getStringRef() == "func.func")
+    if (Op->getName() == FuncName)
       Functions.push_back(Op);
   });
-  for (Operation *Func : Functions)
-    if (runOnFunction(Func, AM).failed())
-      return failure();
-  return success();
+  return Functions;
 }
 
-LogicalResult PassManager::run(Operation *Root) {
-  AnalysisManager AM;
+static std::string describeFunction(Operation *Func);
+
+PassResult FunctionPass::runOnOperation(Operation *Root, AnalysisManager &AM) {
+  // Collect functions first: passes may restructure the module.
+  PreservedAnalyses Preserved = PreservedAnalyses::all();
+  for (Operation *Func : collectFunctions(Root)) {
+    PassResult Result = runOnFunction(Func, AM);
+    Preserved.intersect(Result.getPreserved());
+    if (Result.failed()) {
+      std::string Message = "on function " + describeFunction(Func);
+      if (!Result.getMessage().empty())
+        Message += ": " + Result.getMessage();
+      return {failure(), std::move(Preserved), std::move(Message)};
+    }
+  }
+  return {success(), std::move(Preserved)};
+}
+
+/// "@name" of a function-like op, for nested-pass diagnostics.
+static std::string describeFunction(Operation *Func) {
+  if (auto Sym = Func->getAttrOfType<StringAttr>("sym_name"))
+    return "@" + std::string(Sym.getValue());
+  return "<unnamed function>";
+}
+
+PassResult FunctionPipelinePass::runOnOperation(Operation *Root,
+                                                AnalysisManager &AM) {
+  PreservedAnalyses Preserved = PreservedAnalyses::all();
+  for (Operation *Func : collectFunctions(Root)) {
+    for (auto &P : Passes) {
+      // FunctionPasses dispatch straight to their per-function hook; other
+      // passes see the function as their root.
+      PassResult Result = P->asFunctionPass()
+                              ? P->asFunctionPass()->runOnFunction(Func, AM)
+                              : P->runOnOperation(Func, AM);
+      Preserved.intersect(Result.getPreserved());
+      AM.invalidate(Result.getPreserved());
+      if (Result.failed()) {
+        std::string Message = "nested pass '" + P->getName() +
+                              "' failed on function " +
+                              describeFunction(Func);
+        if (!Result.getMessage().empty())
+          Message += ": " + Result.getMessage();
+        return {failure(), std::move(Preserved), std::move(Message)};
+      }
+      if (VerifyEach) {
+        std::string Error;
+        if (verify(Func, &Error).failed())
+          return {failure(), std::move(Preserved),
+                  "verification failed after nested pass '" + P->getName() +
+                      "' on function " + describeFunction(Func) + ": " +
+                      Error};
+      }
+    }
+  }
+  return {success(), std::move(Preserved)};
+}
+
+void FunctionPipelinePass::printPipelineElement(std::ostream &OS) const {
+  OS << "func(";
+  for (size_t I = 0, E = Passes.size(); I != E; ++I) {
+    if (I)
+      OS << ",";
+    Passes[I]->printPipelineElement(OS);
+  }
+  OS << ")";
+}
+
+/// Delivers a failure diagnostic: into \p ErrorMessage when the caller
+/// asked for it, to stderr otherwise (so failures are never silent).
+static LogicalResult emitError(std::string Message,
+                               std::string *ErrorMessage) {
+  if (ErrorMessage)
+    *ErrorMessage = std::move(Message);
+  else
+    std::fprintf(stderr, "%s\n", Message.c_str());
+  return failure();
+}
+
+LogicalResult PassManager::run(Operation *Root, std::string *ErrorMessage) {
+  AM.clear();
   TimingsMs.assign(Passes.size(), 0.0);
+  NumExecuted = 0;
+  for (auto &P : Passes)
+    P->setNestedVerifier(VerifyEach);
   for (unsigned I = 0, E = Passes.size(); I != E; ++I) {
     Pass &P = *Passes[I];
     auto Start = std::chrono::steady_clock::now();
-    LogicalResult Result = P.runOnOperation(Root, AM);
+    PassResult Result = P.runOnOperation(Root, AM);
     auto End = std::chrono::steady_clock::now();
     TimingsMs[I] =
         std::chrono::duration<double, std::milli>(End - Start).count();
-    // Transformations may have changed the IR arbitrarily.
-    AM.invalidateAll();
+    NumExecuted = I + 1;
+    // Drop exactly the analyses the pass did not declare preserved.
+    AM.invalidate(Result.getPreserved());
 
     if (Result.failed()) {
-      std::fprintf(stderr, "pass '%s' failed\n", P.getName().c_str());
-      return failure();
+      std::string Message = "pass '" + P.getName() + "' failed";
+      if (!Result.getMessage().empty())
+        Message += ": " + Result.getMessage();
+      return emitError(std::move(Message), ErrorMessage);
     }
     if (PrintAfterEach) {
       std::fprintf(stderr, "// ----- IR after %s -----\n",
@@ -56,14 +148,27 @@ LogicalResult PassManager::run(Operation *Root) {
     }
     if (VerifyEach) {
       std::string Error;
-      if (verify(Root, &Error).failed()) {
-        std::fprintf(stderr, "verification failed after pass '%s': %s\n",
-                     P.getName().c_str(), Error.c_str());
-        return failure();
-      }
+      if (verify(Root, &Error).failed())
+        return emitError("verification failed after pass '" + P.getName() +
+                             "': " + Error,
+                         ErrorMessage);
     }
   }
   return success();
+}
+
+/// Prints \p P's statistics and recurses into nested pipeline elements so
+/// counters of passes inside `func(...)` groups stay visible.
+static void reportPassStatistics(std::ostream &OS, const Pass &P,
+                                 unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  for (const auto &[Stat, Count] : P.getStatistics())
+    OS << Pad << Stat << ": " << Count << "\n";
+  if (const auto *Nested = P.getNestedPasses())
+    for (const auto &Child : *Nested) {
+      OS << Pad << Child->getName() << "\n";
+      reportPassStatistics(OS, *Child, Indent + 2);
+    }
 }
 
 std::string PassManager::getReport() const {
@@ -71,11 +176,19 @@ std::string PassManager::getReport() const {
   OS << "=== Pass report ===\n";
   for (unsigned I = 0, E = Passes.size(); I != E; ++I) {
     OS << "  " << Passes[I]->getName();
-    if (I < TimingsMs.size())
+    if (I >= NumExecuted)
+      OS << "  (not run)";
+    else if (I < TimingsMs.size())
       OS << "  (" << TimingsMs[I] << " ms)";
     OS << "\n";
-    for (const auto &[Stat, Count] : Passes[I]->getStatistics())
-      OS << "    " << Stat << ": " << Count << "\n";
+    reportPassStatistics(OS, *Passes[I], 4);
+  }
+  const auto &Queries = AM.getQueryStatistics();
+  if (!Queries.empty()) {
+    OS << "=== Analysis cache ===\n";
+    for (const auto &[ID, S] : Queries)
+      OS << "  " << S.Name << ": " << S.Hits << " hits, " << S.Misses
+         << " misses\n";
   }
   return OS.str();
 }

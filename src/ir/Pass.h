@@ -5,11 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The pass infrastructure: Pass base class with statistics, an analysis
-/// manager with per-root caching, and a PassManager with verification,
-/// timing and IR-printing instrumentation (paper §II-B: "MLIR also provides
-/// a common infrastructure for creating analyses and transformation
-/// passes").
+/// The pass infrastructure: Pass base class with statistics and preserved
+/// analyses, an analysis manager with per-(analysis, root) caching,
+/// fine-grained invalidation and hit/miss accounting, and a PassManager
+/// with verification, timing and IR-printing instrumentation (paper §II-B:
+/// "MLIR also provides a common infrastructure for creating analyses and
+/// transformation passes").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,30 +21,193 @@
 #include "support/LogicalResult.h"
 #include "support/TypeID.h"
 
+#include <iosfwd>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace smlir {
 
+class FunctionPass;
+
+//===----------------------------------------------------------------------===//
+// PreservedAnalyses
+//===----------------------------------------------------------------------===//
+
+/// The set of analyses a pass left intact. The pass manager invalidates
+/// every cached analysis that is not in this set after the pass runs. A
+/// pass may only preserve analyses whose cached roots it did not erase.
+class PreservedAnalyses {
+public:
+  /// Nothing survives (the default for a transformation).
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+  /// Everything survives (analyses and passes that do not touch the IR).
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.All = true;
+    return PA;
+  }
+
+  template <typename AnalysisT>
+  PreservedAnalyses &preserve() {
+    return preserve(TypeID::get<AnalysisT>());
+  }
+  PreservedAnalyses &preserve(TypeID ID) {
+    Preserved.insert(ID);
+    return *this;
+  }
+
+  bool isAll() const { return All; }
+  bool isPreserved(TypeID ID) const { return All || Preserved.count(ID); }
+
+  /// Restricts this set to analyses preserved by both sets (used when one
+  /// logical pass runs several times, e.g. once per function).
+  void intersect(const PreservedAnalyses &Other) {
+    if (Other.All)
+      return;
+    if (All) {
+      *this = Other;
+      return;
+    }
+    std::set<TypeID> Common;
+    for (TypeID ID : Preserved)
+      if (Other.Preserved.count(ID))
+        Common.insert(ID);
+    Preserved = std::move(Common);
+  }
+
+private:
+  bool All = false;
+  std::set<TypeID> Preserved;
+};
+
+/// Builds a PreservedAnalyses holding exactly the given analysis types;
+/// `preserving<>()` is PreservedAnalyses::none().
+template <typename... AnalysisTs>
+PreservedAnalyses preserving() {
+  PreservedAnalyses PA;
+  (PA.preserve<AnalysisTs>(), ...);
+  return PA;
+}
+
+//===----------------------------------------------------------------------===//
+// PassResult
+//===----------------------------------------------------------------------===//
+
+/// Outcome of one pass execution: success/failure plus the analyses the
+/// pass declares preserved, and an optional failure detail (container
+/// passes use it to name the nested pass and function that failed).
+/// Implicitly constructible from a LogicalResult (preserving nothing) so
+/// `return success();` keeps working for passes that rebuild the IR
+/// arbitrarily.
+class PassResult {
+public:
+  /*implicit*/ PassResult(LogicalResult Result)
+      : Result(Result), Preserved(PreservedAnalyses::none()) {}
+  PassResult(LogicalResult Result, PreservedAnalyses Preserved,
+             std::string Message = std::string())
+      : Result(Result), Preserved(std::move(Preserved)),
+        Message(std::move(Message)) {}
+
+  bool succeeded() const { return Result.succeeded(); }
+  bool failed() const { return Result.failed(); }
+  const PreservedAnalyses &getPreserved() const { return Preserved; }
+  const std::string &getMessage() const { return Message; }
+
+private:
+  LogicalResult Result;
+  PreservedAnalyses Preserved;
+  std::string Message;
+};
+
+//===----------------------------------------------------------------------===//
+// AnalysisManager
+//===----------------------------------------------------------------------===//
+
 /// Caches analyses per (analysis type, root operation). Analyses are
-/// constructed on demand with `AnalysisT(Operation *Root)` and invalidated
-/// wholesale after each transformation pass.
+/// constructed on demand with `AnalysisT(Operation *Root)` and must expose
+/// a `static constexpr std::string_view AnalysisName` used in the hit/miss
+/// report. After each pass the pass manager invalidates exactly the
+/// analyses the pass did not declare preserved; preserved entries stay
+/// cached across passes, which the statistics make observable.
 class AnalysisManager {
 public:
+  /// Per-analysis-type query accounting for the pass-statistics report.
+  struct QueryStats {
+    std::string Name;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+
   template <typename AnalysisT>
   AnalysisT &get(Operation *Root) {
-    Key K{TypeID::get<AnalysisT>(), Root};
+    static_assert(!std::string_view(AnalysisT::AnalysisName).empty(),
+                  "analyses must declare a non-empty AnalysisName");
+    TypeID ID = TypeID::get<AnalysisT>();
+    Key K{ID, Root};
     auto It = Cache.find(K);
-    if (It == Cache.end()) {
-      auto Holder = std::make_shared<Model<AnalysisT>>(Root);
-      It = Cache.emplace(K, Holder).first;
+    QueryStats &S = Stats[ID];
+    if (S.Name.empty())
+      S.Name = AnalysisT::AnalysisName;
+    if (It != Cache.end()) {
+      ++S.Hits;
+      return static_cast<Model<AnalysisT> *>(It->second.get())->Analysis;
     }
+    ++S.Misses;
+    It = Cache.emplace(K, std::make_unique<Model<AnalysisT>>(Root)).first;
     return static_cast<Model<AnalysisT> *>(It->second.get())->Analysis;
   }
 
+  /// Drops every cached analysis whose type is not in \p Preserved.
+  void invalidate(const PreservedAnalyses &Preserved) {
+    if (Preserved.isAll())
+      return;
+    for (auto It = Cache.begin(); It != Cache.end();) {
+      if (!Preserved.isPreserved(It->first.first))
+        It = Cache.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  /// Drops every cached analysis rooted at \p Root (e.g. before erasing
+  /// that operation).
+  void invalidate(Operation *Root) {
+    for (auto It = Cache.begin(); It != Cache.end();) {
+      if (It->first.second == Root)
+        It = Cache.erase(It);
+      else
+        ++It;
+    }
+  }
+
   void invalidateAll() { Cache.clear(); }
+
+  /// Drops the cache and the query statistics (start of a pipeline run).
+  void clear() {
+    Cache.clear();
+    Stats.clear();
+  }
+
+  size_t getCacheSize() const { return Cache.size(); }
+  const std::map<TypeID, QueryStats> &getQueryStatistics() const {
+    return Stats;
+  }
+  uint64_t getNumHits() const {
+    uint64_t N = 0;
+    for (const auto &[ID, S] : Stats)
+      N += S.Hits;
+    return N;
+  }
+  uint64_t getNumMisses() const {
+    uint64_t N = 0;
+    for (const auto &[ID, S] : Stats)
+      N += S.Misses;
+    return N;
+  }
 
 private:
   struct Concept {
@@ -56,8 +220,21 @@ private:
   };
 
   using Key = std::pair<TypeID, Operation *>;
-  std::map<Key, std::shared_ptr<Concept>> Cache;
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t H1 = std::hash<TypeID>()(K.first);
+      size_t H2 = std::hash<Operation *>()(K.second);
+      // Boost-style combine: plain XOR would collide for symmetric pairs.
+      return H1 ^ (H2 + 0x9e3779b97f4a7c15ULL + (H1 << 6) + (H1 >> 2));
+    }
+  };
+  std::unordered_map<Key, std::unique_ptr<Concept>, KeyHash> Cache;
+  std::map<TypeID, QueryStats> Stats;
 };
+
+//===----------------------------------------------------------------------===//
+// Pass
+//===----------------------------------------------------------------------===//
 
 /// Base class for all transformation passes.
 class Pass {
@@ -70,9 +247,28 @@ public:
   /// Command-line style pass mnemonic, e.g. "detect-reduction".
   const std::string &getArgument() const { return Argument; }
 
-  /// Runs this pass on \p Root. Failure aborts the pipeline.
-  virtual LogicalResult runOnOperation(Operation *Root,
-                                       AnalysisManager &AM) = 0;
+  /// Runs this pass on \p Root. Failure aborts the pipeline; the returned
+  /// preserved set bounds which cached analyses survive this pass.
+  virtual PassResult runOnOperation(Operation *Root, AnalysisManager &AM) = 0;
+
+  /// Non-null when this pass is a FunctionPass (used by the `func(...)`
+  /// pipeline adaptor to dispatch straight to runOnFunction).
+  virtual FunctionPass *asFunctionPass() { return nullptr; }
+
+  /// The pass manager pushes its verify-each setting down through this
+  /// hook so container passes keep per-pass verification for their nested
+  /// pipelines; leaf passes ignore it.
+  virtual void setNestedVerifier(bool Enable) { (void)Enable; }
+
+  /// Prints this pass's element of a textual pipeline; the default is the
+  /// mnemonic, nested pipelines print their children recursively.
+  virtual void printPipelineElement(std::ostream &OS) const;
+
+  /// Child passes of a nested pipeline element, or null for leaf passes
+  /// (lets the report and the pipeline printer recurse).
+  virtual const std::vector<std::unique_ptr<Pass>> *getNestedPasses() const {
+    return nullptr;
+  }
 
   /// Named counters reported by the pass manager when statistics are
   /// enabled.
@@ -97,11 +293,48 @@ class FunctionPass : public Pass {
 public:
   using Pass::Pass;
 
-  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) final;
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) final;
+  FunctionPass *asFunctionPass() override { return this; }
 
   /// Runs on a single function.
-  virtual LogicalResult runOnFunction(Operation *Func, AnalysisManager &AM) = 0;
+  virtual PassResult runOnFunction(Operation *Func, AnalysisManager &AM) = 0;
 };
+
+/// Runs a nested pipeline over every `func.func` under the root: the
+/// `func(...)` element of a textual pipeline. Each function flows through
+/// the whole nested pipeline before the next function is visited, with
+/// per-pass analysis invalidation honoring the nested preserved sets.
+class FunctionPipelinePass : public Pass {
+public:
+  FunctionPipelinePass() : Pass("FunctionPipeline", "func") {}
+
+  void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+  const std::vector<std::unique_ptr<Pass>> &getPasses() const {
+    return Passes;
+  }
+
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) final;
+  void printPipelineElement(std::ostream &OS) const override;
+  const std::vector<std::unique_ptr<Pass>> *getNestedPasses() const override {
+    return &Passes;
+  }
+  void setNestedVerifier(bool Enable) override {
+    VerifyEach = Enable;
+    for (auto &P : Passes)
+      P->setNestedVerifier(Enable);
+  }
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+  /// Mirrors the owning pass manager's verify-each setting: each function
+  /// is re-verified after each nested pass, as it would be had the nested
+  /// passes run at the top level.
+  bool VerifyEach = true;
+};
+
+//===----------------------------------------------------------------------===//
+// PassManager
+//===----------------------------------------------------------------------===//
 
 /// Runs a sequence of passes over a module with optional instrumentation.
 class PassManager {
@@ -125,20 +358,29 @@ public:
   void enableTiming(bool Enable = true) { TimePasses = Enable; }
 
   /// Runs all passes on \p Root; stops and fails on the first pass failure
-  /// or verification error.
-  LogicalResult run(Operation *Root);
+  /// or verification error, describing it in \p ErrorMessage when
+  /// non-null.
+  LogicalResult run(Operation *Root, std::string *ErrorMessage = nullptr);
 
-  /// Human-readable timing/statistics report for the last run.
+  /// Human-readable timing/statistics report for the last run, including
+  /// analysis cache hits/misses; passes the last run never reached are
+  /// annotated "(not run)".
   std::string getReport() const;
 
   const std::vector<std::unique_ptr<Pass>> &getPasses() const {
     return Passes;
   }
 
+  /// Analysis cache of the last run (statistics are reset by each run).
+  const AnalysisManager &getAnalysisManager() const { return AM; }
+
 private:
   MLIRContext *Context;
   std::vector<std::unique_ptr<Pass>> Passes;
+  AnalysisManager AM;
   std::vector<double> TimingsMs;
+  /// How many leading passes the last run actually executed.
+  unsigned NumExecuted = 0;
   bool VerifyEach = true;
   bool PrintAfterEach = false;
   bool TimePasses = false;

@@ -1,0 +1,195 @@
+//===- PassRegistry.cpp - Pass registration and textual pipelines ----------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PassRegistry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// PassRegistry
+//===----------------------------------------------------------------------===//
+
+PassRegistry &PassRegistry::get() {
+  static PassRegistry Registry;
+  return Registry;
+}
+
+void PassRegistry::registerPass(
+    std::string Mnemonic, std::string Description,
+    std::function<std::unique_ptr<Pass>()> Factory) {
+  for (auto &Info : Infos) {
+    if (Info->Mnemonic == Mnemonic) {
+      Info->Description = std::move(Description);
+      Info->Factory = std::move(Factory);
+      return;
+    }
+  }
+  auto Info = std::make_unique<PassInfo>();
+  Info->Mnemonic = std::move(Mnemonic);
+  Info->Description = std::move(Description);
+  Info->Factory = std::move(Factory);
+  Infos.push_back(std::move(Info));
+}
+
+const PassInfo *PassRegistry::lookup(std::string_view Mnemonic) const {
+  for (const auto &Info : Infos)
+    if (Info->Mnemonic == Mnemonic)
+      return Info.get();
+  return nullptr;
+}
+
+std::vector<const PassInfo *> PassRegistry::getPassInfos() const {
+  std::vector<const PassInfo *> Result;
+  for (const auto &Info : Infos)
+    Result.push_back(Info.get());
+  std::sort(Result.begin(), Result.end(),
+            [](const PassInfo *A, const PassInfo *B) {
+              return A->Mnemonic < B->Mnemonic;
+            });
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent parser over the pipeline grammar. Positions in error
+/// messages are 1-based offsets into the original string.
+class PipelineParser {
+public:
+  explicit PipelineParser(std::string_view Text) : Text(Text) {}
+
+  /// pipeline ::= element (',' element)*
+  LogicalResult parsePipeline(std::vector<std::unique_ptr<Pass>> &Passes,
+                              bool Nested) {
+    while (true) {
+      if (parseElement(Passes).failed())
+        return failure();
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    skipSpace();
+    if (!Nested && Pos < Text.size())
+      return error("unexpected character '" + std::string(1, Text[Pos]) +
+                   "'");
+    return success();
+  }
+
+  const std::string &getError() const { return Error; }
+
+private:
+  /// element ::= mnemonic | 'func' '(' pipeline ')'
+  LogicalResult parseElement(std::vector<std::unique_ptr<Pass>> &Passes) {
+    skipSpace();
+    std::string Mnemonic = lexMnemonic();
+    if (Mnemonic.empty()) {
+      if (Pos < Text.size() && (Text[Pos] == ',' || Text[Pos] == ')'))
+        return error("empty pipeline element");
+      if (Pos >= Text.size())
+        return error("expected a pass mnemonic");
+      return error("expected a pass mnemonic, got '" +
+                   std::string(1, Text[Pos]) + "'");
+    }
+    skipSpace();
+
+    if (Pos < Text.size() && Text[Pos] == '(') {
+      if (Mnemonic != "func")
+        return error("only 'func' may carry a nested pipeline, got '" +
+                     Mnemonic + "('");
+      size_t OpenPos = Pos++;
+      auto Nested = std::make_unique<FunctionPipelinePass>();
+      std::vector<std::unique_ptr<Pass>> NestedPasses;
+      if (parsePipeline(NestedPasses, /*Nested=*/true).failed())
+        return failure();
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != ')') {
+        Pos = OpenPos;
+        return error("unbalanced '(': missing ')'");
+      }
+      ++Pos;
+      for (auto &P : NestedPasses)
+        Nested->addPass(std::move(P));
+      Passes.push_back(std::move(Nested));
+      return success();
+    }
+
+    if (Mnemonic == "func")
+      return error("'func' requires a nested pipeline: func(...)");
+
+    const PassInfo *Info = PassRegistry::get().lookup(Mnemonic);
+    if (!Info)
+      return error("unknown pass mnemonic '" + Mnemonic + "'");
+    Passes.push_back(Info->Factory());
+    return success();
+  }
+
+  std::string lexMnemonic() {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '_'))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  LogicalResult error(std::string Message) {
+    std::ostringstream OS;
+    OS << "pipeline error at position " << (Pos + 1) << ": " << Message;
+    Error = OS.str();
+    return failure();
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace
+
+LogicalResult smlir::parsePassPipeline(std::string_view Pipeline,
+                                       PassManager &PM,
+                                       std::string *ErrorMessage) {
+  // An all-whitespace pipeline is the empty pipeline, not an error.
+  if (Pipeline.find_first_not_of(" \t\n\r") == std::string_view::npos)
+    return success();
+  PipelineParser Parser(Pipeline);
+  std::vector<std::unique_ptr<Pass>> Passes;
+  if (Parser.parsePipeline(Passes, /*Nested=*/false).failed()) {
+    if (ErrorMessage)
+      *ErrorMessage = Parser.getError();
+    return failure();
+  }
+  for (auto &P : Passes)
+    PM.addPass(std::move(P));
+  return success();
+}
+
+std::string smlir::printPassPipeline(const PassManager &PM) {
+  std::ostringstream OS;
+  const auto &Passes = PM.getPasses();
+  for (size_t I = 0, E = Passes.size(); I != E; ++I) {
+    if (I)
+      OS << ",";
+    Passes[I]->printPipelineElement(OS);
+  }
+  return OS.str();
+}

@@ -1,0 +1,83 @@
+//===- PassRegistry.h - Pass registration and textual pipelines -*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-global registry of passes by mnemonic, and the textual pass
+/// pipeline language built on it:
+///
+///   pipeline ::= element (',' element)*
+///   element  ::= mnemonic | 'func' '(' pipeline ')'
+///
+/// `func(...)` scopes the nested pipeline to every `func.func` in the
+/// module (FunctionPipelinePass). Pipelines parse into a PassManager and
+/// print back to the same string, so pass configurations travel as data:
+/// the compiler driver's flows, `smlir-opt --pass-pipeline` and the
+/// ablation benchmarks all go through this one entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_PASSREGISTRY_H
+#define SMLIR_IR_PASSREGISTRY_H
+
+#include "ir/Pass.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smlir {
+
+/// One registered pass: how to spell it in a pipeline and how to make it.
+struct PassInfo {
+  std::string Mnemonic;
+  std::string Description;
+  std::function<std::unique_ptr<Pass>()> Factory;
+};
+
+/// The process-global mnemonic -> PassInfo table. Registration is
+/// idempotent: re-registering a mnemonic replaces the previous entry.
+class PassRegistry {
+public:
+  static PassRegistry &get();
+
+  void registerPass(std::string Mnemonic, std::string Description,
+                    std::function<std::unique_ptr<Pass>()> Factory);
+
+  /// Returns the entry for \p Mnemonic, or null if unknown.
+  const PassInfo *lookup(std::string_view Mnemonic) const;
+
+  /// All registered passes, sorted by mnemonic (for --list-passes).
+  std::vector<const PassInfo *> getPassInfos() const;
+
+private:
+  std::vector<std::unique_ptr<PassInfo>> Infos;
+};
+
+/// RAII-style registration helper for static registration at namespace
+/// scope: `static PassRegistration Reg("cse", "...", createCSEPass);`
+struct PassRegistration {
+  PassRegistration(std::string Mnemonic, std::string Description,
+                   std::function<std::unique_ptr<Pass>()> Factory) {
+    PassRegistry::get().registerPass(std::move(Mnemonic),
+                                     std::move(Description),
+                                     std::move(Factory));
+  }
+};
+
+/// Parses \p Pipeline and appends the resulting passes to \p PM. On error
+/// (unknown mnemonic, unbalanced parentheses, empty element), fails and
+/// describes the problem in \p ErrorMessage; \p PM is left unchanged.
+LogicalResult parsePassPipeline(std::string_view Pipeline, PassManager &PM,
+                                std::string *ErrorMessage = nullptr);
+
+/// Prints \p PM's passes back to pipeline syntax; the result re-parses to
+/// an equivalent pipeline (round-trip property, tested).
+std::string printPassPipeline(const PassManager &PM);
+
+} // namespace smlir
+
+#endif // SMLIR_IR_PASSREGISTRY_H

@@ -6,7 +6,9 @@
 
 #include "transform/Passes.h"
 
+#include "analysis/Dominance.h"
 #include "ir/Block.h"
+#include "ir/PassRegistry.h"
 #include "ir/PatternMatch.h"
 
 #include <map>
@@ -25,9 +27,12 @@ class CanonicalizerPass : public Pass {
 public:
   CanonicalizerPass() : Pass("Canonicalizer", "canonicalize") {}
 
-  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
     RewritePatternSet Patterns;
-    return applyPatternsGreedily(Root, Patterns);
+    // Folding and pattern rewrites stay within the structured region
+    // nesting, so dominance facts survive.
+    return {applyPatternsGreedily(Root, Patterns),
+            preserving<DominanceInfo>()};
   }
 };
 
@@ -53,12 +58,13 @@ class CSEPass : public Pass {
 public:
   CSEPass() : Pass("CSE", "cse") {}
 
-  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
     std::vector<std::map<std::string, Operation *>> Scopes;
     for (auto &R : Root->getRegions())
       for (auto &B : *R)
         runOnBlock(B.get(), Scopes);
-    return success();
+    // Erasing duplicate pure ops never reorders the survivors.
+    return {success(), preserving<DominanceInfo>()};
   }
 
 private:
@@ -108,7 +114,7 @@ class DCEPass : public Pass {
 public:
   DCEPass() : Pass("DCE", "dce") {}
 
-  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
     bool Changed = true;
     while (Changed) {
       Changed = false;
@@ -123,7 +129,7 @@ public:
         Changed = true;
       });
     }
-    return success();
+    return {success(), preserving<DominanceInfo>()};
   }
 };
 
@@ -139,4 +145,19 @@ std::unique_ptr<Pass> smlir::createCSEPass() {
 
 std::unique_ptr<Pass> smlir::createDCEPass() {
   return std::make_unique<DCEPass>();
+}
+
+void smlir::registerCleanupPasses() {
+  PassRegistry &Registry = PassRegistry::get();
+  Registry.registerPass("canonicalize",
+                        "Greedy folding, trivial DCE and canonicalization "
+                        "patterns",
+                        createCanonicalizerPass);
+  Registry.registerPass("cse",
+                        "Common subexpression elimination for pure ops, "
+                        "scoped by region nesting",
+                        createCSEPass);
+  Registry.registerPass("dce",
+                        "Dead code elimination for side-effect free ops",
+                        createDCEPass);
 }

@@ -19,6 +19,7 @@
 #include "dialect/Builtin.h"
 #include "dialect/SYCL.h"
 #include "ir/Block.h"
+#include "ir/PassRegistry.h"
 #include "transform/Passes.h"
 
 #include <map>
@@ -32,7 +33,7 @@ class DAEPass : public Pass {
 public:
   DAEPass() : Pass("SYCLDeadArgumentElimination", "sycl-dae") {}
 
-  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
     auto Top = ModuleOp::dyn_cast(Root);
     if (!Top)
       return success();
@@ -147,4 +148,12 @@ private:
 
 std::unique_ptr<Pass> smlir::createDeadArgumentEliminationPass() {
   return std::make_unique<DAEPass>();
+}
+
+void smlir::registerDeadArgumentEliminationPasses() {
+  PassRegistry::get().registerPass(
+      "sycl-dae",
+      "Remove kernel arguments that became unused from signatures and "
+      "host schedules (paper §VII-B)",
+      createDeadArgumentEliminationPass);
 }

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AliasAnalysis.h"
+#include "ir/PassRegistry.h"
 #include "dialect/MemRef.h"
 #include "dialect/SCF.h"
 #include "ir/Block.h"
@@ -76,8 +77,8 @@ class DetectReductionPass : public FunctionPass {
 public:
   DetectReductionPass() : FunctionPass("DetectReduction", "detect-reduction") {}
 
-  LogicalResult runOnFunction(Operation *Func, AnalysisManager &AM) override {
-    SYCLAliasAnalysis AA(Func);
+  PassResult runOnFunction(Operation *Func, AnalysisManager &AM) override {
+    SYCLAliasAnalysis &AA = AM.get<SYCLAliasAnalysis>(Func);
     // Rewriting replaces the loop op, so rescan until no change.
     bool Changed = true;
     while (Changed) {
@@ -96,7 +97,9 @@ public:
         }
       }
     }
-    return success();
+    // Alias queries are recomputed per value from underlying objects, so
+    // rewriting a loop to iter_args form leaves them valid.
+    return {success(), preserving<SYCLAliasAnalysis>()};
   }
 
 private:
@@ -251,4 +254,12 @@ private:
 
 std::unique_ptr<Pass> smlir::createDetectReductionPass() {
   return std::make_unique<DetectReductionPass>();
+}
+
+void smlir::registerDetectReductionPasses() {
+  PassRegistry::get().registerPass(
+      "detect-reduction",
+      "Rewrite load/accumulate/store array reductions into iter_args form "
+      "(paper §VI-B)",
+      createDetectReductionPass);
 }

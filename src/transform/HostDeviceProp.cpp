@@ -26,6 +26,7 @@
 #include "dialect/SYCL.h"
 #include "ir/Block.h"
 #include "ir/Builders.h"
+#include "ir/PassRegistry.h"
 #include "transform/Passes.h"
 
 #include <map>
@@ -73,7 +74,7 @@ public:
   HostDevicePropPass()
       : Pass("HostDeviceConstantPropagation", "host-device-prop") {}
 
-  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
     auto Top = ModuleOp::dyn_cast(Root);
     if (!Top)
       return success();
@@ -349,4 +350,12 @@ private:
 
 std::unique_ptr<Pass> smlir::createHostDeviceConstantPropagationPass() {
   return std::make_unique<HostDevicePropPass>();
+}
+
+void smlir::registerHostDevicePropPasses() {
+  PassRegistry::get().registerPass(
+      "host-device-prop",
+      "Propagate constant ND-ranges, scalar arguments and accessor facts "
+      "from host schedules into kernels (paper §VII-B)",
+      createHostDeviceConstantPropagationPass);
 }

@@ -18,6 +18,7 @@
 #include "dialect/SYCL.h"
 #include "ir/Block.h"
 #include "ir/Builders.h"
+#include "ir/PassRegistry.h"
 #include "transform/Passes.h"
 
 using namespace smlir;
@@ -37,7 +38,7 @@ class HostRaisingPass : public Pass {
 public:
   HostRaisingPass() : Pass("HostRaising", "host-raising") {}
 
-  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
     std::vector<Operation *> Calls;
     Root->walk([&](Operation *Op) {
       if (llvmir::LLVMCallOp::dyn_cast(Op))
@@ -150,4 +151,12 @@ private:
 
 std::unique_ptr<Pass> smlir::createHostRaisingPass() {
   return std::make_unique<HostRaisingPass>();
+}
+
+void smlir::registerHostRaisingPasses() {
+  PassRegistry::get().registerPass(
+      "host-raising",
+      "Raise DPC++ runtime ABI calls in host IR to sycl.host.* ops "
+      "(paper §VII-A)",
+      createHostRaisingPass);
 }

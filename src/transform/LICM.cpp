@@ -26,6 +26,7 @@
 #include "dialect/SYCL.h"
 #include "ir/Block.h"
 #include "ir/Builders.h"
+#include "ir/PassRegistry.h"
 #include "transform/Passes.h"
 
 #include <set>
@@ -90,11 +91,11 @@ class LICMPass : public FunctionPass {
 public:
   explicit LICMPass(bool MemoryAware)
       : FunctionPass(MemoryAware ? "SYCLMemoryAwareLICM" : "BasicLICM",
-                     "licm"),
+                     MemoryAware ? "licm" : "basic-licm"),
         MemoryAware(MemoryAware) {}
 
-  LogicalResult runOnFunction(Operation *Func, AnalysisManager &AM) override {
-    SYCLAliasAnalysis AA(Func);
+  PassResult runOnFunction(Operation *Func, AnalysisManager &AM) override {
+    SYCLAliasAnalysis &AA = AM.get<SYCLAliasAnalysis>(Func);
     // Innermost loops first; repeat so ops hoisted out of inner loops can
     // continue outward.
     for (int Round = 0; Round < 3; ++Round) {
@@ -109,7 +110,10 @@ public:
       if (!Changed)
         break;
     }
-    return success();
+    // Alias queries resolve through underlying objects, which hoisting
+    // does not change; later passes on this function reuse the cached
+    // analysis.
+    return {success(), preserving<SYCLAliasAnalysis>()};
   }
 
 private:
@@ -333,4 +337,16 @@ private:
 
 std::unique_ptr<Pass> smlir::createLICMPass(bool MemoryAware) {
   return std::make_unique<LICMPass>(MemoryAware);
+}
+
+void smlir::registerLICMPasses() {
+  PassRegistry &Registry = PassRegistry::get();
+  Registry.registerPass("licm",
+                        "Memory-aware loop-invariant code motion with "
+                        "versioning guards (paper §VI-A)",
+                        [] { return createLICMPass(/*MemoryAware=*/true); });
+  Registry.registerPass("basic-licm",
+                        "Baseline LICM restricted to pure ops (upstream "
+                        "MLIR behavior)",
+                        [] { return createLICMPass(/*MemoryAware=*/false); });
 }

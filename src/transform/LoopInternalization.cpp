@@ -29,6 +29,7 @@
 #include "dialect/SYCL.h"
 #include "ir/Block.h"
 #include "ir/Builders.h"
+#include "ir/PassRegistry.h"
 #include "transform/Passes.h"
 
 #include <optional>
@@ -76,9 +77,9 @@ public:
   LoopInternalizationPass()
       : Pass("LoopInternalization", "loop-internalization") {}
 
-  LogicalResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
-    UniformityAnalysis UA(Root);
-    MemoryAccessAnalysis MAA(Root);
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+    UniformityAnalysis &UA = AM.get<UniformityAnalysis>(Root);
+    MemoryAccessAnalysis &MAA = AM.get<MemoryAccessAnalysis>(Root);
 
     std::vector<Operation *> Kernels;
     Root->walk([&](Operation *Op) {
@@ -436,4 +437,12 @@ private:
 
 std::unique_ptr<Pass> smlir::createLoopInternalizationPass() {
   return std::make_unique<LoopInternalizationPass>();
+}
+
+void smlir::registerLoopInternalizationPasses() {
+  PassRegistry::get().registerPass(
+      "loop-internalization",
+      "Tile kernel loops and prefetch reused accessor data into "
+      "work-group local memory (paper §VI-C)",
+      createLoopInternalizationPass);
 }

@@ -67,6 +67,28 @@ std::unique_ptr<Pass> createHostDeviceConstantPropagationPass();
 /// cheaper.
 std::unique_ptr<Pass> createDeadArgumentEliminationPass();
 
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+//
+// Each pass file registers its mnemonics with the global PassRegistry so
+// textual pipelines ("host-raising,func(licm,detect-reduction),...") can
+// name them. Registration is explicit rather than via static initializers:
+// the smlir library is static and the linker would otherwise drop the
+// registering objects of passes nothing references directly.
+
+void registerCleanupPasses();            // canonicalize, cse, dce
+void registerLICMPasses();               // licm, basic-licm
+void registerDetectReductionPasses();    // detect-reduction
+void registerLoopInternalizationPasses();// loop-internalization
+void registerHostRaisingPasses();        // host-raising
+void registerHostDevicePropPasses();     // host-device-prop
+void registerDeadArgumentEliminationPasses(); // sycl-dae
+
+/// Registers every transform pass above; idempotent and cheap to call
+/// from any pipeline entry point (compiler driver, smlir-opt, tests).
+void registerAllPasses();
+
 } // namespace smlir
 
 #endif // SMLIR_TRANSFORM_PASSES_H

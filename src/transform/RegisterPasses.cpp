@@ -1,0 +1,25 @@
+//===- RegisterPasses.cpp - Register every transform pass ------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Passes.h"
+
+using namespace smlir;
+
+void smlir::registerAllPasses() {
+  // The registry itself tolerates re-registration; the once-flag just
+  // skips redundant work on hot compile paths.
+  static const bool Registered = [] {
+    registerCleanupPasses();
+    registerLICMPasses();
+    registerDetectReductionPasses();
+    registerLoopInternalizationPasses();
+    registerHostRaisingPasses();
+    registerHostDevicePropPasses();
+    registerDeadArgumentEliminationPasses();
+    return true;
+  }();
+  (void)Registered;
+}

@@ -9,7 +9,9 @@
 #include "ir/MLIRContext.h"
 #include "ir/Operation.h"
 #include "ir/Parser.h"
+#include "ir/PassRegistry.h"
 #include "ir/Verifier.h"
+#include "transform/Passes.h"
 
 #include <cstdlib>
 #include <fstream>
@@ -104,30 +106,29 @@ bool updateRequested() {
 
 ::testing::AssertionResult
 checkGoldenPipeline(MLIRContext &Ctx, Operation *Module,
-                    const std::string &Name,
-                    std::vector<std::unique_ptr<Pass>> Passes) {
+                    const std::string &Name, const std::string &Pipeline) {
   std::string Error;
   if (verify(Module, &Error).failed())
     return ::testing::AssertionFailure()
            << "fixture module for '" << Name
            << "' does not verify: " << Error;
 
-  std::string Pipeline;
-  for (const auto &P : Passes) {
-    if (!Pipeline.empty())
-      Pipeline += ",";
-    Pipeline += P->getArgument();
-  }
+  registerAllPasses();
+  PassManager PM(&Ctx);
+  if (parsePassPipeline(Pipeline, PM, &Error).failed())
+    return ::testing::AssertionFailure()
+           << "pipeline '" << Pipeline << "' for fixture '" << Name
+           << "' does not parse: " << Error;
+  // The header records the canonical round-trip print, the exact string
+  // smlir-opt needs to reproduce the snapshot.
+  std::string Canonical = printPassPipeline(PM);
 
   std::string Before = Module->str();
 
-  PassManager PM(&Ctx);
-  for (auto &P : Passes)
-    PM.addPass(std::move(P));
-  if (PM.run(Module).failed())
+  if (PM.run(Module, &Error).failed())
     return ::testing::AssertionFailure()
-           << "pipeline '" << Pipeline << "' failed on fixture '" << Name
-           << "'";
+           << "pipeline '" << Canonical << "' failed on fixture '" << Name
+           << "': " << Error;
   if (verify(Module, &Error).failed())
     return ::testing::AssertionFailure()
            << "pipeline '" << Pipeline << "' produced IR that does not "
@@ -142,7 +143,7 @@ checkGoldenPipeline(MLIRContext &Ctx, Operation *Module,
 
   std::ostringstream Snapshot;
   Snapshot << "// Golden-IR snapshot '" << Name << "'\n"
-           << "// pipeline: " << Pipeline << "\n"
+           << "// pipeline: " << Canonical << "\n"
            << "// Regenerate with: UPDATE_GOLDEN=1 ./GoldenIRTest "
            << "(or UPDATE_GOLDEN=1 ctest -R GoldenIR)\n"
            << BeforeMarker << "\n"

@@ -5,10 +5,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A snapshot-testing harness for transformation passes: runs a pass
-/// pipeline over a fixture module, prints the IR before and after through
-/// `ir/Printer`, and diffs the result against a checked-in
-/// `<name>.mlir.expected` file. Setting `UPDATE_GOLDEN=1` in the
+/// A snapshot-testing harness for transformation passes: runs a textual
+/// pass pipeline (resolved through the global PassRegistry) over a fixture
+/// module, prints the IR before and after through `ir/Printer`, and diffs
+/// the result against a checked-in `<name>.mlir.expected` file. The
+/// snapshot header records the canonical pipeline string, so any snapshot
+/// is reproducible from its own "before" section with
+/// `smlir-opt --pass-pipeline=<recorded pipeline>`. Setting `UPDATE_GOLDEN=1` in the
 /// environment regenerates the snapshots in the source tree instead of
 /// comparing. Every printed section is additionally round-tripped through
 /// `ir/Parser` + `ir/Verifier`, so a snapshot can never record IR the
@@ -43,27 +46,18 @@ std::string snapshotDir();
 /// snapshots are rewritten in place instead of compared.
 bool updateRequested();
 
-/// Runs \p Passes over \p Module (mutating it), then checks the printed
-/// before/after IR against `<Name>.mlir.expected` in snapshotDir().
+/// Runs the textual \p Pipeline over \p Module (mutating it), then checks
+/// the printed before/after IR against `<Name>.mlir.expected` in
+/// snapshotDir().
 ///
-/// The check fails if: the input module does not verify, any pass fails,
-/// the output does not verify, either printed section fails to re-parse
-/// and re-verify, the snapshot file is missing (run with UPDATE_GOLDEN=1
-/// to create it), or the file content differs from the freshly produced
-/// snapshot.
+/// The check fails if: the input module does not verify, the pipeline does
+/// not parse, any pass fails, the output does not verify, either printed
+/// section fails to re-parse and re-verify, the snapshot file is missing
+/// (run with UPDATE_GOLDEN=1 to create it), or the file content differs
+/// from the freshly produced snapshot.
 ::testing::AssertionResult
 checkGoldenPipeline(MLIRContext &Ctx, Operation *Module,
-                    const std::string &Name,
-                    std::vector<std::unique_ptr<Pass>> Passes);
-
-/// Convenience for single-pass checks.
-inline ::testing::AssertionResult
-checkGoldenPass(MLIRContext &Ctx, Operation *Module, const std::string &Name,
-                std::unique_ptr<Pass> P) {
-  std::vector<std::unique_ptr<Pass>> Passes;
-  Passes.push_back(std::move(P));
-  return checkGoldenPipeline(Ctx, Module, Name, std::move(Passes));
-}
+                    const std::string &Name, const std::string &Pipeline);
 
 } // namespace golden
 } // namespace smlir

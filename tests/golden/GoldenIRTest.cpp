@@ -8,7 +8,9 @@
 /// One golden before/after snapshot per transformation pass: memory-aware
 /// LICM, Detect Reduction, Loop Internalization, Host Raising, host-device
 /// constant propagation, dead argument elimination, and the cleanup
-/// pipeline (canonicalize + CSE + DCE). Fixtures mirror the paper's
+/// pipeline (canonicalize + CSE + DCE) — plus one snapshot of the complete
+/// default SYCL-MLIR flow, the fixture CI replays through `smlir-opt`.
+/// Pipelines are given as registry strings; fixtures mirror the paper's
 /// listings; snapshots live in `tests/golden/snapshots/` and are refreshed
 /// with `UPDATE_GOLDEN=1`.
 ///
@@ -16,6 +18,7 @@
 
 #include "GoldenIR.h"
 
+#include "core/Compiler.h"
 #include "dialect/Arith.h"
 #include "dialect/Builtin.h"
 #include "dialect/MemRef.h"
@@ -27,6 +30,7 @@
 #include "ir/MLIRContext.h"
 #include "ir/Parser.h"
 #include "ir/Pass.h"
+#include "ir/PassRegistry.h"
 #include "ir/Verifier.h"
 #include "transform/Passes.h"
 
@@ -48,13 +52,14 @@ protected:
     return Module;
   }
 
-  /// Runs \p Passes as a precondition pipeline (e.g. raising before a
+  /// Runs \p Pipeline as a precondition (e.g. raising before a
   /// device-side golden check) without snapshotting it.
-  void preRun(Operation *Root, std::vector<std::unique_ptr<Pass>> Passes) {
+  void preRun(Operation *Root, const std::string &Pipeline) {
+    registerAllPasses();
     PassManager PM(&Ctx);
-    for (auto &P : Passes)
-      PM.addPass(std::move(P));
-    ASSERT_TRUE(PM.run(Root).succeeded());
+    std::string Error;
+    ASSERT_TRUE(parsePassPipeline(Pipeline, PM, &Error).succeeded()) << Error;
+    ASSERT_TRUE(PM.run(Root, &Error).succeeded()) << Error;
   }
 
   MLIRContext Ctx;
@@ -84,8 +89,8 @@ TEST_F(GoldenIRTest, LICM) {
 })";
   OwningOpRef Module = parse(Source);
   ASSERT_TRUE(Module);
-  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Module.get(), "licm",
-                                      createLICMPass()));
+  EXPECT_TRUE(
+      golden::checkGoldenPipeline(Ctx, Module.get(), "licm", "licm"));
 }
 
 //===----------------------------------------------------------------------===//
@@ -111,8 +116,9 @@ TEST_F(GoldenIRTest, DetectReduction) {
 })";
   OwningOpRef Module = parse(Source);
   ASSERT_TRUE(Module);
-  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Module.get(), "detect-reduction",
-                                      createDetectReductionPass()));
+  EXPECT_TRUE(golden::checkGoldenPipeline(Ctx, Module.get(),
+                                          "detect-reduction",
+                                          "detect-reduction"));
 }
 
 //===----------------------------------------------------------------------===//
@@ -136,12 +142,8 @@ TEST_F(GoldenIRTest, Cleanup) {
 })";
   OwningOpRef Module = parse(Source);
   ASSERT_TRUE(Module);
-  std::vector<std::unique_ptr<Pass>> Passes;
-  Passes.push_back(createCanonicalizerPass());
-  Passes.push_back(createCSEPass());
-  Passes.push_back(createDCEPass());
   EXPECT_TRUE(golden::checkGoldenPipeline(Ctx, Module.get(), "cleanup",
-                                          std::move(Passes)));
+                                          "canonicalize,cse,dce"));
 }
 
 //===----------------------------------------------------------------------===//
@@ -195,8 +197,8 @@ TEST_F(GoldenIRTest, HostRaising) {
   Builder.create<ReturnOp>(Loc);
 
   OwningOpRef Owned(Top.getOperation());
-  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Owned.get(), "host-raising",
-                                      createHostRaisingPass()));
+  EXPECT_TRUE(golden::checkGoldenPipeline(Ctx, Owned.get(), "host-raising",
+                                          "host-raising"));
 }
 
 //===----------------------------------------------------------------------===//
@@ -234,14 +236,10 @@ SourceProgram makeRangeQueryProgram(MLIRContext &Ctx) {
 TEST_F(GoldenIRTest, HostDeviceProp) {
   SourceProgram Program = makeRangeQueryProgram(Ctx);
   // Raise first so the snapshot isolates the propagation step.
-  {
-    std::vector<std::unique_ptr<Pass>> Pre;
-    Pre.push_back(createHostRaisingPass());
-    preRun(Program.DeviceModule.get(), std::move(Pre));
-  }
-  EXPECT_TRUE(golden::checkGoldenPass(
-      Ctx, Program.DeviceModule.get(), "host-device-prop",
-      createHostDeviceConstantPropagationPass()));
+  preRun(Program.DeviceModule.get(), "host-raising");
+  EXPECT_TRUE(golden::checkGoldenPipeline(Ctx, Program.DeviceModule.get(),
+                                          "host-device-prop",
+                                          "host-device-prop"));
 }
 
 //===----------------------------------------------------------------------===//
@@ -268,18 +266,10 @@ TEST_F(GoldenIRTest, DeadArgElim) {
                        ScalarArg::f32(2.0)}}};
   importHostIR(Program);
 
-  {
-    std::vector<std::unique_ptr<Pass>> Pre;
-    Pre.push_back(createHostRaisingPass());
-    Pre.push_back(createHostDeviceConstantPropagationPass());
-    Pre.push_back(createCanonicalizerPass());
-    Pre.push_back(createCSEPass());
-    Pre.push_back(createDCEPass());
-    preRun(Program.DeviceModule.get(), std::move(Pre));
-  }
-  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Program.DeviceModule.get(),
-                                      "dead-arg-elim",
-                                      createDeadArgumentEliminationPass()));
+  preRun(Program.DeviceModule.get(),
+         "host-raising,host-device-prop,canonicalize,cse,dce");
+  EXPECT_TRUE(golden::checkGoldenPipeline(Ctx, Program.DeviceModule.get(),
+                                          "dead-arg-elim", "sycl-dae"));
 }
 
 //===----------------------------------------------------------------------===//
@@ -318,15 +308,24 @@ TEST_F(GoldenIRTest, LoopInternalization) {
         AccessorArg{"C", sycl::AccessMode::ReadWrite, {}, {}}}}};
   importHostIR(Program);
 
-  {
-    std::vector<std::unique_ptr<Pass>> Pre;
-    Pre.push_back(createHostRaisingPass());
-    Pre.push_back(createHostDeviceConstantPropagationPass());
-    preRun(Program.DeviceModule.get(), std::move(Pre));
-  }
-  EXPECT_TRUE(golden::checkGoldenPass(Ctx, Program.DeviceModule.get(),
-                                      "loop-internalization",
-                                      createLoopInternalizationPass()));
+  preRun(Program.DeviceModule.get(), "host-raising,host-device-prop");
+  EXPECT_TRUE(golden::checkGoldenPipeline(Ctx, Program.DeviceModule.get(),
+                                          "loop-internalization",
+                                          "loop-internalization"));
+}
+
+//===----------------------------------------------------------------------===//
+// The complete default SYCL-MLIR flow as one snapshot
+//===----------------------------------------------------------------------===//
+
+TEST_F(GoldenIRTest, SYCLMLIRDefaultPipeline) {
+  // The exact pipeline Compiler::compile runs for default options; the CI
+  // smoke test replays this snapshot's "before" section through smlir-opt
+  // with the header's pipeline string and diffs against "after".
+  SourceProgram Program = makeRangeQueryProgram(Ctx);
+  EXPECT_TRUE(golden::checkGoldenPipeline(
+      Ctx, Program.DeviceModule.get(), "syclmlir-pipeline",
+      core::Compiler::getPipeline(core::CompilerOptions())));
 }
 
 } // namespace

@@ -1,0 +1,364 @@
+//===- PassPipelineTest.cpp - Registry, pipeline and analysis-cache tests ----===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the pass-pipeline engine: registry lookup of every transform
+/// pass, pipeline-string round-trips (parse -> print -> parse), parse
+/// diagnostics (unknown mnemonics, unbalanced parentheses, empty
+/// elements), fine-grained preserved-analysis invalidation with hit/miss
+/// statistics, failure routing through PassManager::run's error
+/// out-parameter, and the "(not run)" report annotation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/Dominance.h"
+#include "core/Compiler.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/Pass.h"
+#include "ir/PassRegistry.h"
+#include "transform/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace smlir;
+
+namespace {
+
+class PassPipelineTest : public ::testing::Test {
+protected:
+  PassPipelineTest() {
+    registerAllDialects(Ctx);
+    registerAllPasses();
+  }
+
+  OwningOpRef parse(const char *Source) {
+    std::string Error;
+    OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+    EXPECT_TRUE(Module) << Error;
+    return Module;
+  }
+
+  /// Parses \p Pipeline into a fresh PassManager, asserting success.
+  void parsePipeline(PassManager &PM, const std::string &Pipeline) {
+    std::string Error;
+    ASSERT_TRUE(parsePassPipeline(Pipeline, PM, &Error).succeeded()) << Error;
+  }
+
+  MLIRContext Ctx;
+};
+
+/// A function with a loop-invariant load in a loop: LICM hoists it, and
+/// both LICM and Detect Reduction query SYCLAliasAnalysis on the same
+/// function root.
+const char *LoopFixture = R"(module {
+  func.func @f(%in: memref<4xf32>, %n: index) {
+    %out = "memref.alloca"() : () -> (memref<16xf32>)
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%c0, %n, %c1) ({
+    ^bb0(%iv: index):
+      %v = "memref.load"(%in, %c0) : (memref<4xf32>, index) -> (f32)
+      "memref.store"(%v, %out, %iv) : (f32, memref<16xf32>, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassPipelineTest, RegistryLookupOfAllTransformPasses) {
+  const char *Mnemonics[] = {
+      "canonicalize",  "cse",           "dce",
+      "licm",          "basic-licm",    "detect-reduction",
+      "loop-internalization",           "host-raising",
+      "host-device-prop",               "sycl-dae",
+  };
+  for (const char *Mnemonic : Mnemonics) {
+    const PassInfo *Info = PassRegistry::get().lookup(Mnemonic);
+    ASSERT_NE(Info, nullptr) << Mnemonic;
+    EXPECT_FALSE(Info->Description.empty()) << Mnemonic;
+    std::unique_ptr<Pass> P = Info->Factory();
+    ASSERT_NE(P, nullptr) << Mnemonic;
+    EXPECT_EQ(P->getArgument(), Mnemonic);
+  }
+  EXPECT_EQ(PassRegistry::get().lookup("no-such-pass"), nullptr);
+}
+
+TEST_F(PassPipelineTest, RegistryListIsSorted) {
+  auto Infos = PassRegistry::get().getPassInfos();
+  ASSERT_GE(Infos.size(), 10u);
+  for (size_t I = 1; I < Infos.size(); ++I)
+    EXPECT_LT(Infos[I - 1]->Mnemonic, Infos[I]->Mnemonic);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline round-trip
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassPipelineTest, RoundTripFlatPipeline) {
+  PassManager PM(&Ctx);
+  parsePipeline(PM, "canonicalize,cse,dce");
+  EXPECT_EQ(printPassPipeline(PM), "canonicalize,cse,dce");
+  EXPECT_EQ(PM.getPasses().size(), 3u);
+}
+
+TEST_F(PassPipelineTest, RoundTripNestedPipeline) {
+  const std::string Pipeline =
+      "host-raising,func(licm,detect-reduction),loop-internalization,dce";
+  PassManager PM(&Ctx);
+  parsePipeline(PM, Pipeline);
+  EXPECT_EQ(printPassPipeline(PM), Pipeline);
+
+  // Parse the printed form again: same structure.
+  PassManager PM2(&Ctx);
+  parsePipeline(PM2, printPassPipeline(PM));
+  EXPECT_EQ(printPassPipeline(PM2), Pipeline);
+  ASSERT_EQ(PM2.getPasses().size(), 4u);
+  const auto *Nested = PM2.getPasses()[1]->getNestedPasses();
+  ASSERT_NE(Nested, nullptr);
+  ASSERT_EQ(Nested->size(), 2u);
+  EXPECT_EQ((*Nested)[0]->getArgument(), "licm");
+  EXPECT_EQ((*Nested)[1]->getArgument(), "detect-reduction");
+}
+
+TEST_F(PassPipelineTest, WhitespaceAndEmptyPipelines) {
+  PassManager PM(&Ctx);
+  parsePipeline(PM, "  canonicalize , func( cse , dce ) ");
+  EXPECT_EQ(printPassPipeline(PM), "canonicalize,func(cse,dce)");
+
+  PassManager Empty(&Ctx);
+  parsePipeline(Empty, "   ");
+  EXPECT_TRUE(Empty.getPasses().empty());
+}
+
+TEST_F(PassPipelineTest, CompilerFlowPipelinesRoundTrip) {
+  for (core::CompilerFlow Flow :
+       {core::CompilerFlow::DPCPP, core::CompilerFlow::SYCLMLIR,
+        core::CompilerFlow::AdaptiveCpp}) {
+    core::CompilerOptions Options;
+    Options.Flow = Flow;
+    std::string Pipeline = core::Compiler::getPipeline(Options);
+    EXPECT_FALSE(Pipeline.empty());
+    PassManager PM(&Ctx);
+    std::string Error;
+    ASSERT_TRUE(core::Compiler::buildPipeline(PM, Options, &Error)
+                    .succeeded())
+        << Error;
+    EXPECT_EQ(printPassPipeline(PM), Pipeline)
+        << "flow " << core::stringifyFlow(Flow);
+  }
+}
+
+TEST_F(PassPipelineTest, PipelineOverrideWins) {
+  core::CompilerOptions Options;
+  Options.PipelineOverride = "cse,dce";
+  EXPECT_EQ(core::Compiler::getPipeline(Options), "cse,dce");
+}
+
+//===----------------------------------------------------------------------===//
+// Parse diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassPipelineTest, ParseErrors) {
+  struct Case {
+    const char *Pipeline;
+    const char *ExpectedFragment;
+  } Cases[] = {
+      {"nope", "unknown pass mnemonic 'nope'"},
+      {"cse,nope,dce", "unknown pass mnemonic 'nope'"},
+      {"func(licm", "unbalanced '(': missing ')'"},
+      {"func(func(licm", "unbalanced '(': missing ')'"},
+      {"func(licm))", "unexpected character ')'"},
+      {"cse)", "unexpected character ')'"},
+      {"cse,,dce", "empty pipeline element"},
+      {",cse", "empty pipeline element"},
+      {"cse,", "expected a pass mnemonic"},
+      {"func", "'func' requires a nested pipeline"},
+      {"cse(dce)", "only 'func' may carry a nested pipeline"},
+  };
+  for (const Case &C : Cases) {
+    PassManager PM(&Ctx);
+    std::string Error;
+    EXPECT_TRUE(parsePassPipeline(C.Pipeline, PM, &Error).failed())
+        << C.Pipeline;
+    EXPECT_NE(Error.find(C.ExpectedFragment), std::string::npos)
+        << "pipeline '" << C.Pipeline << "' produced: " << Error;
+    // Failed parses leave the pass manager untouched.
+    EXPECT_TRUE(PM.getPasses().empty()) << C.Pipeline;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Preserved analyses and cache statistics
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassPipelineTest, AnalysisManagerHitMissAndInvalidation) {
+  OwningOpRef Module = parse(LoopFixture);
+  ASSERT_TRUE(Module);
+  AnalysisManager AM;
+
+  AM.get<DominanceInfo>(Module.get());
+  AM.get<DominanceInfo>(Module.get()); // Hit.
+  auto Stats = AM.getQueryStatistics();
+  ASSERT_EQ(Stats.size(), 1u);
+  EXPECT_EQ(Stats.begin()->second.Name, "dominance");
+  EXPECT_EQ(AM.getNumHits(), 1u);
+  EXPECT_EQ(AM.getNumMisses(), 1u);
+
+  // Invalidation keyed by preserved set: DominanceInfo survives, the
+  // (untouched) alias analysis entry does not.
+  AM.get<SYCLAliasAnalysis>(Module.get());
+  EXPECT_EQ(AM.getCacheSize(), 2u);
+  AM.invalidate(preserving<DominanceInfo>());
+  EXPECT_EQ(AM.getCacheSize(), 1u);
+  AM.get<DominanceInfo>(Module.get()); // Still a hit.
+  EXPECT_EQ(AM.getNumHits(), 2u);
+
+  // Preserving nothing clears the rest.
+  AM.invalidate(PreservedAnalyses::none());
+  EXPECT_EQ(AM.getCacheSize(), 0u);
+  AM.get<DominanceInfo>(Module.get()); // Miss again.
+  EXPECT_EQ(AM.getNumMisses(), 3u);
+
+  // Per-root invalidation only touches that root's entries.
+  AM.invalidate(Module.get());
+  EXPECT_EQ(AM.getCacheSize(), 0u);
+}
+
+TEST_F(PassPipelineTest, PreservedAnalysisCacheHitAcrossPasses) {
+  // In func(licm,detect-reduction), LICM computes SYCLAliasAnalysis for
+  // @f and declares it preserved; Detect Reduction's query must be a
+  // cache hit, not a recompute.
+  OwningOpRef Module = parse(LoopFixture);
+  ASSERT_TRUE(Module);
+  PassManager PM(&Ctx);
+  parsePipeline(PM, "func(licm,detect-reduction)");
+  std::string Error;
+  ASSERT_TRUE(PM.run(Module.get(), &Error).succeeded()) << Error;
+
+  const AnalysisManager &AM = PM.getAnalysisManager();
+  EXPECT_GE(AM.getNumHits(), 1u);
+  bool FoundAlias = false;
+  for (const auto &[ID, S] : AM.getQueryStatistics()) {
+    if (S.Name == "sycl-alias-analysis") {
+      FoundAlias = true;
+      EXPECT_EQ(S.Misses, 1u);
+      EXPECT_GE(S.Hits, 1u);
+    }
+  }
+  EXPECT_TRUE(FoundAlias);
+  EXPECT_NE(PM.getReport().find("Analysis cache"), std::string::npos);
+}
+
+TEST_F(PassPipelineTest, DefaultSYCLMLIRPipelineHitsAnalysisCache) {
+  // Acceptance: preservation avoids at least one recomputation across the
+  // compiler's own default pipeline (host modules are absent here, which
+  // only skips the raising work, not the device-side passes).
+  OwningOpRef Module = parse(LoopFixture);
+  ASSERT_TRUE(Module);
+  PassManager PM(&Ctx);
+  core::CompilerOptions Options;
+  std::string Error;
+  ASSERT_TRUE(
+      core::Compiler::buildPipeline(PM, Options, &Error).succeeded())
+      << Error;
+  ASSERT_TRUE(PM.run(Module.get(), &Error).succeeded()) << Error;
+  EXPECT_GE(PM.getAnalysisManager().getNumHits(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure routing and the (not run) annotation
+//===----------------------------------------------------------------------===//
+
+/// A pass that always fails, for error-path coverage.
+class AlwaysFailPass : public Pass {
+public:
+  AlwaysFailPass() : Pass("AlwaysFail", "always-fail") {}
+  PassResult runOnOperation(Operation *, AnalysisManager &) override {
+    return failure();
+  }
+};
+
+/// Deletes every `func.return`, leaving unterminated blocks behind: the
+/// cheapest way to make the verifier unhappy on purpose.
+class BreakTerminatorPass : public Pass {
+public:
+  BreakTerminatorPass() : Pass("BreakTerminator", "break-terminator") {}
+  PassResult runOnOperation(Operation *Root, AnalysisManager &) override {
+    std::vector<Operation *> Returns;
+    Root->walk([&](Operation *Op) {
+      if (Op->getName().getStringRef() == "func.return")
+        Returns.push_back(Op);
+    });
+    for (Operation *Op : Returns)
+      Op->erase();
+    return success();
+  }
+};
+
+TEST_F(PassPipelineTest, NestedFailureNamesPassAndFunction) {
+  OwningOpRef Module = parse(LoopFixture);
+  ASSERT_TRUE(Module);
+  auto Nested = std::make_unique<FunctionPipelinePass>();
+  Nested->addPass(std::make_unique<AlwaysFailPass>());
+  PassManager PM(&Ctx);
+  PM.addPass(std::move(Nested));
+
+  std::string Error;
+  EXPECT_TRUE(PM.run(Module.get(), &Error).failed());
+  EXPECT_NE(Error.find("nested pass 'AlwaysFail' failed on function @f"),
+            std::string::npos)
+      << Error;
+}
+
+TEST_F(PassPipelineTest, NestedPassesAreVerifiedPerFunction) {
+  // The func(...) adaptor must keep the pass manager's verify-each
+  // cadence: breakage inside the group is caught (and attributed) right
+  // after the nested pass that caused it.
+  OwningOpRef Module = parse(LoopFixture);
+  ASSERT_TRUE(Module);
+  auto Nested = std::make_unique<FunctionPipelinePass>();
+  Nested->addPass(std::make_unique<BreakTerminatorPass>());
+  Nested->addPass(std::make_unique<AlwaysFailPass>()); // Must not be reached.
+  PassManager PM(&Ctx);
+  PM.addPass(std::move(Nested));
+
+  std::string Error;
+  EXPECT_TRUE(PM.run(Module.get(), &Error).failed());
+  EXPECT_NE(
+      Error.find(
+          "verification failed after nested pass 'BreakTerminator' on "
+          "function @f"),
+      std::string::npos)
+      << Error;
+}
+
+TEST_F(PassPipelineTest, FailureRoutesThroughErrorMessage) {
+  OwningOpRef Module = parse("module {}");
+  ASSERT_TRUE(Module);
+  PassManager PM(&Ctx);
+  PM.addPass(std::make_unique<AlwaysFailPass>());
+  parsePipeline(PM, "cse,dce");
+
+  std::string Error;
+  EXPECT_TRUE(PM.run(Module.get(), &Error).failed());
+  EXPECT_NE(Error.find("pass 'AlwaysFail' failed"), std::string::npos)
+      << Error;
+
+  // The report singles out the passes the aborted run never reached.
+  std::string Report = PM.getReport();
+  EXPECT_NE(Report.find("CSE  (not run)"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("DCE  (not run)"), std::string::npos) << Report;
+  EXPECT_EQ(Report.find("AlwaysFail  (not run)"), std::string::npos)
+      << Report;
+}
+
+} // namespace
