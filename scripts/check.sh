@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build, run every ctest suite. Used locally and
 # by CI (.github/workflows/ci.yml). Extra args are forwarded to ctest.
+# SMLIR_CMAKE_ARGS adds configure-time flags (the CI sanitizer job passes
+# -DCMAKE_CXX_FLAGS=-fsanitize=address,undefined through it).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+# shellcheck disable=SC2086 # SMLIR_CMAKE_ARGS is intentionally word-split.
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" ${SMLIR_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 

@@ -1,0 +1,59 @@
+//===- Passes.h - Conversion pass declarations ------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dialect-conversion passes: the lowering layer that converts the
+/// high-level SYCL device dialect out of kernels (paper §II-B's "gradual
+/// lowering process through dialect conversion"), leaving only
+/// scf/memref/arith (+ gpu.barrier) so backends and the interpreter no
+/// longer need SYCL semantics. The populate* entry points expose the type
+/// conversions, patterns and target so tests and future conversions can
+/// compose them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_CONVERSION_PASSES_H
+#define SMLIR_CONVERSION_PASSES_H
+
+#include "ir/DialectConversion.h"
+#include "ir/Pass.h"
+
+#include <memory>
+
+namespace smlir {
+
+/// Installs the SYCL → SCF/MemRef type conversion rules:
+///  - memref-of-item/nd_item  -> private memref<15xindex> (identity state)
+///  - memref-of-id/range<D>   -> private memref<Dxindex>
+///  - memref-of-accessor      -> rank-D dynamic memref of the element type
+///                               in the accessor's memory space
+///  - everything else         -> itself.
+void populateSYCLToSCFTypeConversions(TypeConverter &Converter);
+
+/// Adds every SYCL → SCF/MemRef lowering pattern (device ops, affine loop
+/// structure, function signatures, calls and allocas) to \p Patterns.
+void populateSYCLToSCFPatterns(const TypeConverter &Converter,
+                               RewritePatternSet &Patterns);
+
+/// Configures \p Target for the lowering: sycl and affine are illegal;
+/// scf/memref/arith/math/gpu are legal; func.func, func.call and
+/// memref.alloca are legal once their types are converted. \p Converter
+/// must outlive \p Target.
+void buildSYCLToSCFConversionTarget(ConversionTarget &Target,
+                                    const TypeConverter &Converter);
+
+/// The `convert-sycl-to-scf` pass: applies a full conversion to every
+/// device function (functions marked `sycl.kernel` or nested in the
+/// `@kernels` module). Converted kernels carry the `sycl.lowered` ABI
+/// attribute consumed by the virtual device.
+std::unique_ptr<Pass> createConvertSYCLToSCFPass();
+
+/// Registers all conversion passes with the global PassRegistry.
+void registerConversionPasses();
+
+} // namespace smlir
+
+#endif // SMLIR_CONVERSION_PASSES_H

@@ -1,0 +1,601 @@
+//===- SYCLToSCF.cpp - SYCL to SCF/MemRef dialect conversion ----------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `convert-sycl-to-scf` lowering (paper §II-B: dialect conversion as
+/// the gradual lowering mechanism). Device kernels lose every `sycl.*`
+/// operation:
+///
+///  - the item/nd_item argument becomes a private `memref<15xindex>`
+///    identity record; work-item queries lower to indexed loads,
+///  - id/range objects become private `memref<Dxindex>` allocas written by
+///    `sycl.constructor` lowered to stores,
+///  - accessors become rank-D dynamic memrefs in their memory space;
+///    `sycl.accessor.subscript`/`get_pointer` lower to `memref.subview`,
+///    `get_range` to `memref.dim`, `sycl.accessors.disjoint` to
+///    `memref.disjoint`,
+///  - `sycl.group_barrier` lowers to `gpu.barrier`,
+///  - the affine loop structure (`affine.for/yield/load/store`) lowers to
+///    `scf.for/yield` and `memref.load/store`.
+///
+/// Converted kernels carry the `sycl.lowered` ABI attribute; the virtual
+/// device binds launch arguments to the lowered signature directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "conversion/Passes.h"
+
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "dialect/GPU.h"
+#include "dialect/MemRef.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "ir/Block.h"
+#include "ir/PassRegistry.h"
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// Type conversion
+//===----------------------------------------------------------------------===//
+
+void smlir::populateSYCLToSCFTypeConversions(TypeConverter &Converter) {
+  // Identity fallback: types no SYCL rule claims are already legal.
+  Converter.addConversion([](Type Ty) { return Ty; });
+  Converter.addConversion([](Type Ty) -> std::optional<Type> {
+    auto MemTy = Ty.dyn_cast<MemRefType>();
+    if (!MemTy)
+      return std::nullopt;
+    MLIRContext *Ctx = Ty.getContext();
+    Type Elem = MemTy.getElementType();
+    if (Elem.isa<sycl::ItemType>() || Elem.isa<sycl::NDItemType>())
+      return MemRefType::get(Ctx, {sycl::ItemStateWords},
+                             IndexType::get(Ctx), MemorySpace::Private);
+    if (auto IDTy = Elem.dyn_cast<sycl::IDType>())
+      return MemRefType::get(Ctx, {IDTy.getDim()}, IndexType::get(Ctx),
+                             MemorySpace::Private);
+    if (auto RangeTy = Elem.dyn_cast<sycl::RangeType>())
+      return MemRefType::get(Ctx, {RangeTy.getDim()}, IndexType::get(Ctx),
+                             MemorySpace::Private);
+    if (auto AccTy = Elem.dyn_cast<sycl::AccessorType>()) {
+      std::vector<int64_t> Shape(AccTy.getDim(), MemRefType::kDynamic);
+      return MemRefType::get(Ctx, std::move(Shape), AccTy.getElementType(),
+                             AccTy.isLocal() ? MemorySpace::Local
+                                             : MemorySpace::Global);
+    }
+    return std::nullopt;
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Casts \p V to index if it is an integer of another width.
+Value castToIndex(ConversionPatternRewriter &Rewriter, Location Loc,
+                  Value V) {
+  if (V.getType().isIndex())
+    return V;
+  return Rewriter
+      .create<arith::IndexCastOp>(Loc, V,
+                                  IndexType::get(Rewriter.getContext()))
+      .getOperation()
+      ->getResult(0);
+}
+
+/// True once \p V carries the converted (index-element) object memref
+/// type; patterns bail out until the producing value has been remapped.
+bool isConvertedObjMemRef(Value V) {
+  auto Ty = V.getType().dyn_cast<MemRefType>();
+  return Ty && Ty.getElementType().isIndex();
+}
+
+/// True once \p V carries the converted accessor type (data memref).
+bool isConvertedAccessor(Value V) {
+  auto Ty = V.getType().dyn_cast<MemRefType>();
+  return Ty && !Ty.getElementType().isa<sycl::AccessorType>() &&
+         !Ty.getElementType().isa<sycl::ItemType>() &&
+         !Ty.getElementType().isa<sycl::NDItemType>() &&
+         !Ty.getElementType().isa<sycl::IDType>() &&
+         !Ty.getElementType().isa<sycl::RangeType>();
+}
+
+//===----------------------------------------------------------------------===//
+// Function and call signatures
+//===----------------------------------------------------------------------===//
+
+/// Converts a function signature: new argument types via the type
+/// converter, entry block arguments remapped 1:1. Kernels (item/nd_item
+/// leading argument) gain the `sycl.lowered` ABI marker.
+struct FuncSignatureLowering : ConversionPattern {
+  explicit FuncSignatureLowering(const TypeConverter *Converter)
+      : ConversionPattern(FuncOp::getOperationName(), /*Benefit=*/1,
+                          Converter) {}
+
+  LogicalResult
+  matchAndRewrite(Operation *Op, const std::vector<Value> &,
+                  ConversionPatternRewriter &Rewriter) const override {
+    FuncOp Func = FuncOp::cast(Op);
+    FunctionType OldTy = Func.getFunctionType();
+    std::vector<Type> NewInputs, NewResults;
+    const TypeConverter *Converter = getTypeConverter();
+    if (Converter->convertTypes(OldTy.getInputs(), NewInputs).failed() ||
+        Converter->convertTypes(OldTy.getResults(), NewResults).failed())
+      return failure();
+    if (NewInputs == OldTy.getInputs() && NewResults == OldTy.getResults())
+      return failure(); // Nothing to do; should have been legal.
+
+    bool IsKernel = false;
+    if (!OldTy.getInputs().empty())
+      if (auto ArgTy = OldTy.getInput(0).dyn_cast<MemRefType>())
+        IsKernel = ArgTy.getElementType().isa<sycl::ItemType>() ||
+                   ArgTy.getElementType().isa<sycl::NDItemType>();
+
+    Rewriter.updateAttribute(
+        Op, "function_type",
+        TypeAttr::get(FunctionType::get(Op->getContext(), NewInputs,
+                                        NewResults)));
+    if (!Func.isDeclaration())
+      Rewriter.applySignatureConversion(Func.getEntryBlock(), NewInputs);
+    if (IsKernel)
+      Rewriter.updateAttribute(Op, sycl::kLoweredKernelAttrName,
+                               UnitAttr::get(Op->getContext()));
+    return success();
+  }
+};
+
+/// Rebuilds `func.call` with remapped operands and converted result types.
+struct CallLowering : OpConversionPattern<CallOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(CallOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Operation *Raw = Op.getOperation();
+    std::vector<Type> ResultTypes;
+    for (unsigned I = 0, E = Raw->getNumResults(); I != E; ++I) {
+      Type Converted = getTypeConverter()->convertType(Raw->getResultType(I));
+      if (!Converted)
+        return failure();
+      ResultTypes.push_back(Converted);
+    }
+    Rewriter.replaceOpWithNewOp<CallOp>(Raw, Op.getCallee(),
+                                        Adaptor.getOperands(), ResultTypes);
+    return success();
+  }
+};
+
+/// Retypes `memref.alloca` results holding SYCL objects.
+struct AllocaLowering : OpConversionPattern<memref::AllocaOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(memref::AllocaOp Op, OpAdaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Operation *Raw = Op.getOperation();
+    Type Converted = getTypeConverter()->convertType(Raw->getResultType(0));
+    if (!Converted || Converted == Raw->getResultType(0))
+      return failure();
+    Rewriter.replaceOpWithNewOp<memref::AllocaOp>(
+        Raw, Converted.cast<MemRefType>());
+    return success();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// SYCL object construction and element access
+//===----------------------------------------------------------------------===//
+
+/// `sycl.constructor @id(%dst, %i...)` -> one store per element into the
+/// converted `memref<Dxindex>`.
+struct ConstructorLowering : OpConversionPattern<sycl::ConstructorOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(sycl::ConstructorOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value Dst = Adaptor.getOperand(0);
+    if (!isConvertedObjMemRef(Dst))
+      return failure();
+    Location Loc = Op.getLoc();
+    for (unsigned I = 1, E = Adaptor.size(); I != E; ++I) {
+      Value Index = arith::createIndexConstant(Rewriter, Loc, I - 1);
+      Value Element = castToIndex(Rewriter, Loc, Adaptor.getOperand(I));
+      Rewriter.create<memref::StoreOp>(Loc, Element, Dst,
+                                       std::vector<Value>{Index});
+    }
+    Rewriter.eraseOp(Op.getOperation());
+    return success();
+  }
+};
+
+/// `sycl.id.get`/`sycl.range.get` -> load at the dim index.
+template <typename SourceOp>
+struct ObjGetLowering : OpConversionPattern<SourceOp> {
+  using OpConversionPattern<SourceOp>::OpConversionPattern;
+  using OpAdaptor = typename OpConversionPattern<SourceOp>::OpAdaptor;
+
+  LogicalResult
+  matchAndRewrite(SourceOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value Obj = Adaptor.getOperand(0);
+    if (!isConvertedObjMemRef(Obj))
+      return failure();
+    Location Loc = Op.getLoc();
+    Value Index = castToIndex(Rewriter, Loc, Adaptor.getOperand(1));
+    Rewriter.replaceOpWithNewOp<memref::LoadOp>(
+        Op.getOperation(), Obj, std::vector<Value>{Index});
+    return success();
+  }
+};
+
+/// Work-item query -> load from the identity record at FieldBase + dim.
+template <typename SourceOp, int64_t FieldBase>
+struct ItemGetterLowering : OpConversionPattern<SourceOp> {
+  using OpConversionPattern<SourceOp>::OpConversionPattern;
+  using OpAdaptor = typename OpConversionPattern<SourceOp>::OpAdaptor;
+
+  LogicalResult
+  matchAndRewrite(SourceOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value Item = Adaptor.getOperand(0);
+    if (!isConvertedObjMemRef(Item))
+      return failure();
+    Location Loc = Op.getLoc();
+    Value Dim = castToIndex(Rewriter, Loc, Adaptor.getOperand(1));
+    Value Base = arith::createIndexConstant(Rewriter, Loc, FieldBase);
+    Value Offset = Rewriter.create<arith::AddIOp>(Loc, Base, Dim)
+                       .getOperation()
+                       ->getResult(0);
+    Rewriter.replaceOpWithNewOp<memref::LoadOp>(
+        Op.getOperation(), Item, std::vector<Value>{Offset});
+    return success();
+  }
+};
+
+/// `sycl.nd_item.get_group_range` -> global_range[d] / local_range[d].
+struct GroupRangeLowering
+    : OpConversionPattern<sycl::NDItemGetGroupRangeOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(sycl::NDItemGetGroupRangeOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value Item = Adaptor.getOperand(0);
+    if (!isConvertedObjMemRef(Item))
+      return failure();
+    Location Loc = Op.getLoc();
+    Value Dim = castToIndex(Rewriter, Loc, Adaptor.getOperand(1));
+    auto LoadField = [&](int64_t Base) {
+      Value BaseC = arith::createIndexConstant(Rewriter, Loc, Base);
+      Value Offset = Rewriter.create<arith::AddIOp>(Loc, BaseC, Dim)
+                         .getOperation()
+                         ->getResult(0);
+      return Rewriter
+          .create<memref::LoadOp>(Loc, Item, std::vector<Value>{Offset})
+          .getOperation()
+          ->getResult(0);
+    };
+    Value Global = LoadField(sycl::ItemStateGlobalRange);
+    Value Local = LoadField(sycl::ItemStateLocalRange);
+    Rewriter.replaceOpWithNewOp<arith::DivSIOp>(Op.getOperation(), Global,
+                                                Local);
+    return success();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Accessors
+//===----------------------------------------------------------------------===//
+
+/// `sycl.accessor.subscript %acc[%id]` -> load the id elements and take a
+/// `memref.subview` of the data memref at that position.
+struct SubscriptLowering : OpConversionPattern<sycl::AccessorSubscriptOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(sycl::AccessorSubscriptOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value Acc = Adaptor.getOperand(0);
+    Value IDMem = Adaptor.getOperand(1);
+    if (!isConvertedAccessor(Acc) || !isConvertedObjMemRef(IDMem))
+      return failure();
+    Location Loc = Op.getLoc();
+    unsigned Rank = Acc.getType().cast<MemRefType>().getRank();
+    std::vector<Value> Indices;
+    Indices.reserve(Rank);
+    for (unsigned D = 0; D != Rank; ++D) {
+      Value C = arith::createIndexConstant(Rewriter, Loc, D);
+      Indices.push_back(
+          Rewriter.create<memref::LoadOp>(Loc, IDMem, std::vector<Value>{C})
+              .getOperation()
+              ->getResult(0));
+    }
+    Rewriter.replaceOpWithNewOp<memref::SubViewOp>(Op.getOperation(), Acc,
+                                                   Indices);
+    return success();
+  }
+};
+
+/// `sycl.accessor.get_pointer` -> subview at the origin.
+struct GetPointerLowering
+    : OpConversionPattern<sycl::AccessorGetPointerOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(sycl::AccessorGetPointerOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value Acc = Adaptor.getOperand(0);
+    if (!isConvertedAccessor(Acc))
+      return failure();
+    Location Loc = Op.getLoc();
+    unsigned Rank = Acc.getType().cast<MemRefType>().getRank();
+    Value Zero = arith::createIndexConstant(Rewriter, Loc, 0);
+    std::vector<Value> Indices(Rank, Zero);
+    Rewriter.replaceOpWithNewOp<memref::SubViewOp>(Op.getOperation(), Acc,
+                                                   Indices);
+    return success();
+  }
+};
+
+/// `sycl.accessor.get_range` -> `memref.dim` on the data memref.
+struct AccessorGetRangeLowering
+    : OpConversionPattern<sycl::AccessorGetRangeOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(sycl::AccessorGetRangeOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value Acc = Adaptor.getOperand(0);
+    if (!isConvertedAccessor(Acc))
+      return failure();
+    Value Dim = castToIndex(Rewriter, Op.getLoc(), Adaptor.getOperand(1));
+    Rewriter.replaceOpWithNewOp<memref::DimOp>(Op.getOperation(), Acc, Dim);
+    return success();
+  }
+};
+
+/// `sycl.accessors.disjoint` -> `memref.disjoint`.
+struct DisjointLowering : OpConversionPattern<sycl::AccessorsDisjointOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(sycl::AccessorsDisjointOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    if (!isConvertedAccessor(Adaptor.getOperand(0)) ||
+        !isConvertedAccessor(Adaptor.getOperand(1)))
+      return failure();
+    Rewriter.replaceOpWithNewOp<memref::DisjointOp>(
+        Op.getOperation(), Adaptor.getOperand(0), Adaptor.getOperand(1));
+    return success();
+  }
+};
+
+/// `sycl.group_barrier %nditem` -> `gpu.barrier` (implicit work-group).
+struct BarrierLowering : OpConversionPattern<sycl::GroupBarrierOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(sycl::GroupBarrierOp Op, OpAdaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Rewriter.create<gpu::BarrierOp>(Op.getLoc());
+    Rewriter.eraseOp(Op.getOperation());
+    return success();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Affine loop structure
+//===----------------------------------------------------------------------===//
+
+/// `affine.for` -> `scf.for`, moving the body in place.
+struct AffineForLowering : OpConversionPattern<affine::AffineForOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(affine::AffineForOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Operation *Raw = Op.getOperation();
+    OperationState State(Op.getLoc(), scf::ForOp::getOperationName());
+    State.addOperands(Adaptor.getOperands());
+    for (unsigned I = 0, E = Raw->getNumResults(); I != E; ++I)
+      State.addType(Raw->getResultType(I));
+    State.addRegion();
+    Operation *For = Rewriter.createOperation(State);
+    Rewriter.moveRegionBody(Raw->getRegion(0), For->getRegion(0));
+    Rewriter.replaceOp(Raw, For->getResults());
+    return success();
+  }
+};
+
+/// `affine.yield` -> `scf.yield` (after its parent loop was converted).
+struct AffineYieldLowering : OpConversionPattern<affine::AffineYieldOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(affine::AffineYieldOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Operation *Parent = Op.getOperation()->getParentOp();
+    if (!Parent ||
+        Parent->getName().getStringRef() != scf::ForOp::getOperationName())
+      return failure();
+    Rewriter.replaceOpWithNewOp<scf::YieldOp>(Op.getOperation(),
+                                              Adaptor.getOperands());
+    return success();
+  }
+};
+
+/// `affine.load` -> `memref.load`.
+struct AffineLoadLowering : OpConversionPattern<affine::AffineLoadOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(affine::AffineLoadOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value MemRef = Adaptor.getOperand(0);
+    if (!MemRef.getType().isa<MemRefType>())
+      return failure();
+    std::vector<Value> Indices(Adaptor.getOperands().begin() + 1,
+                               Adaptor.getOperands().end());
+    Rewriter.replaceOpWithNewOp<memref::LoadOp>(Op.getOperation(), MemRef,
+                                                Indices);
+    return success();
+  }
+};
+
+/// `affine.store` -> `memref.store`.
+struct AffineStoreLowering : OpConversionPattern<affine::AffineStoreOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(affine::AffineStoreOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value MemRef = Adaptor.getOperand(1);
+    if (!MemRef.getType().isa<MemRefType>())
+      return failure();
+    std::vector<Value> Indices(Adaptor.getOperands().begin() + 2,
+                               Adaptor.getOperands().end());
+    Rewriter.create<memref::StoreOp>(Op.getLoc(), Adaptor.getOperand(0),
+                                     MemRef, Indices);
+    Rewriter.eraseOp(Op.getOperation());
+    return success();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pattern and target population
+//===----------------------------------------------------------------------===//
+
+void smlir::populateSYCLToSCFPatterns(const TypeConverter &Converter,
+                                      RewritePatternSet &Patterns) {
+  const TypeConverter *TC = &Converter;
+  Patterns.add<FuncSignatureLowering>(TC);
+  Patterns.add<CallLowering>(TC);
+  Patterns.add<AllocaLowering>(TC);
+  Patterns.add<ConstructorLowering>(TC);
+  Patterns.add<ObjGetLowering<sycl::IDGetOp>>(TC);
+  Patterns.add<ObjGetLowering<sycl::RangeGetOp>>(TC);
+  Patterns.add<
+      ItemGetterLowering<sycl::ItemGetIDOp, sycl::ItemStateGlobalID>>(TC);
+  Patterns.add<
+      ItemGetterLowering<sycl::ItemGetRangeOp, sycl::ItemStateGlobalRange>>(
+      TC);
+  Patterns.add<ItemGetterLowering<sycl::NDItemGetGlobalIDOp,
+                                  sycl::ItemStateGlobalID>>(TC);
+  Patterns.add<ItemGetterLowering<sycl::NDItemGetLocalIDOp,
+                                  sycl::ItemStateLocalID>>(TC);
+  Patterns.add<ItemGetterLowering<sycl::NDItemGetGroupIDOp,
+                                  sycl::ItemStateGroupID>>(TC);
+  Patterns.add<ItemGetterLowering<sycl::NDItemGetGlobalRangeOp,
+                                  sycl::ItemStateGlobalRange>>(TC);
+  Patterns.add<ItemGetterLowering<sycl::NDItemGetLocalRangeOp,
+                                  sycl::ItemStateLocalRange>>(TC);
+  Patterns.add<GroupRangeLowering>(TC);
+  Patterns.add<SubscriptLowering>(TC);
+  Patterns.add<GetPointerLowering>(TC);
+  Patterns.add<AccessorGetRangeLowering>(TC);
+  Patterns.add<DisjointLowering>(TC);
+  Patterns.add<BarrierLowering>(TC);
+  Patterns.add<AffineForLowering>(TC);
+  Patterns.add<AffineYieldLowering>(TC);
+  Patterns.add<AffineLoadLowering>(TC);
+  Patterns.add<AffineStoreLowering>(TC);
+}
+
+void smlir::buildSYCLToSCFConversionTarget(ConversionTarget &Target,
+                                           const TypeConverter &Converter) {
+  Target.addLegalDialects("arith", "math", "scf", "gpu", "memref", "func",
+                          "builtin");
+  Target.addIllegalDialect("sycl");
+  Target.addIllegalDialect("affine");
+  // A surviving cast means some producer/consumer was never converted.
+  Target.addIllegalOp("builtin.unrealized_conversion_cast");
+  const TypeConverter *TC = &Converter;
+  Target.addDynamicallyLegalOp(FuncOp::getOperationName(),
+                               [TC](Operation *Op) {
+                                 return TC->isSignatureLegal(
+                                     FuncOp::cast(Op).getFunctionType());
+                               });
+  Target.addDynamicallyLegalOp(
+      CallOp::getOperationName(), [TC](Operation *Op) {
+        for (Value Operand : Op->getOperands())
+          if (!TC->isLegal(Operand.getType()))
+            return false;
+        for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+          if (!TC->isLegal(Op->getResultType(I)))
+            return false;
+        return true;
+      });
+  Target.addDynamicallyLegalOp(
+      memref::AllocaOp::getOperationName(),
+      [TC](Operation *Op) { return TC->isLegal(Op->getResultType(0)); });
+}
+
+//===----------------------------------------------------------------------===//
+// The convert-sycl-to-scf pass
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ConvertSYCLToSCFPass : public Pass {
+public:
+  ConvertSYCLToSCFPass() : Pass("ConvertSYCLToSCF", "convert-sycl-to-scf") {}
+
+  PassResult runOnOperation(Operation *Root, AnalysisManager &) override {
+    TypeConverter Converter;
+    populateSYCLToSCFTypeConversions(Converter);
+    RewritePatternSet Patterns;
+    populateSYCLToSCFPatterns(Converter, Patterns);
+    ConversionTarget Target;
+    buildSYCLToSCFConversionTarget(Target, Converter);
+
+    // Device functions only: kernels (and their callees) live in the
+    // `@kernels` module or carry the `sycl.kernel` attribute. Host code
+    // keeps its `sycl.host.*` representation.
+    std::vector<Operation *> DeviceFuncs;
+    Root->walk([&](Operation *Op) {
+      if (!FuncOp::dyn_cast(Op))
+        return;
+      bool IsDevice = Op->hasAttr("sycl.kernel");
+      if (!IsDevice)
+        if (auto Parent = ModuleOp::dyn_cast(Op->getParentOp()))
+          IsDevice = Parent.getName() == "kernels";
+      if (IsDevice)
+        DeviceFuncs.push_back(Op);
+    });
+
+    for (Operation *Func : DeviceFuncs) {
+      std::string Error;
+      if (applyFullConversion(Func, Target, Patterns, &Converter, &Error)
+              .failed()) {
+        std::string Name = FuncOp::cast(Func).getName();
+        return {failure(), PreservedAnalyses::none(),
+                "convert-sycl-to-scf on @" + Name + ": " + Error};
+      }
+      incrementStatistic("kernels-lowered");
+    }
+    return {success(), PreservedAnalyses::none()};
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> smlir::createConvertSYCLToSCFPass() {
+  return std::make_unique<ConvertSYCLToSCFPass>();
+}
+
+void smlir::registerConversionPasses() {
+  PassRegistry::get().registerPass(
+      "convert-sycl-to-scf",
+      "Lower SYCL device ops to scf/memref/arith (+gpu.barrier) via "
+      "dialect conversion",
+      createConvertSYCLToSCFPass);
+}

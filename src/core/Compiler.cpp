@@ -193,6 +193,14 @@ std::string Compiler::getPipeline(const CompilerOptions &Options) {
     P.add("dce");
     if (Options.EnableDAE)
       P.add("sycl-dae");
+    if (Options.LowerToLoops) {
+      // Dialect conversion out of the SYCL dialect, then cleanup of the
+      // lowering's address arithmetic.
+      P.add("convert-sycl-to-scf");
+      P.add("canonicalize");
+      P.add("cse");
+      P.add("dce");
+    }
     break;
 
   case CompilerFlow::AdaptiveCpp:

@@ -48,6 +48,10 @@ struct CompilerOptions {
   bool EnableLoopInternalization = true;
   bool EnableHostDeviceProp = true;
   bool EnableDAE = true;
+  /// Appends the dialect-conversion lowering stage (convert-sycl-to-scf +
+  /// cleanup) to the SYCL-MLIR flow: kernels leave the pipeline with zero
+  /// `sycl.*` operations, executing through the lowered device ABI.
+  bool LowerToLoops = false;
   bool VerifyPasses = true;
   /// Simulated JIT cost per kernel operation (AdaptiveCpp flow).
   double JITCostPerOp = 400.0;

@@ -6,6 +6,7 @@
 
 #include "dialect/Arith.h"
 #include "dialect/Builtin.h"
+#include "dialect/GPU.h"
 #include "dialect/MemRef.h"
 #include "dialect/SCF.h"
 #include "dialect/SYCL.h"
@@ -20,6 +21,7 @@ void smlir::registerAllDialects(MLIRContext &Context) {
   memref::registerMemRefDialect(Context);
   scf::registerSCFDialect(Context);
   affine::registerAffineDialect(Context);
+  gpu::registerGPUDialect(Context);
   sycl::registerSYCLDialect(Context);
   llvmir::registerLLVMDialect(Context);
 }

@@ -155,6 +155,14 @@ LogicalResult CallOp::verifyOp(Operation *Op) {
 }
 
 //===----------------------------------------------------------------------===//
+// UnrealizedConversionCastOp
+//===----------------------------------------------------------------------===//
+
+LogicalResult UnrealizedConversionCastOp::verifyOp(Operation *Op) {
+  return success(Op->getNumOperands() == 1 && Op->getNumResults() == 1);
+}
+
+//===----------------------------------------------------------------------===//
 // Registration
 //===----------------------------------------------------------------------===//
 
@@ -175,4 +183,7 @@ void smlir::registerBuiltinDialect(MLIRContext &Context) {
   registerOp<ReturnOp>(Context, FuncDialect,
                        {traits(OpTrait::IsTerminator), &ReturnOp::verifyOp});
   registerOp<CallOp>(Context, FuncDialect, {0, &CallOp::verifyOp});
+  registerOp<UnrealizedConversionCastOp>(
+      Context, BuiltinDialect,
+      {traits(OpTrait::Pure), &UnrealizedConversionCastOp::verifyOp});
 }

@@ -142,6 +142,32 @@ public:
   static LogicalResult verifyOp(Operation *Op);
 };
 
+//===----------------------------------------------------------------------===//
+// UnrealizedConversionCastOp
+//===----------------------------------------------------------------------===//
+
+/// `builtin.unrealized_conversion_cast %v : T -> U` — a value-identity
+/// bridge between two type systems during dialect conversion. The default
+/// materialization of the conversion framework creates these; a completed
+/// full conversion must not leave any behind.
+class UnrealizedConversionCastOp : public OpBase<UnrealizedConversionCastOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "builtin.unrealized_conversion_cast";
+  }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value Input,
+                    Type ResultTy) {
+    State.addOperand(Input);
+    State.addType(ResultTy);
+  }
+
+  Value getInput() const { return TheOp->getOperand(0); }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
 /// Registers the builtin and func dialects.
 void registerBuiltinDialect(MLIRContext &Context);
 

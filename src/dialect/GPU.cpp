@@ -1,0 +1,26 @@
+//===- GPU.cpp - Minimal GPU dialect ----------------------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/GPU.h"
+
+using namespace smlir;
+using namespace smlir::gpu;
+
+void BarrierOp::getEffects(Operation *Op,
+                           std::vector<MemoryEffect> &Effects) {
+  (void)Op;
+  // A barrier orders all memory accesses of the work-group: model as a
+  // read/write on an unspecified resource so nothing is moved across it.
+  Effects.push_back({EffectKind::Read, Value()});
+  Effects.push_back({EffectKind::Write, Value()});
+}
+
+void gpu::registerGPUDialect(MLIRContext &Context) {
+  auto *GPUDialect =
+      Context.registerDialect(std::make_unique<Dialect>("gpu", &Context));
+  registerOp<BarrierOp>(Context, GPUDialect,
+                        {0, nullptr, nullptr, &BarrierOp::getEffects});
+}

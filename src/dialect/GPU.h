@@ -1,0 +1,43 @@
+//===- GPU.h - Minimal GPU dialect ------------------------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal `gpu` dialect: the lowering target for device-side
+/// synchronization once the SYCL dialect has been converted out
+/// (`sycl.group_barrier` lowers to `gpu.barrier`, mirroring the upstream
+/// SYCL → GPU dialect path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_DIALECT_GPU_H
+#define SMLIR_DIALECT_GPU_H
+
+#include "ir/Builders.h"
+#include "ir/OpDefinition.h"
+
+namespace smlir {
+namespace gpu {
+
+/// `gpu.barrier` — work-group execution and memory barrier. Unlike
+/// `sycl.group_barrier` it carries no nd_item operand: the work-group
+/// context is implicit after lowering.
+class BarrierOp : public OpBase<BarrierOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "gpu.barrier"; }
+
+  static void build(OpBuilder &, OperationState &) {}
+
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
+/// Registers the gpu dialect.
+void registerGPUDialect(MLIRContext &Context);
+
+} // namespace gpu
+} // namespace smlir
+
+#endif // SMLIR_DIALECT_GPU_H

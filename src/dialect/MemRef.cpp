@@ -54,6 +54,59 @@ void StoreOp::getEffects(Operation *Op, std::vector<MemoryEffect> &Effects) {
   Effects.push_back({EffectKind::Write, Op->getOperand(1)});
 }
 
+LogicalResult DimOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return failure();
+  if (!Op->getOperand(0).getType().isa<MemRefType>())
+    return failure();
+  if (!Op->getOperand(1).getType().isIntOrIndex())
+    return failure();
+  return success(Op->getResultType(0).isIndex());
+}
+
+void SubViewOp::build(OpBuilder &Builder, OperationState &State,
+                      Value MemRef, const std::vector<Value> &Indices) {
+  State.addOperand(MemRef);
+  State.addOperands(Indices);
+  auto SrcTy = MemRef.getType().cast<MemRefType>();
+  State.addType(MemRefType::get(Builder.getContext(),
+                                {MemRefType::kDynamic},
+                                SrcTy.getElementType(),
+                                SrcTy.getMemorySpace()));
+}
+
+LogicalResult SubViewOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() < 1 || Op->getNumResults() != 1)
+    return failure();
+  auto SrcTy = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+  auto ResultTy = Op->getResultType(0).dyn_cast<MemRefType>();
+  if (!SrcTy || !ResultTy)
+    return failure();
+  if (Op->getNumOperands() - 1 != SrcTy.getRank())
+    return failure();
+  for (unsigned I = 1, E = Op->getNumOperands(); I != E; ++I)
+    if (!Op->getOperand(I).getType().isIntOrIndex())
+      return failure();
+  return success(ResultTy.getRank() == 1 &&
+                 ResultTy.getElementType() == SrcTy.getElementType() &&
+                 ResultTy.getMemorySpace() == SrcTy.getMemorySpace());
+}
+
+LogicalResult DisjointOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return failure();
+  if (!Op->getOperand(0).getType().isa<MemRefType>() ||
+      !Op->getOperand(1).getType().isa<MemRefType>())
+    return failure();
+  return success(Op->getResultType(0).isInteger(1));
+}
+
+void DisjointOp::getEffects(Operation *Op,
+                            std::vector<MemoryEffect> &Effects) {
+  Effects.push_back({EffectKind::Read, Op->getOperand(0)});
+  Effects.push_back({EffectKind::Read, Op->getOperand(1)});
+}
+
 void memref::registerMemRefDialect(MLIRContext &Context) {
   auto *MemRefDialect =
       Context.registerDialect(std::make_unique<Dialect>("memref", &Context));
@@ -64,4 +117,12 @@ void memref::registerMemRefDialect(MLIRContext &Context) {
                      {0, &LoadOp::verifyOp, nullptr, &LoadOp::getEffects});
   registerOp<StoreOp>(Context, MemRefDialect,
                       {0, &StoreOp::verifyOp, nullptr, &StoreOp::getEffects});
+  // Shape/address queries are pure: CSE/LICM treat them like arithmetic.
+  registerOp<DimOp>(Context, MemRefDialect,
+                    {traits(OpTrait::Pure), &DimOp::verifyOp});
+  registerOp<SubViewOp>(Context, MemRefDialect,
+                        {traits(OpTrait::Pure), &SubViewOp::verifyOp});
+  registerOp<DisjointOp>(Context, MemRefDialect,
+                         {0, &DisjointOp::verifyOp, nullptr,
+                          &DisjointOp::getEffects});
 }

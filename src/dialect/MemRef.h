@@ -87,6 +87,68 @@ public:
   static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
 };
 
+/// `memref.dim %ref, %d` — the runtime extent of dimension %d. For static
+/// dimensions this is the shape constant; for dynamic dimensions the
+/// extent travels with the runtime memref descriptor (for lowered SYCL
+/// accessors: the accessor range).
+class DimOp : public OpBase<DimOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "memref.dim"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value MemRef,
+                    Value Dim) {
+    State.addOperands({MemRef, Dim});
+    State.addType(Builder.getIndexType());
+  }
+
+  Value getMemRef() const { return TheOp->getOperand(0); }
+  Value getDim() const { return TheOp->getOperand(1); }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// `memref.subview %ref[%i, %j]` — a rank-1 dynamic view positioned at the
+/// (row-major) element %ref[%i, %j], the lowered form of
+/// `sycl.accessor.subscript` / `get_pointer`. The view shares the source's
+/// memory; subsequent loads/stores index relative to the view origin.
+class SubViewOp : public OpBase<SubViewOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "memref.subview"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value MemRef,
+                    const std::vector<Value> &Indices);
+
+  Value getMemRef() const { return TheOp->getOperand(0); }
+  std::vector<Value> getIndices() const {
+    std::vector<Value> Operands = TheOp->getOperands();
+    return std::vector<Value>(Operands.begin() + 1, Operands.end());
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
+/// `memref.disjoint %a, %b -> i1` — runtime check that two memrefs cover
+/// disjoint memory, the lowered form of `sycl.accessors.disjoint` (LICM
+/// versioning conditions survive lowering as this op).
+class DisjointOp : public OpBase<DisjointOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() {
+    return "memref.disjoint";
+  }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value A,
+                    Value B) {
+    State.addOperands({A, B});
+    State.addType(Builder.getI1Type());
+  }
+
+  static LogicalResult verifyOp(Operation *Op);
+  static void getEffects(Operation *Op, std::vector<MemoryEffect> &Effects);
+};
+
 /// Registers the memref dialect.
 void registerMemRefDialect(MLIRContext &Context);
 

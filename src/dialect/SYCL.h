@@ -316,6 +316,27 @@ public:
   static LogicalResult verifyOp(Operation *Op);
 };
 
+//===----------------------------------------------------------------------===//
+// Lowered device ABI (convert-sycl-to-scf)
+//===----------------------------------------------------------------------===//
+
+/// After dialect conversion the item/nd_item kernel argument becomes a
+/// private `memref<15xindex>` holding the work-item identity; getters
+/// lower to loads at these field offsets. The virtual device fills the
+/// same layout when launching a kernel carrying the
+/// `sycl.lowered` unit attribute (kLoweredKernelAttrName).
+enum ItemStateField : int64_t {
+  ItemStateGlobalID = 0,
+  ItemStateGlobalRange = 3,
+  ItemStateLocalID = 6,
+  ItemStateLocalRange = 9,
+  ItemStateGroupID = 12,
+  ItemStateWords = 15,
+};
+
+/// Unit attribute marking a kernel converted to the lowered device ABI.
+inline constexpr std::string_view kLoweredKernelAttrName = "sycl.lowered";
+
 /// Registers the sycl dialect (types and ops).
 void registerSYCLDialect(MLIRContext &Context);
 

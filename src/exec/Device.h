@@ -63,6 +63,11 @@ struct Storage {
 struct MemRefVal {
   Storage *Store = nullptr;
   int64_t Offset = 0;
+  /// Runtime extents for dynamic dimensions. Lowered accessors
+  /// (convert-sycl-to-scf) carry their range here so `memref.dim` and
+  /// multi-dimensional indexing work on `memref<?x?x...>` values; 0 means
+  /// unknown (rank-1 views never need it).
+  std::array<int64_t, 3> Sizes = {0, 0, 0};
 };
 
 /// Runtime accessor state (paper §II-A: pointer, range, offset).

@@ -41,7 +41,7 @@ enum class OpCode : uint8_t {
   CmpI, CmpF, Select,
   IndexCast, SIToFP, FPToSI, ExtSI, TruncI,
   Sqrt, Exp, FAbs,
-  Alloca, Load, Store,
+  Alloca, Load, Store, Dim, SubView, Disjoint,
   SCFIf, LoopFor, Yield, Return, Call,
   SYCLConstructor, IDGet, RangeGet,
   ItemGetID, ItemGetRange,
@@ -153,6 +153,10 @@ OpCode classifyOp(Operation *Op) {
       {"affine.load", OpCode::Load},
       {"memref.store", OpCode::Store},
       {"affine.store", OpCode::Store},
+      {"memref.dim", OpCode::Dim},
+      {"memref.subview", OpCode::SubView},
+      {"memref.disjoint", OpCode::Disjoint},
+      {"gpu.barrier", OpCode::Barrier},
       {"scf.if", OpCode::SCFIf},
       {"scf.for", OpCode::LoopFor},
       {"affine.for", OpCode::LoopFor},
@@ -255,28 +259,57 @@ public:
   WorkItem(const ExecutionPlan &Plan, FuncOp Kernel, const NDRange &Range,
            const std::vector<KernelArg> &Args, GroupContext &Group,
            Counters &Count, std::array<int64_t, 3> GroupID,
-           std::array<int64_t, 3> LocalID)
+           std::array<int64_t, 3> LocalID, bool Lowered)
       : Plan(Plan), Group(Group), Count(Count) {
     Env.resize(Plan.NumSlots);
 
-    // Build the item/nd_item object.
-    ObjCell &Item = Objects.emplace_back();
-    Item.Dim = Range.Dim;
-    for (unsigned D = 0; D < Range.Dim; ++D) {
-      Item.GroupID[D] = GroupID[D];
-      Item.LocalID[D] = LocalID[D];
-      Item.GlobalID[D] = GroupID[D] * Range.Local[D] + LocalID[D];
-      Item.GlobalRange[D] = Range.Global[D];
-      Item.LocalRange[D] = Range.Local[D];
+    Block *Entry = Kernel.getEntryBlock();
+    if (Lowered) {
+      // Lowered ABI (convert-sycl-to-scf): the leading argument is a
+      // private memref<15xindex> identity record; accessors are data
+      // memrefs whose runtime descriptor carries base offset and range.
+      auto ItemState = std::make_unique<Storage>(
+          Storage::Kind::Int, sycl::ItemStateWords, MemorySpace::Private);
+      for (unsigned D = 0; D < 3; ++D) {
+        ItemState->Ints[sycl::ItemStateGlobalID + D] =
+            GroupID[D] * Range.Local[D] + LocalID[D];
+        ItemState->Ints[sycl::ItemStateGlobalRange + D] = Range.Global[D];
+        ItemState->Ints[sycl::ItemStateLocalID + D] = LocalID[D];
+        ItemState->Ints[sycl::ItemStateLocalRange + D] = Range.Local[D];
+        ItemState->Ints[sycl::ItemStateGroupID + D] = GroupID[D];
+      }
+      set(Entry->getArgument(0),
+          InterpValue::makeMemRef({ItemState.get(), 0, {0, 0, 0}}));
+      PrivateAllocas.push_back(std::move(ItemState));
+    } else {
+      // Build the item/nd_item object.
+      ObjCell &Item = Objects.emplace_back();
+      Item.Dim = Range.Dim;
+      for (unsigned D = 0; D < Range.Dim; ++D) {
+        Item.GroupID[D] = GroupID[D];
+        Item.LocalID[D] = LocalID[D];
+        Item.GlobalID[D] = GroupID[D] * Range.Local[D] + LocalID[D];
+        Item.GlobalRange[D] = Range.Global[D];
+        Item.LocalRange[D] = Range.Local[D];
+      }
+      set(Entry->getArgument(0), InterpValue::makeObj(&Item));
     }
 
-    Block *Entry = Kernel.getEntryBlock();
-    set(Entry->getArgument(0), InterpValue::makeObj(&Item));
     for (unsigned I = 0; I < Args.size(); ++I) {
       const KernelArg &Arg = Args[I];
       InterpValue V;
       switch (Arg.ArgKind) {
       case KernelArg::Kind::Accessor: {
+        if (Lowered) {
+          // Data view rebased at the accessor offset; the range travels
+          // as runtime extents for memref.dim / multi-dim indexing.
+          MemRefVal M;
+          M.Store = Arg.Accessor.Data;
+          M.Offset = Arg.Accessor.linearize({0, 0, 0});
+          M.Sizes = Arg.Accessor.Range;
+          V = InterpValue::makeMemRef(M);
+          break;
+        }
         ObjCell &Acc = Objects.emplace_back();
         Acc.Acc = Arg.Accessor;
         V = InterpValue::makeObj(&Acc);
@@ -366,14 +399,25 @@ private:
     }
   }
 
-  /// Computes the linear element index of a load/store.
+  /// The runtime extent of dimension \p I: the static shape when known,
+  /// otherwise the value descriptor's sizes (lowered accessors); 0 means
+  /// unknown (descriptors track at most 3 dimensions).
+  static int64_t extentOf(const std::vector<int64_t> &Shape,
+                          const MemRefVal &M, unsigned I) {
+    if (Shape[I] != MemRefType::kDynamic)
+      return Shape[I];
+    return I < 3 ? M.Sizes[I] : 0;
+  }
+
+  /// Computes the linear element index of a load/store/subview. Dynamic
+  /// extents come from the runtime descriptor (lowered accessors).
   int64_t linearIndex(Operation *Op, const MemRefVal &M, unsigned FirstIdx) {
     MemRefType Ty =
         Op->getOperand(FirstIdx - 1).getType().cast<MemRefType>();
     const auto &Shape = Ty.getShape();
     int64_t Linear = 0;
     for (unsigned I = 0; I + FirstIdx < Op->getNumOperands(); ++I) {
-      int64_t Extent = Shape[I] == MemRefType::kDynamic ? 0 : Shape[I];
+      int64_t Extent = extentOf(Shape, M, I);
       Linear = (I == 0 ? 0 : Linear * Extent) +
                getInt(Op->getOperand(FirstIdx + I));
     }
@@ -577,6 +621,74 @@ private:
         M.Store->Floats[Index] = getFloat(Op->getOperand(0));
       else
         M.Store->Ints[Index] = getInt(Op->getOperand(0));
+      return Status::Running;
+    }
+
+    case OpCode::Dim: {
+      MemRefVal M = get(Op->getOperand(0)).M;
+      auto Ty = Op->getOperand(0).getType().cast<MemRefType>();
+      int64_t D = getInt(Op->getOperand(1));
+      if (D < 0 || D >= static_cast<int64_t>(Ty.getRank()))
+        return fail("memref.dim dimension out of range");
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      set(Op->getResult(0),
+          InterpValue::makeInt(extentOf(Ty.getShape(), M, D)));
+      return Status::Running;
+    }
+    case OpCode::SubView: {
+      MemRefVal M = get(Op->getOperand(0)).M;
+      if (!M.Store)
+        return fail("memref.subview of uninitialized memref");
+      int64_t Linear = linearIndex(Op, M, 1);
+      // The rank-1 view covers the source's tail from the position, so
+      // memref.dim on a subview stays meaningful.
+      auto Ty = Op->getOperand(0).getType().cast<MemRefType>();
+      int64_t Total = 1;
+      for (unsigned I = 0; I < Ty.getRank(); ++I) {
+        int64_t Extent = extentOf(Ty.getShape(), M, I);
+        if (Extent <= 0) {
+          Total = 0;
+          break;
+        }
+        Total *= Extent;
+      }
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      MemRefVal View;
+      View.Store = M.Store;
+      View.Offset = Linear;
+      if (Total > 0)
+        View.Sizes[0] = Total - (Linear - M.Offset);
+      set(Op->getResult(0), InterpValue::makeMemRef(View));
+      return Status::Running;
+    }
+    case OpCode::Disjoint: {
+      MemRefVal A = get(Op->getOperand(0)).M;
+      MemRefVal B = get(Op->getOperand(1)).M;
+      auto NumElements = [&](const MemRefVal &M, unsigned OperandIdx) {
+        auto Ty =
+            Op->getOperand(OperandIdx).getType().cast<MemRefType>();
+        int64_t N = 1;
+        for (unsigned I = 0; I < Ty.getRank(); ++I) {
+          int64_t Extent = extentOf(Ty.getShape(), M, I);
+          if (Extent <= 0)
+            return static_cast<int64_t>(-1); // Unknown: assume overlap.
+          N *= Extent;
+        }
+        return N;
+      };
+      bool Disjoint = false;
+      if (A.Store != B.Store) {
+        Disjoint = true;
+      } else {
+        int64_t NA = NumElements(A, 0), NB = NumElements(B, 1);
+        if (NA >= 0 && NB >= 0)
+          Disjoint = A.Offset + NA <= B.Offset || B.Offset + NB <= A.Offset;
+      }
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      set(Op->getResult(0), InterpValue::makeInt(Disjoint ? 1 : 0));
       return Status::Running;
     }
 
@@ -844,6 +956,10 @@ LogicalResult Device::launch(FuncOp Kernel, const NDRange &Range,
 
   std::unique_ptr<ExecutionPlan> Plan = buildPlan(Kernel);
   Counters Count{&Stats, &Props, 0.0};
+  // Kernels converted by convert-sycl-to-scf bind their arguments via the
+  // lowered device ABI (identity record + data memrefs).
+  bool Lowered =
+      Kernel.getOperation()->hasAttr(sycl::kLoweredKernelAttrName);
 
   std::array<int64_t, 3> NumGroups = {1, 1, 1};
   for (unsigned D = 0; D < Range.Dim; ++D) {
@@ -864,7 +980,7 @@ LogicalResult Device::launch(FuncOp Kernel, const NDRange &Range,
               Items.push_back(std::make_unique<WorkItem>(
                   *Plan, Kernel, Range, Args, Group, Count,
                   std::array<int64_t, 3>{G0, G1, G2},
-                  std::array<int64_t, 3>{L0, L1, L2}));
+                  std::array<int64_t, 3>{L0, L1, L2}, Lowered));
 
         // Run-to-barrier phases.
         while (true) {

@@ -1,0 +1,602 @@
+//===- DialectConversion.cpp - Dialect conversion framework ----------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DialectConversion.h"
+
+#include "ir/Block.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// TypeConverter
+//===----------------------------------------------------------------------===//
+
+TypeConverter::~TypeConverter() = default;
+
+Type TypeConverter::convertType(Type Ty) const {
+  // Newest-registered rule wins; std::nullopt falls through to older rules.
+  for (auto It = Conversions.rbegin(); It != Conversions.rend(); ++It) {
+    std::optional<Type> Result = (*It)(Ty);
+    if (Result)
+      return *Result;
+  }
+  return Type();
+}
+
+LogicalResult TypeConverter::convertTypes(const std::vector<Type> &Types,
+                                          std::vector<Type> &Results) const {
+  Results.clear();
+  Results.reserve(Types.size());
+  for (Type Ty : Types) {
+    Type Converted = convertType(Ty);
+    if (!Converted)
+      return failure();
+    Results.push_back(Converted);
+  }
+  return success();
+}
+
+bool TypeConverter::isSignatureLegal(FunctionType Ty) const {
+  for (Type Input : Ty.getInputs())
+    if (!isLegal(Input))
+      return false;
+  for (Type Result : Ty.getResults())
+    if (!isLegal(Result))
+      return false;
+  return true;
+}
+
+/// The default materialization: a `builtin.unrealized_conversion_cast`
+/// bridging the two type systems. Full conversions are expected to convert
+/// every producer and consumer so no cast survives.
+static Value createUnrealizedCast(OpBuilder &Builder, Location Loc,
+                                  Type ResultType, Value Input) {
+  OperationState State(Loc, "builtin.unrealized_conversion_cast");
+  State.addOperand(Input);
+  State.addType(ResultType);
+  return Builder.createOperation(State)->getResult(0);
+}
+
+Value TypeConverter::materialize(
+    const std::vector<MaterializationFn> &Callbacks, OpBuilder &Builder,
+    Location Loc, Type ResultType, Value Input) const {
+  if (Input.getType() == ResultType)
+    return Input;
+  for (auto It = Callbacks.rbegin(); It != Callbacks.rend(); ++It)
+    if (Value Result = (*It)(Builder, ResultType, Input, Loc))
+      return Result;
+  return createUnrealizedCast(Builder, Loc, ResultType, Input);
+}
+
+Value TypeConverter::materializeSourceConversion(OpBuilder &Builder,
+                                                 Location Loc,
+                                                 Type ResultType,
+                                                 Value Input) const {
+  return materialize(SourceMaterializations, Builder, Loc, ResultType, Input);
+}
+
+Value TypeConverter::materializeTargetConversion(OpBuilder &Builder,
+                                                 Location Loc,
+                                                 Type ResultType,
+                                                 Value Input) const {
+  return materialize(TargetMaterializations, Builder, Loc, ResultType, Input);
+}
+
+//===----------------------------------------------------------------------===//
+// ConversionTarget
+//===----------------------------------------------------------------------===//
+
+/// The dialect namespace of an operation name ("arith.addi" -> "arith").
+static std::string_view dialectOf(std::string_view OpName) {
+  size_t Dot = OpName.find('.');
+  return Dot == std::string_view::npos ? OpName : OpName.substr(0, Dot);
+}
+
+std::optional<bool> ConversionTarget::isLegal(Operation *Op) const {
+  auto Evaluate = [&](const Action &A) -> bool {
+    switch (A.Kind) {
+    case LegalizationAction::Legal:
+      return true;
+    case LegalizationAction::Illegal:
+      return false;
+    case LegalizationAction::Dynamic:
+      return A.Fn(Op);
+    }
+    return true;
+  };
+
+  const std::string &Name = Op->getName().getStringRef();
+  if (auto It = OpActions.find(Name); It != OpActions.end())
+    return Evaluate(It->second);
+  if (auto It = DialectActions.find(dialectOf(Name));
+      It != DialectActions.end())
+    return Evaluate(It->second);
+  if (UnknownOpFn)
+    return UnknownOpFn(Op);
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Conversion journal
+//===----------------------------------------------------------------------===//
+
+namespace smlir {
+namespace detail {
+
+/// The record of every IR mutation made during a conversion, in order.
+/// Rolling back processes entries newest-first; committing replays the
+/// deferred effects (use rewiring, argument erasure, op deletion).
+class ConversionJournal {
+public:
+  struct Action {
+    enum class Kind {
+      /// \c Op was created (and possibly inserted).
+      Create,
+      /// \c Op was unlinked from \c B (was before \c Next); deleted on
+      /// commit, reinserted on rollback.
+      Erase,
+      /// Value \c Key was mapped to a new value (previous mapping state
+      /// recorded for rollback).
+      Map,
+      /// Operand \c Index of \c Op was changed from \c OldValue.
+      SetOperand,
+      /// Attribute \c AttrName of \c Op was set/removed (previous value
+      /// recorded).
+      SetAttr,
+      /// A fresh argument (index \c Index) was appended to block \c B.
+      AddArg,
+      /// Argument \c Index of \c B is to be erased on commit.
+      DeferEraseArg,
+      /// The blocks of region \c From were moved into region \c To.
+      MoveBody,
+    };
+
+    Kind K;
+    Operation *Op = nullptr;
+    Block *B = nullptr;
+    Operation *Next = nullptr;
+    ValueImpl *Key = nullptr;
+    Value OldMapped;
+    bool HadMapping = false;
+    unsigned Index = 0;
+    Value OldValue;
+    std::string AttrName;
+    Attribute OldAttr;
+    bool HadAttr = false;
+    Region *From = nullptr;
+    Region *To = nullptr;
+  };
+
+  std::vector<Action> Actions;
+  /// Conversion value mapping: original value -> replacement.
+  std::map<ValueImpl *, Value> Mapping;
+  /// Operations unlinked by eraseOp/replaceOp, pending deletion.
+  std::set<Operation *> Erased;
+};
+
+} // namespace detail
+} // namespace smlir
+
+using Journal = smlir::detail::ConversionJournal;
+using Action = Journal::Action;
+
+//===----------------------------------------------------------------------===//
+// ConversionPatternRewriter
+//===----------------------------------------------------------------------===//
+
+ConversionPatternRewriter::ConversionPatternRewriter(
+    MLIRContext *Context, const TypeConverter *Converter)
+    : PatternRewriter(Context), Converter(Converter),
+      Journal(std::make_unique<smlir::detail::ConversionJournal>()) {}
+
+ConversionPatternRewriter::~ConversionPatternRewriter() = default;
+
+Operation *ConversionPatternRewriter::insert(Operation *Op) {
+  PatternRewriter::insert(Op);
+  Action A;
+  A.K = Action::Kind::Create;
+  A.Op = Op;
+  Journal->Actions.push_back(std::move(A));
+  return Op;
+}
+
+void ConversionPatternRewriter::eraseOp(Operation *Op) {
+  Action A;
+  A.K = Action::Kind::Erase;
+  A.Op = Op;
+  A.B = Op->getBlock();
+  A.Next = Op->getNextNode();
+  Journal->Actions.push_back(std::move(A));
+  Op->remove();
+  Journal->Erased.insert(Op);
+}
+
+/// Journals and installs the mapping \p From -> \p To.
+static void mapValue(Journal &J, Value From, Value To) {
+  Action A;
+  A.K = Action::Kind::Map;
+  A.Key = From.getImpl();
+  auto It = J.Mapping.find(A.Key);
+  if (It != J.Mapping.end()) {
+    A.HadMapping = true;
+    A.OldMapped = It->second;
+  }
+  J.Actions.push_back(std::move(A));
+  J.Mapping[From.getImpl()] = To;
+}
+
+void ConversionPatternRewriter::replaceOp(
+    Operation *Op, const std::vector<Value> &NewValues) {
+  assert(NewValues.size() == Op->getNumResults() &&
+         "replacement arity mismatch");
+  for (unsigned I = 0, E = Op->getNumResults(); I != E; ++I)
+    mapValue(*Journal, Op->getResult(I), NewValues[I]);
+  eraseOp(Op);
+}
+
+void ConversionPatternRewriter::updateOperand(Operation *Op, unsigned Index,
+                                              Value NewValue) {
+  Action A;
+  A.K = Action::Kind::SetOperand;
+  A.Op = Op;
+  A.Index = Index;
+  A.OldValue = Op->getOperand(Index);
+  Journal->Actions.push_back(std::move(A));
+  Op->setOperand(Index, NewValue);
+}
+
+void ConversionPatternRewriter::updateAttribute(Operation *Op,
+                                                std::string_view Name,
+                                                Attribute Attr) {
+  Action A;
+  A.K = Action::Kind::SetAttr;
+  A.Op = Op;
+  A.AttrName = std::string(Name);
+  A.OldAttr = Op->getAttr(Name);
+  A.HadAttr = static_cast<bool>(A.OldAttr);
+  Journal->Actions.push_back(std::move(A));
+  Op->setAttr(Name, Attr);
+}
+
+void ConversionPatternRewriter::removeAttribute(Operation *Op,
+                                                std::string_view Name) {
+  if (!Op->hasAttr(Name))
+    return;
+  Action A;
+  A.K = Action::Kind::SetAttr;
+  A.Op = Op;
+  A.AttrName = std::string(Name);
+  A.OldAttr = Op->getAttr(Name);
+  A.HadAttr = true;
+  Journal->Actions.push_back(std::move(A));
+  Op->removeAttr(Name);
+}
+
+void ConversionPatternRewriter::applySignatureConversion(
+    Block *B, const std::vector<Type> &NewTypes) {
+  assert(NewTypes.size() == B->getNumArguments() &&
+         "signature conversion is 1:1 per argument");
+  unsigned NumOld = B->getNumArguments();
+  for (unsigned I = 0; I != NumOld; ++I) {
+    Value OldArg = B->getArgument(I);
+    Value NewArg = B->addArgument(NewTypes[I]);
+    Action A;
+    A.K = Action::Kind::AddArg;
+    A.B = B;
+    A.Index = B->getNumArguments() - 1;
+    Journal->Actions.push_back(std::move(A));
+    mapValue(*Journal, OldArg, NewArg);
+    Action D;
+    D.K = Action::Kind::DeferEraseArg;
+    D.B = B;
+    D.Index = I;
+    Journal->Actions.push_back(std::move(D));
+  }
+}
+
+void ConversionPatternRewriter::moveRegionBody(Region &From, Region &To) {
+  To.takeBody(From);
+  Action A;
+  A.K = Action::Kind::MoveBody;
+  A.From = &From;
+  A.To = &To;
+  Journal->Actions.push_back(std::move(A));
+}
+
+Value ConversionPatternRewriter::getRemapped(Value V) const {
+  // Follow replacement chains (a replaced value may itself be replaced).
+  for (unsigned Guard = 0; Guard < 1000; ++Guard) {
+    auto It = Journal->Mapping.find(V.getImpl());
+    if (It == Journal->Mapping.end())
+      return V;
+    V = It->second;
+  }
+  reportFatalError("conversion value mapping forms a cycle");
+}
+
+std::vector<Value>
+ConversionPatternRewriter::getRemapped(const std::vector<Value> &Vals) const {
+  std::vector<Value> Result;
+  Result.reserve(Vals.size());
+  for (Value V : Vals)
+    Result.push_back(getRemapped(V));
+  return Result;
+}
+
+size_t ConversionPatternRewriter::checkpoint() const {
+  return Journal->Actions.size();
+}
+
+void ConversionPatternRewriter::rollbackTo(size_t Checkpoint) {
+  auto &Actions = Journal->Actions;
+  while (Actions.size() > Checkpoint) {
+    Action A = std::move(Actions.back());
+    Actions.pop_back();
+    switch (A.K) {
+    case Action::Kind::Create:
+      // Uses of the op's results were journaled after its creation, so
+      // they are already undone; the op can be destroyed outright.
+      if (A.Op->getBlock())
+        A.Op->erase();
+      else
+        delete A.Op;
+      break;
+    case Action::Kind::Erase:
+      A.B->insertBefore(A.Next, A.Op);
+      Journal->Erased.erase(A.Op);
+      break;
+    case Action::Kind::Map:
+      if (A.HadMapping)
+        Journal->Mapping[A.Key] = A.OldMapped;
+      else
+        Journal->Mapping.erase(A.Key);
+      break;
+    case Action::Kind::SetOperand:
+      A.Op->setOperand(A.Index, A.OldValue);
+      break;
+    case Action::Kind::SetAttr:
+      if (A.HadAttr)
+        A.Op->setAttr(A.AttrName, A.OldAttr);
+      else
+        A.Op->removeAttr(A.AttrName);
+      break;
+    case Action::Kind::AddArg:
+      A.B->eraseArgument(A.Index);
+      break;
+    case Action::Kind::DeferEraseArg:
+      break; // No IR effect yet.
+    case Action::Kind::MoveBody:
+      A.From->takeBody(*A.To);
+      break;
+    }
+  }
+}
+
+std::vector<Operation *>
+ConversionPatternRewriter::getCreatedOps(size_t Checkpoint) const {
+  std::vector<Operation *> Created;
+  for (size_t I = Checkpoint, E = Journal->Actions.size(); I != E; ++I) {
+    const Action &A = Journal->Actions[I];
+    if (A.K == Action::Kind::Create && !Journal->Erased.count(A.Op))
+      Created.push_back(A.Op);
+  }
+  return Created;
+}
+
+bool ConversionPatternRewriter::isErased(Operation *Op) const {
+  // An op nested inside an erased op is dead too: walk the parent chain,
+  // which still reaches the unlinked root through the region structure.
+  for (Operation *Cur = Op; Cur; Cur = Cur->getParentOp())
+    if (Journal->Erased.count(Cur))
+      return true;
+  return false;
+}
+
+unsigned ConversionPatternRewriter::countPendingMaterializations() const {
+  unsigned Pending = 0;
+  for (const Action &A : Journal->Actions) {
+    if (A.K != Action::Kind::Map)
+      continue;
+    Value Old(A.Key);
+    Value New = getRemapped(Old);
+    if (New == Old || New.getType() == Old.getType())
+      continue;
+    for (OpOperand *Use : Old.getUses())
+      if (!isErased(Use->getOwner()))
+        ++Pending;
+  }
+  return Pending;
+}
+
+void ConversionPatternRewriter::finalize() {
+  // 1. Rewire remaining uses of every replaced value to its final
+  //    conversion, bridging type changes with source materializations.
+  OpBuilder CastBuilder(getContext());
+  size_t NumActions = Journal->Actions.size();
+  for (size_t I = 0; I != NumActions; ++I) {
+    const Action &A = Journal->Actions[I];
+    if (A.K != Action::Kind::Map)
+      continue;
+    Value Old(A.Key);
+    Value New = getRemapped(Old);
+    if (New == Old)
+      continue;
+    std::vector<OpOperand *> Uses = Old.getUses();
+    for (OpOperand *Use : Uses) {
+      Operation *Owner = Use->getOwner();
+      if (isErased(Owner))
+        continue; // Dropped with its owner.
+      if (New.getType() == Old.getType()) {
+        Use->set(New);
+        continue;
+      }
+      CastBuilder.setInsertionPoint(Owner);
+      Value Cast =
+          Converter
+              ? Converter->materializeSourceConversion(
+                    CastBuilder, Owner->getLoc(), Old.getType(), New)
+              : createUnrealizedCast(CastBuilder, Owner->getLoc(),
+                                     Old.getType(), New);
+      Use->set(Cast);
+    }
+  }
+
+  // 2. Drop every reference held by erased operations: they may still
+  //    point at block arguments about to be erased (and at each other),
+  //    so this must precede argument erasure and deletion.
+  for (Operation *Op : Journal->Erased)
+    Op->dropAllReferences();
+
+  // 3. Erase converted-away block arguments, highest index first so
+  //    recorded indices stay valid.
+  std::map<Block *, std::vector<unsigned>> ArgErasures;
+  for (const Action &A : Journal->Actions)
+    if (A.K == Action::Kind::DeferEraseArg)
+      ArgErasures[A.B].push_back(A.Index);
+  for (auto &[B, Indices] : ArgErasures) {
+    if (Operation *Parent = B->getParentOp(); Parent && isErased(Parent))
+      continue;
+    std::sort(Indices.begin(), Indices.end(), std::greater<unsigned>());
+    for (unsigned Index : Indices)
+      B->eraseArgument(Index);
+  }
+
+  // 4. Delete every erased operation (cross-references are already
+  //    dropped, so deletion order does not matter).
+  for (Operation *Op : Journal->Erased) {
+    for (Value Result : Op->getResults())
+      if (!Result.use_empty())
+        reportFatalError(
+            "dialect conversion erased '" + Op->getName().getStringRef() +
+            "' but a result still has uses (pattern forgot replaceOp?)");
+    delete Op;
+  }
+
+  Journal->Actions.clear();
+  Journal->Mapping.clear();
+  Journal->Erased.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Conversion drivers
+//===----------------------------------------------------------------------===//
+
+/// Collects \p Root and all nested ops in pre-order (parents before nested
+/// operations, definitions before uses within a block), the order in which
+/// legalization proceeds.
+static void collectPreOrder(Operation *Root,
+                            std::vector<Operation *> &Worklist) {
+  Worklist.push_back(Root);
+  for (auto &R : Root->getRegions())
+    for (auto &B : *R)
+      for (Operation *Op : *B)
+        collectPreOrder(Op, Worklist);
+}
+
+static LogicalResult applyConversion(Operation *Root,
+                                     const ConversionTarget &Target,
+                                     const RewritePatternSet &Patterns,
+                                     const TypeConverter *Converter,
+                                     bool Full, std::string *ErrorMessage) {
+  ConversionPatternRewriter Rewriter(Root->getContext(), Converter);
+
+  // Highest-benefit patterns are attempted first (stable within ties).
+  std::vector<const RewritePattern *> Ordered =
+      Patterns.getBenefitOrdered();
+
+  std::vector<Operation *> Worklist;
+  collectPreOrder(Root, Worklist);
+
+  auto Fail = [&](std::string Message) {
+    // Roll everything back: a failed conversion leaves the IR untouched.
+    Rewriter.rollbackTo(0);
+    if (ErrorMessage)
+      *ErrorMessage = std::move(Message);
+    return failure();
+  };
+
+  for (size_t I = 0; I != Worklist.size(); ++I) {
+    Operation *Op = Worklist[I];
+    if (Rewriter.isErased(Op))
+      continue;
+    // Legal ops are skipped; unknown ops may remain under partial
+    // conversion but must be legalized under full conversion.
+    if (Target.isLegal(Op).value_or(!Full))
+      continue;
+
+    bool Converted = false;
+    for (const RewritePattern *P : Ordered) {
+      if (!P->getRootName().empty() &&
+          P->getRootName() != Op->getName().getStringRef())
+        continue;
+      size_t Checkpoint = Rewriter.checkpoint();
+      Rewriter.setInsertionPoint(Op);
+      LogicalResult Result = failure();
+      if (const auto *CP = dynamic_cast<const ConversionPattern *>(P)) {
+        std::vector<Value> Remapped =
+            Rewriter.getRemapped(Op->getOperands());
+        Result = CP->matchAndRewrite(Op, Remapped, Rewriter);
+      } else {
+        Result = P->matchAndRewrite(Op, Rewriter);
+      }
+      if (Result.succeeded()) {
+        // Newly created operations must be legalized as well.
+        for (Operation *NewOp : Rewriter.getCreatedOps(Checkpoint))
+          Worklist.push_back(NewOp);
+        Converted = true;
+        break;
+      }
+      Rewriter.rollbackTo(Checkpoint);
+    }
+    if (!Converted)
+      return Fail("failed to legalize operation '" +
+                  Op->getName().getStringRef() + "'");
+  }
+
+  if (Full) {
+    // Safety net: every operation that remains must be explicitly legal.
+    std::string IllegalName;
+    Root->walk([&](Operation *Op) {
+      if (IllegalName.empty() && !Target.isLegal(Op).value_or(false))
+        IllegalName = Op->getName().getStringRef();
+    });
+    if (!IllegalName.empty())
+      return Fail("full conversion left illegal operation '" + IllegalName +
+                  "'");
+    // Committing would insert source materializations (casts that are
+    // never themselves legalized); under full conversion that means a
+    // producer/consumer was never converted.
+    if (unsigned Pending = Rewriter.countPendingMaterializations())
+      return Fail("full conversion would leave " + std::to_string(Pending) +
+                  " unconverted use(s) of converted values (source "
+                  "materializations required)");
+  }
+
+  Rewriter.finalize();
+  return success();
+}
+
+LogicalResult smlir::applyPartialConversion(Operation *Root,
+                                            const ConversionTarget &Target,
+                                            const RewritePatternSet &Patterns,
+                                            const TypeConverter *Converter,
+                                            std::string *ErrorMessage) {
+  return applyConversion(Root, Target, Patterns, Converter, /*Full=*/false,
+                         ErrorMessage);
+}
+
+LogicalResult smlir::applyFullConversion(Operation *Root,
+                                         const ConversionTarget &Target,
+                                         const RewritePatternSet &Patterns,
+                                         const TypeConverter *Converter,
+                                         std::string *ErrorMessage) {
+  return applyConversion(Root, Target, Patterns, Converter, /*Full=*/true,
+                         ErrorMessage);
+}

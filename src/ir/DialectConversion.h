@@ -1,0 +1,376 @@
+//===- DialectConversion.h - Dialect conversion framework -------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dialect conversion framework (paper §II-B: "gradual lowering process
+/// through dialect conversion and pattern rewriting"), mirroring MLIR's
+/// ConversionTarget / TypeConverter / applyPartialConversion trio:
+///
+///  - TypeConverter: an ordered set of type-conversion rules plus
+///    source/target materialization callbacks used to bridge converted and
+///    unconverted values.
+///  - ConversionTarget: declares which operations and dialects are legal,
+///    illegal or dynamically legal after the conversion.
+///  - ConversionPattern / OpConversionPattern<OpTy>: rewrite patterns that
+///    receive their operands *remapped* through the conversion value
+///    mapping (the operand adaptor), so a pattern always sees the
+///    already-converted form of its inputs.
+///  - ConversionPatternRewriter: a PatternRewriter that journals every
+///    mutation (creation, erasure, replacement, operand/attribute updates,
+///    block signature changes, region moves) so a failed pattern — or a
+///    failed legalization — rolls the IR back to a byte-identical state.
+///  - applyPartialConversion / applyFullConversion: the drivers. Partial
+///    conversion legalizes every explicitly-illegal operation and lets
+///    unknown operations remain; full conversion additionally requires
+///    every remaining operation to be explicitly legal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_IR_DIALECTCONVERSION_H
+#define SMLIR_IR_DIALECTCONVERSION_H
+
+#include "ir/PatternMatch.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smlir {
+
+//===----------------------------------------------------------------------===//
+// TypeConverter
+//===----------------------------------------------------------------------===//
+
+/// Converts types between a source and a target type system. Conversion
+/// rules are tried newest-first; a rule returning std::nullopt passes to
+/// the next rule, a null Type aborts the conversion. Register an identity
+/// rule first so types no rule claims convert to themselves.
+class TypeConverter {
+public:
+  /// One type conversion rule.
+  using ConversionFn = std::function<std::optional<Type>(Type)>;
+  /// Builds a value of \p ResultType from \p Input at \p Loc, or returns a
+  /// null Value to let the next callback (or the default
+  /// builtin.unrealized_conversion_cast) handle it.
+  using MaterializationFn =
+      std::function<Value(OpBuilder &, Type /*ResultType*/, Value /*Input*/,
+                          Location)>;
+
+  virtual ~TypeConverter();
+
+  void addConversion(ConversionFn Fn) {
+    Conversions.push_back(std::move(Fn));
+  }
+  /// Source materializations convert a *converted* value back to a source
+  /// (original) type — used when an unconverted operation still needs the
+  /// old type after conversion.
+  void addSourceMaterialization(MaterializationFn Fn) {
+    SourceMaterializations.push_back(std::move(Fn));
+  }
+  /// Target materializations convert a source value to a converted type —
+  /// used when a pattern needs the new type for a value the conversion has
+  /// not (yet) remapped.
+  void addTargetMaterialization(MaterializationFn Fn) {
+    TargetMaterializations.push_back(std::move(Fn));
+  }
+
+  /// Converts \p Ty; returns a null Type when no rule applies (or a rule
+  /// failed).
+  Type convertType(Type Ty) const;
+
+  /// Converts every type in \p Types into \p Results; fails if any type
+  /// has no conversion.
+  LogicalResult convertTypes(const std::vector<Type> &Types,
+                             std::vector<Type> &Results) const;
+
+  /// A type is legal iff it converts to itself.
+  bool isLegal(Type Ty) const { return convertType(Ty) == Ty; }
+  /// A signature is legal iff all input and result types are legal.
+  bool isSignatureLegal(FunctionType Ty) const;
+
+  /// Materializes a conversion of \p Input to \p ResultType using the
+  /// registered source/target callbacks, falling back to a
+  /// `builtin.unrealized_conversion_cast` operation.
+  Value materializeSourceConversion(OpBuilder &Builder, Location Loc,
+                                    Type ResultType, Value Input) const;
+  Value materializeTargetConversion(OpBuilder &Builder, Location Loc,
+                                    Type ResultType, Value Input) const;
+
+private:
+  Value materialize(const std::vector<MaterializationFn> &Callbacks,
+                    OpBuilder &Builder, Location Loc, Type ResultType,
+                    Value Input) const;
+
+  std::vector<ConversionFn> Conversions;
+  std::vector<MaterializationFn> SourceMaterializations;
+  std::vector<MaterializationFn> TargetMaterializations;
+};
+
+//===----------------------------------------------------------------------===//
+// ConversionTarget
+//===----------------------------------------------------------------------===//
+
+/// Describes the legality of operations and dialects after a conversion.
+class ConversionTarget {
+public:
+  /// Decides dynamic legality per operation instance.
+  using DynamicLegalityFn = std::function<bool(Operation *)>;
+
+  enum class LegalizationAction { Legal, Dynamic, Illegal };
+
+  /// Marks every op of \p Name legal / illegal / dynamically legal.
+  void addLegalOp(std::string_view Name) {
+    setOpAction(Name, LegalizationAction::Legal, nullptr);
+  }
+  void addIllegalOp(std::string_view Name) {
+    setOpAction(Name, LegalizationAction::Illegal, nullptr);
+  }
+  void addDynamicallyLegalOp(std::string_view Name, DynamicLegalityFn Fn) {
+    setOpAction(Name, LegalizationAction::Dynamic, std::move(Fn));
+  }
+  template <typename OpTy>
+  void addLegalOp() {
+    addLegalOp(OpTy::getOperationName());
+  }
+  template <typename OpTy>
+  void addIllegalOp() {
+    addIllegalOp(OpTy::getOperationName());
+  }
+  template <typename OpTy>
+  void addDynamicallyLegalOp(DynamicLegalityFn Fn) {
+    addDynamicallyLegalOp(OpTy::getOperationName(), std::move(Fn));
+  }
+
+  /// Marks a whole dialect (by namespace, e.g. "arith") legal / illegal /
+  /// dynamically legal. Op-specific actions take precedence.
+  void addLegalDialect(std::string_view Name) {
+    setDialectAction(Name, LegalizationAction::Legal, nullptr);
+  }
+  void addIllegalDialect(std::string_view Name) {
+    setDialectAction(Name, LegalizationAction::Illegal, nullptr);
+  }
+  void addDynamicallyLegalDialect(std::string_view Name,
+                                  DynamicLegalityFn Fn) {
+    setDialectAction(Name, LegalizationAction::Dynamic, std::move(Fn));
+  }
+  template <typename... Names>
+  void addLegalDialects(Names... DialectNames) {
+    (addLegalDialect(DialectNames), ...);
+  }
+
+  /// Fallback legality for operations with no op- or dialect-level action.
+  void markUnknownOpDynamicallyLegal(DynamicLegalityFn Fn) {
+    UnknownOpFn = std::move(Fn);
+  }
+
+  /// Returns the legality of \p Op: true (legal), false (must be
+  /// converted), or std::nullopt when no action covers it (such ops may
+  /// remain under partial conversion but fail full conversion).
+  std::optional<bool> isLegal(Operation *Op) const;
+
+private:
+  struct Action {
+    LegalizationAction Kind = LegalizationAction::Legal;
+    DynamicLegalityFn Fn;
+  };
+
+  void setOpAction(std::string_view Name, LegalizationAction Kind,
+                   DynamicLegalityFn Fn) {
+    OpActions[std::string(Name)] = {Kind, std::move(Fn)};
+  }
+  void setDialectAction(std::string_view Name, LegalizationAction Kind,
+                        DynamicLegalityFn Fn) {
+    DialectActions[std::string(Name)] = {Kind, std::move(Fn)};
+  }
+
+  std::map<std::string, Action, std::less<>> OpActions;
+  std::map<std::string, Action, std::less<>> DialectActions;
+  DynamicLegalityFn UnknownOpFn;
+};
+
+//===----------------------------------------------------------------------===//
+// ConversionPatternRewriter
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+class ConversionJournal;
+} // namespace detail
+
+/// PatternRewriter used during dialect conversion. Every mutation made
+/// through this rewriter is journaled; the conversion driver rolls the
+/// journal back when a pattern or a legalization fails, restoring the IR
+/// exactly (same operations, same order, same operands and attributes).
+class ConversionPatternRewriter : public PatternRewriter {
+public:
+  ConversionPatternRewriter(MLIRContext *Context,
+                            const TypeConverter *Converter);
+  ~ConversionPatternRewriter() override;
+
+  //===------------------------------------------------------------------===//
+  // Journaled mutations
+  //===------------------------------------------------------------------===//
+
+  Operation *insert(Operation *Op) override;
+  /// Unlinks \p Op; the operation is deleted only when the conversion
+  /// succeeds (so rollback can reinsert it). Remaining uses of its results
+  /// are rewired through the conversion mapping on success.
+  void eraseOp(Operation *Op) override;
+  /// Maps \p Op's results to \p NewValues and erases it. Uses are rewired
+  /// lazily: converted ops see the new values through their adaptor,
+  /// unconverted ops are patched (with materializations if types differ)
+  /// when the conversion commits.
+  void replaceOp(Operation *Op, const std::vector<Value> &NewValues) override;
+
+  /// Journaled operand update on an operation left in place.
+  void updateOperand(Operation *Op, unsigned Index, Value NewValue);
+  /// Journaled attribute update/removal.
+  void updateAttribute(Operation *Op, std::string_view Name, Attribute Attr);
+  void removeAttribute(Operation *Op, std::string_view Name);
+
+  /// Replaces the arguments of \p B with fresh arguments of \p NewTypes
+  /// (same count, 1:1). Old arguments are remapped to the new ones and
+  /// erased when the conversion commits.
+  void applySignatureConversion(Block *B, const std::vector<Type> &NewTypes);
+
+  /// Moves the blocks of \p From into \p To (which must be empty), e.g.
+  /// when swapping an `affine.for` for an `scf.for` around the same body.
+  void moveRegionBody(Region &From, Region &To);
+
+  //===------------------------------------------------------------------===//
+  // Conversion mapping
+  //===------------------------------------------------------------------===//
+
+  /// Returns the current conversion of \p V (following chains), or \p V
+  /// itself when unconverted.
+  Value getRemapped(Value V) const;
+  std::vector<Value> getRemapped(const std::vector<Value> &Vals) const;
+
+  const TypeConverter *getTypeConverter() const { return Converter; }
+
+  //===------------------------------------------------------------------===//
+  // Driver interface
+  //===------------------------------------------------------------------===//
+
+  /// Journal position; rollbackTo(checkpoint()) undoes everything after.
+  size_t checkpoint() const;
+  /// Undoes all journaled mutations after \p Checkpoint, newest first.
+  void rollbackTo(size_t Checkpoint);
+  /// Operations created after \p Checkpoint (for recursive legalization).
+  std::vector<Operation *> getCreatedOps(size_t Checkpoint) const;
+  /// True when \p Op was erased/replaced during this conversion.
+  bool isErased(Operation *Op) const;
+  /// Number of remaining uses that will need a source materialization at
+  /// commit time (live users of a replaced value whose replacement has a
+  /// different type). Full conversion treats a non-zero count as a
+  /// legalization failure — the casts it would create are never
+  /// legalized, so they must not escape the target check.
+  unsigned countPendingMaterializations() const;
+  /// Commits the conversion: rewires remaining uses of replaced values
+  /// (inserting source materializations on type mismatch), erases
+  /// converted-away block arguments, and deletes all erased operations.
+  void finalize();
+
+private:
+  const TypeConverter *Converter;
+  std::unique_ptr<detail::ConversionJournal> Journal;
+};
+
+//===----------------------------------------------------------------------===//
+// Conversion patterns
+//===----------------------------------------------------------------------===//
+
+/// Remapped operands of the operation being converted.
+class ConversionValueAdaptor {
+public:
+  explicit ConversionValueAdaptor(const std::vector<Value> &Operands)
+      : Operands(Operands) {}
+
+  const std::vector<Value> &getOperands() const { return Operands; }
+  Value getOperand(unsigned Index) const {
+    assert(Index < Operands.size() && "adaptor operand out of range");
+    return Operands[Index];
+  }
+  unsigned size() const { return Operands.size(); }
+
+private:
+  const std::vector<Value> &Operands;
+};
+
+/// A rewrite pattern participating in dialect conversion: it receives the
+/// operands of the matched operation remapped through the conversion value
+/// mapping. Conversion patterns only run under the conversion drivers.
+class ConversionPattern : public RewritePattern {
+public:
+  ConversionPattern(std::string RootName, unsigned Benefit = 1,
+                    const TypeConverter *Converter = nullptr)
+      : RewritePattern(std::move(RootName), Benefit), Converter(Converter) {}
+
+  const TypeConverter *getTypeConverter() const { return Converter; }
+
+  /// Converts \p Op given its remapped \p Operands.
+  virtual LogicalResult
+  matchAndRewrite(Operation *Op, const std::vector<Value> &Operands,
+                  ConversionPatternRewriter &Rewriter) const = 0;
+
+  /// Conversion patterns cannot run under the greedy driver.
+  LogicalResult matchAndRewrite(Operation *,
+                                PatternRewriter &) const final {
+    return failure();
+  }
+
+private:
+  const TypeConverter *Converter;
+};
+
+/// Typed conversion pattern anchored on \p SourceOp, with an operand
+/// adaptor (the project's stand-in for generated OpAdaptor classes).
+template <typename SourceOp>
+class OpConversionPattern : public ConversionPattern {
+public:
+  using OpAdaptor = ConversionValueAdaptor;
+
+  explicit OpConversionPattern(const TypeConverter *Converter = nullptr,
+                               unsigned Benefit = 1)
+      : ConversionPattern(SourceOp::getOperationName(), Benefit, Converter) {}
+
+  LogicalResult
+  matchAndRewrite(Operation *Op, const std::vector<Value> &Operands,
+                  ConversionPatternRewriter &Rewriter) const final {
+    return matchAndRewrite(SourceOp::cast(Op), OpAdaptor(Operands), Rewriter);
+  }
+
+  /// Converts \p Op; \p Adaptor carries the remapped operands.
+  virtual LogicalResult matchAndRewrite(SourceOp Op, OpAdaptor Adaptor,
+                                        ConversionPatternRewriter &Rewriter)
+      const = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Conversion drivers
+//===----------------------------------------------------------------------===//
+
+/// Legalizes every explicitly-illegal operation under (and including)
+/// \p Root using \p Patterns; operations the target does not cover may
+/// remain. On failure the IR is rolled back unchanged.
+LogicalResult applyPartialConversion(Operation *Root,
+                                     const ConversionTarget &Target,
+                                     const RewritePatternSet &Patterns,
+                                     const TypeConverter *Converter = nullptr,
+                                     std::string *ErrorMessage = nullptr);
+
+/// Like applyPartialConversion, but additionally fails (and rolls back) if
+/// any operation remains that the target does not declare legal.
+LogicalResult applyFullConversion(Operation *Root,
+                                  const ConversionTarget &Target,
+                                  const RewritePatternSet &Patterns,
+                                  const TypeConverter *Converter = nullptr,
+                                  std::string *ErrorMessage = nullptr);
+
+} // namespace smlir
+
+#endif // SMLIR_IR_DIALECTCONVERSION_H

@@ -126,6 +126,11 @@ LogicalResult PassManager::run(Operation *Root, std::string *ErrorMessage) {
     P->setNestedVerifier(VerifyEach);
   for (unsigned I = 0, E = Passes.size(); I != E; ++I) {
     Pass &P = *Passes[I];
+    if (PrintBeforeEach) {
+      std::fprintf(stderr, "// ----- IR before %s -----\n",
+                   P.getName().c_str());
+      Root->dump();
+    }
     auto Start = std::chrono::steady_clock::now();
     PassResult Result = P.runOnOperation(Root, AM);
     auto End = std::chrono::steady_clock::now();

@@ -354,6 +354,8 @@ public:
   void enableVerifier(bool Enable = true) { VerifyEach = Enable; }
   /// Print the IR to stderr after each pass.
   void enableIRPrinting(bool Enable = true) { PrintAfterEach = Enable; }
+  /// Print the IR to stderr before each pass.
+  void enableIRPrintingBefore(bool Enable = true) { PrintBeforeEach = Enable; }
   /// Collect per-pass wall-clock timing.
   void enableTiming(bool Enable = true) { TimePasses = Enable; }
 
@@ -383,6 +385,7 @@ private:
   unsigned NumExecuted = 0;
   bool VerifyEach = true;
   bool PrintAfterEach = false;
+  bool PrintBeforeEach = false;
   bool TimePasses = false;
 };
 

@@ -8,6 +8,7 @@
 
 #include "ir/Block.h"
 
+#include <algorithm>
 #include <set>
 
 using namespace smlir;
@@ -26,6 +27,19 @@ void PatternRewriter::replaceOp(Operation *Op,
 }
 
 RewritePattern::~RewritePattern() = default;
+
+std::vector<const RewritePattern *>
+RewritePatternSet::getBenefitOrdered() const {
+  std::vector<const RewritePattern *> Ordered;
+  Ordered.reserve(Patterns.size());
+  for (const auto &Pattern : Patterns)
+    Ordered.push_back(Pattern.get());
+  std::stable_sort(Ordered.begin(), Ordered.end(),
+                   [](const RewritePattern *A, const RewritePattern *B) {
+                     return A->getBenefit() > B->getBenefit();
+                   });
+  return Ordered;
+}
 
 namespace {
 
@@ -105,6 +119,10 @@ LogicalResult smlir::applyPatternsGreedily(Operation *Root,
                                            const RewritePatternSet &Patterns) {
   GreedyDriver Driver(Root->getContext());
 
+  // Attempt higher-benefit patterns first, as getBenefit() promises.
+  std::vector<const RewritePattern *> Ordered =
+      Patterns.getBenefitOrdered();
+
   // Seed the worklist with all nested ops (not the root itself).
   Root->walk([&](Operation *Op) {
     if (Op != Root)
@@ -147,7 +165,7 @@ LogicalResult smlir::applyPatternsGreedily(Operation *Root,
     }
 
     // Attempt the rewrite patterns.
-    for (const auto &Pattern : Patterns.get()) {
+    for (const RewritePattern *Pattern : Ordered) {
       if (!Pattern->getRootName().empty() &&
           Pattern->getRootName() != Op->getName().getStringRef())
         continue;

@@ -36,9 +36,12 @@ public:
   /// Replaces all uses of \p Op's results with \p NewValues and erases it.
   virtual void replaceOp(Operation *Op, const std::vector<Value> &NewValues);
 
-  /// Builds a replacement op and uses its results to replace \p Op.
+  /// Builds a replacement op and uses its results to replace \p Op. The
+  /// caller's insertion point is left untouched (the new op is inserted at
+  /// \p Op's position under an InsertionGuard).
   template <typename OpTy, typename... Args>
   OpTy replaceOpWithNewOp(Operation *Op, Args &&...BuildArgs) {
+    InsertionGuard Guard(*this);
     setInsertionPoint(Op);
     OpTy NewOp =
         create<OpTy>(Op->getLoc(), std::forward<Args>(BuildArgs)...);
@@ -83,6 +86,10 @@ public:
   const std::vector<std::unique_ptr<RewritePattern>> &get() const {
     return Patterns;
   }
+
+  /// The patterns ordered by descending benefit (stable within ties) —
+  /// the application order every pattern driver uses.
+  std::vector<const RewritePattern *> getBenefitOrdered() const;
 
 private:
   std::vector<std::unique_ptr<RewritePattern>> Patterns;

@@ -6,6 +6,8 @@
 
 #include "transform/Passes.h"
 
+#include "conversion/Passes.h"
+
 using namespace smlir;
 
 void smlir::registerAllPasses() {
@@ -19,6 +21,7 @@ void smlir::registerAllPasses() {
     registerHostRaisingPasses();
     registerHostDevicePropPasses();
     registerDeadArgumentEliminationPasses();
+    registerConversionPasses();
     return true;
   }();
   (void)Registered;

@@ -1,0 +1,518 @@
+//===- ConversionTest.cpp - Dialect conversion framework tests --------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the dialect conversion framework (ir/DialectConversion) and
+/// the SYCL → SCF/MemRef lowering built on it: type-conversion rules,
+/// conversion-target legality, operand-adaptor remapping, journaled
+/// rollback (a failed conversion leaves the module byte-identical),
+/// source materialization for partially-converted IR, and full-conversion
+/// legality of lowered kernels (zero `sycl.*` operations).
+///
+//===----------------------------------------------------------------------===//
+
+#include "conversion/Passes.h"
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "dialect/GPU.h"
+#include "dialect/MemRef.h"
+#include "dialect/SCF.h"
+#include "dialect/SYCL.h"
+#include "frontend/HostIRImporter.h"
+#include "frontend/KernelBuilder.h"
+#include "ir/Block.h"
+#include "ir/DialectConversion.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/PassRegistry.h"
+#include "ir/Verifier.h"
+#include "transform/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace smlir;
+using namespace smlir::frontend;
+
+namespace {
+
+class ConversionTest : public ::testing::Test {
+protected:
+  ConversionTest() {
+    registerAllDialects(Ctx);
+    registerAllPasses();
+  }
+
+  OwningOpRef parse(const char *Source) {
+    std::string Error;
+    OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+    EXPECT_TRUE(Module) << Error;
+    return Module;
+  }
+
+  /// Counts ops under \p Root whose name starts with \p Prefix.
+  static unsigned countOpsWithPrefix(Operation *Root,
+                                     std::string_view Prefix) {
+    unsigned Count = 0;
+    Root->walk([&](Operation *Op) {
+      if (Op->getName().getStringRef().rfind(Prefix, 0) == 0)
+        ++Count;
+    });
+    return Count;
+  }
+
+  MLIRContext Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// TypeConverter
+//===----------------------------------------------------------------------===//
+
+TEST_F(ConversionTest, SYCLTypeConversionRules) {
+  TypeConverter Converter;
+  populateSYCLToSCFTypeConversions(Converter);
+
+  // Accessor: rank-D dynamic memref of the element type in its space.
+  auto AccTy = sycl::AccessorType::get(&Ctx, 2, FloatType::get(&Ctx, 32),
+                                       sycl::AccessMode::Read);
+  Type Converted =
+      Converter.convertType(sycl::getObjectArgMemRefType(AccTy));
+  auto ConvertedMem = Converted.cast<MemRefType>();
+  EXPECT_EQ(ConvertedMem.getRank(), 2u);
+  EXPECT_EQ(ConvertedMem.getShape()[0], MemRefType::kDynamic);
+  EXPECT_TRUE(ConvertedMem.getElementType().isF32());
+  EXPECT_EQ(ConvertedMem.getMemorySpace(), MemorySpace::Global);
+
+  // Local accessors stay in local memory.
+  auto LocalAccTy =
+      sycl::AccessorType::get(&Ctx, 1, FloatType::get(&Ctx, 32),
+                              sycl::AccessMode::ReadWrite,
+                              sycl::AccessTarget::Local);
+  EXPECT_EQ(Converter.convertType(sycl::getObjectArgMemRefType(LocalAccTy))
+                .cast<MemRefType>()
+                .getMemorySpace(),
+            MemorySpace::Local);
+
+  // nd_item: the private identity record.
+  auto ItemMemTy =
+      sycl::getObjectArgMemRefType(sycl::NDItemType::get(&Ctx, 3));
+  auto ItemConverted = Converter.convertType(ItemMemTy).cast<MemRefType>();
+  EXPECT_EQ(ItemConverted.getShape(),
+            std::vector<int64_t>{sycl::ItemStateWords});
+  EXPECT_TRUE(ItemConverted.getElementType().isIndex());
+  EXPECT_EQ(ItemConverted.getMemorySpace(), MemorySpace::Private);
+
+  // id<2> object: memref<2xindex, private>.
+  auto IDMemTy = sycl::getObjectMemRefType(sycl::IDType::get(&Ctx, 2));
+  auto IDConverted = Converter.convertType(IDMemTy).cast<MemRefType>();
+  EXPECT_EQ(IDConverted.getShape(), std::vector<int64_t>{2});
+  EXPECT_TRUE(IDConverted.getElementType().isIndex());
+
+  // Non-SYCL types are already legal (identity).
+  Type F32 = FloatType::get(&Ctx, 32);
+  EXPECT_EQ(Converter.convertType(F32), F32);
+  EXPECT_TRUE(Converter.isLegal(F32));
+  EXPECT_FALSE(Converter.isLegal(IDMemTy));
+
+  FunctionType LegalSig = FunctionType::get(&Ctx, {F32}, {});
+  FunctionType IllegalSig = FunctionType::get(&Ctx, {IDMemTy}, {});
+  EXPECT_TRUE(Converter.isSignatureLegal(LegalSig));
+  EXPECT_FALSE(Converter.isSignatureLegal(IllegalSig));
+}
+
+//===----------------------------------------------------------------------===//
+// ConversionTarget
+//===----------------------------------------------------------------------===//
+
+TEST_F(ConversionTest, TargetLegality) {
+  const char *Source = R"(module {
+  func.func @f(%a: index) -> (index) {
+    %x = "arith.addi"(%a, %a) : (index, index) -> (index)
+    %y = "arith.muli"(%x, %x) : (index, index) -> (index)
+    %s = "math.sqrt"(%y) : (index) -> (index)
+    "func.return"(%s) : (index) -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(Module);
+  Operation *AddI = nullptr, *MulI = nullptr, *Sqrt = nullptr;
+  Module->walk([&](Operation *Op) {
+    const std::string &Name = Op->getName().getStringRef();
+    if (Name == "arith.addi")
+      AddI = Op;
+    else if (Name == "arith.muli")
+      MulI = Op;
+    else if (Name == "math.sqrt")
+      Sqrt = Op;
+  });
+  ASSERT_TRUE(AddI && MulI && Sqrt);
+
+  ConversionTarget Target;
+  Target.addLegalDialect("arith");
+  // Op-level actions override the dialect action.
+  Target.addIllegalOp("arith.muli");
+  // Dynamic legality is evaluated per instance.
+  Target.addDynamicallyLegalOp("arith.addi", [](Operation *Op) {
+    return Op->getNumOperands() == 3;
+  });
+
+  EXPECT_EQ(Target.isLegal(MulI), std::optional<bool>(false));
+  EXPECT_EQ(Target.isLegal(AddI), std::optional<bool>(false));
+  // math.sqrt has no action: unknown.
+  EXPECT_EQ(Target.isLegal(Sqrt), std::nullopt);
+  Target.markUnknownOpDynamicallyLegal([](Operation *) { return true; });
+  EXPECT_EQ(Target.isLegal(Sqrt), std::optional<bool>(true));
+}
+
+//===----------------------------------------------------------------------===//
+// Rollback
+//===----------------------------------------------------------------------===//
+
+/// A deliberately failing conversion pattern that mutates aggressively
+/// first: creates ops, rewrites the loop into scf-for form (moving the
+/// body), updates attributes — then reports failure. The driver must roll
+/// every mutation back.
+struct FailingLoopPattern : ConversionPattern {
+  FailingLoopPattern()
+      : ConversionPattern(affine::AffineForOp::getOperationName()) {}
+
+  LogicalResult
+  matchAndRewrite(Operation *Op, const std::vector<Value> &Operands,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Location Loc = Op->getLoc();
+    // Create replacement structure...
+    Value C = arith::createIndexConstant(Rewriter, Loc, 42);
+    (void)C;
+    OperationState State(Loc, scf::ForOp::getOperationName());
+    State.addOperands(Operands);
+    State.addRegion();
+    Operation *For = Rewriter.createOperation(State);
+    Rewriter.moveRegionBody(Op->getRegion(0), For->getRegion(0));
+    Rewriter.updateAttribute(Op->getParentOp(), "test.touched",
+                             UnitAttr::get(Op->getContext()));
+    Rewriter.replaceOp(Op, For->getResults());
+    // ...and then fail: everything above must be rolled back.
+    return failure();
+  }
+};
+
+TEST_F(ConversionTest, RollbackOnFailureLeavesModuleByteIdentical) {
+  const char *Source = R"(module {
+  func.func @f(%n: index) {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %buf = "memref.alloca"() : () -> (memref<8xf32>)
+    %v = "arith.constant"() {value = 2.0 : f32} : () -> (f32)
+    "affine.for"(%c0, %n, %c1) ({
+    ^bb0(%iv: index):
+      "affine.store"(%v, %buf, %iv) : (f32, memref<8xf32>, index) -> ()
+      "affine.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(Module);
+  std::string Before = Module.get()->str();
+
+  ConversionTarget Target;
+  Target.addIllegalOp(affine::AffineForOp::getOperationName());
+  RewritePatternSet Patterns;
+  Patterns.add<FailingLoopPattern>();
+
+  std::string Error;
+  EXPECT_TRUE(applyPartialConversion(Module.get(), Target, Patterns,
+                                     nullptr, &Error)
+                  .failed());
+  EXPECT_NE(Error.find("affine.for"), std::string::npos) << Error;
+
+  // Byte-identical IR and still verifying: the journal rolled back the
+  // created ops, the moved body, the attribute and the replacement.
+  EXPECT_EQ(Before, Module.get()->str());
+  EXPECT_TRUE(verify(Module.get(), &Error).succeeded()) << Error;
+}
+
+TEST_F(ConversionTest, RollbackRestoresSignatureConversion) {
+  // The real kernel-lowering patterns convert the signature first; when a
+  // later op cannot be legalized the whole conversion must roll back,
+  // including the signature change.
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "K", 1, /*UsesNDItem=*/false);
+  Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::ReadWrite);
+  Value I = KB.gid(0);
+  // get_offset has deliberately no lowering pattern.
+  Value Off = KB.builder()
+                  .create<sycl::AccessorGetOffsetOp>(KB.loc(), A, KB.cI32(0))
+                  .getOperation()
+                  ->getResult(0);
+  KB.storeAcc(A, {KB.addi(I, Off)}, KB.cFloat(KB.f32(), 1.0));
+  KB.finish();
+
+  Operation *Kernel =
+      Program.getKernelsModule().lookupSymbol("K");
+  ASSERT_TRUE(Kernel);
+  std::string Before = Kernel->str();
+
+  TypeConverter Converter;
+  populateSYCLToSCFTypeConversions(Converter);
+  RewritePatternSet Patterns;
+  populateSYCLToSCFPatterns(Converter, Patterns);
+  ConversionTarget Target;
+  buildSYCLToSCFConversionTarget(Target, Converter);
+
+  std::string Error;
+  EXPECT_TRUE(applyFullConversion(Kernel, Target, Patterns, &Converter,
+                                  &Error)
+                  .failed());
+  EXPECT_NE(Error.find("sycl.accessor.get_offset"), std::string::npos)
+      << Error;
+  EXPECT_EQ(Before, Kernel->str());
+  EXPECT_TRUE(verify(Kernel, &Error).succeeded()) << Error;
+}
+
+TEST_F(ConversionTest, FullConversionFailsWithoutPatterns) {
+  const char *Source = R"(module {
+  func.func @f(%a: memref<?x!sycl.nd_item<1>>) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %g = "sycl.nd_item.get_global_id"(%a, %c0) : (memref<?x!sycl.nd_item<1>>, i32) -> (index)
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(Module);
+  std::string Before = Module.get()->str();
+
+  ConversionTarget Target;
+  Target.addIllegalDialect("sycl");
+  Target.addLegalDialects("arith", "func", "builtin");
+  RewritePatternSet Empty;
+  std::string Error;
+  EXPECT_TRUE(applyFullConversion(Module.get(), Target, Empty, nullptr,
+                                  &Error)
+                  .failed());
+  EXPECT_NE(Error.find("failed to legalize"), std::string::npos) << Error;
+  EXPECT_EQ(Before, Module.get()->str());
+}
+
+//===----------------------------------------------------------------------===//
+// Materialization
+//===----------------------------------------------------------------------===//
+
+TEST_F(ConversionTest, PartialConversionInsertsSourceMaterialization) {
+  // Convert only the function signature; the sycl getter stays (it is not
+  // marked illegal) and must receive its old-typed operand through a
+  // source materialization bridging from the converted argument.
+  const char *Source = R"(module {
+  func.func @f(%acc: memref<?x!sycl.accessor<1, f32, read, device>>) -> (index) {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %r = "sycl.accessor.get_range"(%acc, %c0) : (memref<?x!sycl.accessor<1, f32, read, device>>, i32) -> (index)
+    "func.return"(%r) : (index) -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(Module);
+
+  TypeConverter Converter;
+  populateSYCLToSCFTypeConversions(Converter);
+  RewritePatternSet Patterns;
+  populateSYCLToSCFPatterns(Converter, Patterns);
+  ConversionTarget Target;
+  // Only the function signature is illegal; sycl ops are unknown and may
+  // remain.
+  Target.addLegalDialects("arith", "func", "builtin");
+  Target.addDynamicallyLegalOp(FuncOp::getOperationName(),
+                               [&Converter](Operation *Op) {
+                                 return Converter.isSignatureLegal(
+                                     FuncOp::cast(Op).getFunctionType());
+                               });
+
+  std::string Error;
+  ASSERT_TRUE(applyPartialConversion(Module.get(), Target, Patterns,
+                                     &Converter, &Error)
+                  .succeeded())
+      << Error;
+
+  // The signature is converted...
+  FuncOp Func = FuncOp::cast(
+      ModuleOp::cast(Module.get()).lookupSymbol("f"));
+  EXPECT_TRUE(Converter.isSignatureLegal(Func.getFunctionType()));
+  // ...the getter survives, fed by an unrealized cast back to the source
+  // type.
+  EXPECT_EQ(countOpsWithPrefix(Module.get(), "sycl.accessor.get_range"),
+            1u);
+  unsigned NumCasts = 0;
+  Module->walk([&](Operation *Op) {
+    if (auto Cast = UnrealizedConversionCastOp::dyn_cast(Op)) {
+      ++NumCasts;
+      EXPECT_TRUE(Cast.getInput().isBlockArgument());
+      EXPECT_TRUE(Op->getResultType(0)
+                      .cast<MemRefType>()
+                      .getElementType()
+                      .isa<sycl::AccessorType>());
+    }
+  });
+  EXPECT_EQ(NumCasts, 1u);
+  EXPECT_TRUE(verify(Module.get(), &Error).succeeded()) << Error;
+}
+
+TEST_F(ConversionTest, CustomSourceMaterializationCallback) {
+  // A registered source-materialization callback takes precedence over
+  // the default unrealized cast.
+  TypeConverter Converter;
+  populateSYCLToSCFTypeConversions(Converter);
+  bool Called = false;
+  Converter.addSourceMaterialization(
+      [&Called](OpBuilder &, Type, Value, Location) -> Value {
+        Called = true;
+        return Value(); // Decline: fall through to the default.
+      });
+  OpBuilder Builder(&Ctx);
+  ModuleOp Module = ModuleOp::create(&Ctx);
+  Builder.setInsertionPointToEnd(Module.getBody());
+  auto Func = Builder.create<FuncOp>(
+      Builder.getUnknownLoc(), "f",
+      FunctionType::get(&Ctx, {IndexType::get(&Ctx)}, {}));
+  Block *Entry = Func.addEntryBlock();
+  Builder.setInsertionPointToEnd(Entry);
+  Value Cast = Converter.materializeSourceConversion(
+      Builder, Builder.getUnknownLoc(), Builder.getI64Type(),
+      Entry->getArgument(0));
+  EXPECT_TRUE(Called);
+  ASSERT_TRUE(Cast);
+  EXPECT_TRUE(UnrealizedConversionCastOp::dyn_cast(Cast.getDefiningOp()));
+  Module.getOperation()->dropAllReferences();
+  Module.getOperation()->erase();
+}
+
+//===----------------------------------------------------------------------===//
+// Full kernel lowering
+//===----------------------------------------------------------------------===//
+
+TEST_F(ConversionTest, ConvertSYCLToSCFLeavesNoSYCLOpsInKernels) {
+  // An nd_item kernel exercising getters, constructor, subscript,
+  // barrier and the affine loop structure.
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "K", 2, /*UsesNDItem=*/true);
+  Value A = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Read);
+  Value Out = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Write);
+  Value I = KB.gid(0), J = KB.gid(1);
+  Value L = KB.lid(0);
+  KB.barrier();
+  Value R = KB.accRange(A, 1);
+  Value V = KB.loadAcc(A, {I, J});
+  Value Sum = KB.addf(V, KB.sitofp(KB.addi(L, R), KB.f32()));
+  KB.storeAcc(Out, {I, J}, Sum);
+  KB.finish();
+
+  PassManager PM(&Ctx);
+  std::string Error;
+  ASSERT_TRUE(
+      parsePassPipeline("convert-sycl-to-scf", PM, &Error).succeeded())
+      << Error;
+  ASSERT_TRUE(PM.run(Program.DeviceModule.get(), &Error).succeeded())
+      << Error;
+
+  Operation *Kernels = Program.getKernelsModule().getOperation();
+  EXPECT_EQ(countOpsWithPrefix(Kernels, "sycl."), 0u);
+  EXPECT_EQ(countOpsWithPrefix(Kernels, "affine."), 0u);
+  EXPECT_EQ(countOpsWithPrefix(Kernels, "gpu.barrier"), 1u);
+  Operation *Kernel = Program.getKernelsModule().lookupSymbol("K");
+  ASSERT_TRUE(Kernel);
+  EXPECT_TRUE(Kernel->hasAttr(sycl::kLoweredKernelAttrName));
+  EXPECT_TRUE(verify(Program.DeviceModule.get(), &Error).succeeded())
+      << Error;
+}
+
+TEST_F(ConversionTest, ConvertSYCLToSCFSkipsHostFunctions) {
+  // Host functions keep their sycl.host.* representation: the lowering
+  // only claims device code.
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "K", 1, /*UsesNDItem=*/false);
+  Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Write);
+  KB.storeAcc(A, {KB.gid(0)}, KB.cFloat(KB.f32(), 1.0));
+  KB.finish();
+  Program.Buffers = {{"A", exec::Storage::Kind::Float, {8}, nullptr}};
+  exec::NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {8, 1, 1};
+  Program.Submits = {
+      {"K", Range, {AccessorArg{"A", sycl::AccessMode::Write, {}, {}}}}};
+  importHostIR(Program);
+
+  PassManager PM(&Ctx);
+  std::string Error;
+  ASSERT_TRUE(parsePassPipeline("host-raising,convert-sycl-to-scf", PM,
+                                &Error)
+                  .succeeded())
+      << Error;
+  ASSERT_TRUE(PM.run(Program.DeviceModule.get(), &Error).succeeded())
+      << Error;
+
+  EXPECT_EQ(
+      countOpsWithPrefix(Program.getKernelsModule().getOperation(), "sycl."),
+      0u);
+  // The host schedule survives untouched.
+  EXPECT_GE(countOpsWithPrefix(Program.DeviceModule.get(), "sycl.host."),
+            2u);
+  EXPECT_TRUE(verify(Program.DeviceModule.get(), &Error).succeeded())
+      << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Benefit ordering in the conversion driver
+//===----------------------------------------------------------------------===//
+
+/// Rewrites `sycl.group_barrier` by tagging the parent function, recording
+/// which benefit won.
+struct TaggingBarrierPattern : OpConversionPattern<sycl::GroupBarrierOp> {
+  TaggingBarrierPattern(std::string Tag, unsigned Benefit)
+      : OpConversionPattern(nullptr, Benefit), Tag(std::move(Tag)) {}
+
+  LogicalResult
+  matchAndRewrite(sycl::GroupBarrierOp Op, OpAdaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Rewriter.updateAttribute(
+        Op.getOperation()->getParentOp(), "test.winner",
+        StringAttr::get(Op.getContext(), Tag));
+    Rewriter.create<gpu::BarrierOp>(Op.getLoc());
+    Rewriter.eraseOp(Op.getOperation());
+    return success();
+  }
+
+  std::string Tag;
+};
+
+TEST_F(ConversionTest, DriverPrefersHighestBenefitPattern) {
+  const char *Source = R"(module {
+  func.func @f(%item: memref<?x!sycl.nd_item<1>>) {
+    "sycl.group_barrier"(%item) : (memref<?x!sycl.nd_item<1>>) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(Module);
+
+  ConversionTarget Target;
+  Target.addIllegalOp(sycl::GroupBarrierOp::getOperationName());
+  Target.addLegalDialects("gpu", "func", "builtin");
+  RewritePatternSet Patterns;
+  // Registered low-benefit first: insertion order must not win.
+  Patterns.add<TaggingBarrierPattern>("low", 1);
+  Patterns.add<TaggingBarrierPattern>("high", 10);
+
+  std::string Error;
+  ASSERT_TRUE(applyPartialConversion(Module.get(), Target, Patterns,
+                                     nullptr, &Error)
+                  .succeeded())
+      << Error;
+  FuncOp Func =
+      FuncOp::cast(ModuleOp::cast(Module.get()).lookupSymbol("f"));
+  auto Winner =
+      Func.getOperation()->getAttrOfType<StringAttr>("test.winner");
+  ASSERT_TRUE(Winner);
+  EXPECT_EQ(Winner.getValue(), "high");
+}
+
+} // namespace

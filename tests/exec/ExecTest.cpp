@@ -360,6 +360,70 @@ TEST_F(ExecTest, AccessorsDisjointSemantics) {
   EXPECT_EQ(Out->Ints[0], 1);
 }
 
+TEST_F(ExecTest, LoweredABIDisjointAndSubViewSemantics) {
+  // The same disjointness kernel in its lowered form (convert-sycl-to-scf
+  // output shape): the sycl.lowered attribute switches argument binding
+  // to the lowered device ABI — identity record, rebased accessor data
+  // views with runtime extents — and memref.disjoint/subview/dim replace
+  // the sycl ops.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%item: memref<15xindex, 5>,
+               %a: memref<?xi64>,
+               %b: memref<?xi64>,
+               %out: memref<?xi64>) attributes {sycl.kernel, sycl.lowered} {
+    %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+    %d = "memref.disjoint"(%a, %b) : (memref<?xi64>, memref<?xi64>) -> (i1)
+    %ext = "arith.extsi"(%d) : (i1) -> (i64)
+    %ra = "memref.dim"(%a, %zero) : (memref<?xi64>, index) -> (index)
+    %view = "memref.subview"(%out, %zero) : (memref<?xi64>, index) -> (memref<?xi64>)
+    "memref.store"(%ext, %view, %zero) : (i64, memref<?xi64>, index) -> ()
+    %one = "arith.constant"() {value = 1 : index} : () -> (index)
+    %rview = "memref.subview"(%out, %one) : (memref<?xi64>, index) -> (memref<?xi64>)
+    %rext = "arith.extsi"(%ra) : (index) -> (i64)
+    "memref.store"(%rext, %rview, %zero) : (i64, memref<?xi64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  Storage *Data = Dev.allocate(Storage::Kind::Int, 32);
+  Storage *Out = Dev.allocate(Storage::Kind::Int, 2);
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {1, 1, 1};
+
+  auto Window = [&](int64_t Offset, int64_t Size) {
+    AccessorData Acc;
+    Acc.Data = Data;
+    Acc.Dim = 1;
+    Acc.Range = {Size, 1, 1};
+    Acc.Offset = {Offset, 0, 0};
+    return Acc;
+  };
+  LaunchStats Stats;
+  std::string Error;
+  // Overlapping windows [0,16) and [8,24): not disjoint; dim sees the
+  // accessor range.
+  ASSERT_TRUE(Dev.launch(K, Range,
+                         {KernelArg::accessor(Window(0, 16)),
+                          KernelArg::accessor(Window(8, 16)),
+                          KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  EXPECT_EQ(Out->Ints[0], 0);
+  EXPECT_EQ(Out->Ints[1], 16);
+  // Disjoint windows [0,8) and [16,24).
+  ASSERT_TRUE(Dev.launch(K, Range,
+                         {KernelArg::accessor(Window(0, 8)),
+                          KernelArg::accessor(Window(16, 8)),
+                          KernelArg::accessor(wholeBuffer(Out))},
+                         Stats, &Error)
+                  .succeeded())
+      << Error;
+  EXPECT_EQ(Out->Ints[0], 1);
+  EXPECT_EQ(Out->Ints[1], 8);
+}
+
 TEST_F(ExecTest, LaunchStatsAndSimTimeAccounting) {
   FuncOp K = parseKernel(R"(module {
   func.func @K(%item: memref<?x!sycl.item<1>>,

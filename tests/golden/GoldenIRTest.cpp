@@ -328,4 +328,32 @@ TEST_F(GoldenIRTest, SYCLMLIRDefaultPipeline) {
       core::Compiler::getPipeline(core::CompilerOptions())));
 }
 
+//===----------------------------------------------------------------------===//
+// Dialect conversion (convert-sycl-to-scf)
+//===----------------------------------------------------------------------===//
+
+TEST_F(GoldenIRTest, ConvertSYCLToSCF) {
+  // The lowering in isolation: the nd_item kernel's getters become loads
+  // from the identity record, the accessor becomes a data memref, the
+  // subscript a memref.subview — zero sycl.* ops remain in the kernel
+  // while the host module keeps its sycl.host.* representation.
+  SourceProgram Program = makeRangeQueryProgram(Ctx);
+  preRun(Program.DeviceModule.get(), "host-raising");
+  EXPECT_TRUE(golden::checkGoldenPipeline(Ctx, Program.DeviceModule.get(),
+                                          "convert-sycl-to-scf",
+                                          "convert-sycl-to-scf"));
+}
+
+TEST_F(GoldenIRTest, SYCLMLIRLoweredPipeline) {
+  // The full joint flow with CompilerOptions::LowerToLoops: optimization
+  // passes, then dialect conversion, then cleanup of the lowering's
+  // address arithmetic.
+  SourceProgram Program = makeRangeQueryProgram(Ctx);
+  core::CompilerOptions Options;
+  Options.LowerToLoops = true;
+  EXPECT_TRUE(golden::checkGoldenPipeline(
+      Ctx, Program.DeviceModule.get(), "syclmlir-lowered-pipeline",
+      core::Compiler::getPipeline(Options)));
+}
+
 } // namespace

@@ -325,4 +325,105 @@ TEST_F(EndToEndTest, AdaptiveCppPaysJITOnFirstLaunchOnly) {
   EXPECT_GT(First.Stats.TotalKernelTime, Second.Stats.TotalKernelTime);
 }
 
+//===----------------------------------------------------------------------===//
+// Dialect-conversion lowering (convert-sycl-to-scf)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compiles and runs \p Program under the SYCL-MLIR flow, capturing the
+/// final contents of every buffer. \p LowerToLoops appends the dialect
+/// conversion stage. Returns the compiled executable so callers can
+/// inspect the kernel IR.
+std::unique_ptr<core::Executable>
+runCapturing(SourceProgram &Program, bool LowerToLoops,
+             std::map<std::string, std::vector<double>> &Capture) {
+  core::CompilerOptions Options;
+  Options.Flow = core::CompilerFlow::SYCLMLIR;
+  Options.LowerToLoops = LowerToLoops;
+  core::Compiler TheCompiler(Options);
+  exec::Device Dev;
+  std::string Error;
+  auto Exe = TheCompiler.compile(Program, Dev, &Error);
+  EXPECT_TRUE(Exe) << Error;
+  if (!Exe)
+    return nullptr;
+
+  auto OriginalVerify = Program.Verify;
+  Program.Verify =
+      [&](const std::map<std::string, exec::Storage *> &Buffers) {
+        for (const auto &[Name, Store] : Buffers)
+          Capture[Name] = Store->Floats;
+        return !OriginalVerify || OriginalVerify(Buffers);
+      };
+  rt::RunResult Result = rt::runProgram(Program, *Exe, Dev);
+  Program.Verify = OriginalVerify;
+  EXPECT_TRUE(Result.Success) << Result.Error;
+  EXPECT_TRUE(Result.Validated);
+  return Exe;
+}
+
+/// Counts `sycl.*` operations in the executable's kernels module.
+unsigned countSYCLOps(const core::Executable &Exe) {
+  unsigned Count = 0;
+  auto Top = Exe.getModule();
+  auto Kernels = ModuleOp::dyn_cast(Top.lookupSymbol("kernels"));
+  if (!Kernels)
+    return 0;
+  Kernels.getOperation()->walk([&](Operation *Op) {
+    if (Op->getName().getStringRef().rfind("sycl.", 0) == 0)
+      ++Count;
+  });
+  return Count;
+}
+
+} // namespace
+
+TEST_F(EndToEndTest, LoweredVecAddMatchesUnloweredBitForBit) {
+  SourceProgram Program = makeVecAdd(Ctx, 128);
+  std::map<std::string, std::vector<double>> Unlowered, Lowered;
+  auto BaseExe = runCapturing(Program, /*LowerToLoops=*/false, Unlowered);
+  auto LowExe = runCapturing(Program, /*LowerToLoops=*/true, Lowered);
+  ASSERT_TRUE(BaseExe && LowExe);
+
+  // The lowered kernels contain zero sycl.* operations...
+  EXPECT_GT(countSYCLOps(*BaseExe), 0u);
+  EXPECT_EQ(countSYCLOps(*LowExe), 0u) << LowExe->getKernelIR("vecadd");
+  // ...and execute to exactly the same buffer contents.
+  EXPECT_EQ(Unlowered, Lowered);
+}
+
+TEST_F(EndToEndTest, LoweredMatMulMatchesUnloweredBitForBit) {
+  // nd_item kernel: after the full optimization pipeline (reduction
+  // rewriting, loop internalization with barriers and local memory) the
+  // conversion still lowers everything and preserves semantics.
+  SourceProgram Program = makeMatMul(Ctx, 32, 8);
+  std::map<std::string, std::vector<double>> Unlowered, Lowered;
+  auto BaseExe = runCapturing(Program, /*LowerToLoops=*/false, Unlowered);
+  auto LowExe = runCapturing(Program, /*LowerToLoops=*/true, Lowered);
+  ASSERT_TRUE(BaseExe && LowExe);
+
+  EXPECT_EQ(countSYCLOps(*LowExe), 0u)
+      << LowExe->getKernelIR("matrix_multiply");
+  // The lowered kernel still synchronizes through barriers.
+  unsigned NumBarriers = 0;
+  LowExe->getModule().getOperation()->walk([&](Operation *Op) {
+    if (Op->getName().getStringRef() == "gpu.barrier")
+      ++NumBarriers;
+  });
+  EXPECT_GT(NumBarriers, 0u);
+  EXPECT_EQ(Unlowered, Lowered);
+}
+
+TEST_F(EndToEndTest, LoweredKernelCarriesLoweredABIAttr) {
+  SourceProgram Program = makeVecAdd(Ctx, 64);
+  std::map<std::string, std::vector<double>> Capture;
+  auto Exe = runCapturing(Program, /*LowerToLoops=*/true, Capture);
+  ASSERT_TRUE(Exe);
+  FuncOp Kernel = Exe->lookupKernel("vecadd");
+  ASSERT_TRUE(Kernel);
+  EXPECT_TRUE(
+      Kernel.getOperation()->hasAttr(sycl::kLoweredKernelAttrName));
+}
+
 } // namespace

@@ -430,4 +430,91 @@ TEST_F(IRCoreTest, IdentityFolds) {
   EXPECT_EQ(Remaining, 3u) << Module->str();
 }
 
+namespace {
+
+/// Rewrites arith.subi into the op named \p Replacement so tests can
+/// observe which of two competing patterns the driver applied.
+struct SubIRewritePattern : RewritePattern {
+  SubIRewritePattern(const char *Replacement, unsigned Benefit)
+      : RewritePattern(arith::SubIOp::getOperationName(), Benefit),
+        Replacement(Replacement) {}
+
+  LogicalResult matchAndRewrite(Operation *Op,
+                                PatternRewriter &Rewriter) const override {
+    if (std::string_view(Replacement) ==
+        arith::MaxSIOp::getOperationName())
+      Rewriter.replaceOpWithNewOp<arith::MaxSIOp>(Op, Op->getOperand(0),
+                                                  Op->getOperand(1));
+    else
+      Rewriter.replaceOpWithNewOp<arith::MinSIOp>(Op, Op->getOperand(0),
+                                                  Op->getOperand(1));
+    return success();
+  }
+
+  const char *Replacement;
+};
+
+} // namespace
+
+TEST_F(IRCoreTest, GreedyDriverHonorsPatternBenefit) {
+  // Two patterns match the same root; the higher-benefit one must win
+  // even though the lower-benefit one was registered first.
+  const char *Source = R"(module {
+  func.func @f(%a: index, %b: index) -> (index) {
+    %d = "arith.subi"(%a, %b) : (index, index) -> (index)
+    "func.return"(%d) : (index) -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+
+  RewritePatternSet Patterns;
+  Patterns.add<SubIRewritePattern>(arith::MinSIOp::getOperationName(),
+                                   /*Benefit=*/1);
+  Patterns.add<SubIRewritePattern>(arith::MaxSIOp::getOperationName(),
+                                   /*Benefit=*/10);
+  ASSERT_TRUE(applyPatternsGreedily(Module.get(), Patterns).succeeded());
+
+  unsigned NumMax = 0, NumMin = 0;
+  Module->walk([&](Operation *Op) {
+    NumMax += Op->getName().getStringRef() ==
+              arith::MaxSIOp::getOperationName();
+    NumMin += Op->getName().getStringRef() ==
+              arith::MinSIOp::getOperationName();
+  });
+  EXPECT_EQ(NumMax, 1u) << Module->str();
+  EXPECT_EQ(NumMin, 0u) << Module->str();
+}
+
+TEST_F(IRCoreTest, ReplaceOpWithNewOpPreservesInsertionPoint) {
+  // Regression: replaceOpWithNewOp used to leave the rewriter's insertion
+  // point at the replaced op's position, clobbering the caller's state.
+  const char *Source = R"(module {
+  func.func @f(%a: index) -> (index) {
+    %x = "arith.addi"(%a, %a) : (index, index) -> (index)
+    %y = "arith.muli"(%x, %x) : (index, index) -> (index)
+    "func.return"(%y) : (index) -> ()
+  }
+})";
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+  Operation *AddI = nullptr, *Return = nullptr;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName().getStringRef() == "arith.addi")
+      AddI = Op;
+    else if (Op->getName().getStringRef() == "func.return")
+      Return = Op;
+  });
+  ASSERT_TRUE(AddI && Return);
+
+  PatternRewriter Rewriter(&Ctx);
+  Rewriter.setInsertionPoint(Return);
+  Rewriter.replaceOpWithNewOp<arith::MaxSIOp>(AddI, AddI->getOperand(0),
+                                              AddI->getOperand(1));
+  EXPECT_EQ(Rewriter.getInsertionPoint(), Return);
+  EXPECT_EQ(Rewriter.getInsertionBlock(), Return->getBlock());
+}
+
 } // namespace

@@ -32,13 +32,14 @@ void PrintTo(const Case &C, std::ostream *OS) { *OS << C.W.Name; }
 
 class WorkloadValidation : public ::testing::TestWithParam<Case> {};
 
-rt::RunResult runFlow(const workloads::Workload &W,
-                      core::CompilerFlow Flow) {
+rt::RunResult runFlow(const workloads::Workload &W, core::CompilerFlow Flow,
+                      bool LowerToLoops = false) {
   MLIRContext Ctx;
   registerAllDialects(Ctx);
   frontend::SourceProgram Program = W.Build(Ctx);
   core::CompilerOptions Options;
   Options.Flow = Flow;
+  Options.LowerToLoops = LowerToLoops;
   core::Compiler TheCompiler(Options);
   exec::Device Dev;
   std::string Error;
@@ -46,6 +47,16 @@ rt::RunResult runFlow(const workloads::Workload &W,
   EXPECT_TRUE(Exe) << W.Name << ": " << Error;
   if (!Exe)
     return rt::RunResult();
+  if (LowerToLoops) {
+    // The conversion's contract: zero sycl.* ops in any kernel.
+    unsigned NumSYCLOps = 0;
+    Exe->getModule().getOperation()->walk([&](Operation *Op) {
+      if (Op->getName().getStringRef().rfind("sycl.host.", 0) != 0 &&
+          Op->getName().getStringRef().rfind("sycl.", 0) == 0)
+        ++NumSYCLOps;
+    });
+    EXPECT_EQ(NumSYCLOps, 0u) << W.Name;
+  }
   return rt::runProgram(Program, *Exe, Dev);
 }
 
@@ -66,6 +77,16 @@ TEST_P(WorkloadValidation, SYCLMLIRValidatesAndDoesNotRegress) {
   // model (the paper reports only "a few minor performance regressions").
   EXPECT_LT(Optimized.Stats.Makespan, Baseline.Stats.Makespan * 1.25)
       << "SYCL-MLIR regression on " << GetParam().W.Name;
+}
+
+TEST_P(WorkloadValidation, LoweredSYCLMLIRValidates) {
+  // The dialect-conversion lowering must preserve semantics on the whole
+  // evaluation surface: every kernel executes through the lowered device
+  // ABI (no sycl.* ops) and still validates.
+  rt::RunResult Result = runFlow(GetParam().W, core::CompilerFlow::SYCLMLIR,
+                                 /*LowerToLoops=*/true);
+  EXPECT_TRUE(Result.Success) << Result.Error;
+  EXPECT_TRUE(Result.Validated);
 }
 
 TEST_P(WorkloadValidation, AdaptiveCppValidates) {

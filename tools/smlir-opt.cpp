@@ -14,7 +14,8 @@
 ///       input.mlir
 ///
 /// Flags: --pass-pipeline=<str>, --verify-each / --no-verify-each,
-/// --print-ir-after-all, --pass-statistics, --list-passes, -o <file>.
+/// --print-ir-before-all, --print-ir-after-all, --pass-statistics,
+/// --list-passes, -o <file>.
 /// Diagnostics and instrumentation go to stderr; stdout carries only IR,
 /// so output diffs cleanly against golden snapshots.
 ///
@@ -44,6 +45,7 @@ struct Options {
   std::string Pipeline;
   bool VerifyEach = true;
   bool PrintIRAfterAll = false;
+  bool PrintIRBeforeAll = false;
   bool PassStatistics = false;
   bool ListPasses = false;
   bool ShowHelp = false;
@@ -64,6 +66,7 @@ void printHelp(std::ostream &OS) {
      << "  --verify-each          Verify the IR after each pass (default).\n"
      << "  --no-verify-each       Disable per-pass verification.\n"
      << "  --print-ir-after-all   Print the IR to stderr after each pass.\n"
+     << "  --print-ir-before-all  Print the IR to stderr before each pass.\n"
      << "  --pass-statistics      Print the pass/analysis-cache report to\n"
      << "                         stderr after the run.\n"
      << "  --list-passes          List registered passes and exit.\n"
@@ -91,6 +94,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
       Opts.VerifyEach = false;
     } else if (Arg == "--print-ir-after-all") {
       Opts.PrintIRAfterAll = true;
+    } else if (Arg == "--print-ir-before-all") {
+      Opts.PrintIRBeforeAll = true;
     } else if (Arg == "--pass-statistics") {
       Opts.PassStatistics = true;
     } else if (Arg == "--list-passes") {
@@ -186,6 +191,7 @@ int main(int Argc, char **Argv) {
   PassManager PM(&Ctx);
   PM.enableVerifier(Opts.VerifyEach);
   PM.enableIRPrinting(Opts.PrintIRAfterAll);
+  PM.enableIRPrintingBefore(Opts.PrintIRBeforeAll);
   if (parsePassPipeline(Opts.Pipeline, PM, &Error).failed()) {
     std::cerr << "smlir-opt: " << Error << "\n";
     return 1;
