@@ -34,16 +34,16 @@ double measure(const workloads::Workload &W,
   registerAllDialects(Ctx);
   frontend::SourceProgram Program = W.Build(Ctx);
   core::Compiler TheCompiler(Options);
-  exec::Device Dev;
+  rt::Context RT;
   std::string Error;
-  auto Exe = TheCompiler.compile(Program, Dev, &Error);
+  auto Exe = TheCompiler.compileFor(Program, "", &Error);
   if (!Exe) {
     std::printf("  compile error (%s): %s\n", W.Name.c_str(),
                 Error.c_str());
     return 0.0;
   }
-  rt::runProgram(Program, *Exe, Dev); // Warm-up.
-  rt::RunResult Run = rt::runProgram(Program, *Exe, Dev);
+  rt::runProgram(Program, *Exe, RT); // Warm-up.
+  rt::RunResult Run = rt::runProgram(Program, *Exe, RT);
   if (!Run.Success || !Run.Validated) {
     std::printf("  VALIDATION FAILED (%s): %s\n", W.Name.c_str(),
                 Run.Error.c_str());

@@ -36,10 +36,9 @@ int main() {
     core::CompilerOptions Options;
     Options.Flow = core::CompilerFlow::SYCLMLIR;
     core::Compiler TheCompiler(Options);
-    exec::Device Dev;
     std::string Error;
     auto Start = std::chrono::steady_clock::now();
-    auto Exe = TheCompiler.compile(Program, Dev, &Error);
+    auto Exe = TheCompiler.compileFor(Program, "", &Error);
     auto End = std::chrono::steady_clock::now();
     if (!Exe) {
       std::printf("%-28s compile FAILED: %s\n", W.Name.c_str(),

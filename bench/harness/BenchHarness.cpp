@@ -16,9 +16,11 @@ using namespace smlir::bench;
 
 namespace {
 
-/// Runs \p W under \p Flow: compile once, run twice (the first run warms
-/// the driver/JIT and is discarded, as in the paper's methodology), report
-/// the second run's makespan. Returns 0 on failure.
+/// Runs \p W under \p Flow on the process-default target backend
+/// (SMLIR_DEFAULT_TARGET selects another registered backend): compile
+/// once, run twice (the first run warms the driver/JIT and is discarded,
+/// as in the paper's methodology), report the second run's makespan.
+/// Returns 0 on failure.
 double measureFlow(const workloads::Workload &W, core::CompilerFlow Flow,
                    bool &ValidatedOut, std::string &Error) {
   MLIRContext Ctx;
@@ -28,19 +30,19 @@ double measureFlow(const workloads::Workload &W, core::CompilerFlow Flow,
   core::CompilerOptions Options;
   Options.Flow = Flow;
   core::Compiler TheCompiler(Options);
-  exec::Device Dev;
-  auto Exe = TheCompiler.compile(Program, Dev, &Error);
+  rt::Context RT;
+  auto Exe = TheCompiler.compileFor(Program, "", &Error);
   if (!Exe) {
     ValidatedOut = false;
     return 0.0;
   }
-  rt::RunResult Warmup = rt::runProgram(Program, *Exe, Dev);
+  rt::RunResult Warmup = rt::runProgram(Program, *Exe, RT);
   if (!Warmup.Success) {
     Error = Warmup.Error;
     ValidatedOut = false;
     return 0.0;
   }
-  rt::RunResult Run = rt::runProgram(Program, *Exe, Dev);
+  rt::RunResult Run = rt::runProgram(Program, *Exe, RT);
   ValidatedOut = Run.Success && Run.Validated;
   if (!Run.Success)
     Error = Run.Error;

@@ -187,8 +187,7 @@ void BM_FullPipeline(benchmark::State &State) {
     core::CompilerOptions Options;
     Options.Flow = core::CompilerFlow::SYCLMLIR;
     core::Compiler TheCompiler(Options);
-    exec::Device Dev;
-    auto Exe = TheCompiler.compile(Program, Dev);
+    auto Exe = TheCompiler.compileFor(Program, "");
     benchmark::DoNotOptimize(Exe.get());
   }
 }
@@ -202,8 +201,7 @@ void BM_BaselinePipeline(benchmark::State &State) {
     core::CompilerOptions Options;
     Options.Flow = core::CompilerFlow::DPCPP;
     core::Compiler TheCompiler(Options);
-    exec::Device Dev;
-    auto Exe = TheCompiler.compile(Program, Dev);
+    auto Exe = TheCompiler.compileFor(Program, "");
     benchmark::DoNotOptimize(Exe.get());
   }
 }

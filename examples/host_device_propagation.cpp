@@ -92,9 +92,9 @@ int main() {
   core::CompilerOptions Options;
   Options.Flow = core::CompilerFlow::SYCLMLIR;
   core::Compiler Compiler(Options);
-  exec::Device Device;
+  rt::Context RT;
   std::string Error;
-  auto Exe = Compiler.compile(Program, Device, &Error);
+  auto Exe = Compiler.compileFor(Program, "", &Error);
   if (!Exe) {
     std::printf("compile failed: %s\n", Error.c_str());
     return 1;
@@ -107,7 +107,7 @@ int main() {
               "from the kernel signature\n(the host schedule records them "
               "in 'dead_args').\n\n");
 
-  rt::RunResult Result = rt::runProgram(Program, *Exe, Device);
+  rt::RunResult Result = rt::runProgram(Program, *Exe, RT);
   bool Correct = true;
   // The verification here is inline: out[i] == in[(i+3) % N] * 2.5.
   std::printf("run: %s\n", Result.Success ? "ok" : Result.Error.c_str());

@@ -95,9 +95,9 @@ void runFlow(frontend::SourceProgram &Program, core::CompilerFlow Flow,
   core::CompilerOptions Options;
   Options.Flow = Flow;
   core::Compiler Compiler(Options);
-  exec::Device Device;
+  rt::Context RT;
   std::string Error;
-  auto Exe = Compiler.compile(Program, Device, &Error);
+  auto Exe = Compiler.compileFor(Program, "", &Error);
   if (!Exe) {
     std::printf("compile failed: %s\n", Error.c_str());
     return;
@@ -106,7 +106,7 @@ void runFlow(frontend::SourceProgram &Program, core::CompilerFlow Flow,
     std::printf("=== Kernel after %s flow ===\n%s\n",
                 std::string(core::stringifyFlow(Flow)).c_str(),
                 Exe->getKernelIR("matrix_multiply").c_str());
-  rt::RunResult Result = rt::runProgram(Program, *Exe, Device);
+  rt::RunResult Result = rt::runProgram(Program, *Exe, RT);
   const exec::LaunchStats &S = Result.Stats.Aggregate;
   std::printf("%-11s validated=%-3s time=%9.1f global=%llu (coalesced %llu) "
               "local=%llu barriers=%llu\n",

@@ -70,22 +70,26 @@ int main() {
               Program.DeviceModule->str().c_str());
 
   // 4. Compile with the SYCL-MLIR flow (host raising, joint analysis,
-  //    SYCL-aware device optimizations).
+  //    SYCL-aware device optimizations) for the default target backend
+  //    (virtual-gpu; try SMLIR_DEFAULT_TARGET=virtual-cpu — the CPU
+  //    backend automatically selects the lowered scf/memref kernel form).
   core::CompilerOptions Options;
   Options.Flow = core::CompilerFlow::SYCLMLIR;
   core::Compiler Compiler(Options);
-  exec::Device Device;
+  rt::Context RT;
   std::string Error;
-  auto Exe = Compiler.compile(Program, Device, &Error);
+  auto Exe = Compiler.compileFor(Program, "", &Error);
   if (!Exe) {
     std::printf("compilation failed: %s\n", Error.c_str());
     return 1;
   }
-  std::printf("=== Optimized kernel ===\n%s\n",
+  std::printf("=== Optimized kernel (target %s) ===\n%s\n",
+              std::string(Exe->getTarget().getMnemonic()).c_str(),
               Exe->getKernelIR("vecadd").c_str());
 
   // 5. Run it through the queue API directly (what runProgram automates).
-  rt::Queue Queue(Device, *Exe);
+  //    The queue picks the target's device out of the rt::Context.
+  rt::Queue Queue(RT, *Exe);
   rt::Buffer BufA(Queue, exec::Storage::Kind::Float, {N});
   rt::Buffer BufB(Queue, exec::Storage::Kind::Float, {N});
   rt::Buffer BufC(Queue, exec::Storage::Kind::Float, {N});

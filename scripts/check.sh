@@ -14,6 +14,14 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" ${SMLIR_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 
+# The same suite once more on the virtual-cpu target backend: tests pick
+# their device/pipeline from SMLIR_DEFAULT_TARGET, so this sweeps every
+# workload through the lowered scf/memref kernel form and the CPU cost
+# model — both registered backends stay green on every PR.
+SMLIR_DEFAULT_TARGET=virtual-cpu \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+
 # Smoke the standalone pipeline driver: every golden snapshot must be
-# reproducible via `smlir-opt --pass-pipeline=<recorded pipeline>`.
+# reproducible via `smlir-opt --pass-pipeline=<recorded pipeline>`, and
+# --target must reproduce the per-target pipeline derivation.
 BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/smoke_smlir_opt.sh"

@@ -18,6 +18,18 @@ if [[ ! -x "$SMLIR_OPT" ]]; then
   exit 1
 fi
 
+# The virtual-cpu lowering suffix, parsed from the registry listing (the
+# single source of truth) so this script cannot drift from
+# exec::kLoweredFormPipeline and silently skip the per-target checks.
+cpu_suffix="$("$SMLIR_OPT" --list-targets \
+  | grep -A1 '^  virtual-cpu - ' \
+  | sed -n 's/.*pipeline suffix: "\(.*\)"$/\1/p' || true)"
+if [[ -z "$cpu_suffix" ]]; then
+  echo "smoke_smlir_opt: could not parse virtual-cpu pipeline suffix from" \
+       "--list-targets" >&2
+  exit 1
+fi
+
 snapshots=("$@")
 if [[ ${#snapshots[@]} -eq 0 ]]; then
   snapshots=("$REPO_ROOT"/tests/golden/snapshots/*.mlir.expected)
@@ -40,4 +52,58 @@ for snapshot in "${snapshots[@]}"; do
     exit 1
   fi
   echo "smlir-opt reproduced $(basename "$snapshot") (pipeline '$pipeline')"
+
+  # Target-backend smoke. virtual-gpu has no pipeline suffix, so
+  # --target=virtual-gpu must reproduce the snapshot byte-for-byte.
+  "$SMLIR_OPT" --target=virtual-gpu --pass-pipeline="$pipeline" \
+    "$tmp/before.mlir" > "$tmp/actual_gpu.mlir"
+  if ! diff -u "$tmp/expected.mlir" "$tmp/actual_gpu.mlir"; then
+    echo "smoke_smlir_opt: --target=virtual-gpu CHANGED OUTPUT for" \
+         "$(basename "$snapshot")" >&2
+    exit 1
+  fi
+
+  # virtual-cpu appends the lowering suffix: when a snapshot's recorded
+  # pipeline ends with that suffix, running the *base* pipeline with
+  # --target=virtual-cpu must reproduce the same lowered output.
+  base="${pipeline%",$cpu_suffix"}"
+  if [[ "$base" != "$pipeline" ]]; then
+    "$SMLIR_OPT" --target=virtual-cpu --pass-pipeline="$base" \
+      "$tmp/before.mlir" > "$tmp/actual_cpu.mlir"
+    if ! diff -u "$tmp/expected.mlir" "$tmp/actual_cpu.mlir"; then
+      echo "smoke_smlir_opt: --target=virtual-cpu MISMATCH for" \
+           "$(basename "$snapshot") (base pipeline '$base')" >&2
+      exit 1
+    fi
+    # And the full recorded pipeline with --target=virtual-cpu must not
+    # lower twice: the driver dedupes a trailing suffix, exactly like
+    # Compiler::getPipeline(Options, Target).
+    "$SMLIR_OPT" --target=virtual-cpu --pass-pipeline="$pipeline" \
+      "$tmp/before.mlir" > "$tmp/actual_cpu_full.mlir"
+    if ! diff -u "$tmp/expected.mlir" "$tmp/actual_cpu_full.mlir"; then
+      echo "smoke_smlir_opt: --target=virtual-cpu DOUBLE-LOWERED" \
+           "$(basename "$snapshot")" >&2
+      exit 1
+    fi
+    echo "smlir-opt --target=virtual-cpu reproduced" \
+         "$(basename "$snapshot") from base and full pipelines"
+  fi
 done
+
+# The registry listing must expose both built-in backends.
+for target in virtual-gpu virtual-cpu; do
+  if ! "$SMLIR_OPT" --list-targets | grep -q "^  $target - "; then
+    echo "smoke_smlir_opt: --list-targets does not list '$target'" >&2
+    exit 1
+  fi
+done
+if "$SMLIR_OPT" --target=no-such-target --pass-pipeline=dce \
+     </dev/null >/dev/null 2>"$tmp/err.txt"; then
+  echo "smoke_smlir_opt: --target=no-such-target unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q "unknown target" "$tmp/err.txt" || {
+  echo "smoke_smlir_opt: missing 'unknown target' diagnostic" >&2
+  exit 1
+}
+echo "smlir-opt --list-targets / --target smoke passed"

@@ -15,8 +15,8 @@
 ///    `sycl.constructor` lowered to stores,
 ///  - accessors become rank-D dynamic memrefs in their memory space;
 ///    `sycl.accessor.subscript`/`get_pointer` lower to `memref.subview`,
-///    `get_range` to `memref.dim`, `sycl.accessors.disjoint` to
-///    `memref.disjoint`,
+///    `get_range` to `memref.dim`, `get_offset` to `memref.offset`,
+///    `sycl.accessors.disjoint` to `memref.disjoint`,
 ///  - `sycl.group_barrier` lowers to `gpu.barrier`,
 ///  - the affine loop structure (`affine.for/yield/load/store`) lowers to
 ///    `scf.for/yield` and `memref.load/store`.
@@ -361,6 +361,25 @@ struct AccessorGetRangeLowering
   }
 };
 
+/// `sycl.accessor.get_offset` -> `memref.offset` on the data memref (the
+/// rebase offset travels with the runtime descriptor).
+struct AccessorGetOffsetLowering
+    : OpConversionPattern<sycl::AccessorGetOffsetOp> {
+  using OpConversionPattern::OpConversionPattern;
+
+  LogicalResult
+  matchAndRewrite(sycl::AccessorGetOffsetOp Op, OpAdaptor Adaptor,
+                  ConversionPatternRewriter &Rewriter) const override {
+    Value Acc = Adaptor.getOperand(0);
+    if (!isConvertedAccessor(Acc))
+      return failure();
+    Value Dim = castToIndex(Rewriter, Op.getLoc(), Adaptor.getOperand(1));
+    Rewriter.replaceOpWithNewOp<memref::OffsetOp>(Op.getOperation(), Acc,
+                                                  Dim);
+    return success();
+  }
+};
+
 /// `sycl.accessors.disjoint` -> `memref.disjoint`.
 struct DisjointLowering : OpConversionPattern<sycl::AccessorsDisjointOp> {
   using OpConversionPattern::OpConversionPattern;
@@ -502,6 +521,7 @@ void smlir::populateSYCLToSCFPatterns(const TypeConverter &Converter,
   Patterns.add<SubscriptLowering>(TC);
   Patterns.add<GetPointerLowering>(TC);
   Patterns.add<AccessorGetRangeLowering>(TC);
+  Patterns.add<AccessorGetOffsetLowering>(TC);
   Patterns.add<DisjointLowering>(TC);
   Patterns.add<BarrierLowering>(TC);
   Patterns.add<AffineForLowering>(TC);

@@ -32,29 +32,21 @@ std::string_view core::stringifyFlow(CompilerFlow Flow) {
 // Executable
 //===----------------------------------------------------------------------===//
 
-Executable::Executable(OwningOpRef Module, CompilerOptions Options,
-                       exec::Device &Dev)
-    : Module(std::move(Module)), Options(Options), Dev(Dev) {
-  // Collect DAE results: the schedule ops carry the original indices of
-  // removed kernel arguments.
-  this->Module->walk([&](Operation *Op) {
-    auto Schedule = sycl::HostScheduleKernelOp::dyn_cast(Op);
-    if (!Schedule)
-      return;
-    auto Dead = Op->getAttrOfType<ArrayAttr>("dead_args");
-    if (!Dead)
-      return;
-    std::string Kernel = Schedule.getKernel().getLeafReference();
-    for (unsigned I = 0; I < Dead.size(); ++I) {
-      // Kernel-signature index; index 0 is the item argument, so the
-      // source-level argument index is one less.
-      int64_t SigIndex = Dead[I].cast<IntegerAttr>().getValue();
-      DeadArgs[Kernel].insert(static_cast<unsigned>(SigIndex - 1));
-    }
-  });
-}
+Executable::Executable(std::shared_ptr<const CompiledModule> Compiled,
+                       CompilerOptions Options,
+                       const exec::TargetBackend &Target)
+    : Compiled(std::move(Compiled)), Options(Options), Target(Target) {}
 
 Executable::~Executable() = default;
+
+exec::KernelForm Executable::getKernelForm() const {
+  // The authoritative signal is the ABI marker the conversion stamped on
+  // the kernels — the same attribute the interpreter binds against — so
+  // the answer stays correct when PipelineOverride bypassed the target's
+  // suffix or LowerToLoops forced the lowering on a high-level target.
+  return Compiled->Lowered ? exec::KernelForm::LoweredSCF
+                           : exec::KernelForm::HighLevelSYCL;
+}
 
 FuncOp Executable::lookupKernel(std::string_view Name) const {
   auto Top = getModule();
@@ -79,7 +71,8 @@ static int64_t pickLocalSize(int64_t Global, int64_t Cap) {
   return 1;
 }
 
-LogicalResult Executable::launchKernel(std::string_view Name,
+LogicalResult Executable::launchKernel(exec::Device &Dev,
+                                       std::string_view Name,
                                        const exec::NDRange &Range,
                                        const std::vector<exec::KernelArg> &Args,
                                        exec::LaunchStats &Stats,
@@ -94,9 +87,9 @@ LogicalResult Executable::launchKernel(std::string_view Name,
   // Drop arguments eliminated by SYCL DAE (the runtime "will not pass
   // these arguments to the kernel", paper §VII-B).
   std::vector<exec::KernelArg> LiveArgs;
-  auto DeadIt = DeadArgs.find(std::string(Name));
+  auto DeadIt = Compiled->DeadArgs.find(std::string(Name));
   for (unsigned I = 0; I < Args.size(); ++I) {
-    if (DeadIt != DeadArgs.end() && DeadIt->second.count(I))
+    if (DeadIt != Compiled->DeadArgs.end() && DeadIt->second.count(I))
       continue;
     LiveArgs.push_back(Args[I]);
   }
@@ -193,14 +186,6 @@ std::string Compiler::getPipeline(const CompilerOptions &Options) {
     P.add("dce");
     if (Options.EnableDAE)
       P.add("sycl-dae");
-    if (Options.LowerToLoops) {
-      // Dialect conversion out of the SYCL dialect, then cleanup of the
-      // lowering's address arithmetic.
-      P.add("convert-sycl-to-scf");
-      P.add("canonicalize");
-      P.add("cse");
-      P.add("dce");
-    }
     break;
 
   case CompilerFlow::AdaptiveCpp:
@@ -220,7 +205,25 @@ std::string Compiler::getPipeline(const CompilerOptions &Options) {
     P.add("dce");
     break;
   }
-  return P.str();
+
+  std::string Result = P.str();
+  if (Options.LowerToLoops) {
+    // The same lowering stage LoweredSCF targets append through their
+    // pipeline suffix (one shared spelling, so the dedupe in
+    // applyTargetSuffix recognizes it).
+    if (!Result.empty())
+      Result += ",";
+    Result += exec::kLoweredFormPipeline;
+  }
+  return Result;
+}
+
+std::string Compiler::getPipeline(const CompilerOptions &Options,
+                                  const exec::TargetBackend &Target) {
+  std::string Base = getPipeline(Options);
+  if (!Options.PipelineOverride.empty())
+    return Base; // Explicit pipelines run verbatim on any target.
+  return exec::applyTargetSuffix(std::move(Base), Target);
 }
 
 LogicalResult Compiler::buildPipeline(PassManager &PM,
@@ -231,16 +234,31 @@ LogicalResult Compiler::buildPipeline(PassManager &PM,
 }
 
 std::unique_ptr<Executable>
-Compiler::compile(const frontend::SourceProgram &Program, exec::Device &Dev,
-                  std::string *ErrorMessage) {
+Compiler::compileFor(const frontend::SourceProgram &Program,
+                     const exec::TargetBackend &Target,
+                     std::string *ErrorMessage) {
   if (!Program.DeviceModule) {
     if (ErrorMessage)
       *ErrorMessage = "program has no device module";
     return nullptr;
   }
 
+  std::string Pipeline = getPipeline(Options, Target);
+  // Content-addressed cache key: the printed source module (so a program
+  // rebuilt or mutated in place can never silently hit a stale entry —
+  // one print is cheap next to a pipeline run), scoped to its context
+  // (modules must not cross MLIRContext lifetimes).
+  auto Key = std::make_tuple(static_cast<const void *>(Program.Context),
+                             Program.DeviceModule.get()->str(),
+                             std::string(Target.getMnemonic()), Pipeline);
+  if (auto It = Cache.find(Key); It != Cache.end()) {
+    ++Stats.Hits;
+    LastReport = It->second->Report;
+    return std::make_unique<Executable>(It->second, Options, Target);
+  }
+
   // Clone so that one source can be compiled under several
-  // configurations.
+  // configurations and targets.
   IRMapping Mapper;
   OwningOpRef Module(Program.DeviceModule.get()->clone(Mapper));
 
@@ -261,11 +279,48 @@ Compiler::compile(const frontend::SourceProgram &Program, exec::Device &Dev,
   MLIRContext *Ctx = Program.Context;
   PassManager PM(Ctx);
   PM.enableVerifier(Options.VerifyPasses);
-  if (buildPipeline(PM, Options, ErrorMessage).failed())
+  registerAllPasses();
+  if (parsePassPipeline(Pipeline, PM, ErrorMessage).failed())
     return nullptr;
   if (PM.run(Module.get(), ErrorMessage).failed())
     return nullptr;
-  LastReport = PM.getReport();
 
-  return std::make_unique<Executable>(std::move(Module), Options, Dev);
+  auto Compiled = std::make_shared<CompiledModule>();
+  Compiled->Module = std::move(Module);
+  Compiled->Report = PM.getReport();
+  // Collect launch metadata in one walk: the kernel form the pipeline
+  // produced, and the DAE results (the schedule ops carry the original
+  // indices of removed kernel arguments).
+  Compiled->Module->walk([&](Operation *Op) {
+    if (Op->hasAttr(sycl::kLoweredKernelAttrName))
+      Compiled->Lowered = true;
+    auto Schedule = sycl::HostScheduleKernelOp::dyn_cast(Op);
+    if (!Schedule)
+      return;
+    auto Dead = Op->getAttrOfType<ArrayAttr>("dead_args");
+    if (!Dead)
+      return;
+    std::string Kernel = Schedule.getKernel().getLeafReference();
+    for (unsigned I = 0; I < Dead.size(); ++I) {
+      // Kernel-signature index; index 0 is the item argument, so the
+      // source-level argument index is one less.
+      int64_t SigIndex = Dead[I].cast<IntegerAttr>().getValue();
+      Compiled->DeadArgs[Kernel].insert(static_cast<unsigned>(SigIndex - 1));
+    }
+  });
+
+  ++Stats.Misses;
+  LastReport = Compiled->Report;
+  Cache.emplace(std::move(Key), Compiled);
+  return std::make_unique<Executable>(std::move(Compiled), Options, Target);
+}
+
+std::unique_ptr<Executable>
+Compiler::compileFor(const frontend::SourceProgram &Program,
+                     std::string_view Target, std::string *ErrorMessage) {
+  const exec::TargetBackend *Backend =
+      exec::resolveTarget(Target, ErrorMessage);
+  if (!Backend)
+    return nullptr;
+  return compileFor(Program, *Backend, ErrorMessage);
 }

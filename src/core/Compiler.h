@@ -17,12 +17,20 @@
 ///    without the SYCL-dialect device optimizations; launch-time
 ///    compilation is billed on the first launch and cached within a run.
 ///
+/// Compilation targets a backend from the exec::TargetRegistry
+/// (`Compiler::compileFor`): the final pipeline is flow × target × kernel
+/// form — the target's pipeline suffix selects the kernel form it
+/// executes (high-level SYCL for `virtual-gpu`, lowered scf/memref for
+/// `virtual-cpu`) — and optimized modules are cached per
+/// (program, target, pipeline), so recompiling one SourceProgram for the
+/// same target is a table lookup.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMLIR_CORE_COMPILER_H
 #define SMLIR_CORE_COMPILER_H
 
-#include "exec/Device.h"
+#include "exec/TargetRegistry.h"
 #include "frontend/SourceProgram.h"
 #include "ir/Pass.h"
 #include "runtime/Runtime.h"
@@ -31,6 +39,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 
 namespace smlir {
 namespace core {
@@ -49,43 +58,70 @@ struct CompilerOptions {
   bool EnableHostDeviceProp = true;
   bool EnableDAE = true;
   /// Appends the dialect-conversion lowering stage (convert-sycl-to-scf +
-  /// cleanup) to the SYCL-MLIR flow: kernels leave the pipeline with zero
-  /// `sycl.*` operations, executing through the lowered device ABI.
+  /// cleanup) to the selected flow's pipeline — any flow, regardless of
+  /// the target's kernel-form preference: kernels leave the pipeline with
+  /// zero `sycl.*` operations, executing through the lowered device ABI.
+  /// Targets whose preferred form is LoweredSCF get the same stage
+  /// automatically via their pipeline suffix (never stacked twice); the
+  /// switch remains for pipeline experiments on high-level targets.
   bool LowerToLoops = false;
   bool VerifyPasses = true;
   /// Simulated JIT cost per kernel operation (AdaptiveCpp flow).
   double JITCostPerOp = 400.0;
   /// When non-empty, compiled with exactly this textual pass pipeline
-  /// instead of the pipeline derived from Flow and the switches above
-  /// (see ir/PassRegistry.h for the grammar). Ablation studies and
-  /// pipeline experiments are string edits, not recompiles.
+  /// instead of the pipeline derived from Flow, the switches above and
+  /// the target's suffix (see ir/PassRegistry.h for the grammar).
+  /// Ablation studies and pipeline experiments are string edits, not
+  /// recompiles.
   std::string PipelineOverride;
 };
 
-/// A compiled program: the optimized joint module plus launch metadata.
+/// An optimized joint module plus the launch metadata derived from it.
+/// Shared (immutable) between every Executable compiled from the same
+/// (program, target, pipeline) cache key.
+struct CompiledModule {
+  OwningOpRef Module;
+  /// Source-level kernel-argument indices dropped by SYCL DAE, per kernel.
+  std::map<std::string, std::set<unsigned>> DeadArgs;
+  /// Pass statistics report of the pipeline run that produced Module.
+  std::string Report;
+  /// Whether the kernels carry the `sycl.lowered` ABI marker (computed
+  /// once — the module is immutable after compilation).
+  bool Lowered = false;
+};
+
+/// A compiled program bound to a target backend: launching resolves the
+/// kernel, applies the target's launch conventions (DAE-dropped
+/// arguments, work-group size selection, JIT billing) and executes on
+/// the device the queue supplies — which lets one process run the same
+/// source on several backends side by side.
 class Executable : public rt::KernelLauncher {
 public:
-  Executable(OwningOpRef Module, CompilerOptions Options,
-             exec::Device &Dev);
+  Executable(std::shared_ptr<const CompiledModule> Compiled,
+             CompilerOptions Options, const exec::TargetBackend &Target);
   ~Executable() override;
 
-  LogicalResult launchKernel(std::string_view Name,
+  LogicalResult launchKernel(exec::Device &Dev, std::string_view Name,
                              const exec::NDRange &Range,
                              const std::vector<exec::KernelArg> &Args,
                              exec::LaunchStats &Stats,
                              std::string *ErrorMessage) override;
 
-  ModuleOp getModule() const { return ModuleOp::cast(Module.get()); }
+  ModuleOp getModule() const { return ModuleOp::cast(Compiled->Module.get()); }
   /// Printed IR of one kernel (for examples and debugging).
   std::string getKernelIR(std::string_view Name) const;
   FuncOp lookupKernel(std::string_view Name) const;
 
+  /// The backend this executable was compiled for.
+  const exec::TargetBackend &getTarget() const { return Target; }
+  /// The ABI the kernels bind: the target's preferred form (or the
+  /// lowered form when CompilerOptions::LowerToLoops forced it).
+  exec::KernelForm getKernelForm() const;
+
 private:
-  OwningOpRef Module;
+  std::shared_ptr<const CompiledModule> Compiled;
   CompilerOptions Options;
-  exec::Device &Dev;
-  /// Source-level kernel-argument indices dropped by SYCL DAE, per kernel.
-  std::map<std::string, std::set<unsigned>> DeadArgs;
+  const exec::TargetBackend &Target;
   /// Kernels already JIT-compiled in this run (AdaptiveCpp flow).
   std::set<std::string> JITCompiled;
 };
@@ -95,17 +131,37 @@ class Compiler {
 public:
   explicit Compiler(CompilerOptions Options) : Options(Options) {}
 
-  /// Compiles \p Program for \p Dev. The program's module is cloned; the
-  /// source remains reusable for other configurations. Returns null on
+  /// Compiles \p Program for \p Target: the flow pipeline plus the
+  /// target's suffix runs over a clone of the program's module (the
+  /// source remains reusable for other configurations and targets), and
+  /// the result binds the kernel form the target prefers. Optimized
+  /// modules are cached per (program, target, pipeline): recompiling the
+  /// same program for the same target shares the module. Returns null on
   /// pipeline failure.
-  std::unique_ptr<Executable> compile(const frontend::SourceProgram &Program,
-                                      exec::Device &Dev,
-                                      std::string *ErrorMessage = nullptr);
+  std::unique_ptr<Executable>
+  compileFor(const frontend::SourceProgram &Program,
+             const exec::TargetBackend &Target,
+             std::string *ErrorMessage = nullptr);
 
-  /// The textual pass pipeline for \p Options: PipelineOverride when set,
-  /// otherwise the flow's pipeline with disabled optimizations omitted.
-  /// Runnable as-is by `smlir-opt --pass-pipeline=<result>`.
+  /// Convenience: target by registry mnemonic; empty selects the process
+  /// default target ($SMLIR_DEFAULT_TARGET or virtual-gpu). Fails on an
+  /// unknown mnemonic.
+  std::unique_ptr<Executable>
+  compileFor(const frontend::SourceProgram &Program, std::string_view Target,
+             std::string *ErrorMessage = nullptr);
+
+  /// The textual pass pipeline for \p Options alone: PipelineOverride
+  /// when set, otherwise the flow's pipeline with disabled optimizations
+  /// omitted. Runnable as-is by `smlir-opt --pass-pipeline=<result>`.
   static std::string getPipeline(const CompilerOptions &Options);
+
+  /// The pipeline compileFor runs for \p Options × \p Target: the flow
+  /// pipeline plus the target's suffix (not duplicated when the flow
+  /// already ends with it, e.g. under LowerToLoops). PipelineOverride
+  /// still wins verbatim. Equals
+  /// `smlir-opt --target=<mnemonic> --pass-pipeline=<flow pipeline>`.
+  static std::string getPipeline(const CompilerOptions &Options,
+                                 const exec::TargetBackend &Target);
 
   /// Populates \p PM by parsing getPipeline(\p Options) through the pass
   /// registry (exposed for tests and pass-pipeline experiments).
@@ -113,12 +169,30 @@ public:
                                      const CompilerOptions &Options,
                                      std::string *ErrorMessage = nullptr);
 
-  /// Pass statistics report of the last compile() call.
+  /// Pass statistics report of the last compileFor() call (cache hits
+  /// replay the cached run's report).
   const std::string &getLastReport() const { return LastReport; }
+
+  /// Compile-cache behavior of this Compiler instance.
+  struct CacheStats {
+    unsigned Hits = 0;
+    unsigned Misses = 0;
+  };
+  const CacheStats &getCacheStats() const { return Stats; }
 
 private:
   CompilerOptions Options;
   std::string LastReport;
+  /// (context, printed source module, target mnemonic, pipeline) ->
+  /// optimized module. Content-addressed: textually equal programs in
+  /// one context share their compiled module, and rebuilding or mutating
+  /// a program can never alias a stale entry. Entries are only valid
+  /// while the MLIRContext outlives this Compiler, the usual driver
+  /// lifetime.
+  std::map<std::tuple<const void *, std::string, std::string, std::string>,
+           std::shared_ptr<const CompiledModule>>
+      Cache;
+  CacheStats Stats;
 };
 
 } // namespace core

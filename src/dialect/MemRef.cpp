@@ -92,6 +92,16 @@ LogicalResult SubViewOp::verifyOp(Operation *Op) {
                  ResultTy.getMemorySpace() == SrcTy.getMemorySpace());
 }
 
+LogicalResult OffsetOp::verifyOp(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return failure();
+  if (!Op->getOperand(0).getType().isa<MemRefType>())
+    return failure();
+  if (!Op->getOperand(1).getType().isIntOrIndex())
+    return failure();
+  return success(Op->getResultType(0).isIndex());
+}
+
 LogicalResult DisjointOp::verifyOp(Operation *Op) {
   if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
     return failure();
@@ -122,6 +132,8 @@ void memref::registerMemRefDialect(MLIRContext &Context) {
                     {traits(OpTrait::Pure), &DimOp::verifyOp});
   registerOp<SubViewOp>(Context, MemRefDialect,
                         {traits(OpTrait::Pure), &SubViewOp::verifyOp});
+  registerOp<OffsetOp>(Context, MemRefDialect,
+                       {traits(OpTrait::Pure), &OffsetOp::verifyOp});
   registerOp<DisjointOp>(Context, MemRefDialect,
                          {0, &DisjointOp::verifyOp, nullptr,
                           &DisjointOp::getEffects});

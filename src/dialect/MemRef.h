@@ -129,6 +129,28 @@ public:
   static LogicalResult verifyOp(Operation *Op);
 };
 
+/// `memref.offset %ref, %d -> index` — the runtime base offset of a view
+/// in dimension %d, the lowered form of `sycl.accessor.get_offset`.
+/// Lowered ranged accessors are rebased data views; the per-dimension
+/// offset they were rebased by travels with the runtime memref
+/// descriptor (zero for whole-buffer views and plain allocations).
+class OffsetOp : public OpBase<OffsetOp> {
+public:
+  using OpBase::OpBase;
+  static constexpr const char *getOperationName() { return "memref.offset"; }
+
+  static void build(OpBuilder &Builder, OperationState &State, Value MemRef,
+                    Value Dim) {
+    State.addOperands({MemRef, Dim});
+    State.addType(Builder.getIndexType());
+  }
+
+  Value getMemRef() const { return TheOp->getOperand(0); }
+  Value getDim() const { return TheOp->getOperand(1); }
+
+  static LogicalResult verifyOp(Operation *Op);
+};
+
 /// `memref.disjoint %a, %b -> i1` — runtime check that two memrefs cover
 /// disjoint memory, the lowered form of `sycl.accessors.disjoint` (LICM
 /// versioning conditions survive lowering as this op).

@@ -68,6 +68,10 @@ struct MemRefVal {
   /// multi-dimensional indexing work on `memref<?x?x...>` values; 0 means
   /// unknown (rank-1 views never need it).
   std::array<int64_t, 3> Sizes = {0, 0, 0};
+  /// Per-dimension base offset the view was rebased by. Lowered ranged
+  /// accessors carry their accessor offset here so `memref.offset` (the
+  /// lowered `sycl.accessor.get_offset`) can report it; zero elsewhere.
+  std::array<int64_t, 3> Offsets = {0, 0, 0};
 };
 
 /// Runtime accessor state (paper §II-A: pointer, range, offset).

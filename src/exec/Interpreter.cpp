@@ -41,7 +41,7 @@ enum class OpCode : uint8_t {
   CmpI, CmpF, Select,
   IndexCast, SIToFP, FPToSI, ExtSI, TruncI,
   Sqrt, Exp, FAbs,
-  Alloca, Load, Store, Dim, SubView, Disjoint,
+  Alloca, Load, Store, Dim, SubView, ViewOffset, Disjoint,
   SCFIf, LoopFor, Yield, Return, Call,
   SYCLConstructor, IDGet, RangeGet,
   ItemGetID, ItemGetRange,
@@ -155,6 +155,7 @@ OpCode classifyOp(Operation *Op) {
       {"affine.store", OpCode::Store},
       {"memref.dim", OpCode::Dim},
       {"memref.subview", OpCode::SubView},
+      {"memref.offset", OpCode::ViewOffset},
       {"memref.disjoint", OpCode::Disjoint},
       {"gpu.barrier", OpCode::Barrier},
       {"scf.if", OpCode::SCFIf},
@@ -302,11 +303,13 @@ public:
       case KernelArg::Kind::Accessor: {
         if (Lowered) {
           // Data view rebased at the accessor offset; the range travels
-          // as runtime extents for memref.dim / multi-dim indexing.
+          // as runtime extents for memref.dim / multi-dim indexing, the
+          // per-dimension offsets for memref.offset.
           MemRefVal M;
           M.Store = Arg.Accessor.Data;
           M.Offset = Arg.Accessor.linearize({0, 0, 0});
           M.Sizes = Arg.Accessor.Range;
+          M.Offsets = Arg.Accessor.Offset;
           V = InterpValue::makeMemRef(M);
           break;
         }
@@ -663,6 +666,17 @@ private:
       set(Op->getResult(0), InterpValue::makeMemRef(View));
       return Status::Running;
     }
+    case OpCode::ViewOffset: {
+      MemRefVal M = get(Op->getOperand(0)).M;
+      auto Ty = Op->getOperand(0).getType().cast<MemRefType>();
+      int64_t D = getInt(Op->getOperand(1));
+      if (D < 0 || D >= static_cast<int64_t>(Ty.getRank()) || D >= 3)
+        return fail("memref.offset dimension out of range");
+      ++Count.Stats->ArithOps;
+      ChargeArith();
+      set(Op->getResult(0), InterpValue::makeInt(M.Offsets[D]));
+      return Status::Running;
+    }
     case OpCode::Disjoint: {
       MemRefVal A = get(Op->getOperand(0)).M;
       MemRefVal B = get(Op->getOperand(1)).M;
@@ -863,14 +877,18 @@ private:
     }
     case OpCode::AccGetRange: {
       ObjCell *Acc = get(Op->getOperand(0)).O;
-      set(Op->getResult(0),
-          InterpValue::makeInt(Acc->Acc.Range[getInt(Op->getOperand(1))]));
+      int64_t D = getInt(Op->getOperand(1));
+      if (D < 0 || D >= 3)
+        return fail("accessor get_range dimension out of range");
+      set(Op->getResult(0), InterpValue::makeInt(Acc->Acc.Range[D]));
       return Status::Running;
     }
     case OpCode::AccGetOffset: {
       ObjCell *Acc = get(Op->getOperand(0)).O;
-      set(Op->getResult(0),
-          InterpValue::makeInt(Acc->Acc.Offset[getInt(Op->getOperand(1))]));
+      int64_t D = getInt(Op->getOperand(1));
+      if (D < 0 || D >= 3)
+        return fail("accessor get_offset dimension out of range");
+      set(Op->getResult(0), InterpValue::makeInt(Acc->Acc.Offset[D]));
       return Status::Running;
     }
     case OpCode::AccGetPointer: {

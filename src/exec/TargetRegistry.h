@@ -1,0 +1,144 @@
+//===- TargetRegistry.h - Target backends and their registry ---*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target-backend interface and its process-global registry, mirroring
+/// LLVM's TargetRegistry: a backend owns the device properties (the cost
+/// model), the kernel form it prefers to execute (the high-level SYCL
+/// dialect or the lowered scf/memref form), the pass-pipeline suffix that
+/// produces that form, and a factory for device instances. The compiler
+/// driver derives per-target pipelines from it (`Compiler::compileFor`),
+/// the runtime creates devices from backend names (`rt::Context`), and
+/// `smlir-opt --target=<name>` appends the suffix to textual pipelines —
+/// so one joint host+device module feeds multiple device compilation
+/// strategies, the paper's central claim.
+///
+/// Two backends are built in:
+///  - `virtual-gpu`: the interpreter with the calibrated GPU cost model
+///    (coalescing-sensitive global memory, paper §VIII); executes the
+///    high-level SYCL dialect directly.
+///  - `virtual-cpu`: a wide-SIMD, cache-oriented cost model with no
+///    coalesced/uncoalesced distinction; prefers the lowered scf/memref
+///    kernel form, so compiling for it appends `convert-sycl-to-scf`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_EXEC_TARGETREGISTRY_H
+#define SMLIR_EXEC_TARGETREGISTRY_H
+
+#include "exec/Device.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smlir {
+namespace exec {
+
+/// The kernel representation a backend consumes.
+enum class KernelForm {
+  /// The SYCL dialect form: kernels keep `sycl.*` object semantics and
+  /// execute through the object ABI (items, accessors as objects).
+  HighLevelSYCL,
+  /// The lowered scf/memref form produced by `convert-sycl-to-scf`:
+  /// kernels carry zero `sycl.*` ops and bind the lowered device ABI
+  /// (identity record + data memrefs).
+  LoweredSCF,
+};
+
+std::string_view stringifyKernelForm(KernelForm Form);
+
+/// The pipeline stage that produces the lowered scf/memref kernel form:
+/// the dialect conversion plus cleanup of its address arithmetic. The
+/// single definition behind LoweredSCF targets' pipeline suffix and
+/// CompilerOptions::LowerToLoops — the no-double-lowering dedupe in
+/// applyTargetSuffix relies on both spelling it identically.
+inline constexpr const char *kLoweredFormPipeline =
+    "convert-sycl-to-scf,canonicalize,cse,dce";
+
+/// One compilation/execution target. Backends are registered once in the
+/// TargetRegistry and live for the process; they are stateless beyond
+/// their configuration, so one backend serves any number of compilers,
+/// devices and queues.
+class TargetBackend {
+public:
+  virtual ~TargetBackend();
+
+  /// Registry key and `--target=` spelling (e.g. "virtual-gpu").
+  virtual std::string_view getMnemonic() const = 0;
+  virtual std::string_view getDescription() const = 0;
+
+  /// The cost model devices of this target simulate with.
+  virtual const DeviceProperties &getDeviceProperties() const = 0;
+
+  /// The kernel form executables compiled for this target bind.
+  virtual KernelForm getPreferredKernelForm() const = 0;
+
+  /// Pass-pipeline elements appended after the flow pipeline when
+  /// compiling for this target (empty = none). The default derives it
+  /// from the preferred kernel form: targets wanting the lowered form
+  /// get the dialect-conversion stage plus cleanup.
+  virtual std::string getPipelineSuffix() const;
+
+  /// Creates a fresh device simulating this target.
+  virtual std::unique_ptr<Device> createDevice() const;
+};
+
+/// The process-global mnemonic -> backend table (like PassRegistry, but
+/// duplicate mnemonics are registration errors rather than replacements:
+/// a target name must mean the same device everywhere in the process).
+class TargetRegistry {
+public:
+  static TargetRegistry &get();
+
+  /// Registers \p Backend. Fails (leaving the registry unchanged) when a
+  /// backend with the same mnemonic is already registered.
+  LogicalResult registerTarget(std::unique_ptr<TargetBackend> Backend,
+                               std::string *ErrorMessage = nullptr);
+
+  /// Returns the backend for \p Mnemonic, or null if unknown.
+  const TargetBackend *lookup(std::string_view Mnemonic) const;
+
+  /// All registered backends, sorted by mnemonic (for --list-targets).
+  std::vector<const TargetBackend *> getTargets() const;
+
+private:
+  std::vector<std::unique_ptr<TargetBackend>> Backends;
+};
+
+/// Registers the built-in backends (virtual-gpu, virtual-cpu). Idempotent.
+void registerAllTargets();
+
+/// The process-default target name: $SMLIR_DEFAULT_TARGET when set (the CI
+/// hook that sweeps the test suite over the CPU backend), "virtual-gpu"
+/// otherwise. The name is not validated here.
+std::string_view getDefaultTargetName();
+
+/// The default backend (registers the built-ins first). Fatal when
+/// $SMLIR_DEFAULT_TARGET names an unregistered target — a misspelled
+/// environment would otherwise silently change what a whole test run
+/// measures.
+const TargetBackend &getDefaultTarget();
+
+/// Resolves \p Name against the registry (registering the built-ins
+/// first); empty selects the default target. Returns null and sets
+/// \p ErrorMessage for an unknown mnemonic — the one lookup path shared
+/// by the compiler driver, the runtime context and smlir-opt.
+const TargetBackend *resolveTarget(std::string_view Name,
+                                   std::string *ErrorMessage = nullptr);
+
+/// Appends \p Target's pipeline suffix to \p Pipeline — unless the
+/// pipeline already ends with it, so a pre-lowered pipeline is never
+/// lowered twice. The one suffix-derivation rule shared by
+/// `Compiler::getPipeline(Options, Target)` and `smlir-opt --target=`.
+std::string applyTargetSuffix(std::string Pipeline,
+                              const TargetBackend &Target);
+
+} // namespace exec
+} // namespace smlir
+
+#endif // SMLIR_EXEC_TARGETREGISTRY_H

@@ -6,12 +6,43 @@
 
 #include "runtime/Runtime.h"
 
+#include "support/ErrorHandling.h"
+
 #include <algorithm>
 
 using namespace smlir;
 using namespace smlir::rt;
 
 KernelLauncher::~KernelLauncher() = default;
+
+//===----------------------------------------------------------------------===//
+// Context
+//===----------------------------------------------------------------------===//
+
+Context::Context() { exec::registerAllTargets(); }
+
+std::string_view Context::getDefaultTarget() const {
+  return exec::getDefaultTargetName();
+}
+
+const exec::TargetBackend *Context::getBackend(std::string_view Target,
+                                               std::string *ErrorMessage) {
+  return exec::resolveTarget(Target, ErrorMessage);
+}
+
+exec::Device *Context::getDevice(std::string_view Target,
+                                 std::string *ErrorMessage) {
+  const exec::TargetBackend *Backend = getBackend(Target, ErrorMessage);
+  if (!Backend)
+    return nullptr;
+  auto It = Devices.find(Backend->getMnemonic());
+  if (It == Devices.end())
+    It = Devices
+             .emplace(std::string(Backend->getMnemonic()),
+                      Backend->createDevice())
+             .first;
+  return It->second.get();
+}
 
 //===----------------------------------------------------------------------===//
 // Buffer
@@ -66,6 +97,19 @@ void Handler::parallelFor(std::string Kernel, const exec::NDRange &R,
 // Queue
 //===----------------------------------------------------------------------===//
 
+static exec::Device &resolveDevice(Context &Ctx, std::string_view Target) {
+  std::string Error;
+  exec::Device *Dev = Ctx.getDevice(Target, &Error);
+  if (!Dev)
+    reportFatalError("rt::Queue: " + Error);
+  return *Dev;
+}
+
+Queue::Queue(Context &Ctx, KernelLauncher &Launcher, std::string_view Target)
+    : Dev(resolveDevice(Ctx, Target)), Launcher(Launcher),
+      Target(Target.empty() ? std::string(Ctx.getDefaultTarget())
+                            : std::string(Target)) {}
+
 Queue::Queue(exec::Device &Dev, KernelLauncher &Launcher)
     : Dev(Dev), Launcher(Launcher) {}
 
@@ -85,29 +129,33 @@ LogicalResult Queue::submit(
   }
 
   // Dependency tracking (paper §II-A): a command depends on the last
-  // writer of every buffer it touches, and writers additionally depend on
-  // previous readers.
+  // writer of every buffer it touches, and writers additionally depend
+  // on every read still outstanding since that write.
   double EarliestStart = 0.0;
   for (const Requirement &Req : CGH.Requirements) {
     EarliestStart = std::max(EarliestStart, Req.Buf->LastWrite.EndTime);
     if (Req.Mode != sycl::AccessMode::Read)
-      EarliestStart = std::max(EarliestStart, Req.Buf->LastRead.EndTime);
+      for (const Event &Read : Req.Buf->PendingReads)
+        EarliestStart = std::max(EarliestStart, Read.EndTime);
   }
 
   exec::LaunchStats Launch;
   if (Launcher
-          .launchKernel(CGH.KernelName, CGH.Range, CGH.Args, Launch,
+          .launchKernel(Dev, CGH.KernelName, CGH.Range, CGH.Args, Launch,
                         ErrorMessage)
           .failed())
     return failure();
 
   double EndTime = EarliestStart + Launch.SimTime;
   for (const Requirement &Req : CGH.Requirements) {
-    if (Req.Mode == sycl::AccessMode::Read)
-      Req.Buf->LastRead.EndTime =
-          std::max(Req.Buf->LastRead.EndTime, EndTime);
-    else
+    if (Req.Mode == sycl::AccessMode::Read) {
+      Req.Buf->PendingReads.push_back(Event{EndTime});
+    } else {
+      // The write serialized behind all pending reads; they are no
+      // longer constraints for anyone ordering against LastWrite.
       Req.Buf->LastWrite.EndTime = EndTime;
+      Req.Buf->PendingReads.clear();
+    }
   }
 
   ++Stats.NumLaunches;
@@ -130,10 +178,11 @@ LogicalResult Queue::submit(
 // Program runner
 //===----------------------------------------------------------------------===//
 
-RunResult rt::runProgram(const frontend::SourceProgram &Program,
-                         KernelLauncher &Launcher, exec::Device &Dev) {
+namespace {
+
+RunResult runProgramOnQueue(const frontend::SourceProgram &Program,
+                            Queue &Q) {
   RunResult Result;
-  Queue Q(Dev, Launcher);
 
   // Materialize and initialize buffers.
   std::map<std::string, std::unique_ptr<Buffer>> Buffers;
@@ -191,4 +240,25 @@ RunResult rt::runProgram(const frontend::SourceProgram &Program,
     Result.Validated = true;
   }
   return Result;
+}
+
+} // namespace
+
+RunResult rt::runProgram(const frontend::SourceProgram &Program,
+                         KernelLauncher &Launcher, Context &Ctx,
+                         std::string_view Target) {
+  std::string Error;
+  if (!Ctx.getDevice(Target, &Error)) {
+    RunResult Result;
+    Result.Error = Error;
+    return Result;
+  }
+  Queue Q(Ctx, Launcher, Target);
+  return runProgramOnQueue(Program, Q);
+}
+
+RunResult rt::runProgram(const frontend::SourceProgram &Program,
+                         KernelLauncher &Launcher, exec::Device &Dev) {
+  Queue Q(Dev, Launcher);
+  return runProgramOnQueue(Program, Q);
 }

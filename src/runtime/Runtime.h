@@ -5,19 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The host runtime substrate (paper §II-A): queues, buffers, handlers and
-/// accessors with automatic dependency tracking, plus USM allocations. As
-/// in the paper, the runtime is shared unchanged across all compiler
-/// configurations ("the runtime component of the SYCL implementation
-/// remains completely unchanged for the SYCL-MLIR compiler"), so measured
-/// differences are attributable to the compiler.
+/// The host runtime substrate (paper §II-A): contexts owning per-target
+/// devices, queues, buffers, handlers and accessors with automatic
+/// dependency tracking, plus USM allocations. As in the paper, the
+/// runtime is shared unchanged across all compiler configurations ("the
+/// runtime component of the SYCL implementation remains completely
+/// unchanged for the SYCL-MLIR compiler"), so measured differences are
+/// attributable to the compiler. Devices are created from target-backend
+/// names (exec::TargetRegistry), so one process runs the same program on
+/// several backends side by side.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMLIR_RUNTIME_RUNTIME_H
 #define SMLIR_RUNTIME_RUNTIME_H
 
-#include "exec/Device.h"
+#include "exec/TargetRegistry.h"
 #include "frontend/SourceProgram.h"
 
 #include <map>
@@ -34,11 +37,13 @@ class KernelLauncher {
 public:
   virtual ~KernelLauncher();
 
-  /// Launches kernel \p Name. \p Args follows the *source-level* argument
-  /// order; the launcher drops arguments eliminated by SYCL DAE and
-  /// accounts for per-argument launch cost and (for JIT flows) runtime
-  /// compilation.
-  virtual LogicalResult launchKernel(std::string_view Name,
+  /// Launches kernel \p Name on \p Dev (the queue's device — the
+  /// executable itself is device-agnostic and only bound to a target).
+  /// \p Args follows the *source-level* argument order; the launcher
+  /// drops arguments eliminated by SYCL DAE and accounts for
+  /// per-argument launch cost and (for JIT flows) runtime compilation.
+  virtual LogicalResult launchKernel(exec::Device &Dev,
+                                     std::string_view Name,
                                      const exec::NDRange &Range,
                                      const std::vector<exec::KernelArg> &Args,
                                      exec::LaunchStats &Stats,
@@ -48,6 +53,33 @@ public:
 /// A point on the simulated timeline.
 struct Event {
   double EndTime = 0.0;
+};
+
+/// Owns the devices of one process: one lazily-created device per target
+/// backend (looked up in the exec::TargetRegistry by mnemonic). Queues
+/// select their device through it, so running a program on another
+/// backend is a constructor argument, not a rebuild.
+class Context {
+public:
+  Context();
+
+  /// The device for \p Target (default target when empty), created on
+  /// first use. Returns null and sets \p ErrorMessage for an unknown
+  /// mnemonic.
+  exec::Device *getDevice(std::string_view Target = {},
+                          std::string *ErrorMessage = nullptr);
+
+  /// The backend registered for \p Target (default target when empty),
+  /// or null for an unknown mnemonic.
+  const exec::TargetBackend *getBackend(std::string_view Target = {},
+                                        std::string *ErrorMessage = nullptr);
+
+  /// The target name empty selections resolve to
+  /// ($SMLIR_DEFAULT_TARGET or virtual-gpu).
+  std::string_view getDefaultTarget() const;
+
+private:
+  std::map<std::string, std::unique_ptr<exec::Device>, std::less<>> Devices;
 };
 
 class Queue;
@@ -64,8 +96,12 @@ public:
 
   /// Last command writing this buffer (dependency tracking).
   Event LastWrite;
-  /// Latest command reading this buffer.
-  Event LastRead;
+  /// Completion times of every read issued since the last write: the
+  /// full set of commands a later writer must serialize behind. Each
+  /// write resets the list (those reads are then dominated by
+  /// LastWrite); a buffer that is never written accumulates one entry
+  /// per reading command for the queue's lifetime — one program run.
+  std::vector<Event> PendingReads;
 
 private:
   Queue &Q;
@@ -116,12 +152,23 @@ struct QueueStats {
   exec::LaunchStats Aggregate;
 };
 
-/// An out-of-order queue with buffer-based dependency tracking.
+/// An out-of-order queue with buffer-based dependency tracking, bound to
+/// one target's device.
 class Queue {
 public:
+  /// Queue on \p Ctx's device for \p Target (the default target when
+  /// empty). Fatal on an unknown target mnemonic — a queue without a
+  /// device cannot exist.
+  Queue(Context &Ctx, KernelLauncher &Launcher,
+        std::string_view Target = {});
+  /// Queue on an explicitly-constructed device (tests with custom
+  /// DeviceProperties); no target name is associated.
   Queue(exec::Device &Dev, KernelLauncher &Launcher);
 
   exec::Device &getDevice() { return Dev; }
+  /// The target mnemonic this queue executes on (empty for queues built
+  /// on an explicit device).
+  std::string_view getTarget() const { return Target; }
 
   /// Submits a command group; returns failure on launch error.
   LogicalResult
@@ -137,6 +184,7 @@ private:
   friend class Buffer;
   exec::Device &Dev;
   KernelLauncher &Launcher;
+  std::string Target;
   QueueStats Stats;
 };
 
@@ -152,8 +200,14 @@ struct RunResult {
   QueueStats Stats;
 };
 
-/// Executes \p Program: creates buffers, runs every submission in order,
-/// then validates the final buffer contents.
+/// Executes \p Program on \p Ctx's device for \p Target (default target
+/// when empty): creates buffers, runs every submission in order, then
+/// validates the final buffer contents.
+RunResult runProgram(const frontend::SourceProgram &Program,
+                     KernelLauncher &Launcher, Context &Ctx,
+                     std::string_view Target = {});
+
+/// Same, against an explicitly-constructed device.
 RunResult runProgram(const frontend::SourceProgram &Program,
                      KernelLauncher &Launcher, exec::Device &Dev);
 

@@ -237,12 +237,13 @@ TEST_F(ConversionTest, RollbackOnFailureLeavesModuleByteIdentical) {
 TEST_F(ConversionTest, RollbackRestoresSignatureConversion) {
   // The real kernel-lowering patterns convert the signature first; when a
   // later op cannot be legalized the whole conversion must roll back,
-  // including the signature change.
+  // including the signature change. Marking `memref.offset` illegal makes
+  // the op the get_offset pattern *creates* unlegalizable, so the failure
+  // surfaces deep in recursive legalization.
   SourceProgram Program(&Ctx);
   KernelBuilder KB(Program, "K", 1, /*UsesNDItem=*/false);
   Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::ReadWrite);
   Value I = KB.gid(0);
-  // get_offset has deliberately no lowering pattern.
   Value Off = KB.builder()
                   .create<sycl::AccessorGetOffsetOp>(KB.loc(), A, KB.cI32(0))
                   .getOperation()
@@ -261,15 +262,47 @@ TEST_F(ConversionTest, RollbackRestoresSignatureConversion) {
   populateSYCLToSCFPatterns(Converter, Patterns);
   ConversionTarget Target;
   buildSYCLToSCFConversionTarget(Target, Converter);
+  Target.addIllegalOp(memref::OffsetOp::getOperationName());
 
   std::string Error;
   EXPECT_TRUE(applyFullConversion(Kernel, Target, Patterns, &Converter,
                                   &Error)
                   .failed());
-  EXPECT_NE(Error.find("sycl.accessor.get_offset"), std::string::npos)
-      << Error;
+  EXPECT_NE(Error.find("memref.offset"), std::string::npos) << Error;
   EXPECT_EQ(Before, Kernel->str());
   EXPECT_TRUE(verify(Kernel, &Error).succeeded()) << Error;
+}
+
+TEST_F(ConversionTest, ConvertSYCLToSCFLowersGetOffset) {
+  // `sycl.accessor.get_offset` lowers to `memref.offset`: the rebased
+  // data view reports the per-dimension offset it was rebased by.
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "K", 1, /*UsesNDItem=*/false);
+  Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::ReadWrite);
+  Value I = KB.gid(0);
+  Value Off = KB.builder()
+                  .create<sycl::AccessorGetOffsetOp>(KB.loc(), A, KB.cI32(0))
+                  .getOperation()
+                  ->getResult(0);
+  KB.storeAcc(A, {KB.addi(I, Off)}, KB.cFloat(KB.f32(), 1.0));
+  KB.finish();
+
+  PassManager PM(&Ctx);
+  std::string Error;
+  ASSERT_TRUE(
+      parsePassPipeline("convert-sycl-to-scf", PM, &Error).succeeded())
+      << Error;
+  ASSERT_TRUE(PM.run(Program.DeviceModule.get(), &Error).succeeded())
+      << Error;
+
+  Operation *Kernels = Program.getKernelsModule().getOperation();
+  EXPECT_EQ(countOpsWithPrefix(Kernels, "sycl."), 0u);
+  EXPECT_EQ(countOpsWithPrefix(Kernels, "memref.offset"), 1u);
+  Operation *Kernel = Program.getKernelsModule().lookupSymbol("K");
+  ASSERT_TRUE(Kernel);
+  EXPECT_TRUE(Kernel->hasAttr(sycl::kLoweredKernelAttrName));
+  EXPECT_TRUE(verify(Program.DeviceModule.get(), &Error).succeeded())
+      << Error;
 }
 
 TEST_F(ConversionTest, FullConversionFailsWithoutPatterns) {

@@ -1,0 +1,380 @@
+//===- TargetTest.cpp - Target backend registry and API tests ----------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the target-backend API: registry registration/lookup and
+/// duplicate-mnemonic rejection, the built-in virtual-gpu/virtual-cpu
+/// backends and their cost models, per-target pipeline derivation
+/// (`Compiler::getPipeline(Options, Target)`), kernel-form binding, the
+/// compile cache keyed on (program, target, pipeline), and the
+/// SMLIR_DEFAULT_TARGET environment hook.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "exec/TargetRegistry.h"
+#include "frontend/HostIRImporter.h"
+#include "frontend/KernelBuilder.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace smlir;
+
+namespace {
+
+class TargetTest : public ::testing::Test {
+protected:
+  TargetTest() {
+    registerAllDialects(Ctx);
+    exec::registerAllTargets();
+  }
+
+  /// Builds a minimal program: out[i] = in[i] + in[i].
+  frontend::SourceProgram makeProgram() {
+    frontend::SourceProgram Program(&Ctx);
+    frontend::KernelBuilder KB(Program, "dbl", 1, /*UsesNDItem=*/false);
+    Value In = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+    Value Out = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Write);
+    Value I = KB.gid(0);
+    Value V = KB.loadAcc(In, {I});
+    KB.storeAcc(Out, {I}, KB.addf(V, V));
+    KB.finish();
+    Program.Buffers = {{"In", exec::Storage::Kind::Float, {32},
+                        [](exec::Storage &S) {
+                          for (size_t I = 0; I < S.Floats.size(); ++I)
+                            S.Floats[I] = static_cast<double>(I);
+                        }},
+                       {"Out", exec::Storage::Kind::Float, {32}, nullptr}};
+    exec::NDRange Range;
+    Range.Dim = 1;
+    Range.Global = {32, 1, 1};
+    Program.Submits = {
+        {"dbl",
+         Range,
+         {frontend::AccessorArg{"In", sycl::AccessMode::Read, {}, {}},
+          frontend::AccessorArg{"Out", sycl::AccessMode::Write, {}, {}}}}};
+    Program.Verify =
+        [](const std::map<std::string, exec::Storage *> &Buffers) {
+          exec::Storage *Out = Buffers.at("Out");
+          for (size_t I = 0; I < Out->Floats.size(); ++I)
+            if (Out->Floats[I] != 2.0 * static_cast<double>(I))
+              return false;
+          return true;
+        };
+    frontend::importHostIR(Program);
+    return Program;
+  }
+
+  static unsigned countSYCLOps(const core::Executable &Exe) {
+    unsigned Count = 0;
+    Exe.getModule().getOperation()->walk([&](Operation *Op) {
+      const std::string &Name = Op->getName().getStringRef();
+      if (Name.rfind("sycl.host.", 0) != 0 && Name.rfind("sycl.", 0) == 0)
+        ++Count;
+    });
+    return Count;
+  }
+
+  MLIRContext Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST_F(TargetTest, BuiltinBackendsAreRegistered) {
+  const exec::TargetBackend *Gpu =
+      exec::TargetRegistry::get().lookup("virtual-gpu");
+  const exec::TargetBackend *Cpu =
+      exec::TargetRegistry::get().lookup("virtual-cpu");
+  ASSERT_NE(Gpu, nullptr);
+  ASSERT_NE(Cpu, nullptr);
+  EXPECT_EQ(Gpu->getMnemonic(), "virtual-gpu");
+  EXPECT_EQ(Cpu->getMnemonic(), "virtual-cpu");
+  EXPECT_EQ(Gpu->getPreferredKernelForm(), exec::KernelForm::HighLevelSYCL);
+  EXPECT_EQ(Cpu->getPreferredKernelForm(), exec::KernelForm::LoweredSCF);
+
+  // getTargets is sorted by mnemonic and contains both.
+  auto Targets = exec::TargetRegistry::get().getTargets();
+  ASSERT_GE(Targets.size(), 2u);
+  for (size_t I = 1; I < Targets.size(); ++I)
+    EXPECT_LT(Targets[I - 1]->getMnemonic(), Targets[I]->getMnemonic());
+  EXPECT_NE(std::find(Targets.begin(), Targets.end(), Gpu), Targets.end());
+  EXPECT_NE(std::find(Targets.begin(), Targets.end(), Cpu), Targets.end());
+
+  // Unknown mnemonics miss.
+  EXPECT_EQ(exec::TargetRegistry::get().lookup("virtual-fpga"), nullptr);
+  // Registration of the built-ins is idempotent.
+  exec::registerAllTargets();
+  EXPECT_EQ(exec::TargetRegistry::get().getTargets().size(),
+            Targets.size());
+}
+
+namespace {
+/// Minimal custom backend for registration tests.
+class TestBackend : public exec::TargetBackend {
+public:
+  explicit TestBackend(std::string Mnemonic)
+      : Mnemonic(std::move(Mnemonic)) {}
+  std::string_view getMnemonic() const override { return Mnemonic; }
+  std::string_view getDescription() const override { return "test backend"; }
+  const exec::DeviceProperties &getDeviceProperties() const override {
+    static const exec::DeviceProperties Props;
+    return Props;
+  }
+  exec::KernelForm getPreferredKernelForm() const override {
+    return exec::KernelForm::HighLevelSYCL;
+  }
+
+private:
+  std::string Mnemonic;
+};
+} // namespace
+
+TEST_F(TargetTest, DuplicateMnemonicRegistrationFails) {
+  // First registration of a fresh mnemonic succeeds... (the registry is
+  // process-global, so tolerate the entry surviving a --gtest_repeat)
+  std::string Error;
+  if (!exec::TargetRegistry::get().lookup("test-duplicate"))
+    EXPECT_TRUE(exec::TargetRegistry::get()
+                    .registerTarget(
+                        std::make_unique<TestBackend>("test-duplicate"),
+                        &Error)
+                    .succeeded())
+        << Error;
+  ASSERT_NE(exec::TargetRegistry::get().lookup("test-duplicate"), nullptr);
+  // ...re-registering the same mnemonic is an error, not a replacement.
+  EXPECT_TRUE(exec::TargetRegistry::get()
+                  .registerTarget(
+                      std::make_unique<TestBackend>("test-duplicate"),
+                      &Error)
+                  .failed());
+  EXPECT_NE(Error.find("test-duplicate"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("already registered"), std::string::npos) << Error;
+  // Built-ins reject duplicates the same way.
+  EXPECT_TRUE(exec::TargetRegistry::get()
+                  .registerTarget(
+                      std::make_unique<TestBackend>("virtual-gpu"), &Error)
+                  .failed());
+}
+
+TEST_F(TargetTest, VirtualCpuCostModelHasNoCoalescingDistinction) {
+  const exec::TargetBackend &Cpu =
+      *exec::TargetRegistry::get().lookup("virtual-cpu");
+  const exec::TargetBackend &Gpu =
+      *exec::TargetRegistry::get().lookup("virtual-gpu");
+  const exec::DeviceProperties &CpuProps = Cpu.getDeviceProperties();
+  const exec::DeviceProperties &GpuProps = Gpu.getDeviceProperties();
+  // Caches hide the access pattern: a CPU charges coalesced and
+  // uncoalesced global accesses identically; the GPU does not.
+  EXPECT_EQ(CpuProps.CoalescedAccessCost, CpuProps.UncoalescedAccessCost);
+  EXPECT_LT(GpuProps.CoalescedAccessCost, GpuProps.UncoalescedAccessCost);
+  // Wide SIMD, no PCIe launch hop.
+  EXPECT_GT(CpuProps.SIMDWidth, GpuProps.SIMDWidth);
+  EXPECT_LT(CpuProps.LaunchOverhead, GpuProps.LaunchOverhead);
+  // Each backend mints devices with its own cost model.
+  auto Dev = Cpu.createDevice();
+  ASSERT_TRUE(Dev);
+  EXPECT_EQ(Dev->getProperties().UncoalescedAccessCost,
+            CpuProps.UncoalescedAccessCost);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline derivation
+//===----------------------------------------------------------------------===//
+
+TEST_F(TargetTest, PipelineDerivationPerTarget) {
+  const exec::TargetBackend &Gpu =
+      *exec::TargetRegistry::get().lookup("virtual-gpu");
+  const exec::TargetBackend &Cpu =
+      *exec::TargetRegistry::get().lookup("virtual-cpu");
+  core::CompilerOptions Options;
+
+  // virtual-gpu executes the high-level form: no suffix.
+  EXPECT_EQ(Gpu.getPipelineSuffix(), "");
+  EXPECT_EQ(core::Compiler::getPipeline(Options, Gpu),
+            core::Compiler::getPipeline(Options));
+
+  // virtual-cpu appends its lowering suffix to the flow pipeline.
+  EXPECT_EQ(Cpu.getPipelineSuffix(),
+            "convert-sycl-to-scf,canonicalize,cse,dce");
+  EXPECT_EQ(core::Compiler::getPipeline(Options, Cpu),
+            core::Compiler::getPipeline(Options) +
+                ",convert-sycl-to-scf,canonicalize,cse,dce");
+
+  // A flow that already ends with the lowering stage (LowerToLoops) is
+  // not lowered twice.
+  core::CompilerOptions Lowered = Options;
+  Lowered.LowerToLoops = true;
+  EXPECT_EQ(core::Compiler::getPipeline(Lowered, Cpu),
+            core::Compiler::getPipeline(Lowered));
+
+  // PipelineOverride wins verbatim on any target.
+  core::CompilerOptions Override;
+  Override.PipelineOverride = "cse,dce";
+  EXPECT_EQ(core::Compiler::getPipeline(Override, Cpu), "cse,dce");
+  EXPECT_EQ(core::Compiler::getPipeline(Override, Gpu), "cse,dce");
+
+  // Every flow composes with the CPU suffix.
+  for (auto Flow : {core::CompilerFlow::DPCPP, core::CompilerFlow::SYCLMLIR,
+                    core::CompilerFlow::AdaptiveCpp}) {
+    core::CompilerOptions FlowOptions;
+    FlowOptions.Flow = Flow;
+    std::string Pipeline = core::Compiler::getPipeline(FlowOptions, Cpu);
+    EXPECT_NE(Pipeline.find("convert-sycl-to-scf"), std::string::npos)
+        << core::stringifyFlow(Flow);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// compileFor: kernel forms and the compile cache
+//===----------------------------------------------------------------------===//
+
+TEST_F(TargetTest, CompileForBindsPreferredKernelForm) {
+  frontend::SourceProgram Program = makeProgram();
+  core::Compiler TheCompiler({});
+  std::string Error;
+
+  auto GpuExe = TheCompiler.compileFor(Program, "virtual-gpu", &Error);
+  ASSERT_TRUE(GpuExe) << Error;
+  EXPECT_EQ(GpuExe->getKernelForm(), exec::KernelForm::HighLevelSYCL);
+  EXPECT_GT(countSYCLOps(*GpuExe), 0u);
+
+  // No caller sets LowerToLoops: the CPU backend's pipeline suffix
+  // selects the lowered form on its own.
+  auto CpuExe = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+  ASSERT_TRUE(CpuExe) << Error;
+  EXPECT_EQ(CpuExe->getKernelForm(), exec::KernelForm::LoweredSCF);
+  EXPECT_EQ(countSYCLOps(*CpuExe), 0u) << CpuExe->getKernelIR("dbl");
+
+  // Both validate on their own devices out of one rt::Context.
+  rt::Context RT;
+  rt::RunResult OnGpu = rt::runProgram(Program, *GpuExe, RT, "virtual-gpu");
+  rt::RunResult OnCpu = rt::runProgram(Program, *CpuExe, RT, "virtual-cpu");
+  EXPECT_TRUE(OnGpu.Success && OnGpu.Validated) << OnGpu.Error;
+  EXPECT_TRUE(OnCpu.Success && OnCpu.Validated) << OnCpu.Error;
+}
+
+TEST_F(TargetTest, CompileCacheIsKeyedOnProgramTargetPipeline) {
+  frontend::SourceProgram Program = makeProgram();
+  core::Compiler TheCompiler({});
+  std::string Error;
+
+  auto First = TheCompiler.compileFor(Program, "virtual-gpu", &Error);
+  ASSERT_TRUE(First) << Error;
+  EXPECT_EQ(TheCompiler.getCacheStats().Misses, 1u);
+  EXPECT_EQ(TheCompiler.getCacheStats().Hits, 0u);
+
+  // Same program, same target, same pipeline: served from the cache,
+  // sharing the optimized module.
+  auto Second = TheCompiler.compileFor(Program, "virtual-gpu", &Error);
+  ASSERT_TRUE(Second) << Error;
+  EXPECT_EQ(TheCompiler.getCacheStats().Hits, 1u);
+  EXPECT_EQ(First->getModule().getOperation(),
+            Second->getModule().getOperation());
+
+  // Another target is another key (different pipeline, different module).
+  auto Cpu = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+  ASSERT_TRUE(Cpu) << Error;
+  EXPECT_EQ(TheCompiler.getCacheStats().Misses, 2u);
+  EXPECT_NE(First->getModule().getOperation(),
+            Cpu->getModule().getOperation());
+
+  // The cache is content-addressed: a textually identical program built
+  // as a fresh object still hits...
+  frontend::SourceProgram Same = makeProgram();
+  auto Third = TheCompiler.compileFor(Same, "virtual-gpu", &Error);
+  ASSERT_TRUE(Third) << Error;
+  EXPECT_EQ(TheCompiler.getCacheStats().Hits, 2u);
+
+  // ...while a program with different IR misses on a warm target, and
+  // mutating a program in place can never alias its old entry.
+  frontend::SourceProgram Other(&Ctx);
+  {
+    frontend::KernelBuilder KB(Other, "dbl", 1, /*UsesNDItem=*/false);
+    Value In = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+    Value Out = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Write);
+    Value I = KB.gid(0);
+    // Different body: out[i] = in[i] * in[i].
+    Value V = KB.loadAcc(In, {I});
+    KB.storeAcc(Out, {I}, KB.mulf(V, V));
+    KB.finish();
+  }
+  frontend::importHostIR(Other);
+  auto Fourth = TheCompiler.compileFor(Other, "virtual-gpu", &Error);
+  ASSERT_TRUE(Fourth) << Error;
+  EXPECT_EQ(TheCompiler.getCacheStats().Misses, 3u);
+
+  // Cached executables still launch correctly.
+  rt::Context RT;
+  rt::RunResult Result = rt::runProgram(Program, *Second, RT, "virtual-gpu");
+  EXPECT_TRUE(Result.Success && Result.Validated) << Result.Error;
+}
+
+TEST_F(TargetTest, CompileForUnknownTargetFails) {
+  frontend::SourceProgram Program = makeProgram();
+  core::Compiler TheCompiler({});
+  std::string Error;
+  auto Exe = TheCompiler.compileFor(Program, "virtual-dsp", &Error);
+  EXPECT_EQ(Exe, nullptr);
+  EXPECT_NE(Error.find("virtual-dsp"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Default-target selection
+//===----------------------------------------------------------------------===//
+
+/// Restores an environment variable on scope exit, so a failing
+/// assertion cannot leak a modified default target into later tests.
+class ScopedEnv {
+public:
+  explicit ScopedEnv(const char *Name) : Name(Name) {
+    const char *Current = std::getenv(Name);
+    HadValue = Current != nullptr;
+    SavedValue = Current ? Current : "";
+  }
+  ~ScopedEnv() {
+    if (HadValue)
+      setenv(Name, SavedValue.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  bool HadValue;
+  std::string SavedValue;
+};
+
+TEST_F(TargetTest, DefaultTargetHonorsEnvironment) {
+  ScopedEnv Guard("SMLIR_DEFAULT_TARGET");
+
+  unsetenv("SMLIR_DEFAULT_TARGET");
+  EXPECT_EQ(exec::getDefaultTargetName(), "virtual-gpu");
+  EXPECT_EQ(exec::getDefaultTarget().getMnemonic(), "virtual-gpu");
+
+  setenv("SMLIR_DEFAULT_TARGET", "virtual-cpu", 1);
+  EXPECT_EQ(exec::getDefaultTargetName(), "virtual-cpu");
+  EXPECT_EQ(exec::getDefaultTarget().getMnemonic(), "virtual-cpu");
+
+  // The empty-mnemonic compileFor overload and rt::Context both resolve
+  // through the same default.
+  frontend::SourceProgram Program = makeProgram();
+  core::Compiler TheCompiler({});
+  std::string Error;
+  auto Exe = TheCompiler.compileFor(Program, "", &Error);
+  ASSERT_TRUE(Exe) << Error;
+  EXPECT_EQ(Exe->getTarget().getMnemonic(), "virtual-cpu");
+  rt::Context RT;
+  EXPECT_EQ(RT.getDefaultTarget(), "virtual-cpu");
+  EXPECT_EQ(RT.getBackend(), RT.getBackend("virtual-cpu"));
+}
+
+} // namespace

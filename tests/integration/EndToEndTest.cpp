@@ -32,24 +32,24 @@ class EndToEndTest : public ::testing::Test {
 protected:
   EndToEndTest() { registerAllDialects(Ctx); }
 
-  /// Compiles and runs \p Program under \p Flow; expects success and
-  /// validation.
+  /// Compiles and runs \p Program under \p Flow on the process-default
+  /// target; expects success and validation.
   rt::RunResult runWith(SourceProgram &Program, core::CompilerFlow Flow) {
     core::CompilerOptions Options;
     Options.Flow = Flow;
     core::Compiler TheCompiler(Options);
-    exec::Device Dev;
     std::string Error;
-    auto Exe = TheCompiler.compile(Program, Dev, &Error);
+    auto Exe = TheCompiler.compileFor(Program, "", &Error);
     EXPECT_TRUE(Exe) << Error;
     if (!Exe)
       return rt::RunResult();
-    rt::RunResult Result = rt::runProgram(Program, *Exe, Dev);
+    rt::RunResult Result = rt::runProgram(Program, *Exe, RT);
     EXPECT_TRUE(Result.Success) << Result.Error;
     return Result;
   }
 
   MLIRContext Ctx;
+  rt::Context RT;
 };
 
 /// Builds a vector-addition program: C = A + B over N f32 elements.
@@ -224,9 +224,8 @@ TEST_F(EndToEndTest, SYCLMLIREliminatesDeadArguments) {
   core::CompilerOptions Options;
   Options.Flow = core::CompilerFlow::SYCLMLIR;
   core::Compiler TheCompiler(Options);
-  exec::Device Dev;
   std::string Error;
-  auto Exe = TheCompiler.compile(Program, Dev, &Error);
+  auto Exe = TheCompiler.compileFor(Program, "", &Error);
   ASSERT_TRUE(Exe) << Error;
 
   // The scalar argument was propagated as a constant and eliminated.
@@ -234,7 +233,7 @@ TEST_F(EndToEndTest, SYCLMLIREliminatesDeadArguments) {
   ASSERT_TRUE(Kernel);
   EXPECT_EQ(Kernel.getNumArguments(), 2u) << Exe->getKernelIR("scale");
 
-  rt::RunResult Result = rt::runProgram(Program, *Exe, Dev);
+  rt::RunResult Result = rt::runProgram(Program, *Exe, RT);
   EXPECT_TRUE(Result.Success) << Result.Error;
   EXPECT_TRUE(Result.Validated);
 }
@@ -288,15 +287,14 @@ TEST_F(EndToEndTest, ReductionRemovesPerIterationTraffic) {
   core::CompilerOptions WithReduction = NoOpt;
   WithReduction.EnableDetectReduction = true;
 
-  exec::Device Dev1, Dev2;
   core::Compiler C1(NoOpt), C2(WithReduction);
   std::string Error;
-  auto E1 = C1.compile(Program, Dev1, &Error);
+  auto E1 = C1.compileFor(Program, "", &Error);
   ASSERT_TRUE(E1) << Error;
-  auto E2 = C2.compile(Program, Dev2, &Error);
+  auto E2 = C2.compileFor(Program, "", &Error);
   ASSERT_TRUE(E2) << Error;
-  rt::RunResult R1 = rt::runProgram(Program, *E1, Dev1);
-  rt::RunResult R2 = rt::runProgram(Program, *E2, Dev2);
+  rt::RunResult R1 = rt::runProgram(Program, *E1, RT);
+  rt::RunResult R2 = rt::runProgram(Program, *E2, RT);
   ASSERT_TRUE(R1.Validated);
   ASSERT_TRUE(R2.Validated);
   uint64_t Global1 = R1.Stats.Aggregate.CoalescedGlobalAccesses +
@@ -312,39 +310,39 @@ TEST_F(EndToEndTest, AdaptiveCppPaysJITOnFirstLaunchOnly) {
   core::CompilerOptions Options;
   Options.Flow = core::CompilerFlow::AdaptiveCpp;
   core::Compiler TheCompiler(Options);
-  exec::Device Dev;
   std::string Error;
-  auto Exe = TheCompiler.compile(Program, Dev, &Error);
+  auto Exe = TheCompiler.compileFor(Program, "", &Error);
   ASSERT_TRUE(Exe) << Error;
 
   // First run: JIT cost; second run (same executable): cached.
-  rt::RunResult First = rt::runProgram(Program, *Exe, Dev);
-  rt::RunResult Second = rt::runProgram(Program, *Exe, Dev);
+  rt::RunResult First = rt::runProgram(Program, *Exe, RT);
+  rt::RunResult Second = rt::runProgram(Program, *Exe, RT);
   ASSERT_TRUE(First.Validated);
   ASSERT_TRUE(Second.Validated);
   EXPECT_GT(First.Stats.TotalKernelTime, Second.Stats.TotalKernelTime);
 }
 
 //===----------------------------------------------------------------------===//
-// Dialect-conversion lowering (convert-sycl-to-scf)
+// Per-target kernel forms (virtual-gpu high-level vs virtual-cpu lowered)
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-/// Compiles and runs \p Program under the SYCL-MLIR flow, capturing the
-/// final contents of every buffer. \p LowerToLoops appends the dialect
-/// conversion stage. Returns the compiled executable so callers can
-/// inspect the kernel IR.
+/// Compiles \p Program under the SYCL-MLIR flow for \p Target and runs it
+/// on that target's device from \p RT, capturing the final contents of
+/// every buffer. The target's pipeline suffix decides the kernel form
+/// (virtual-gpu: high-level SYCL dialect; virtual-cpu: lowered
+/// scf/memref). Returns the compiled executable so callers can inspect
+/// the kernel IR.
 std::unique_ptr<core::Executable>
-runCapturing(SourceProgram &Program, bool LowerToLoops,
+runCapturing(SourceProgram &Program, rt::Context &RT,
+             std::string_view Target,
              std::map<std::string, std::vector<double>> &Capture) {
   core::CompilerOptions Options;
   Options.Flow = core::CompilerFlow::SYCLMLIR;
-  Options.LowerToLoops = LowerToLoops;
   core::Compiler TheCompiler(Options);
-  exec::Device Dev;
   std::string Error;
-  auto Exe = TheCompiler.compile(Program, Dev, &Error);
+  auto Exe = TheCompiler.compileFor(Program, Target, &Error);
   EXPECT_TRUE(Exe) << Error;
   if (!Exe)
     return nullptr;
@@ -356,7 +354,7 @@ runCapturing(SourceProgram &Program, bool LowerToLoops,
           Capture[Name] = Store->Floats;
         return !OriginalVerify || OriginalVerify(Buffers);
       };
-  rt::RunResult Result = rt::runProgram(Program, *Exe, Dev);
+  rt::RunResult Result = rt::runProgram(Program, *Exe, RT, Target);
   Program.Verify = OriginalVerify;
   EXPECT_TRUE(Result.Success) << Result.Error;
   EXPECT_TRUE(Result.Validated);
@@ -379,51 +377,131 @@ unsigned countSYCLOps(const core::Executable &Exe) {
 
 } // namespace
 
-TEST_F(EndToEndTest, LoweredVecAddMatchesUnloweredBitForBit) {
+TEST_F(EndToEndTest, VecAddBitIdenticalAcrossBackendsInOneProcess) {
+  // One SourceProgram, two backends, one process: virtual-gpu executes
+  // the high-level SYCL form, virtual-cpu the lowered scf/memref form
+  // (its pipeline suffix appends convert-sycl-to-scf — no caller sets
+  // LowerToLoops), and both produce exactly the same buffer contents.
   SourceProgram Program = makeVecAdd(Ctx, 128);
-  std::map<std::string, std::vector<double>> Unlowered, Lowered;
-  auto BaseExe = runCapturing(Program, /*LowerToLoops=*/false, Unlowered);
-  auto LowExe = runCapturing(Program, /*LowerToLoops=*/true, Lowered);
-  ASSERT_TRUE(BaseExe && LowExe);
+  std::map<std::string, std::vector<double>> OnGpu, OnCpu;
+  auto GpuExe = runCapturing(Program, RT, "virtual-gpu", OnGpu);
+  auto CpuExe = runCapturing(Program, RT, "virtual-cpu", OnCpu);
+  ASSERT_TRUE(GpuExe && CpuExe);
 
-  // The lowered kernels contain zero sycl.* operations...
-  EXPECT_GT(countSYCLOps(*BaseExe), 0u);
-  EXPECT_EQ(countSYCLOps(*LowExe), 0u) << LowExe->getKernelIR("vecadd");
-  // ...and execute to exactly the same buffer contents.
-  EXPECT_EQ(Unlowered, Lowered);
+  EXPECT_EQ(GpuExe->getKernelForm(), exec::KernelForm::HighLevelSYCL);
+  EXPECT_EQ(CpuExe->getKernelForm(), exec::KernelForm::LoweredSCF);
+  // The GPU form keeps sycl.* semantics; the CPU form lowered them away.
+  EXPECT_GT(countSYCLOps(*GpuExe), 0u);
+  EXPECT_EQ(countSYCLOps(*CpuExe), 0u) << CpuExe->getKernelIR("vecadd");
+  // ...and both backends execute to exactly the same buffer contents.
+  EXPECT_EQ(OnGpu, OnCpu);
 }
 
-TEST_F(EndToEndTest, LoweredMatMulMatchesUnloweredBitForBit) {
+TEST_F(EndToEndTest, MatMulBitIdenticalAcrossBackendsInOneProcess) {
   // nd_item kernel: after the full optimization pipeline (reduction
   // rewriting, loop internalization with barriers and local memory) the
-  // conversion still lowers everything and preserves semantics.
+  // virtual-cpu lowering still converts everything and preserves
+  // semantics against the virtual-gpu high-level execution.
   SourceProgram Program = makeMatMul(Ctx, 32, 8);
-  std::map<std::string, std::vector<double>> Unlowered, Lowered;
-  auto BaseExe = runCapturing(Program, /*LowerToLoops=*/false, Unlowered);
-  auto LowExe = runCapturing(Program, /*LowerToLoops=*/true, Lowered);
-  ASSERT_TRUE(BaseExe && LowExe);
+  std::map<std::string, std::vector<double>> OnGpu, OnCpu;
+  auto GpuExe = runCapturing(Program, RT, "virtual-gpu", OnGpu);
+  auto CpuExe = runCapturing(Program, RT, "virtual-cpu", OnCpu);
+  ASSERT_TRUE(GpuExe && CpuExe);
 
-  EXPECT_EQ(countSYCLOps(*LowExe), 0u)
-      << LowExe->getKernelIR("matrix_multiply");
+  EXPECT_EQ(countSYCLOps(*CpuExe), 0u)
+      << CpuExe->getKernelIR("matrix_multiply");
   // The lowered kernel still synchronizes through barriers.
   unsigned NumBarriers = 0;
-  LowExe->getModule().getOperation()->walk([&](Operation *Op) {
+  CpuExe->getModule().getOperation()->walk([&](Operation *Op) {
     if (Op->getName().getStringRef() == "gpu.barrier")
       ++NumBarriers;
   });
   EXPECT_GT(NumBarriers, 0u);
-  EXPECT_EQ(Unlowered, Lowered);
+  EXPECT_EQ(OnGpu, OnCpu);
 }
 
 TEST_F(EndToEndTest, LoweredKernelCarriesLoweredABIAttr) {
   SourceProgram Program = makeVecAdd(Ctx, 64);
   std::map<std::string, std::vector<double>> Capture;
-  auto Exe = runCapturing(Program, /*LowerToLoops=*/true, Capture);
+  auto Exe = runCapturing(Program, RT, "virtual-cpu", Capture);
   ASSERT_TRUE(Exe);
   FuncOp Kernel = Exe->lookupKernel("vecadd");
   ASSERT_TRUE(Kernel);
   EXPECT_TRUE(
       Kernel.getOperation()->hasAttr(sycl::kLoweredKernelAttrName));
+}
+
+TEST_F(EndToEndTest, RangedAccessorOffsetSurvivesLoweringAcrossBackends) {
+  // A kernel that *reads its accessor offset* (sycl.accessor.get_offset)
+  // and stores global-position markers through a ranged accessor: the
+  // lowered form recovers the offset via memref.offset from the runtime
+  // descriptor, so both backends agree bit for bit. Host-device
+  // propagation is disabled so the offset query reaches the device
+  // compiler un-folded.
+  constexpr int64_t N = 64, Window = 16, Off = 24;
+  SourceProgram Program(&Ctx);
+  KernelBuilder KB(Program, "mark", 1, /*UsesNDItem=*/false);
+  Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::ReadWrite);
+  Value I = KB.gid(0);
+  Value AccOff = KB.builder()
+                     .create<sycl::AccessorGetOffsetOp>(KB.loc(), A,
+                                                        KB.cI32(0))
+                     .getOperation()
+                     ->getResult(0);
+  // A[i] = accessor offset + i  (indices are window-relative).
+  KB.storeAcc(A, {I}, KB.sitofp(KB.addi(I, AccOff), KB.f32()));
+  KB.finish();
+  Program.Buffers = {{"A", exec::Storage::Kind::Float, {N},
+                      [](exec::Storage &S) {
+                        for (double &V : S.Floats)
+                          V = -1.0;
+                      }}};
+  exec::NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {Window, 1, 1};
+  Program.Submits = {{"mark",
+                      Range,
+                      {AccessorArg{"A", sycl::AccessMode::ReadWrite,
+                                   {Window}, {Off}}}}};
+  Program.Verify =
+      [](const std::map<std::string, exec::Storage *> &Buffers) {
+        exec::Storage *A = Buffers.at("A");
+        for (int64_t I = 0; I < N; ++I) {
+          // In-window element j holds its global position: the kernel
+          // wrote (window-relative index) + get_offset() = j.
+          double Expected =
+              (I >= Off && I < Off + Window) ? static_cast<double>(I) : -1.0;
+          if (A->Floats[I] != Expected)
+            return false;
+        }
+        return true;
+      };
+  importHostIR(Program);
+
+  core::CompilerOptions Options;
+  Options.Flow = core::CompilerFlow::SYCLMLIR;
+  Options.EnableHostDeviceProp = false;
+  core::Compiler TheCompiler(Options);
+  std::string Error;
+  std::map<std::string, std::vector<double>> Results[2];
+  int Idx = 0;
+  for (std::string_view Target : {"virtual-gpu", "virtual-cpu"}) {
+    auto Exe = TheCompiler.compileFor(Program, Target, &Error);
+    ASSERT_TRUE(Exe) << Target << ": " << Error;
+    auto OriginalVerify = Program.Verify;
+    Program.Verify =
+        [&](const std::map<std::string, exec::Storage *> &Buffers) {
+          for (const auto &[Name, Store] : Buffers)
+            Results[Idx][Name] = Store->Floats;
+          return OriginalVerify(Buffers);
+        };
+    rt::RunResult Result = rt::runProgram(Program, *Exe, RT, Target);
+    Program.Verify = OriginalVerify;
+    EXPECT_TRUE(Result.Success) << Target << ": " << Result.Error;
+    EXPECT_TRUE(Result.Validated) << Target;
+    ++Idx;
+  }
+  EXPECT_EQ(Results[0], Results[1]);
 }
 
 } // namespace

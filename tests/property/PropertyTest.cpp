@@ -245,15 +245,15 @@ TEST_P(RandomKernelEquivalence, AllFlowsMatchReference) {
     core::CompilerOptions Options;
     Options.Flow = Flow;
     core::Compiler TheCompiler(Options);
-    exec::Device Dev;
+    rt::Context RT;
     std::string Error;
-    auto Exe = TheCompiler.compile(Program, Dev, &Error);
+    auto Exe = TheCompiler.compileFor(Program, "", &Error);
     ASSERT_TRUE(Exe) << Error;
-    rt::RunResult Result = rt::runProgram(Program, *Exe, Dev);
+    rt::RunResult Result = rt::runProgram(Program, *Exe, RT);
     ASSERT_TRUE(Result.Success) << Result.Error;
 
     // Re-run manually to inspect the output buffer.
-    rt::Queue Q(Dev, *Exe);
+    rt::Queue Q(RT, *Exe);
     rt::Buffer BufA(Q, exec::Storage::Kind::Float, {N});
     rt::Buffer BufB(Q, exec::Storage::Kind::Float, {N});
     rt::Buffer BufO(Q, exec::Storage::Kind::Float, {N});
@@ -367,11 +367,11 @@ TEST_P(RandomReductionLoop, FlowsAgree) {
     core::CompilerOptions Options;
     Options.Flow = Flow;
     core::Compiler TheCompiler(Options);
-    exec::Device Dev;
+    rt::Context RT;
     std::string Error;
-    auto Exe = TheCompiler.compile(Program, Dev, &Error);
+    auto Exe = TheCompiler.compileFor(Program, "", &Error);
     ASSERT_TRUE(Exe) << Error;
-    rt::RunResult Result = rt::runProgram(Program, *Exe, Dev);
+    rt::RunResult Result = rt::runProgram(Program, *Exe, RT);
     EXPECT_TRUE(Result.Success) << Result.Error;
     EXPECT_TRUE(Result.Validated)
         << "seed " << Shape.Seed << " trip " << Shape.Trip << " flow "

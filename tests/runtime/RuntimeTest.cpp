@@ -7,8 +7,11 @@
 /// \file
 /// Tests for the host runtime substrate: buffer-based dependency tracking
 /// (RAW chains serialize, independent commands overlap on the simulated
-/// timeline — the out-of-order queue of paper §II-A), ranged accessors and
-/// USM allocation.
+/// timeline — the out-of-order queue of paper §II-A, and a writer behind
+/// several concurrent readers waits for the slowest one), ranged accessors
+/// and USM allocation. Queues select their device from the rt::Context by
+/// target-backend name (the process default here, so the whole suite runs
+/// against whatever SMLIR_DEFAULT_TARGET selects).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,8 +30,9 @@ class RuntimeTest : public ::testing::Test {
 protected:
   RuntimeTest() { registerAllDialects(Ctx); }
 
-  /// Builds an executable with a trivial `copy` kernel: dst[i] = src[i].
-  std::unique_ptr<core::Executable> makeCopyExecutable(exec::Device &Dev) {
+  /// Builds an executable with a trivial `copy` kernel: dst[i] = src[i],
+  /// compiled for the process-default target.
+  std::unique_ptr<core::Executable> makeCopyExecutable() {
     Program = std::make_unique<frontend::SourceProgram>(&Ctx);
     frontend::KernelBuilder KB(*Program, "copy", 1, /*UsesNDItem=*/false);
     Value Src = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
@@ -39,7 +43,7 @@ protected:
     frontend::importHostIR(*Program);
     core::Compiler TheCompiler({});
     std::string Error;
-    auto Exe = TheCompiler.compile(*Program, Dev, &Error);
+    auto Exe = TheCompiler.compileFor(*Program, "", &Error);
     EXPECT_TRUE(Exe) << Error;
     return Exe;
   }
@@ -64,14 +68,14 @@ protected:
   }
 
   MLIRContext Ctx;
+  rt::Context RT;
   std::unique_ptr<frontend::SourceProgram> Program;
 };
 
 TEST_F(RuntimeTest, DependentCommandsSerialize) {
-  exec::Device Dev;
-  auto Exe = makeCopyExecutable(Dev);
+  auto Exe = makeCopyExecutable();
   ASSERT_TRUE(Exe);
-  rt::Queue Q(Dev, *Exe);
+  rt::Queue Q(RT, *Exe);
   constexpr int64_t N = 64;
   rt::Buffer A(Q, exec::Storage::Kind::Float, {N});
   rt::Buffer B(Q, exec::Storage::Kind::Float, {N});
@@ -91,10 +95,9 @@ TEST_F(RuntimeTest, DependentCommandsSerialize) {
 }
 
 TEST_F(RuntimeTest, IndependentCommandsOverlap) {
-  exec::Device Dev;
-  auto Exe = makeCopyExecutable(Dev);
+  auto Exe = makeCopyExecutable();
   ASSERT_TRUE(Exe);
-  rt::Queue Q(Dev, *Exe);
+  rt::Queue Q(RT, *Exe);
   constexpr int64_t N = 64;
   rt::Buffer A(Q, exec::Storage::Kind::Float, {N});
   rt::Buffer B(Q, exec::Storage::Kind::Float, {N});
@@ -111,10 +114,9 @@ TEST_F(RuntimeTest, IndependentCommandsOverlap) {
 }
 
 TEST_F(RuntimeTest, WriteAfterReadIsOrdered) {
-  exec::Device Dev;
-  auto Exe = makeCopyExecutable(Dev);
+  auto Exe = makeCopyExecutable();
   ASSERT_TRUE(Exe);
-  rt::Queue Q(Dev, *Exe);
+  rt::Queue Q(RT, *Exe);
   constexpr int64_t N = 64;
   rt::Buffer A(Q, exec::Storage::Kind::Float, {N});
   rt::Buffer B(Q, exec::Storage::Kind::Float, {N});
@@ -127,11 +129,41 @@ TEST_F(RuntimeTest, WriteAfterReadIsOrdered) {
   EXPECT_NEAR(Stats.Makespan, Stats.TotalKernelTime, 1e-9);
 }
 
-TEST_F(RuntimeTest, USMAllocation) {
-  exec::Device Dev;
-  auto Exe = makeCopyExecutable(Dev);
+TEST_F(RuntimeTest, WriterWaitsForAllOutstandingReaders) {
+  // Two concurrent readers of S with different durations, then a writer
+  // to S: the writer must serialize behind the *slowest* reader, not
+  // just the most recent one (the regression the PendingReads list
+  // fixes — a single last-reader event forgets earlier readers).
+  auto Exe = makeCopyExecutable();
   ASSERT_TRUE(Exe);
-  rt::Queue Q(Dev, *Exe);
+  rt::Queue Q(RT, *Exe);
+  constexpr int64_t NSmall = 32, NLarge = 512;
+  rt::Buffer S(Q, exec::Storage::Kind::Float, {NLarge});
+  rt::Buffer D1(Q, exec::Storage::Kind::Float, {NLarge});
+  rt::Buffer D2(Q, exec::Storage::Kind::Float, {NSmall});
+  rt::Buffer Src(Q, exec::Storage::Kind::Float, {NLarge});
+
+  // Slow reader first, fast reader second: with only the latest reader
+  // tracked, the writer would wait for the fast one and start while the
+  // slow read is still in flight.
+  submitCopy(Q, S, D1, NLarge); // slow read of S
+  double SlowReadEnd = Q.getStats().Makespan;
+  submitCopy(Q, S, D2, NSmall); // fast read of S
+  EXPECT_NEAR(Q.getStats().Makespan, SlowReadEnd, 1e-9)
+      << "the fast reader must finish before the slow one";
+  double ReadersEnd = Q.getStats().Makespan;
+  double TimeBeforeWrite = Q.getStats().TotalKernelTime;
+
+  submitCopy(Q, Src, S, NLarge); // writes S
+  double WriteDuration = Q.getStats().TotalKernelTime - TimeBeforeWrite;
+  EXPECT_NEAR(Q.getStats().Makespan, ReadersEnd + WriteDuration, 1e-9)
+      << "writer must start after the slowest outstanding reader";
+}
+
+TEST_F(RuntimeTest, USMAllocation) {
+  auto Exe = makeCopyExecutable();
+  ASSERT_TRUE(Exe);
+  rt::Queue Q(RT, *Exe);
   exec::Storage *USM = Q.mallocDevice(exec::Storage::Kind::Float, 128);
   ASSERT_NE(USM, nullptr);
   EXPECT_EQ(USM->size(), 128u);
@@ -140,20 +172,18 @@ TEST_F(RuntimeTest, USMAllocation) {
 }
 
 TEST_F(RuntimeTest, SubmitWithoutKernelFails) {
-  exec::Device Dev;
-  auto Exe = makeCopyExecutable(Dev);
+  auto Exe = makeCopyExecutable();
   ASSERT_TRUE(Exe);
-  rt::Queue Q(Dev, *Exe);
+  rt::Queue Q(RT, *Exe);
   std::string Error;
   EXPECT_TRUE(Q.submit([&](rt::Handler &) {}, &Error).failed());
   EXPECT_NE(Error.find("parallel_for"), std::string::npos);
 }
 
 TEST_F(RuntimeTest, UnknownKernelFails) {
-  exec::Device Dev;
-  auto Exe = makeCopyExecutable(Dev);
+  auto Exe = makeCopyExecutable();
   ASSERT_TRUE(Exe);
-  rt::Queue Q(Dev, *Exe);
+  rt::Queue Q(RT, *Exe);
   rt::Buffer A(Q, exec::Storage::Kind::Float, {8});
   exec::NDRange Range;
   Range.Dim = 1;
@@ -168,6 +198,23 @@ TEST_F(RuntimeTest, UnknownKernelFails) {
                    &Error)
                   .failed());
   EXPECT_NE(Error.find("unknown kernel"), std::string::npos);
+}
+
+TEST_F(RuntimeTest, QueueReportsTargetAndContextSharesDevices) {
+  auto Exe = makeCopyExecutable();
+  ASSERT_TRUE(Exe);
+  rt::Queue QDefault(RT, *Exe);
+  EXPECT_EQ(QDefault.getTarget(), RT.getDefaultTarget());
+  // One device per target, shared by every queue on the context.
+  rt::Queue QGpu1(RT, *Exe, "virtual-gpu");
+  rt::Queue QGpu2(RT, *Exe, "virtual-gpu");
+  EXPECT_EQ(&QGpu1.getDevice(), &QGpu2.getDevice());
+  rt::Queue QCpu(RT, *Exe, "virtual-cpu");
+  EXPECT_NE(&QGpu1.getDevice(), &QCpu.getDevice());
+  // Unknown targets are reported, not crashed on, through the Context.
+  std::string Error;
+  EXPECT_EQ(RT.getDevice("no-such-target", &Error), nullptr);
+  EXPECT_NE(Error.find("no-such-target"), std::string::npos);
 }
 
 } // namespace

@@ -32,8 +32,22 @@ void PrintTo(const Case &C, std::ostream *OS) { *OS << C.W.Name; }
 
 class WorkloadValidation : public ::testing::TestWithParam<Case> {};
 
-rt::RunResult runFlow(const workloads::Workload &W, core::CompilerFlow Flow,
-                      bool LowerToLoops = false) {
+/// Exact final contents of one buffer (floats and ints kept in their
+/// native width, so the cross-target comparison is truly bit-identical).
+struct BufferContents {
+  std::vector<double> Floats;
+  std::vector<int64_t> Ints;
+  bool operator==(const BufferContents &) const = default;
+};
+
+/// Compiles and runs \p W under \p Flow on \p Target (empty: the process
+/// default, so SMLIR_DEFAULT_TARGET sweeps this suite over any backend).
+/// When \p CaptureBuffers is given, the final contents of every buffer
+/// are recorded for cross-target comparison.
+rt::RunResult
+runFlow(const workloads::Workload &W, core::CompilerFlow Flow,
+        std::string_view Target = {}, bool LowerToLoops = false,
+        std::map<std::string, BufferContents> *CaptureBuffers = nullptr) {
   MLIRContext Ctx;
   registerAllDialects(Ctx);
   frontend::SourceProgram Program = W.Build(Ctx);
@@ -41,13 +55,13 @@ rt::RunResult runFlow(const workloads::Workload &W, core::CompilerFlow Flow,
   Options.Flow = Flow;
   Options.LowerToLoops = LowerToLoops;
   core::Compiler TheCompiler(Options);
-  exec::Device Dev;
+  rt::Context RT;
   std::string Error;
-  auto Exe = TheCompiler.compile(Program, Dev, &Error);
+  auto Exe = TheCompiler.compileFor(Program, Target, &Error);
   EXPECT_TRUE(Exe) << W.Name << ": " << Error;
   if (!Exe)
     return rt::RunResult();
-  if (LowerToLoops) {
+  if (LowerToLoops || Exe->getKernelForm() == exec::KernelForm::LoweredSCF) {
     // The conversion's contract: zero sycl.* ops in any kernel.
     unsigned NumSYCLOps = 0;
     Exe->getModule().getOperation()->walk([&](Operation *Op) {
@@ -57,7 +71,22 @@ rt::RunResult runFlow(const workloads::Workload &W, core::CompilerFlow Flow,
     });
     EXPECT_EQ(NumSYCLOps, 0u) << W.Name;
   }
-  return rt::runProgram(Program, *Exe, Dev);
+  if (CaptureBuffers) {
+    auto OriginalVerify = Program.Verify;
+    Program.Verify =
+        [&](const std::map<std::string, exec::Storage *> &Buffers) {
+          for (const auto &[Name, Store] : Buffers) {
+            BufferContents &Vals = (*CaptureBuffers)[Name];
+            Vals.Floats = Store->Floats;
+            Vals.Ints = Store->Ints;
+          }
+          return !OriginalVerify || OriginalVerify(Buffers);
+        };
+    rt::RunResult Result = rt::runProgram(Program, *Exe, RT, Target);
+    Program.Verify = OriginalVerify;
+    return Result;
+  }
+  return rt::runProgram(Program, *Exe, RT, Target);
 }
 
 TEST_P(WorkloadValidation, BaselineValidates) {
@@ -84,9 +113,28 @@ TEST_P(WorkloadValidation, LoweredSYCLMLIRValidates) {
   // evaluation surface: every kernel executes through the lowered device
   // ABI (no sycl.* ops) and still validates.
   rt::RunResult Result = runFlow(GetParam().W, core::CompilerFlow::SYCLMLIR,
-                                 /*LowerToLoops=*/true);
+                                 /*Target=*/{}, /*LowerToLoops=*/true);
   EXPECT_TRUE(Result.Success) << Result.Error;
   EXPECT_TRUE(Result.Validated);
+}
+
+TEST_P(WorkloadValidation, VirtualGpuVsVirtualCpuBitIdentical) {
+  // The tentpole property of the target-backend API: one workload
+  // compiled for both registered backends — virtual-gpu executing the
+  // high-level SYCL form, virtual-cpu the lowered scf/memref form its
+  // pipeline suffix selects — produces bit-identical buffer contents.
+  std::map<std::string, BufferContents> OnGpu, OnCpu;
+  rt::RunResult GpuResult =
+      runFlow(GetParam().W, core::CompilerFlow::SYCLMLIR, "virtual-gpu",
+              /*LowerToLoops=*/false, &OnGpu);
+  rt::RunResult CpuResult =
+      runFlow(GetParam().W, core::CompilerFlow::SYCLMLIR, "virtual-cpu",
+              /*LowerToLoops=*/false, &OnCpu);
+  ASSERT_TRUE(GpuResult.Success) << GpuResult.Error;
+  ASSERT_TRUE(CpuResult.Success) << CpuResult.Error;
+  EXPECT_TRUE(GpuResult.Validated);
+  EXPECT_TRUE(CpuResult.Validated);
+  EXPECT_EQ(OnGpu, OnCpu) << GetParam().W.Name;
 }
 
 TEST_P(WorkloadValidation, AdaptiveCppValidates) {

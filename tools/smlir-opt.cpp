@@ -13,9 +13,12 @@
 ///   smlir-opt --pass-pipeline="host-raising,func(licm,detect-reduction)" \
 ///       input.mlir
 ///
-/// Flags: --pass-pipeline=<str>, --verify-each / --no-verify-each,
-/// --print-ir-before-all, --print-ir-after-all, --pass-statistics,
-/// --list-passes, -o <file>.
+/// Flags: --pass-pipeline=<str>, --target=<name> (appends the selected
+/// target backend's pipeline suffix, so `--target=virtual-cpu` reproduces
+/// what `Compiler::compileFor` runs for that backend),
+/// --verify-each / --no-verify-each, --print-ir-before-all,
+/// --print-ir-after-all, --pass-statistics, --list-passes,
+/// --list-targets, -o <file>.
 /// Diagnostics and instrumentation go to stderr; stdout carries only IR,
 /// so output diffs cleanly against golden snapshots.
 ///
@@ -25,6 +28,7 @@
 #include "ir/Parser.h"
 #include "ir/Pass.h"
 #include "ir/PassRegistry.h"
+#include "exec/TargetRegistry.h"
 #include "ir/Verifier.h"
 #include "transform/Passes.h"
 
@@ -43,11 +47,13 @@ struct Options {
   std::string InputFile = "-";
   std::string OutputFile = "-";
   std::string Pipeline;
+  std::string Target;
   bool VerifyEach = true;
   bool PrintIRAfterAll = false;
   bool PrintIRBeforeAll = false;
   bool PassStatistics = false;
   bool ListPasses = false;
+  bool ListTargets = false;
   bool ShowHelp = false;
 };
 
@@ -69,7 +75,11 @@ void printHelp(std::ostream &OS) {
      << "  --print-ir-before-all  Print the IR to stderr before each pass.\n"
      << "  --pass-statistics      Print the pass/analysis-cache report to\n"
      << "                         stderr after the run.\n"
+     << "  --target=<name>        Append the pipeline suffix of the given\n"
+     << "                         target backend (e.g. virtual-cpu lowers\n"
+     << "                         kernels with convert-sycl-to-scf).\n"
      << "  --list-passes          List registered passes and exit.\n"
+     << "  --list-targets         List registered target backends and exit.\n"
      << "  -o <file>              Write output IR to <file> ('-' = stdout).\n"
      << "  --help                 Show this help.\n";
 }
@@ -100,6 +110,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
       Opts.PassStatistics = true;
     } else if (Arg == "--list-passes") {
       Opts.ListPasses = true;
+    } else if (Arg == "--list-targets") {
+      Opts.ListTargets = true;
+    } else if (Arg.rfind("--target=", 0) == 0) {
+      Opts.Target = std::string(Arg.substr(strlen("--target=")));
+    } else if (Arg == "--target") {
+      if (I + 1 >= Argc) {
+        Error = "--target expects a value";
+        return false;
+      }
+      Opts.Target = Argv[++I];
     } else if (Arg == "-o") {
       if (I + 1 >= Argc) {
         Error = "-o expects a file name";
@@ -157,6 +177,38 @@ int main(int Argc, char **Argv) {
   }
 
   registerAllPasses();
+  exec::registerAllTargets();
+
+  if (Opts.ListTargets) {
+    std::cout << "Registered targets:\n";
+    for (const exec::TargetBackend *Target :
+         exec::TargetRegistry::get().getTargets()) {
+      std::cout << "  " << Target->getMnemonic() << " - "
+                << Target->getDescription() << "\n"
+                << "    kernel form: "
+                << exec::stringifyKernelForm(Target->getPreferredKernelForm());
+      std::string Suffix = Target->getPipelineSuffix();
+      if (!Suffix.empty())
+        std::cout << ", pipeline suffix: \"" << Suffix << "\"";
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  if (!Opts.Target.empty()) {
+    const exec::TargetBackend *Target =
+        exec::resolveTarget(Opts.Target, &Error);
+    if (!Target) {
+      std::cerr << "smlir-opt: " << Error << "\n";
+      return 1;
+    }
+    // The target's suffix runs after the requested pipeline, through the
+    // same helper Compiler::compileFor uses — including its dedupe, so
+    // replaying a recorded lowered pipeline with --target never lowers
+    // twice.
+    Opts.Pipeline = exec::applyTargetSuffix(std::move(Opts.Pipeline),
+                                            *Target);
+  }
 
   if (Opts.ListPasses) {
     std::cout << "Registered passes:\n";
