@@ -9,7 +9,9 @@
 /// itself: type/attribute uniquing, IR construction, printing/parsing
 /// round-trips, the §V analyses and the pass pipelines. These are the
 /// design-choice benches for the IR substrate (uniqued storage keyed by
-/// canonical text, structured-control-flow dataflow walks).
+/// canonical text, structured-control-flow dataflow walks), plus the
+/// asynchronous runtime (queue submit throughput and the wall-clock
+/// overlap two backends achieve on the task-graph scheduler).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,8 +26,11 @@
 #include "frontend/HostIRImporter.h"
 #include "frontend/KernelBuilder.h"
 #include "ir/Parser.h"
+#include "runtime/Runtime.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 using namespace smlir;
 
@@ -206,6 +211,132 @@ void BM_BaselinePipeline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_BaselinePipeline);
+
+//===----------------------------------------------------------------------===//
+// Asynchronous runtime (task-graph scheduler)
+//===----------------------------------------------------------------------===//
+
+/// Submits \p Count commands of the makeProgram kernel to \p Q against
+/// the given buffers (reads A and B, read-writes C: one serialized chain
+/// per queue, so cross-queue overlap is the only parallelism).
+void submitBatch(rt::Queue &Q, rt::Buffer &A, rt::Buffer &B, rt::Buffer &C,
+                 unsigned Count) {
+  exec::NDRange R;
+  R.Dim = 2;
+  R.Global = {64, 64, 1};
+  R.Local = {8, 8, 1};
+  R.HasLocal = true;
+  for (unsigned I = 0; I < Count; ++I)
+    (void)Q.submit([&](rt::Handler &CGH) {
+      auto AccA = CGH.require(A, sycl::AccessMode::Read);
+      auto AccB = CGH.require(B, sycl::AccessMode::Read);
+      auto AccC = CGH.require(C, sycl::AccessMode::ReadWrite);
+      CGH.parallelFor("k", R,
+                      {exec::KernelArg::accessor(AccA),
+                       exec::KernelArg::accessor(AccB),
+                       exec::KernelArg::accessor(AccC)});
+    });
+}
+
+/// Non-blocking submission throughput: how many command groups per
+/// second one host thread can push through dependency snapshotting and
+/// task-graph insertion (execution drains on the pool; the wait is
+/// amortized over the batch).
+void BM_SchedulerSubmitThroughput(benchmark::State &State) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program = makeProgram(Ctx);
+  core::Compiler TheCompiler({});
+  auto Exe = TheCompiler.compileFor(Program, "");
+  if (!Exe) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  rt::Context RT;
+  rt::Queue Q(RT, *Exe);
+  rt::Buffer A(Q, exec::Storage::Kind::Float, {64, 64});
+  rt::Buffer B(Q, exec::Storage::Kind::Float, {64, 64});
+  rt::Buffer C(Q, exec::Storage::Kind::Float, {64, 64});
+
+  constexpr unsigned BatchSize = 64;
+  for (auto _ : State) {
+    submitBatch(Q, A, B, C, BatchSize);
+    std::string Error;
+    if (Q.wait(&Error).failed())
+      State.SkipWithError(Error.c_str());
+  }
+  State.SetItemsProcessed(State.iterations() * BatchSize);
+}
+BENCHMARK(BM_SchedulerSubmitThroughput);
+
+/// Cross-backend overlap: the same batch submitted to a virtual-gpu and
+/// a virtual-cpu queue of one context. The pool runs both devices on
+/// real threads, so the concurrent wall-clock should approach
+/// max(gpu, cpu) rather than their sum. Reported counters:
+/// `overlap_ratio` = (T_gpu_alone + T_cpu_alone) / T_concurrent —
+/// 1.0 means no overlap, 2.0 perfect overlap of equal halves.
+void BM_SchedulerCrossBackendOverlap(benchmark::State &State) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program = makeProgram(Ctx);
+  core::Compiler TheCompiler({});
+  auto GpuExe = TheCompiler.compileFor(Program, "virtual-gpu");
+  auto CpuExe = TheCompiler.compileFor(Program, "virtual-cpu");
+  if (!GpuExe || !CpuExe) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  rt::Context RT;
+  rt::Queue QGpu(RT, *GpuExe, "virtual-gpu");
+  rt::Queue QCpu(RT, *CpuExe, "virtual-cpu");
+  rt::Buffer GA(QGpu, exec::Storage::Kind::Float, {64, 64});
+  rt::Buffer GB(QGpu, exec::Storage::Kind::Float, {64, 64});
+  rt::Buffer GC(QGpu, exec::Storage::Kind::Float, {64, 64});
+  rt::Buffer CA(QCpu, exec::Storage::Kind::Float, {64, 64});
+  rt::Buffer CB(QCpu, exec::Storage::Kind::Float, {64, 64});
+  rt::Buffer CC(QCpu, exec::Storage::Kind::Float, {64, 64});
+
+  constexpr unsigned BatchSize = 8;
+  auto Drain = [&] {
+    // Wait on both queues unconditionally: a failure on one must not
+    // leave a backlog on the other distorting later measurements.
+    std::string GpuError, CpuError;
+    bool GpuFailed = QGpu.wait(&GpuError).failed();
+    bool CpuFailed = QCpu.wait(&CpuError).failed();
+    if (GpuFailed || CpuFailed)
+      State.SkipWithError((GpuFailed ? GpuError : CpuError).c_str());
+  };
+
+  // Timed loop: both backends concurrently.
+  for (auto _ : State) {
+    submitBatch(QGpu, GA, GB, GC, BatchSize);
+    submitBatch(QCpu, CA, CB, CC, BatchSize);
+    Drain();
+  }
+
+  // One-shot overlap ratio: each backend alone vs both together.
+  using Clock = std::chrono::steady_clock;
+  auto TimeOf = [&](auto &&Fn) {
+    auto Start = Clock::now();
+    Fn();
+    Drain();
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+  double GpuAlone =
+      TimeOf([&] { submitBatch(QGpu, GA, GB, GC, BatchSize); });
+  double CpuAlone =
+      TimeOf([&] { submitBatch(QCpu, CA, CB, CC, BatchSize); });
+  double Concurrent = TimeOf([&] {
+    submitBatch(QGpu, GA, GB, GC, BatchSize);
+    submitBatch(QCpu, CA, CB, CC, BatchSize);
+  });
+  if (Concurrent > 0.0)
+    State.counters["overlap_ratio"] = (GpuAlone + CpuAlone) / Concurrent;
+  // Ratio ~1.0 is expected with a single worker (single-core hosts).
+  State.counters["pool_threads"] =
+      static_cast<double>(RT.getScheduler().getNumThreads());
+}
+BENCHMARK(BM_SchedulerCrossBackendOverlap)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -98,7 +98,10 @@ int main() {
     BufB.getStorage()->Floats[I] = 2.0 * static_cast<double>(I);
   }
 
-  LogicalResult Submitted = Queue.submit(
+  //    submit() is non-blocking: it enqueues the command on the context's
+  //    task-graph scheduler and returns an event; waiting on the event
+  //    (or on the queue) synchronizes with completion.
+  rt::Event Done = Queue.submit(
       [&](rt::Handler &CGH) {
         auto A = CGH.require(BufA, sycl::AccessMode::Read);
         auto B = CGH.require(BufB, sycl::AccessMode::Read);
@@ -109,8 +112,8 @@ int main() {
                          exec::KernelArg::accessor(C)});
       },
       &Error);
-  if (Submitted.failed()) {
-    std::printf("launch failed: %s\n", Error.c_str());
+  if (Done.failed()) {
+    std::printf("launch failed: %s\n", Done.getError().c_str());
     return 1;
   }
 

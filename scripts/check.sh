@@ -21,6 +21,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 SMLIR_DEFAULT_TARGET=virtual-cpu \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 
+# And once with a single scheduler worker: every queue submission runs
+# through the task graph on exactly one thread, the deterministic
+# schedule the asynchronous-runtime guarantees are stated against (the
+# two runs above already cover the pool default).
+SMLIR_SCHEDULER_THREADS=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+
 # Smoke the standalone pipeline driver: every golden snapshot must be
 # reproducible via `smlir-opt --pass-pipeline=<recorded pipeline>`, and
 # --target must reproduce the per-target pipeline derivation.

@@ -101,17 +101,32 @@ LogicalResult Executable::launchKernel(exec::Device &Dev,
       Effective.Local[D] = pickLocalSize(Effective.Global[D], Cap);
   }
 
-  if (Dev.launch(Kernel, Effective, LiveArgs, Stats, ErrorMessage)
-          .failed())
-    return failure();
+  return Dev.launch(Kernel, Effective, LiveArgs, Stats, ErrorMessage);
+}
 
-  // AdaptiveCpp: bill runtime compilation on the first launch of each
-  // kernel (cached within the process, not across runs — paper §IX).
-  if (Options.Flow == CompilerFlow::AdaptiveCpp &&
-      JITCompiled.insert(std::string(Name)).second) {
-    unsigned NumOps = 0;
-    Kernel.getOperation()->walk([&](Operation *) { ++NumOps; });
-    Stats.SimTime += Options.JITCostPerOp * NumOps;
+LogicalResult Executable::prepareLaunch(std::string_view Name,
+                                        double &ExtraSimTime,
+                                        std::string *ErrorMessage) {
+  ExtraSimTime = 0.0;
+  FuncOp Kernel = lookupKernel(Name);
+  if (!Kernel) {
+    if (ErrorMessage)
+      *ErrorMessage = "unknown kernel '" + std::string(Name) + "'";
+    return failure();
+  }
+
+  // AdaptiveCpp: bill runtime compilation on the first submission of
+  // each kernel (cached within the run, not across runs — paper §IX).
+  // Billing keys on submission, not launch success: if that first
+  // command later fails, its run is aborted anyway and the cost is not
+  // re-billed on a retry within the same executable.
+  if (Options.Flow == CompilerFlow::AdaptiveCpp) {
+    std::lock_guard<std::mutex> Lock(JITMutex);
+    if (JITCompiled.insert(std::string(Name)).second) {
+      unsigned NumOps = 0;
+      Kernel.getOperation()->walk([&](Operation *) { ++NumOps; });
+      ExtraSimTime = Options.JITCostPerOp * NumOps;
+    }
   }
   return success();
 }
@@ -248,70 +263,133 @@ Compiler::compileFor(const frontend::SourceProgram &Program,
   // rebuilt or mutated in place can never silently hit a stale entry —
   // one print is cheap next to a pipeline run), scoped to its context
   // (modules must not cross MLIRContext lifetimes).
-  auto Key = std::make_tuple(static_cast<const void *>(Program.Context),
-                             Program.DeviceModule.get()->str(),
-                             std::string(Target.getMnemonic()), Pipeline);
-  if (auto It = Cache.find(Key); It != Cache.end()) {
-    ++Stats.Hits;
-    LastReport = It->second->Report;
-    return std::make_unique<Executable>(It->second, Options, Target);
+  CacheKey Key = std::make_tuple(static_cast<const void *>(Program.Context),
+                                 Program.DeviceModule.get()->str(),
+                                 std::string(Target.getMnemonic()), Pipeline);
+
+  // Cache lookup with in-flight deduplication: the first requester of a
+  // key becomes its owner and compiles; concurrent requesters wait for
+  // the owner's result instead of compiling the same module twice.
+  std::shared_ptr<InFlightCompile> Flight;
+  bool IsOwner = false;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    if (auto It = Cache.find(Key); It != Cache.end()) {
+      Hits.fetch_add(1, std::memory_order_acq_rel);
+      LastReport = It->second->Report;
+      return std::make_unique<Executable>(It->second, Options, Target);
+    }
+    auto &Slot = InFlight[Key];
+    if (!Slot) {
+      Slot = std::make_shared<InFlightCompile>();
+      IsOwner = true;
+    }
+    Flight = Slot;
   }
 
-  // Clone so that one source can be compiled under several
-  // configurations and targets.
-  IRMapping Mapper;
-  OwningOpRef Module(Program.DeviceModule.get()->clone(Mapper));
-
-  if (Options.Flow == CompilerFlow::DPCPP) {
-    // SMCP: the device compiler never sees the host module (paper Fig. 1,
-    // dotted path).
-    std::vector<Operation *> HostFuncs;
-    auto Top = ModuleOp::cast(Module.get());
-    for (Operation *Op : *Top.getBody())
-      if (FuncOp::dyn_cast(Op) && !Op->hasAttr("sycl.kernel"))
-        HostFuncs.push_back(Op);
-    for (Operation *Func : HostFuncs) {
-      Func->dropAllReferences();
-      Func->erase();
+  if (!IsOwner) {
+    std::unique_lock<std::mutex> FlightLock(Flight->M);
+    Flight->CV.wait(FlightLock, [&] { return Flight->Done; });
+    if (!Flight->Result) {
+      if (ErrorMessage)
+        *ErrorMessage = Flight->Error;
+      return nullptr;
     }
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    Hits.fetch_add(1, std::memory_order_acq_rel);
+    LastReport = Flight->Result->Report;
+    return std::make_unique<Executable>(Flight->Result, Options, Target);
   }
 
-  MLIRContext *Ctx = Program.Context;
-  PassManager PM(Ctx);
-  PM.enableVerifier(Options.VerifyPasses);
-  registerAllPasses();
-  if (parsePassPipeline(Pipeline, PM, ErrorMessage).failed())
-    return nullptr;
-  if (PM.run(Module.get(), ErrorMessage).failed())
-    return nullptr;
-
-  auto Compiled = std::make_shared<CompiledModule>();
-  Compiled->Module = std::move(Module);
-  Compiled->Report = PM.getReport();
-  // Collect launch metadata in one walk: the kernel form the pipeline
-  // produced, and the DAE results (the schedule ops carry the original
-  // indices of removed kernel arguments).
-  Compiled->Module->walk([&](Operation *Op) {
-    if (Op->hasAttr(sycl::kLoweredKernelAttrName))
-      Compiled->Lowered = true;
-    auto Schedule = sycl::HostScheduleKernelOp::dyn_cast(Op);
-    if (!Schedule)
-      return;
-    auto Dead = Op->getAttrOfType<ArrayAttr>("dead_args");
-    if (!Dead)
-      return;
-    std::string Kernel = Schedule.getKernel().getLeafReference();
-    for (unsigned I = 0; I < Dead.size(); ++I) {
-      // Kernel-signature index; index 0 is the item argument, so the
-      // source-level argument index is one less.
-      int64_t SigIndex = Dead[I].cast<IntegerAttr>().getValue();
-      Compiled->DeadArgs[Kernel].insert(static_cast<unsigned>(SigIndex - 1));
+  // Owner path: compile, then publish (to the cache and to any waiter).
+  auto Publish = [&](std::shared_ptr<const CompiledModule> Result,
+                     std::string Error) {
+    {
+      std::lock_guard<std::mutex> Lock(CacheMutex);
+      if (Result) {
+        Misses.fetch_add(1, std::memory_order_acq_rel);
+        LastReport = Result->Report;
+        Cache.emplace(Key, Result);
+      }
+      InFlight.erase(Key);
     }
-  });
+    {
+      std::lock_guard<std::mutex> FlightLock(Flight->M);
+      Flight->Done = true;
+      Flight->Result = Result;
+      Flight->Error = std::move(Error);
+    }
+    Flight->CV.notify_all();
+  };
 
-  ++Stats.Misses;
-  LastReport = Compiled->Report;
-  Cache.emplace(std::move(Key), Compiled);
+  std::string CompileError;
+  std::shared_ptr<CompiledModule> Compiled;
+  {
+    // Serialize pipeline runs per context: each compile clones and
+    // mutates only its own module, and uniquing is locked inside the
+    // context, but op construction/erasure during a pipeline is not
+    // designed for two pipelines interleaving in one context.
+    std::lock_guard<std::mutex> PipelineLock(
+        Program.Context->getPipelineMutex());
+
+    // Clone so that one source can be compiled under several
+    // configurations and targets.
+    IRMapping Mapper;
+    OwningOpRef Module(Program.DeviceModule.get()->clone(Mapper));
+
+    if (Options.Flow == CompilerFlow::DPCPP) {
+      // SMCP: the device compiler never sees the host module (paper
+      // Fig. 1, dotted path).
+      std::vector<Operation *> HostFuncs;
+      auto Top = ModuleOp::cast(Module.get());
+      for (Operation *Op : *Top.getBody())
+        if (FuncOp::dyn_cast(Op) && !Op->hasAttr("sycl.kernel"))
+          HostFuncs.push_back(Op);
+      for (Operation *Func : HostFuncs) {
+        Func->dropAllReferences();
+        Func->erase();
+      }
+    }
+
+    MLIRContext *Ctx = Program.Context;
+    PassManager PM(Ctx);
+    PM.enableVerifier(Options.VerifyPasses);
+    registerAllPasses();
+    if (parsePassPipeline(Pipeline, PM, &CompileError).failed() ||
+        PM.run(Module.get(), &CompileError).failed()) {
+      Publish(nullptr, CompileError);
+      if (ErrorMessage)
+        *ErrorMessage = CompileError;
+      return nullptr;
+    }
+
+    Compiled = std::make_shared<CompiledModule>();
+    Compiled->Module = std::move(Module);
+    Compiled->Report = PM.getReport();
+    // Collect launch metadata in one walk: the kernel form the pipeline
+    // produced, and the DAE results (the schedule ops carry the original
+    // indices of removed kernel arguments).
+    Compiled->Module->walk([&](Operation *Op) {
+      if (Op->hasAttr(sycl::kLoweredKernelAttrName))
+        Compiled->Lowered = true;
+      auto Schedule = sycl::HostScheduleKernelOp::dyn_cast(Op);
+      if (!Schedule)
+        return;
+      auto Dead = Op->getAttrOfType<ArrayAttr>("dead_args");
+      if (!Dead)
+        return;
+      std::string Kernel = Schedule.getKernel().getLeafReference();
+      for (unsigned I = 0; I < Dead.size(); ++I) {
+        // Kernel-signature index; index 0 is the item argument, so the
+        // source-level argument index is one less.
+        int64_t SigIndex = Dead[I].cast<IntegerAttr>().getValue();
+        Compiled->DeadArgs[Kernel].insert(
+            static_cast<unsigned>(SigIndex - 1));
+      }
+    });
+  }
+
+  Publish(Compiled, std::string());
   return std::make_unique<Executable>(std::move(Compiled), Options, Target);
 }
 

@@ -35,8 +35,11 @@
 #include "ir/Pass.h"
 #include "runtime/Runtime.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <tuple>
@@ -107,6 +110,14 @@ public:
                              exec::LaunchStats &Stats,
                              std::string *ErrorMessage) override;
 
+  /// Rejects unknown kernels at submission time and, in the AdaptiveCpp
+  /// flow, bills the simulated JIT compilation on the first submission
+  /// of each kernel (per executable — cached within a run, paper §IX).
+  /// Billing at submission keeps the cost deterministic in submission
+  /// order when scheduler workers race on the actual launches.
+  LogicalResult prepareLaunch(std::string_view Name, double &ExtraSimTime,
+                              std::string *ErrorMessage) override;
+
   ModuleOp getModule() const { return ModuleOp::cast(Compiled->Module.get()); }
   /// Printed IR of one kernel (for examples and debugging).
   std::string getKernelIR(std::string_view Name) const;
@@ -122,11 +133,22 @@ private:
   std::shared_ptr<const CompiledModule> Compiled;
   CompilerOptions Options;
   const exec::TargetBackend &Target;
-  /// Kernels already JIT-compiled in this run (AdaptiveCpp flow).
+  /// Kernels already JIT-compiled in this run (AdaptiveCpp flow),
+  /// guarded so executables shared between queues stay consistent.
+  std::mutex JITMutex;
   std::set<std::string> JITCompiled;
 };
 
 /// Drives compilation of a SourceProgram under a given configuration.
+///
+/// `compileFor` is thread-safe: the module cache is locked, concurrent
+/// requests for the same (program, target, pipeline) key deduplicate
+/// in-flight — the first caller compiles, the others wait for its result
+/// instead of compiling again — and pipeline runs in the same
+/// MLIRContext are serialized (the context's op registry and each
+/// compile's cloned module are private, but pass pipelines create IR
+/// concurrently, so one context compiles one module at a time).
+/// `getLastReport` remains a single-threaded driver convenience.
 class Compiler {
 public:
   explicit Compiler(CompilerOptions Options) : Options(Options) {}
@@ -173,26 +195,51 @@ public:
   /// replay the cached run's report).
   const std::string &getLastReport() const { return LastReport; }
 
-  /// Compile-cache behavior of this Compiler instance.
+  /// Compile-cache behavior of this Compiler instance. A compile that
+  /// waited on another thread's in-flight compilation of the same key
+  /// counts as a hit — only one compilation ran.
   struct CacheStats {
     unsigned Hits = 0;
     unsigned Misses = 0;
   };
-  const CacheStats &getCacheStats() const { return Stats; }
+  /// A consistent snapshot of the counters (they advance atomically, so
+  /// concurrent compileFor calls never tear the report).
+  CacheStats getCacheStats() const {
+    CacheStats Snapshot;
+    Snapshot.Hits = Hits.load(std::memory_order_acquire);
+    Snapshot.Misses = Misses.load(std::memory_order_acquire);
+    return Snapshot;
+  }
 
 private:
+  using CacheKey =
+      std::tuple<const void *, std::string, std::string, std::string>;
+
+  /// One compilation in progress: the first thread to request a key
+  /// compiles and publishes here; concurrent requesters of the same key
+  /// block on it instead of compiling the same module twice.
+  struct InFlightCompile {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    std::shared_ptr<const CompiledModule> Result; // Null on failure.
+    std::string Error;
+  };
+
   CompilerOptions Options;
   std::string LastReport;
+  /// Guards Cache, InFlight and LastReport.
+  mutable std::mutex CacheMutex;
   /// (context, printed source module, target mnemonic, pipeline) ->
   /// optimized module. Content-addressed: textually equal programs in
   /// one context share their compiled module, and rebuilding or mutating
   /// a program can never alias a stale entry. Entries are only valid
   /// while the MLIRContext outlives this Compiler, the usual driver
   /// lifetime.
-  std::map<std::tuple<const void *, std::string, std::string, std::string>,
-           std::shared_ptr<const CompiledModule>>
-      Cache;
-  CacheStats Stats;
+  std::map<CacheKey, std::shared_ptr<const CompiledModule>> Cache;
+  std::map<CacheKey, std::shared_ptr<InFlightCompile>> InFlight;
+  std::atomic<unsigned> Hits{0};
+  std::atomic<unsigned> Misses{0};
 };
 
 } // namespace core

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -180,6 +181,12 @@ struct DeviceProperties {
 
 /// The virtual GPU. Executes device kernels (func.func with an item or
 /// nd_item leading argument) over an ND-range.
+///
+/// Thread-safety: `launch` only reads the (immutable) kernel IR and the
+/// cost-model constants and writes through the per-launch argument
+/// accessors, so concurrent launches of independent commands are safe —
+/// the task-graph scheduler (runtime/Scheduler.h) relies on it.
+/// `allocate` and the simulated timeline are internally locked.
 class Device {
 public:
   explicit Device(DeviceProperties Props = DeviceProperties());
@@ -187,7 +194,7 @@ public:
 
   const DeviceProperties &getProperties() const { return Props; }
 
-  /// Allocates device global memory.
+  /// Allocates device global memory. Thread-safe.
   Storage *allocate(Storage::Kind Kind, size_t Size,
                     MemorySpace Space = MemorySpace::Global);
 
@@ -200,9 +207,19 @@ public:
                        LaunchStats &Stats,
                        std::string *ErrorMessage = nullptr);
 
+  /// The simulated-timeline high-water mark of commands retired on this
+  /// device. Each device accumulates its own timeline, so two backends
+  /// executing concurrently overlap in wall-clock while their simulated
+  /// clocks stay independent. Thread-safe.
+  double getTimelineEnd() const;
+  /// Advances the timeline high-water mark to at least \p EndTime.
+  void advanceTimeline(double EndTime);
+
 private:
   DeviceProperties Props;
+  mutable std::mutex Mutex;
   std::vector<std::unique_ptr<Storage>> Allocations;
+  double TimelineEnd = 0.0;
 };
 
 } // namespace exec

@@ -23,6 +23,7 @@
 #include "dialect/SCF.h"
 #include "ir/Block.h"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <map>
@@ -954,8 +955,19 @@ Device::~Device() = default;
 
 Storage *Device::allocate(Storage::Kind Kind, size_t Size,
                           MemorySpace Space) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Allocations.push_back(std::make_unique<Storage>(Kind, Size, Space));
   return Allocations.back().get();
+}
+
+double Device::getTimelineEnd() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TimelineEnd;
+}
+
+void Device::advanceTimeline(double EndTime) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  TimelineEnd = std::max(TimelineEnd, EndTime);
 }
 
 LogicalResult Device::launch(FuncOp Kernel, const NDRange &Range,

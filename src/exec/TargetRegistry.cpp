@@ -53,7 +53,8 @@ LogicalResult
 TargetRegistry::registerTarget(std::unique_ptr<TargetBackend> Backend,
                                std::string *ErrorMessage) {
   std::string_view Mnemonic = Backend->getMnemonic();
-  if (lookup(Mnemonic)) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (lookupLocked(Mnemonic)) {
     if (ErrorMessage)
       *ErrorMessage = "target backend '" + std::string(Mnemonic) +
                       "' is already registered";
@@ -63,18 +64,27 @@ TargetRegistry::registerTarget(std::unique_ptr<TargetBackend> Backend,
   return success();
 }
 
-const TargetBackend *TargetRegistry::lookup(std::string_view Mnemonic) const {
+const TargetBackend *
+TargetRegistry::lookupLocked(std::string_view Mnemonic) const {
   for (const auto &Backend : Backends)
     if (Backend->getMnemonic() == Mnemonic)
       return Backend.get();
   return nullptr;
 }
 
+const TargetBackend *TargetRegistry::lookup(std::string_view Mnemonic) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return lookupLocked(Mnemonic);
+}
+
 std::vector<const TargetBackend *> TargetRegistry::getTargets() const {
   std::vector<const TargetBackend *> Targets;
-  Targets.reserve(Backends.size());
-  for (const auto &Backend : Backends)
-    Targets.push_back(Backend.get());
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Targets.reserve(Backends.size());
+    for (const auto &Backend : Backends)
+      Targets.push_back(Backend.get());
+  }
   std::sort(Targets.begin(), Targets.end(),
             [](const TargetBackend *A, const TargetBackend *B) {
               return A->getMnemonic() < B->getMnemonic();
@@ -144,11 +154,18 @@ public:
 } // namespace
 
 void exec::registerAllTargets() {
-  TargetRegistry &Registry = TargetRegistry::get();
-  if (!Registry.lookup("virtual-gpu"))
-    (void)Registry.registerTarget(std::make_unique<VirtualGPUBackend>());
-  if (!Registry.lookup("virtual-cpu"))
-    (void)Registry.registerTarget(std::make_unique<VirtualCPUBackend>());
+  // Magic-static once-registration: concurrent first calls (e.g. two
+  // contexts constructed on different threads) race benignly on the
+  // initializer, and registerTarget itself is locked.
+  static const bool Registered = [] {
+    TargetRegistry &Registry = TargetRegistry::get();
+    if (!Registry.lookup("virtual-gpu"))
+      (void)Registry.registerTarget(std::make_unique<VirtualGPUBackend>());
+    if (!Registry.lookup("virtual-cpu"))
+      (void)Registry.registerTarget(std::make_unique<VirtualCPUBackend>());
+    return true;
+  }();
+  (void)Registered;
 }
 
 std::string_view exec::getDefaultTargetName() {

@@ -32,6 +32,7 @@
 #include "exec/Device.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -91,22 +92,33 @@ public:
 /// The process-global mnemonic -> backend table (like PassRegistry, but
 /// duplicate mnemonics are registration errors rather than replacements:
 /// a target name must mean the same device everywhere in the process).
+///
+/// Thread-safety guarantee: registration and lookup are internally
+/// locked, so scheduler workers (and tests registering custom backends)
+/// may call any method concurrently. Backends are never unregistered,
+/// so the `TargetBackend *` a lookup returns stays valid — and the
+/// backends themselves stateless — for the life of the process.
 class TargetRegistry {
 public:
   static TargetRegistry &get();
 
   /// Registers \p Backend. Fails (leaving the registry unchanged) when a
-  /// backend with the same mnemonic is already registered.
+  /// backend with the same mnemonic is already registered. Thread-safe.
   LogicalResult registerTarget(std::unique_ptr<TargetBackend> Backend,
                                std::string *ErrorMessage = nullptr);
 
   /// Returns the backend for \p Mnemonic, or null if unknown.
+  /// Thread-safe.
   const TargetBackend *lookup(std::string_view Mnemonic) const;
 
   /// All registered backends, sorted by mnemonic (for --list-targets).
+  /// Thread-safe (a snapshot: backends registered later are not in it).
   std::vector<const TargetBackend *> getTargets() const;
 
 private:
+  const TargetBackend *lookupLocked(std::string_view Mnemonic) const;
+
+  mutable std::mutex Mutex;
   std::vector<std::unique_ptr<TargetBackend>> Backends;
 };
 

@@ -10,6 +10,7 @@
 #include "support/ErrorHandling.h"
 
 #include <cassert>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 
@@ -18,6 +19,14 @@ using namespace smlir;
 Dialect::~Dialect() = default;
 
 struct MLIRContext::Impl {
+  /// Guards the uniquing tables (types, attributes, interned strings):
+  /// compilation and interpretation can run on scheduler worker threads,
+  /// and uniquing is the one context state they mutate. The dialect and
+  /// operation registries are intentionally NOT locked on the read path:
+  /// registration (registerAllDialects) must complete before the context
+  /// is used concurrently, after which the registries are immutable.
+  std::mutex UniquingMutex;
+  std::mutex PipelineMutex;
   std::unordered_map<std::string, std::unique_ptr<detail::TypeStorage>>
       TypeStorages;
   std::unordered_map<std::string, std::unique_ptr<detail::AttributeStorage>>
@@ -35,6 +44,7 @@ MLIRContext::~MLIRContext() = default;
 detail::TypeStorage *MLIRContext::getTypeStorage(
     const std::string &Key,
     const std::function<std::unique_ptr<detail::TypeStorage>()> &MakeFn) {
+  std::lock_guard<std::mutex> Lock(TheImpl->UniquingMutex);
   auto It = TheImpl->TypeStorages.find(Key);
   if (It != TheImpl->TypeStorages.end())
     return It->second.get();
@@ -49,6 +59,7 @@ detail::AttributeStorage *MLIRContext::getAttributeStorage(
     const std::string &Key,
     const std::function<std::unique_ptr<detail::AttributeStorage>()>
         &MakeFn) {
+  std::lock_guard<std::mutex> Lock(TheImpl->UniquingMutex);
   auto It = TheImpl->AttributeStorages.find(Key);
   if (It != TheImpl->AttributeStorages.end())
     return It->second.get();
@@ -60,8 +71,11 @@ detail::AttributeStorage *MLIRContext::getAttributeStorage(
 }
 
 const std::string *MLIRContext::internString(std::string_view Str) {
+  std::lock_guard<std::mutex> Lock(TheImpl->UniquingMutex);
   return &*TheImpl->InternedStrings.emplace(Str).first;
 }
+
+std::mutex &MLIRContext::getPipelineMutex() { return TheImpl->PipelineMutex; }
 
 Dialect *MLIRContext::registerDialect(std::unique_ptr<Dialect> D) {
   assert(!getDialect(D->getNamespace()) && "dialect registered twice");

@@ -9,6 +9,16 @@
 /// strings) and the registries for dialects and operations. Every IR entity
 /// is created through and owned by a context.
 ///
+/// Thread-safety: the uniquing tables are internally locked, so types and
+/// attributes may be created from several threads (the task-graph
+/// scheduler's workers compile and interpret concurrently). Storage
+/// factory callbacks run under the lock and must not re-enter the
+/// uniquer — construct component types/attributes before calling get.
+/// Dialect/operation registration is not locked: registerAllDialects must
+/// complete before the context is used concurrently (the registries are
+/// read-only afterwards). Operations and modules are not shared state —
+/// a module may only be mutated by one thread at a time.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMLIR_IR_MLIRCONTEXT_H
@@ -20,6 +30,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -64,6 +75,13 @@ public:
 
   /// Interns \p Str and returns a stable pointer to it (used by Location).
   const std::string *internString(std::string_view Str);
+
+  /// A context-scoped mutex serializing bulk IR-mutation phases: pass
+  /// pipelines run one at a time per context (Compiler::compileFor locks
+  /// it around clone + pipeline), while compiles in distinct contexts
+  /// proceed in parallel. Owning it here ties its lifetime to the
+  /// context instead of a process-global table keyed by address.
+  std::mutex &getPipelineMutex();
 
   //===--------------------------------------------------------------------===//
   // Dialect and operation registries

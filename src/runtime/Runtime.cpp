@@ -15,11 +15,28 @@ using namespace smlir::rt;
 
 KernelLauncher::~KernelLauncher() = default;
 
+LogicalResult KernelLauncher::prepareLaunch(std::string_view,
+                                            double &ExtraSimTime,
+                                            std::string *) {
+  ExtraSimTime = 0.0;
+  return success();
+}
+
 //===----------------------------------------------------------------------===//
 // Context
 //===----------------------------------------------------------------------===//
 
-Context::Context() { exec::registerAllTargets(); }
+Context::Context()
+    : Sched(std::make_unique<Scheduler>()) {
+  exec::registerAllTargets();
+}
+
+Context::Context(unsigned SchedulerThreads)
+    : Sched(std::make_unique<Scheduler>(SchedulerThreads)) {
+  exec::registerAllTargets();
+}
+
+Context::~Context() = default;
 
 std::string_view Context::getDefaultTarget() const {
   return exec::getDefaultTargetName();
@@ -35,6 +52,7 @@ exec::Device *Context::getDevice(std::string_view Target,
   const exec::TargetBackend *Backend = getBackend(Target, ErrorMessage);
   if (!Backend)
     return nullptr;
+  std::lock_guard<std::mutex> Lock(DeviceMutex);
   auto It = Devices.find(Backend->getMnemonic());
   if (It == Devices.end())
     It = Devices
@@ -107,71 +125,160 @@ static exec::Device &resolveDevice(Context &Ctx, std::string_view Target) {
 
 Queue::Queue(Context &Ctx, KernelLauncher &Launcher, std::string_view Target)
     : Dev(resolveDevice(Ctx, Target)), Launcher(Launcher),
+      Sched(&Ctx.getScheduler()),
       Target(Target.empty() ? std::string(Ctx.getDefaultTarget())
                             : std::string(Target)) {}
 
 Queue::Queue(exec::Device &Dev, KernelLauncher &Launcher)
     : Dev(Dev), Launcher(Launcher) {}
 
+Queue::~Queue() {
+  // Drain this queue's commands: they reference the launcher and device,
+  // whose lifetimes are only guaranteed to cover the queue's.
+  (void)wait(nullptr);
+}
+
 exec::Storage *Queue::mallocDevice(exec::Storage::Kind Kind, size_t Size) {
   return Dev.allocate(Kind, Size);
 }
 
-LogicalResult Queue::submit(
-    const std::function<void(Handler &)> &CommandGroup,
-    std::string *ErrorMessage) {
+Event Queue::submit(const std::function<void(Handler &)> &CommandGroup,
+                    std::string *ErrorMessage) {
   Handler CGH(*this);
   CommandGroup(CGH);
   if (CGH.KernelName.empty()) {
     if (ErrorMessage)
       *ErrorMessage = "command group without a parallel_for";
-    return failure();
+    return Event::makeFailed(std::string(),
+                             "command group without a parallel_for");
+  }
+
+  // Submission-time validation and one-time billing (JIT cost in the
+  // AdaptiveCpp flow), decided here so it is deterministic in submission
+  // order. Failed submissions leave no trace: no task, no dependency
+  // record, no statistics — as in the synchronous runtime.
+  double ExtraSimTime = 0.0;
+  std::string PrepareError;
+  if (Launcher.prepareLaunch(CGH.KernelName, ExtraSimTime, &PrepareError)
+          .failed()) {
+    // Never report an eager failure with an empty message: callers (e.g.
+    // runProgram) distinguish "enqueued" from "rejected" by it.
+    if (PrepareError.empty())
+      PrepareError = "kernel launch preparation failed";
+    if (ErrorMessage)
+      *ErrorMessage = PrepareError;
+    return Event::makeFailed(CGH.KernelName, std::move(PrepareError));
+  }
+
+  // Compact each touched buffer's read records first: successfully
+  // completed reads only matter for their latest simulated end time, so
+  // they collapse into one resolved event instead of accumulating one
+  // heap record per read for the queue's lifetime. Still-pending (and
+  // failed — they must keep canceling writers) reads stay. The max-fold
+  // preserves the exact end-time arithmetic, so results are unchanged.
+  for (const Requirement &Req : CGH.Requirements) {
+    std::vector<Event> &Reads = Req.Buf->PendingReads;
+    double CompletedEnd = 0.0;
+    bool AnyCompleted = false;
+    auto Keep = Reads.begin();
+    for (auto It = Reads.begin(); It != Reads.end(); ++It) {
+      if (It->isComplete() && It->succeeded()) {
+        CompletedEnd = std::max(CompletedEnd, It->getEndTime());
+        AnyCompleted = true;
+      } else {
+        *Keep++ = std::move(*It);
+      }
+    }
+    Reads.erase(Keep, Reads.end());
+    if (AnyCompleted)
+      Reads.push_back(Event::makeResolved(CompletedEnd));
   }
 
   // Dependency tracking (paper §II-A): a command depends on the last
   // writer of every buffer it touches, and writers additionally depend
-  // on every read still outstanding since that write.
-  double EarliestStart = 0.0;
+  // on every read still outstanding since that write. The edges are
+  // snapshotted into the task node now; workers never look at buffers.
+  auto Node = std::make_shared<TaskNode>();
+  Node->Launcher = &Launcher;
+  Node->Device = &Dev;
+  Node->KernelName = CGH.KernelName;
+  Node->Range = CGH.Range;
+  Node->Args = std::move(CGH.Args);
+  Node->ExtraSimTime = ExtraSimTime;
+  Node->Done = Event::makePending(CGH.KernelName);
   for (const Requirement &Req : CGH.Requirements) {
-    EarliestStart = std::max(EarliestStart, Req.Buf->LastWrite.EndTime);
+    Node->Predecessors.push_back(Req.Buf->LastWrite);
     if (Req.Mode != sycl::AccessMode::Read)
       for (const Event &Read : Req.Buf->PendingReads)
-        EarliestStart = std::max(EarliestStart, Read.EndTime);
+        Node->Predecessors.push_back(Read);
   }
-
-  exec::LaunchStats Launch;
-  if (Launcher
-          .launchKernel(Dev, CGH.KernelName, CGH.Range, CGH.Args, Launch,
-                        ErrorMessage)
-          .failed())
-    return failure();
-
-  double EndTime = EarliestStart + Launch.SimTime;
   for (const Requirement &Req : CGH.Requirements) {
     if (Req.Mode == sycl::AccessMode::Read) {
-      Req.Buf->PendingReads.push_back(Event{EndTime});
+      Req.Buf->PendingReads.push_back(Node->Done);
     } else {
-      // The write serialized behind all pending reads; they are no
+      // The write serializes behind all pending reads; they are no
       // longer constraints for anyone ordering against LastWrite.
-      Req.Buf->LastWrite.EndTime = EndTime;
+      Req.Buf->LastWrite = Node->Done;
       Req.Buf->PendingReads.clear();
     }
   }
 
-  ++Stats.NumLaunches;
-  Stats.TotalKernelTime += Launch.SimTime;
-  Stats.Makespan = std::max(Stats.Makespan, EndTime);
-  Stats.Aggregate.CoalescedGlobalAccesses += Launch.CoalescedGlobalAccesses;
-  Stats.Aggregate.UncoalescedGlobalAccesses +=
-      Launch.UncoalescedGlobalAccesses;
-  Stats.Aggregate.LocalAccesses += Launch.LocalAccesses;
-  Stats.Aggregate.PrivateAccesses += Launch.PrivateAccesses;
-  Stats.Aggregate.ArithOps += Launch.ArithOps;
-  Stats.Aggregate.MathOps += Launch.MathOps;
-  Stats.Aggregate.Barriers += Launch.Barriers;
-  Stats.Aggregate.StepsExecuted += Launch.StepsExecuted;
-  Stats.Aggregate.SimTime += Launch.SimTime;
+  Event Done = Node->Done;
+  Submitted.push_back(Done);
+  if (Sched)
+    Sched->submit(std::move(Node));
+  else
+    Scheduler::executeTask(*Node);
+  return Done;
+}
+
+LogicalResult Queue::wait(std::string *ErrorMessage) {
+  // Fold completed commands into the statistics in submission order:
+  // the accumulation sequence — and thus every floating-point total —
+  // matches the synchronous reference no matter which worker finished
+  // first. Folding is incremental (folded events are popped and
+  // released) so interleaved submit/getStats sequences see consistent,
+  // monotone statistics and long-lived queues stay bounded.
+  for (; !Submitted.empty(); Submitted.pop_front()) {
+    const Event &Done = Submitted.front();
+    Done.wait();
+    if (Done.failed()) {
+      // Failed (or canceled) commands contribute no statistics, as in
+      // the synchronous runtime. Remember the first failure.
+      if (!SawFailure) {
+        SawFailure = true;
+        FirstError = "kernel '" + Done.State->KernelName +
+                     "': " + Done.getError();
+      }
+      continue;
+    }
+    const exec::LaunchStats &Launch = Done.State->Launch;
+    double EndTime = Done.getEndTime();
+    ++Stats.NumLaunches;
+    Stats.TotalKernelTime += Launch.SimTime;
+    Stats.Makespan = std::max(Stats.Makespan, EndTime);
+    Stats.Aggregate.CoalescedGlobalAccesses += Launch.CoalescedGlobalAccesses;
+    Stats.Aggregate.UncoalescedGlobalAccesses +=
+        Launch.UncoalescedGlobalAccesses;
+    Stats.Aggregate.LocalAccesses += Launch.LocalAccesses;
+    Stats.Aggregate.PrivateAccesses += Launch.PrivateAccesses;
+    Stats.Aggregate.ArithOps += Launch.ArithOps;
+    Stats.Aggregate.MathOps += Launch.MathOps;
+    Stats.Aggregate.Barriers += Launch.Barriers;
+    Stats.Aggregate.StepsExecuted += Launch.StepsExecuted;
+    Stats.Aggregate.SimTime += Launch.SimTime;
+  }
+  if (SawFailure) {
+    if (ErrorMessage)
+      *ErrorMessage = FirstError;
+    return failure();
+  }
   return success();
+}
+
+const QueueStats &Queue::getStats() {
+  (void)wait(nullptr);
+  return Stats;
 }
 
 //===----------------------------------------------------------------------===//
@@ -193,10 +300,11 @@ RunResult runProgramOnQueue(const frontend::SourceProgram &Program,
     Buffers[Decl.Name] = std::move(Buf);
   }
 
-  // Run every submission.
+  // Submit every command (non-blocking; the task graph orders them),
+  // then wait for the queue to drain.
   for (const frontend::SubmitDecl &Submit : Program.Submits) {
     std::string Error;
-    LogicalResult Submitted = Q.submit(
+    (void)Q.submit(
         [&](Handler &CGH) {
           std::vector<exec::KernelArg> Args;
           for (const frontend::KernelArgDecl &Arg : Submit.Args) {
@@ -221,10 +329,18 @@ RunResult runProgramOnQueue(const frontend::SourceProgram &Program,
           CGH.parallelFor(Submit.Kernel, Submit.Range, std::move(Args));
         },
         &Error);
-    if (Submitted.failed()) {
+    // Submission-time failures (unknown kernel, malformed group) abort
+    // immediately; launch failures surface from Q.wait() below.
+    if (!Error.empty()) {
       Result.Error = "kernel '" + Submit.Kernel + "': " + Error;
       return Result;
     }
+  }
+
+  std::string WaitError;
+  if (Q.wait(&WaitError).failed()) {
+    Result.Error = WaitError;
+    return Result;
   }
 
   Result.Success = true;

@@ -15,6 +15,14 @@
 /// names (exec::TargetRegistry), so one process runs the same program on
 /// several backends side by side.
 ///
+/// Execution is asynchronous: `Queue::submit` snapshots the command's
+/// buffer dependencies, hands the command to the context's task-graph
+/// scheduler (runtime/Scheduler.h) and returns an `rt::Event`
+/// immediately; queues on different backends overlap on real worker
+/// threads. A queue (and its buffers' dependency records) must be driven
+/// from one thread at a time — the concurrency lives in the scheduler,
+/// not in the submission API.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SMLIR_RUNTIME_RUNTIME_H
@@ -22,9 +30,12 @@
 
 #include "exec/TargetRegistry.h"
 #include "frontend/SourceProgram.h"
+#include "runtime/Scheduler.h"
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,31 +52,49 @@ public:
   /// executable itself is device-agnostic and only bound to a target).
   /// \p Args follows the *source-level* argument order; the launcher
   /// drops arguments eliminated by SYCL DAE and accounts for
-  /// per-argument launch cost and (for JIT flows) runtime compilation.
+  /// per-argument launch cost. May be called concurrently from scheduler
+  /// workers.
   virtual LogicalResult launchKernel(exec::Device &Dev,
                                      std::string_view Name,
                                      const exec::NDRange &Range,
                                      const std::vector<exec::KernelArg> &Args,
                                      exec::LaunchStats &Stats,
                                      std::string *ErrorMessage) = 0;
+
+  /// Called once per submission, on the submitting thread, before the
+  /// command enters the task graph: rejects submissions that can never
+  /// launch (unknown kernel) while the caller can still handle the error
+  /// synchronously, and returns in \p ExtraSimTime any one-time
+  /// simulated cost to bill this command (JIT compilation on the first
+  /// submission of a kernel in the AdaptiveCpp flow). Deciding the
+  /// billing at submission keeps it deterministic in submission order no
+  /// matter which worker launches first. The default accepts everything
+  /// at no extra cost.
+  virtual LogicalResult prepareLaunch(std::string_view Name,
+                                      double &ExtraSimTime,
+                                      std::string *ErrorMessage);
 };
 
-/// A point on the simulated timeline.
-struct Event {
-  double EndTime = 0.0;
-};
-
-/// Owns the devices of one process: one lazily-created device per target
-/// backend (looked up in the exec::TargetRegistry by mnemonic). Queues
-/// select their device through it, so running a program on another
-/// backend is a constructor argument, not a rebuild.
+/// Owns the devices of one process — one lazily-created device per
+/// target backend (looked up in the exec::TargetRegistry by mnemonic) —
+/// plus the task-graph scheduler its queues execute on. Queues select
+/// their device through it, so running a program on another backend is a
+/// constructor argument, not a rebuild. Destruction is graceful: the
+/// scheduler drains every in-flight command before any device (and the
+/// storage behind outstanding accessors) is torn down.
 class Context {
 public:
   Context();
+  /// Context whose scheduler uses exactly \p SchedulerThreads workers
+  /// (0 = synchronous inline execution), ignoring
+  /// $SMLIR_SCHEDULER_THREADS. Tests compare pooled runs against the
+  /// inline reference through this.
+  explicit Context(unsigned SchedulerThreads);
+  ~Context();
 
   /// The device for \p Target (default target when empty), created on
   /// first use. Returns null and sets \p ErrorMessage for an unknown
-  /// mnemonic.
+  /// mnemonic. Thread-safe.
   exec::Device *getDevice(std::string_view Target = {},
                           std::string *ErrorMessage = nullptr);
 
@@ -78,8 +107,19 @@ public:
   /// ($SMLIR_DEFAULT_TARGET or virtual-gpu).
   std::string_view getDefaultTarget() const;
 
+  /// The task-graph scheduler executing this context's queues.
+  Scheduler &getScheduler() { return *Sched; }
+
+  /// Blocks until every command submitted to any of this context's
+  /// queues has executed.
+  void waitAll() { Sched->waitAll(); }
+
 private:
+  std::mutex DeviceMutex;
   std::map<std::string, std::unique_ptr<exec::Device>, std::less<>> Devices;
+  /// Declared after Devices: destroyed first, so teardown drains the
+  /// task graph while devices (and their storage) are still alive.
+  std::unique_ptr<Scheduler> Sched;
 };
 
 class Queue;
@@ -94,13 +134,16 @@ public:
   int64_t numElements() const;
   unsigned getDim() const { return Shape.size(); }
 
-  /// Last command writing this buffer (dependency tracking).
+  /// Last command writing this buffer (dependency tracking). The default
+  /// event is complete at time 0: an unwritten buffer constrains nobody.
   Event LastWrite;
-  /// Completion times of every read issued since the last write: the
-  /// full set of commands a later writer must serialize behind. Each
-  /// write resets the list (those reads are then dominated by
-  /// LastWrite); a buffer that is never written accumulates one entry
-  /// per reading command for the queue's lifetime — one program run.
+  /// The events of every read issued since the last write: the full set
+  /// of commands a later writer must serialize behind. Each write resets
+  /// the list (those reads are then dominated by LastWrite); a buffer
+  /// that is never written accumulates one entry per reading command for
+  /// the queue's lifetime — one program run. Updated at submission time
+  /// on the submitting thread (the scheduler only sees the snapshots
+  /// taken from here), so buffers follow the queue's one-thread rule.
   std::vector<Event> PendingReads;
 
 private:
@@ -153,7 +196,12 @@ struct QueueStats {
 };
 
 /// An out-of-order queue with buffer-based dependency tracking, bound to
-/// one target's device.
+/// one target's device. Submission is non-blocking: commands execute on
+/// the context's task-graph scheduler, and the returned events (or
+/// wait()/getStats()) synchronize with completion. A queue must be
+/// driven from one thread at a time; it waits for its own in-flight
+/// commands on destruction, so the launcher passed in must outlive the
+/// queue, not the commands.
 class Queue {
 public:
   /// Queue on \p Ctx's device for \p Target (the default target when
@@ -162,29 +210,51 @@ public:
   Queue(Context &Ctx, KernelLauncher &Launcher,
         std::string_view Target = {});
   /// Queue on an explicitly-constructed device (tests with custom
-  /// DeviceProperties); no target name is associated.
+  /// DeviceProperties); no target name is associated and submissions
+  /// execute inline on the submitting thread (no scheduler).
   Queue(exec::Device &Dev, KernelLauncher &Launcher);
+  ~Queue();
 
   exec::Device &getDevice() { return Dev; }
   /// The target mnemonic this queue executes on (empty for queues built
   /// on an explicit device).
   std::string_view getTarget() const { return Target; }
 
-  /// Submits a command group; returns failure on launch error.
-  LogicalResult
-  submit(const std::function<void(Handler &)> &CommandGroup,
-         std::string *ErrorMessage = nullptr);
+  /// Submits a command group and returns the command's completion
+  /// event without waiting for execution. \p ErrorMessage receives only
+  /// submission-time failures (malformed command group, unknown
+  /// kernel) — for those the returned event is already failed and
+  /// nothing was enqueued; launch-time failures surface through the
+  /// event and through wait().
+  Event submit(const std::function<void(Handler &)> &CommandGroup,
+               std::string *ErrorMessage = nullptr);
+
+  /// Blocks until every command submitted to this queue has executed
+  /// and folds their statistics (in submission order, so the totals are
+  /// bit-identical to the synchronous reference). Fails — with the
+  /// first failing command's error, prefixed by its kernel — when any
+  /// command failed; the failure is sticky across calls.
+  LogicalResult wait(std::string *ErrorMessage = nullptr);
 
   /// USM device allocation (paper §II-A: Unified Shared Memory).
   exec::Storage *mallocDevice(exec::Storage::Kind Kind, size_t Size);
 
-  const QueueStats &getStats() const { return Stats; }
+  /// Statistics of all commands submitted so far; waits for them first.
+  const QueueStats &getStats();
 
 private:
   friend class Buffer;
   exec::Device &Dev;
   KernelLauncher &Launcher;
+  /// Null for explicit-device queues: submissions execute inline.
+  Scheduler *Sched = nullptr;
   std::string Target;
+  /// Completion events of not-yet-folded commands, in submission order
+  /// (the folding order). wait() pops what it folds, so a long-lived
+  /// queue does not accumulate one event record per command forever.
+  std::deque<Event> Submitted;
+  bool SawFailure = false;
+  std::string FirstError;
   QueueStats Stats;
 };
 
@@ -201,8 +271,9 @@ struct RunResult {
 };
 
 /// Executes \p Program on \p Ctx's device for \p Target (default target
-/// when empty): creates buffers, runs every submission in order, then
-/// validates the final buffer contents.
+/// when empty): creates buffers, submits every command to the task-graph
+/// scheduler, waits for the queue to drain, then validates the final
+/// buffer contents.
 RunResult runProgram(const frontend::SourceProgram &Program,
                      KernelLauncher &Launcher, Context &Ctx,
                      std::string_view Target = {});

@@ -1,0 +1,253 @@
+//===- Scheduler.cpp - Asynchronous task-graph scheduler ---------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Scheduler.h"
+
+#include "runtime/Runtime.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace smlir;
+using namespace smlir::rt;
+
+//===----------------------------------------------------------------------===//
+// EventState
+//===----------------------------------------------------------------------===//
+
+bool rt::detail::EventState::addCallback(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Done) {
+      Callbacks.push_back(std::move(Fn));
+      return true;
+    }
+  }
+  Fn();
+  return false;
+}
+
+void rt::detail::EventState::resolve(bool ResolvedSuccess, double ResolvedEndTime,
+                                 exec::LaunchStats ResolvedLaunch,
+                                 std::string ResolvedError) {
+  std::vector<std::function<void()>> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Done = true;
+    Success = ResolvedSuccess;
+    EndTime = ResolvedEndTime;
+    Launch = ResolvedLaunch;
+    Error = std::move(ResolvedError);
+    Pending.swap(Callbacks);
+  }
+  CV.notify_all();
+  // Callbacks run outside the lock: they take the scheduler lock to push
+  // newly-ready successors.
+  for (auto &Fn : Pending)
+    Fn();
+}
+
+void rt::detail::EventState::wait() const {
+  std::unique_lock<std::mutex> Lock(M);
+  CV.wait(Lock, [&] { return Done; });
+}
+
+bool rt::detail::EventState::isComplete() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Done;
+}
+
+//===----------------------------------------------------------------------===//
+// Event
+//===----------------------------------------------------------------------===//
+
+Event::Event() {
+  // All default events are the same immutable "resolved successfully at
+  // time 0" value, so they share one immortal state instead of paying a
+  // heap allocation per Buffer record / TaskNode member (leaked on
+  // purpose: events may outlive static destruction order).
+  static const auto *Resolved = [] {
+    auto *State = new std::shared_ptr<detail::EventState>(
+        std::make_shared<detail::EventState>());
+    (*State)->Done = true;
+    (*State)->Success = true;
+    return State;
+  }();
+  State = *Resolved;
+}
+
+Event Event::makePending(std::string KernelName) {
+  Event Ev{PendingTag{}};
+  Ev.State->KernelName = std::move(KernelName);
+  return Ev;
+}
+
+Event Event::makeFailed(std::string KernelName, std::string Error) {
+  Event Ev{PendingTag{}};
+  Ev.State->KernelName = std::move(KernelName);
+  Ev.State->Done = true;
+  Ev.State->Success = false;
+  Ev.State->Error = std::move(Error);
+  return Ev;
+}
+
+Event Event::makeResolved(double EndTime) {
+  Event Ev{PendingTag{}};
+  Ev.State->Done = true;
+  Ev.State->Success = true;
+  Ev.State->EndTime = EndTime;
+  return Ev;
+}
+
+bool Event::succeeded() const {
+  State->wait();
+  std::lock_guard<std::mutex> Lock(State->M);
+  return State->Success;
+}
+
+double Event::getEndTime() const {
+  State->wait();
+  std::lock_guard<std::mutex> Lock(State->M);
+  return State->EndTime;
+}
+
+std::string Event::getError() const {
+  State->wait();
+  std::lock_guard<std::mutex> Lock(State->M);
+  return State->Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler
+//===----------------------------------------------------------------------===//
+
+unsigned Scheduler::defaultThreadCount() {
+  if (const char *Env = std::getenv("SMLIR_SCHEDULER_THREADS"))
+    if (*Env) {
+      // Only honor a fully-numeric value: a typo must not silently
+      // select 0 (the synchronous inline mode) and hide all concurrency.
+      char *End = nullptr;
+      long Value = std::strtol(Env, &End, 10);
+      if (End && *End == '\0' && Value >= 0)
+        return static_cast<unsigned>(Value);
+    }
+  unsigned HW = std::thread::hardware_concurrency();
+  return std::min(4u, std::max(1u, HW));
+}
+
+Scheduler::Scheduler(unsigned NumThreads) {
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler() {
+  waitAll();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  ReadyCV.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void Scheduler::executeTask(TaskNode &Node) {
+  // Predecessors have resolved when a worker runs the node (the ready
+  // protocol guarantees it); for the inline path, the failed()/
+  // getEndTime() calls below block until each predecessor resolves.
+  double EarliestStart = 0.0;
+  for (const Event &Pred : Node.Predecessors) {
+    if (Pred.failed()) {
+      Node.Done.State->resolve(
+          false, 0.0, exec::LaunchStats(),
+          "canceled: a predecessor command failed (" + Pred.getError() +
+              ")");
+      return;
+    }
+    EarliestStart = std::max(EarliestStart, Pred.getEndTime());
+  }
+
+  exec::LaunchStats Launch;
+  std::string Error;
+  if (Node.Launcher
+          ->launchKernel(*Node.Device, Node.KernelName, Node.Range,
+                         Node.Args, Launch, &Error)
+          .failed()) {
+    Node.Done.State->resolve(false, EarliestStart, exec::LaunchStats(),
+                             std::move(Error));
+    return;
+  }
+
+  // One-time submission cost (JIT billing) extends this command's
+  // duration exactly as the synchronous runtime billed it into the
+  // launch statistics.
+  Launch.SimTime += Node.ExtraSimTime;
+  double EndTime = EarliestStart + Launch.SimTime;
+  Node.Device->advanceTimeline(EndTime);
+  Node.Done.State->resolve(true, EndTime, Launch, std::string());
+}
+
+void Scheduler::submit(std::shared_ptr<TaskNode> Node) {
+  if (Workers.empty()) {
+    executeTask(*Node);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Outstanding++;
+  }
+
+  // Register a release callback on every still-pending predecessor. The
+  // count is raised before registering so a predecessor resolving midway
+  // cannot drop the count to zero early; the submission guard (the
+  // initial 1) is released last.
+  for (const Event &Pred : Node->Predecessors) {
+    Node->Remaining.fetch_add(1, std::memory_order_relaxed);
+    Pred.State->addCallback([this, Node] {
+      if (Node->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        markReady(Node);
+    });
+  }
+  if (Node->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    markReady(Node);
+}
+
+void Scheduler::markReady(std::shared_ptr<TaskNode> Node) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Ready.push_back(std::move(Node));
+  }
+  ReadyCV.notify_one();
+}
+
+void Scheduler::finishTask() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (--Outstanding == 0)
+    DrainCV.notify_all();
+}
+
+void Scheduler::waitAll() {
+  std::unique_lock<std::mutex> Lock(M);
+  DrainCV.wait(Lock, [&] { return Outstanding == 0; });
+}
+
+void Scheduler::workerLoop() {
+  while (true) {
+    std::shared_ptr<TaskNode> Node;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      ReadyCV.wait(Lock, [&] { return Stopping || !Ready.empty(); });
+      if (Ready.empty())
+        return; // Stopping, fully drained.
+      Node = std::move(Ready.front());
+      Ready.pop_front();
+    }
+    executeTask(*Node);
+    finishTask();
+  }
+}

@@ -1,0 +1,212 @@
+//===- Scheduler.h - Asynchronous task-graph scheduler ----------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asynchronous command scheduler behind the SYCL runtime model (paper
+/// §II-A): command groups form a dependency DAG over buffers, and devices
+/// consume that DAG concurrently. `Queue::submit` snapshots a command's
+/// dependency edges into a TaskNode and enqueues it here; a fixed pool of
+/// worker threads (owned by `rt::Context`) pops nodes whose predecessors
+/// have resolved, runs the kernel launch on the queue's backend device,
+/// resolves the command's `rt::Event` and releases its successors. Queues
+/// bound to different backends therefore genuinely overlap on real
+/// threads while their *simulated* timelines stay bit-identical to the
+/// synchronous reference:
+///  - data ordering is enforced by the DAG (a command never starts before
+///    the commands it depends on), and independent commands touch
+///    disjoint storage, so buffer contents cannot depend on the schedule;
+///  - the simulated end time of a command is max(predecessor end times) +
+///    its own simulated duration — pure max/plus arithmetic over the same
+///    doubles in any execution order;
+///  - per-queue statistics are folded in submission order at wait time,
+///    not in completion order.
+///
+/// `SMLIR_SCHEDULER_THREADS` selects the pool size: 0 executes every
+/// submission inline on the submitting thread (the synchronous reference
+/// behavior), 1 gives a deterministic single-worker schedule, and N > 1
+/// is the real pool (default: min(4, hardware concurrency)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_RUNTIME_SCHEDULER_H
+#define SMLIR_RUNTIME_SCHEDULER_H
+
+#include "exec/Device.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smlir {
+namespace rt {
+
+class KernelLauncher;
+class Queue;
+class Scheduler;
+struct TaskNode;
+
+namespace detail {
+
+/// Shared completion state of one command. Resolved exactly once by the
+/// worker (or inline executor) that ran the command; buffers, queues and
+/// user code hold it through rt::Event.
+struct EventState {
+  /// The kernel this command launches (error reporting).
+  std::string KernelName;
+
+  /// Registers \p Fn to run when the event resolves; runs it immediately
+  /// if already resolved. Returns true when the callback was deferred
+  /// (the event was still pending).
+  bool addCallback(std::function<void()> Fn);
+
+  /// Resolves the event and runs the registered callbacks. \p Launch
+  /// carries the command's launch statistics on success.
+  void resolve(bool ResolvedSuccess, double ResolvedEndTime,
+               exec::LaunchStats Launch, std::string ResolvedError);
+
+  void wait() const;
+  bool isComplete() const;
+
+  mutable std::mutex M;
+  mutable std::condition_variable CV;
+  bool Done = false;
+  bool Success = false;
+  double EndTime = 0.0;
+  exec::LaunchStats Launch;
+  std::string Error;
+  std::vector<std::function<void()>> Callbacks;
+};
+
+} // namespace detail
+
+/// A synchronization point on a queue: the completion of one submitted
+/// command, carrying its simulated end time (the point on the simulated
+/// timeline where the command retires). Default-constructed events are
+/// already complete at time 0 — the state of a buffer nobody has written
+/// yet. Events are cheap shared handles; copies observe the same command.
+class Event {
+public:
+  /// An already-complete event at simulated time 0.
+  Event();
+
+  /// Blocks until the command has executed (no-op when complete).
+  void wait() const { State->wait(); }
+  /// True once the command has executed (never blocks).
+  bool isComplete() const { return State->isComplete(); }
+  /// Waits, then reports whether the command executed successfully.
+  bool succeeded() const;
+  bool failed() const { return !succeeded(); }
+  /// Waits, then returns the command's simulated end time.
+  double getEndTime() const;
+  /// Waits, then returns the launch error ("" when successful).
+  std::string getError() const;
+
+  /// A pending event for a command launching \p KernelName.
+  static Event makePending(std::string KernelName);
+  /// A resolved-failed event (submission-time failures).
+  static Event makeFailed(std::string KernelName, std::string Error);
+  /// A resolved-successful event at \p EndTime: stands in for any set of
+  /// completed commands whose only remaining effect is their latest
+  /// simulated end time (Buffer compacts completed reads into one).
+  static Event makeResolved(double EndTime);
+
+private:
+  struct PendingTag {};
+  /// Allocates the state exactly once (the factories above go through
+  /// this instead of reassigning the default constructor's state).
+  explicit Event(PendingTag) : State(std::make_shared<detail::EventState>()) {}
+
+  friend class Queue;
+  friend class Scheduler;
+  friend struct TaskNode;
+  std::shared_ptr<detail::EventState> State;
+};
+
+/// One node of the command DAG: everything needed to run a submitted
+/// command group without touching the queue or its buffers again — the
+/// launcher and device, the launch parameters, the snapshot of the
+/// dependency edges (predecessor events), and the event to resolve.
+struct TaskNode {
+  KernelLauncher *Launcher = nullptr;
+  exec::Device *Device = nullptr;
+  std::string KernelName;
+  exec::NDRange Range;
+  std::vector<exec::KernelArg> Args;
+  /// One-time simulated cost billed to this command at submission
+  /// (KernelLauncher::prepareLaunch — JIT compilation in the AdaptiveCpp
+  /// flow), added to the launch's simulated duration.
+  double ExtraSimTime = 0.0;
+  /// The commands this one must serialize behind (snapshot of the
+  /// buffer dependency records at submission).
+  std::vector<Event> Predecessors;
+  /// Resolved when this command has executed.
+  Event Done;
+
+  /// Pending-predecessor guard: starts at 1 (submission guard) plus one
+  /// per unresolved predecessor; the node becomes ready at 0.
+  std::atomic<unsigned> Remaining{1};
+};
+
+/// A fixed worker pool executing the command DAG. Owned by rt::Context;
+/// queues enqueue through it and it guarantees graceful teardown: the
+/// destructor drains every outstanding task before joining the workers,
+/// so launchers, devices and buffer storage stay valid for as long as
+/// tasks can reference them.
+class Scheduler {
+public:
+  /// Pool size from $SMLIR_SCHEDULER_THREADS (0 = inline execution on
+  /// the submitting thread), default min(4, hardware concurrency).
+  static unsigned defaultThreadCount();
+
+  explicit Scheduler(unsigned NumThreads = defaultThreadCount());
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// 0 when this scheduler executes inline.
+  unsigned getNumThreads() const { return Workers.size(); }
+
+  /// Enqueues \p Node: it runs as soon as all predecessors resolved and
+  /// a worker is free (immediately, on this thread, for a 0-thread
+  /// pool). The node's Done event resolves when it has executed.
+  void submit(std::shared_ptr<TaskNode> Node);
+
+  /// Blocks until every task submitted so far has executed.
+  void waitAll();
+
+  /// Runs \p Node's command on the calling thread and resolves its
+  /// event: waits for predecessors (already resolved when called from a
+  /// worker), propagates predecessor failure as cancellation, launches
+  /// the kernel, and computes the simulated end time as
+  /// max(predecessor end times) + simulated duration. Shared by the
+  /// worker loop and the inline (schedulerless-queue) path.
+  static void executeTask(TaskNode &Node);
+
+private:
+  void workerLoop();
+  void markReady(std::shared_ptr<TaskNode> Node);
+  void finishTask();
+
+  std::vector<std::thread> Workers;
+  std::mutex M;
+  std::condition_variable ReadyCV;
+  std::condition_variable DrainCV;
+  std::deque<std::shared_ptr<TaskNode>> Ready;
+  size_t Outstanding = 0;
+  bool Stopping = false;
+};
+
+} // namespace rt
+} // namespace smlir
+
+#endif // SMLIR_RUNTIME_SCHEDULER_H

@@ -11,7 +11,10 @@
 /// several concurrent readers waits for the slowest one), ranged accessors
 /// and USM allocation. Queues select their device from the rt::Context by
 /// target-backend name (the process default here, so the whole suite runs
-/// against whatever SMLIR_DEFAULT_TARGET selects).
+/// against whatever SMLIR_DEFAULT_TARGET selects). Submission is
+/// asynchronous (runtime/Scheduler.h): each submit here immediately
+/// waits on its returned event, which must reproduce the synchronous
+/// timeline exactly; SchedulerTest covers the concurrent behavior.
 ///
 //===----------------------------------------------------------------------===//
 

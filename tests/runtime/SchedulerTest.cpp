@@ -1,0 +1,462 @@
+//===- SchedulerTest.cpp - Task-graph scheduler tests ------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the asynchronous task-graph scheduler (runtime/Scheduler.h):
+/// event semantics (non-blocking submission, wait, simulated end times),
+/// determinism — a randomized command DAG (N buffers, M kernels with
+/// random read/write sets) must produce bit-identical buffer contents and
+/// queue statistics under the multi-threaded pool and the synchronous
+/// inline reference, on both built-in backends — cross-backend wall-clock
+/// overlap, failure propagation through the DAG, and the compiler cache
+/// under concurrent compileFor (in-flight dedup + atomic CacheStats).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "frontend/HostIRImporter.h"
+#include "frontend/KernelBuilder.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <thread>
+
+using namespace smlir;
+
+namespace {
+
+/// Builds a program with one "combine" kernel: dst[i] = a[i] + 2*b[i].
+/// Reusable against any pair of source buffers, which is what the
+/// randomized DAG needs.
+std::unique_ptr<frontend::SourceProgram> makeCombineProgram(MLIRContext &Ctx) {
+  auto Program = std::make_unique<frontend::SourceProgram>(&Ctx);
+  frontend::KernelBuilder KB(*Program, "combine", 1, /*UsesNDItem=*/false);
+  Value A = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+  Value B = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+  Value Dst = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Write);
+  Value I = KB.gid(0);
+  Value Two = KB.cFloat(KB.f32(), 2.0);
+  KB.storeAcc(Dst, {I},
+              KB.addf(KB.loadAcc(A, {I}),
+                      KB.mulf(KB.loadAcc(B, {I}), Two)));
+  KB.finish();
+  frontend::importHostIR(*Program);
+  return Program;
+}
+
+class SchedulerTest : public ::testing::Test {
+protected:
+  SchedulerTest() { registerAllDialects(Ctx); }
+
+  std::unique_ptr<core::Executable>
+  compileCombine(std::string_view Target = {}) {
+    if (!Program)
+      Program = makeCombineProgram(Ctx);
+    core::Compiler TheCompiler({});
+    std::string Error;
+    auto Exe = TheCompiler.compileFor(*Program, Target, &Error);
+    EXPECT_TRUE(Exe) << Error;
+    return Exe;
+  }
+
+  /// Submits combine(dst = a + 2*b) over N elements.
+  static rt::Event submitCombine(rt::Queue &Q, rt::Buffer &A, rt::Buffer &B,
+                                 rt::Buffer &Dst, int64_t N,
+                                 std::string *Error = nullptr) {
+    exec::NDRange Range;
+    Range.Dim = 1;
+    Range.Global = {N, 1, 1};
+    return Q.submit(
+        [&](rt::Handler &CGH) {
+          auto AccA = CGH.require(A, sycl::AccessMode::Read);
+          auto AccB = CGH.require(B, sycl::AccessMode::Read);
+          auto AccD = CGH.require(Dst, sycl::AccessMode::Write);
+          CGH.parallelFor("combine", Range,
+                          {exec::KernelArg::accessor(AccA),
+                           exec::KernelArg::accessor(AccB),
+                           exec::KernelArg::accessor(AccD)});
+        },
+        Error);
+  }
+
+  MLIRContext Ctx;
+  std::unique_ptr<frontend::SourceProgram> Program;
+};
+
+//===----------------------------------------------------------------------===//
+// Event semantics
+//===----------------------------------------------------------------------===//
+
+TEST_F(SchedulerTest, SubmitReturnsEventAndWaitSynchronizes) {
+  auto Exe = compileCombine();
+  ASSERT_TRUE(Exe);
+  rt::Context RT; // Pool-default scheduler.
+  rt::Queue Q(RT, *Exe);
+  constexpr int64_t N = 256;
+  rt::Buffer A(Q, exec::Storage::Kind::Float, {N});
+  rt::Buffer B(Q, exec::Storage::Kind::Float, {N});
+  rt::Buffer C(Q, exec::Storage::Kind::Float, {N});
+  for (int64_t I = 0; I < N; ++I) {
+    A.getStorage()->Floats[I] = static_cast<double>(I);
+    B.getStorage()->Floats[I] = 1.0;
+  }
+
+  rt::Event Done = submitCombine(Q, A, B, C, N);
+  EXPECT_TRUE(Done.succeeded()) << Done.getError();
+  EXPECT_TRUE(Done.isComplete());
+  EXPECT_GT(Done.getEndTime(), 0.0);
+  for (int64_t I = 0; I < N; ++I)
+    EXPECT_EQ(C.getStorage()->Floats[I], static_cast<double>(I) + 2.0);
+  EXPECT_TRUE(Q.wait().succeeded());
+}
+
+TEST_F(SchedulerTest, DependentEventsCarryMonotoneEndTimes) {
+  auto Exe = compileCombine();
+  ASSERT_TRUE(Exe);
+  rt::Context RT;
+  rt::Queue Q(RT, *Exe);
+  constexpr int64_t N = 64;
+  rt::Buffer A(Q, exec::Storage::Kind::Float, {N});
+  rt::Buffer B(Q, exec::Storage::Kind::Float, {N});
+  rt::Buffer C(Q, exec::Storage::Kind::Float, {N});
+  rt::Buffer D(Q, exec::Storage::Kind::Float, {N});
+
+  // RAW chain: C = f(A, B), then D = f(C, A): the second command's
+  // simulated interval starts where the first ended.
+  rt::Event First = submitCombine(Q, A, B, C, N);
+  rt::Event Second = submitCombine(Q, C, A, D, N);
+  ASSERT_TRUE(First.succeeded()) << First.getError();
+  ASSERT_TRUE(Second.succeeded()) << Second.getError();
+  EXPECT_GT(Second.getEndTime(), First.getEndTime());
+  const rt::QueueStats &Stats = Q.getStats();
+  EXPECT_EQ(Stats.NumLaunches, 2u);
+  EXPECT_NEAR(Stats.Makespan, Stats.TotalKernelTime, 1e-9);
+}
+
+TEST_F(SchedulerTest, ContextWaitAllDrainsEveryQueue) {
+  auto Exe = compileCombine();
+  ASSERT_TRUE(Exe);
+  rt::Context RT;
+  rt::Queue Q1(RT, *Exe, "virtual-gpu");
+  rt::Queue Q2(RT, *Exe, "virtual-gpu");
+  constexpr int64_t N = 128;
+  rt::Buffer A1(Q1, exec::Storage::Kind::Float, {N});
+  rt::Buffer B1(Q1, exec::Storage::Kind::Float, {N});
+  rt::Buffer C1(Q1, exec::Storage::Kind::Float, {N});
+  rt::Buffer A2(Q2, exec::Storage::Kind::Float, {N});
+  rt::Buffer B2(Q2, exec::Storage::Kind::Float, {N});
+  rt::Buffer C2(Q2, exec::Storage::Kind::Float, {N});
+
+  rt::Event E1 = submitCombine(Q1, A1, B1, C1, N);
+  rt::Event E2 = submitCombine(Q2, A2, B2, C2, N);
+  RT.waitAll();
+  // After waitAll, both events must be complete without waiting on them.
+  EXPECT_TRUE(E1.isComplete());
+  EXPECT_TRUE(E2.isComplete());
+  EXPECT_TRUE(E1.succeeded() && E2.succeeded());
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized-DAG determinism (both backends, pool vs inline reference)
+//===----------------------------------------------------------------------===//
+
+/// One randomly generated command: combine(Dst = Src1 + 2*Src2).
+struct RandomCommand {
+  unsigned Src1, Src2, Dst;
+};
+
+/// Runs \p Commands over \p NumBuffers buffers on a context with
+/// \p SchedulerThreads workers and returns the final contents of every
+/// buffer plus the queue statistics.
+struct DagResult {
+  std::vector<std::vector<double>> Buffers;
+  rt::QueueStats Stats;
+  bool Success = false;
+  std::string Error;
+};
+
+DagResult runRandomDag(core::Executable &Exe, std::string_view Target,
+                       unsigned SchedulerThreads, unsigned NumBuffers,
+                       int64_t N, const std::vector<RandomCommand> &Commands) {
+  DagResult Result;
+  rt::Context RT(SchedulerThreads);
+  rt::Queue Q(RT, Exe, Target);
+  std::vector<std::unique_ptr<rt::Buffer>> Buffers;
+  for (unsigned I = 0; I < NumBuffers; ++I) {
+    Buffers.push_back(std::make_unique<rt::Buffer>(
+        Q, exec::Storage::Kind::Float, std::vector<int64_t>{N}));
+    for (int64_t J = 0; J < N; ++J)
+      Buffers.back()->getStorage()->Floats[J] =
+          static_cast<double>((I * 37 + J) % 11) * 0.25;
+  }
+
+  exec::NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {N, 1, 1};
+  for (const RandomCommand &Cmd : Commands) {
+    std::string Error;
+    (void)Q.submit(
+        [&](rt::Handler &CGH) {
+          auto A = CGH.require(*Buffers[Cmd.Src1], sycl::AccessMode::Read);
+          auto B = CGH.require(*Buffers[Cmd.Src2], sycl::AccessMode::Read);
+          auto D = CGH.require(*Buffers[Cmd.Dst], sycl::AccessMode::Write);
+          CGH.parallelFor("combine", Range,
+                          {exec::KernelArg::accessor(A),
+                           exec::KernelArg::accessor(B),
+                           exec::KernelArg::accessor(D)});
+        },
+        &Error);
+    if (!Error.empty()) {
+      Result.Error = Error;
+      return Result;
+    }
+  }
+  std::string WaitError;
+  if (Q.wait(&WaitError).failed()) {
+    Result.Error = WaitError;
+    return Result;
+  }
+  Result.Stats = Q.getStats();
+  for (auto &Buf : Buffers)
+    Result.Buffers.push_back(Buf->getStorage()->Floats);
+  Result.Success = true;
+  return Result;
+}
+
+TEST_F(SchedulerTest, RandomizedDagMatchesSynchronousReference) {
+  constexpr unsigned NumBuffers = 8;
+  constexpr unsigned NumCommands = 48;
+  constexpr int64_t N = 128;
+
+  for (std::string_view Target : {"virtual-gpu", "virtual-cpu"}) {
+    auto Exe = compileCombine(Target);
+    ASSERT_TRUE(Exe);
+    for (unsigned Seed = 0; Seed < 4; ++Seed) {
+      // Random read/write sets: sources may equal each other and (WAR)
+      // earlier destinations; destinations overwrite previous contents
+      // (WAW). Every hazard class appears across the seeds.
+      std::mt19937 Gen(1234 + Seed);
+      std::uniform_int_distribution<unsigned> Pick(0, NumBuffers - 1);
+      std::vector<RandomCommand> Commands;
+      for (unsigned I = 0; I < NumCommands; ++I)
+        Commands.push_back({Pick(Gen), Pick(Gen), Pick(Gen)});
+
+      DagResult Reference =
+          runRandomDag(*Exe, Target, /*SchedulerThreads=*/0, NumBuffers, N,
+                       Commands);
+      ASSERT_TRUE(Reference.Success) << Reference.Error;
+      // Pooled run pinned to 4 workers so the schedule genuinely races
+      // even on single-core hosts (where the default pool is 1).
+      DagResult Pooled =
+          runRandomDag(*Exe, Target, /*SchedulerThreads=*/4, NumBuffers, N,
+                       Commands);
+      ASSERT_TRUE(Pooled.Success) << Pooled.Error;
+
+      // Buffer contents bit-identical (memcmp over the doubles).
+      for (unsigned B = 0; B < NumBuffers; ++B)
+        ASSERT_EQ(std::memcmp(Reference.Buffers[B].data(),
+                              Pooled.Buffers[B].data(),
+                              sizeof(double) * N),
+                  0)
+            << "target " << Target << " seed " << Seed << " buffer " << B;
+
+      // Queue statistics bit-identical: counters and floating-point
+      // totals (folded in submission order on both sides).
+      EXPECT_EQ(Reference.Stats.NumLaunches, Pooled.Stats.NumLaunches);
+      EXPECT_EQ(Reference.Stats.TotalKernelTime,
+                Pooled.Stats.TotalKernelTime);
+      EXPECT_EQ(Reference.Stats.Makespan, Pooled.Stats.Makespan);
+      EXPECT_EQ(Reference.Stats.Aggregate.CoalescedGlobalAccesses,
+                Pooled.Stats.Aggregate.CoalescedGlobalAccesses);
+      EXPECT_EQ(Reference.Stats.Aggregate.UncoalescedGlobalAccesses,
+                Pooled.Stats.Aggregate.UncoalescedGlobalAccesses);
+      EXPECT_EQ(Reference.Stats.Aggregate.StepsExecuted,
+                Pooled.Stats.Aggregate.StepsExecuted);
+      EXPECT_EQ(Reference.Stats.Aggregate.SimTime,
+                Pooled.Stats.Aggregate.SimTime);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-backend overlap
+//===----------------------------------------------------------------------===//
+
+TEST_F(SchedulerTest, BackendsAccumulateIndependentTimelines) {
+  auto GpuExe = compileCombine("virtual-gpu");
+  auto CpuExe = compileCombine("virtual-cpu");
+  ASSERT_TRUE(GpuExe && CpuExe);
+  rt::Context RT;
+  rt::Queue QGpu(RT, *GpuExe, "virtual-gpu");
+  rt::Queue QCpu(RT, *CpuExe, "virtual-cpu");
+  constexpr int64_t N = 256;
+  rt::Buffer GA(QGpu, exec::Storage::Kind::Float, {N});
+  rt::Buffer GB(QGpu, exec::Storage::Kind::Float, {N});
+  rt::Buffer GC(QGpu, exec::Storage::Kind::Float, {N});
+  rt::Buffer CA(QCpu, exec::Storage::Kind::Float, {N});
+  rt::Buffer CB(QCpu, exec::Storage::Kind::Float, {N});
+  rt::Buffer CC(QCpu, exec::Storage::Kind::Float, {N});
+
+  // Interleave submissions to both backends; each device's simulated
+  // timeline advances independently of the other's.
+  for (int Round = 0; Round < 3; ++Round) {
+    ASSERT_TRUE(submitCombine(QGpu, GA, GB, GC, N).succeeded());
+    ASSERT_TRUE(submitCombine(QCpu, CA, CB, CC, N).succeeded());
+  }
+  RT.waitAll();
+  double GpuEnd = QGpu.getDevice().getTimelineEnd();
+  double CpuEnd = QCpu.getDevice().getTimelineEnd();
+  EXPECT_GT(GpuEnd, 0.0);
+  EXPECT_GT(CpuEnd, 0.0);
+  // Each device's timeline equals its own queue's makespan — neither
+  // includes the other backend's work.
+  EXPECT_NEAR(GpuEnd, QGpu.getStats().Makespan, 1e-9);
+  EXPECT_NEAR(CpuEnd, QCpu.getStats().Makespan, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure propagation
+//===----------------------------------------------------------------------===//
+
+TEST_F(SchedulerTest, LaunchFailureCancelsDependentsAndWaitReportsIt) {
+  auto Exe = compileCombine();
+  ASSERT_TRUE(Exe);
+  rt::Context RT;
+  rt::Queue Q(RT, *Exe);
+  constexpr int64_t N = 64;
+  rt::Buffer A(Q, exec::Storage::Kind::Float, {N});
+  rt::Buffer B(Q, exec::Storage::Kind::Float, {N});
+  rt::Buffer C(Q, exec::Storage::Kind::Float, {N});
+  rt::Buffer D(Q, exec::Storage::Kind::Float, {N});
+
+  // Launch over a range larger than the buffers: the interpreter fails
+  // with an out-of-bounds access at execution time, after submit already
+  // returned.
+  exec::NDRange TooLarge;
+  TooLarge.Dim = 1;
+  TooLarge.Global = {4 * N, 1, 1};
+  std::string SubmitError;
+  rt::Event Bad = Q.submit(
+      [&](rt::Handler &CGH) {
+        auto AccA = CGH.require(A, sycl::AccessMode::Read);
+        auto AccB = CGH.require(B, sycl::AccessMode::Read);
+        auto AccC = CGH.require(C, sycl::AccessMode::Write);
+        CGH.parallelFor("combine", TooLarge,
+                        {exec::KernelArg::accessor(AccA),
+                         exec::KernelArg::accessor(AccB),
+                         exec::KernelArg::accessor(AccC)});
+      },
+      &SubmitError);
+  EXPECT_TRUE(SubmitError.empty()) << "failure must be asynchronous";
+
+  // A dependent command (reads C) must be canceled, not run on garbage.
+  rt::Event Dependent = submitCombine(Q, C, A, D, N);
+  EXPECT_TRUE(Bad.failed());
+  EXPECT_NE(Bad.getError().find("out of bounds"), std::string::npos)
+      << Bad.getError();
+  EXPECT_TRUE(Dependent.failed());
+  EXPECT_NE(Dependent.getError().find("canceled"), std::string::npos)
+      << Dependent.getError();
+
+  // wait() reports the root failure (first in submission order), with
+  // the kernel name prefixed, and the failure is sticky.
+  std::string WaitError;
+  ASSERT_TRUE(Q.wait(&WaitError).failed());
+  EXPECT_NE(WaitError.find("kernel 'combine'"), std::string::npos)
+      << WaitError;
+  EXPECT_NE(WaitError.find("out of bounds"), std::string::npos) << WaitError;
+  EXPECT_TRUE(Q.wait(&WaitError).failed());
+}
+
+TEST_F(SchedulerTest, UnknownKernelFailsAtSubmission) {
+  auto Exe = compileCombine();
+  ASSERT_TRUE(Exe);
+  rt::Context RT;
+  rt::Queue Q(RT, *Exe);
+  rt::Buffer A(Q, exec::Storage::Kind::Float, {8});
+  exec::NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {8, 1, 1};
+  std::string Error;
+  rt::Event Ev = Q.submit(
+      [&](rt::Handler &CGH) {
+        auto Acc = CGH.require(A, sycl::AccessMode::Read);
+        CGH.parallelFor("nope", Range, {exec::KernelArg::accessor(Acc)});
+      },
+      &Error);
+  EXPECT_TRUE(Ev.failed());
+  EXPECT_NE(Error.find("unknown kernel"), std::string::npos) << Error;
+  // Nothing was enqueued: the queue itself stays clean.
+  EXPECT_TRUE(Q.wait().succeeded());
+  EXPECT_EQ(Q.getStats().NumLaunches, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent compilation (cache dedup + atomic stats)
+//===----------------------------------------------------------------------===//
+
+TEST_F(SchedulerTest, ConcurrentCompileForDeduplicatesInFlight) {
+  Program = makeCombineProgram(Ctx);
+  core::Compiler TheCompiler({});
+
+  constexpr unsigned NumThreads = 8;
+  std::vector<std::unique_ptr<core::Executable>> Exes(NumThreads);
+  std::vector<std::string> Errors(NumThreads);
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned I = 0; I < NumThreads; ++I)
+      Threads.emplace_back([&, I] {
+        Exes[I] =
+            TheCompiler.compileFor(*Program, "virtual-gpu", &Errors[I]);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  for (unsigned I = 0; I < NumThreads; ++I)
+    ASSERT_TRUE(Exes[I]) << Errors[I];
+  // All executables share one compiled module: exactly one compilation
+  // ran, everyone else hit (directly or by waiting on the in-flight
+  // one), and the atomic counters add up.
+  for (unsigned I = 1; I < NumThreads; ++I)
+    EXPECT_EQ(Exes[I]->getModule().getOperation(),
+              Exes[0]->getModule().getOperation());
+  core::Compiler::CacheStats Stats = TheCompiler.getCacheStats();
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Hits, NumThreads - 1);
+}
+
+TEST_F(SchedulerTest, ConcurrentCompileForDistinctTargets) {
+  Program = makeCombineProgram(Ctx);
+  core::Compiler TheCompiler({});
+
+  // Two distinct keys compiled concurrently from four threads: two
+  // misses, two hits, and both kernel forms come out right.
+  std::vector<std::unique_ptr<core::Executable>> Exes(4);
+  std::vector<std::string> Errors(4);
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned I = 0; I < 4; ++I)
+      Threads.emplace_back([&, I] {
+        const char *Target = (I % 2) ? "virtual-cpu" : "virtual-gpu";
+        Exes[I] = TheCompiler.compileFor(*Program, Target, &Errors[I]);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  for (unsigned I = 0; I < 4; ++I)
+    ASSERT_TRUE(Exes[I]) << Errors[I];
+  core::Compiler::CacheStats Stats = TheCompiler.getCacheStats();
+  EXPECT_EQ(Stats.Misses, 2u);
+  EXPECT_EQ(Stats.Hits, 2u);
+  EXPECT_EQ(Exes[0]->getKernelForm(), exec::KernelForm::HighLevelSYCL);
+  EXPECT_EQ(Exes[1]->getKernelForm(), exec::KernelForm::LoweredSCF);
+}
+
+} // namespace
