@@ -213,6 +213,124 @@ void BM_BaselinePipeline(benchmark::State &State) {
 BENCHMARK(BM_BaselinePipeline);
 
 //===----------------------------------------------------------------------===//
+// Execution tiers: bytecode VM vs tree-walking interpreter
+//===----------------------------------------------------------------------===//
+
+/// A 1-D elementwise kernel (saxpy): the dispatch-bound end of the
+/// spectrum, where per-op interpretation overhead dominates the launch.
+frontend::SourceProgram makeSaxpy(MLIRContext &Ctx) {
+  frontend::SourceProgram Program(&Ctx);
+  frontend::KernelBuilder KB(Program, "saxpy", 1, /*UsesNDItem=*/true);
+  Value X = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+  Value Y = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::ReadWrite);
+  Value I = KB.gid(0);
+  Value Scaled = KB.mulf(KB.cFloat(KB.f32(), 2.0), KB.loadAcc(X, {I}));
+  KB.storeAcc(Y, {I}, KB.addf(Scaled, KB.loadAcc(Y, {I})));
+  KB.finish();
+  exec::NDRange R;
+  R.Dim = 1;
+  R.Global = {4096, 1, 1};
+  R.Local = {64, 1, 1};
+  R.HasLocal = true;
+  Program.Buffers = {
+      {"X", exec::Storage::Kind::Float, {4096}, nullptr, 32},
+      {"Y", exec::Storage::Kind::Float, {4096}, nullptr, 32}};
+  Program.Submits = {
+      {"saxpy",
+       R,
+       {frontend::AccessorArg{"X", sycl::AccessMode::Read, {}, {}},
+        frontend::AccessorArg{"Y", sycl::AccessMode::ReadWrite, {}, {}}}}};
+  frontend::importHostIR(Program);
+  return Program;
+}
+
+/// Per-kernel execution time of one tier: the program is compiled for
+/// virtual-cpu (lowered scf/memref form, the form both tiers execute),
+/// then each iteration launches the kernel once at the Device level —
+/// direct FuncOp interpretation vs the translated bc::Function — so the
+/// measurement isolates execution from queue/scheduler overhead.
+void runExecTier(benchmark::State &State,
+                 frontend::SourceProgram (*Make)(MLIRContext &),
+                 const char *Kernel, exec::ExecutionTier Tier) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program = Make(Ctx);
+  core::CompilerOptions Options;
+  Options.Flow = core::CompilerFlow::SYCLMLIR;
+  core::Compiler TheCompiler(Options);
+  auto Exe = TheCompiler.compileFor(Program, "virtual-cpu");
+  if (!Exe) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  FuncOp K = Exe->lookupKernel(Kernel);
+  if (!K) {
+    State.SkipWithError("kernel not found");
+    return;
+  }
+  const exec::bc::Function *Fn = nullptr;
+  if (Tier == exec::ExecutionTier::Bytecode) {
+    std::string Why;
+    Fn = Exe->getKernelBytecode(Kernel, &Why);
+    if (!Fn) {
+      State.SkipWithError(("outside bytecode coverage: " + Why).c_str());
+      return;
+    }
+  }
+
+  const frontend::SubmitDecl &Submit = Program.Submits.front();
+  exec::Device Dev;
+  std::vector<exec::KernelArg> Args;
+  for (const frontend::KernelArgDecl &Decl : Submit.Args) {
+    const auto &Acc = std::get<frontend::AccessorArg>(Decl);
+    const frontend::BufferDecl *Buf = Program.findBuffer(Acc.Buffer);
+    int64_t N = Buf->numElements();
+    exec::Storage *S = Dev.allocate(Buf->Kind, size_t(N));
+    for (int64_t I = 0; I < N; ++I)
+      S->Floats[size_t(I)] = double(I % 7) * 0.25;
+    exec::AccessorData AD;
+    AD.Data = S;
+    AD.Dim = unsigned(Buf->Shape.size());
+    for (size_t D = 0; D < Buf->Shape.size(); ++D)
+      AD.Range[D] = Buf->Shape[D];
+    Args.push_back(exec::KernelArg::accessor(AD));
+  }
+
+  for (auto _ : State) {
+    exec::LaunchStats Stats;
+    std::string Error;
+    LogicalResult Res = Fn ? Dev.launch(*Fn, Submit.Range, Args, Stats, &Error)
+                           : Dev.launch(K, Submit.Range, Args, Stats, &Error);
+    if (Res.failed()) {
+      State.SkipWithError(Error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(Stats.StepsExecuted);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+
+void BM_ExecTier_MatMul_Interpreter(benchmark::State &State) {
+  runExecTier(State, makeProgram, "k", exec::ExecutionTier::Interpreter);
+}
+BENCHMARK(BM_ExecTier_MatMul_Interpreter)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_MatMul_Bytecode(benchmark::State &State) {
+  runExecTier(State, makeProgram, "k", exec::ExecutionTier::Bytecode);
+}
+BENCHMARK(BM_ExecTier_MatMul_Bytecode)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Saxpy_Interpreter(benchmark::State &State) {
+  runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Interpreter);
+}
+BENCHMARK(BM_ExecTier_Saxpy_Interpreter)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Saxpy_Bytecode(benchmark::State &State) {
+  runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Bytecode);
+}
+BENCHMARK(BM_ExecTier_Saxpy_Bytecode)->Unit(benchmark::kMicrosecond);
+
+//===----------------------------------------------------------------------===//
 // Asynchronous runtime (task-graph scheduler)
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Measures per-kernel execution time of both execution tiers (bytecode VM
+# vs tree-walking interpreter) via the BM_ExecTier_* microbenchmarks and
+# writes the google-benchmark JSON report to BENCH_exec.json (or $1).
+# The bytecode tier is expected to hold a >=5x advantage on every kernel;
+# compare the *_Interpreter and *_Bytecode real_time entries.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+OUT="${1:-$REPO_ROOT/BENCH_exec.json}"
+
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_infra
+
+"$BUILD_DIR/bench/micro_infra" \
+  --benchmark_filter='BM_ExecTier' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT"

@@ -28,6 +28,14 @@ SMLIR_DEFAULT_TARGET=virtual-cpu \
 SMLIR_SCHEDULER_THREADS=1 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 
+# And once forcing the tree-walking interpreter tier: the bytecode VM is
+# the default executor for lowered kernels, so the three sweeps above run
+# it everywhere — this sweep keeps the cross-checked reference
+# interpreter green on the very same suite (SMLIR_EXEC_TIER selects the
+# tier process-wide; see src/exec/Bytecode.h).
+SMLIR_EXEC_TIER=interpreter \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+
 # Smoke the standalone pipeline driver: every golden snapshot must be
 # reproducible via `smlir-opt --pass-pipeline=<recorded pipeline>`, and
 # --target must reproduce the per-target pipeline derivation.

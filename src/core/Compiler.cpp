@@ -29,6 +29,29 @@ std::string_view core::stringifyFlow(CompilerFlow Flow) {
 }
 
 //===----------------------------------------------------------------------===//
+// CompiledModule
+//===----------------------------------------------------------------------===//
+
+const exec::bc::Function *
+CompiledModule::getBytecode(FuncOp Kernel, std::string_view Name,
+                            std::string *WhyNot) const {
+  std::lock_guard<std::mutex> Lock(BytecodeMutex);
+  auto It = Bytecode.find(Name);
+  if (It == Bytecode.end()) {
+    std::string Why;
+    std::unique_ptr<const exec::bc::Function> Fn =
+        exec::bc::translate(Kernel, &Why);
+    It = Bytecode
+             .emplace(std::string(Name),
+                      std::make_pair(std::move(Fn), std::move(Why)))
+             .first;
+  }
+  if (!It->second.first && WhyNot)
+    *WhyNot = It->second.second;
+  return It->second.first.get();
+}
+
+//===----------------------------------------------------------------------===//
 // Executable
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +82,18 @@ FuncOp Executable::lookupKernel(std::string_view Name) const {
 std::string Executable::getKernelIR(std::string_view Name) const {
   FuncOp Kernel = lookupKernel(Name);
   return Kernel ? Kernel.getOperation()->str() : std::string();
+}
+
+const exec::bc::Function *
+Executable::getKernelBytecode(std::string_view Name,
+                              std::string *WhyNot) const {
+  FuncOp Kernel = lookupKernel(Name);
+  if (!Kernel) {
+    if (WhyNot)
+      *WhyNot = "unknown kernel '" + std::string(Name) + "'";
+    return nullptr;
+  }
+  return Compiled->getBytecode(Kernel, Name, WhyNot);
 }
 
 /// Picks a work-group size for plain-range launches (the runtime's
@@ -101,6 +136,13 @@ LogicalResult Executable::launchKernel(exec::Device &Dev,
       Effective.Local[D] = pickLocalSize(Effective.Global[D], Cap);
   }
 
+  // Compiled tier: lowered kernels within the bytecode translator's
+  // coverage execute through the dispatch-loop VM (bit-identical to the
+  // interpreter); everything else tree-walks.
+  if (Tier == exec::ExecutionTier::Bytecode && Compiled->Lowered)
+    if (const exec::bc::Function *Fn = Compiled->getBytecode(Kernel, Name))
+      return Dev.launch(*Fn, Effective, LiveArgs, Stats, ErrorMessage);
+
   return Dev.launch(Kernel, Effective, LiveArgs, Stats, ErrorMessage);
 }
 
@@ -128,6 +170,14 @@ LogicalResult Executable::prepareLaunch(std::string_view Name,
       ExtraSimTime = Options.JITCostPerOp * NumOps;
     }
   }
+
+  // Warm the bytecode cache on the submitting thread so scheduler
+  // workers racing on the actual launches find the translation already
+  // done (it is one-time per kernel either way; no SimTime is billed —
+  // translation stands in for no compilation the real system performs at
+  // launch).
+  if (Tier == exec::ExecutionTier::Bytecode && Compiled->Lowered)
+    Compiled->getBytecode(Kernel, Name);
   return success();
 }
 

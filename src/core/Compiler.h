@@ -30,6 +30,7 @@
 #ifndef SMLIR_CORE_COMPILER_H
 #define SMLIR_CORE_COMPILER_H
 
+#include "exec/Bytecode.h"
 #include "exec/TargetRegistry.h"
 #include "frontend/SourceProgram.h"
 #include "ir/Pass.h"
@@ -91,6 +92,24 @@ struct CompiledModule {
   /// Whether the kernels carry the `sycl.lowered` ABI marker (computed
   /// once — the module is immutable after compilation).
   bool Lowered = false;
+
+  /// The kernel's compiled bytecode (exec/Bytecode.h), translated once
+  /// per kernel on first request and cached — including negative results,
+  /// so an untranslatable kernel pays the attempt only once. Returns null
+  /// (setting \p WhyNot) when the kernel is outside the translator's
+  /// coverage and the caller must fall back to the tree-walking
+  /// interpreter. Thread-safe (launches race through the scheduler).
+  const exec::bc::Function *getBytecode(FuncOp Kernel, std::string_view Name,
+                                        std::string *WhyNot = nullptr) const;
+
+private:
+  mutable std::mutex BytecodeMutex;
+  /// Kernel name -> (bytecode or null, failure reason when null).
+  mutable std::map<std::string,
+                   std::pair<std::unique_ptr<const exec::bc::Function>,
+                             std::string>,
+                   std::less<>>
+      Bytecode;
 };
 
 /// A compiled program bound to a target backend: launching resolves the
@@ -129,10 +148,25 @@ public:
   /// lowered form when CompilerOptions::LowerToLoops forced it).
   exec::KernelForm getKernelForm() const;
 
+  /// The execution tier launchKernel selects for lowered kernels
+  /// (initialized from $SMLIR_EXEC_TIER; see exec/Bytecode.h).
+  /// High-level SYCL kernels always execute through the tree-walking
+  /// interpreter, as do lowered kernels outside the bytecode
+  /// translator's coverage.
+  exec::ExecutionTier getExecutionTier() const { return Tier; }
+  void setExecutionTier(exec::ExecutionTier NewTier) { Tier = NewTier; }
+
+  /// The cached bytecode of \p Name, translating on first request; null
+  /// (with \p WhyNot) when the kernel cannot use the bytecode tier.
+  const exec::bc::Function *getKernelBytecode(std::string_view Name,
+                                              std::string *WhyNot
+                                              = nullptr) const;
+
 private:
   std::shared_ptr<const CompiledModule> Compiled;
   CompilerOptions Options;
   const exec::TargetBackend &Target;
+  exec::ExecutionTier Tier = exec::getDefaultExecutionTier();
   /// Kernels already JIT-compiled in this run (AdaptiveCpp flow),
   /// guarded so executables shared between queues stay consistent.
   std::mutex JITMutex;

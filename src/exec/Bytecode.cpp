@@ -1,0 +1,1200 @@
+//===- Bytecode.cpp - Lowered-kernel bytecode translator ----------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-time translator from a lowered kernel's scf/memref/arith/gpu
+/// body to register bytecode, plus the disassembler backing the golden
+/// `.bc.expected` snapshots. Structured control flow is flattened into
+/// jumps whose step/cost accounting mirrors the tree-walking interpreter
+/// instruction for instruction (see Bytecode.h for the parity contract);
+/// calls are inlined per call site (sharing the callee's registers, just
+/// as the interpreter shares its value slots); coalescing is classified
+/// per access site with the same Memory Access Analysis the interpreter
+/// consults at launch time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Bytecode.h"
+
+#include "analysis/MemoryAccess.h"
+#include "dialect/Arith.h"
+#include "dialect/MemRef.h"
+#include "dialect/SYCL.h"
+#include "ir/Block.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+using namespace smlir;
+using namespace smlir::exec;
+using namespace smlir::exec::bc;
+
+std::string_view exec::stringifyExecutionTier(ExecutionTier Tier) {
+  return Tier == ExecutionTier::Bytecode ? "bytecode" : "interpreter";
+}
+
+ExecutionTier exec::getDefaultExecutionTier() {
+  static ExecutionTier Tier = [] {
+    const char *Env = std::getenv("SMLIR_EXEC_TIER");
+    if (!Env || !*Env)
+      return ExecutionTier::Bytecode;
+    std::string_view Value(Env);
+    if (Value == "bytecode")
+      return ExecutionTier::Bytecode;
+    if (Value == "interpreter")
+      return ExecutionTier::Interpreter;
+    reportFatalError("SMLIR_EXEC_TIER: unknown execution tier '" +
+                     std::string(Value) +
+                     "' (expected 'bytecode' or 'interpreter')");
+  }();
+  return Tier;
+}
+
+//===----------------------------------------------------------------------===//
+// Translator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Value kinds = register planes (and copy-tuple tags in the pool).
+enum : int64_t { KindInt = 0, KindFloat = 1, KindMem = 2 };
+
+class Translator {
+public:
+  explicit Translator(FuncOp Kernel)
+      : Kernel(Kernel), MAA(Kernel.getOperation()),
+        Scope(ModuleOp::dyn_cast(Kernel.getOperation()->getParentOp())) {}
+
+  std::unique_ptr<Function> run(std::string *WhyNot);
+
+private:
+  /// Aborts translation with a reason; always returns false.
+  bool unsupported(std::string Reason) {
+    if (Why.empty())
+      Why = std::move(Reason);
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Registers
+  //===--------------------------------------------------------------------===//
+
+  bool kindOf(Type Ty, int64_t &Kind) {
+    if (Ty.isIntOrIndex())
+      Kind = KindInt;
+    else if (Ty.isFloat())
+      Kind = KindFloat;
+    else if (Ty.dyn_cast<MemRefType>())
+      Kind = KindMem;
+    else
+      return false;
+    return true;
+  }
+
+  /// The register of \p V in the plane its type selects (assigned on
+  /// first touch; SSA dominance orders defs before uses).
+  int32_t regOf(Value V, int64_t Kind) {
+    auto &Map = Kind == KindInt    ? IntSlots
+                : Kind == KindFloat ? FloatSlots
+                                    : MemSlots;
+    uint32_t &Num = Kind == KindInt    ? Fn->NumIntRegs
+                    : Kind == KindFloat ? Fn->NumFloatRegs
+                                        : Fn->NumMemRegs;
+    auto [It, Inserted] = Map.try_emplace(V.getImpl(), (int32_t)Num);
+    if (Inserted)
+      ++Num;
+    return It->second;
+  }
+
+  bool typedReg(Value V, int64_t &Kind, int32_t &Reg) {
+    if (!kindOf(V.getType(), Kind))
+      return unsupported("value of unsupported type");
+    Reg = regOf(V, Kind);
+    return true;
+  }
+
+  bool intOperand(Value V, int32_t &Reg) {
+    if (!V.getType().isIntOrIndex())
+      return unsupported("expected an integer operand");
+    Reg = regOf(V, KindInt);
+    return true;
+  }
+  bool floatOperand(Value V, int32_t &Reg) {
+    if (!V.getType().isFloat())
+      return unsupported("expected a float operand");
+    Reg = regOf(V, KindFloat);
+    return true;
+  }
+  bool memOperand(Value V, int32_t &Reg) {
+    if (!V.getType().dyn_cast<MemRefType>())
+      return unsupported("expected a memref operand");
+    Reg = regOf(V, KindMem);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Emission
+  //===--------------------------------------------------------------------===//
+
+  int32_t emit(Inst I) {
+    Fn->Code.push_back(I);
+    return (int32_t)Fn->Code.size() - 1;
+  }
+  int32_t here() const { return (int32_t)Fn->Code.size(); }
+
+  int32_t intConst(int64_t V) {
+    auto [It, Inserted] =
+        IntConsts.try_emplace(V, (int32_t)Fn->IntPool.size());
+    if (Inserted)
+      Fn->IntPool.push_back(V);
+    return It->second;
+  }
+  int32_t floatConst(double V) {
+    Fn->FloatPool.push_back(V);
+    return (int32_t)Fn->FloatPool.size() - 1;
+  }
+
+  /// Appends the rank and static shape of \p Ty to the pool.
+  int32_t poolShape(MemRefType Ty) {
+    int32_t Start = (int32_t)Fn->Pool.size();
+    Fn->Pool.push_back(Ty.getRank());
+    for (int64_t Extent : Ty.getShape())
+      Fn->Pool.push_back(Extent);
+    return Start;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Structured translation contexts
+  //===--------------------------------------------------------------------===//
+
+  /// What an scf.yield means in the innermost structured op.
+  struct YieldCtx {
+    enum class K { ForBody, IfBranch } Kind;
+    // ForBody: back-edge state.
+    int32_t IVReg = 0, UBReg = 0, StepReg = 0, BodyStart = 0;
+    /// Per yielded value: (kind, body-arg dst, result dst) for ForBody;
+    /// (kind, result dst) for IfBranch (BodyArg unused).
+    struct Dst {
+      int64_t Kind;
+      int32_t BodyArg;
+      int32_t Result;
+    };
+    std::vector<Dst> Dsts;
+    /// IfBranch: end-of-if jumps to patch.
+    std::vector<int32_t> *PatchEnd = nullptr;
+  };
+
+  /// What func.return means in the current function.
+  struct FuncCtx {
+    bool IsKernel;
+    /// Call-result destinations (kind, reg) for inlined callees.
+    std::vector<std::pair<int64_t, int32_t>> ResultDsts;
+    /// RetCopy continuation jumps to patch.
+    std::vector<int32_t> PatchRets;
+  };
+
+  bool translateBlock(Block &B, YieldCtx *YC, FuncCtx &FC);
+  bool translateOp(Operation *Op, YieldCtx *YC, FuncCtx &FC);
+  bool translateIf(Operation *Op, FuncCtx &FC);
+  bool translateFor(Operation *Op, FuncCtx &FC);
+  bool translateCall(Operation *Op, FuncCtx &FC);
+  bool translateAlloca(Operation *Op);
+  bool translateLoadStore(Operation *Op, bool IsStore);
+
+  FuncOp Kernel;
+  MemoryAccessAnalysis MAA;
+  ModuleOp Scope;
+  std::unique_ptr<Function> Fn;
+  std::string Why;
+
+  std::unordered_map<detail::ValueImpl *, int32_t> IntSlots, FloatSlots,
+      MemSlots;
+  std::map<int64_t, int32_t> IntConsts;
+  std::unordered_map<Operation *, int32_t> BarrierTokens;
+  std::vector<Operation *> CallStack;
+};
+
+std::unique_ptr<Function> Translator::run(std::string *WhyNot) {
+  auto Fail = [&](std::string Reason) {
+    unsupported(std::move(Reason));
+    if (WhyNot)
+      *WhyNot = Why;
+    return nullptr;
+  };
+  if (Kernel.isDeclaration())
+    return Fail("kernel has no body");
+  if (!Kernel.getOperation()->hasAttr(sycl::kLoweredKernelAttrName))
+    return Fail("kernel does not use the lowered device ABI");
+  if (Kernel.getOperation()->getRegion(0).getNumBlocks() != 1)
+    return Fail("multi-block function body");
+  if (Kernel.getNumArguments() == 0)
+    return Fail("lowered kernel without an identity-record argument");
+
+  Fn = std::make_unique<Function>();
+  Fn->Name = Kernel.getName();
+  Fn->PrivIntWords = sycl::ItemStateWords;
+
+  Block *Entry = Kernel.getEntryBlock();
+  // Leading argument: the private identity record.
+  {
+    Value Item = Entry->getArgument(0);
+    if (!Item.getType().dyn_cast<MemRefType>())
+      return Fail("identity-record argument is not a memref");
+    Fn->ItemReg = regOf(Item, KindMem);
+  }
+  // Remaining arguments: accessor data memrefs or scalars.
+  for (unsigned I = 1; I < Kernel.getNumArguments(); ++I) {
+    Value Arg = Entry->getArgument(I);
+    int64_t Kind;
+    if (!kindOf(Arg.getType(), Kind))
+      return Fail("kernel argument of unsupported type");
+    Function::ArgBind Bind;
+    Bind.K = Kind == KindMem    ? Function::ArgBind::Kind::AccessorMem
+             : Kind == KindInt  ? Function::ArgBind::Kind::IntScalar
+                                : Function::ArgBind::Kind::FloatScalar;
+    Bind.Reg = regOf(Arg, Kind);
+    Fn->Args.push_back(Bind);
+  }
+
+  FuncCtx FC{/*IsKernel=*/true, {}, {}};
+  if (!translateBlock(*Entry, /*YC=*/nullptr, FC)) {
+    if (WhyNot)
+      *WhyNot = Why;
+    return nullptr;
+  }
+  // Without a trailing Halt the dispatch loop would run off the end of
+  // the instruction array.
+  if (Entry->back()->getName().getStringRef() != "func.return")
+    return Fail("kernel body without a return terminator");
+  return std::move(Fn);
+}
+
+bool Translator::translateBlock(Block &B, YieldCtx *YC, FuncCtx &FC) {
+  if (B.empty())
+    return unsupported("empty block");
+  for (Operation *Op = B.front(); Op; Op = Op->getNextNode()) {
+    bool IsLast = Op == B.back();
+    const std::string &Name = Op->getName().getStringRef();
+    // Yields must terminate their block: the VM's loop back-edge falls
+    // through to the loop exit, so nothing may follow it.
+    if ((Name == "scf.yield" || Name == "affine.yield") && !IsLast)
+      return unsupported("yield is not the block terminator");
+    if (!translateOp(Op, YC, FC))
+      return false;
+  }
+  return true;
+}
+
+bool Translator::translateOp(Operation *Op, YieldCtx *YC, FuncCtx &FC) {
+  const std::string &Name = Op->getName().getStringRef();
+
+  auto ResultReg = [&](int64_t Kind) {
+    return regOf(Op->getResult(0), Kind);
+  };
+
+  // Integer / float binary arithmetic.
+  auto IntBin = [&](Opc O) {
+    int32_t L, R;
+    if (!intOperand(Op->getOperand(0), L) ||
+        !intOperand(Op->getOperand(1), R))
+      return false;
+    emit({O, 0, 0, ResultReg(KindInt), L, R, 0});
+    return true;
+  };
+  auto FloatBin = [&](Opc O) {
+    int32_t L, R;
+    if (!floatOperand(Op->getOperand(0), L) ||
+        !floatOperand(Op->getOperand(1), R))
+      return false;
+    emit({O, 0, 0, ResultReg(KindFloat), L, R, 0});
+    return true;
+  };
+  auto FloatUn = [&](Opc O) {
+    int32_t S;
+    if (!floatOperand(Op->getOperand(0), S))
+      return false;
+    emit({O, 0, 0, ResultReg(KindFloat), S, 0, 0});
+    return true;
+  };
+
+  if (Name == "arith.constant") {
+    Attribute ValueAttr = Op->getAttr("value");
+    if (auto IntAttr = ValueAttr.dyn_cast<IntegerAttr>()) {
+      if (!Op->getResultType(0).isIntOrIndex())
+        return unsupported("integer constant of non-integer type");
+      emit({Opc::ConstI, 0, 0, ResultReg(KindInt),
+            intConst(IntAttr.getValue()), 0, 0});
+      return true;
+    }
+    if (auto FloatAttr_ = ValueAttr.dyn_cast<FloatAttr>()) {
+      if (!Op->getResultType(0).isFloat())
+        return unsupported("float constant of non-float type");
+      emit({Opc::ConstF, 0, 0, ResultReg(KindFloat),
+            floatConst(FloatAttr_.getValue()), 0, 0});
+      return true;
+    }
+    return unsupported("arith.constant with a non-numeric attribute");
+  }
+  if (Name == "arith.addi")
+    return IntBin(Opc::AddI);
+  if (Name == "arith.subi")
+    return IntBin(Opc::SubI);
+  if (Name == "arith.muli")
+    return IntBin(Opc::MulI);
+  if (Name == "arith.divsi")
+    return IntBin(Opc::DivSI);
+  if (Name == "arith.remsi")
+    return IntBin(Opc::RemSI);
+  if (Name == "arith.andi")
+    return IntBin(Opc::AndI);
+  if (Name == "arith.ori")
+    return IntBin(Opc::OrI);
+  if (Name == "arith.xori")
+    return IntBin(Opc::XOrI);
+  if (Name == "arith.minsi")
+    return IntBin(Opc::MinSI);
+  if (Name == "arith.maxsi")
+    return IntBin(Opc::MaxSI);
+  if (Name == "arith.addf")
+    return FloatBin(Opc::AddF);
+  if (Name == "arith.subf")
+    return FloatBin(Opc::SubF);
+  if (Name == "arith.mulf")
+    return FloatBin(Opc::MulF);
+  if (Name == "arith.divf")
+    return FloatBin(Opc::DivF);
+  if (Name == "arith.minf")
+    return FloatBin(Opc::MinF);
+  if (Name == "arith.maxf")
+    return FloatBin(Opc::MaxF);
+  if (Name == "arith.negf")
+    return FloatUn(Opc::NegF);
+
+  if (Name == "arith.cmpi" || Name == "arith.cmpf") {
+    auto PredAttr = Op->getAttrOfType<StringAttr>("predicate");
+    if (!PredAttr)
+      return unsupported(Name + " without a predicate");
+    uint8_t Pred;
+    int32_t L, R;
+    if (Name == "arith.cmpi") {
+      auto P = arith::parseCmpIPredicate(PredAttr.getValue());
+      if (!P)
+        return unsupported("unknown cmpi predicate");
+      Pred = (uint8_t)*P;
+      if (!intOperand(Op->getOperand(0), L) ||
+          !intOperand(Op->getOperand(1), R))
+        return false;
+      emit({Opc::CmpI, Pred, 0, ResultReg(KindInt), L, R, 0});
+    } else {
+      auto P = arith::parseCmpFPredicate(PredAttr.getValue());
+      if (!P)
+        return unsupported("unknown cmpf predicate");
+      Pred = (uint8_t)*P;
+      if (!floatOperand(Op->getOperand(0), L) ||
+          !floatOperand(Op->getOperand(1), R))
+        return false;
+      emit({Opc::CmpF, Pred, 0, ResultReg(KindInt), L, R, 0});
+    }
+    return true;
+  }
+  if (Name == "arith.select") {
+    int32_t Cond;
+    if (!intOperand(Op->getOperand(0), Cond))
+      return false;
+    Type Ty = Op->getResultType(0);
+    if (Ty.isIntOrIndex()) {
+      int32_t T, F;
+      if (!intOperand(Op->getOperand(1), T) ||
+          !intOperand(Op->getOperand(2), F))
+        return false;
+      emit({Opc::SelI, 0, 0, ResultReg(KindInt), Cond, T, F});
+      return true;
+    }
+    if (Ty.isFloat()) {
+      int32_t T, F;
+      if (!floatOperand(Op->getOperand(1), T) ||
+          !floatOperand(Op->getOperand(2), F))
+        return false;
+      emit({Opc::SelF, 0, 0, ResultReg(KindFloat), Cond, T, F});
+      return true;
+    }
+    return unsupported("arith.select of a non-scalar type");
+  }
+  if (Name == "arith.index_cast" || Name == "arith.extsi") {
+    int32_t S;
+    if (!intOperand(Op->getOperand(0), S))
+      return false;
+    emit({Opc::CopyI, 0, 0, ResultReg(KindInt), S, 0, 0});
+    return true;
+  }
+  if (Name == "arith.trunci") {
+    auto IntTy = Op->getResultType(0).dyn_cast<IntegerType>();
+    if (!IntTy)
+      return unsupported("arith.trunci to a non-integer type");
+    unsigned Width = IntTy.getWidth();
+    uint64_t Mask = Width >= 64 ? ~0ull : ((1ull << Width) - 1);
+    int32_t S;
+    if (!intOperand(Op->getOperand(0), S))
+      return false;
+    emit({Opc::TruncI, 0, 0, ResultReg(KindInt), S,
+          intConst((int64_t)Mask), 0});
+    return true;
+  }
+  if (Name == "arith.sitofp") {
+    int32_t S;
+    if (!intOperand(Op->getOperand(0), S))
+      return false;
+    emit({Opc::SIToFP, 0, 0, ResultReg(KindFloat), S, 0, 0});
+    return true;
+  }
+  if (Name == "arith.fptosi") {
+    int32_t S;
+    if (!floatOperand(Op->getOperand(0), S))
+      return false;
+    emit({Opc::FPToSI, 0, 0, ResultReg(KindInt), S, 0, 0});
+    return true;
+  }
+  if (Name == "math.sqrt")
+    return FloatUn(Opc::Sqrt);
+  if (Name == "math.exp")
+    return FloatUn(Opc::Exp);
+  if (Name == "math.fabs")
+    return FloatUn(Opc::FAbs);
+
+  if (Name == "memref.alloca")
+    return translateAlloca(Op);
+  if (Name == "memref.load" || Name == "affine.load")
+    return translateLoadStore(Op, /*IsStore=*/false);
+  if (Name == "memref.store" || Name == "affine.store")
+    return translateLoadStore(Op, /*IsStore=*/true);
+
+  if (Name == "memref.dim") {
+    int32_t Mem, DimReg;
+    auto Ty = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+    if (!Ty)
+      return unsupported("memref.dim of a non-memref");
+    if (!memOperand(Op->getOperand(0), Mem) ||
+        !intOperand(Op->getOperand(1), DimReg))
+      return false;
+    emit({Opc::Dim, 0, 0, ResultReg(KindInt), Mem, DimReg, poolShape(Ty)});
+    return true;
+  }
+  if (Name == "memref.subview") {
+    auto Ty = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+    if (!Ty)
+      return unsupported("memref.subview of a non-memref");
+    unsigned NumIdx = Op->getNumOperands() - 1;
+    if (NumIdx > (unsigned)Ty.getRank())
+      return unsupported("memref.subview with more indices than rank");
+    int32_t Mem;
+    if (!memOperand(Op->getOperand(0), Mem))
+      return false;
+    int32_t PoolIdx = (int32_t)Fn->Pool.size();
+    Fn->Pool.push_back(NumIdx);
+    for (unsigned I = 0; I < NumIdx; ++I) {
+      int32_t Idx;
+      if (!intOperand(Op->getOperand(1 + I), Idx))
+        return false;
+      Fn->Pool.push_back(Idx);
+    }
+    poolShape(Ty);
+    emit({Opc::SubView, 0, 0, ResultReg(KindMem), Mem, PoolIdx, 0});
+    return true;
+  }
+  if (Name == "memref.offset") {
+    auto Ty = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+    if (!Ty)
+      return unsupported("memref.offset of a non-memref");
+    int32_t Mem, DimReg;
+    if (!memOperand(Op->getOperand(0), Mem) ||
+        !intOperand(Op->getOperand(1), DimReg))
+      return false;
+    emit({Opc::ViewOff, 0, (uint16_t)Ty.getRank(), ResultReg(KindInt), Mem,
+          DimReg, 0});
+    return true;
+  }
+  if (Name == "memref.disjoint") {
+    auto TyA = Op->getOperand(0).getType().dyn_cast<MemRefType>();
+    auto TyB = Op->getOperand(1).getType().dyn_cast<MemRefType>();
+    if (!TyA || !TyB)
+      return unsupported("memref.disjoint of a non-memref");
+    int32_t MemA, MemB;
+    if (!memOperand(Op->getOperand(0), MemA) ||
+        !memOperand(Op->getOperand(1), MemB))
+      return false;
+    int32_t PoolIdx = poolShape(TyA);
+    poolShape(TyB);
+    emit({Opc::Disjoint, 0, 0, ResultReg(KindInt), MemA, MemB, PoolIdx});
+    return true;
+  }
+
+  if (Name == "gpu.barrier") {
+    auto [It, Inserted] =
+        BarrierTokens.try_emplace(Op, (int32_t)Fn->NumBarrierSites);
+    if (Inserted)
+      ++Fn->NumBarrierSites;
+    emit({Opc::Barrier, 0, 0, It->second, 0, 0, 0});
+    return true;
+  }
+
+  if (Name == "scf.if")
+    return translateIf(Op, FC);
+  if (Name == "scf.for" || Name == "affine.for")
+    return translateFor(Op, FC);
+
+  if (Name == "scf.yield" || Name == "affine.yield") {
+    if (!YC)
+      return unsupported("yield outside of a structured op");
+    unsigned NumVals = Op->getNumOperands();
+    if (NumVals != YC->Dsts.size())
+      return unsupported("yield arity mismatch");
+    if (YC->Kind == YieldCtx::K::ForBody) {
+      int32_t PoolIdx = (int32_t)Fn->Pool.size();
+      Fn->Pool.push_back(YC->IVReg);
+      Fn->Pool.push_back(YC->UBReg);
+      Fn->Pool.push_back(YC->StepReg);
+      Fn->Pool.push_back(NumVals);
+      for (unsigned I = 0; I < NumVals; ++I) {
+        int64_t Kind;
+        int32_t Src;
+        if (!kindOf(Op->getOperand(I).getType(), Kind) ||
+            Kind != YC->Dsts[I].Kind)
+          return unsupported("yield operand type mismatch");
+        if (!typedReg(Op->getOperand(I), Kind, Src))
+          return false;
+        Fn->Pool.push_back(Kind);
+        Fn->Pool.push_back(Src);
+        Fn->Pool.push_back(YC->Dsts[I].BodyArg);
+        Fn->Pool.push_back(YC->Dsts[I].Result);
+      }
+      Fn->MaxYieldVals = std::max(Fn->MaxYieldVals, NumVals);
+      emit({Opc::ForYield, 0, 0, YC->BodyStart, 0, PoolIdx, 0});
+      return true;
+    }
+    // scf.if branch yield.
+    int32_t PoolIdx = (int32_t)Fn->Pool.size();
+    Fn->Pool.push_back(NumVals);
+    for (unsigned I = 0; I < NumVals; ++I) {
+      int64_t Kind;
+      int32_t Src;
+      if (!kindOf(Op->getOperand(I).getType(), Kind) ||
+          Kind != YC->Dsts[I].Kind)
+        return unsupported("yield operand type mismatch");
+      if (!typedReg(Op->getOperand(I), Kind, Src))
+        return false;
+      Fn->Pool.push_back(Kind);
+      Fn->Pool.push_back(Src);
+      Fn->Pool.push_back(YC->Dsts[I].Result);
+    }
+    YC->PatchEnd->push_back(
+        emit({Opc::IfYield, 0, 0, 0, 0, PoolIdx, 0}));
+    return true;
+  }
+
+  if (Name == "func.return") {
+    if (FC.IsKernel) {
+      if (Op->getNumOperands() != 0)
+        return unsupported("kernel returning values");
+      emit({Opc::Halt, 0, 0, 0, 0, 0, 0});
+      return true;
+    }
+    if (Op->getNumOperands() != FC.ResultDsts.size())
+      return unsupported("return arity mismatch");
+    int32_t PoolIdx = (int32_t)Fn->Pool.size();
+    Fn->Pool.push_back(Op->getNumOperands());
+    for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+      int64_t Kind;
+      int32_t Src;
+      if (!kindOf(Op->getOperand(I).getType(), Kind) ||
+          Kind != FC.ResultDsts[I].first)
+        return unsupported("return operand type mismatch");
+      if (!typedReg(Op->getOperand(I), Kind, Src))
+        return false;
+      Fn->Pool.push_back(Kind);
+      Fn->Pool.push_back(Src);
+      Fn->Pool.push_back(FC.ResultDsts[I].second);
+    }
+    FC.PatchRets.push_back(emit({Opc::RetCopy, 0, 0, 0, 0, PoolIdx, 0}));
+    return true;
+  }
+
+  if (Name == "func.call")
+    return translateCall(Op, FC);
+
+  return unsupported("bytecode translator does not support '" + Name + "'");
+}
+
+bool Translator::translateAlloca(Operation *Op) {
+  auto Ty = Op->getResultType(0).dyn_cast<MemRefType>();
+  if (!Ty)
+    return unsupported("memref.alloca of a non-memref type");
+  Type Elem = Ty.getElementType();
+  if (!Elem.isIntOrIndex() && !Elem.isFloat())
+    return unsupported("memref.alloca of a non-scalar element type");
+  bool IsFloat = Elem.isFloat();
+  int64_t Words = Ty.getNumElements();
+  int32_t Dst = regOf(Op->getResult(0), KindMem);
+  if (Ty.getMemorySpace() == MemorySpace::Local) {
+    int32_t Site = (int32_t)Fn->LocalSites.size();
+    Fn->LocalSites.push_back({IsFloat, Words});
+    emit({Opc::AllocaLocal, (uint8_t)IsFloat, 0, Dst, Site, 0, 0});
+    return true;
+  }
+  // Private: the interpreter allocates a fresh zeroed buffer per
+  // execution, which AllocaPriv reproduces by re-zeroing its arena slot
+  // each time it executes — so re-executing the site in a loop is fine.
+  // The one shape a reused slot cannot represent is a view that outlives
+  // one execution of the site (it would alias the next iteration's
+  // "fresh" allocation); views only cross iterations through mem-kind
+  // iter_args, which translateFor rejects when the body may allocate.
+  int64_t &Plane = IsFloat ? Fn->PrivFloatWords : Fn->PrivIntWords;
+  int32_t Offset = (int32_t)Plane;
+  Plane += Words;
+  emit({Opc::AllocaPriv, (uint8_t)IsFloat, 0, Dst, Offset, (int32_t)Words,
+        0});
+  return true;
+}
+
+bool Translator::translateLoadStore(Operation *Op, bool IsStore) {
+  unsigned MemIdx = IsStore ? 1 : 0;
+  unsigned FirstIdx = MemIdx + 1;
+  auto Ty = Op->getOperand(MemIdx).getType().dyn_cast<MemRefType>();
+  if (!Ty)
+    return unsupported("memory access on a non-memref");
+  unsigned NumIdx = Op->getNumOperands() - FirstIdx;
+  if (NumIdx > (unsigned)Ty.getRank())
+    return unsupported("memory access with more indices than rank");
+  int32_t Mem;
+  if (!memOperand(Op->getOperand(MemIdx), Mem))
+    return false;
+
+  // Value register: the plane follows the accessed SSA type; the VM
+  // resolves mismatches against the runtime storage kind exactly like
+  // the interpreter's typed values do.
+  Type ValTy =
+      IsStore ? Op->getOperand(0).getType() : Op->getResultType(0);
+  bool IsFloatVal;
+  int32_t ValReg;
+  if (ValTy.isFloat()) {
+    IsFloatVal = true;
+    ValReg = IsStore ? regOf(Op->getOperand(0), KindFloat)
+                     : regOf(Op->getResult(0), KindFloat);
+  } else if (ValTy.isIntOrIndex()) {
+    IsFloatVal = false;
+    ValReg = IsStore ? regOf(Op->getOperand(0), KindInt)
+                     : regOf(Op->getResult(0), KindInt);
+  } else {
+    return unsupported("memory access of a non-scalar element");
+  }
+
+  // Per-site coalescing classification (paper §V-D), baked at
+  // translation from the same analysis the interpreter queries.
+  MemoryAccess MA = MAA.analyze(Op);
+  bool Coalesced = MA.Valid && MA.isCoalescable();
+
+  int32_t PoolIdx = (int32_t)Fn->Pool.size();
+  for (unsigned I = 0; I < NumIdx; ++I) {
+    int32_t Idx;
+    if (!intOperand(Op->getOperand(FirstIdx + I), Idx))
+      return false;
+    Fn->Pool.push_back(Idx);
+  }
+  const auto &Shape = Ty.getShape();
+  for (unsigned I = 0; I < NumIdx; ++I)
+    Fn->Pool.push_back(Shape[I]);
+
+  uint8_t Flags = (IsFloatVal ? 1 : 0) | (Coalesced ? 2 : 0);
+  emit({IsStore ? Opc::Store : Opc::Load, Flags, (uint16_t)NumIdx, ValReg,
+        Mem, PoolIdx, 0});
+  return true;
+}
+
+bool Translator::translateIf(Operation *Op, FuncCtx &FC) {
+  int32_t Cond;
+  if (!intOperand(Op->getOperand(0), Cond))
+    return false;
+  if (Op->getNumRegions() < 2)
+    return unsupported("scf.if without two regions");
+  Region &Then = Op->getRegion(0);
+  Region &Else = Op->getRegion(1);
+  bool ThenEmpty = Then.empty() || Then.front().empty();
+  bool ElseEmpty = Else.empty() || Else.front().empty();
+  if ((!Then.empty() && Then.getNumBlocks() > 1) ||
+      (!Else.empty() && Else.getNumBlocks() > 1))
+    return unsupported("multi-block scf.if region");
+  // The interpreter fails at runtime on an empty branch of a
+  // value-yielding scf.if; leave such kernels to it.
+  if (Op->getNumResults() > 0 && (ThenEmpty || ElseEmpty))
+    return unsupported("scf.if with results and an empty branch");
+
+  YieldCtx YC;
+  YC.Kind = YieldCtx::K::IfBranch;
+  for (unsigned I = 0; I < Op->getNumResults(); ++I) {
+    int64_t Kind;
+    int32_t Reg;
+    if (!typedReg(Op->getResult(I), Kind, Reg))
+      return false;
+    YC.Dsts.push_back({Kind, 0, Reg});
+  }
+  std::vector<int32_t> PatchEnd;
+  YC.PatchEnd = &PatchEnd;
+
+  int32_t CB = emit({Opc::CondBr, 0, 0, 0, Cond, 0, 0});
+  bool PatchCondToEnd = true;
+  if (!ThenEmpty) {
+    if (!translateBlock(Then.front(), &YC, FC))
+      return false;
+    Operation *Term = Then.front().back();
+    const std::string &TermName = Term->getName().getStringRef();
+    if (TermName != "scf.yield" && TermName != "affine.yield" &&
+        TermName != "func.return")
+      return unsupported("scf.if branch without a yield terminator");
+  }
+  if (!ElseEmpty) {
+    // An empty taken then branch falls through here: skip the else body.
+    // (The interpreter executes nothing for this control transfer, so
+    // `br` is the one zero-step instruction. Non-empty branches always
+    // end in a jumping instruction of their own.)
+    if (ThenEmpty)
+      PatchEnd.push_back(emit({Opc::Br, 0, 0, 0, 0, 0, 0}));
+    Fn->Code[CB].A = here();
+    PatchCondToEnd = false;
+    if (!translateBlock(Else.front(), &YC, FC))
+      return false;
+    Operation *Term = Else.front().back();
+    const std::string &TermName = Term->getName().getStringRef();
+    if (TermName != "scf.yield" && TermName != "affine.yield" &&
+        TermName != "func.return")
+      return unsupported("scf.if branch without a yield terminator");
+  }
+  int32_t End = here();
+  if (PatchCondToEnd)
+    Fn->Code[CB].A = End;
+  for (int32_t At : PatchEnd)
+    Fn->Code[At].A = End;
+  return true;
+}
+
+bool Translator::translateFor(Operation *Op, FuncCtx &FC) {
+  int32_t Lb, Ub, Step;
+  if (!intOperand(Op->getOperand(0), Lb) ||
+      !intOperand(Op->getOperand(1), Ub) ||
+      !intOperand(Op->getOperand(2), Step))
+    return false;
+  if (Op->getNumRegions() < 1 || Op->getRegion(0).empty())
+    return unsupported("scf.for without a body");
+  if (Op->getRegion(0).getNumBlocks() > 1)
+    return unsupported("multi-block scf.for body");
+  Block &Body = Op->getRegion(0).front();
+  unsigned NumIter = Op->getNumResults();
+  if (Op->getNumOperands() != 3 + NumIter ||
+      Body.getNumArguments() != 1 + NumIter)
+    return unsupported("scf.for with mismatched iteration arity");
+  if (!Body.getArgument(0).getType().isIntOrIndex())
+    return unsupported("scf.for induction variable is not an integer");
+  int32_t IV = regOf(Body.getArgument(0), KindInt);
+
+  YieldCtx YC;
+  YC.Kind = YieldCtx::K::ForBody;
+  YC.IVReg = IV;
+  YC.UBReg = Ub;
+  YC.StepReg = Step;
+
+  int32_t PoolIdx = (int32_t)Fn->Pool.size();
+  Fn->Pool.push_back(Lb);
+  Fn->Pool.push_back(Ub);
+  Fn->Pool.push_back(Step);
+  Fn->Pool.push_back(IV);
+  Fn->Pool.push_back(NumIter);
+  for (unsigned I = 0; I < NumIter; ++I) {
+    int64_t Kind;
+    int32_t InitSrc;
+    if (!typedReg(Op->getOperand(3 + I), Kind, InitSrc))
+      return false;
+    if (Kind == KindMem) {
+      // A memref iter_arg can carry a view of a private alloca across
+      // iterations, where it would alias the reused (re-zeroed) arena
+      // slot instead of the interpreter's still-live old buffer. Only
+      // loops whose body may execute an alloca (directly, nested, or
+      // through a call) are affected.
+      bool MayAlloc = false;
+      Op->walk([&](Operation *Inner) {
+        const std::string &Name = Inner->getName().getStringRef();
+        if (Name == "func.call")
+          MayAlloc = true;
+        if (Name == "memref.alloca")
+          if (auto Ty = Inner->getResultType(0).dyn_cast<MemRefType>();
+              Ty && Ty.getMemorySpace() != MemorySpace::Local)
+            MayAlloc = true;
+      });
+      if (MayAlloc)
+        return unsupported(
+            "memref iter_arg on a loop whose body allocates");
+    }
+    int64_t ArgKind;
+    int32_t BodyArg, Result;
+    if (!typedReg(Body.getArgument(1 + I), ArgKind, BodyArg) ||
+        ArgKind != Kind)
+      return unsupported("scf.for iteration argument type mismatch");
+    int64_t ResKind;
+    if (!typedReg(Op->getResult(I), ResKind, Result) || ResKind != Kind)
+      return unsupported("scf.for result type mismatch");
+    Fn->Pool.push_back(Kind);
+    Fn->Pool.push_back(InitSrc);
+    Fn->Pool.push_back(BodyArg);
+    Fn->Pool.push_back(Result);
+    YC.Dsts.push_back({Kind, BodyArg, Result});
+  }
+  Fn->MaxYieldVals = std::max<uint32_t>(Fn->MaxYieldVals, NumIter);
+
+  int32_t FI = emit({Opc::ForInit, 0, 0, 0, 0, PoolIdx, 0});
+  YC.BodyStart = here();
+  bool Ok = translateBlock(Body, &YC, FC);
+  if (!Ok)
+    return false;
+  Operation *Term = Body.back();
+  const std::string &TermName = Term->getName().getStringRef();
+  if (TermName != "scf.yield" && TermName != "affine.yield")
+    return unsupported("scf.for body without a yield terminator");
+  Fn->Code[FI].A = here();
+  return true;
+}
+
+bool Translator::translateCall(Operation *Op, FuncCtx &FC) {
+  auto Call = CallOp::cast(Op);
+  FuncOp Callee = Scope ? Call.resolveCallee(Scope) : FuncOp(nullptr);
+  if (!Callee)
+    return unsupported("call to unknown function '" + Call.getCallee() +
+                       "'");
+  if (Callee.isDeclaration())
+    return unsupported("call to function declaration");
+  for (Operation *Active : CallStack)
+    if (Active == Callee.getOperation())
+      return unsupported("recursive call to '" + Call.getCallee() + "'");
+  if (Callee.getOperation()->getRegion(0).getNumBlocks() != 1)
+    return unsupported("multi-block function body");
+  Block *Entry = Callee.getEntryBlock();
+  if (Entry->getNumArguments() != Op->getNumOperands())
+    return unsupported("call argument arity mismatch");
+
+  // Copy arguments into the callee's registers (shared across call
+  // sites, like the interpreter's global value slots; recursion is
+  // rejected above so no two activations overlap).
+  int32_t PoolIdx = (int32_t)Fn->Pool.size();
+  Fn->Pool.push_back(Op->getNumOperands());
+  for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+    int64_t Kind;
+    int32_t Src;
+    if (!typedReg(Op->getOperand(I), Kind, Src))
+      return false;
+    int64_t ArgKind;
+    int32_t Dst;
+    if (!typedReg(Entry->getArgument(I), ArgKind, Dst) || ArgKind != Kind)
+      return unsupported("call argument type mismatch");
+    Fn->Pool.push_back(Kind);
+    Fn->Pool.push_back(Src);
+    Fn->Pool.push_back(Dst);
+  }
+  emit({Opc::CallArgs, 0, 0, 0, 0, PoolIdx, 0});
+
+  FuncCtx CalleeCtx{/*IsKernel=*/false, {}, {}};
+  for (unsigned I = 0; I < Op->getNumResults(); ++I) {
+    int64_t Kind;
+    int32_t Reg;
+    if (!typedReg(Op->getResult(I), Kind, Reg))
+      return false;
+    CalleeCtx.ResultDsts.push_back({Kind, Reg});
+  }
+
+  CallStack.push_back(Callee.getOperation());
+  bool Ok = translateBlock(*Entry, /*YC=*/nullptr, CalleeCtx);
+  CallStack.pop_back();
+  if (!Ok)
+    return false;
+  if (Entry->back()->getName().getStringRef() != "func.return")
+    return unsupported("function body without a return terminator");
+  int32_t Cont = here();
+  for (int32_t At : CalleeCtx.PatchRets)
+    Fn->Code[At].A = Cont;
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<Function> bc::translate(FuncOp Kernel,
+                                        std::string *WhyNot) {
+  return Translator(Kernel).run(WhyNot);
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *opcName(Opc Op) {
+  switch (Op) {
+  case Opc::ConstI: return "const.i";
+  case Opc::ConstF: return "const.f";
+  case Opc::AddI: return "add.i";
+  case Opc::SubI: return "sub.i";
+  case Opc::MulI: return "mul.i";
+  case Opc::DivSI: return "divs.i";
+  case Opc::RemSI: return "rems.i";
+  case Opc::AndI: return "and.i";
+  case Opc::OrI: return "or.i";
+  case Opc::XOrI: return "xor.i";
+  case Opc::MinSI: return "mins.i";
+  case Opc::MaxSI: return "maxs.i";
+  case Opc::AddF: return "add.f";
+  case Opc::SubF: return "sub.f";
+  case Opc::MulF: return "mul.f";
+  case Opc::DivF: return "div.f";
+  case Opc::MinF: return "min.f";
+  case Opc::MaxF: return "max.f";
+  case Opc::NegF: return "neg.f";
+  case Opc::CmpI: return "cmp.i";
+  case Opc::CmpF: return "cmp.f";
+  case Opc::SelI: return "sel.i";
+  case Opc::SelF: return "sel.f";
+  case Opc::CopyI: return "copy.i";
+  case Opc::TruncI: return "trunc.i";
+  case Opc::SIToFP: return "sitofp";
+  case Opc::FPToSI: return "fptosi";
+  case Opc::Sqrt: return "sqrt";
+  case Opc::Exp: return "exp";
+  case Opc::FAbs: return "fabs";
+  case Opc::AllocaPriv: return "alloca.priv";
+  case Opc::AllocaLocal: return "alloca.local";
+  case Opc::Load: return "load";
+  case Opc::Store: return "store";
+  case Opc::Dim: return "dim";
+  case Opc::SubView: return "subview";
+  case Opc::ViewOff: return "viewoff";
+  case Opc::Disjoint: return "disjoint";
+  case Opc::Br: return "br";
+  case Opc::CondBr: return "cond.br";
+  case Opc::IfYield: return "if.yield";
+  case Opc::ForInit: return "for.init";
+  case Opc::ForYield: return "for.yield";
+  case Opc::CallArgs: return "call.args";
+  case Opc::RetCopy: return "ret.copy";
+  case Opc::Barrier: return "barrier";
+  case Opc::Halt: return "halt";
+  }
+  return "?";
+}
+
+void printShape(std::ostringstream &OS, const std::vector<int64_t> &Pool,
+                size_t At) {
+  int64_t Rank = Pool[At];
+  OS << "[";
+  for (int64_t I = 0; I < Rank; ++I) {
+    if (I)
+      OS << "x";
+    int64_t E = Pool[At + 1 + I];
+    if (E == MemRefType::kDynamic)
+      OS << "?";
+    else
+      OS << E;
+  }
+  OS << "]";
+}
+
+void printCopies(std::ostringstream &OS, const std::vector<int64_t> &Pool,
+                 size_t At, unsigned Stride) {
+  int64_t N = Pool[At];
+  OS << " copies=[";
+  for (int64_t I = 0; I < N; ++I) {
+    size_t Base = At + 1 + I * Stride;
+    if (I)
+      OS << ", ";
+    const char *Plane = Pool[Base] == KindInt    ? "i"
+                        : Pool[Base] == KindFloat ? "f"
+                                                  : "m";
+    OS << Plane << Pool[Base + 1] << "->" << Plane << Pool[Base + 2];
+    if (Stride == 4)
+      OS << "/" << Plane << Pool[Base + 3];
+  }
+  OS << "]";
+}
+
+} // namespace
+
+std::string bc::disassemble(const Function &Fn) {
+  std::ostringstream OS;
+  OS << "kernel @" << Fn.Name << " args=" << Fn.Args.size()
+     << " iregs=" << Fn.NumIntRegs << " fregs=" << Fn.NumFloatRegs
+     << " mregs=" << Fn.NumMemRegs << " priv=[" << Fn.PrivIntWords << "i,"
+     << Fn.PrivFloatWords << "f]"
+     << " locals=" << Fn.LocalSites.size()
+     << " barriers=" << Fn.NumBarrierSites << "\n";
+  OS << "  item: m" << Fn.ItemReg << "\n";
+  for (size_t I = 0; I < Fn.Args.size(); ++I) {
+    const Function::ArgBind &A = Fn.Args[I];
+    OS << "  arg" << I << ": ";
+    switch (A.K) {
+    case Function::ArgBind::Kind::AccessorMem:
+      OS << "accessor m" << A.Reg;
+      break;
+    case Function::ArgBind::Kind::IntScalar:
+      OS << "scalar i" << A.Reg;
+      break;
+    case Function::ArgBind::Kind::FloatScalar:
+      OS << "scalar f" << A.Reg;
+      break;
+    }
+    OS << "\n";
+  }
+  for (size_t I = 0; I < Fn.LocalSites.size(); ++I)
+    OS << "  local" << I << ": " << Fn.LocalSites[I].Words
+       << (Fn.LocalSites[I].IsFloat ? "f" : "i") << " words\n";
+
+  const std::vector<int64_t> &P = Fn.Pool;
+  for (size_t PC = 0; PC < Fn.Code.size(); ++PC) {
+    const Inst &I = Fn.Code[PC];
+    OS << "  " << PC << ": " << opcName(I.Op);
+    switch (I.Op) {
+    case Opc::ConstI:
+      OS << " i" << I.A << ", " << Fn.IntPool[I.B];
+      break;
+    case Opc::ConstF:
+      OS << " f" << I.A << ", " << Fn.FloatPool[I.B];
+      break;
+    case Opc::AddI: case Opc::SubI: case Opc::MulI: case Opc::DivSI:
+    case Opc::RemSI: case Opc::AndI: case Opc::OrI: case Opc::XOrI:
+    case Opc::MinSI: case Opc::MaxSI:
+      OS << " i" << I.A << ", i" << I.B << ", i" << I.C;
+      break;
+    case Opc::AddF: case Opc::SubF: case Opc::MulF: case Opc::DivF:
+    case Opc::MinF: case Opc::MaxF:
+      OS << " f" << I.A << ", f" << I.B << ", f" << I.C;
+      break;
+    case Opc::NegF:
+      OS << " f" << I.A << ", f" << I.B;
+      break;
+    case Opc::CmpI:
+      OS << "<" << arith::stringifyCmpIPredicate(
+                       (arith::CmpIPredicate)I.U8)
+         << "> i" << I.A << ", i" << I.B << ", i" << I.C;
+      break;
+    case Opc::CmpF:
+      OS << "<" << arith::stringifyCmpFPredicate(
+                       (arith::CmpFPredicate)I.U8)
+         << "> i" << I.A << ", f" << I.B << ", f" << I.C;
+      break;
+    case Opc::SelI:
+      OS << " i" << I.A << ", i" << I.B << " ? i" << I.C << " : i" << I.D;
+      break;
+    case Opc::SelF:
+      OS << " f" << I.A << ", i" << I.B << " ? f" << I.C << " : f" << I.D;
+      break;
+    case Opc::CopyI:
+      OS << " i" << I.A << ", i" << I.B;
+      break;
+    case Opc::TruncI:
+      OS << " i" << I.A << ", i" << I.B << ", mask=0x" << std::hex
+         << (uint64_t)Fn.IntPool[I.C] << std::dec;
+      break;
+    case Opc::SIToFP:
+      OS << " f" << I.A << ", i" << I.B;
+      break;
+    case Opc::FPToSI:
+      OS << " i" << I.A << ", f" << I.B;
+      break;
+    case Opc::Sqrt: case Opc::Exp: case Opc::FAbs:
+      OS << " f" << I.A << ", f" << I.B;
+      break;
+    case Opc::AllocaPriv:
+      OS << " m" << I.A << ", " << (I.U8 ? "f" : "i") << "[" << I.B << ".."
+         << (I.B + I.C) << ")";
+      break;
+    case Opc::AllocaLocal:
+      OS << " m" << I.A << ", local" << I.B;
+      break;
+    case Opc::Load:
+    case Opc::Store: {
+      OS << " " << ((I.U8 & 1) ? "f" : "i") << I.A << ", m" << I.B << "[";
+      for (unsigned K = 0; K < I.U16; ++K)
+        OS << (K ? ", " : "") << "i" << P[I.C + K];
+      OS << "] extents=[";
+      for (unsigned K = 0; K < I.U16; ++K) {
+        int64_t E = P[I.C + I.U16 + K];
+        OS << (K ? "x" : "");
+        if (E == MemRefType::kDynamic)
+          OS << "?";
+        else
+          OS << E;
+      }
+      OS << "]" << ((I.U8 & 2) ? " coalesced" : " uncoalesced");
+      break;
+    }
+    case Opc::Dim:
+      OS << " i" << I.A << ", m" << I.B << ", dim=i" << I.C << " shape=";
+      printShape(OS, P, I.D);
+      break;
+    case Opc::SubView: {
+      int64_t N = P[I.C];
+      OS << " m" << I.A << ", m" << I.B << "[";
+      for (int64_t K = 0; K < N; ++K)
+        OS << (K ? ", " : "") << "i" << P[I.C + 1 + K];
+      OS << "] shape=";
+      printShape(OS, P, I.C + 1 + N);
+      break;
+    }
+    case Opc::ViewOff:
+      OS << " i" << I.A << ", m" << I.B << ", dim=i" << I.C
+         << " rank=" << I.U16;
+      break;
+    case Opc::Disjoint: {
+      OS << " i" << I.A << ", m" << I.B << " shape=";
+      printShape(OS, P, I.D);
+      OS << ", m" << I.C << " shape=";
+      printShape(OS, P, I.D + 1 + P[I.D]);
+      break;
+    }
+    case Opc::Br:
+      OS << " -> " << I.A;
+      break;
+    case Opc::CondBr:
+      OS << " i" << I.B << ", else -> " << I.A;
+      break;
+    case Opc::IfYield:
+      printCopies(OS, P, I.C, 3);
+      OS << " -> " << I.A;
+      break;
+    case Opc::ForInit:
+      OS << " iv=i" << P[I.C + 3] << " lb=i" << P[I.C] << " ub=i"
+         << P[I.C + 1] << " step=i" << P[I.C + 2];
+      printCopies(OS, P, I.C + 4, 4);
+      OS << " done -> " << I.A;
+      break;
+    case Opc::ForYield:
+      OS << " iv=i" << P[I.C] << " ub=i" << P[I.C + 1] << " step=i"
+         << P[I.C + 2];
+      printCopies(OS, P, I.C + 3, 4);
+      OS << " loop -> " << I.A;
+      break;
+    case Opc::CallArgs:
+      printCopies(OS, P, I.C, 3);
+      break;
+    case Opc::RetCopy:
+      printCopies(OS, P, I.C, 3);
+      OS << " -> " << I.A;
+      break;
+    case Opc::Barrier:
+      OS << " site=" << I.A;
+      break;
+    case Opc::Halt:
+      break;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}

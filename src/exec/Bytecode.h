@@ -1,0 +1,205 @@
+//===- Bytecode.h - Compiled bytecode for lowered kernels -------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled execution tier for lowered (`sycl.lowered`) kernels: a
+/// one-time translator turns the scf/memref/arith/gpu kernel body into a
+/// compact register-based bytecode — a flat instruction array with
+/// resolved operand slots, baked static shapes, per-site coalescing
+/// classification and pre-assigned private/local memory layout — which
+/// the dispatch-loop VM (BytecodeVM.cpp) executes with no IR traversal
+/// and no string lookups per work item.
+///
+/// The contract with the tree-walking interpreter is bit-identical
+/// observable behavior: buffer contents, every LaunchStats counter
+/// (including StepsExecuted) and the accumulated SimTime match the
+/// tree-walker exactly, instruction by instruction. To that end every
+/// source operation the interpreter dispatches maps to exactly one
+/// executed instruction charging the same cost (structured control flow
+/// becomes ForInit/ForYield/CondBr/IfYield instructions mirroring the
+/// interpreter's frame pushes and yields; the only zero-step instruction
+/// is the internal `br` that skips an empty scf.if branch, which the
+/// interpreter never dispatches either). Calls are inlined per call
+/// site; values live in typed register planes (int / float / memref
+/// view) selected by their SSA type.
+///
+/// Translation is partial by design: kernels using constructs outside
+/// the covered set (recursion, multi-block regions, non-scalar selects,
+/// ops the table below does not list) fail to translate with a named
+/// reason and the caller falls back to the tree-walker. The
+/// opcode-coverage test pins the full set `convert-sycl-to-scf` can emit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_EXEC_BYTECODE_H
+#define SMLIR_EXEC_BYTECODE_H
+
+#include "exec/Device.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smlir {
+namespace exec {
+
+/// Which execution tier `Executable::launchKernel` selects for lowered
+/// kernels. The bytecode tier is the default; the tree-walking
+/// interpreter remains the cross-checked reference (and the only tier
+/// for high-level SYCL kernels, which are never translated).
+enum class ExecutionTier { Bytecode, Interpreter };
+
+std::string_view stringifyExecutionTier(ExecutionTier Tier);
+
+/// The process-default tier: $SMLIR_EXEC_TIER when set (must be
+/// "bytecode" or "interpreter" — anything else is a fatal configuration
+/// error, mirroring SMLIR_DEFAULT_TARGET), otherwise Bytecode.
+ExecutionTier getDefaultExecutionTier();
+
+namespace bc {
+
+/// Bytecode opcodes. Unless noted otherwise every instruction counts one
+/// executed step (the interpreter dispatches its source op exactly once
+/// per execution) and charges what the interpreter charges for that op.
+enum class Opc : uint8_t {
+  // Value producers (no cost, like the interpreter's arith.constant).
+  ConstI, ///< I[A] = IntPool[B]
+  ConstF, ///< F[A] = FloatPool[B]
+  // Integer arithmetic, I[A] = I[B] op I[C]; one ArithOp + ArithCost.
+  AddI, SubI, MulI, DivSI, RemSI, AndI, OrI, XOrI, MinSI, MaxSI,
+  // Float arithmetic, F[A] = F[B] op F[C]; one ArithOp + ArithCost.
+  AddF, SubF, MulF, DivF, MinF, MaxF,
+  NegF,   ///< F[A] = -F[B]; one ArithOp + ArithCost.
+  CmpI,   ///< I[A] = cmp<U8>(I[B], I[C]); one ArithOp + ArithCost.
+  CmpF,   ///< I[A] = cmp<U8>(F[B], F[C]); one ArithOp + ArithCost.
+  SelI,   ///< I[A] = I[B] != 0 ? I[C] : I[D]; one ArithOp + ArithCost.
+  SelF,   ///< F[A] = I[B] != 0 ? F[C] : F[D]; one ArithOp + ArithCost.
+  // Casts (free, like the interpreter).
+  CopyI,  ///< I[A] = I[B]  (arith.index_cast / arith.extsi)
+  TruncI, ///< I[A] = (int64_t)((uint64_t)I[B] & IntPool[C])
+  SIToFP, ///< F[A] = (double)I[B]
+  FPToSI, ///< I[A] = (int64_t)F[B]
+  // Math intrinsics, F[A] = f(F[B]); one MathOp + MathCost.
+  Sqrt, Exp, FAbs,
+  // Memory.
+  AllocaPriv,  ///< M[A] = private arena slot [B, B+C); zeroes it.
+              ///< U8 = 1 when the element type is float.
+  AllocaLocal, ///< M[A] = group-shared buffer of LocalSites[B]
+              ///< (created zeroed on the first execution per group).
+  Load,  ///< reg[A] = M[B][indices]; pool C: n index regs then n baked
+        ///< extents (kDynamic reads the view's runtime size); U16 = n;
+        ///< U8 bit0: destination is the float plane, bit1: coalesced.
+  Store, ///< M[B][indices] = reg[A]; layout as Load (bit0: value plane).
+  Dim,     ///< I[A] = extent of M[B] in dim I[C]; pool D: rank, shape.
+  SubView, ///< M[A] = rank-1 tail view of M[B]; pool C: n, n index regs,
+          ///< rank, shape. One ArithOp + ArithCost.
+  ViewOff, ///< I[A] = M[B].Offsets[I[C]]; U16 = rank bound.
+  Disjoint, ///< I[A] = M[B], M[C] ranges disjoint; pool D: rankB, shapeB,
+           ///< rankC, shapeC. One ArithOp + ArithCost.
+  // Control flow. Copy lists in the pool are (kind, src, dst[, dst2])
+  // tuples with kind 0 = int, 1 = float, 2 = memref view.
+  Br,      ///< jump to A. Zero steps: only emitted where the interpreter
+          ///< executes nothing (skipping an empty scf.if branch).
+  CondBr,  ///< scf.if: if I[B] == 0 jump to A (else branch/end).
+  IfYield, ///< scf.yield in an scf.if branch: pool C: n, n triples
+          ///< (kind, src, result dst); then jump to A.
+  ForInit, ///< scf.for: pool C: lb, ub, step, iv regs, n, n quads
+          ///< (kind, init src, body-arg dst, result dst). Zero-trip
+          ///< copies inits to results and jumps to A.
+  ForYield,///< scf.yield in an scf.for body: pool C: iv, ub, step regs,
+          ///< n, n quads (kind, src, body-arg dst, result dst).
+          ///< Back edge jumps to A; exit copies to results and falls
+          ///< through.
+  CallArgs,///< func.call (callee inlined right after): pool C: n,
+          ///< n triples (kind, src, callee-arg dst).
+  RetCopy, ///< func.return of an inlined callee: pool C: n, n triples
+          ///< (kind, src, call-result dst); then jump to A (the call's
+          ///< continuation).
+  Barrier, ///< gpu.barrier: one Barrier + BarrierCost; suspends the item.
+          ///< A = barrier site token (stable per source operation, so
+          ///< divergence detection matches the interpreter's op
+          ///< identity even across inlined copies).
+  Halt,    ///< func.return of the kernel itself.
+};
+
+/// One bytecode instruction. Operand meanings are per-opcode (see Opc);
+/// A..D hold register numbers, jump targets or pool indices.
+struct Inst {
+  Opc Op;
+  uint8_t U8 = 0;
+  uint16_t U16 = 0;
+  int32_t A = 0;
+  int32_t B = 0;
+  int32_t C = 0;
+  int32_t D = 0;
+};
+
+/// A translated kernel: everything the VM needs, fully resolved.
+struct Function {
+  std::string Name;
+
+  /// Register-plane sizes (one register per SSA value of that type; no
+  /// liveness-based reuse, so dominance alone guarantees def-before-use
+  /// even when one register file is reused across work items).
+  uint32_t NumIntRegs = 0;
+  uint32_t NumFloatRegs = 0;
+  uint32_t NumMemRegs = 0;
+
+  /// Per-item private arena sizes in words. The first
+  /// sycl::ItemStateWords int words hold the identity record the lowered
+  /// ABI binds as the kernel's leading argument.
+  int64_t PrivIntWords = 0;
+  int64_t PrivFloatWords = 0;
+
+  /// Work-group shared allocation sites (memref.alloca in local space):
+  /// one buffer per group per site, created zeroed on first use.
+  struct LocalSite {
+    bool IsFloat = false;
+    int64_t Words = 0;
+  };
+  std::vector<LocalSite> LocalSites;
+
+  /// Binding of the launch arguments (after DAE drops) to registers.
+  struct ArgBind {
+    enum class Kind : uint8_t { AccessorMem, IntScalar, FloatScalar };
+    Kind K = Kind::IntScalar;
+    int32_t Reg = 0;
+  };
+  std::vector<ArgBind> Args;
+  /// The memref register binding the identity record.
+  int32_t ItemReg = 0;
+
+  std::vector<Inst> Code;
+  std::vector<int64_t> IntPool;
+  std::vector<double> FloatPool;
+  /// Mixed operand pool: index-register lists, baked shapes, copy lists.
+  std::vector<int64_t> Pool;
+
+  /// Number of distinct barrier source operations (token space).
+  uint32_t NumBarrierSites = 0;
+  /// Largest scf.for yield arity, for the VM's copy scratch (yield
+  /// sources may alias body-argument destinations).
+  uint32_t MaxYieldVals = 0;
+};
+
+/// Translates a lowered (`sycl.lowered`) kernel into bytecode. The
+/// kernel must use the lowered device ABI (identity-record leading
+/// argument). Returns null and sets \p WhyNot when the kernel uses a
+/// construct outside the translator's coverage; the caller then falls
+/// back to the tree-walking interpreter.
+std::unique_ptr<Function> translate(FuncOp Kernel,
+                                    std::string *WhyNot = nullptr);
+
+/// Human-readable listing of \p Fn (the golden-snapshot format: stable,
+/// one instruction per line, pool operands printed inline).
+std::string disassemble(const Function &Fn);
+
+} // namespace bc
+} // namespace exec
+} // namespace smlir
+
+#endif // SMLIR_EXEC_BYTECODE_H

@@ -1,0 +1,711 @@
+//===- BytecodeVM.cpp - Dispatch-loop VM for kernel bytecode ------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode execution tier's dispatch loop. Every instruction
+/// mirrors one interpreter-dispatched operation (Bytecode.h documents
+/// the mapping), charging identical steps and costs in identical order;
+/// the group/item iteration, barrier phases and SimTime finalization are
+/// the shared machinery in LaunchCommon.h. Where the interpreter's typed
+/// values resolve type-vs-storage mismatches by reading a defaulted
+/// union field (0 / 0.0), the VM bakes the same outcome into its typed
+/// register planes — see the Load/Store and argument-binding paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/BytecodeVM.h"
+
+#include "dialect/Arith.h"
+#include "dialect/MemRef.h"
+#include "exec/LaunchCommon.h"
+
+#include <cmath>
+#include <deque>
+
+using namespace smlir;
+using namespace smlir::exec;
+using namespace smlir::exec::bc;
+
+namespace {
+
+/// A bound buffer: one plane of a Storage, a private-arena slot or a
+/// group-local allocation. `Owner` is the identity `memref.disjoint`
+/// compares (the interpreter compares Storage pointers).
+struct BufRef {
+  int64_t *IntData = nullptr;
+  double *FloatData = nullptr;
+  size_t Len = 0;
+  MemorySpace Space = MemorySpace::Global;
+  bool IsFloat = false;
+  bool Bound = false;
+  const void *Owner = nullptr;
+};
+
+/// The runtime value of a memref register (mirrors exec::MemRefVal).
+struct MemView {
+  BufRef Ref;
+  int64_t Offset = 0;
+  std::array<int64_t, 3> Sizes = {0, 0, 0};
+  std::array<int64_t, 3> Offsets = {0, 0, 0};
+};
+
+BufRef refOf(Storage *S) {
+  BufRef R;
+  if (!S)
+    return R;
+  R.IsFloat = S->StorageKind == Storage::Kind::Float;
+  if (R.IsFloat) {
+    R.FloatData = S->Floats.data();
+    R.Len = S->Floats.size();
+  } else {
+    R.IntData = S->Ints.data();
+    R.Len = S->Ints.size();
+  }
+  R.Space = S->Space;
+  R.Bound = true;
+  R.Owner = S;
+  return R;
+}
+
+/// Per-work-group shared state: lazily created local-memory buffers,
+/// one per AllocaLocal site (mirrors the interpreter's GroupContext).
+struct GroupState {
+  struct Site {
+    std::vector<int64_t> Ints;
+    std::vector<double> Floats;
+    bool Created = false;
+  };
+  std::vector<Site> Sites;
+};
+
+/// The baked extent of dimension \p I: the static shape unless dynamic,
+/// then the view's runtime size (mirrors the interpreter's extentOf).
+int64_t extentOf(int64_t Static, const MemView &M, int64_t I) {
+  if (Static != MemRefType::kDynamic)
+    return Static;
+  return I < 3 ? M.Sizes[(size_t)I] : 0;
+}
+
+/// One work item: register planes, private arena and program counter.
+/// Reused across items for barrier-free kernels (registers are SSA
+/// def-before-use; reset() rewrites the identity record).
+struct VMItem {
+  const Function *Fn = nullptr;
+  LaunchCounters *Count = nullptr;
+  GroupState *Group = nullptr;
+
+  std::vector<int64_t> I;
+  std::vector<double> F;
+  std::vector<MemView> M;
+  std::vector<int64_t> ArenaI;
+  std::vector<double> ArenaF;
+  // Yield scratch: sources may alias body-argument destinations.
+  std::vector<int64_t> ScratchI;
+  std::vector<double> ScratchF;
+  std::vector<MemView> ScratchM;
+
+  size_t PC = 0;
+  int32_t BarrierToken = -1;
+  bool Finished = false;
+  std::string ErrorMessage;
+
+  void init(const Function &TheFn, LaunchCounters &TheCount) {
+    Fn = &TheFn;
+    Count = &TheCount;
+    I.resize(TheFn.NumIntRegs);
+    F.resize(TheFn.NumFloatRegs);
+    M.resize(TheFn.NumMemRegs);
+    ArenaI.resize((size_t)TheFn.PrivIntWords);
+    ArenaF.resize((size_t)TheFn.PrivFloatWords);
+    ScratchI.resize(TheFn.MaxYieldVals);
+    ScratchF.resize(TheFn.MaxYieldVals);
+    ScratchM.resize(TheFn.MaxYieldVals);
+  }
+
+  /// Binds the launch arguments. Argument registers are SSA values and
+  /// never reassigned, so one binding serves every item sharing this
+  /// register file. Kind mismatches reproduce the interpreter's typed
+  /// values reading a defaulted field.
+  void bindArgs(const std::vector<KernelArg> &Args) {
+    for (size_t A = 0; A < Args.size(); ++A) {
+      const Function::ArgBind &Bind = Fn->Args[A];
+      const KernelArg &Arg = Args[A];
+      switch (Bind.K) {
+      case Function::ArgBind::Kind::AccessorMem: {
+        MemView V;
+        if (Arg.ArgKind == KernelArg::Kind::Accessor) {
+          V.Ref = refOf(Arg.Accessor.Data);
+          V.Offset = Arg.Accessor.linearize({0, 0, 0});
+          V.Sizes = Arg.Accessor.Range;
+          V.Offsets = Arg.Accessor.Offset;
+        }
+        M[(size_t)Bind.Reg] = V;
+        break;
+      }
+      case Function::ArgBind::Kind::IntScalar:
+        I[(size_t)Bind.Reg] =
+            Arg.ArgKind == KernelArg::Kind::IntScalar ? Arg.IntValue : 0;
+        break;
+      case Function::ArgBind::Kind::FloatScalar:
+        F[(size_t)Bind.Reg] = Arg.ArgKind == KernelArg::Kind::FloatScalar
+                                  ? Arg.FloatValue
+                                  : 0.0;
+        break;
+      }
+    }
+  }
+
+  /// Prepares this item for one (group, local) coordinate: rewrites the
+  /// identity record, rebinds its view and rewinds the program counter.
+  void reset(GroupState &TheGroup, const NDRange &Range,
+             const std::array<int64_t, 3> &GroupID,
+             const std::array<int64_t, 3> &LocalID) {
+    Group = &TheGroup;
+    for (unsigned D = 0; D < 3; ++D) {
+      ArenaI[sycl::ItemStateGlobalID + D] =
+          GroupID[D] * Range.Local[D] + LocalID[D];
+      ArenaI[sycl::ItemStateGlobalRange + D] = Range.Global[D];
+      ArenaI[sycl::ItemStateLocalID + D] = LocalID[D];
+      ArenaI[sycl::ItemStateLocalRange + D] = Range.Local[D];
+      ArenaI[sycl::ItemStateGroupID + D] = GroupID[D];
+    }
+    MemView Item;
+    Item.Ref.IntData = ArenaI.data();
+    Item.Ref.Len = (size_t)sycl::ItemStateWords;
+    Item.Ref.Space = MemorySpace::Private;
+    Item.Ref.Bound = true;
+    Item.Ref.Owner = ArenaI.data();
+    M[(size_t)Fn->ItemReg] = Item;
+    PC = 0;
+    Finished = false;
+  }
+
+  RunStatus run();
+
+  const void *getBarrierToken() const {
+    return reinterpret_cast<const void *>(uintptr_t(BarrierToken) + 1);
+  }
+  const std::string &getError() const { return ErrorMessage; }
+
+private:
+  RunStatus fail(const char *Message) {
+    ErrorMessage = Message;
+    return RunStatus::Error;
+  }
+
+  /// The linear element index of an access: baked extents (dynamic ones
+  /// from the view) fold the index registers exactly like the
+  /// interpreter's linearIndex.
+  int64_t linearIndex(const MemView &V, const int64_t *IdxRegs,
+                      const int64_t *Extents, unsigned N) {
+    int64_t Linear = 0;
+    for (unsigned D = 0; D < N; ++D) {
+      int64_t Extent = extentOf(Extents[D], V, D);
+      Linear = (D == 0 ? 0 : Linear * Extent) + I[(size_t)IdxRegs[D]];
+    }
+    return V.Offset + Linear;
+  }
+};
+
+RunStatus VMItem::run() {
+  // The work-group driver re-polls completed items each phase (exactly
+  // like the interpreter's empty-stack check).
+  if (Finished)
+    return RunStatus::Done;
+  const Inst *Code = Fn->Code.data();
+  const int64_t *P = Fn->Pool.data();
+  LaunchCounters &C = *Count;
+  const DeviceProperties &Props = *C.Props;
+
+  auto ChargeArith = [&] {
+    ++C.Stats->ArithOps;
+    C.Cost += Props.ArithCost;
+  };
+
+  while (true) {
+    const Inst &In = Code[PC++];
+    // Every instruction mirrors one interpreter step except the
+    // empty-branch skip `br`.
+    if (In.Op != Opc::Br)
+      ++C.Stats->StepsExecuted;
+
+    switch (In.Op) {
+    case Opc::ConstI:
+      I[(size_t)In.A] = Fn->IntPool[(size_t)In.B];
+      break;
+    case Opc::ConstF:
+      F[(size_t)In.A] = Fn->FloatPool[(size_t)In.B];
+      break;
+
+#define SMLIR_BC_INT_BINOP(CASE, EXPR)                                        \
+  case Opc::CASE: {                                                           \
+    int64_t A = I[(size_t)In.B], B = I[(size_t)In.C];                         \
+    (void)B;                                                                  \
+    ChargeArith();                                                            \
+    I[(size_t)In.A] = (EXPR);                                                 \
+    break;                                                                    \
+  }
+      SMLIR_BC_INT_BINOP(AddI, A + B)
+      SMLIR_BC_INT_BINOP(SubI, A - B)
+      SMLIR_BC_INT_BINOP(MulI, A * B)
+      SMLIR_BC_INT_BINOP(DivSI, B == 0 ? 0 : A / B)
+      SMLIR_BC_INT_BINOP(RemSI, B == 0 ? 0 : A % B)
+      SMLIR_BC_INT_BINOP(AndI, A & B)
+      SMLIR_BC_INT_BINOP(OrI, A | B)
+      SMLIR_BC_INT_BINOP(XOrI, A ^ B)
+      SMLIR_BC_INT_BINOP(MinSI, A < B ? A : B)
+      SMLIR_BC_INT_BINOP(MaxSI, A > B ? A : B)
+#undef SMLIR_BC_INT_BINOP
+
+#define SMLIR_BC_FLOAT_BINOP(CASE, EXPR)                                      \
+  case Opc::CASE: {                                                           \
+    double A = F[(size_t)In.B], B = F[(size_t)In.C];                          \
+    ChargeArith();                                                            \
+    F[(size_t)In.A] = (EXPR);                                                 \
+    break;                                                                    \
+  }
+      SMLIR_BC_FLOAT_BINOP(AddF, A + B)
+      SMLIR_BC_FLOAT_BINOP(SubF, A - B)
+      SMLIR_BC_FLOAT_BINOP(MulF, A * B)
+      SMLIR_BC_FLOAT_BINOP(DivF, A / B)
+      SMLIR_BC_FLOAT_BINOP(MinF, A < B ? A : B)
+      SMLIR_BC_FLOAT_BINOP(MaxF, A > B ? A : B)
+#undef SMLIR_BC_FLOAT_BINOP
+
+    case Opc::NegF:
+      ChargeArith();
+      F[(size_t)In.A] = -F[(size_t)In.B];
+      break;
+
+    case Opc::CmpI: {
+      int64_t A = I[(size_t)In.B], B = I[(size_t)In.C];
+      ChargeArith();
+      bool R = false;
+      switch ((arith::CmpIPredicate)In.U8) {
+      case arith::CmpIPredicate::eq: R = A == B; break;
+      case arith::CmpIPredicate::ne: R = A != B; break;
+      case arith::CmpIPredicate::slt: R = A < B; break;
+      case arith::CmpIPredicate::sle: R = A <= B; break;
+      case arith::CmpIPredicate::sgt: R = A > B; break;
+      case arith::CmpIPredicate::sge: R = A >= B; break;
+      }
+      I[(size_t)In.A] = R ? 1 : 0;
+      break;
+    }
+    case Opc::CmpF: {
+      double A = F[(size_t)In.B], B = F[(size_t)In.C];
+      ChargeArith();
+      bool R = false;
+      switch ((arith::CmpFPredicate)In.U8) {
+      case arith::CmpFPredicate::oeq: R = A == B; break;
+      case arith::CmpFPredicate::one: R = A != B; break;
+      case arith::CmpFPredicate::olt: R = A < B; break;
+      case arith::CmpFPredicate::ole: R = A <= B; break;
+      case arith::CmpFPredicate::ogt: R = A > B; break;
+      case arith::CmpFPredicate::oge: R = A >= B; break;
+      }
+      I[(size_t)In.A] = R ? 1 : 0;
+      break;
+    }
+    case Opc::SelI:
+      ChargeArith();
+      I[(size_t)In.A] = I[(size_t)In.B] != 0 ? I[(size_t)In.C]
+                                             : I[(size_t)In.D];
+      break;
+    case Opc::SelF:
+      ChargeArith();
+      F[(size_t)In.A] = I[(size_t)In.B] != 0 ? F[(size_t)In.C]
+                                             : F[(size_t)In.D];
+      break;
+
+    case Opc::CopyI:
+      I[(size_t)In.A] = I[(size_t)In.B];
+      break;
+    case Opc::TruncI:
+      I[(size_t)In.A] = (int64_t)((uint64_t)I[(size_t)In.B] &
+                                  (uint64_t)Fn->IntPool[(size_t)In.C]);
+      break;
+    case Opc::SIToFP:
+      F[(size_t)In.A] = (double)I[(size_t)In.B];
+      break;
+    case Opc::FPToSI:
+      I[(size_t)In.A] = (int64_t)F[(size_t)In.B];
+      break;
+
+    case Opc::Sqrt:
+    case Opc::Exp:
+    case Opc::FAbs: {
+      ++C.Stats->MathOps;
+      C.Cost += Props.MathCost;
+      double A = F[(size_t)In.B];
+      F[(size_t)In.A] = In.Op == Opc::Sqrt  ? std::sqrt(A)
+                        : In.Op == Opc::Exp ? std::exp(A)
+                                            : std::fabs(A);
+      break;
+    }
+
+    case Opc::AllocaPriv: {
+      MemView V;
+      if (In.U8) {
+        std::fill_n(ArenaF.begin() + In.B, In.C, 0.0);
+        V.Ref.FloatData = ArenaF.data() + In.B;
+        V.Ref.Owner = ArenaF.data() + In.B;
+        V.Ref.IsFloat = true;
+      } else {
+        std::fill_n(ArenaI.begin() + In.B, In.C, 0);
+        V.Ref.IntData = ArenaI.data() + In.B;
+        V.Ref.Owner = ArenaI.data() + In.B;
+      }
+      V.Ref.Len = (size_t)In.C;
+      V.Ref.Space = MemorySpace::Private;
+      V.Ref.Bound = true;
+      M[(size_t)In.A] = V;
+      break;
+    }
+    case Opc::AllocaLocal: {
+      const Function::LocalSite &Site = Fn->LocalSites[(size_t)In.B];
+      GroupState::Site &S = Group->Sites[(size_t)In.B];
+      if (!S.Created) {
+        if (Site.IsFloat)
+          S.Floats.assign((size_t)Site.Words, 0.0);
+        else
+          S.Ints.assign((size_t)Site.Words, 0);
+        S.Created = true;
+      }
+      MemView V;
+      if (Site.IsFloat) {
+        V.Ref.FloatData = S.Floats.data();
+        V.Ref.Owner = S.Floats.data();
+        V.Ref.IsFloat = true;
+      } else {
+        V.Ref.IntData = S.Ints.data();
+        V.Ref.Owner = S.Ints.data();
+      }
+      V.Ref.Len = (size_t)Site.Words;
+      V.Ref.Space = MemorySpace::Local;
+      V.Ref.Bound = true;
+      M[(size_t)In.A] = V;
+      break;
+    }
+
+    case Opc::Load: {
+      const MemView &V = M[(size_t)In.B];
+      if (!V.Ref.Bound)
+        return fail("load from uninitialized memref");
+      int64_t Index =
+          linearIndex(V, P + In.C, P + In.C + In.U16, In.U16);
+      if (Index < 0 || (size_t)Index >= V.Ref.Len)
+        return fail("device memory load out of bounds");
+      chargeMemAccess(V.Ref.Space, In.U8 & 2, C);
+      if (In.U8 & 1)
+        F[(size_t)In.A] =
+            V.Ref.IsFloat ? V.Ref.FloatData[(size_t)Index] : 0.0;
+      else
+        I[(size_t)In.A] =
+            V.Ref.IsFloat ? 0 : V.Ref.IntData[(size_t)Index];
+      break;
+    }
+    case Opc::Store: {
+      const MemView &V = M[(size_t)In.B];
+      if (!V.Ref.Bound)
+        return fail("store to uninitialized memref");
+      int64_t Index =
+          linearIndex(V, P + In.C, P + In.C + In.U16, In.U16);
+      if (Index < 0 || (size_t)Index >= V.Ref.Len)
+        return fail("device memory store out of bounds");
+      chargeMemAccess(V.Ref.Space, In.U8 & 2, C);
+      if (V.Ref.IsFloat)
+        V.Ref.FloatData[(size_t)Index] =
+            (In.U8 & 1) ? F[(size_t)In.A] : 0.0;
+      else
+        V.Ref.IntData[(size_t)Index] = (In.U8 & 1) ? 0 : I[(size_t)In.A];
+      break;
+    }
+
+    case Opc::Dim: {
+      const MemView &V = M[(size_t)In.B];
+      int64_t D = I[(size_t)In.C];
+      int64_t Rank = P[In.D];
+      if (D < 0 || D >= Rank)
+        return fail("memref.dim dimension out of range");
+      ChargeArith();
+      I[(size_t)In.A] = extentOf(P[In.D + 1 + D], V, D);
+      break;
+    }
+    case Opc::SubView: {
+      MemView V = M[(size_t)In.B];
+      if (!V.Ref.Bound)
+        return fail("memref.subview of uninitialized memref");
+      int64_t N = P[In.C];
+      const int64_t *IdxRegs = P + In.C + 1;
+      const int64_t *Shape = P + In.C + 1 + N;
+      int64_t Rank = Shape[0];
+      int64_t Linear = linearIndex(V, IdxRegs, Shape + 1, (unsigned)N);
+      int64_t Total = 1;
+      for (int64_t D = 0; D < Rank; ++D) {
+        int64_t Extent = extentOf(Shape[1 + D], V, D);
+        if (Extent <= 0) {
+          Total = 0;
+          break;
+        }
+        Total *= Extent;
+      }
+      ChargeArith();
+      MemView View;
+      View.Ref = V.Ref;
+      View.Offset = Linear;
+      if (Total > 0)
+        View.Sizes[0] = Total - (Linear - V.Offset);
+      M[(size_t)In.A] = View;
+      break;
+    }
+    case Opc::ViewOff: {
+      int64_t D = I[(size_t)In.C];
+      if (D < 0 || D >= (int64_t)In.U16 || D >= 3)
+        return fail("memref.offset dimension out of range");
+      ChargeArith();
+      I[(size_t)In.A] = M[(size_t)In.B].Offsets[(size_t)D];
+      break;
+    }
+    case Opc::Disjoint: {
+      const MemView &A = M[(size_t)In.B];
+      const MemView &B = M[(size_t)In.C];
+      const int64_t *ShapeA = P + In.D;
+      const int64_t *ShapeB = ShapeA + 1 + ShapeA[0];
+      auto NumElements = [&](const MemView &V, const int64_t *Shape) {
+        int64_t N = 1;
+        for (int64_t D = 0; D < Shape[0]; ++D) {
+          int64_t Extent = extentOf(Shape[1 + D], V, D);
+          if (Extent <= 0)
+            return (int64_t)-1; // Unknown: assume overlap.
+          N *= Extent;
+        }
+        return N;
+      };
+      bool Disjoint = false;
+      if (A.Ref.Owner != B.Ref.Owner) {
+        Disjoint = true;
+      } else {
+        int64_t NA = NumElements(A, ShapeA), NB = NumElements(B, ShapeB);
+        if (NA >= 0 && NB >= 0)
+          Disjoint =
+              A.Offset + NA <= B.Offset || B.Offset + NB <= A.Offset;
+      }
+      ChargeArith();
+      I[(size_t)In.A] = Disjoint ? 1 : 0;
+      break;
+    }
+
+    case Opc::Br:
+      PC = (size_t)In.A;
+      break;
+    case Opc::CondBr:
+      if (I[(size_t)In.B] == 0)
+        PC = (size_t)In.A;
+      break;
+    case Opc::IfYield: {
+      int64_t N = P[In.C];
+      const int64_t *T = P + In.C + 1;
+      for (int64_t K = 0; K < N; ++K, T += 3) {
+        if (T[0] == 0)
+          I[(size_t)T[2]] = I[(size_t)T[1]];
+        else if (T[0] == 1)
+          F[(size_t)T[2]] = F[(size_t)T[1]];
+        else
+          M[(size_t)T[2]] = M[(size_t)T[1]];
+      }
+      PC = (size_t)In.A;
+      break;
+    }
+    case Opc::ForInit: {
+      const int64_t *Q = P + In.C;
+      int64_t Lb = I[(size_t)Q[0]], Ub = I[(size_t)Q[1]],
+              Step = I[(size_t)Q[2]];
+      if (Step <= 0)
+        return fail("loop with non-positive step");
+      int64_t N = Q[4];
+      const int64_t *T = Q + 5;
+      if (Lb >= Ub) {
+        // Zero-trip: results are the init values.
+        for (int64_t K = 0; K < N; ++K, T += 4) {
+          if (T[0] == 0)
+            I[(size_t)T[3]] = I[(size_t)T[1]];
+          else if (T[0] == 1)
+            F[(size_t)T[3]] = F[(size_t)T[1]];
+          else
+            M[(size_t)T[3]] = M[(size_t)T[1]];
+        }
+        PC = (size_t)In.A;
+        break;
+      }
+      I[(size_t)Q[3]] = Lb;
+      for (int64_t K = 0; K < N; ++K, T += 4) {
+        if (T[0] == 0)
+          I[(size_t)T[2]] = I[(size_t)T[1]];
+        else if (T[0] == 1)
+          F[(size_t)T[2]] = F[(size_t)T[1]];
+        else
+          M[(size_t)T[2]] = M[(size_t)T[1]];
+      }
+      break;
+    }
+    case Opc::ForYield: {
+      const int64_t *Q = P + In.C;
+      int64_t N = Q[3];
+      const int64_t *T = Q + 4;
+      // Yield sources may alias the body arguments they feed: buffer.
+      for (int64_t K = 0; K < N; ++K) {
+        const int64_t *E = T + K * 4;
+        if (E[0] == 0)
+          ScratchI[(size_t)K] = I[(size_t)E[1]];
+        else if (E[0] == 1)
+          ScratchF[(size_t)K] = F[(size_t)E[1]];
+        else
+          ScratchM[(size_t)K] = M[(size_t)E[1]];
+      }
+      int64_t IV = I[(size_t)Q[0]] + I[(size_t)Q[2]];
+      if (IV < I[(size_t)Q[1]]) {
+        I[(size_t)Q[0]] = IV;
+        for (int64_t K = 0; K < N; ++K) {
+          const int64_t *E = T + K * 4;
+          if (E[0] == 0)
+            I[(size_t)E[2]] = ScratchI[(size_t)K];
+          else if (E[0] == 1)
+            F[(size_t)E[2]] = ScratchF[(size_t)K];
+          else
+            M[(size_t)E[2]] = ScratchM[(size_t)K];
+        }
+        PC = (size_t)In.A;
+        break;
+      }
+      for (int64_t K = 0; K < N; ++K) {
+        const int64_t *E = T + K * 4;
+        if (E[0] == 0)
+          I[(size_t)E[3]] = ScratchI[(size_t)K];
+        else if (E[0] == 1)
+          F[(size_t)E[3]] = ScratchF[(size_t)K];
+        else
+          M[(size_t)E[3]] = ScratchM[(size_t)K];
+      }
+      break;
+    }
+    case Opc::CallArgs: {
+      int64_t N = P[In.C];
+      const int64_t *T = P + In.C + 1;
+      for (int64_t K = 0; K < N; ++K, T += 3) {
+        if (T[0] == 0)
+          I[(size_t)T[2]] = I[(size_t)T[1]];
+        else if (T[0] == 1)
+          F[(size_t)T[2]] = F[(size_t)T[1]];
+        else
+          M[(size_t)T[2]] = M[(size_t)T[1]];
+      }
+      break;
+    }
+    case Opc::RetCopy: {
+      int64_t N = P[In.C];
+      const int64_t *T = P + In.C + 1;
+      for (int64_t K = 0; K < N; ++K, T += 3) {
+        if (T[0] == 0)
+          I[(size_t)T[2]] = I[(size_t)T[1]];
+        else if (T[0] == 1)
+          F[(size_t)T[2]] = F[(size_t)T[1]];
+        else
+          M[(size_t)T[2]] = M[(size_t)T[1]];
+      }
+      PC = (size_t)In.A;
+      break;
+    }
+
+    case Opc::Barrier:
+      ++C.Stats->Barriers;
+      C.Cost += Props.BarrierCost;
+      BarrierToken = In.A;
+      return RunStatus::AtBarrier;
+
+    case Opc::Halt:
+      Finished = true;
+      return RunStatus::Done;
+    }
+  }
+}
+
+} // namespace
+
+LogicalResult bc::execute(const Function &Fn,
+                          const DeviceProperties &Props,
+                          const NDRange &Range,
+                          const std::vector<KernelArg> &Args,
+                          LaunchStats &Stats, std::string *ErrorMessage) {
+  auto Fail = [&](std::string Message) {
+    if (ErrorMessage)
+      *ErrorMessage = std::move(Message);
+    return failure();
+  };
+  if (Fn.Args.size() != Args.size())
+    return Fail("kernel argument count mismatch");
+
+  std::array<int64_t, 3> NumGroups;
+  std::string RangeError;
+  if (!validateRange(Range, NumGroups, RangeError))
+    return Fail(RangeError);
+
+  LaunchCounters Count{&Stats, &Props, 0.0};
+
+  if (Fn.NumBarrierSites == 0) {
+    // Barrier-free fast path: one register file and arena serve every
+    // item in sequence; nothing allocates in steady state.
+    VMItem Item;
+    Item.init(Fn, Count);
+    Item.bindArgs(Args);
+    for (int64_t G2 = 0; G2 < NumGroups[2]; ++G2) {
+      for (int64_t G1 = 0; G1 < NumGroups[1]; ++G1) {
+        for (int64_t G0 = 0; G0 < NumGroups[0]; ++G0) {
+          GroupState Group;
+          Group.Sites.resize(Fn.LocalSites.size());
+          for (int64_t L2 = 0; L2 < Range.Local[2]; ++L2)
+            for (int64_t L1 = 0; L1 < Range.Local[1]; ++L1)
+              for (int64_t L0 = 0; L0 < Range.Local[0]; ++L0) {
+                Item.reset(Group, Range, {G0, G1, G2}, {L0, L1, L2});
+                if (Item.run() == RunStatus::Error)
+                  return Fail(Item.getError());
+              }
+        }
+      }
+    }
+  } else {
+    for (int64_t G2 = 0; G2 < NumGroups[2]; ++G2) {
+      for (int64_t G1 = 0; G1 < NumGroups[1]; ++G1) {
+        for (int64_t G0 = 0; G0 < NumGroups[0]; ++G0) {
+          GroupState Group;
+          Group.Sites.resize(Fn.LocalSites.size());
+          std::deque<VMItem> Items;
+          for (int64_t L2 = 0; L2 < Range.Local[2]; ++L2)
+            for (int64_t L1 = 0; L1 < Range.Local[1]; ++L1)
+              for (int64_t L0 = 0; L0 < Range.Local[0]; ++L0) {
+                VMItem &Item = Items.emplace_back();
+                Item.init(Fn, Count);
+                Item.bindArgs(Args);
+                Item.reset(Group, Range, {G0, G1, G2}, {L0, L1, L2});
+              }
+          std::string GroupError;
+          if (!runWorkGroup(Items, GroupError))
+            return Fail(GroupError);
+        }
+      }
+    }
+  }
+
+  Stats.SimTime = finalizeSimTime(Props, Args.size(), Count.Cost);
+  return success();
+}
+
+LogicalResult Device::launch(const bc::Function &Fn, const NDRange &Range,
+                             const std::vector<KernelArg> &Args,
+                             LaunchStats &Stats,
+                             std::string *ErrorMessage) {
+  return bc::execute(Fn, Props, Range, Args, Stats, ErrorMessage);
+}

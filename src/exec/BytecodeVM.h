@@ -1,0 +1,42 @@
+//===- BytecodeVM.h - Dispatch-loop VM for kernel bytecode ------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register VM executing translated kernel bytecode (Bytecode.h).
+/// One dispatch loop per work item over the flat instruction array;
+/// work-groups run with the same run-to-barrier cooperative scheduling
+/// as the tree-walking interpreter (LaunchCommon.h). Kernels without
+/// barriers reuse a single register file and private arena across all
+/// work items of the launch (SSA registers are def-before-use, the
+/// identity record is rewritten per item and private allocas zero their
+/// arena slot on execution), so steady-state execution allocates
+/// nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_EXEC_BYTECODEVM_H
+#define SMLIR_EXEC_BYTECODEVM_H
+
+#include "exec/Bytecode.h"
+
+namespace smlir {
+namespace exec {
+namespace bc {
+
+/// Executes \p Fn over \p Range with \p Args under the cost model
+/// \p Props. Behaves bit-identically to Device::launch on the source
+/// kernel: buffer contents, every LaunchStats counter and SimTime match
+/// the tree-walking interpreter exactly.
+LogicalResult execute(const Function &Fn, const DeviceProperties &Props,
+                      const NDRange &Range,
+                      const std::vector<KernelArg> &Args, LaunchStats &Stats,
+                      std::string *ErrorMessage = nullptr);
+
+} // namespace bc
+} // namespace exec
+} // namespace smlir
+
+#endif // SMLIR_EXEC_BYTECODEVM_H

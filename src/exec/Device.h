@@ -33,6 +33,10 @@
 namespace smlir {
 namespace exec {
 
+namespace bc {
+struct Function;
+} // namespace bc
+
 //===----------------------------------------------------------------------===//
 // Memory
 //===----------------------------------------------------------------------===//
@@ -203,6 +207,15 @@ public:
   /// kernel, divergent barrier deadlock) returns failure and sets
   /// \p ErrorMessage.
   LogicalResult launch(FuncOp Kernel, const NDRange &Range,
+                       const std::vector<KernelArg> &Args,
+                       LaunchStats &Stats,
+                       std::string *ErrorMessage = nullptr);
+
+  /// Executes pre-translated kernel bytecode (the compiled execution
+  /// tier, exec/Bytecode.h) over \p Range. Bit-identical to launching
+  /// the source kernel through the tree-walking interpreter: buffer
+  /// contents, every counter and SimTime match exactly.
+  LogicalResult launch(const bc::Function &Fn, const NDRange &Range,
                        const std::vector<KernelArg> &Args,
                        LaunchStats &Stats,
                        std::string *ErrorMessage = nullptr);

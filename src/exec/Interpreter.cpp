@@ -18,6 +18,7 @@
 #include "exec/Device.h"
 
 #include "analysis/MemoryAccess.h"
+#include "exec/LaunchCommon.h"
 #include "dialect/Arith.h"
 #include "dialect/MemRef.h"
 #include "dialect/SCF.h"
@@ -241,19 +242,16 @@ std::unique_ptr<ExecutionPlan> buildPlan(FuncOp Kernel) {
 // Work-item machine
 //===----------------------------------------------------------------------===//
 
-enum class Status { Running, AtBarrier, Done, Error };
+/// The work-item status/counter/work-group machinery is shared with the
+/// bytecode tier (LaunchCommon.h) — that sharing is what keeps the two
+/// tiers bit-identical on everything outside per-op dispatch.
+using Status = RunStatus;
+using Counters = LaunchCounters;
 
 /// Per-work-group shared state: local memory allocations.
 struct GroupContext {
   std::map<Operation *, std::unique_ptr<Storage>> LocalAllocas;
   std::deque<ObjCell> SharedObjects;
-};
-
-/// Counter accumulation shared across the launch.
-struct Counters {
-  LaunchStats *Stats;
-  const DeviceProperties *Props;
-  double Cost = 0.0;
 };
 
 class WorkItem {
@@ -349,6 +347,9 @@ public:
   }
 
   Operation *getBarrierOp() const { return LastBarrier; }
+  /// Barrier identity for the shared work-group driver: the source
+  /// operation of the barrier this item is waiting at.
+  const void *getBarrierToken() const { return LastBarrier; }
   const std::string &getError() const { return ErrorMessage; }
 
 private:
@@ -379,28 +380,9 @@ private:
   double getFloat(Value V) const { return get(V).F; }
 
   void chargeAccess(Operation *Op, const MemRefVal &M) {
-    switch (M.Store->Space) {
-    case MemorySpace::Global: {
-      auto It = Plan.Coalesced.find(Op);
-      bool IsCoalesced = It != Plan.Coalesced.end() && It->second;
-      if (IsCoalesced) {
-        ++Count.Stats->CoalescedGlobalAccesses;
-        Count.Cost += Count.Props->CoalescedAccessCost;
-      } else {
-        ++Count.Stats->UncoalescedGlobalAccesses;
-        Count.Cost += Count.Props->UncoalescedAccessCost;
-      }
-      break;
-    }
-    case MemorySpace::Local:
-      ++Count.Stats->LocalAccesses;
-      Count.Cost += Count.Props->LocalAccessCost;
-      break;
-    case MemorySpace::Private:
-      ++Count.Stats->PrivateAccesses;
-      Count.Cost += Count.Props->PrivateAccessCost;
-      break;
-    }
+    auto It = Plan.Coalesced.find(Op);
+    bool IsCoalesced = It != Plan.Coalesced.end() && It->second;
+    chargeMemAccess(M.Store->Space, IsCoalesced, Count);
   }
 
   /// The runtime extent of dimension \p I: the static shape when known,
@@ -991,59 +973,32 @@ LogicalResult Device::launch(FuncOp Kernel, const NDRange &Range,
   bool Lowered =
       Kernel.getOperation()->hasAttr(sycl::kLoweredKernelAttrName);
 
-  std::array<int64_t, 3> NumGroups = {1, 1, 1};
-  for (unsigned D = 0; D < Range.Dim; ++D) {
-    if (Range.Local[D] <= 0 || Range.Global[D] % Range.Local[D] != 0)
-      return Fail("global range not divisible by work-group size");
-    NumGroups[D] = Range.Global[D] / Range.Local[D];
-  }
+  std::array<int64_t, 3> NumGroups;
+  std::string RangeError;
+  if (!validateRange(Range, NumGroups, RangeError))
+    return Fail(RangeError);
 
   // Execute group by group.
   for (int64_t G2 = 0; G2 < NumGroups[2]; ++G2) {
     for (int64_t G1 = 0; G1 < NumGroups[1]; ++G1) {
       for (int64_t G0 = 0; G0 < NumGroups[0]; ++G0) {
         GroupContext Group;
-        std::vector<std::unique_ptr<WorkItem>> Items;
+        std::deque<WorkItem> Items;
         for (int64_t L2 = 0; L2 < Range.Local[2]; ++L2)
           for (int64_t L1 = 0; L1 < Range.Local[1]; ++L1)
             for (int64_t L0 = 0; L0 < Range.Local[0]; ++L0)
-              Items.push_back(std::make_unique<WorkItem>(
-                  *Plan, Kernel, Range, Args, Group, Count,
-                  std::array<int64_t, 3>{G0, G1, G2},
-                  std::array<int64_t, 3>{L0, L1, L2}, Lowered));
+              Items.emplace_back(*Plan, Kernel, Range, Args, Group, Count,
+                                 std::array<int64_t, 3>{G0, G1, G2},
+                                 std::array<int64_t, 3>{L0, L1, L2},
+                                 Lowered);
 
-        // Run-to-barrier phases.
-        while (true) {
-          unsigned NumDone = 0, NumAtBarrier = 0;
-          Operation *BarrierOp = nullptr;
-          for (auto &Item : Items) {
-            Status S = Item->run();
-            if (S == Status::Error)
-              return Fail(Item->getError());
-            if (S == Status::Done) {
-              ++NumDone;
-              continue;
-            }
-            ++NumAtBarrier;
-            if (!BarrierOp)
-              BarrierOp = Item->getBarrierOp();
-            else if (BarrierOp != Item->getBarrierOp())
-              return Fail("divergent barrier: work-items reached "
-                          "different barriers (deadlock)");
-          }
-          if (NumDone == Items.size())
-            break;
-          if (NumAtBarrier != Items.size())
-            return Fail("divergent barrier: only part of the work-group "
-                        "reached the barrier (deadlock)");
-        }
+        std::string GroupError;
+        if (!runWorkGroup(Items, GroupError))
+          return Fail(GroupError);
       }
     }
   }
 
-  Stats.SimTime =
-      Props.LaunchOverhead + Props.PerArgCost * Args.size() +
-      Count.Cost / (static_cast<double>(Props.ComputeUnits) *
-                    Props.SIMDWidth);
+  Stats.SimTime = finalizeSimTime(Props, Args.size(), Count.Cost);
   return success();
 }

@@ -1,0 +1,141 @@
+//===- LaunchCommon.h - Shared launch machinery for both tiers --*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The launch machinery both execution tiers share: the work-item status
+/// protocol, the cost-model counter accumulator, the memory-access
+/// charging rules, ND-range validation and the run-to-barrier work-group
+/// driver. The tree-walking interpreter (Interpreter.cpp) and the
+/// bytecode VM (BytecodeVM.cpp) instantiate the same driver over their
+/// own work-item representations, which is what makes the two tiers
+/// bit-identical by construction on everything outside per-op dispatch:
+/// iteration order, divergence detection, error strings, counter
+/// accumulation order and the final SimTime formula all live here once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_EXEC_LAUNCHCOMMON_H
+#define SMLIR_EXEC_LAUNCHCOMMON_H
+
+#include "exec/Device.h"
+
+#include <array>
+#include <string>
+
+namespace smlir {
+namespace exec {
+
+/// Work-item execution status under run-to-barrier scheduling.
+enum class RunStatus { Running, AtBarrier, Done, Error };
+
+/// Counter accumulation shared across one launch. The accumulation order
+/// of Cost is part of the bit-identical contract between tiers: both
+/// tiers add the same sequence of doubles.
+struct LaunchCounters {
+  LaunchStats *Stats;
+  const DeviceProperties *Props;
+  double Cost = 0.0;
+};
+
+/// Charges one memory access to the counters; the coalescing
+/// classification comes from the Memory Access Analysis at the access
+/// site (paper §V-D) and the space from the *runtime* storage the view
+/// resolves to, so views that lose their static memory space still bill
+/// correctly.
+inline void chargeMemAccess(MemorySpace Space, bool IsCoalesced,
+                            LaunchCounters &Count) {
+  switch (Space) {
+  case MemorySpace::Global:
+    if (IsCoalesced) {
+      ++Count.Stats->CoalescedGlobalAccesses;
+      Count.Cost += Count.Props->CoalescedAccessCost;
+    } else {
+      ++Count.Stats->UncoalescedGlobalAccesses;
+      Count.Cost += Count.Props->UncoalescedAccessCost;
+    }
+    break;
+  case MemorySpace::Local:
+    ++Count.Stats->LocalAccesses;
+    Count.Cost += Count.Props->LocalAccessCost;
+    break;
+  case MemorySpace::Private:
+    ++Count.Stats->PrivateAccesses;
+    Count.Cost += Count.Props->PrivateAccessCost;
+    break;
+  }
+}
+
+/// Validates the ND-range and derives the per-dimension group counts.
+/// Returns false (setting \p ErrorMessage) when the global range is not
+/// divisible by the work-group size.
+inline bool validateRange(const NDRange &Range,
+                          std::array<int64_t, 3> &NumGroups,
+                          std::string &ErrorMessage) {
+  NumGroups = {1, 1, 1};
+  for (unsigned D = 0; D < Range.Dim; ++D) {
+    if (Range.Local[D] <= 0 || Range.Global[D] % Range.Local[D] != 0) {
+      ErrorMessage = "global range not divisible by work-group size";
+      return false;
+    }
+    NumGroups[D] = Range.Global[D] / Range.Local[D];
+  }
+  return true;
+}
+
+/// The launch-level SimTime formula (launch overhead, per-argument setup
+/// and accumulated dynamic cost spread over the device's lanes).
+inline double finalizeSimTime(const DeviceProperties &Props, size_t NumArgs,
+                              double Cost) {
+  return Props.LaunchOverhead + Props.PerArgCost * NumArgs +
+         Cost / (static_cast<double>(Props.ComputeUnits) * Props.SIMDWidth);
+}
+
+/// Runs one work-group's items cooperatively with run-to-barrier phases
+/// until every item completes. \p ContainerT holds item objects providing:
+///   RunStatus run();                 // resume until barrier/done/error
+///   const void *getBarrierToken();   // identity of the reached barrier
+///   const std::string &getError();
+/// Divergent barriers are reported as the deadlocks they would be on
+/// hardware (paper §V-C). Returns false and sets \p ErrorMessage on any
+/// item error or divergence.
+template <typename ContainerT>
+bool runWorkGroup(ContainerT &Items, std::string &ErrorMessage) {
+  while (true) {
+    size_t NumDone = 0, NumAtBarrier = 0;
+    const void *BarrierToken = nullptr;
+    for (auto &Item : Items) {
+      RunStatus S = Item.run();
+      if (S == RunStatus::Error) {
+        ErrorMessage = Item.getError();
+        return false;
+      }
+      if (S == RunStatus::Done) {
+        ++NumDone;
+        continue;
+      }
+      ++NumAtBarrier;
+      if (!BarrierToken) {
+        BarrierToken = Item.getBarrierToken();
+      } else if (BarrierToken != Item.getBarrierToken()) {
+        ErrorMessage = "divergent barrier: work-items reached different "
+                       "barriers (deadlock)";
+        return false;
+      }
+    }
+    if (NumDone == Items.size())
+      return true;
+    if (NumAtBarrier != Items.size()) {
+      ErrorMessage = "divergent barrier: only part of the work-group "
+                     "reached the barrier (deadlock)";
+      return false;
+    }
+  }
+}
+
+} // namespace exec
+} // namespace smlir
+
+#endif // SMLIR_EXEC_LAUNCHCOMMON_H

@@ -1,0 +1,462 @@
+//===- BytecodeTest.cpp - Bytecode tier unit + coverage tests ----------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the compiled bytecode execution tier (exec/Bytecode.h):
+/// translator/VM semantics checked differentially against the
+/// tree-walking interpreter on hand-written lowered kernels — arithmetic,
+/// loops with iter_args, scf.if yields, barriers with local memory,
+/// inlined calls, subviews, and error paths (identical error strings) —
+/// plus the opcode-coverage gate: every kernel the lowered pipeline
+/// produces for every workload must translate, so the tier can never
+/// silently fall back on the evaluation surface.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/workloads/Workloads.h"
+#include "core/Compiler.h"
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "exec/Bytecode.h"
+#include "exec/BytecodeVM.h"
+#include "exec/Device.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+using namespace smlir;
+using namespace smlir::exec;
+
+namespace {
+
+class BytecodeTest : public ::testing::Test {
+protected:
+  BytecodeTest() { registerAllDialects(Ctx); }
+
+  /// Parses a module and returns the kernel named @K.
+  FuncOp parseKernel(const char *Source) {
+    std::string Error;
+    Module = parseSourceString(&Ctx, Source, &Error);
+    EXPECT_TRUE(Module) << Error;
+    if (!Module)
+      return FuncOp(nullptr);
+    EXPECT_TRUE(verify(Module.get(), &Error).succeeded()) << Error;
+    return FuncOp::dyn_cast(ModuleOp::cast(Module.get()).lookupSymbol("K"));
+  }
+
+  AccessorData wholeBuffer(Storage *S) {
+    AccessorData Acc;
+    Acc.Data = S;
+    Acc.Dim = 1;
+    Acc.Range = {static_cast<int64_t>(S->size()), 1, 1};
+    return Acc;
+  }
+
+  /// Builds one tier's argument list, recording the storages whose final
+  /// contents the parity check compares. Called once per tier so each
+  /// tier runs on its own identically initialized buffers.
+  using ArgMaker =
+      std::function<std::vector<KernelArg>(std::vector<Storage *> &Bufs)>;
+
+  /// The tier-parity contract on one kernel: same success/failure, same
+  /// error string, same buffer contents, and the same dynamic statistics
+  /// down to every counter and the simulated time.
+  void expectParity(FuncOp K, const NDRange &Range, const ArgMaker &MakeArgs) {
+    ASSERT_TRUE(K);
+    std::string Why;
+    std::unique_ptr<bc::Function> Fn = bc::translate(K, &Why);
+    ASSERT_TRUE(Fn) << Why;
+
+    std::vector<Storage *> InterpBufs, ByteBufs;
+    std::vector<KernelArg> InterpArgs = MakeArgs(InterpBufs);
+    std::vector<KernelArg> ByteArgs = MakeArgs(ByteBufs);
+
+    LaunchStats InterpStats, ByteStats;
+    std::string InterpError, ByteError;
+    bool InterpOk =
+        Dev.launch(K, Range, InterpArgs, InterpStats, &InterpError)
+            .succeeded();
+    bool ByteOk =
+        Dev.launch(*Fn, Range, ByteArgs, ByteStats, &ByteError).succeeded();
+
+    EXPECT_EQ(InterpOk, ByteOk)
+        << "interpreter: " << InterpError << " / bytecode: " << ByteError;
+    EXPECT_EQ(InterpError, ByteError);
+    EXPECT_EQ(InterpStats.CoalescedGlobalAccesses,
+              ByteStats.CoalescedGlobalAccesses);
+    EXPECT_EQ(InterpStats.UncoalescedGlobalAccesses,
+              ByteStats.UncoalescedGlobalAccesses);
+    EXPECT_EQ(InterpStats.LocalAccesses, ByteStats.LocalAccesses);
+    EXPECT_EQ(InterpStats.PrivateAccesses, ByteStats.PrivateAccesses);
+    EXPECT_EQ(InterpStats.ArithOps, ByteStats.ArithOps);
+    EXPECT_EQ(InterpStats.MathOps, ByteStats.MathOps);
+    EXPECT_EQ(InterpStats.Barriers, ByteStats.Barriers);
+    EXPECT_EQ(InterpStats.StepsExecuted, ByteStats.StepsExecuted);
+    EXPECT_EQ(InterpStats.SimTime, ByteStats.SimTime);
+
+    ASSERT_EQ(InterpBufs.size(), ByteBufs.size());
+    for (size_t I = 0; I < InterpBufs.size(); ++I) {
+      EXPECT_EQ(InterpBufs[I]->Ints, ByteBufs[I]->Ints) << "buffer " << I;
+      EXPECT_EQ(InterpBufs[I]->Floats, ByteBufs[I]->Floats) << "buffer " << I;
+    }
+  }
+
+  static NDRange range1D(int64_t Global, int64_t Local = 0) {
+    NDRange Range;
+    Range.Dim = 1;
+    Range.Global = {Global, 1, 1};
+    if (Local > 0) {
+      Range.Local = {Local, 1, 1};
+      Range.HasLocal = true;
+    }
+    return Range;
+  }
+
+  MLIRContext Ctx;
+  OwningOpRef Module;
+  Device Dev;
+};
+
+TEST_F(BytecodeTest, GlobalIdArithmeticParity) {
+  // out[gid] = 2*gid + 1 through the lowered identity record.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %dbl = "arith.muli"(%gid, %c2) : (index, index) -> (index)
+    %v = "arith.addi"(%dbl, %c1) : (index, index) -> (index)
+    "memref.store"(%v, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectParity(K, range1D(32), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Int, 32);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+}
+
+TEST_F(BytecodeTest, LoopWithIterArgsAndIfYieldParity) {
+  // A float accumulator threaded through scf.for iter_args, updated by an
+  // scf.if that yields from both branches — the control-flow shapes whose
+  // copy bookkeeping (for.init/for.yield/if.yield) is easiest to get
+  // subtly wrong.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xf64>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %c8 = "arith.constant"() {value = 8 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %init = "arith.sitofp"(%gid) : (index) -> (f64)
+    %sum = "scf.for"(%c0, %c8, %c1, %init) ({
+    ^bb0(%k: index, %acc: f64):
+      %kf = "arith.sitofp"(%k) : (index) -> (f64)
+      %rem = "arith.remsi"(%k, %c2) : (index, index) -> (index)
+      %even = "arith.cmpi"(%rem, %c0) {predicate = "eq"} : (index, index) -> (i1)
+      %next = "scf.if"(%even) ({
+        %add = "arith.addf"(%acc, %kf) : (f64, f64) -> (f64)
+        "scf.yield"(%add) : (f64) -> ()
+      }, {
+        %sub = "arith.subf"(%acc, %kf) : (f64, f64) -> (f64)
+        "scf.yield"(%sub) : (f64) -> ()
+      }) : (i1) -> (f64)
+      "scf.yield"(%next) : (f64) -> ()
+    }) : (index, index, index, f64) -> (f64)
+    "memref.store"(%sum, %out, %gid) : (f64, memref<?xf64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectParity(K, range1D(16), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Float, 16);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+}
+
+TEST_F(BytecodeTest, BarrierWithLocalTileParity) {
+  // Work-items exchange values through a local tile across a gpu.barrier;
+  // checks run-to-barrier scheduling, local-memory sharing and the
+  // barrier/local-access counters agree between the tiers.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c6 = "arith.constant"() {value = 6 : index} : () -> (index)
+    %c8 = "arith.constant"() {value = 8 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %lid = "memref.load"(%arg0, %c6) : (memref<15xindex, 5>, index) -> (index)
+    %tile = "memref.alloca"() : () -> (memref<8xindex, 3>)
+    "memref.store"(%gid, %tile, %lid) : (index, memref<8xindex, 3>, index) -> ()
+    "gpu.barrier"() : () -> ()
+    %next = "arith.addi"(%lid, %c1) : (index, index) -> (index)
+    %wrap = "arith.remsi"(%next, %c8) : (index, index) -> (index)
+    %nbr = "memref.load"(%tile, %wrap) : (memref<8xindex, 3>, index) -> (index)
+    "memref.store"(%nbr, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectParity(K, range1D(32, 8), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Int, 32);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+}
+
+TEST_F(BytecodeTest, InlinedCallParity) {
+  // Calls are inlined at translation time; the dynamic account must still
+  // match the interpreter's call frames exactly.
+  FuncOp K = parseKernel(R"(module {
+  func.func @square(%x: index) -> (index) {
+    %sq = "arith.muli"(%x, %x) : (index, index) -> (index)
+    "func.return"(%sq) : (index) -> ()
+  }
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %sq = "func.call"(%gid) {callee = @square} : (index) -> (index)
+    "memref.store"(%sq, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectParity(K, range1D(16), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Int, 16);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+}
+
+TEST_F(BytecodeTest, SubviewIndexingParity) {
+  // Row-subview of a 2-D accessor, the addressing shape the lowered
+  // accessor ABI produces (see the convert-sycl-to-scf snapshot).
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?x?xf64>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %row = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %col = "memref.load"(%arg0, %c1) : (memref<15xindex, 5>, index) -> (index)
+    %view = "memref.subview"(%out, %row, %col) : (memref<?x?xf64>, index, index) -> (memref<?xf64>)
+    %sum = "arith.addi"(%row, %col) : (index, index) -> (index)
+    %val = "arith.sitofp"(%sum) : (index) -> (f64)
+    "memref.store"(%val, %view, %c0) : (f64, memref<?xf64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  NDRange Range;
+  Range.Dim = 2;
+  Range.Global = {4, 8, 1};
+  expectParity(K, Range, [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Float, 32);
+    Bufs.push_back(Out);
+    AccessorData Acc;
+    Acc.Data = Out;
+    Acc.Dim = 2;
+    Acc.Range = {4, 8, 1};
+    return std::vector<KernelArg>{KernelArg::accessor(Acc)};
+  });
+}
+
+TEST_F(BytecodeTest, ScalarArgumentsParity) {
+  // Int and float scalars bound straight into registers.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xf64>, %scale: f64, %bias: i64) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %b = "arith.index_cast"(%bias) : (i64) -> (index)
+    %shifted = "arith.addi"(%gid, %b) : (index, index) -> (index)
+    %f = "arith.sitofp"(%shifted) : (index) -> (f64)
+    %scaled = "arith.mulf"(%f, %scale) : (f64, f64) -> (f64)
+    "memref.store"(%scaled, %out, %gid) : (f64, memref<?xf64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectParity(K, range1D(8), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Float, 8);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out)),
+                                  KernelArg::floatScalar(2.5),
+                                  KernelArg::intScalar(100)};
+  });
+}
+
+TEST_F(BytecodeTest, DivisionByZeroParity) {
+  // Both tiers define x/0 and x%0 as 0 (the interpreter's convention);
+  // the kernel must complete, not trap, and agree bit-for-bit.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c3 = "arith.constant"() {value = 3 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %rem = "arith.remsi"(%gid, %c3) : (index, index) -> (index)
+    %div = "arith.divsi"(%gid, %rem) : (index, index) -> (index)
+    "memref.store"(%div, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectParity(K, range1D(16), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Int, 16);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+}
+
+TEST_F(BytecodeTest, OutOfBoundsErrorStringParity) {
+  // Failure is part of the contract: both tiers must fail with the exact
+  // same error string (expectParity compares them).
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %big = "arith.constant"() {value = 1000 : index} : () -> (index)
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    "memref.store"(%gid, %out, %big) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectParity(K, range1D(8), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Int, 8);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+}
+
+TEST_F(BytecodeTest, ArgumentCountMismatchParity) {
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    "func.return"() : () -> ()
+  }
+})");
+  expectParity(K, range1D(8), [&](std::vector<Storage *> &Bufs) {
+    (void)Bufs;
+    return std::vector<KernelArg>{};
+  });
+}
+
+TEST_F(BytecodeTest, UncoveredOpFailsTranslationWithNamedReason) {
+  // llvm.alloca belongs to the host ABI and is outside the device
+  // translator's coverage; the refusal must name the op, so the coverage
+  // test can report exactly what regressed.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %p = "llvm.alloca"() : () -> (!llvm.ptr)
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  std::string Why;
+  EXPECT_FALSE(bc::translate(K, &Why));
+  EXPECT_NE(Why.find("llvm.alloca"), std::string::npos) << Why;
+}
+
+TEST_F(BytecodeTest, DisassemblyListsEveryInstruction) {
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    "memref.store"(%gid, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  std::string Why;
+  std::unique_ptr<bc::Function> Fn = bc::translate(K, &Why);
+  ASSERT_TRUE(Fn) << Why;
+  std::string Listing = bc::disassemble(*Fn);
+  EXPECT_NE(Listing.find("kernel @K"), std::string::npos) << Listing;
+  // Every instruction appears on its own numbered line.
+  size_t Lines = 0;
+  std::istringstream In(Listing);
+  for (std::string Line; std::getline(In, Line);)
+    if (!Line.empty() && Line.find(':') != std::string::npos)
+      ++Lines;
+  EXPECT_GE(Lines, Fn->Code.size());
+}
+
+TEST(BytecodeTierTest, StringifyRoundTrips) {
+  EXPECT_EQ(stringifyExecutionTier(ExecutionTier::Bytecode), "bytecode");
+  EXPECT_EQ(stringifyExecutionTier(ExecutionTier::Interpreter),
+            "interpreter");
+}
+
+// The opcode-coverage gate (satellite): every kernel produced by the
+// lowered pipeline for every workload in the evaluation must translate to
+// bytecode. A translator regression shows up here as a named list of
+// kernels and reasons, not as a silent interpreter fallback.
+TEST(BytecodeCoverageTest, EveryLoweredWorkloadKernelTranslates) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  core::CompilerOptions Options;
+  Options.Flow = core::CompilerFlow::SYCLMLIR;
+  Options.LowerToLoops = true;
+  core::Compiler TheCompiler(Options);
+
+  std::vector<std::string> Failures;
+  unsigned NumKernels = 0;
+  for (const workloads::Workload &W : workloads::getAllWorkloads()) {
+    frontend::SourceProgram Program = W.Build(Ctx);
+    std::string Error;
+    auto Exe = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+    ASSERT_TRUE(Exe) << W.Name << ": " << Error;
+    Exe->getModule().getOperation()->walk([&](Operation *Op) {
+      FuncOp F = FuncOp::dyn_cast(Op);
+      if (!F || !Op->hasAttr("sycl.kernel"))
+        return;
+      ++NumKernels;
+      std::string Why;
+      if (!Exe->getKernelBytecode(F.getName(), &Why))
+        Failures.push_back(W.Name + "::" + F.getName() + ": " + Why);
+    });
+  }
+  EXPECT_GT(NumKernels, 0u);
+  std::string Report;
+  for (const std::string &F : Failures)
+    Report += "  " + F + "\n";
+  EXPECT_TRUE(Failures.empty())
+      << "kernels outside bytecode-translator coverage:\n"
+      << Report;
+}
+
+// The selection contract of the executable: lowered modules default to the
+// bytecode tier, the tier is switchable per executable, and the cached
+// bytecode is shared (same pointer on repeated lookups).
+TEST(BytecodeCoverageTest, ExecutableCachesAndSelectsBytecode) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  core::CompilerOptions Options;
+  Options.Flow = core::CompilerFlow::SYCLMLIR;
+  Options.LowerToLoops = true;
+  core::Compiler TheCompiler(Options);
+  workloads::Workload W = workloads::getSingleKernelWorkloads().front();
+  frontend::SourceProgram Program = W.Build(Ctx);
+  std::string Error;
+  auto Exe = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+  ASSERT_TRUE(Exe) << Error;
+
+  std::string KernelName;
+  Exe->getModule().getOperation()->walk([&](Operation *Op) {
+    if (FuncOp F = FuncOp::dyn_cast(Op);
+        F && Op->hasAttr("sycl.kernel") && KernelName.empty())
+      KernelName = F.getName();
+  });
+  ASSERT_FALSE(KernelName.empty());
+
+  const bc::Function *First = Exe->getKernelBytecode(KernelName);
+  ASSERT_NE(First, nullptr);
+  EXPECT_EQ(Exe->getKernelBytecode(KernelName), First);
+
+  Exe->setExecutionTier(ExecutionTier::Interpreter);
+  EXPECT_EQ(Exe->getExecutionTier(), ExecutionTier::Interpreter);
+  Exe->setExecutionTier(ExecutionTier::Bytecode);
+  EXPECT_EQ(Exe->getExecutionTier(), ExecutionTier::Bytecode);
+}
+
+} // namespace

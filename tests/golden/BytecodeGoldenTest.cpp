@@ -1,0 +1,101 @@
+//===- BytecodeGoldenTest.cpp - Golden bytecode-disassembly snapshots --------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden snapshots of the bytecode tier's compiled form: one kernel per
+/// workload family (single-kernel, polybench, stencil) is compiled
+/// through the lowered pipeline, translated to bytecode and disassembled;
+/// the listing is diffed byte-for-byte against a checked-in
+/// `.bc.expected` file, following the same `UPDATE_GOLDEN=1` flow as the
+/// `.mlir.expected` pass snapshots. Any change to the instruction
+/// encoding, register allocation, pool layout or disassembly format shows
+/// up here as a reviewable diff.
+///
+//===----------------------------------------------------------------------===//
+
+#include "GoldenIR.h"
+
+#include "bench/workloads/Workloads.h"
+#include "core/Compiler.h"
+#include "dialect/Builtin.h"
+#include "exec/Bytecode.h"
+#include "ir/MLIRContext.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace smlir;
+
+namespace {
+
+/// Compiles the first workload of \p Family through the lowered pipeline
+/// and snapshots the disassembly of every kernel in its module under
+/// `<SnapshotName>.bc.expected`.
+::testing::AssertionResult
+checkFamilySnapshot(const workloads::Workload &W,
+                    const std::string &SnapshotName) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  core::CompilerOptions Options;
+  Options.Flow = core::CompilerFlow::SYCLMLIR;
+  Options.LowerToLoops = true;
+  core::Compiler TheCompiler(Options);
+  frontend::SourceProgram Program = W.Build(Ctx);
+  std::string Error;
+  auto Exe = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+  if (!Exe)
+    return ::testing::AssertionFailure()
+           << W.Name << " failed to compile: " << Error;
+
+  std::ostringstream Listing;
+  Listing << "// Bytecode-disassembly snapshot '" << SnapshotName << "'\n"
+          << "// workload: " << W.Name << " (" << W.Category << ")\n"
+          << "// Regenerate with: UPDATE_GOLDEN=1 ./GoldenIRTest "
+          << "(or UPDATE_GOLDEN=1 ctest -R Bytecode)\n";
+  bool Any = false;
+  Exe->getModule().getOperation()->walk([&](Operation *Op) {
+    FuncOp F = FuncOp::dyn_cast(Op);
+    if (!F || !Op->hasAttr("sycl.kernel"))
+      return;
+    std::string Why;
+    const exec::bc::Function *Fn = Exe->getKernelBytecode(F.getName(), &Why);
+    Listing << "\n";
+    if (!Fn) {
+      Listing << "// kernel @" << F.getName()
+              << ": outside translator coverage: " << Why << "\n";
+      return;
+    }
+    Listing << exec::bc::disassemble(*Fn);
+    Any = true;
+  });
+  if (!Any)
+    return ::testing::AssertionFailure()
+           << W.Name << ": no kernel translated to bytecode";
+  return golden::checkGoldenText(SnapshotName, "bc.expected", Listing.str());
+}
+
+TEST(BytecodeGolden, SingleKernelFamily) {
+  std::vector<workloads::Workload> Family =
+      workloads::getSingleKernelWorkloads();
+  ASSERT_FALSE(Family.empty());
+  EXPECT_TRUE(checkFamilySnapshot(Family.front(), "bc-single-kernel"));
+}
+
+TEST(BytecodeGolden, PolybenchFamily) {
+  std::vector<workloads::Workload> Family =
+      workloads::getPolybenchWorkloads();
+  ASSERT_FALSE(Family.empty());
+  EXPECT_TRUE(checkFamilySnapshot(Family.front(), "bc-polybench"));
+}
+
+TEST(BytecodeGolden, StencilFamily) {
+  std::vector<workloads::Workload> Family = workloads::getStencilWorkloads();
+  ASSERT_FALSE(Family.empty());
+  EXPECT_TRUE(checkFamilySnapshot(Family.front(), "bc-stencil"));
+}
+
+} // namespace

@@ -174,5 +174,30 @@ checkGoldenPipeline(MLIRContext &Ctx, Operation *Module,
   return ::testing::AssertionSuccess();
 }
 
+::testing::AssertionResult checkGoldenText(const std::string &Name,
+                                           const std::string &Extension,
+                                           const std::string &Content) {
+  std::string Path = snapshotDir() + "/" + Name + "." + Extension;
+  if (updateRequested()) {
+    if (!writeFile(Path, Content))
+      return ::testing::AssertionFailure()
+             << "UPDATE_GOLDEN: failed to write " << Path;
+    return ::testing::AssertionSuccess() << "updated " << Path;
+  }
+
+  bool Exists = false;
+  std::string Expected = readFile(Path, Exists);
+  if (!Exists)
+    return ::testing::AssertionFailure()
+           << "missing snapshot " << Path
+           << " - run with UPDATE_GOLDEN=1 to create it";
+  if (Expected != Content)
+    return ::testing::AssertionFailure()
+           << "snapshot mismatch for " << Path << "\n"
+           << firstDifference(Expected, Content)
+           << "rerun with UPDATE_GOLDEN=1 to accept the new output";
+  return ::testing::AssertionSuccess();
+}
+
 } // namespace golden
 } // namespace smlir

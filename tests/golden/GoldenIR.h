@@ -59,6 +59,14 @@ bool updateRequested();
 checkGoldenPipeline(MLIRContext &Ctx, Operation *Module,
                     const std::string &Name, const std::string &Pipeline);
 
+/// Checks \p Content byte-for-byte against `<Name>.<Extension>` in
+/// snapshotDir(), following the same UPDATE_GOLDEN flow as
+/// checkGoldenPipeline. Backs non-IR snapshots, e.g. the bytecode
+/// disassembly listings (`.bc.expected`).
+::testing::AssertionResult checkGoldenText(const std::string &Name,
+                                           const std::string &Extension,
+                                           const std::string &Content);
+
 } // namespace golden
 } // namespace smlir
 

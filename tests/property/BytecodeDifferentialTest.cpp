@@ -1,0 +1,539 @@
+//===- BytecodeDifferentialTest.cpp - Tier differential fuzzing --------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based differential testing of the bytecode execution tier:
+/// randomly generated lowered kernels — nested scf.for (with iter_args),
+/// scf.if yields, memref.load/store through bounded indices, subview
+/// indexing into a 2-D accessor, local/private allocas and gpu.barrier
+/// placement — are executed through both the tree-walking interpreter and
+/// the bytecode VM on identically initialized buffers. The property: both
+/// tiers agree on success/failure, error string, every buffer byte and
+/// every dynamic statistic including the simulated time. A failing seed
+/// is shrunk (fewer statements, shallower nesting, shorter loops) before
+/// reporting, so the counterexample is small enough to debug by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Arith.h"
+#include "dialect/Builtin.h"
+#include "exec/Bytecode.h"
+#include "exec/Device.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <sstream>
+
+using namespace smlir;
+using namespace smlir::exec;
+
+namespace {
+
+/// Generator configuration; every field shrinks independently.
+struct FuzzConfig {
+  unsigned Seed = 0;
+  int Stmts = 24;   ///< Statement budget for the whole kernel.
+  int Depth = 2;    ///< Maximum loop/if nesting depth.
+  int Trip = 4;     ///< Loop trip count.
+  bool Barriers = true;
+};
+
+/// ND-range shared by every generated kernel: 16 items in groups of 8.
+constexpr int64_t kGlobal = 16;
+constexpr int64_t kLocal = 8;
+/// 1-D int accessor length and 2-D float accessor shape.
+constexpr int64_t kIntLen = 16;
+constexpr int64_t kRows = 4;
+constexpr int64_t kCols = 8;
+
+/// Emits a random lowered kernel as textual generic IR. Names are
+/// globally unique, so region scoping only controls which names a
+/// statement may reference, never shadowing.
+class KernelGen {
+public:
+  explicit KernelGen(const FuzzConfig &C) : Cfg(C), Rng(C.Seed) {}
+
+  std::string generate() {
+    OS << "module {\n"
+       << "  func.func @K(%arg0: memref<15xindex, 5>, %outI: memref<?xindex>, "
+       << "%outF: memref<?x?xf64>) attributes {sycl.kernel, sycl.lowered} "
+       << "{\n";
+    prologue();
+    int Budget = Cfg.Stmts;
+    while (Budget > 0)
+      emitStmt(/*Depth=*/0, /*InLoopOrIf=*/false, Budget);
+    epilogue();
+    OS << "    \"func.return\"() : () -> ()\n"
+       << "  }\n"
+       << "}\n";
+    return OS.str();
+  }
+
+private:
+  std::string fresh() { return "%v" + std::to_string(Tmp++); }
+
+  int64_t rand(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(Rng() % uint64_t(Hi - Lo + 1));
+  }
+
+  const std::string &pick(const std::vector<std::string> &Pool) {
+    return Pool[size_t(rand(0, int64_t(Pool.size()) - 1))];
+  }
+
+  std::string constIdx(int64_t V) {
+    auto It = IdxConsts.find(V);
+    if (It != IdxConsts.end())
+      return It->second;
+    std::string N = fresh();
+    OS << "    " << N << " = \"arith.constant\"() {value = " << V
+       << " : index} : () -> (index)\n";
+    // Constants are emitted in the entry block before any control flow,
+    // so they dominate every later use.
+    IdxConsts[V] = N;
+    Idx.push_back(N);
+    return N;
+  }
+
+  /// ((x mod n) + n) mod n: always in [0, n) whatever sign x has, so
+  /// generated accesses are in bounds by construction and out-of-bounds
+  /// parity stays a dedicated unit test, not fuzzer noise.
+  std::string bounded(const std::string &X, int64_t N) {
+    std::string CN = IdxConsts.at(N);
+    std::string R1 = fresh();
+    OS << "    " << R1 << " = \"arith.remsi\"(" << X << ", " << CN
+       << ") : (index, index) -> (index)\n";
+    std::string R2 = fresh();
+    OS << "    " << R2 << " = \"arith.addi\"(" << R1 << ", " << CN
+       << ") : (index, index) -> (index)\n";
+    std::string R3 = fresh();
+    OS << "    " << R3 << " = \"arith.remsi\"(" << R2 << ", " << CN
+       << ") : (index, index) -> (index)\n";
+    return R3;
+  }
+
+  void prologue() {
+    // Pre-seed the constants every index computation leans on.
+    for (int64_t V : {int64_t(0), int64_t(1), int64_t(2), int64_t(3),
+                      kIntLen, kRows, kCols, int64_t(Cfg.Trip)})
+      constIdx(V);
+    Gid = fresh();
+    OS << "    " << Gid << " = \"memref.load\"(%arg0, " << IdxConsts.at(0)
+       << ") : (memref<15xindex, 5>, index) -> (index)\n";
+    // Hoisted: constIdx/bounded emit their own lines, so they must run
+    // before the line that references their result starts streaming.
+    std::string C6 = constIdx(6);
+    std::string Lid = fresh();
+    OS << "    " << Lid << " = \"memref.load\"(%arg0, " << C6
+       << ") : (memref<15xindex, 5>, index) -> (index)\n";
+    Idx.push_back(Gid);
+    Idx.push_back(Lid);
+    // One local tile and one private scratch buffer; allocas are only
+    // legal outside loops, so they live in the prologue.
+    OS << "    %tile = \"memref.alloca\"() : () -> (memref<8xindex, 3>)\n";
+    OS << "    \"memref.store\"(" << Gid << ", %tile, " << Lid
+       << ") : (index, memref<8xindex, 3>, index) -> ()\n";
+    OS << "    %priv = \"memref.alloca\"() : () -> (memref<4xindex, 5>)\n";
+    std::string PrivSlot = bounded(Gid, 4);
+    OS << "    \"memref.store\"(" << Lid << ", %priv, " << PrivSlot
+       << ") : (index, memref<4xindex, 5>, index) -> ()\n";
+    std::string F0 = fresh();
+    OS << "    " << F0 << " = \"arith.sitofp\"(" << Gid
+       << ") : (index) -> (f64)\n";
+    Flt.push_back(F0);
+  }
+
+  void epilogue() {
+    // Every kernel ends with visible writes, so a semantic divergence
+    // anywhere above lands in a compared buffer.
+    OS << "    \"memref.store\"(" << pick(Idx) << ", %outI, " << Gid
+       << ") : (index, memref<?xindex>, index) -> ()\n";
+    std::string Row = bounded(Gid, kRows);
+    std::string Col = bounded(pick(Idx), kCols);
+    std::string View = fresh();
+    OS << "    " << View << " = \"memref.subview\"(%outF, " << Row << ", "
+       << Col << ") : (memref<?x?xf64>, index, index) -> (memref<?xf64>)\n";
+    OS << "    \"memref.store\"(" << pick(Flt) << ", " << View << ", "
+       << IdxConsts.at(0) << ") : (f64, memref<?xf64>, index) -> ()\n";
+  }
+
+  void indent(int Depth) {
+    for (int I = 0; I < Depth + 1; ++I)
+      OS << "    ";
+  }
+
+  /// One random statement. \p InLoopOrIf gates what is legal or
+  /// convergent there (no allocas in loops, barriers only where every
+  /// work-item provably reaches them: top level, constant-trip loops).
+  void emitStmt(int Depth, bool InLoopOrIf, int &Budget) {
+    --Budget;
+    switch (rand(0, 11)) {
+    case 0: { // Int arithmetic.
+      static const char *Ops[] = {"arith.addi", "arith.muli", "arith.subi",
+                                  "arith.divsi", "arith.remsi",
+                                  "arith.maxsi"};
+      std::string N = fresh();
+      indent(Depth);
+      OS << N << " = \"" << Ops[rand(0, 5)] << "\"(" << pick(Idx) << ", "
+         << pick(Idx) << ") : (index, index) -> (index)\n";
+      Idx.push_back(N);
+      return;
+    }
+    case 1: { // Float arithmetic.
+      static const char *Ops[] = {"arith.addf", "arith.mulf", "arith.subf",
+                                  "arith.divf"};
+      std::string N = fresh();
+      indent(Depth);
+      OS << N << " = \"" << Ops[rand(0, 3)] << "\"(" << pick(Flt) << ", "
+         << pick(Flt) << ") : (f64, f64) -> (f64)\n";
+      Flt.push_back(N);
+      return;
+    }
+    case 2: { // Compare + select.
+      std::string C = fresh();
+      indent(Depth);
+      static const char *Preds[] = {"slt", "sle", "eq", "ne"};
+      OS << C << " = \"arith.cmpi\"(" << pick(Idx) << ", " << pick(Idx)
+         << ") {predicate = \"" << Preds[rand(0, 3)]
+         << "\"} : (index, index) -> (i1)\n";
+      std::string N = fresh();
+      indent(Depth);
+      OS << N << " = \"arith.select\"(" << C << ", " << pick(Idx) << ", "
+         << pick(Idx) << ") : (i1, index, index) -> (index)\n";
+      Idx.push_back(N);
+      return;
+    }
+    case 3: { // sitofp bridge.
+      std::string N = fresh();
+      indent(Depth);
+      OS << N << " = \"arith.sitofp\"(" << pick(Idx)
+         << ") : (index) -> (f64)\n";
+      Flt.push_back(N);
+      return;
+    }
+    case 4: { // Global int store (bounded).
+      std::string I = boundedAt(Depth, pick(Idx), kIntLen);
+      indent(Depth);
+      OS << "\"memref.store\"(" << pick(Idx) << ", %outI, " << I
+         << ") : (index, memref<?xindex>, index) -> ()\n";
+      return;
+    }
+    case 5: { // Global int load (bounded).
+      std::string I = boundedAt(Depth, pick(Idx), kIntLen);
+      std::string N = fresh();
+      indent(Depth);
+      OS << N << " = \"memref.load\"(%outI, " << I
+         << ") : (memref<?xindex>, index) -> (index)\n";
+      Idx.push_back(N);
+      return;
+    }
+    case 6: { // Subview store into the 2-D float accessor.
+      std::string Row = boundedAt(Depth, pick(Idx), kRows);
+      std::string Col = boundedAt(Depth, pick(Idx), kCols);
+      std::string View = fresh();
+      indent(Depth);
+      OS << View << " = \"memref.subview\"(%outF, " << Row << ", " << Col
+         << ") : (memref<?x?xf64>, index, index) -> (memref<?xf64>)\n";
+      indent(Depth);
+      OS << "\"memref.store\"(" << pick(Flt) << ", " << View << ", "
+         << IdxConsts.at(0) << ") : (f64, memref<?xf64>, index) -> ()\n";
+      return;
+    }
+    case 7: { // Local tile traffic.
+      std::string I = boundedAt(Depth, pick(Idx), 8);
+      if (rand(0, 1) == 0) {
+        indent(Depth);
+        OS << "\"memref.store\"(" << pick(Idx) << ", %tile, " << I
+           << ") : (index, memref<8xindex, 3>, index) -> ()\n";
+      } else {
+        std::string N = fresh();
+        indent(Depth);
+        OS << N << " = \"memref.load\"(%tile, " << I
+           << ") : (memref<8xindex, 3>, index) -> (index)\n";
+        Idx.push_back(N);
+      }
+      return;
+    }
+    case 8: { // Private scratch traffic.
+      std::string I = boundedAt(Depth, pick(Idx), 4);
+      std::string N = fresh();
+      indent(Depth);
+      OS << N << " = \"memref.load\"(%priv, " << I
+         << ") : (memref<4xindex, 5>, index) -> (index)\n";
+      Idx.push_back(N);
+      return;
+    }
+    case 9: { // scf.for with an iter_args accumulator.
+      if (Depth >= Cfg.Depth)
+        break;
+      std::string Iv = fresh(), Acc = fresh(), Res = fresh();
+      indent(Depth);
+      OS << Res << " = \"scf.for\"(" << IdxConsts.at(0) << ", "
+         << IdxConsts.at(Cfg.Trip) << ", " << IdxConsts.at(1) << ", "
+         << pick(Idx) << ") ({\n";
+      indent(Depth);
+      OS << "^bb" << Tmp++ << "(" << Iv << ": index, " << Acc
+         << ": index):\n";
+      size_t IdxMark = Idx.size(), FltMark = Flt.size();
+      Idx.push_back(Iv);
+      Idx.push_back(Acc);
+      int Inner = std::min(Budget, int(rand(1, 3)));
+      while (Inner-- > 0 && Budget > 0)
+        emitStmt(Depth + 1, /*InLoopOrIf=*/true, Budget);
+      indent(Depth + 1);
+      OS << "\"scf.yield\"(" << pick(Idx) << ") : (index) -> ()\n";
+      Idx.resize(IdxMark);
+      Flt.resize(FltMark);
+      indent(Depth);
+      OS << "}) : (index, index, index, index) -> (index)\n";
+      Idx.push_back(Res);
+      return;
+    }
+    case 10: { // scf.if yielding from both branches.
+      if (Depth >= Cfg.Depth)
+        break;
+      std::string C = fresh();
+      indent(Depth);
+      OS << C << " = \"arith.cmpi\"(" << pick(Idx) << ", " << pick(Idx)
+         << ") {predicate = \"slt\"} : (index, index) -> (i1)\n";
+      std::string Res = fresh();
+      indent(Depth);
+      OS << Res << " = \"scf.if\"(" << C << ") ({\n";
+      size_t IdxMark = Idx.size(), FltMark = Flt.size();
+      int Inner = std::min(Budget, 1);
+      while (Inner-- > 0 && Budget > 0)
+        emitStmt(Depth + 1, /*InLoopOrIf=*/true, Budget);
+      indent(Depth + 1);
+      OS << "\"scf.yield\"(" << pick(Idx) << ") : (index) -> ()\n";
+      Idx.resize(IdxMark);
+      Flt.resize(FltMark);
+      indent(Depth);
+      OS << "}, {\n";
+      Inner = std::min(Budget, 1);
+      while (Inner-- > 0 && Budget > 0)
+        emitStmt(Depth + 1, /*InLoopOrIf=*/true, Budget);
+      indent(Depth + 1);
+      OS << "\"scf.yield\"(" << pick(Idx) << ") : (index) -> ()\n";
+      Idx.resize(IdxMark);
+      Flt.resize(FltMark);
+      indent(Depth);
+      OS << "}) : (i1) -> (index)\n";
+      Idx.push_back(Res);
+      return;
+    }
+    case 11: { // Barrier: only where every work-item reaches it.
+      if (!Cfg.Barriers || InLoopOrIf)
+        break;
+      indent(Depth);
+      OS << "\"gpu.barrier\"() : () -> ()\n";
+      return;
+    }
+    }
+    // The picked kind was not legal here; spend the budget on plain
+    // arithmetic instead so shrinking stays monotonic in Stmts.
+    std::string N = fresh();
+    indent(Depth);
+    OS << N << " = \"arith.addi\"(" << pick(Idx) << ", " << pick(Idx)
+       << ") : (index, index) -> (index)\n";
+    Idx.push_back(N);
+  }
+
+  /// bounded() emits at statement depth 0; this variant indents for use
+  /// inside nested regions.
+  std::string boundedAt(int Depth, const std::string &X, int64_t N) {
+    std::string CN = IdxConsts.at(N);
+    std::string R1 = fresh();
+    indent(Depth);
+    OS << R1 << " = \"arith.remsi\"(" << X << ", " << CN
+       << ") : (index, index) -> (index)\n";
+    std::string R2 = fresh();
+    indent(Depth);
+    OS << R2 << " = \"arith.addi\"(" << R1 << ", " << CN
+       << ") : (index, index) -> (index)\n";
+    std::string R3 = fresh();
+    indent(Depth);
+    OS << R3 << " = \"arith.remsi\"(" << R2 << ", " << CN
+       << ") : (index, index) -> (index)\n";
+    return R3;
+  }
+
+  FuzzConfig Cfg;
+  std::mt19937 Rng;
+  std::ostringstream OS;
+  int Tmp = 0;
+  std::string Gid;
+  std::vector<std::string> Idx, Flt;
+  std::map<int64_t, std::string> IdxConsts;
+};
+
+/// The result of checking one generated kernel; set only on divergence
+/// (or a generator/translator bug, which also must fail the test).
+struct Divergence {
+  std::string Message;
+  std::string Source;
+};
+
+std::optional<Divergence> checkOne(const FuzzConfig &Cfg) {
+  std::string Source = KernelGen(Cfg).generate();
+  auto Fail = [&](std::string Msg) {
+    return Divergence{std::move(Msg), Source};
+  };
+
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  if (!Module)
+    return Fail("generated kernel failed to parse: " + Error);
+  if (verify(Module.get(), &Error).failed())
+    return Fail("generated kernel failed to verify: " + Error);
+  FuncOp K =
+      FuncOp::dyn_cast(ModuleOp::cast(Module.get()).lookupSymbol("K"));
+  if (!K)
+    return Fail("generated module has no @K");
+
+  std::string Why;
+  std::unique_ptr<bc::Function> Fn = bc::translate(K, &Why);
+  if (!Fn)
+    return Fail("generated kernel failed to translate: " + Why);
+
+  Device Dev;
+  NDRange Range;
+  Range.Dim = 1;
+  Range.Global = {kGlobal, 1, 1};
+  Range.Local = {kLocal, 1, 1};
+  Range.HasLocal = true;
+
+  auto MakeArgs = [&](Storage *&OutI, Storage *&OutF) {
+    OutI = Dev.allocate(Storage::Kind::Int, kIntLen);
+    OutF = Dev.allocate(Storage::Kind::Float, kRows * kCols);
+    // Deterministic nonzero initial contents so loads see real data.
+    for (int64_t I = 0; I < kIntLen; ++I)
+      OutI->Ints[size_t(I)] = (I * 7) % 13 - 3;
+    for (int64_t I = 0; I < kRows * kCols; ++I)
+      OutF->Floats[size_t(I)] = double(I) * 0.5 - 4.0;
+    AccessorData AccI;
+    AccI.Data = OutI;
+    AccI.Dim = 1;
+    AccI.Range = {kIntLen, 1, 1};
+    AccessorData AccF;
+    AccF.Data = OutF;
+    AccF.Dim = 2;
+    AccF.Range = {kRows, kCols, 1};
+    return std::vector<KernelArg>{KernelArg::accessor(AccI),
+                                  KernelArg::accessor(AccF)};
+  };
+
+  Storage *InterpI = nullptr, *InterpF = nullptr;
+  Storage *ByteI = nullptr, *ByteF = nullptr;
+  std::vector<KernelArg> InterpArgs = MakeArgs(InterpI, InterpF);
+  std::vector<KernelArg> ByteArgs = MakeArgs(ByteI, ByteF);
+
+  LaunchStats InterpStats, ByteStats;
+  std::string InterpError, ByteError;
+  bool InterpOk =
+      Dev.launch(K, Range, InterpArgs, InterpStats, &InterpError).succeeded();
+  bool ByteOk =
+      Dev.launch(*Fn, Range, ByteArgs, ByteStats, &ByteError).succeeded();
+
+  std::ostringstream Diff;
+  if (InterpOk != ByteOk)
+    Diff << "outcome: interpreter "
+         << (InterpOk ? "succeeded" : "failed (" + InterpError + ")")
+         << ", bytecode "
+         << (ByteOk ? "succeeded" : "failed (" + ByteError + ")") << "\n";
+  else if (InterpError != ByteError)
+    Diff << "error strings: '" << InterpError << "' vs '" << ByteError
+         << "'\n";
+  auto Cmp = [&](const char *Field, auto A, auto B) {
+    if (A != B)
+      Diff << Field << ": " << A << " vs " << B << "\n";
+  };
+  Cmp("CoalescedGlobalAccesses", InterpStats.CoalescedGlobalAccesses,
+      ByteStats.CoalescedGlobalAccesses);
+  Cmp("UncoalescedGlobalAccesses", InterpStats.UncoalescedGlobalAccesses,
+      ByteStats.UncoalescedGlobalAccesses);
+  Cmp("LocalAccesses", InterpStats.LocalAccesses, ByteStats.LocalAccesses);
+  Cmp("PrivateAccesses", InterpStats.PrivateAccesses,
+      ByteStats.PrivateAccesses);
+  Cmp("ArithOps", InterpStats.ArithOps, ByteStats.ArithOps);
+  Cmp("MathOps", InterpStats.MathOps, ByteStats.MathOps);
+  Cmp("Barriers", InterpStats.Barriers, ByteStats.Barriers);
+  Cmp("StepsExecuted", InterpStats.StepsExecuted, ByteStats.StepsExecuted);
+  Cmp("SimTime", InterpStats.SimTime, ByteStats.SimTime);
+  for (int64_t I = 0; I < kIntLen; ++I)
+    if (InterpI->Ints[size_t(I)] != ByteI->Ints[size_t(I)])
+      Diff << "outI[" << I << "]: " << InterpI->Ints[size_t(I)] << " vs "
+           << ByteI->Ints[size_t(I)] << "\n";
+  for (int64_t I = 0; I < kRows * kCols; ++I)
+    if (InterpF->Floats[size_t(I)] != ByteF->Floats[size_t(I)])
+      Diff << "outF[" << I << "]: " << InterpF->Floats[size_t(I)] << " vs "
+           << ByteF->Floats[size_t(I)] << "\n";
+  if (Diff.str().empty())
+    return std::nullopt;
+  return Fail("tier divergence:\n" + Diff.str());
+}
+
+class BytecodeDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BytecodeDifferential, RandomLoweredKernelsAgree) {
+  FuzzConfig Cfg;
+  Cfg.Seed = GetParam();
+  std::optional<Divergence> Failure = checkOne(Cfg);
+  if (!Failure)
+    return;
+
+  // Shrink: greedily accept any smaller configuration that still fails,
+  // until no reduction reproduces the divergence.
+  FuzzConfig Min = Cfg;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    std::vector<FuzzConfig> Candidates;
+    if (Min.Stmts > 1) {
+      FuzzConfig C = Min;
+      C.Stmts /= 2;
+      Candidates.push_back(C);
+    }
+    if (Min.Depth > 0) {
+      FuzzConfig C = Min;
+      C.Depth -= 1;
+      Candidates.push_back(C);
+    }
+    if (Min.Trip > 1) {
+      FuzzConfig C = Min;
+      C.Trip /= 2;
+      Candidates.push_back(C);
+    }
+    if (Min.Barriers) {
+      FuzzConfig C = Min;
+      C.Barriers = false;
+      Candidates.push_back(C);
+    }
+    for (const FuzzConfig &C : Candidates) {
+      if (std::optional<Divergence> Smaller = checkOne(C)) {
+        Min = C;
+        Failure = Smaller;
+        Progress = true;
+        break;
+      }
+    }
+  }
+  FAIL() << "seed " << Cfg.Seed << " (shrunk to stmts=" << Min.Stmts
+         << " depth=" << Min.Depth << " trip=" << Min.Trip
+         << " barriers=" << Min.Barriers << "):\n"
+         << Failure->Message << "\nkernel:\n"
+         << Failure->Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytecodeDifferential,
+                         ::testing::Range(0u, 24u));
+
+} // namespace

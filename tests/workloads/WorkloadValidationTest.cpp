@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 using namespace smlir;
 
 namespace {
@@ -43,11 +45,16 @@ struct BufferContents {
 /// Compiles and runs \p W under \p Flow on \p Target (empty: the process
 /// default, so SMLIR_DEFAULT_TARGET sweeps this suite over any backend).
 /// When \p CaptureBuffers is given, the final contents of every buffer
-/// are recorded for cross-target comparison.
+/// are recorded for cross-target comparison. \p Tier forces an execution
+/// tier on the executable (unset: the process default) and
+/// \p SchedulerThreads a scheduler pool size (unset: the context
+/// default).
 rt::RunResult
 runFlow(const workloads::Workload &W, core::CompilerFlow Flow,
         std::string_view Target = {}, bool LowerToLoops = false,
-        std::map<std::string, BufferContents> *CaptureBuffers = nullptr) {
+        std::map<std::string, BufferContents> *CaptureBuffers = nullptr,
+        std::optional<exec::ExecutionTier> Tier = std::nullopt,
+        std::optional<unsigned> SchedulerThreads = std::nullopt) {
   MLIRContext Ctx;
   registerAllDialects(Ctx);
   frontend::SourceProgram Program = W.Build(Ctx);
@@ -55,12 +62,15 @@ runFlow(const workloads::Workload &W, core::CompilerFlow Flow,
   Options.Flow = Flow;
   Options.LowerToLoops = LowerToLoops;
   core::Compiler TheCompiler(Options);
-  rt::Context RT;
+  rt::Context RT = SchedulerThreads ? rt::Context(*SchedulerThreads)
+                                    : rt::Context();
   std::string Error;
   auto Exe = TheCompiler.compileFor(Program, Target, &Error);
   EXPECT_TRUE(Exe) << W.Name << ": " << Error;
   if (!Exe)
     return rt::RunResult();
+  if (Tier)
+    Exe->setExecutionTier(*Tier);
   if (LowerToLoops || Exe->getKernelForm() == exec::KernelForm::LoweredSCF) {
     // The conversion's contract: zero sycl.* ops in any kernel.
     unsigned NumSYCLOps = 0;
@@ -135,6 +145,69 @@ TEST_P(WorkloadValidation, VirtualGpuVsVirtualCpuBitIdentical) {
   EXPECT_TRUE(GpuResult.Validated);
   EXPECT_TRUE(CpuResult.Validated);
   EXPECT_EQ(OnGpu, OnCpu) << GetParam().W.Name;
+}
+
+/// All LaunchStats counters plus the cost-model time, for exact
+/// tier-parity comparison.
+void expectSameStats(const exec::LaunchStats &A, const exec::LaunchStats &B,
+                     const std::string &Label) {
+  EXPECT_EQ(A.CoalescedGlobalAccesses, B.CoalescedGlobalAccesses) << Label;
+  EXPECT_EQ(A.UncoalescedGlobalAccesses, B.UncoalescedGlobalAccesses)
+      << Label;
+  EXPECT_EQ(A.LocalAccesses, B.LocalAccesses) << Label;
+  EXPECT_EQ(A.PrivateAccesses, B.PrivateAccesses) << Label;
+  EXPECT_EQ(A.ArithOps, B.ArithOps) << Label;
+  EXPECT_EQ(A.MathOps, B.MathOps) << Label;
+  EXPECT_EQ(A.Barriers, B.Barriers) << Label;
+  EXPECT_EQ(A.StepsExecuted, B.StepsExecuted) << Label;
+  EXPECT_EQ(A.SimTime, B.SimTime) << Label;
+}
+
+TEST_P(WorkloadValidation, BytecodeVsInterpreterBitIdentical) {
+  // The bytecode tier's contract: on every workload, every backend and
+  // every scheduler-pool size, the compiled tier produces bit-identical
+  // buffer contents AND an identical cost-model account (every counter,
+  // every simulated nanosecond) to the tree-walking interpreter.
+  // virtual-cpu natively executes the lowered form; virtual-gpu is forced
+  // onto it with LowerToLoops (its preferred high-level form never uses
+  // the bytecode tier).
+  struct Backend {
+    std::string_view Target;
+    bool LowerToLoops;
+  };
+  const Backend Backends[] = {{"virtual-cpu", false}, {"virtual-gpu", true}};
+  const std::optional<unsigned> Pools[] = {0u, 1u, std::nullopt};
+  for (const Backend &B : Backends) {
+    for (std::optional<unsigned> Pool : Pools) {
+      std::string Label = std::string(GetParam().W.Name) + " on " +
+                          std::string(B.Target) + " pool=" +
+                          (Pool ? std::to_string(*Pool) : "default");
+      std::map<std::string, BufferContents> Interp, Byte;
+      rt::RunResult InterpResult =
+          runFlow(GetParam().W, core::CompilerFlow::SYCLMLIR, B.Target,
+                  B.LowerToLoops, &Interp,
+                  exec::ExecutionTier::Interpreter, Pool);
+      rt::RunResult ByteResult =
+          runFlow(GetParam().W, core::CompilerFlow::SYCLMLIR, B.Target,
+                  B.LowerToLoops, &Byte, exec::ExecutionTier::Bytecode,
+                  Pool);
+      ASSERT_TRUE(InterpResult.Success) << Label << ": "
+                                        << InterpResult.Error;
+      ASSERT_TRUE(ByteResult.Success) << Label << ": " << ByteResult.Error;
+      EXPECT_TRUE(InterpResult.Validated) << Label;
+      EXPECT_TRUE(ByteResult.Validated) << Label;
+      EXPECT_EQ(Interp, Byte) << Label;
+      EXPECT_EQ(InterpResult.Stats.NumLaunches, ByteResult.Stats.NumLaunches)
+          << Label;
+      EXPECT_EQ(InterpResult.Stats.TotalKernelTime,
+                ByteResult.Stats.TotalKernelTime)
+          << Label;
+      EXPECT_EQ(InterpResult.Stats.Makespan, ByteResult.Stats.Makespan)
+          << Label;
+      expectSameStats(InterpResult.Stats.Aggregate, ByteResult.Stats.Aggregate,
+                      Label);
+    }
+  }
 }
 
 TEST_P(WorkloadValidation, AdaptiveCppValidates) {
