@@ -23,6 +23,7 @@
 #include "dialect/Arith.h"
 #include "dialect/Builtin.h"
 #include "dialect/MemRef.h"
+#include "exec/Bytecode.h"
 #include "frontend/HostIRImporter.h"
 #include "frontend/KernelBuilder.h"
 #include "ir/Parser.h"
@@ -244,14 +245,76 @@ frontend::SourceProgram makeSaxpy(MLIRContext &Ctx) {
   return Program;
 }
 
+/// A 2-D 5-point Jacobi stencil with clamped neighbor indices: the
+/// select/compare-heavy middle of the spectrum (branch-free guards, a
+/// short reuse chain per item, no barriers).
+frontend::SourceProgram makeStencil(MLIRContext &Ctx) {
+  constexpr int64_t N = 96;
+  frontend::SourceProgram Program(&Ctx);
+  frontend::KernelBuilder KB(Program, "stencil", 2, /*UsesNDItem=*/true);
+  Value In = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Read);
+  Value Out = KB.addAccessorArg(KB.f32(), 2, sycl::AccessMode::Write);
+  Value I = KB.gid(0), J = KB.gid(1);
+  Value One = KB.cIdx(1), Zero = KB.cIdx(0), Last = KB.cIdx(N - 1);
+  auto Clamped = [&](Value V) {
+    Value Dec = KB.select(KB.cmpi(arith::CmpIPredicate::sgt, V, Zero),
+                          KB.subi(V, One), V);
+    Value Inc = KB.select(KB.cmpi(arith::CmpIPredicate::slt, V, Last),
+                          KB.addi(V, One), V);
+    return std::make_pair(Dec, Inc);
+  };
+  auto [IM, IP] = Clamped(I);
+  auto [JM, JP] = Clamped(J);
+  Value Sum = KB.addf(
+      KB.loadAcc(In, {I, J}),
+      KB.addf(KB.addf(KB.loadAcc(In, {IM, J}), KB.loadAcc(In, {IP, J})),
+              KB.addf(KB.loadAcc(In, {I, JM}), KB.loadAcc(In, {I, JP}))));
+  KB.storeAcc(Out, {I, J}, KB.mulf(KB.cFloat(KB.f32(), 0.2), Sum));
+  KB.finish();
+  exec::NDRange R;
+  R.Dim = 2;
+  R.Global = {N, N, 1};
+  R.Local = {8, 8, 1};
+  R.HasLocal = true;
+  Program.Buffers = {
+      {"In", exec::Storage::Kind::Float, {N, N}, nullptr, 32},
+      {"Out", exec::Storage::Kind::Float, {N, N}, nullptr, 32}};
+  Program.Submits = {
+      {"stencil",
+       R,
+       {frontend::AccessorArg{"In", sycl::AccessMode::Read, {}, {}},
+        frontend::AccessorArg{"Out", sycl::AccessMode::Write, {}, {}}}}};
+  frontend::importHostIR(Program);
+  return Program;
+}
+
 /// Per-kernel execution time of one tier: the program is compiled for
 /// virtual-cpu (lowered scf/memref form, the form both tiers execute),
 /// then each iteration launches the kernel once at the Device level —
 /// direct FuncOp interpretation vs the translated bc::Function — so the
 /// measurement isolates execution from queue/scheduler overhead.
+///
+/// \p BaseVM benchmarks the VM in its PR-baseline configuration —
+/// superinstruction fusion off, portable switch dispatch — so one run
+/// carries its own like-for-like speedup denominator next to the tuned
+/// (threaded + fused) default.
 void runExecTier(benchmark::State &State,
                  frontend::SourceProgram (*Make)(MLIRContext &),
-                 const char *Kernel, exec::ExecutionTier Tier) {
+                 const char *Kernel, exec::ExecutionTier Tier,
+                 bool BaseVM = false) {
+  // Restores the process VM configuration on every exit path.
+  struct VMConfigGuard {
+    bool Fusion = exec::bc::getDefaultFusionEnabled();
+    exec::bc::DispatchMode Dispatch = exec::bc::getDispatchMode();
+    ~VMConfigGuard() {
+      exec::bc::setDefaultFusionEnabled(Fusion);
+      exec::bc::setDispatchMode(Dispatch);
+    }
+  } ConfigGuard;
+  if (BaseVM) {
+    exec::bc::setDefaultFusionEnabled(false);
+    exec::bc::setDispatchMode(exec::bc::DispatchMode::Switch);
+  }
   MLIRContext Ctx;
   registerAllDialects(Ctx);
   frontend::SourceProgram Program = Make(Ctx);
@@ -320,6 +383,12 @@ void BM_ExecTier_MatMul_Bytecode(benchmark::State &State) {
 }
 BENCHMARK(BM_ExecTier_MatMul_Bytecode)->Unit(benchmark::kMicrosecond);
 
+void BM_ExecTier_MatMul_BytecodeBase(benchmark::State &State) {
+  runExecTier(State, makeProgram, "k", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/true);
+}
+BENCHMARK(BM_ExecTier_MatMul_BytecodeBase)->Unit(benchmark::kMicrosecond);
+
 void BM_ExecTier_Saxpy_Interpreter(benchmark::State &State) {
   runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Interpreter);
 }
@@ -329,6 +398,29 @@ void BM_ExecTier_Saxpy_Bytecode(benchmark::State &State) {
   runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Bytecode);
 }
 BENCHMARK(BM_ExecTier_Saxpy_Bytecode)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Saxpy_BytecodeBase(benchmark::State &State) {
+  runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/true);
+}
+BENCHMARK(BM_ExecTier_Saxpy_BytecodeBase)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Stencil_Interpreter(benchmark::State &State) {
+  runExecTier(State, makeStencil, "stencil",
+              exec::ExecutionTier::Interpreter);
+}
+BENCHMARK(BM_ExecTier_Stencil_Interpreter)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Stencil_Bytecode(benchmark::State &State) {
+  runExecTier(State, makeStencil, "stencil", exec::ExecutionTier::Bytecode);
+}
+BENCHMARK(BM_ExecTier_Stencil_Bytecode)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Stencil_BytecodeBase(benchmark::State &State) {
+  runExecTier(State, makeStencil, "stencil", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/true);
+}
+BENCHMARK(BM_ExecTier_Stencil_BytecodeBase)->Unit(benchmark::kMicrosecond);
 
 //===----------------------------------------------------------------------===//
 // Asynchronous runtime (task-graph scheduler)

@@ -1,23 +1,82 @@
 #!/usr/bin/env bash
-# Measures per-kernel execution time of both execution tiers (bytecode VM
-# vs tree-walking interpreter) via the BM_ExecTier_* microbenchmarks and
-# writes the google-benchmark JSON report to BENCH_exec.json (or $1).
-# The bytecode tier is expected to hold a >=5x advantage on every kernel;
-# compare the *_Interpreter and *_Bytecode real_time entries.
+# Measures per-kernel execution time of the execution tiers via the
+# BM_ExecTier_* microbenchmarks and writes the google-benchmark JSON
+# report to BENCH_exec.json (or $1).
+#
+# Three variants run per kernel family (matmul, saxpy, stencil):
+#   *_Interpreter   - the tree-walking reference interpreter
+#   *_BytecodeBase  - the VM with fusion off, portable switch dispatch
+#   *_Bytecode      - the tuned default (direct-threaded + fused)
+# and the script prints a one-line speedup summary per family.
+#
+# To regenerate the opcode/pair frequency profile that justifies the
+# fused opcode set (see fuseSuperinstructions in src/exec/Bytecode.cpp):
+#   SMLIR_BC_PROFILE=1 SMLIR_BC_FUSION=0 build/bench/micro_infra \
+#     --benchmark_filter='BM_ExecTier.*_Bytecode$' --benchmark_min_time=0.01
+# The unfused pair counts print to stderr at process exit.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 OUT="${1:-$REPO_ROOT/BENCH_exec.json}"
+REPS="${REPS:-5}"
 
 cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_infra
 
-"$BUILD_DIR/bench/micro_infra" \
+BENCH="$BUILD_DIR/bench/micro_infra"
+if [ ! -x "$BENCH" ]; then
+  echo "bench_exec.sh: benchmark binary not found or not executable: $BENCH" >&2
+  exit 1
+fi
+
+"$BENCH" \
   --benchmark_filter='BM_ExecTier' \
-  --benchmark_repetitions=3 \
+  --benchmark_repetitions="$REPS" \
   --benchmark_report_aggregates_only=true \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json
+
+# Every family must be present in the report with all three variants —
+# a silently skipped benchmark (compile failure, kernel outside bytecode
+# coverage) must fail the run, not produce a hollow JSON.
+python3 - "$OUT" <<'EOF'
+import json, math, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+
+medians = {}
+for entry in report.get("benchmarks", []):
+    if entry.get("aggregate_name") == "median":
+        medians[entry["run_name"]] = entry["real_time"]
+
+families = ["MatMul", "Saxpy", "Stencil"]
+variants = ["Interpreter", "BytecodeBase", "Bytecode"]
+missing = [
+    f"BM_ExecTier_{fam}_{var}"
+    for fam in families
+    for var in variants
+    if f"BM_ExecTier_{fam}_{var}" not in medians
+]
+if missing:
+    print(f"bench_exec.sh: missing from {path}: {', '.join(missing)}",
+          file=sys.stderr)
+    sys.exit(1)
+
+ratios = []
+for fam in families:
+    interp = medians[f"BM_ExecTier_{fam}_Interpreter"]
+    base = medians[f"BM_ExecTier_{fam}_BytecodeBase"]
+    tuned = medians[f"BM_ExecTier_{fam}_Bytecode"]
+    ratios.append(base / tuned)
+    print(f"{fam.lower()}: interpreter {interp:.0f}us, "
+          f"bytecode(base) {base:.0f}us, bytecode(threaded+fused) "
+          f"{tuned:.0f}us -> {interp / tuned:.1f}x vs interpreter, "
+          f"{base / tuned:.2f}x vs base VM")
+geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+print(f"geomean threaded+fused speedup vs base VM: {geomean:.2f}x")
+EOF
 
 echo "wrote $OUT"

@@ -90,6 +90,45 @@ for snapshot in "${snapshots[@]}"; do
   fi
 done
 
+# Bytecode-disassembly snapshots: replaying the recorded lowered module
+# through `smlir-opt --emit-bytecode` must reproduce the snapshot's
+# bytecode section byte-for-byte — the CLI, the translator (with
+# superinstruction fusion, pinned on to match how the snapshots are
+# generated) and the golden test all agree. Skipped when specific
+# .mlir.expected snapshots were requested on the command line.
+if [[ $# -eq 0 ]]; then
+  bc_snapshots=("$REPO_ROOT"/tests/golden/snapshots/*.bc.expected)
+  if [[ ! -e "${bc_snapshots[0]}" ]]; then
+    echo "smoke_smlir_opt: no .bc.expected snapshots found" >&2
+    exit 1
+  fi
+  for snapshot in "${bc_snapshots[@]}"; do
+    awk '/^\/\/ ----- module -----$/{flag=1;next}/^\/\/ ----- bytecode -----$/{flag=0}flag' \
+      "$snapshot" > "$tmp/module.mlir"
+    awk '/^\/\/ ----- bytecode -----$/{flag=1;next}flag' \
+      "$snapshot" > "$tmp/expected.bc"
+    SMLIR_BC_FUSION=1 "$SMLIR_OPT" --emit-bytecode "$tmp/module.mlir" \
+      > "$tmp/actual.bc"
+    if ! diff -u "$tmp/expected.bc" "$tmp/actual.bc"; then
+      echo "smoke_smlir_opt: BYTECODE MISMATCH for $(basename "$snapshot")" >&2
+      exit 1
+    fi
+    # Named-kernel selection prints exactly that one kernel.
+    kernel="$(sed -n 's/^kernel @\([^ ]*\).*/\1/p' "$tmp/expected.bc" | head -n1)"
+    if [[ -n "$kernel" ]]; then
+      SMLIR_BC_FUSION=1 "$SMLIR_OPT" --emit-bytecode="$kernel" \
+        "$tmp/module.mlir" > "$tmp/actual_one.bc"
+      if [[ "$(grep -c '^kernel @' "$tmp/actual_one.bc")" != 1 ]] ||
+         ! grep -q "^kernel @$kernel " "$tmp/actual_one.bc"; then
+        echo "smoke_smlir_opt: --emit-bytecode=$kernel selection failed for" \
+             "$(basename "$snapshot")" >&2
+        exit 1
+      fi
+    fi
+    echo "smlir-opt --emit-bytecode reproduced $(basename "$snapshot")"
+  done
+fi
+
 # The registry listing must expose both built-in backends.
 for target in virtual-gpu virtual-cpu; do
   if ! "$SMLIR_OPT" --list-targets | grep -q "^  $target - "; then

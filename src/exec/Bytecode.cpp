@@ -26,6 +26,7 @@
 #include "ir/Block.h"
 #include "support/ErrorHandling.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <map>
 #include <sstream>
@@ -54,6 +55,118 @@ ExecutionTier exec::getDefaultExecutionTier() {
                      "' (expected 'bytecode' or 'interpreter')");
   }();
   return Tier;
+}
+
+std::string_view bc::stringifyDispatchMode(DispatchMode Mode) {
+  return Mode == DispatchMode::Threaded ? "threaded" : "switch";
+}
+
+namespace {
+/// -1: not yet resolved from the environment; 0/1 once resolved or
+/// overridden by setDefaultFusionEnabled.
+std::atomic<int> CurrentFusionEnabled{-1};
+} // namespace
+
+bool bc::getDefaultFusionEnabled() {
+  int Enabled = CurrentFusionEnabled.load(std::memory_order_relaxed);
+  if (Enabled < 0) {
+    Enabled = [] {
+      const char *Env = std::getenv("SMLIR_BC_FUSION");
+      if (!Env || !*Env)
+        return 1;
+      std::string_view Value(Env);
+      if (Value == "0")
+        return 0;
+      if (Value == "1")
+        return 1;
+      reportFatalError("SMLIR_BC_FUSION: unknown value '" +
+                       std::string(Value) + "' (expected '0' or '1')");
+    }();
+    CurrentFusionEnabled.store(Enabled, std::memory_order_relaxed);
+  }
+  return Enabled != 0;
+}
+
+void bc::setDefaultFusionEnabled(bool Enabled) {
+  CurrentFusionEnabled.store(Enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Superinstruction fusion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isIntBinop(Opc Op) { return Op >= Opc::AddI && Op <= Opc::MaxSI; }
+bool isFloatBinop(Opc Op) { return Op >= Opc::AddF && Op <= Opc::MaxF; }
+
+} // namespace
+
+size_t bc::fuseSuperinstructions(Function &Fn) {
+  // The peephole rewrites only the head's opcode: the tail keeps its
+  // opcode and operands and stays at its index, so jump targets, the
+  // barrier-resume PC and the disassembly all stay valid — a branch
+  // into the tail executes it standalone. Pairs never chain: after a
+  // fuse the scan continues past the tail, so a tail is never itself
+  // rewritten into a head (the fused handlers re-dispatch on the tail's
+  // original opcode).
+  size_t NumFused = 0;
+  std::vector<Inst> &Code = Fn.Code;
+  for (size_t PC = 0; PC + 1 < Code.size(); ++PC) {
+    Inst &Head = Code[PC];
+    const Inst &Tail = Code[PC + 1];
+    // Load/Store HEADS fuse only as direct private-arena accesses (flag
+    // bit 2): the fused handlers then inline just the short arena body,
+    // which keeps the dispatch loops small enough for the compiler to
+    // register-allocate well (inlining the full generic access body into
+    // every fused handler measurably regressed the whole loop). Tails
+    // are unrestricted: they run through the shared standalone bodies.
+    const bool HeadPriv = (Head.U8 & 4) != 0;
+    Opc Fused;
+    if (Head.Op == Opc::Load && HeadPriv && !(Head.U8 & 1) &&
+        isIntBinop(Tail.Op)) {
+      Fused = Opc::FusedLoadIArith;
+    } else if (Head.Op == Opc::Load && HeadPriv && (Head.U8 & 1) &&
+               isFloatBinop(Tail.Op)) {
+      Fused = Opc::FusedLoadFArith;
+    } else if (isIntBinop(Head.Op) && Tail.Op == Opc::Load) {
+      Head.U16 = static_cast<uint16_t>(Head.Op);
+      Fused = Opc::FusedArithILoad;
+    } else if (isIntBinop(Head.Op) && Tail.Op == Opc::CmpI) {
+      Head.U16 = static_cast<uint16_t>(Head.Op);
+      Fused = Opc::FusedArithICmp;
+    } else if (Head.Op == Opc::SelI && isIntBinop(Tail.Op)) {
+      Fused = Opc::FusedSelIArith;
+    } else if (isFloatBinop(Head.Op) && Tail.Op == Opc::Store) {
+      Head.U16 = static_cast<uint16_t>(Head.Op);
+      Fused = Opc::FusedArithFStore;
+    } else if (isFloatBinop(Head.Op) && isFloatBinop(Tail.Op)) {
+      Head.U16 = static_cast<uint16_t>(Head.Op);
+      Fused = Opc::FusedArithFArith;
+    } else if (Head.Op == Opc::CmpI && Tail.Op == Opc::CondBr) {
+      Fused = Opc::FusedCmpBr;
+    } else if (Head.Op == Opc::Load && HeadPriv && Tail.Op == Opc::Load) {
+      Fused = Opc::FusedLoadLoad;
+    } else if (Head.Op == Opc::Store && HeadPriv && Tail.Op == Opc::Load) {
+      Fused = Opc::FusedStoreLoad;
+    } else if (Head.Op == Opc::Store && HeadPriv && Tail.Op == Opc::Store) {
+      Fused = Opc::FusedStoreStore;
+    } else if (Head.Op == Opc::AllocaPriv && Tail.Op == Opc::Store) {
+      Fused = Opc::FusedAllocaStore;
+    } else if (Head.Op == Opc::Load && HeadPriv && Tail.Op == Opc::SubView) {
+      Fused = Opc::FusedLoadSubView;
+    } else if (Head.Op == Opc::ConstI && Tail.Op == Opc::Load) {
+      Fused = Opc::FusedConstILoad;
+    } else if (Head.Op == Opc::ConstF && isFloatBinop(Tail.Op)) {
+      Fused = Opc::FusedConstFArith;
+    } else {
+      continue;
+    }
+    Head.Op = Fused;
+    ++NumFused;
+    ++PC; // Skip the tail: fused pairs never chain.
+  }
+  return NumFused;
 }
 
 //===----------------------------------------------------------------------===//
@@ -218,6 +331,18 @@ private:
   std::map<int64_t, int32_t> IntConsts;
   std::unordered_map<Operation *, int32_t> BarrierTokens;
   std::vector<Operation *> CallStack;
+
+  /// Rank-1 private alloca results and their arena slot: accesses whose
+  /// memref operand IS such a value (SSA, so the view can never be
+  /// anything else) compile to direct arena accesses — see
+  /// translateLoadStore. Inlined call sites re-emit the callee's alloca
+  /// with a fresh slot, overwriting the entry in program order, which is
+  /// exactly the slot the site's accesses read.
+  struct PrivSlot {
+    int32_t Offset;
+    bool IsFloat;
+  };
+  std::unordered_map<detail::ValueImpl *, PrivSlot> PrivSlots;
 };
 
 std::unique_ptr<Function> Translator::run(std::string *WhyNot) {
@@ -656,6 +781,8 @@ bool Translator::translateAlloca(Operation *Op) {
   int64_t &Plane = IsFloat ? Fn->PrivFloatWords : Fn->PrivIntWords;
   int32_t Offset = (int32_t)Plane;
   Plane += Words;
+  if (Ty.getRank() == 1)
+    PrivSlots[Op->getResult(0).getImpl()] = {Offset, IsFloat};
   emit({Opc::AllocaPriv, (uint8_t)IsFloat, 0, Dst, Offset, (int32_t)Words,
         0});
   return true;
@@ -710,8 +837,23 @@ bool Translator::translateLoadStore(Operation *Op, bool IsStore) {
     Fn->Pool.push_back(Shape[I]);
 
   uint8_t Flags = (IsFloatVal ? 1 : 0) | (Coalesced ? 2 : 0);
+
+  // Direct private-arena access (flag bit 2, slot offset in D): the
+  // memref operand is itself a rank-1 private alloca result, so the view
+  // is statically known — space Private, offset 0, length = the static
+  // extent already baked into the pool. The lowered spill idiom
+  // (`alloca.priv(1); store; load`) makes these the hottest accesses in
+  // every kernel; the VM's DoLoad/DoStore skip the view fetch entirely.
+  int32_t Direct = 0;
+  if (NumIdx == 1 && Shape[0] != MemRefType::kDynamic) {
+    auto It = PrivSlots.find(Op->getOperand(MemIdx).getImpl());
+    if (It != PrivSlots.end() && It->second.IsFloat == IsFloatVal) {
+      Flags |= 4;
+      Direct = It->second.Offset;
+    }
+  }
   emit({IsStore ? Opc::Store : Opc::Load, Flags, (uint16_t)NumIdx, ValReg,
-        Mem, PoolIdx, 0});
+        Mem, PoolIdx, Direct});
   return true;
 }
 
@@ -929,16 +1071,22 @@ bool Translator::translateCall(Operation *Op, FuncCtx &FC) {
 
 std::unique_ptr<Function> bc::translate(FuncOp Kernel,
                                         std::string *WhyNot) {
-  return Translator(Kernel).run(WhyNot);
+  return translate(Kernel, getDefaultFusionEnabled(), WhyNot);
+}
+
+std::unique_ptr<Function> bc::translate(FuncOp Kernel, bool EnableFusion,
+                                        std::string *WhyNot) {
+  std::unique_ptr<Function> Fn = Translator(Kernel).run(WhyNot);
+  if (Fn && EnableFusion)
+    fuseSuperinstructions(*Fn);
+  return Fn;
 }
 
 //===----------------------------------------------------------------------===//
 // Disassembler
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-const char *opcName(Opc Op) {
+const char *bc::opcName(Opc Op) {
   switch (Op) {
   case Opc::ConstI: return "const.i";
   case Opc::ConstF: return "const.f";
@@ -987,9 +1135,26 @@ const char *opcName(Opc Op) {
   case Opc::RetCopy: return "ret.copy";
   case Opc::Barrier: return "barrier";
   case Opc::Halt: return "halt";
+  case Opc::FusedLoadIArith: return "load.arith.i";
+  case Opc::FusedLoadFArith: return "load.arith.f";
+  case Opc::FusedArithILoad: return "arith.load.i";
+  case Opc::FusedArithFStore: return "arith.store.f";
+  case Opc::FusedCmpBr: return "cmp.br";
+  case Opc::FusedLoadLoad: return "load.load";
+  case Opc::FusedStoreLoad: return "store.load";
+  case Opc::FusedStoreStore: return "store.store";
+  case Opc::FusedAllocaStore: return "alloca.store";
+  case Opc::FusedLoadSubView: return "load.subview";
+  case Opc::FusedConstILoad: return "const.load";
+  case Opc::FusedConstFArith: return "const.arith.f";
+  case Opc::FusedArithICmp: return "arith.cmp.i";
+  case Opc::FusedSelIArith: return "sel.arith.i";
+  case Opc::FusedArithFArith: return "arith.arith.f";
   }
   return "?";
 }
+
+namespace {
 
 void printShape(std::ostringstream &OS, const std::vector<int64_t> &Pool,
                 size_t At) {
@@ -1062,9 +1227,11 @@ std::string bc::disassemble(const Function &Fn) {
     OS << "  " << PC << ": " << opcName(I.Op);
     switch (I.Op) {
     case Opc::ConstI:
+    case Opc::FusedConstILoad:
       OS << " i" << I.A << ", " << Fn.IntPool[I.B];
       break;
     case Opc::ConstF:
+    case Opc::FusedConstFArith:
       OS << " f" << I.A << ", " << Fn.FloatPool[I.B];
       break;
     case Opc::AddI: case Opc::SubI: case Opc::MulI: case Opc::DivSI:
@@ -1075,6 +1242,23 @@ std::string bc::disassemble(const Function &Fn) {
     case Opc::AddF: case Opc::SubF: case Opc::MulF: case Opc::DivF:
     case Opc::MinF: case Opc::MaxF:
       OS << " f" << I.A << ", f" << I.B << ", f" << I.C;
+      break;
+    // Fused heads with a folded binop keep the original opcode in U16;
+    // the tail prints on its own line at the next index.
+    case Opc::FusedArithILoad:
+    case Opc::FusedArithICmp:
+      OS << "<" << opcName((Opc)I.U16) << "> i" << I.A << ", i" << I.B
+         << ", i" << I.C;
+      break;
+    case Opc::FusedArithFStore:
+    case Opc::FusedArithFArith:
+      OS << "<" << opcName((Opc)I.U16) << "> f" << I.A << ", f" << I.B
+         << ", f" << I.C;
+      break;
+    case Opc::FusedCmpBr:
+      OS << "<" << arith::stringifyCmpIPredicate(
+                       (arith::CmpIPredicate)I.U8)
+         << "> i" << I.A << ", i" << I.B << ", i" << I.C;
       break;
     case Opc::NegF:
       OS << " f" << I.A << ", f" << I.B;
@@ -1090,6 +1274,7 @@ std::string bc::disassemble(const Function &Fn) {
          << "> i" << I.A << ", f" << I.B << ", f" << I.C;
       break;
     case Opc::SelI:
+    case Opc::FusedSelIArith:
       OS << " i" << I.A << ", i" << I.B << " ? i" << I.C << " : i" << I.D;
       break;
     case Opc::SelF:
@@ -1112,6 +1297,7 @@ std::string bc::disassemble(const Function &Fn) {
       OS << " f" << I.A << ", f" << I.B;
       break;
     case Opc::AllocaPriv:
+    case Opc::FusedAllocaStore:
       OS << " m" << I.A << ", " << (I.U8 ? "f" : "i") << "[" << I.B << ".."
          << (I.B + I.C) << ")";
       break;
@@ -1119,7 +1305,13 @@ std::string bc::disassemble(const Function &Fn) {
       OS << " m" << I.A << ", local" << I.B;
       break;
     case Opc::Load:
-    case Opc::Store: {
+    case Opc::Store:
+    case Opc::FusedLoadIArith:
+    case Opc::FusedLoadFArith:
+    case Opc::FusedLoadLoad:
+    case Opc::FusedStoreLoad:
+    case Opc::FusedStoreStore:
+    case Opc::FusedLoadSubView: {
       OS << " " << ((I.U8 & 1) ? "f" : "i") << I.A << ", m" << I.B << "[";
       for (unsigned K = 0; K < I.U16; ++K)
         OS << (K ? ", " : "") << "i" << P[I.C + K];
@@ -1133,6 +1325,8 @@ std::string bc::disassemble(const Function &Fn) {
           OS << E;
       }
       OS << "]" << ((I.U8 & 2) ? " coalesced" : " uncoalesced");
+      if (I.U8 & 4)
+        OS << " priv[" << I.D << "]";
       break;
     }
     case Opc::Dim:

@@ -62,6 +62,50 @@ ExecutionTier getDefaultExecutionTier();
 
 namespace bc {
 
+/// How the VM's inner loop dispatches opcodes. `Threaded` is the
+/// computed-goto handler table (GCC/Clang `&&label`), the default
+/// wherever the compiler supports it; `Switch` is the portable
+/// switch-based loop kept for MSVC and for debugging. The two loops
+/// share one set of instruction bodies (BytecodeOps.inc), so they are
+/// bit-identical by construction.
+enum class DispatchMode { Switch, Threaded };
+
+std::string_view stringifyDispatchMode(DispatchMode Mode);
+
+/// Whether this build can direct-thread (compile-time capability).
+bool threadedDispatchSupported();
+
+/// The dispatch mode the VM uses: $SMLIR_BC_DISPATCH when set (must be
+/// "switch" or "threaded" — anything else is a fatal configuration
+/// error), otherwise Threaded where supported. Requesting "threaded" on
+/// a compiler without computed goto falls back to Switch (the two modes
+/// are observably identical). Opcode profiling ($SMLIR_BC_PROFILE)
+/// forces Switch, where the frequency counters live.
+DispatchMode getDispatchMode();
+
+/// Overrides the process dispatch mode (benchmarks and the
+/// switch-vs-threaded parity tests compare both in one process).
+void setDispatchMode(DispatchMode Mode);
+
+/// Whether translation fuses superinstructions by default:
+/// $SMLIR_BC_FUSION when set (must be "0" or "1"), otherwise enabled.
+bool getDefaultFusionEnabled();
+
+/// Overrides the process fusion default (benchmarks compare the fused
+/// and unfused translations of the same kernel in one process). Only
+/// affects translations that happen after the call — compiled modules
+/// cache their bytecode.
+void setDefaultFusionEnabled(bool Enabled);
+
+/// $SMLIR_BC_PROFILE=1 enables the per-opcode / per-adjacent-pair
+/// dynamic-frequency counters (dumped to stderr at process exit; see
+/// scripts/bench_exec.sh). Profile with SMLIR_BC_FUSION=0 to measure
+/// the unfused pair frequencies that justify the fused opcode set.
+bool profilingEnabled();
+
+/// Human-readable dump of the dynamic opcode/pair frequency counters.
+std::string opcodeProfile();
+
 /// Bytecode opcodes. Unless noted otherwise every instruction counts one
 /// executed step (the interpreter dispatches its source op exactly once
 /// per execution) and charges what the interpreter charges for that op.
@@ -92,7 +136,9 @@ enum class Opc : uint8_t {
               ///< (created zeroed on the first execution per group).
   Load,  ///< reg[A] = M[B][indices]; pool C: n index regs then n baked
         ///< extents (kDynamic reads the view's runtime size); U16 = n;
-        ///< U8 bit0: destination is the float plane, bit1: coalesced.
+        ///< U8 bit0: destination is the float plane, bit1: coalesced,
+        ///< bit2: M[B] is statically a rank-1 private alloca slot at
+        ///< arena offset D (the VM skips the view fetch).
   Store, ///< M[B][indices] = reg[A]; layout as Load (bit0: value plane).
   Dim,     ///< I[A] = extent of M[B] in dim I[C]; pool D: rank, shape.
   SubView, ///< M[A] = rank-1 tail view of M[B]; pool C: n, n index regs,
@@ -124,7 +170,78 @@ enum class Opc : uint8_t {
           ///< divergence detection matches the interpreter's op
           ///< identity even across inlined copies).
   Halt,    ///< func.return of the kernel itself.
+  // Superinstructions: a post-translation peephole rewrites the *first*
+  // instruction of a hot adjacent pair to a fused opcode; the second
+  // instruction stays in the stream with its original opcode and
+  // operands, and the fused handler executes it inline (reading it at
+  // PC and advancing past it). Because nothing moves, every jump target
+  // stays valid: a branch into the second instruction executes it
+  // standalone with its ordinary one-step accounting. Fused handlers
+  // charge both constituents' steps/costs in the original order, so
+  // counters, SimTime and error boundaries stay bit-identical to the
+  // unfused (and interpreter) execution. A fused pair's second
+  // instruction is never itself rewritten (fusion does not chain).
+  FusedLoadIArith, ///< Load (int dest; fields as Load) + int binop tail.
+  FusedLoadFArith, ///< Load (float dest) + float binop tail.
+  FusedArithILoad, ///< Int binop (U16 = original opcode) + Load tail
+                  ///< (index compute feeding an access).
+  FusedArithFStore,///< Float binop (U16 = original opcode) + Store tail.
+  FusedCmpBr,      ///< CmpI (U8 = predicate) + CondBr tail.
+  FusedLoadLoad,   ///< Load + Load tail (adjacent index/operand reads —
+                  ///< the hottest dynamic pair in the lowered spill
+                  ///< idiom `alloca.priv; store...; load...`).
+  FusedStoreLoad,  ///< Store + Load tail (spill write then reload).
+  FusedStoreStore, ///< Store + Store tail (multi-word spill writes).
+  FusedAllocaStore,///< AllocaPriv + Store tail (spill-slot creation
+                  ///< feeding its first write).
+  FusedLoadSubView,///< Load (direct private slot) + SubView tail (a
+                  ///< reloaded spill feeding an accessor subview —
+                  ///< the hottest pair in accessor-bound kernels).
+  FusedConstILoad, ///< ConstI + Load tail (constant index feeding an
+                  ///< access, e.g. the work-item identity reads).
+  FusedConstFArith,///< ConstF + float binop tail (literal operand).
+  FusedArithICmp,  ///< Int binop (U16 = original opcode) + CmpI tail
+                  ///< (guard computation feeding its compare).
+  FusedSelIArith,  ///< SelI + int binop tail (clamped index feeding
+                  ///< address arithmetic).
+  FusedArithFArith,///< Float binop (U16 = original opcode) + float
+                  ///< binop tail (reduction/FMA-shaped chains).
 };
+
+/// Every opcode in declaration order — the single list behind the VM's
+/// direct-threaded handler table. Must stay in lockstep with Opc (the
+/// static_assert below pins it).
+#define SMLIR_BC_FOR_EACH_OPCODE(X)                                           \
+  X(ConstI) X(ConstF)                                                         \
+  X(AddI) X(SubI) X(MulI) X(DivSI) X(RemSI) X(AndI) X(OrI) X(XOrI)            \
+  X(MinSI) X(MaxSI)                                                           \
+  X(AddF) X(SubF) X(MulF) X(DivF) X(MinF) X(MaxF)                             \
+  X(NegF) X(CmpI) X(CmpF) X(SelI) X(SelF)                                     \
+  X(CopyI) X(TruncI) X(SIToFP) X(FPToSI)                                      \
+  X(Sqrt) X(Exp) X(FAbs)                                                      \
+  X(AllocaPriv) X(AllocaLocal) X(Load) X(Store) X(Dim) X(SubView)             \
+  X(ViewOff) X(Disjoint)                                                      \
+  X(Br) X(CondBr) X(IfYield) X(ForInit) X(ForYield) X(CallArgs)               \
+  X(RetCopy) X(Barrier) X(Halt)                                               \
+  X(FusedLoadIArith) X(FusedLoadFArith) X(FusedArithILoad)                    \
+  X(FusedArithFStore) X(FusedCmpBr)                                           \
+  X(FusedLoadLoad) X(FusedStoreLoad) X(FusedStoreStore) X(FusedAllocaStore)  \
+  X(FusedLoadSubView) X(FusedConstILoad) X(FusedConstFArith)               \
+  X(FusedArithICmp) X(FusedSelIArith) X(FusedArithFArith)
+
+inline constexpr Opc kAllOpcodes[] = {
+#define SMLIR_BC_OPC_ENTRY(Name) Opc::Name,
+    SMLIR_BC_FOR_EACH_OPCODE(SMLIR_BC_OPC_ENTRY)
+#undef SMLIR_BC_OPC_ENTRY
+};
+inline constexpr size_t kNumOpcodes =
+    sizeof(kAllOpcodes) / sizeof(kAllOpcodes[0]);
+static_assert([] {
+  for (size_t K = 0; K < kNumOpcodes; ++K)
+    if (static_cast<size_t>(kAllOpcodes[K]) != K)
+      return false;
+  return true;
+}(), "SMLIR_BC_FOR_EACH_OPCODE must list Opc in declaration order");
 
 /// One bytecode instruction. Operand meanings are per-opcode (see Opc);
 /// A..D hold register numbers, jump targets or pool indices.
@@ -190,13 +307,29 @@ struct Function {
 /// kernel must use the lowered device ABI (identity-record leading
 /// argument). Returns null and sets \p WhyNot when the kernel uses a
 /// construct outside the translator's coverage; the caller then falls
-/// back to the tree-walking interpreter.
+/// back to the tree-walking interpreter. Superinstruction fusion
+/// follows the process default ($SMLIR_BC_FUSION, on unless disabled).
 std::unique_ptr<Function> translate(FuncOp Kernel,
                                     std::string *WhyNot = nullptr);
+
+/// Same, with fusion pinned explicitly (tests and golden snapshots pin
+/// it independent of the environment).
+std::unique_ptr<Function> translate(FuncOp Kernel, bool EnableFusion,
+                                    std::string *WhyNot);
+
+/// The post-translation superinstruction peephole (normally run by
+/// translate when fusion is enabled): rewrites the head of each fusable
+/// adjacent pair in place. Exposed so tests can fuse a hand-built
+/// Function. Returns the number of pairs fused.
+size_t fuseSuperinstructions(Function &Fn);
 
 /// Human-readable listing of \p Fn (the golden-snapshot format: stable,
 /// one instruction per line, pool operands printed inline).
 std::string disassemble(const Function &Fn);
+
+/// The stable mnemonic of \p Op as used by the disassembly listings and
+/// the opcode-frequency profile.
+const char *opcName(Opc Op);
 
 } // namespace bc
 } // namespace exec

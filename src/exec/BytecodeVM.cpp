@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The bytecode execution tier's dispatch loop. Every instruction
+/// The bytecode execution tier's dispatch loops. Every instruction
 /// mirrors one interpreter-dispatched operation (Bytecode.h documents
 /// the mapping), charging identical steps and costs in identical order;
 /// the group/item iteration, barrier phases and SimTime finalization are
@@ -14,6 +14,25 @@
 /// union field (0 / 0.0), the VM bakes the same outcome into its typed
 /// register planes — see the Load/Store and argument-binding paths.
 ///
+/// The inner loop exists in two dispatch modes sharing one set of
+/// instruction bodies (BytecodeOps.inc):
+///
+///  - `switch`: a portable switch loop, also the mode that feeds the
+///    SMLIR_BC_PROFILE opcode/pair frequency counters.
+///  - `threaded`: direct-threaded dispatch via a computed-goto handler
+///    table (GCC/Clang `&&label`), the default where supported. Each
+///    handler fetches the next instruction and jumps straight to its
+///    handler, so the branch predictor sees one indirect branch per
+///    handler instead of one shared switch branch.
+///
+/// Per-item launch setup is hoisted: binding arguments, the launch-wide
+/// identity-record words (global/local range) and the item memref view
+/// happen once per launch (bindLaunch), the group-dependent words once
+/// per work-group (setGroup), leaving only the 6 item-varying identity
+/// words + PC rewind on the per-item path (resetItem). Dynamic counters
+/// accumulate in item-local storage and flush on every exit from run(),
+/// preserving the interpreter's exact accumulation order.
+///
 //===----------------------------------------------------------------------===//
 
 #include "exec/BytecodeVM.h"
@@ -21,13 +40,147 @@
 #include "dialect/Arith.h"
 #include "dialect/MemRef.h"
 #include "exec/LaunchCommon.h"
+#include "support/ErrorHandling.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <deque>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+#include <vector>
 
 using namespace smlir;
 using namespace smlir::exec;
 using namespace smlir::exec::bc;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SMLIR_BC_HAS_COMPUTED_GOTO 1
+#else
+#define SMLIR_BC_HAS_COMPUTED_GOTO 0
+#endif
+
+//===----------------------------------------------------------------------===//
+// Dispatch-mode selection and opcode profiling
+//===----------------------------------------------------------------------===//
+
+bool bc::threadedDispatchSupported() {
+  return SMLIR_BC_HAS_COMPUTED_GOTO != 0;
+}
+
+namespace {
+
+/// Dynamic opcode / adjacent-pair frequency counters (SMLIR_BC_PROFILE=1).
+/// Relaxed atomics: launches may run on scheduler workers concurrently,
+/// and the profile only needs totals, not ordering.
+std::atomic<uint64_t> ProfOpCount[kNumOpcodes];
+std::atomic<uint64_t> ProfPairCount[kNumOpcodes * kNumOpcodes];
+
+void recordProfile(size_t Prev, size_t Op) {
+  ProfOpCount[Op].fetch_add(1, std::memory_order_relaxed);
+  if (Prev < kNumOpcodes)
+    ProfPairCount[Prev * kNumOpcodes + Op].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void dumpProfileAtExit() { std::fputs(opcodeProfile().c_str(), stderr); }
+
+/// -1 = not yet initialized from the environment.
+std::atomic<int> CurrentDispatchMode{-1};
+
+DispatchMode dispatchModeFromEnv() {
+  const char *Env = std::getenv("SMLIR_BC_DISPATCH");
+  std::string_view Value = Env ? Env : "";
+  if (Value.empty() || Value == "threaded") {
+    // An explicit "threaded" on a compiler without computed goto falls
+    // back to the switch loop (same semantics, just slower dispatch).
+    return threadedDispatchSupported() ? DispatchMode::Threaded
+                                       : DispatchMode::Switch;
+  }
+  if (Value == "switch")
+    return DispatchMode::Switch;
+  reportFatalError("SMLIR_BC_DISPATCH: unknown dispatch mode '" +
+                   std::string(Value) + "' (expected 'switch' or 'threaded')");
+}
+
+} // namespace
+
+bool bc::profilingEnabled() {
+  static const bool Enabled = [] {
+    const char *Env = std::getenv("SMLIR_BC_PROFILE");
+    bool On = Env && std::string_view(Env) == "1";
+    if (On)
+      std::atexit(dumpProfileAtExit);
+    return On;
+  }();
+  return Enabled;
+}
+
+DispatchMode bc::getDispatchMode() {
+  // Profiling counts opcodes in the switch loop, so it forces it; the
+  // profile describes the same instruction stream either way.
+  if (profilingEnabled())
+    return DispatchMode::Switch;
+  int Mode = CurrentDispatchMode.load(std::memory_order_relaxed);
+  if (Mode < 0) {
+    Mode = static_cast<int>(dispatchModeFromEnv());
+    CurrentDispatchMode.store(Mode, std::memory_order_relaxed);
+  }
+  return static_cast<DispatchMode>(Mode);
+}
+
+void bc::setDispatchMode(DispatchMode Mode) {
+  if (Mode == DispatchMode::Threaded && !threadedDispatchSupported())
+    Mode = DispatchMode::Switch;
+  CurrentDispatchMode.store(static_cast<int>(Mode),
+                            std::memory_order_relaxed);
+}
+
+std::string bc::opcodeProfile() {
+  struct Row {
+    uint64_t N;
+    size_t A, B;
+  };
+  std::vector<Row> Ops, Pairs;
+  for (size_t K = 0; K < kNumOpcodes; ++K) {
+    uint64_t N = ProfOpCount[K].load(std::memory_order_relaxed);
+    if (N)
+      Ops.push_back({N, K, 0});
+  }
+  for (size_t A = 0; A < kNumOpcodes; ++A)
+    for (size_t B = 0; B < kNumOpcodes; ++B) {
+      uint64_t N =
+          ProfPairCount[A * kNumOpcodes + B].load(std::memory_order_relaxed);
+      if (N)
+        Pairs.push_back({N, A, B});
+    }
+  auto ByCountDesc = [](const Row &X, const Row &Y) {
+    if (X.N != Y.N)
+      return X.N > Y.N;
+    return std::make_pair(X.A, X.B) < std::make_pair(Y.A, Y.B);
+  };
+  std::sort(Ops.begin(), Ops.end(), ByCountDesc);
+  std::sort(Pairs.begin(), Pairs.end(), ByCountDesc);
+  if (Pairs.size() > 16)
+    Pairs.resize(16);
+
+  std::ostringstream OS;
+  OS << "== bytecode opcode profile (dynamic counts) ==\n";
+  if (Ops.empty())
+    OS << "  (no instructions executed)\n";
+  for (const Row &R : Ops)
+    OS << "  " << R.N << "\t" << opcName(static_cast<Opc>(R.A)) << "\n";
+  OS << "== hottest adjacent pairs ==\n";
+  for (const Row &R : Pairs)
+    OS << "  " << R.N << "\t" << opcName(static_cast<Opc>(R.A)) << " -> "
+       << opcName(static_cast<Opc>(R.B)) << "\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Work-item state
+//===----------------------------------------------------------------------===//
 
 namespace {
 
@@ -72,6 +225,8 @@ BufRef refOf(Storage *S) {
 
 /// Per-work-group shared state: lazily created local-memory buffers,
 /// one per AllocaLocal site (mirrors the interpreter's GroupContext).
+/// Reused across groups: reset() marks every site not-created so the
+/// first AllocaLocal of the next group re-zeroes it (capacity is kept).
 struct GroupState {
   struct Site {
     std::vector<int64_t> Ints;
@@ -79,6 +234,11 @@ struct GroupState {
     bool Created = false;
   };
   std::vector<Site> Sites;
+
+  void reset() {
+    for (Site &S : Sites)
+      S.Created = false;
+  }
 };
 
 /// The baked extent of dimension \p I: the static shape unless dynamic,
@@ -89,9 +249,64 @@ int64_t extentOf(int64_t Static, const MemView &M, int64_t I) {
   return I < 3 ? M.Sizes[(size_t)I] : 0;
 }
 
+/// Evaluates an integer binop by opcode (fused-tail re-dispatch).
+int64_t evalIntBin(Opc Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case Opc::AddI: return A + B;
+  case Opc::SubI: return A - B;
+  case Opc::MulI: return A * B;
+  case Opc::DivSI: return B == 0 ? 0 : A / B;
+  case Opc::RemSI: return B == 0 ? 0 : A % B;
+  case Opc::AndI: return A & B;
+  case Opc::OrI: return A | B;
+  case Opc::XOrI: return A ^ B;
+  case Opc::MinSI: return A < B ? A : B;
+  case Opc::MaxSI: return A > B ? A : B;
+  default: return 0;
+  }
+}
+
+/// Evaluates a float binop by opcode (fused-tail re-dispatch).
+double evalFloatBin(Opc Op, double A, double B) {
+  switch (Op) {
+  case Opc::AddF: return A + B;
+  case Opc::SubF: return A - B;
+  case Opc::MulF: return A * B;
+  case Opc::DivF: return A / B;
+  case Opc::MinF: return A < B ? A : B;
+  case Opc::MaxF: return A > B ? A : B;
+  default: return 0.0;
+  }
+}
+
+bool evalCmpI(uint8_t Pred, int64_t A, int64_t B) {
+  switch ((arith::CmpIPredicate)Pred) {
+  case arith::CmpIPredicate::eq: return A == B;
+  case arith::CmpIPredicate::ne: return A != B;
+  case arith::CmpIPredicate::slt: return A < B;
+  case arith::CmpIPredicate::sle: return A <= B;
+  case arith::CmpIPredicate::sgt: return A > B;
+  case arith::CmpIPredicate::sge: return A >= B;
+  }
+  return false;
+}
+
+bool evalCmpF(uint8_t Pred, double A, double B) {
+  switch ((arith::CmpFPredicate)Pred) {
+  case arith::CmpFPredicate::oeq: return A == B;
+  case arith::CmpFPredicate::one: return A != B;
+  case arith::CmpFPredicate::olt: return A < B;
+  case arith::CmpFPredicate::ole: return A <= B;
+  case arith::CmpFPredicate::ogt: return A > B;
+  case arith::CmpFPredicate::oge: return A >= B;
+  }
+  return false;
+}
+
 /// One work item: register planes, private arena and program counter.
 /// Reused across items for barrier-free kernels (registers are SSA
-/// def-before-use; reset() rewrites the identity record).
+/// def-before-use). Setup is staged by lifetime: init/bindArgs/bindLaunch
+/// once per launch, setGroup once per work-group, resetItem per item.
 struct VMItem {
   const Function *Fn = nullptr;
   LaunchCounters *Count = nullptr;
@@ -107,9 +322,15 @@ struct VMItem {
   std::vector<double> ScratchF;
   std::vector<MemView> ScratchM;
 
+  std::array<int64_t, 3> GroupBase = {0, 0, 0};
   size_t PC = 0;
   int32_t BarrierToken = -1;
   bool Finished = false;
+  bool UseThreaded = false;
+  bool Profile = false;
+  /// All cost constants are small non-negative integers, enabling the
+  /// exact counter-product cost reconstruction in the loop prologue.
+  bool ExactCosts = false;
   std::string ErrorMessage;
 
   void init(const Function &TheFn, LaunchCounters &TheCount) {
@@ -123,6 +344,18 @@ struct VMItem {
     ScratchI.resize(TheFn.MaxYieldVals);
     ScratchF.resize(TheFn.MaxYieldVals);
     ScratchM.resize(TheFn.MaxYieldVals);
+    UseThreaded = getDispatchMode() == DispatchMode::Threaded;
+    Profile = profilingEnabled();
+    const DeviceProperties &Pr = *TheCount.Props;
+    auto IsSmallInt = [](double X) {
+      return X >= 0.0 && X <= 4294967296.0 && X == std::floor(X);
+    };
+    ExactCosts = IsSmallInt(Pr.CoalescedAccessCost) &&
+                 IsSmallInt(Pr.UncoalescedAccessCost) &&
+                 IsSmallInt(Pr.LocalAccessCost) &&
+                 IsSmallInt(Pr.PrivateAccessCost) &&
+                 IsSmallInt(Pr.ArithCost) && IsSmallInt(Pr.MathCost) &&
+                 IsSmallInt(Pr.BarrierCost);
   }
 
   /// Binds the launch arguments. Argument registers are SSA values and
@@ -158,19 +391,12 @@ struct VMItem {
     }
   }
 
-  /// Prepares this item for one (group, local) coordinate: rewrites the
-  /// identity record, rebinds its view and rewinds the program counter.
-  void reset(GroupState &TheGroup, const NDRange &Range,
-             const std::array<int64_t, 3> &GroupID,
-             const std::array<int64_t, 3> &LocalID) {
-    Group = &TheGroup;
+  /// Writes the launch-invariant identity words (global/local range) and
+  /// binds the item-record view. Once per launch.
+  void bindLaunch(const NDRange &Range) {
     for (unsigned D = 0; D < 3; ++D) {
-      ArenaI[sycl::ItemStateGlobalID + D] =
-          GroupID[D] * Range.Local[D] + LocalID[D];
       ArenaI[sycl::ItemStateGlobalRange + D] = Range.Global[D];
-      ArenaI[sycl::ItemStateLocalID + D] = LocalID[D];
       ArenaI[sycl::ItemStateLocalRange + D] = Range.Local[D];
-      ArenaI[sycl::ItemStateGroupID + D] = GroupID[D];
     }
     MemView Item;
     Item.Ref.IntData = ArenaI.data();
@@ -179,11 +405,41 @@ struct VMItem {
     Item.Ref.Bound = true;
     Item.Ref.Owner = ArenaI.data();
     M[(size_t)Fn->ItemReg] = Item;
+  }
+
+  /// Writes the group-invariant identity words and caches the group's
+  /// global-ID base. Once per (item, work-group).
+  void setGroup(GroupState &TheGroup, const NDRange &Range,
+                const std::array<int64_t, 3> &GroupID) {
+    Group = &TheGroup;
+    for (unsigned D = 0; D < 3; ++D) {
+      ArenaI[sycl::ItemStateGroupID + D] = GroupID[D];
+      GroupBase[D] = GroupID[D] * Range.Local[D];
+    }
+  }
+
+  /// Prepares this item for one local coordinate: the 6 item-varying
+  /// identity words plus the program-counter rewind.
+  void resetItem(const std::array<int64_t, 3> &LocalID) {
+    for (unsigned D = 0; D < 3; ++D) {
+      ArenaI[sycl::ItemStateGlobalID + D] = GroupBase[D] + LocalID[D];
+      ArenaI[sycl::ItemStateLocalID + D] = LocalID[D];
+    }
     PC = 0;
     Finished = false;
   }
 
-  RunStatus run();
+  RunStatus run() {
+    // The work-group driver re-polls completed items each phase (exactly
+    // like the interpreter's empty-stack check).
+    if (Finished)
+      return RunStatus::Done;
+#if SMLIR_BC_HAS_COMPUTED_GOTO
+    if (UseThreaded)
+      return runThreaded();
+#endif
+    return Profile ? runSwitch<true>() : runSwitch<false>();
+  }
 
   const void *getBarrierToken() const {
     return reinterpret_cast<const void *>(uintptr_t(BarrierToken) + 1);
@@ -196,442 +452,84 @@ private:
     return RunStatus::Error;
   }
 
-  /// The linear element index of an access: baked extents (dynamic ones
-  /// from the view) fold the index registers exactly like the
-  /// interpreter's linearIndex.
-  int64_t linearIndex(const MemView &V, const int64_t *IdxRegs,
-                      const int64_t *Extents, unsigned N) {
-    int64_t Linear = 0;
-    for (unsigned D = 0; D < N; ++D) {
-      int64_t Extent = extentOf(Extents[D], V, D);
-      Linear = (D == 0 ? 0 : Linear * Extent) + I[(size_t)IdxRegs[D]];
-    }
-    return V.Offset + Linear;
-  }
+  template <bool ProfileMode> RunStatus runSwitch();
+#if SMLIR_BC_HAS_COMPUTED_GOTO
+  RunStatus runThreaded();
+#endif
 };
 
-RunStatus VMItem::run() {
-  // The work-group driver re-polls completed items each phase (exactly
-  // like the interpreter's empty-stack check).
-  if (Finished)
-    return RunStatus::Done;
-  const Inst *Code = Fn->Code.data();
-  const int64_t *P = Fn->Pool.data();
-  LaunchCounters &C = *Count;
-  const DeviceProperties &Props = *C.Props;
+#define SMLIR_BC_FAIL(Msg)                                                    \
+  do {                                                                        \
+    Flush();                                                                  \
+    return fail(Msg);                                                         \
+  } while (0)
+#define SMLIR_BC_FAIL_SET()                                                   \
+  do {                                                                        \
+    Flush();                                                                  \
+    return RunStatus::Error;                                                  \
+  } while (0)
 
-  auto ChargeArith = [&] {
-    ++C.Stats->ArithOps;
-    C.Cost += Props.ArithCost;
-  };
-
+/// Portable switch dispatch. The only loop that feeds the
+/// SMLIR_BC_PROFILE frequency counters (compiled in only when
+/// ProfileMode, so the hot non-profiling loop pays nothing for it).
+template <bool ProfileMode> RunStatus VMItem::runSwitch() {
+#include "exec/BytecodeLoopPrologue.inc"
+  size_t PrevOp = kNumOpcodes; // Sentinel: no previous instruction.
+  (void)PrevOp;
   while (true) {
-    const Inst &In = Code[PC++];
-    // Every instruction mirrors one interpreter step except the
-    // empty-branch skip `br`.
-    if (In.Op != Opc::Br)
-      ++C.Stats->StepsExecuted;
-
-    switch (In.Op) {
-    case Opc::ConstI:
-      I[(size_t)In.A] = Fn->IntPool[(size_t)In.B];
-      break;
-    case Opc::ConstF:
-      F[(size_t)In.A] = Fn->FloatPool[(size_t)In.B];
-      break;
-
-#define SMLIR_BC_INT_BINOP(CASE, EXPR)                                        \
-  case Opc::CASE: {                                                           \
-    int64_t A = I[(size_t)In.B], B = I[(size_t)In.C];                         \
-    (void)B;                                                                  \
-    ChargeArith();                                                            \
-    I[(size_t)In.A] = (EXPR);                                                 \
-    break;                                                                    \
-  }
-      SMLIR_BC_INT_BINOP(AddI, A + B)
-      SMLIR_BC_INT_BINOP(SubI, A - B)
-      SMLIR_BC_INT_BINOP(MulI, A * B)
-      SMLIR_BC_INT_BINOP(DivSI, B == 0 ? 0 : A / B)
-      SMLIR_BC_INT_BINOP(RemSI, B == 0 ? 0 : A % B)
-      SMLIR_BC_INT_BINOP(AndI, A & B)
-      SMLIR_BC_INT_BINOP(OrI, A | B)
-      SMLIR_BC_INT_BINOP(XOrI, A ^ B)
-      SMLIR_BC_INT_BINOP(MinSI, A < B ? A : B)
-      SMLIR_BC_INT_BINOP(MaxSI, A > B ? A : B)
-#undef SMLIR_BC_INT_BINOP
-
-#define SMLIR_BC_FLOAT_BINOP(CASE, EXPR)                                      \
-  case Opc::CASE: {                                                           \
-    double A = F[(size_t)In.B], B = F[(size_t)In.C];                          \
-    ChargeArith();                                                            \
-    F[(size_t)In.A] = (EXPR);                                                 \
-    break;                                                                    \
-  }
-      SMLIR_BC_FLOAT_BINOP(AddF, A + B)
-      SMLIR_BC_FLOAT_BINOP(SubF, A - B)
-      SMLIR_BC_FLOAT_BINOP(MulF, A * B)
-      SMLIR_BC_FLOAT_BINOP(DivF, A / B)
-      SMLIR_BC_FLOAT_BINOP(MinF, A < B ? A : B)
-      SMLIR_BC_FLOAT_BINOP(MaxF, A > B ? A : B)
-#undef SMLIR_BC_FLOAT_BINOP
-
-    case Opc::NegF:
-      ChargeArith();
-      F[(size_t)In.A] = -F[(size_t)In.B];
-      break;
-
-    case Opc::CmpI: {
-      int64_t A = I[(size_t)In.B], B = I[(size_t)In.C];
-      ChargeArith();
-      bool R = false;
-      switch ((arith::CmpIPredicate)In.U8) {
-      case arith::CmpIPredicate::eq: R = A == B; break;
-      case arith::CmpIPredicate::ne: R = A != B; break;
-      case arith::CmpIPredicate::slt: R = A < B; break;
-      case arith::CmpIPredicate::sle: R = A <= B; break;
-      case arith::CmpIPredicate::sgt: R = A > B; break;
-      case arith::CmpIPredicate::sge: R = A >= B; break;
-      }
-      I[(size_t)In.A] = R ? 1 : 0;
-      break;
+    const Inst *In = IP++;
+    // Every fetch charges a step; the `br` handler compensates (it
+    // mirrors no interpreter step), keeping the compare off this path.
+    ++Steps;
+    if constexpr (ProfileMode) {
+      recordProfile(PrevOp, (size_t)In->Op);
+      PrevOp = (size_t)In->Op;
     }
-    case Opc::CmpF: {
-      double A = F[(size_t)In.B], B = F[(size_t)In.C];
-      ChargeArith();
-      bool R = false;
-      switch ((arith::CmpFPredicate)In.U8) {
-      case arith::CmpFPredicate::oeq: R = A == B; break;
-      case arith::CmpFPredicate::one: R = A != B; break;
-      case arith::CmpFPredicate::olt: R = A < B; break;
-      case arith::CmpFPredicate::ole: R = A <= B; break;
-      case arith::CmpFPredicate::ogt: R = A > B; break;
-      case arith::CmpFPredicate::oge: R = A >= B; break;
-      }
-      I[(size_t)In.A] = R ? 1 : 0;
-      break;
-    }
-    case Opc::SelI:
-      ChargeArith();
-      I[(size_t)In.A] = I[(size_t)In.B] != 0 ? I[(size_t)In.C]
-                                             : I[(size_t)In.D];
-      break;
-    case Opc::SelF:
-      ChargeArith();
-      F[(size_t)In.A] = I[(size_t)In.B] != 0 ? F[(size_t)In.C]
-                                             : F[(size_t)In.D];
-      break;
-
-    case Opc::CopyI:
-      I[(size_t)In.A] = I[(size_t)In.B];
-      break;
-    case Opc::TruncI:
-      I[(size_t)In.A] = (int64_t)((uint64_t)I[(size_t)In.B] &
-                                  (uint64_t)Fn->IntPool[(size_t)In.C]);
-      break;
-    case Opc::SIToFP:
-      F[(size_t)In.A] = (double)I[(size_t)In.B];
-      break;
-    case Opc::FPToSI:
-      I[(size_t)In.A] = (int64_t)F[(size_t)In.B];
-      break;
-
-    case Opc::Sqrt:
-    case Opc::Exp:
-    case Opc::FAbs: {
-      ++C.Stats->MathOps;
-      C.Cost += Props.MathCost;
-      double A = F[(size_t)In.B];
-      F[(size_t)In.A] = In.Op == Opc::Sqrt  ? std::sqrt(A)
-                        : In.Op == Opc::Exp ? std::exp(A)
-                                            : std::fabs(A);
-      break;
-    }
-
-    case Opc::AllocaPriv: {
-      MemView V;
-      if (In.U8) {
-        std::fill_n(ArenaF.begin() + In.B, In.C, 0.0);
-        V.Ref.FloatData = ArenaF.data() + In.B;
-        V.Ref.Owner = ArenaF.data() + In.B;
-        V.Ref.IsFloat = true;
-      } else {
-        std::fill_n(ArenaI.begin() + In.B, In.C, 0);
-        V.Ref.IntData = ArenaI.data() + In.B;
-        V.Ref.Owner = ArenaI.data() + In.B;
-      }
-      V.Ref.Len = (size_t)In.C;
-      V.Ref.Space = MemorySpace::Private;
-      V.Ref.Bound = true;
-      M[(size_t)In.A] = V;
-      break;
-    }
-    case Opc::AllocaLocal: {
-      const Function::LocalSite &Site = Fn->LocalSites[(size_t)In.B];
-      GroupState::Site &S = Group->Sites[(size_t)In.B];
-      if (!S.Created) {
-        if (Site.IsFloat)
-          S.Floats.assign((size_t)Site.Words, 0.0);
-        else
-          S.Ints.assign((size_t)Site.Words, 0);
-        S.Created = true;
-      }
-      MemView V;
-      if (Site.IsFloat) {
-        V.Ref.FloatData = S.Floats.data();
-        V.Ref.Owner = S.Floats.data();
-        V.Ref.IsFloat = true;
-      } else {
-        V.Ref.IntData = S.Ints.data();
-        V.Ref.Owner = S.Ints.data();
-      }
-      V.Ref.Len = (size_t)Site.Words;
-      V.Ref.Space = MemorySpace::Local;
-      V.Ref.Bound = true;
-      M[(size_t)In.A] = V;
-      break;
-    }
-
-    case Opc::Load: {
-      const MemView &V = M[(size_t)In.B];
-      if (!V.Ref.Bound)
-        return fail("load from uninitialized memref");
-      int64_t Index =
-          linearIndex(V, P + In.C, P + In.C + In.U16, In.U16);
-      if (Index < 0 || (size_t)Index >= V.Ref.Len)
-        return fail("device memory load out of bounds");
-      chargeMemAccess(V.Ref.Space, In.U8 & 2, C);
-      if (In.U8 & 1)
-        F[(size_t)In.A] =
-            V.Ref.IsFloat ? V.Ref.FloatData[(size_t)Index] : 0.0;
-      else
-        I[(size_t)In.A] =
-            V.Ref.IsFloat ? 0 : V.Ref.IntData[(size_t)Index];
-      break;
-    }
-    case Opc::Store: {
-      const MemView &V = M[(size_t)In.B];
-      if (!V.Ref.Bound)
-        return fail("store to uninitialized memref");
-      int64_t Index =
-          linearIndex(V, P + In.C, P + In.C + In.U16, In.U16);
-      if (Index < 0 || (size_t)Index >= V.Ref.Len)
-        return fail("device memory store out of bounds");
-      chargeMemAccess(V.Ref.Space, In.U8 & 2, C);
-      if (V.Ref.IsFloat)
-        V.Ref.FloatData[(size_t)Index] =
-            (In.U8 & 1) ? F[(size_t)In.A] : 0.0;
-      else
-        V.Ref.IntData[(size_t)Index] = (In.U8 & 1) ? 0 : I[(size_t)In.A];
-      break;
-    }
-
-    case Opc::Dim: {
-      const MemView &V = M[(size_t)In.B];
-      int64_t D = I[(size_t)In.C];
-      int64_t Rank = P[In.D];
-      if (D < 0 || D >= Rank)
-        return fail("memref.dim dimension out of range");
-      ChargeArith();
-      I[(size_t)In.A] = extentOf(P[In.D + 1 + D], V, D);
-      break;
-    }
-    case Opc::SubView: {
-      MemView V = M[(size_t)In.B];
-      if (!V.Ref.Bound)
-        return fail("memref.subview of uninitialized memref");
-      int64_t N = P[In.C];
-      const int64_t *IdxRegs = P + In.C + 1;
-      const int64_t *Shape = P + In.C + 1 + N;
-      int64_t Rank = Shape[0];
-      int64_t Linear = linearIndex(V, IdxRegs, Shape + 1, (unsigned)N);
-      int64_t Total = 1;
-      for (int64_t D = 0; D < Rank; ++D) {
-        int64_t Extent = extentOf(Shape[1 + D], V, D);
-        if (Extent <= 0) {
-          Total = 0;
-          break;
-        }
-        Total *= Extent;
-      }
-      ChargeArith();
-      MemView View;
-      View.Ref = V.Ref;
-      View.Offset = Linear;
-      if (Total > 0)
-        View.Sizes[0] = Total - (Linear - V.Offset);
-      M[(size_t)In.A] = View;
-      break;
-    }
-    case Opc::ViewOff: {
-      int64_t D = I[(size_t)In.C];
-      if (D < 0 || D >= (int64_t)In.U16 || D >= 3)
-        return fail("memref.offset dimension out of range");
-      ChargeArith();
-      I[(size_t)In.A] = M[(size_t)In.B].Offsets[(size_t)D];
-      break;
-    }
-    case Opc::Disjoint: {
-      const MemView &A = M[(size_t)In.B];
-      const MemView &B = M[(size_t)In.C];
-      const int64_t *ShapeA = P + In.D;
-      const int64_t *ShapeB = ShapeA + 1 + ShapeA[0];
-      auto NumElements = [&](const MemView &V, const int64_t *Shape) {
-        int64_t N = 1;
-        for (int64_t D = 0; D < Shape[0]; ++D) {
-          int64_t Extent = extentOf(Shape[1 + D], V, D);
-          if (Extent <= 0)
-            return (int64_t)-1; // Unknown: assume overlap.
-          N *= Extent;
-        }
-        return N;
-      };
-      bool Disjoint = false;
-      if (A.Ref.Owner != B.Ref.Owner) {
-        Disjoint = true;
-      } else {
-        int64_t NA = NumElements(A, ShapeA), NB = NumElements(B, ShapeB);
-        if (NA >= 0 && NB >= 0)
-          Disjoint =
-              A.Offset + NA <= B.Offset || B.Offset + NB <= A.Offset;
-      }
-      ChargeArith();
-      I[(size_t)In.A] = Disjoint ? 1 : 0;
-      break;
-    }
-
-    case Opc::Br:
-      PC = (size_t)In.A;
-      break;
-    case Opc::CondBr:
-      if (I[(size_t)In.B] == 0)
-        PC = (size_t)In.A;
-      break;
-    case Opc::IfYield: {
-      int64_t N = P[In.C];
-      const int64_t *T = P + In.C + 1;
-      for (int64_t K = 0; K < N; ++K, T += 3) {
-        if (T[0] == 0)
-          I[(size_t)T[2]] = I[(size_t)T[1]];
-        else if (T[0] == 1)
-          F[(size_t)T[2]] = F[(size_t)T[1]];
-        else
-          M[(size_t)T[2]] = M[(size_t)T[1]];
-      }
-      PC = (size_t)In.A;
-      break;
-    }
-    case Opc::ForInit: {
-      const int64_t *Q = P + In.C;
-      int64_t Lb = I[(size_t)Q[0]], Ub = I[(size_t)Q[1]],
-              Step = I[(size_t)Q[2]];
-      if (Step <= 0)
-        return fail("loop with non-positive step");
-      int64_t N = Q[4];
-      const int64_t *T = Q + 5;
-      if (Lb >= Ub) {
-        // Zero-trip: results are the init values.
-        for (int64_t K = 0; K < N; ++K, T += 4) {
-          if (T[0] == 0)
-            I[(size_t)T[3]] = I[(size_t)T[1]];
-          else if (T[0] == 1)
-            F[(size_t)T[3]] = F[(size_t)T[1]];
-          else
-            M[(size_t)T[3]] = M[(size_t)T[1]];
-        }
-        PC = (size_t)In.A;
-        break;
-      }
-      I[(size_t)Q[3]] = Lb;
-      for (int64_t K = 0; K < N; ++K, T += 4) {
-        if (T[0] == 0)
-          I[(size_t)T[2]] = I[(size_t)T[1]];
-        else if (T[0] == 1)
-          F[(size_t)T[2]] = F[(size_t)T[1]];
-        else
-          M[(size_t)T[2]] = M[(size_t)T[1]];
-      }
-      break;
-    }
-    case Opc::ForYield: {
-      const int64_t *Q = P + In.C;
-      int64_t N = Q[3];
-      const int64_t *T = Q + 4;
-      // Yield sources may alias the body arguments they feed: buffer.
-      for (int64_t K = 0; K < N; ++K) {
-        const int64_t *E = T + K * 4;
-        if (E[0] == 0)
-          ScratchI[(size_t)K] = I[(size_t)E[1]];
-        else if (E[0] == 1)
-          ScratchF[(size_t)K] = F[(size_t)E[1]];
-        else
-          ScratchM[(size_t)K] = M[(size_t)E[1]];
-      }
-      int64_t IV = I[(size_t)Q[0]] + I[(size_t)Q[2]];
-      if (IV < I[(size_t)Q[1]]) {
-        I[(size_t)Q[0]] = IV;
-        for (int64_t K = 0; K < N; ++K) {
-          const int64_t *E = T + K * 4;
-          if (E[0] == 0)
-            I[(size_t)E[2]] = ScratchI[(size_t)K];
-          else if (E[0] == 1)
-            F[(size_t)E[2]] = ScratchF[(size_t)K];
-          else
-            M[(size_t)E[2]] = ScratchM[(size_t)K];
-        }
-        PC = (size_t)In.A;
-        break;
-      }
-      for (int64_t K = 0; K < N; ++K) {
-        const int64_t *E = T + K * 4;
-        if (E[0] == 0)
-          I[(size_t)E[3]] = ScratchI[(size_t)K];
-        else if (E[0] == 1)
-          F[(size_t)E[3]] = ScratchF[(size_t)K];
-        else
-          M[(size_t)E[3]] = ScratchM[(size_t)K];
-      }
-      break;
-    }
-    case Opc::CallArgs: {
-      int64_t N = P[In.C];
-      const int64_t *T = P + In.C + 1;
-      for (int64_t K = 0; K < N; ++K, T += 3) {
-        if (T[0] == 0)
-          I[(size_t)T[2]] = I[(size_t)T[1]];
-        else if (T[0] == 1)
-          F[(size_t)T[2]] = F[(size_t)T[1]];
-        else
-          M[(size_t)T[2]] = M[(size_t)T[1]];
-      }
-      break;
-    }
-    case Opc::RetCopy: {
-      int64_t N = P[In.C];
-      const int64_t *T = P + In.C + 1;
-      for (int64_t K = 0; K < N; ++K, T += 3) {
-        if (T[0] == 0)
-          I[(size_t)T[2]] = I[(size_t)T[1]];
-        else if (T[0] == 1)
-          F[(size_t)T[2]] = F[(size_t)T[1]];
-        else
-          M[(size_t)T[2]] = M[(size_t)T[1]];
-      }
-      PC = (size_t)In.A;
-      break;
-    }
-
-    case Opc::Barrier:
-      ++C.Stats->Barriers;
-      C.Cost += Props.BarrierCost;
-      BarrierToken = In.A;
-      return RunStatus::AtBarrier;
-
-    case Opc::Halt:
-      Finished = true;
-      return RunStatus::Done;
+    switch (In->Op) {
+#define SMLIR_BC_CASE(Name) case Opc::Name:
+#define SMLIR_BC_NEXT break
+#include "exec/BytecodeOps.inc"
+#undef SMLIR_BC_CASE
+#undef SMLIR_BC_NEXT
     }
   }
 }
+
+#if SMLIR_BC_HAS_COMPUTED_GOTO
+/// Threaded dispatch: a computed goto through the handler table, with no
+/// range check and no loop back-edge. The dispatch site is deliberately
+/// shared (every handler jumps to `Dispatch`) rather than replicated per
+/// handler: replicating the indirect branch per handler (the classic
+/// direct-threading layout, with -fno-gcse to keep GCC from re-merging
+/// the copies) measured consistently slower here on both loop-heavy and
+/// straight-line kernels — the per-handler sites dilute the indirect
+/// branch predictor's history instead of sharpening it.
+RunStatus VMItem::runThreaded() {
+#include "exec/BytecodeLoopPrologue.inc"
+  static const void *const Handlers[] = {
+#define SMLIR_BC_HANDLER(Name) &&H_##Name,
+      SMLIR_BC_FOR_EACH_OPCODE(SMLIR_BC_HANDLER)
+#undef SMLIR_BC_HANDLER
+  };
+  static_assert(sizeof(Handlers) / sizeof(Handlers[0]) == kNumOpcodes,
+                "handler table must cover every opcode");
+  const Inst *In;
+Dispatch:
+  In = IP++;
+  ++Steps;
+  goto *Handlers[(size_t)In->Op];
+
+#define SMLIR_BC_CASE(Name) H_##Name:
+#define SMLIR_BC_NEXT goto Dispatch
+#include "exec/BytecodeOps.inc"
+#undef SMLIR_BC_CASE
+#undef SMLIR_BC_NEXT
+  // Unreachable: every handler jumps or returns.
+}
+#endif // SMLIR_BC_HAS_COMPUTED_GOTO
+
+#undef SMLIR_BC_FAIL
+#undef SMLIR_BC_FAIL_SET
 
 } // namespace
 
@@ -655,21 +553,27 @@ LogicalResult bc::execute(const Function &Fn,
 
   LaunchCounters Count{&Stats, &Props, 0.0};
 
+  // Group-local state is allocated once and reset per group (sites keep
+  // their capacity; the first AllocaLocal of a group re-zeroes).
+  GroupState Group;
+  Group.Sites.resize(Fn.LocalSites.size());
+
   if (Fn.NumBarrierSites == 0) {
     // Barrier-free fast path: one register file and arena serve every
     // item in sequence; nothing allocates in steady state.
     VMItem Item;
     Item.init(Fn, Count);
     Item.bindArgs(Args);
+    Item.bindLaunch(Range);
     for (int64_t G2 = 0; G2 < NumGroups[2]; ++G2) {
       for (int64_t G1 = 0; G1 < NumGroups[1]; ++G1) {
         for (int64_t G0 = 0; G0 < NumGroups[0]; ++G0) {
-          GroupState Group;
-          Group.Sites.resize(Fn.LocalSites.size());
+          Group.reset();
+          Item.setGroup(Group, Range, {G0, G1, G2});
           for (int64_t L2 = 0; L2 < Range.Local[2]; ++L2)
             for (int64_t L1 = 0; L1 < Range.Local[1]; ++L1)
               for (int64_t L0 = 0; L0 < Range.Local[0]; ++L0) {
-                Item.reset(Group, Range, {G0, G1, G2}, {L0, L1, L2});
+                Item.resetItem({L0, L1, L2});
                 if (Item.run() == RunStatus::Error)
                   return Fail(Item.getError());
               }
@@ -677,19 +581,27 @@ LogicalResult bc::execute(const Function &Fn,
       }
     }
   } else {
+    // Barrier path: one item object per local coordinate, initialized
+    // once per launch and re-aimed at each group.
+    const size_t NumLocal =
+        (size_t)(Range.Local[0] * Range.Local[1] * Range.Local[2]);
+    std::vector<VMItem> Items(NumLocal);
+    for (VMItem &Item : Items) {
+      Item.init(Fn, Count);
+      Item.bindArgs(Args);
+      Item.bindLaunch(Range);
+    }
     for (int64_t G2 = 0; G2 < NumGroups[2]; ++G2) {
       for (int64_t G1 = 0; G1 < NumGroups[1]; ++G1) {
         for (int64_t G0 = 0; G0 < NumGroups[0]; ++G0) {
-          GroupState Group;
-          Group.Sites.resize(Fn.LocalSites.size());
-          std::deque<VMItem> Items;
+          Group.reset();
+          size_t Next = 0;
           for (int64_t L2 = 0; L2 < Range.Local[2]; ++L2)
             for (int64_t L1 = 0; L1 < Range.Local[1]; ++L1)
               for (int64_t L0 = 0; L0 < Range.Local[0]; ++L0) {
-                VMItem &Item = Items.emplace_back();
-                Item.init(Fn, Count);
-                Item.bindArgs(Args);
-                Item.reset(Group, Range, {G0, G1, G2}, {L0, L1, L2});
+                VMItem &Item = Items[Next++];
+                Item.setGroup(Group, Range, {G0, G1, G2});
+                Item.resetItem({L0, L1, L2});
               }
           std::string GroupError;
           if (!runWorkGroup(Items, GroupError))

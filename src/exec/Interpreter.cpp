@@ -414,7 +414,6 @@ private:
     auto CodeIt = Plan.OpCodes.find(Op);
     OpCode Code = CodeIt == Plan.OpCodes.end() ? classifyOp(Op)
                                                : CodeIt->second;
-    auto ChargeArith = [&] { Count.Cost += Count.Props->ArithCost; };
 
     switch (Code) {
     case OpCode::Constant: {
@@ -431,8 +430,7 @@ private:
   case OpCode::CASE: {                                                        \
     int64_t A = getInt(Op->getOperand(0)), B = getInt(Op->getOperand(1));     \
     (void)B;                                                                  \
-    ++Count.Stats->ArithOps;                                                  \
-    ChargeArith();                                                            \
+    chargeArith(Count);                                                       \
     set(Op->getResult(0), InterpValue::makeInt(EXPR));                        \
     return Status::Running;                                                   \
   }
@@ -452,8 +450,7 @@ private:
   case OpCode::CASE: {                                                        \
     double A = getFloat(Op->getOperand(0)),                                   \
            B = getFloat(Op->getOperand(1));                                   \
-    ++Count.Stats->ArithOps;                                                  \
-    ChargeArith();                                                            \
+    chargeArith(Count);                                                       \
     set(Op->getResult(0), InterpValue::makeFloat(EXPR));                      \
     return Status::Running;                                                   \
   }
@@ -466,16 +463,14 @@ private:
 #undef SMLIR_FLOAT_BINOP
 
     case OpCode::NegF:
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       set(Op->getResult(0),
           InterpValue::makeFloat(-getFloat(Op->getOperand(0))));
       return Status::Running;
 
     case OpCode::CmpI: {
       int64_t A = getInt(Op->getOperand(0)), B = getInt(Op->getOperand(1));
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       auto Pred = *arith::parseCmpIPredicate(
           Op->getAttrOfType<StringAttr>("predicate").getValue());
       bool R = false;
@@ -493,8 +488,7 @@ private:
     case OpCode::CmpF: {
       double A = getFloat(Op->getOperand(0)),
              B = getFloat(Op->getOperand(1));
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       auto Pred = *arith::parseCmpFPredicate(
           Op->getAttrOfType<StringAttr>("predicate").getValue());
       bool R = false;
@@ -510,8 +504,7 @@ private:
       return Status::Running;
     }
     case OpCode::Select: {
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       bool C = getInt(Op->getOperand(0)) != 0;
       set(Op->getResult(0), get(Op->getOperand(C ? 1 : 2)));
       return Status::Running;
@@ -543,8 +536,7 @@ private:
     case OpCode::Sqrt:
     case OpCode::Exp:
     case OpCode::FAbs: {
-      ++Count.Stats->MathOps;
-      Count.Cost += Count.Props->MathCost;
+      chargeMath(Count);
       double A = getFloat(Op->getOperand(0));
       double R = Code == OpCode::Sqrt   ? std::sqrt(A)
                  : Code == OpCode::Exp ? std::exp(A)
@@ -616,8 +608,7 @@ private:
       int64_t D = getInt(Op->getOperand(1));
       if (D < 0 || D >= static_cast<int64_t>(Ty.getRank()))
         return fail("memref.dim dimension out of range");
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       set(Op->getResult(0),
           InterpValue::makeInt(extentOf(Ty.getShape(), M, D)));
       return Status::Running;
@@ -639,8 +630,7 @@ private:
         }
         Total *= Extent;
       }
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       MemRefVal View;
       View.Store = M.Store;
       View.Offset = Linear;
@@ -655,8 +645,7 @@ private:
       int64_t D = getInt(Op->getOperand(1));
       if (D < 0 || D >= static_cast<int64_t>(Ty.getRank()) || D >= 3)
         return fail("memref.offset dimension out of range");
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       set(Op->getResult(0), InterpValue::makeInt(M.Offsets[D]));
       return Status::Running;
     }
@@ -683,8 +672,7 @@ private:
         if (NA >= 0 && NB >= 0)
           Disjoint = A.Offset + NA <= B.Offset || B.Offset + NB <= A.Offset;
       }
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       set(Op->getResult(0), InterpValue::makeInt(Disjoint ? 1 : 0));
       return Status::Running;
     }
@@ -884,8 +872,7 @@ private:
     }
 
     case OpCode::Barrier:
-      ++Count.Stats->Barriers;
-      Count.Cost += Count.Props->BarrierCost;
+      chargeBarrier(Count);
       LastBarrier = Op;
       return Status::AtBarrier;
 
@@ -902,8 +889,7 @@ private:
                 BEnd = BBegin + B->Acc.Range[0];
         Disjoint = AEnd <= BBegin || BEnd <= ABegin;
       }
-      ++Count.Stats->ArithOps;
-      ChargeArith();
+      chargeArith(Count);
       set(Op->getResult(0), InterpValue::makeInt(Disjoint ? 1 : 0));
       return Status::Running;
     }

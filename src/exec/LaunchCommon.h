@@ -40,6 +40,26 @@ struct LaunchCounters {
   double Cost = 0.0;
 };
 
+/// Charges one arithmetic operation. Both tiers (and the VM's fused
+/// superinstructions) bill through these helpers so the counter and Cost
+/// accumulation order stays bit-identical by construction.
+inline void chargeArith(LaunchCounters &Count) {
+  ++Count.Stats->ArithOps;
+  Count.Cost += Count.Props->ArithCost;
+}
+
+/// Charges one math-library operation (sqrt/exp/fabs).
+inline void chargeMath(LaunchCounters &Count) {
+  ++Count.Stats->MathOps;
+  Count.Cost += Count.Props->MathCost;
+}
+
+/// Charges one work-group barrier.
+inline void chargeBarrier(LaunchCounters &Count) {
+  ++Count.Stats->Barriers;
+  Count.Cost += Count.Props->BarrierCost;
+}
+
 /// Charges one memory access to the counters; the coalescing
 /// classification comes from the Memory Access Analysis at the access
 /// site (paper §V-D) and the space from the *runtime* storage the view

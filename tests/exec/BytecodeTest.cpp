@@ -109,6 +109,79 @@ protected:
     }
   }
 
+  /// The superinstruction contract on one kernel: fusion actually forms
+  /// each of \p ExpectedFusedOps (asserted on the disassembly), and the
+  /// four VM configurations (fusion on/off x switch/threaded dispatch)
+  /// all reproduce the interpreter bit for bit — outputs, every stats
+  /// counter, SimTime, and error strings (the fusion-boundary error
+  /// cases run through this too).
+  void expectFusedParity(FuncOp K, const NDRange &Range,
+                         const ArgMaker &MakeArgs,
+                         std::initializer_list<const char *> ExpectedFusedOps) {
+    ASSERT_TRUE(K);
+    std::string Why;
+    std::unique_ptr<bc::Function> Fused =
+        bc::translate(K, /*EnableFusion=*/true, &Why);
+    ASSERT_TRUE(Fused) << Why;
+    std::string Listing = bc::disassemble(*Fused);
+    for (const char *Op : ExpectedFusedOps)
+      EXPECT_NE(Listing.find(Op), std::string::npos)
+          << "expected fused op '" << Op << "' missing from:\n"
+          << Listing;
+
+    std::unique_ptr<bc::Function> Unfused =
+        bc::translate(K, /*EnableFusion=*/false, &Why);
+    ASSERT_TRUE(Unfused) << Why;
+
+    // The interpreter reference, run once.
+    std::vector<Storage *> InterpBufs;
+    std::vector<KernelArg> InterpArgs = MakeArgs(InterpBufs);
+    LaunchStats InterpStats;
+    std::string InterpError;
+    bool InterpOk =
+        Dev.launch(K, Range, InterpArgs, InterpStats, &InterpError)
+            .succeeded();
+
+    const bc::DispatchMode SavedMode = bc::getDispatchMode();
+    for (bc::DispatchMode Mode :
+         {bc::DispatchMode::Switch, bc::DispatchMode::Threaded}) {
+      bc::setDispatchMode(Mode);
+      for (const bc::Function *Fn : {Fused.get(), Unfused.get()}) {
+        std::string Config =
+            std::string(bc::stringifyDispatchMode(Mode)) +
+            (Fn == Fused.get() ? "+fused" : "+unfused");
+        std::vector<Storage *> Bufs;
+        std::vector<KernelArg> Args = MakeArgs(Bufs);
+        LaunchStats Stats;
+        std::string Error;
+        bool Ok = Dev.launch(*Fn, Range, Args, Stats, &Error).succeeded();
+        EXPECT_EQ(InterpOk, Ok) << Config << ": interpreter '" << InterpError
+                                << "' vs bytecode '" << Error << "'";
+        EXPECT_EQ(InterpError, Error) << Config;
+        EXPECT_EQ(InterpStats.CoalescedGlobalAccesses,
+                  Stats.CoalescedGlobalAccesses) << Config;
+        EXPECT_EQ(InterpStats.UncoalescedGlobalAccesses,
+                  Stats.UncoalescedGlobalAccesses) << Config;
+        EXPECT_EQ(InterpStats.LocalAccesses, Stats.LocalAccesses) << Config;
+        EXPECT_EQ(InterpStats.PrivateAccesses, Stats.PrivateAccesses)
+            << Config;
+        EXPECT_EQ(InterpStats.ArithOps, Stats.ArithOps) << Config;
+        EXPECT_EQ(InterpStats.MathOps, Stats.MathOps) << Config;
+        EXPECT_EQ(InterpStats.Barriers, Stats.Barriers) << Config;
+        EXPECT_EQ(InterpStats.StepsExecuted, Stats.StepsExecuted) << Config;
+        EXPECT_EQ(InterpStats.SimTime, Stats.SimTime) << Config;
+        ASSERT_EQ(InterpBufs.size(), Bufs.size());
+        for (size_t I = 0; I < InterpBufs.size(); ++I) {
+          EXPECT_EQ(InterpBufs[I]->Ints, Bufs[I]->Ints)
+              << Config << " buffer " << I;
+          EXPECT_EQ(InterpBufs[I]->Floats, Bufs[I]->Floats)
+              << Config << " buffer " << I;
+        }
+      }
+    }
+    bc::setDispatchMode(SavedMode);
+  }
+
   static NDRange range1D(int64_t Global, int64_t Local = 0) {
     NDRange Range;
     Range.Dim = 1;
@@ -327,6 +400,177 @@ TEST_F(BytecodeTest, OutOfBoundsErrorStringParity) {
     Bufs.push_back(Out);
     return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
   });
+}
+
+TEST_F(BytecodeTest, IntSpillSuperinstructionParity) {
+  // The lowered integer spill idiom (alloca.priv; store; load) plus the
+  // index-compute chains around it: exercises the const.load,
+  // alloca.store, load.arith.i, arith.load.i, sel.arith.i and
+  // arith.cmp.i superinstructions, each asserted present in the
+  // disassembly so a fusion-pattern regression fails loudly instead of
+  // silently falling back to the unfused pair.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %p = "memref.alloca"() : () -> (memref<1xindex, 5>)
+    "memref.store"(%gid, %p, %c0) : (index, memref<1xindex, 5>, index) -> ()
+    %v = "memref.load"(%p, %c0) : (memref<1xindex, 5>, index) -> (index)
+    %dbl = "arith.muli"(%v, %c2) : (index, index) -> (index)
+    %inc = "arith.addi"(%dbl, %c1) : (index, index) -> (index)
+    %w = "memref.load"(%p, %c0) : (memref<1xindex, 5>, index) -> (index)
+    %cmp = "arith.cmpi"(%w, %c2) {predicate = "slt"} : (index, index) -> (i1)
+    %sel = "arith.select"(%cmp, %dbl, %inc) : (i1, index, index) -> (index)
+    %sum = "arith.addi"(%sel, %w) : (index, index) -> (index)
+    %odd = "arith.remsi"(%sum, %c2) : (index, index) -> (index)
+    %pos = "arith.cmpi"(%odd, %c0) {predicate = "sgt"} : (index, index) -> (i1)
+    %res = "arith.select"(%pos, %sum, %dbl) : (i1, index, index) -> (index)
+    "memref.store"(%res, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectFusedParity(
+      K, range1D(16),
+      [&](std::vector<Storage *> &Bufs) {
+        Storage *Out = Dev.allocate(Storage::Kind::Int, 16);
+        Bufs.push_back(Out);
+        return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+      },
+      {"const.load", "alloca.store", "load.arith.i", "arith.load.i",
+       "sel.arith.i", "arith.cmp.i"});
+}
+
+TEST_F(BytecodeTest, FloatSpillSuperinstructionParity) {
+  // The float side of the spill idiom plus constant-fed and chained
+  // float arithmetic: const.arith.f, load.arith.f, arith.arith.f and
+  // arith.store.f. ArithOps/SimTime parity across all four VM
+  // configurations pins the fused handlers' charge order to the
+  // interpreter's.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xf64>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %g = "arith.sitofp"(%gid) : (index) -> (f64)
+    %half = "arith.constant"() {value = 0.5 : f64} : () -> (f64)
+    %scaled = "arith.mulf"(%g, %half) : (f64, f64) -> (f64)
+    %p = "memref.alloca"() : () -> (memref<1xf64, 5>)
+    "memref.store"(%scaled, %p, %c0) : (f64, memref<1xf64, 5>, index) -> ()
+    %v = "memref.load"(%p, %c0) : (memref<1xf64, 5>, index) -> (f64)
+    %a = "arith.addf"(%v, %half) : (f64, f64) -> (f64)
+    %b = "arith.mulf"(%a, %a) : (f64, f64) -> (f64)
+    %c = "arith.addf"(%b, %g) : (f64, f64) -> (f64)
+    %d = "arith.subf"(%c, %v) : (f64, f64) -> (f64)
+    "memref.store"(%d, %out, %gid) : (f64, memref<?xf64>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectFusedParity(
+      K, range1D(16),
+      [&](std::vector<Storage *> &Bufs) {
+        Storage *Out = Dev.allocate(Storage::Kind::Float, 16);
+        Bufs.push_back(Out);
+        return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+      },
+      {"const.load", "const.arith.f", "alloca.store", "load.arith.f",
+       "arith.arith.f", "arith.store.f"});
+}
+
+TEST_F(BytecodeTest, PrivMemChainSuperinstructionParity) {
+  // Back-to-back private-arena traffic and the branch idiom: the
+  // load.load, store.load, store.store and load.subview memory chains
+  // plus cmp.br feeding an scf.if. The subview tail addresses a 2-D
+  // accessor row, so the fused head's result flows into generic view
+  // arithmetic.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?x?xf64>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %c2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %p = "memref.alloca"() : () -> (memref<3xindex, 5>)
+    "memref.store"(%gid, %p, %c0) : (index, memref<3xindex, 5>, index) -> ()
+    "memref.store"(%c1, %p, %c1) : (index, memref<3xindex, 5>, index) -> ()
+    "memref.store"(%gid, %p, %c2) : (index, memref<3xindex, 5>, index) -> ()
+    %a = "memref.load"(%p, %c0) : (memref<3xindex, 5>, index) -> (index)
+    %b = "memref.load"(%p, %c1) : (memref<3xindex, 5>, index) -> (index)
+    %r = "memref.load"(%p, %c2) : (memref<3xindex, 5>, index) -> (index)
+    %view = "memref.subview"(%out, %r, %c0) : (memref<?x?xf64>, index, index) -> (memref<?xf64>)
+    "memref.store"(%b, %p, %c0) : (index, memref<3xindex, 5>, index) -> ()
+    %d = "memref.load"(%p, %c1) : (memref<3xindex, 5>, index) -> (index)
+    %f = "arith.sitofp"(%a) : (index) -> (f64)
+    %cond = "arith.cmpi"(%d, %c2) {predicate = "slt"} : (index, index) -> (i1)
+    "scf.if"(%cond) ({
+      "memref.store"(%f, %view, %c1) : (f64, memref<?xf64>, index) -> ()
+      "scf.yield"() : () -> ()
+    }, {
+      "scf.yield"() : () -> ()
+    }) : (i1) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectFusedParity(
+      K, range1D(4),
+      [&](std::vector<Storage *> &Bufs) {
+        Storage *Out = Dev.allocate(Storage::Kind::Float, 32);
+        Bufs.push_back(Out);
+        AccessorData Acc;
+        Acc.Data = Out;
+        Acc.Dim = 2;
+        Acc.Range = {4, 8, 1};
+        return std::vector<KernelArg>{KernelArg::accessor(Acc)};
+      },
+      {"store.store", "load.load", "load.subview", "store.load", "cmp.br"});
+}
+
+TEST_F(BytecodeTest, FusedTailOutOfBoundsErrorParity) {
+  // The generic tail of a const.load superinstruction faults: the fused
+  // head must not swallow or reword the tail's error — all four VM
+  // configurations reproduce the interpreter's string exactly.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %big = "arith.constant"() {value = 1000 : index} : () -> (index)
+    %x = "memref.load"(%out, %big) : (memref<?xindex>, index) -> (index)
+    "memref.store"(%x, %out, %big) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectFusedParity(
+      K, range1D(8),
+      [&](std::vector<Storage *> &Bufs) {
+        Storage *Out = Dev.allocate(Storage::Kind::Int, 8);
+        Bufs.push_back(Out);
+        return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+      },
+      {"const.load"});
+}
+
+TEST_F(BytecodeTest, FusedHeadOutOfBoundsErrorParity) {
+  // The private-arena HEAD of a load.arith.i superinstruction faults:
+  // the inlined arena fast path must bounds-check and report exactly
+  // like the standalone load, and the fused tail must not run.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %big = "arith.constant"() {value = 1000 : index} : () -> (index)
+    %p = "memref.alloca"() : () -> (memref<1xindex, 5>)
+    "memref.store"(%c1, %p, %c0) : (index, memref<1xindex, 5>, index) -> ()
+    %v = "memref.load"(%p, %big) : (memref<1xindex, 5>, index) -> (index)
+    %sum = "arith.addi"(%v, %c1) : (index, index) -> (index)
+    "memref.store"(%sum, %out, %c0) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  expectFusedParity(
+      K, range1D(8),
+      [&](std::vector<Storage *> &Bufs) {
+        Storage *Out = Dev.allocate(Storage::Kind::Int, 8);
+        Bufs.push_back(Out);
+        return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+      },
+      {"alloca.store", "load.arith.i"});
 }
 
 TEST_F(BytecodeTest, ArgumentCountMismatchParity) {

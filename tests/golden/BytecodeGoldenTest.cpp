@@ -51,11 +51,25 @@ checkFamilySnapshot(const workloads::Workload &W,
     return ::testing::AssertionFailure()
            << W.Name << " failed to compile: " << Error;
 
+  // The snapshot carries two sections: the printed lowered module and
+  // the disassembly of every kernel in it. scripts/smoke_smlir_opt.sh
+  // replays the module section through `smlir-opt --emit-bytecode` and
+  // diffs the result against the bytecode section, proving the CLI, the
+  // translator (including superinstruction fusion) and this test all
+  // agree byte-for-byte.
+  std::string ModuleIR = Exe->getModule().getOperation()->str();
+  if (ModuleIR.empty() || ModuleIR.back() != '\n')
+    ModuleIR += '\n';
+
   std::ostringstream Listing;
   Listing << "// Bytecode-disassembly snapshot '" << SnapshotName << "'\n"
           << "// workload: " << W.Name << " (" << W.Category << ")\n"
           << "// Regenerate with: UPDATE_GOLDEN=1 ./GoldenIRTest "
-          << "(or UPDATE_GOLDEN=1 ctest -R Bytecode)\n";
+          << "(or UPDATE_GOLDEN=1 ctest -R Bytecode)\n"
+          << "// Replayed by scripts/smoke_smlir_opt.sh: "
+          << "smlir-opt --emit-bytecode <module>\n"
+          << "// ----- module -----\n"
+          << ModuleIR << "// ----- bytecode -----\n";
   bool Any = false;
   Exe->getModule().getOperation()->walk([&](Operation *Op) {
     FuncOp F = FuncOp::dyn_cast(Op);

@@ -44,6 +44,11 @@ struct FuzzConfig {
   int Depth = 2;    ///< Maximum loop/if nesting depth.
   int Trip = 4;     ///< Loop trip count.
   bool Barriers = true;
+  /// Bias statement choice toward the adjacent pairs the superinstruction
+  /// peephole fuses (private-arena spill idioms, arith chains), so the
+  /// fused handlers see real fuzzing pressure instead of only whatever
+  /// pairs the uniform generator happens to abut.
+  bool FuseBias = false;
 };
 
 /// ND-range shared by every generated kernel: 16 items in groups of 8.
@@ -174,7 +179,15 @@ private:
   /// work-item provably reaches them: top level, constant-trip loops).
   void emitStmt(int Depth, bool InLoopOrIf, int &Budget) {
     --Budget;
-    switch (rand(0, 11)) {
+    // With FuseBias, a third of the rolls land on the private-arena pair
+    // kind (12) and the arithmetic kinds get an extra share — both feed
+    // the fusion peephole adjacent fusable instructions.
+    int64_t Kind = rand(0, Cfg.FuseBias ? 17 : 11);
+    if (Kind > 14)
+      Kind -= 15; // 15..17 -> extra weight on kinds 0..2.
+    else if (Kind > 11)
+      Kind = 12; // 12..14 -> the spill-pair kind.
+    switch (Kind) {
     case 0: { // Int arithmetic.
       static const char *Ops[] = {"arith.addi", "arith.muli", "arith.subi",
                                   "arith.divsi", "arith.remsi",
@@ -335,6 +348,62 @@ private:
       OS << "\"gpu.barrier\"() : () -> ()\n";
       return;
     }
+    case 12: { // Adjacent private-arena pairs (FuseBias only): the spill
+               // idioms the peephole rewrites into store.load,
+               // load.arith.i, store.store and load.load — indices are
+               // computed up front so the paired accesses really abut.
+      std::string I1 = boundedAt(Depth, pick(Idx), 4);
+      std::string I2 = boundedAt(Depth, pick(Idx), 4);
+      switch (rand(0, 3)) {
+      case 0: { // store; load
+        indent(Depth);
+        OS << "\"memref.store\"(" << pick(Idx) << ", %priv, " << I1
+           << ") : (index, memref<4xindex, 5>, index) -> ()\n";
+        std::string N = fresh();
+        indent(Depth);
+        OS << N << " = \"memref.load\"(%priv, " << I2
+           << ") : (memref<4xindex, 5>, index) -> (index)\n";
+        Idx.push_back(N);
+        break;
+      }
+      case 1: { // load; arith
+        std::string N = fresh();
+        indent(Depth);
+        OS << N << " = \"memref.load\"(%priv, " << I1
+           << ") : (memref<4xindex, 5>, index) -> (index)\n";
+        std::string M = fresh();
+        indent(Depth);
+        OS << M << " = \""
+           << (rand(0, 1) == 0 ? "arith.addi" : "arith.muli") << "\"(" << N
+           << ", " << pick(Idx) << ") : (index, index) -> (index)\n";
+        Idx.push_back(N);
+        Idx.push_back(M);
+        break;
+      }
+      case 2: { // store; store
+        indent(Depth);
+        OS << "\"memref.store\"(" << pick(Idx) << ", %priv, " << I1
+           << ") : (index, memref<4xindex, 5>, index) -> ()\n";
+        indent(Depth);
+        OS << "\"memref.store\"(" << pick(Idx) << ", %priv, " << I2
+           << ") : (index, memref<4xindex, 5>, index) -> ()\n";
+        break;
+      }
+      case 3: { // load; load
+        std::string N = fresh(), M = fresh();
+        indent(Depth);
+        OS << N << " = \"memref.load\"(%priv, " << I1
+           << ") : (memref<4xindex, 5>, index) -> (index)\n";
+        indent(Depth);
+        OS << M << " = \"memref.load\"(%priv, " << I2
+           << ") : (memref<4xindex, 5>, index) -> (index)\n";
+        Idx.push_back(N);
+        Idx.push_back(M);
+        break;
+      }
+      }
+      return;
+    }
     }
     // The picked kind was not legal here; spend the budget on plain
     // arithmetic instead so shrinking stays monotonic in Stmts.
@@ -399,10 +468,19 @@ std::optional<Divergence> checkOne(const FuzzConfig &Cfg) {
   if (!K)
     return Fail("generated module has no @K");
 
+  // Fusion is pinned explicitly (not read from the environment): the
+  // fused translation is the differential subject, and the unfused one
+  // is cross-checked below so a divergence indicts the superinstruction
+  // handlers specifically.
   std::string Why;
-  std::unique_ptr<bc::Function> Fn = bc::translate(K, &Why);
+  std::unique_ptr<bc::Function> Fn =
+      bc::translate(K, /*EnableFusion=*/true, &Why);
   if (!Fn)
     return Fail("generated kernel failed to translate: " + Why);
+  std::unique_ptr<bc::Function> Plain =
+      bc::translate(K, /*EnableFusion=*/false, &Why);
+  if (!Plain)
+    return Fail("generated kernel failed to translate unfused: " + Why);
 
   Device Dev;
   NDRange Range;
@@ -433,15 +511,20 @@ std::optional<Divergence> checkOne(const FuzzConfig &Cfg) {
 
   Storage *InterpI = nullptr, *InterpF = nullptr;
   Storage *ByteI = nullptr, *ByteF = nullptr;
+  Storage *PlainI = nullptr, *PlainF = nullptr;
   std::vector<KernelArg> InterpArgs = MakeArgs(InterpI, InterpF);
   std::vector<KernelArg> ByteArgs = MakeArgs(ByteI, ByteF);
+  std::vector<KernelArg> PlainArgs = MakeArgs(PlainI, PlainF);
 
-  LaunchStats InterpStats, ByteStats;
-  std::string InterpError, ByteError;
+  LaunchStats InterpStats, ByteStats, PlainStats;
+  std::string InterpError, ByteError, PlainError;
   bool InterpOk =
       Dev.launch(K, Range, InterpArgs, InterpStats, &InterpError).succeeded();
   bool ByteOk =
       Dev.launch(*Fn, Range, ByteArgs, ByteStats, &ByteError).succeeded();
+  bool PlainOk =
+      Dev.launch(*Plain, Range, PlainArgs, PlainStats, &PlainError)
+          .succeeded();
 
   std::ostringstream Diff;
   if (InterpOk != ByteOk)
@@ -476,16 +559,35 @@ std::optional<Divergence> checkOne(const FuzzConfig &Cfg) {
     if (InterpF->Floats[size_t(I)] != ByteF->Floats[size_t(I)])
       Diff << "outF[" << I << "]: " << InterpF->Floats[size_t(I)] << " vs "
            << ByteF->Floats[size_t(I)] << "\n";
+  // Fusion on vs off must also be bit-identical: agreement with the
+  // interpreter above plus a divergence here would mean the fused and
+  // unfused VMs disagree, which the pairwise check reports directly.
+  if (ByteOk != PlainOk || ByteError != PlainError)
+    Diff << "fusion on/off outcome: '" << ByteError << "' vs '" << PlainError
+         << "'\n";
+  Cmp("fusion on/off ArithOps", ByteStats.ArithOps, PlainStats.ArithOps);
+  Cmp("fusion on/off PrivateAccesses", ByteStats.PrivateAccesses,
+      PlainStats.PrivateAccesses);
+  Cmp("fusion on/off StepsExecuted", ByteStats.StepsExecuted,
+      PlainStats.StepsExecuted);
+  Cmp("fusion on/off SimTime", ByteStats.SimTime, PlainStats.SimTime);
+  for (int64_t I = 0; I < kIntLen; ++I)
+    if (ByteI->Ints[size_t(I)] != PlainI->Ints[size_t(I)])
+      Diff << "fusion on/off outI[" << I << "]: " << ByteI->Ints[size_t(I)]
+           << " vs " << PlainI->Ints[size_t(I)] << "\n";
+  for (int64_t I = 0; I < kRows * kCols; ++I)
+    if (ByteF->Floats[size_t(I)] != PlainF->Floats[size_t(I)])
+      Diff << "fusion on/off outF[" << I << "]: " << ByteF->Floats[size_t(I)]
+           << " vs " << PlainF->Floats[size_t(I)] << "\n";
   if (Diff.str().empty())
     return std::nullopt;
   return Fail("tier divergence:\n" + Diff.str());
 }
 
-class BytecodeDifferential : public ::testing::TestWithParam<unsigned> {};
-
-TEST_P(BytecodeDifferential, RandomLoweredKernelsAgree) {
-  FuzzConfig Cfg;
-  Cfg.Seed = GetParam();
+/// Shrink-and-report driver shared by the uniform and fuse-biased seed
+/// suites: greedily accepts any smaller configuration that still fails,
+/// then reports the minimal reproducer.
+void runSeed(FuzzConfig Cfg) {
   std::optional<Divergence> Failure = checkOne(Cfg);
   if (!Failure)
     return;
@@ -517,6 +619,11 @@ TEST_P(BytecodeDifferential, RandomLoweredKernelsAgree) {
       C.Barriers = false;
       Candidates.push_back(C);
     }
+    if (Min.FuseBias) {
+      FuzzConfig C = Min;
+      C.FuseBias = false;
+      Candidates.push_back(C);
+    }
     for (const FuzzConfig &C : Candidates) {
       if (std::optional<Divergence> Smaller = checkOne(C)) {
         Min = C;
@@ -528,12 +635,35 @@ TEST_P(BytecodeDifferential, RandomLoweredKernelsAgree) {
   }
   FAIL() << "seed " << Cfg.Seed << " (shrunk to stmts=" << Min.Stmts
          << " depth=" << Min.Depth << " trip=" << Min.Trip
-         << " barriers=" << Min.Barriers << "):\n"
+         << " barriers=" << Min.Barriers << " fusebias=" << Min.FuseBias
+         << "):\n"
          << Failure->Message << "\nkernel:\n"
          << Failure->Source;
 }
 
+class BytecodeDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BytecodeDifferential, RandomLoweredKernelsAgree) {
+  FuzzConfig Cfg;
+  Cfg.Seed = GetParam();
+  runSeed(Cfg);
+}
+
+/// The same property under the fusion-biased generator: kernels dense in
+/// the adjacent pairs the superinstruction peephole rewrites.
+class BytecodeDifferentialFused : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(BytecodeDifferentialFused, FusablePairHeavyKernelsAgree) {
+  FuzzConfig Cfg;
+  Cfg.Seed = GetParam();
+  Cfg.FuseBias = true;
+  runSeed(Cfg);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BytecodeDifferential,
                          ::testing::Range(0u, 24u));
+INSTANTIATE_TEST_SUITE_P(FuseSeeds, BytecodeDifferentialFused,
+                         ::testing::Range(100u, 116u));
 
 } // namespace

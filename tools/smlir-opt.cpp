@@ -24,11 +24,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "dialect/Builtin.h"
+#include "exec/Bytecode.h"
+#include "exec/TargetRegistry.h"
 #include "ir/MLIRContext.h"
 #include "ir/Parser.h"
 #include "ir/Pass.h"
 #include "ir/PassRegistry.h"
-#include "exec/TargetRegistry.h"
 #include "ir/Verifier.h"
 #include "transform/Passes.h"
 
@@ -48,6 +50,8 @@ struct Options {
   std::string OutputFile = "-";
   std::string Pipeline;
   std::string Target;
+  bool EmitBytecode = false;
+  std::string EmitBytecodeKernel;
   bool VerifyEach = true;
   bool PrintIRAfterAll = false;
   bool PrintIRBeforeAll = false;
@@ -78,6 +82,14 @@ void printHelp(std::ostream &OS) {
      << "  --target=<name>        Append the pipeline suffix of the given\n"
      << "                         target backend (e.g. virtual-cpu lowers\n"
      << "                         kernels with convert-sycl-to-scf).\n"
+     << "  --emit-bytecode[=<kernel>]\n"
+     << "                         After the pipeline runs, print the\n"
+     << "                         bytecode-tier disassembly of every\n"
+     << "                         sycl.kernel function (or only <kernel>)\n"
+     << "                         instead of the IR. Honors SMLIR_BC_FUSION\n"
+     << "                         (superinstruction fusion, default on);\n"
+     << "                         kernels must be in lowered form, e.g. via\n"
+     << "                         --target=virtual-cpu.\n"
      << "  --list-passes          List registered passes and exit.\n"
      << "  --list-targets         List registered target backends and exit.\n"
      << "  -o <file>              Write output IR to <file> ('-' = stdout).\n"
@@ -108,6 +120,16 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
       Opts.PrintIRBeforeAll = true;
     } else if (Arg == "--pass-statistics") {
       Opts.PassStatistics = true;
+    } else if (Arg == "--emit-bytecode") {
+      Opts.EmitBytecode = true;
+    } else if (Arg.rfind("--emit-bytecode=", 0) == 0) {
+      Opts.EmitBytecode = true;
+      Opts.EmitBytecodeKernel =
+          std::string(Arg.substr(strlen("--emit-bytecode=")));
+      if (Opts.EmitBytecodeKernel.empty()) {
+        Error = "--emit-bytecode= expects a kernel name";
+        return false;
+      }
     } else if (Arg == "--list-passes") {
       Opts.ListPasses = true;
     } else if (Arg == "--list-targets") {
@@ -257,7 +279,45 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  std::string IR = Module.get()->str();
+  std::string IR;
+  if (Opts.EmitBytecode) {
+    // Print the bytecode tier's compiled form instead of the IR, in the
+    // exact shape of the `// ----- bytecode -----` section of the golden
+    // `.bc.expected` snapshots (one blank line before each kernel) so
+    // scripts/smoke_smlir_opt.sh can replay them byte-for-byte.
+    std::ostringstream Listing;
+    bool Found = false;
+    Module.get()->walk([&](Operation *Op) {
+      FuncOp F = FuncOp::dyn_cast(Op);
+      if (!F || !Op->hasAttr("sycl.kernel"))
+        return;
+      if (!Opts.EmitBytecodeKernel.empty() &&
+          F.getName() != Opts.EmitBytecodeKernel)
+        return;
+      Found = true;
+      std::string Why;
+      std::unique_ptr<exec::bc::Function> Fn = exec::bc::translate(F, &Why);
+      Listing << "\n";
+      if (!Fn) {
+        Listing << "// kernel @" << F.getName()
+                << ": outside translator coverage: " << Why << "\n";
+        return;
+      }
+      Listing << exec::bc::disassemble(*Fn);
+    });
+    if (!Found) {
+      if (Opts.EmitBytecodeKernel.empty())
+        std::cerr << "smlir-opt: --emit-bytecode: no sycl.kernel function "
+                     "in the module\n";
+      else
+        std::cerr << "smlir-opt: --emit-bytecode: no kernel '"
+                  << Opts.EmitBytecodeKernel << "' in the module\n";
+      return 1;
+    }
+    IR = Listing.str();
+  } else {
+    IR = Module.get()->str();
+  }
   if (IR.empty() || IR.back() != '\n')
     IR += '\n';
   if (Opts.OutputFile == "-") {
