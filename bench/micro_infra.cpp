@@ -297,24 +297,30 @@ frontend::SourceProgram makeStencil(MLIRContext &Ctx) {
 /// \p BaseVM benchmarks the VM in its PR-baseline configuration —
 /// superinstruction fusion off, portable switch dispatch — so one run
 /// carries its own like-for-like speedup denominator next to the tuned
-/// (threaded + fused) default.
+/// (threaded + fused) default. \p NoElide keeps the tuned dispatch but
+/// refuses the `annotate-inbounds` proofs, so every access re-checks
+/// bounds at runtime — isolating the proven-in-bounds elision win.
 void runExecTier(benchmark::State &State,
                  frontend::SourceProgram (*Make)(MLIRContext &),
                  const char *Kernel, exec::ExecutionTier Tier,
-                 bool BaseVM = false) {
+                 bool BaseVM = false, bool NoElide = false) {
   // Restores the process VM configuration on every exit path.
   struct VMConfigGuard {
     bool Fusion = exec::bc::getDefaultFusionEnabled();
     exec::bc::DispatchMode Dispatch = exec::bc::getDispatchMode();
+    bool Inbounds = exec::bc::getDefaultInboundsEnabled();
     ~VMConfigGuard() {
       exec::bc::setDefaultFusionEnabled(Fusion);
       exec::bc::setDispatchMode(Dispatch);
+      exec::bc::setDefaultInboundsEnabled(Inbounds);
     }
   } ConfigGuard;
   if (BaseVM) {
     exec::bc::setDefaultFusionEnabled(false);
     exec::bc::setDispatchMode(exec::bc::DispatchMode::Switch);
   }
+  if (NoElide)
+    exec::bc::setDefaultInboundsEnabled(false);
   MLIRContext Ctx;
   registerAllDialects(Ctx);
   frontend::SourceProgram Program = Make(Ctx);
@@ -389,6 +395,12 @@ void BM_ExecTier_MatMul_BytecodeBase(benchmark::State &State) {
 }
 BENCHMARK(BM_ExecTier_MatMul_BytecodeBase)->Unit(benchmark::kMicrosecond);
 
+void BM_ExecTier_MatMul_BytecodeNoElide(benchmark::State &State) {
+  runExecTier(State, makeProgram, "k", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/false, /*NoElide=*/true);
+}
+BENCHMARK(BM_ExecTier_MatMul_BytecodeNoElide)->Unit(benchmark::kMicrosecond);
+
 void BM_ExecTier_Saxpy_Interpreter(benchmark::State &State) {
   runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Interpreter);
 }
@@ -404,6 +416,12 @@ void BM_ExecTier_Saxpy_BytecodeBase(benchmark::State &State) {
               /*BaseVM=*/true);
 }
 BENCHMARK(BM_ExecTier_Saxpy_BytecodeBase)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Saxpy_BytecodeNoElide(benchmark::State &State) {
+  runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/false, /*NoElide=*/true);
+}
+BENCHMARK(BM_ExecTier_Saxpy_BytecodeNoElide)->Unit(benchmark::kMicrosecond);
 
 void BM_ExecTier_Stencil_Interpreter(benchmark::State &State) {
   runExecTier(State, makeStencil, "stencil",
@@ -421,6 +439,12 @@ void BM_ExecTier_Stencil_BytecodeBase(benchmark::State &State) {
               /*BaseVM=*/true);
 }
 BENCHMARK(BM_ExecTier_Stencil_BytecodeBase)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Stencil_BytecodeNoElide(benchmark::State &State) {
+  runExecTier(State, makeStencil, "stencil", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/false, /*NoElide=*/true);
+}
+BENCHMARK(BM_ExecTier_Stencil_BytecodeNoElide)->Unit(benchmark::kMicrosecond);
 
 //===----------------------------------------------------------------------===//
 // Asynchronous runtime (task-graph scheduler)

@@ -3,11 +3,14 @@
 # BM_ExecTier_* microbenchmarks and writes the google-benchmark JSON
 # report to BENCH_exec.json (or $1).
 #
-# Three variants run per kernel family (matmul, saxpy, stencil):
-#   *_Interpreter   - the tree-walking reference interpreter
-#   *_BytecodeBase  - the VM with fusion off, portable switch dispatch
-#   *_Bytecode      - the tuned default (direct-threaded + fused)
-# and the script prints a one-line speedup summary per family.
+# Four variants run per kernel family (matmul, saxpy, stencil):
+#   *_Interpreter      - the tree-walking reference interpreter
+#   *_BytecodeBase     - the VM with fusion off, portable switch dispatch
+#   *_BytecodeNoElide  - tuned dispatch, but annotate-inbounds proofs
+#                        refused (every access re-checks bounds)
+#   *_Bytecode         - the tuned default (threaded + fused + elision)
+# and the script prints a one-line speedup summary per family, plus the
+# bounds-check elision win (NoElide / tuned) per family.
 #
 # To regenerate the opcode/pair frequency profile that justifies the
 # fused opcode set (see fuseSuperinstructions in src/exec/Bytecode.cpp):
@@ -30,9 +33,16 @@ if [ ! -x "$BENCH" ]; then
   exit 1
 fi
 
+# Random interleaving shuffles the repetition order across variants so a
+# frequency ramp or noisy neighbor hits every variant equally — without
+# it, the few-percent bounds-check-elision delta drowns in run-order
+# bias on shared machines. A short warmup absorbs the first-launch cost
+# (bytecode translation, allocator growth) outside the measurement.
 "$BENCH" \
   --benchmark_filter='BM_ExecTier' \
   --benchmark_repetitions="$REPS" \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_min_warmup_time=0.2 \
   --benchmark_report_aggregates_only=true \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json
@@ -53,7 +63,7 @@ for entry in report.get("benchmarks", []):
         medians[entry["run_name"]] = entry["real_time"]
 
 families = ["MatMul", "Saxpy", "Stencil"]
-variants = ["Interpreter", "BytecodeBase", "Bytecode"]
+variants = ["Interpreter", "BytecodeBase", "BytecodeNoElide", "Bytecode"]
 missing = [
     f"BM_ExecTier_{fam}_{var}"
     for fam in families
@@ -66,17 +76,24 @@ if missing:
     sys.exit(1)
 
 ratios = []
+elisions = []
 for fam in families:
     interp = medians[f"BM_ExecTier_{fam}_Interpreter"]
     base = medians[f"BM_ExecTier_{fam}_BytecodeBase"]
+    checked = medians[f"BM_ExecTier_{fam}_BytecodeNoElide"]
     tuned = medians[f"BM_ExecTier_{fam}_Bytecode"]
     ratios.append(base / tuned)
+    elisions.append(checked / tuned)
     print(f"{fam.lower()}: interpreter {interp:.0f}us, "
-          f"bytecode(base) {base:.0f}us, bytecode(threaded+fused) "
+          f"bytecode(base) {base:.0f}us, bytecode(no-elide) "
+          f"{checked:.0f}us, bytecode(threaded+fused+elide) "
           f"{tuned:.0f}us -> {interp / tuned:.1f}x vs interpreter, "
-          f"{base / tuned:.2f}x vs base VM")
+          f"{base / tuned:.2f}x vs base VM, "
+          f"{checked / tuned:.2f}x from bounds-check elision")
 geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 print(f"geomean threaded+fused speedup vs base VM: {geomean:.2f}x")
+egeomean = math.exp(sum(math.log(r) for r in elisions) / len(elisions))
+print(f"geomean proven-in-bounds elision speedup: {egeomean:.2f}x")
 EOF
 
 echo "wrote $OUT"

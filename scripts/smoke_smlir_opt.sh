@@ -129,6 +129,40 @@ if [[ $# -eq 0 ]]; then
   done
 fi
 
+# Lint gate: a kernel with a provably out-of-bounds store must exit 2
+# with the rule id on stderr; removing the violation must exit 0.
+cat > "$tmp/lint_bad.mlir" <<'EOF'
+module {
+  module @kernels {
+    func.func @bad(%arg0: memref<15xindex, 5>, %arg1: memref<?xf32>) attributes {sycl.kernel, sycl.lowered, sycl.arg_ranges = [[1 : index, 8 : index]]} {
+      %0 = "arith.constant"() {value = 9 : index} : () -> (index)
+      %1 = "arith.constant"() {value = 1.0 : f32} : () -> (f32)
+      "memref.store"(%1, %arg1, %0) : (f32, memref<?xf32>, index) -> ()
+      "func.return"() : () -> ()
+    }
+  }
+}
+EOF
+if "$SMLIR_OPT" --lint "$tmp/lint_bad.mlir" >/dev/null 2>"$tmp/lint_err.txt"; then
+  echo "smoke_smlir_opt: --lint did not fail on an out-of-bounds store" >&2
+  exit 1
+fi
+rc=0; "$SMLIR_OPT" --lint "$tmp/lint_bad.mlir" >/dev/null 2>/dev/null || rc=$?
+if [[ "$rc" != 2 ]]; then
+  echo "smoke_smlir_opt: --lint exited $rc on findings (expected 2)" >&2
+  exit 1
+fi
+grep -q "\[oob-access\]" "$tmp/lint_err.txt" || {
+  echo "smoke_smlir_opt: --lint stderr is missing the oob-access rule id" >&2
+  exit 1
+}
+sed 's/value = 9/value = 7/' "$tmp/lint_bad.mlir" > "$tmp/lint_ok.mlir"
+if ! "$SMLIR_OPT" --lint "$tmp/lint_ok.mlir" >/dev/null 2>&1; then
+  echo "smoke_smlir_opt: --lint failed on an in-bounds kernel" >&2
+  exit 1
+fi
+echo "smlir-opt --lint gate smoke passed"
+
 # The registry listing must expose both built-in backends.
 for target in virtual-gpu virtual-cpu; do
   if ! "$SMLIR_OPT" --list-targets | grep -q "^  $target - "; then

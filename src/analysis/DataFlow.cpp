@@ -1,0 +1,55 @@
+//===- DataFlow.cpp - Sparse forward dataflow framework ---------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DataFlow.h"
+
+using namespace smlir;
+using namespace smlir::dataflow;
+
+void WorkList::push(Operation *Op) {
+  if (Enqueued.insert(Op).second)
+    Queue.push_back(Op);
+}
+
+Operation *WorkList::pop() {
+  Operation *Op = Queue.front();
+  Queue.pop_front();
+  Enqueued.erase(Op);
+  return Op;
+}
+
+CallEdges::CallEdges(Operation *Root) {
+  std::vector<Operation *> Calls;
+  Root->walk([&](Operation *Op) {
+    if (auto Func = FuncOp::dyn_cast(Op)) {
+      // Later definitions do not shadow earlier ones; duplicate symbol
+      // names across nested modules are resolved first-wins, which
+      // matches the single `@kernels` nesting this codebase produces.
+      FunctionsByName.try_emplace(Func.getName(), Op);
+      return;
+    }
+    if (CallOp::dyn_cast(Op))
+      Calls.push_back(Op);
+  });
+  for (Operation *Call : Calls) {
+    auto It = FunctionsByName.find(CallOp::cast(Call).getCallee());
+    Operation *Callee = It == FunctionsByName.end() ? nullptr : It->second;
+    Callees[Call] = Callee;
+    if (Callee)
+      CallSites[Callee].push_back(Call);
+  }
+}
+
+Operation *CallEdges::resolveCallee(Operation *CallOp) const {
+  auto It = Callees.find(CallOp);
+  return It == Callees.end() ? nullptr : It->second;
+}
+
+const std::vector<Operation *> &
+CallEdges::getCallSites(Operation *Func) const {
+  auto It = CallSites.find(Func);
+  return It == CallSites.end() ? Empty : It->second;
+}

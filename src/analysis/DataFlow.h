@@ -1,0 +1,280 @@
+//===- DataFlow.h - Sparse forward dataflow framework -----------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse forward dataflow framework in the style of MLIR's
+/// SparseForwardDataFlowAnalysis: per-Value lattice states driven to a
+/// fixpoint by a worklist, with the structured-control-flow edges of this
+/// codebase built in. Clients subclass SparseForwardDataFlowAnalysis with
+/// a lattice type and implement the transfer function for ordinary
+/// operations; the framework handles
+///
+///   - `scf.for`/`affine.for`: induction variables (via a client hook,
+///     since their bounds are lattice-specific), `iter_args` as the join
+///     of the initial operands and the loop yield, and loop results as
+///     the join of init (zero-trip) and yield values;
+///   - `scf.if`: results as the join of the then/else yields;
+///   - `func.call`/`func.return`: callee entry arguments as the join over
+///     all call sites, call results as the join over the callee's
+///     returns — calls to functions outside the analysis root fall back
+///     to the client's top state.
+///
+/// The lattice concept: default-constructible (= bottom, "no executions
+/// reach this value yet"), `static LatticeT top()` (= no information),
+/// `bool join(const LatticeT &)` returning whether the state changed, and
+/// `bool operator==`. Joins on a single value are capped (kWideningLimit)
+/// before the framework widens the state to top, bounding fixpoint
+/// iteration for lattices of unbounded height (e.g. integer ranges grown
+/// around a loop back-edge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_ANALYSIS_DATAFLOW_H
+#define SMLIR_ANALYSIS_DATAFLOW_H
+
+#include "dialect/Builtin.h"
+#include "dialect/SCF.h"
+#include "ir/Operation.h"
+#include "ir/Value.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace smlir {
+namespace dataflow {
+
+/// FIFO worklist of operations with membership dedup: pushing an enqueued
+/// operation again is a no-op, so one fixpoint round visits each changed
+/// operation once.
+class WorkList {
+public:
+  void push(Operation *Op);
+  Operation *pop();
+  bool empty() const { return Queue.empty(); }
+
+private:
+  std::deque<Operation *> Queue;
+  std::set<Operation *> Enqueued;
+};
+
+/// Call edges under one analysis root: which `func.call` sites target each
+/// function defined under the root, and the reverse resolution. Calls
+/// whose callee is not defined under the root resolve to null (the
+/// framework treats them as opaque).
+class CallEdges {
+public:
+  /// Collects functions and call sites under \p Root. Callee names are
+  /// resolved against the functions found in the same walk, so a
+  /// function-rooted analysis never sees edges escaping its root.
+  explicit CallEdges(Operation *Root);
+
+  /// The called function, or null when it is not defined under the root.
+  Operation *resolveCallee(Operation *CallOp) const;
+  /// All `func.call` operations under the root targeting \p Func.
+  const std::vector<Operation *> &getCallSites(Operation *Func) const;
+  /// True when \p Func has at least one resolved call site.
+  bool isCalled(Operation *Func) const {
+    return !getCallSites(Func).empty();
+  }
+
+private:
+  std::map<std::string, Operation *> FunctionsByName;
+  std::map<Operation *, std::vector<Operation *>> CallSites;
+  std::map<Operation *, Operation *> Callees;
+  std::vector<Operation *> Empty;
+};
+
+/// Base class for sparse forward dataflow analyses. See the file comment
+/// for the lattice concept and the built-in control-flow handling.
+template <typename LatticeT>
+class SparseForwardDataFlowAnalysis {
+public:
+  /// Joins on one value before the framework widens it to top.
+  static constexpr unsigned kWideningLimit = 32;
+
+  virtual ~SparseForwardDataFlowAnalysis() = default;
+
+  /// Runs the worklist to a fixpoint over every operation under \p Root.
+  void solve(Operation *Root) {
+    Edges = std::make_unique<CallEdges>(Root);
+    this->Root = Root;
+    Root->walk([&](Operation *Op) { List.push(Op); });
+    // Entry block arguments of functions nothing under the root calls
+    // (kernels, public entry points) start at the client's entry state;
+    // called functions get their arguments from call-site joins instead.
+    Root->walk([&](Operation *Op) {
+      auto Func = FuncOp::dyn_cast(Op);
+      if (!Func || Func.isDeclaration())
+        return;
+      if (Edges->isCalled(Op) && !Op->hasAttr("sycl.kernel"))
+        return;
+      Block *Entry = Func.getEntryBlock();
+      for (unsigned I = 0, E = Entry->getNumArguments(); I != E; ++I)
+        join(Entry->getArgument(I), getEntryState(Entry->getArgument(I)));
+    });
+    while (!List.empty())
+      visit(List.pop());
+  }
+
+  /// The final state of \p V, or null when no execution reaching \p V was
+  /// discovered (bottom).
+  const LatticeT *lookup(Value V) const {
+    auto It = States.find(V.getImpl());
+    return It == States.end() ? nullptr : &It->second.State;
+  }
+
+protected:
+  /// Transfer function for ordinary operations: read operand states with
+  /// getState and publish result states with join. Unmodeled operations
+  /// must set their results to top (or a sound refinement of it).
+  virtual void visitOperation(Operation *Op) = 0;
+
+  /// State of a function entry argument not refinable through call sites
+  /// (kernels and uncalled functions). Defaults to top.
+  virtual LatticeT getEntryState(Value Arg) {
+    (void)Arg;
+    return LatticeT::top();
+  }
+
+  /// State of a loop induction variable; lattice-specific (derived from
+  /// the loop bounds for ranges). Defaults to top.
+  virtual LatticeT getInductionVarState(LoopLikeOp Loop) {
+    (void)Loop;
+    return LatticeT::top();
+  }
+
+  /// Current state of \p V; bottom when nothing has reached it yet.
+  const LatticeT &getState(Value V) {
+    static const LatticeT Bottom{};
+    auto It = States.find(V.getImpl());
+    return It == States.end() ? Bottom : It->second.State;
+  }
+
+  /// Joins \p New into \p V's state; on change, enqueues every user of
+  /// \p V (and widens to top past kWideningLimit changes). Returns
+  /// whether the state changed.
+  bool join(Value V, const LatticeT &New) {
+    Entry &E = States.try_emplace(V.getImpl()).first->second;
+    if (!E.State.join(New))
+      return false;
+    if (++E.Changes > kWideningLimit)
+      E.State.join(LatticeT::top());
+    for (OpOperand *Use : V.getUses())
+      List.push(Use->getOwner());
+    return true;
+  }
+
+  /// Re-enqueues \p Op for another visit (clients with non-SSA edges —
+  /// e.g. forwarding through memory — use this to wire them up).
+  void enqueue(Operation *Op) { List.push(Op); }
+
+  /// Call edges of the current solve (valid during and after solve()).
+  const CallEdges &getCallEdges() const { return *Edges; }
+
+private:
+  void visit(Operation *Op) {
+    const std::string &Name = Op->getName().getStringRef();
+    if (auto Loop = LoopLikeOp::dyn_cast(Op)) {
+      visitLoop(Loop);
+      return;
+    }
+    if (Name == scf::YieldOp::getOperationName() ||
+        Name == affine::AffineYieldOp::getOperationName()) {
+      visitYield(Op);
+      return;
+    }
+    if (Name == CallOp::getOperationName()) {
+      visitCall(Op);
+      return;
+    }
+    if (Name == ReturnOp::getOperationName()) {
+      visitReturn(Op);
+      return;
+    }
+    if (Name == FuncOp::getOperationName() ||
+        Name == scf::IfOp::getOperationName() ||
+        Name == ModuleOp::getOperationName())
+      return; // Driven by their contents (yields, returns, call sites).
+    visitOperation(Op);
+  }
+
+  void visitLoop(LoopLikeOp Loop) {
+    if (Loop.getBody()->getNumArguments() == 0)
+      return; // Degenerate loop without a materialized body.
+    join(Loop.getInductionVar(), getInductionVarState(Loop));
+    for (unsigned I = 0, E = Loop.getNumIterArgs(); I != E; ++I) {
+      const LatticeT &Init = getState(Loop.getInitArg(I));
+      join(Loop.getRegionIterArg(I), Init);
+      if (I < Loop->getNumResults())
+        join(Loop->getResult(I), Init); // Zero-trip-count result.
+    }
+  }
+
+  void visitYield(Operation *Op) {
+    Operation *Parent = Op->getParentOp();
+    if (!Parent)
+      return;
+    if (auto Loop = LoopLikeOp::dyn_cast(Parent)) {
+      for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I) {
+        const LatticeT &S = getState(Op->getOperand(I));
+        if (I < Loop.getNumIterArgs())
+          join(Loop.getRegionIterArg(I), S); // Loop back-edge.
+        if (I < Parent->getNumResults())
+          join(Parent->getResult(I), S);
+      }
+      return;
+    }
+    if (scf::IfOp::dyn_cast(Parent))
+      for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+        if (I < Parent->getNumResults())
+          join(Parent->getResult(I), getState(Op->getOperand(I)));
+  }
+
+  void visitCall(Operation *Op) {
+    Operation *Callee = Edges->resolveCallee(Op);
+    if (!Callee || FuncOp::cast(Callee).isDeclaration()) {
+      for (Value Result : Op->getResults())
+        join(Result, LatticeT::top());
+      return;
+    }
+    Block *Entry = FuncOp::cast(Callee).getEntryBlock();
+    for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+      if (I < Entry->getNumArguments())
+        join(Entry->getArgument(I), getState(Op->getOperand(I)));
+    // Results flow back through visitReturn when the callee's returns
+    // change; nothing to do here.
+  }
+
+  void visitReturn(Operation *Op) {
+    Operation *Func = Op->getParentOp();
+    while (Func && Func->getName().getStringRef() !=
+                       FuncOp::getOperationName())
+      Func = Func->getParentOp();
+    if (!Func)
+      return;
+    for (Operation *Call : Edges->getCallSites(Func))
+      for (unsigned I = 0, E = Op->getNumOperands(); I != E; ++I)
+        if (I < Call->getNumResults())
+          join(Call->getResult(I), getState(Op->getOperand(I)));
+  }
+
+  struct Entry {
+    LatticeT State{};
+    unsigned Changes = 0;
+  };
+
+  Operation *Root = nullptr;
+  std::map<detail::ValueImpl *, Entry> States;
+  std::unique_ptr<CallEdges> Edges;
+  WorkList List;
+};
+
+} // namespace dataflow
+} // namespace smlir
+
+#endif // SMLIR_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,569 @@
+//===- IntegerRange.cpp - Integer-range dataflow analysis -------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IntegerRange.h"
+
+#include "dialect/Arith.h"
+#include "dialect/MemRef.h"
+#include "dialect/SYCL.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace smlir;
+
+//===----------------------------------------------------------------------===//
+// IntRange lattice
+//===----------------------------------------------------------------------===//
+
+static constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+static constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+
+IntRange IntRange::top() { return range(kMin, kMax); }
+
+IntRange IntRange::range(int64_t Lo, int64_t Hi) {
+  IntRange R;
+  if (Lo > Hi)
+    return R;
+  R.Bottom = false;
+  R.Min = Lo;
+  R.Max = Hi;
+  return R;
+}
+
+bool IntRange::isTop() const { return !Bottom && Min == kMin && Max == kMax; }
+
+bool IntRange::join(const IntRange &Other) {
+  if (Other.Bottom)
+    return false;
+  if (Bottom) {
+    *this = Other;
+    return true;
+  }
+  bool Changed = false;
+  if (Other.Min < Min) {
+    Min = Other.Min;
+    Changed = true;
+  }
+  if (Other.Max > Max) {
+    Max = Other.Max;
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool IntRange::operator==(const IntRange &Other) const {
+  if (Bottom || Other.Bottom)
+    return Bottom == Other.Bottom;
+  return Min == Other.Min && Max == Other.Max;
+}
+
+/// Clamps a 128-bit intermediate into the saturating int64 domain.
+static int64_t saturate(__int128 V) {
+  if (V < static_cast<__int128>(kMin))
+    return kMin;
+  if (V > static_cast<__int128>(kMax))
+    return kMax;
+  return static_cast<int64_t>(V);
+}
+
+namespace smlir {
+
+IntRange addRanges(const IntRange &A, const IntRange &B) {
+  if (A.Bottom || B.Bottom)
+    return IntRange();
+  return IntRange::range(saturate((__int128)A.Min + B.Min),
+                         saturate((__int128)A.Max + B.Max));
+}
+
+IntRange subRanges(const IntRange &A, const IntRange &B) {
+  if (A.Bottom || B.Bottom)
+    return IntRange();
+  return IntRange::range(saturate((__int128)A.Min - B.Max),
+                         saturate((__int128)A.Max - B.Min));
+}
+
+IntRange mulRanges(const IntRange &A, const IntRange &B) {
+  if (A.Bottom || B.Bottom)
+    return IntRange();
+  __int128 Cands[4] = {(__int128)A.Min * B.Min, (__int128)A.Min * B.Max,
+                       (__int128)A.Max * B.Min, (__int128)A.Max * B.Max};
+  __int128 Lo = Cands[0], Hi = Cands[0];
+  for (__int128 C : Cands) {
+    Lo = std::min(Lo, C);
+    Hi = std::max(Hi, C);
+  }
+  return IntRange::range(saturate(Lo), saturate(Hi));
+}
+
+IntRange divRanges(const IntRange &A, const IntRange &B) {
+  if (A.Bottom || B.Bottom)
+    return IntRange();
+  if (B.Min <= 0)
+    return IntRange::top(); // Possible zero/negative divisor.
+  int64_t Cands[4] = {A.Min / B.Min, A.Min / B.Max, A.Max / B.Min,
+                      A.Max / B.Max};
+  return IntRange::range(*std::min_element(Cands, Cands + 4),
+                         *std::max_element(Cands, Cands + 4));
+}
+
+IntRange remRanges(const IntRange &A, const IntRange &B) {
+  if (A.Bottom || B.Bottom)
+    return IntRange();
+  if (B.Min <= 0)
+    return IntRange::top(); // Possible zero/negative divisor.
+  // C-style signed remainder: the result has the dividend's sign and
+  // magnitude below the divisor. The non-negative-dividend case keeps the
+  // result in [0, divisor), which is what makes the fuzzer's
+  // `((x remsi n) addi n) remsi n` wrap-around idiom provably in-bounds.
+  int64_t Bound = B.Max - 1;
+  if (A.Min >= 0)
+    return IntRange::range(0, std::min(A.Max, Bound));
+  return IntRange::range(std::max(A.Min, -Bound), std::min(std::max(A.Max,
+                         (int64_t)0), Bound));
+}
+
+IntRange minRanges(const IntRange &A, const IntRange &B) {
+  if (A.Bottom || B.Bottom)
+    return IntRange();
+  return IntRange::range(std::min(A.Min, B.Min), std::min(A.Max, B.Max));
+}
+
+IntRange maxRanges(const IntRange &A, const IntRange &B) {
+  if (A.Bottom || B.Bottom)
+    return IntRange();
+  return IntRange::range(std::max(A.Min, B.Min), std::max(A.Max, B.Max));
+}
+
+} // namespace smlir
+
+//===----------------------------------------------------------------------===//
+// Spill-cell collection
+//===----------------------------------------------------------------------===//
+
+/// The linearized constant cell index of an access, or nullopt when any
+/// index is non-constant or outside the (static) alloca shape.
+static std::optional<int64_t>
+constantCellIndex(const std::vector<Value> &Indices, MemRefType Ty) {
+  if (Indices.size() != (size_t)Ty.getRank())
+    return std::nullopt;
+  int64_t Linear = 0;
+  for (size_t D = 0; D != Indices.size(); ++D) {
+    std::optional<int64_t> C = getConstantIntValue(Indices[D]);
+    int64_t Extent = Ty.getShape()[D];
+    if (!C || Extent == MemRefType::kDynamic || *C < 0 || *C >= Extent)
+      return std::nullopt;
+    Linear = Linear * Extent + *C;
+  }
+  return Linear;
+}
+
+void IntegerRangeAnalysis::collectSpillCells(Operation *Root) {
+  Root->walk([&](Operation *Op) {
+    auto Alloca = memref::AllocaOp::dyn_cast(Op);
+    if (!Alloca)
+      return;
+    MemRefType Ty = Alloca.getType();
+    if (Ty.getMemorySpace() != MemorySpace::Private &&
+        Ty.getMemorySpace() != MemorySpace::Local)
+      return;
+    Value Mem = Op->getResult(0);
+    std::map<int64_t, Cell> Cells;
+    for (OpOperand *Use : Mem.getUses()) {
+      Operation *User = Use->getOwner();
+      const std::string &Name = User->getName().getStringRef();
+      bool IsLoad = Name == memref::LoadOp::getOperationName() ||
+                    Name == affine::AffineLoadOp::getOperationName();
+      bool IsStore = Name == memref::StoreOp::getOperationName() ||
+                     Name == affine::AffineStoreOp::getOperationName();
+      // Any other use — subview, call, yield, or being the *stored value*
+      // of a store — lets the memory escape: give up on the alloca.
+      if (!IsLoad && !IsStore)
+        return;
+      unsigned MemIdx = IsStore ? 1 : 0;
+      if (Use->getOperandNumber() != MemIdx)
+        return;
+      const std::vector<Value> UserOps = User->getOperands();
+      std::vector<Value> Indices(UserOps.begin() + MemIdx + 1,
+                                 UserOps.end());
+      std::optional<int64_t> Cell = constantCellIndex(Indices, Ty);
+      if (!Cell)
+        return;
+      (IsStore ? Cells[*Cell].Stores : Cells[*Cell].Loads).push_back(User);
+    }
+    Spills[Mem.getImpl()] = std::move(Cells);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// IntegerRangeAnalysis
+//===----------------------------------------------------------------------===//
+
+IntegerRangeAnalysis::IntegerRangeAnalysis(Operation *Root) {
+  collectSpillCells(Root);
+  solve(Root);
+}
+
+void IntegerRangeAnalysis::setResultsToTop(Operation *Op) {
+  for (Value Result : Op->getResults())
+    if (Result.getType().isIntOrIndex())
+      join(Result, IntRange::top());
+}
+
+void IntegerRangeAnalysis::visitBinary(
+    Operation *Op, IntRange (*Fold)(const IntRange &, const IntRange &)) {
+  join(Op->getResult(0),
+       Fold(getState(Op->getOperand(0)), getState(Op->getOperand(1))));
+}
+
+IntRange IntegerRangeAnalysis::getInductionVarState(LoopLikeOp Loop) {
+  const IntRange &LB = getState(Loop.getLowerBound());
+  const IntRange &UB = getState(Loop.getUpperBound());
+  if (LB.Bottom || UB.Bottom)
+    return IntRange();
+  // Both execution tiers reject launches with a non-positive step before
+  // the body runs, so the IV stays in [lb, ub) regardless of step size.
+  return IntRange::range(LB.Min, saturate((__int128)UB.Max - 1));
+}
+
+IntRange
+IntegerRangeAnalysis::identityRecordFieldRange(Operation *Func,
+                                               int64_t FieldIndex) const {
+  int64_t Field = (FieldIndex / 3) * 3;
+  unsigned D = (unsigned)(FieldIndex % 3);
+  auto Dim = [](ArrayAttr Sizes, unsigned D) -> std::optional<int64_t> {
+    if (D < Sizes.size())
+      return Sizes[D].cast<IntegerAttr>().getValue();
+    return std::nullopt; // Beyond the launch rank: id 0, extent 1.
+  };
+  auto GS = Func->getAttrOfType<ArrayAttr>("sycl.global_size");
+  auto WG = Func->getAttrOfType<ArrayAttr>("sycl.wg_size");
+  switch (Field) {
+  case identity::GlobalID:
+    if (!GS)
+      return IntRange::range(0, kMax);
+    if (auto E = Dim(GS, D))
+      return IntRange::range(0, std::max<int64_t>(*E - 1, 0));
+    return IntRange::constant(0);
+  case identity::GlobalRange:
+    if (!GS)
+      return IntRange::range(1, kMax);
+    if (auto E = Dim(GS, D))
+      return IntRange::constant(*E);
+    return IntRange::constant(1);
+  case identity::LocalID:
+    if (!WG)
+      return IntRange::range(0, kMax);
+    if (auto E = Dim(WG, D))
+      return IntRange::range(0, std::max<int64_t>(*E - 1, 0));
+    return IntRange::constant(0);
+  case identity::LocalRange:
+    if (!WG)
+      return IntRange::range(1, kMax);
+    if (auto E = Dim(WG, D))
+      return IntRange::constant(*E);
+    return IntRange::constant(1);
+  case identity::GroupID: {
+    if (!GS || !WG)
+      return IntRange::range(0, kMax);
+    auto G = Dim(GS, D);
+    auto W = Dim(WG, D);
+    if (!G || !W)
+      return IntRange::constant(0);
+    if (*W <= 0)
+      return IntRange::range(0, kMax);
+    return IntRange::range(0, std::max<int64_t>((*G + *W - 1) / *W - 1, 0));
+  }
+  default:
+    return IntRange::top();
+  }
+}
+
+void IntegerRangeAnalysis::visitOperation(Operation *Op) {
+  const std::string &Name = Op->getName().getStringRef();
+
+  if (Name == arith::ConstantOp::getOperationName()) {
+    if (std::optional<int64_t> C = getConstantIntValue(Op->getResult(0)))
+      join(Op->getResult(0), IntRange::constant(*C));
+    return;
+  }
+  if (Name == arith::AddIOp::getOperationName())
+    return visitBinary(Op, addRanges);
+  if (Name == arith::SubIOp::getOperationName())
+    return visitBinary(Op, subRanges);
+  if (Name == arith::MulIOp::getOperationName())
+    return visitBinary(Op, mulRanges);
+  if (Name == arith::DivSIOp::getOperationName())
+    return visitBinary(Op, divRanges);
+  if (Name == arith::RemSIOp::getOperationName())
+    return visitBinary(Op, remRanges);
+  if (Name == arith::MinSIOp::getOperationName())
+    return visitBinary(Op, minRanges);
+  if (Name == arith::MaxSIOp::getOperationName())
+    return visitBinary(Op, maxRanges);
+  if (Name == arith::AndIOp::getOperationName()) {
+    // Bitwise AND of non-negatives never exceeds either operand.
+    const IntRange &A = getState(Op->getOperand(0));
+    const IntRange &B = getState(Op->getOperand(1));
+    if (A.Bottom || B.Bottom)
+      return;
+    join(Op->getResult(0), A.Min >= 0 && B.Min >= 0
+                               ? IntRange::range(0, std::min(A.Max, B.Max))
+                               : IntRange::top());
+    return;
+  }
+  if (Name == arith::SelectOp::getOperationName()) {
+    if (!Op->getResult(0).getType().isIntOrIndex())
+      return;
+    IntRange R = getState(Op->getOperand(1));
+    R.join(getState(Op->getOperand(2)));
+    join(Op->getResult(0), R);
+    return;
+  }
+  if (Name == arith::CmpIOp::getOperationName() ||
+      Name == arith::CmpFOp::getOperationName()) {
+    join(Op->getResult(0), IntRange::range(0, 1));
+    return;
+  }
+  if (Name == arith::IndexCastOp::getOperationName() ||
+      Name == arith::ExtSIOp::getOperationName()) {
+    join(Op->getResult(0), getState(Op->getOperand(0)));
+    return;
+  }
+  if (Name == arith::TruncIOp::getOperationName()) {
+    const IntRange &A = getState(Op->getOperand(0));
+    if (A.Bottom)
+      return;
+    auto Ty = Op->getResult(0).getType().dyn_cast<IntegerType>();
+    if (Ty && Ty.getWidth() < 64) {
+      int64_t Lo = -(int64_t(1) << (Ty.getWidth() - 1));
+      int64_t Hi = (int64_t(1) << (Ty.getWidth() - 1)) - 1;
+      join(Op->getResult(0), A.Min >= Lo && A.Max <= Hi
+                                 ? A
+                                 : IntRange::range(Lo, Hi));
+    } else {
+      join(Op->getResult(0), A);
+    }
+    return;
+  }
+  if (Name == memref::DimOp::getOperationName()) {
+    auto Extents = getKnownExtents(memref::DimOp::cast(Op).getMemRef());
+    std::optional<int64_t> D =
+        getConstantIntValue(memref::DimOp::cast(Op).getDim());
+    if (Extents && D && *D >= 0 && (size_t)*D < Extents->size())
+      join(Op->getResult(0), IntRange::constant((*Extents)[*D]));
+    else
+      join(Op->getResult(0), IntRange::range(0, kMax));
+    return;
+  }
+  if (Name == memref::LoadOp::getOperationName() ||
+      Name == affine::AffineLoadOp::getOperationName()) {
+    Value Result = Op->getResult(0);
+    if (!Result.getType().isIntOrIndex())
+      return;
+    Value Mem = Op->getOperand(0);
+    const std::vector<Value> Ops = Op->getOperands();
+    std::vector<Value> Indices(Ops.begin() + 1, Ops.end());
+    // Lowered-kernel identity record: argument 0 of a `sycl.lowered`
+    // kernel, bounded by the host-propagated launch configuration.
+    if (Mem.isBlockArgument() && Mem.getIndex() == 0) {
+      Operation *Parent = Mem.getOwnerBlock()->getParentOp();
+      if (Parent && Parent->hasAttr(sycl::kLoweredKernelAttrName)) {
+        std::optional<int64_t> C =
+            Indices.size() == 1 ? getConstantIntValue(Indices[0])
+                                : std::nullopt;
+        if (C && *C >= 0 && *C < identity::Words) {
+          join(Result, identityRecordFieldRange(Parent, *C));
+          return;
+        }
+      }
+    }
+    // Tracked spill cell: the join of the zero the arena starts with and
+    // every value ever stored to the cell.
+    auto SpillIt = Spills.find(Mem.getImpl());
+    if (SpillIt != Spills.end()) {
+      auto Ty = Mem.getType().cast<MemRefType>();
+      if (std::optional<int64_t> Cell = constantCellIndex(Indices, Ty)) {
+        IntRange R = IntRange::constant(0); // Arenas are zero-initialized.
+        for (Operation *Store : SpillIt->second[*Cell].Stores)
+          R.join(getState(Store->getOperand(0)));
+        join(Result, R);
+        return;
+      }
+    }
+    join(Result, IntRange::top());
+    return;
+  }
+  if (Name == memref::StoreOp::getOperationName() ||
+      Name == affine::AffineStoreOp::getOperationName()) {
+    // Forward through tracked spill cells: when the stored value's state
+    // changes, the loads of the same cell must be recomputed.
+    auto SpillIt = Spills.find(Op->getOperand(1).getImpl());
+    if (SpillIt == Spills.end())
+      return;
+    auto Ty = Op->getOperand(1).getType().cast<MemRefType>();
+    const std::vector<Value> Ops = Op->getOperands();
+    std::vector<Value> Indices(Ops.begin() + 2, Ops.end());
+    if (std::optional<int64_t> Cell = constantCellIndex(Indices, Ty))
+      for (Operation *Load : SpillIt->second[*Cell].Loads)
+        enqueue(Load);
+    return;
+  }
+  // SYCL identity/range getters all produce a single non-negative index.
+  if (Name.rfind("sycl.", 0) == 0 && Op->getNumResults() == 1 &&
+      Op->getResult(0).getType().isIndex()) {
+    join(Op->getResult(0), IntRange::range(0, kMax));
+    return;
+  }
+  setResultsToTop(Op);
+}
+
+//===----------------------------------------------------------------------===//
+// Access-proof helpers
+//===----------------------------------------------------------------------===//
+
+std::optional<std::vector<int64_t>> smlir::getKnownExtents(Value MemRef) {
+  auto Ty = MemRef.getType().dyn_cast<MemRefType>();
+  if (!Ty)
+    return std::nullopt;
+  const std::vector<int64_t> &Shape = Ty.getShape();
+  if (std::none_of(Shape.begin(), Shape.end(), [](int64_t E) {
+        return E == MemRefType::kDynamic;
+      }))
+    return Shape;
+  // Dynamic shape: kernel arguments carry host-propagated accessor ranges
+  // in `sycl.arg_ranges` ([[argIndex, e0, e1, ...], ...]).
+  if (!MemRef.isBlockArgument())
+    return std::nullopt;
+  Operation *Parent = MemRef.getOwnerBlock()->getParentOp();
+  if (!Parent ||
+      Parent->getName().getStringRef() != FuncOp::getOperationName() ||
+      FuncOp::cast(Parent).getEntryBlock() != MemRef.getOwnerBlock())
+    return std::nullopt;
+  auto Ranges = Parent->getAttrOfType<ArrayAttr>("sycl.arg_ranges");
+  if (!Ranges)
+    return std::nullopt;
+  for (unsigned I = 0; I != Ranges.size(); ++I) {
+    auto Entry = Ranges[I].dyn_cast<ArrayAttr>();
+    if (!Entry || Entry.size() < 1)
+      continue;
+    if (Entry[0].cast<IntegerAttr>().getValue() != MemRef.getIndex())
+      continue;
+    if (Entry.size() - 1 != (unsigned)Ty.getRank())
+      return std::nullopt; // Rank mismatch: refuse to guess.
+    std::vector<int64_t> Extents;
+    for (unsigned J = 1; J != Entry.size(); ++J)
+      Extents.push_back(Entry[J].cast<IntegerAttr>().getValue());
+    return Extents;
+  }
+  return std::nullopt;
+}
+
+/// Mirrors the bytecode VM's prefix row-major fold:
+///   Linear = ((i0 * E1 + i1) * E2 + i2) ...
+/// (the extent of dimension 0 never participates).
+static IntRange linearIndexRange(const IntegerRangeAnalysis &RA,
+                                 const std::vector<Value> &Indices,
+                                 const std::vector<int64_t> &Extents) {
+  IntRange Linear = IntRange::constant(0);
+  for (size_t D = 0; D != Indices.size(); ++D) {
+    if (D != 0)
+      Linear = mulRanges(Linear, IntRange::constant(Extents[D]));
+    Linear = addRanges(Linear, RA.getRange(Indices[D]));
+  }
+  return Linear;
+}
+
+static std::optional<int64_t> totalLen(const std::vector<int64_t> &Extents) {
+  __int128 Total = 1;
+  for (int64_t E : Extents) {
+    if (E < 0)
+      return std::nullopt;
+    Total *= E;
+    if (Total > kMax)
+      return std::nullopt;
+  }
+  return (int64_t)Total;
+}
+
+/// Whether the runtime buffer behind \p Mem is guaranteed to be at least
+/// as long as the product of getKnownExtents. True for alloca results
+/// (the execution tiers size the slot from the same static shape) and
+/// for entry arguments of `sycl.kernel` functions (the bytecode tier
+/// re-verifies the bound accessor against the recorded extents at every
+/// launch and falls back to checked execution on mismatch). Helper
+/// functions carry no such guarantee for their arguments — callers may
+/// pass views narrower than the declared static type — so footprints
+/// through them stay unknown.
+static bool extentsRuntimeGuaranteed(Value Mem) {
+  if (Mem.isBlockArgument()) {
+    Operation *Parent = Mem.getOwnerBlock()->getParentOp();
+    return Parent &&
+           Parent->getName().getStringRef() == FuncOp::getOperationName() &&
+           FuncOp::cast(Parent).getEntryBlock() == Mem.getOwnerBlock() &&
+           Parent->hasAttr("sycl.kernel");
+  }
+  Operation *Def = Mem.getDefiningOp();
+  return Def && Def->getName().getStringRef() ==
+                    memref::AllocaOp::getOperationName();
+}
+
+AccessFootprint smlir::computeAccessFootprint(const IntegerRangeAnalysis &RA,
+                                              Operation *Op) {
+  AccessFootprint FP;
+  const std::string &Name = Op->getName().getStringRef();
+  bool IsLoad = Name == memref::LoadOp::getOperationName() ||
+                Name == affine::AffineLoadOp::getOperationName();
+  bool IsStore = Name == memref::StoreOp::getOperationName() ||
+                 Name == affine::AffineStoreOp::getOperationName();
+  bool IsSubView = Name == memref::SubViewOp::getOperationName();
+  if (!IsLoad && !IsStore && !IsSubView)
+    return FP;
+  unsigned MemIdx = IsStore ? 1 : 0;
+  Value Mem = Op->getOperand(MemIdx);
+  const std::vector<Value> Ops = Op->getOperands();
+  std::vector<Value> Indices(Ops.begin() + MemIdx + 1, Ops.end());
+
+  // Access through one level of `memref.subview`: the execution tiers
+  // flatten the view to rank 1 at the subview's row-major origin, so the
+  // effective linear index is origin + tail. Chained subviews are rare
+  // and not worth modeling.
+  Operation *Def = Mem.getDefiningOp();
+  if (!IsSubView && Def &&
+      Def->getName().getStringRef() ==
+          memref::SubViewOp::getOperationName()) {
+    auto View = memref::SubViewOp::cast(Def);
+    if (!extentsRuntimeGuaranteed(View.getMemRef()))
+      return FP;
+    auto Extents = getKnownExtents(View.getMemRef());
+    if (!Extents || Indices.size() != 1)
+      return FP;
+    std::vector<Value> ViewIndices = View.getIndices();
+    if (ViewIndices.size() > Extents->size())
+      return FP;
+    std::optional<int64_t> Total = totalLen(*Extents);
+    if (!Total)
+      return FP;
+    FP.ExtentsKnown = true;
+    FP.TotalLen = *Total;
+    FP.Index = addRanges(linearIndexRange(RA, ViewIndices, *Extents),
+                         RA.getRange(Indices[0]));
+    return FP;
+  }
+  if (!extentsRuntimeGuaranteed(Mem))
+    return FP; // Views from unmodeled or runtime-unchecked producers.
+
+  auto Extents = getKnownExtents(Mem);
+  if (!Extents || Indices.size() > Extents->size())
+    return FP;
+  std::optional<int64_t> Total = totalLen(*Extents);
+  if (!Total)
+    return FP;
+  FP.ExtentsKnown = true;
+  FP.TotalLen = *Total;
+  FP.Index = linearIndexRange(RA, Indices, *Extents);
+  return FP;
+}

@@ -1,0 +1,175 @@
+//===- IntegerRange.h - Integer-range dataflow analysis ---------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer-range analysis: the first client of the sparse forward dataflow
+/// framework (DataFlow.h). Each integer/index SSA value gets a saturating
+/// interval [Min, Max] derived from constants, index arithmetic, loop
+/// induction variables (bounded by the loop bounds), `memref.dim`, and the
+/// lowered-kernel identity record whose fields are bounded by the
+/// `sycl.global_size`/`sycl.wg_size` attributes host-device constant
+/// propagation recorded. The lowered spill idiom (rank-1 private alloca,
+/// constant-index stores/loads) is forwarded flow-insensitively: a load
+/// from a tracked cell sees the join of everything ever stored to it (plus
+/// the zero the arena is initialized with), which is what makes real
+/// lowered kernels — where every live value round-trips through a spill —
+/// analyzable at all.
+///
+/// Consumers: the `annotate-inbounds` pass proves bytecode bounds checks
+/// redundant, and the `lint-kernels` pass proves accesses always faulting.
+/// Both share the access-proof helpers below, which mirror the bytecode
+/// VM's linearization exactly (prefix row-major fold, checked against the
+/// total storage length).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_ANALYSIS_INTEGERRANGE_H
+#define SMLIR_ANALYSIS_INTEGERRANGE_H
+
+#include "analysis/DataFlow.h"
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace smlir {
+
+//===----------------------------------------------------------------------===//
+// IntRange lattice
+//===----------------------------------------------------------------------===//
+
+/// A saturating signed-64 interval. Default-constructed = bottom (no
+/// executions reach the value); [INT64_MIN, INT64_MAX] = top.
+struct IntRange {
+  bool Bottom = true;
+  int64_t Min = 0;
+  int64_t Max = 0;
+
+  static IntRange top();
+  static IntRange constant(int64_t C) { return range(C, C); }
+  /// Bottom when \p Lo > \p Hi (empty interval).
+  static IntRange range(int64_t Lo, int64_t Hi);
+
+  bool isBottom() const { return Bottom; }
+  bool isTop() const;
+  bool isConstant() const { return !Bottom && Min == Max; }
+  /// True when every value of this range lies in [Lo, Hi]. Bottom ranges
+  /// are vacuously contained but callers proving facts about executions
+  /// should treat bottom as "unknown" (unreachable code), not as proof.
+  bool containedIn(int64_t Lo, int64_t Hi) const {
+    return !Bottom && Min >= Lo && Max <= Hi;
+  }
+
+  bool join(const IntRange &Other);
+  bool operator==(const IntRange &Other) const;
+};
+
+/// Saturating interval arithmetic (operands may be bottom: the result is
+/// then bottom).
+IntRange addRanges(const IntRange &A, const IntRange &B);
+IntRange subRanges(const IntRange &A, const IntRange &B);
+IntRange mulRanges(const IntRange &A, const IntRange &B);
+/// Signed division; precise only when the divisor is entirely positive,
+/// otherwise top.
+IntRange divRanges(const IntRange &A, const IntRange &B);
+/// Signed remainder; bounded only when the divisor is entirely positive
+/// (|a rem b| < b and |a rem b| <= |a|), otherwise top.
+IntRange remRanges(const IntRange &A, const IntRange &B);
+IntRange minRanges(const IntRange &A, const IntRange &B);
+IntRange maxRanges(const IntRange &A, const IntRange &B);
+
+//===----------------------------------------------------------------------===//
+// IntegerRangeAnalysis
+//===----------------------------------------------------------------------===//
+
+class IntegerRangeAnalysis
+    : public dataflow::SparseForwardDataFlowAnalysis<IntRange> {
+public:
+  static constexpr std::string_view AnalysisName = "integer-range";
+
+  /// Solves to a fixpoint over \p Root (a function or a whole module).
+  explicit IntegerRangeAnalysis(Operation *Root);
+
+  /// The computed range of \p Val; bottom when unreachable or untracked.
+  IntRange getRange(Value Val) const {
+    const IntRange *State = lookup(Val);
+    return State ? *State : IntRange();
+  }
+
+protected:
+  void visitOperation(Operation *Op) override;
+  IntRange getInductionVarState(LoopLikeOp Loop) override;
+
+private:
+  void collectSpillCells(Operation *Root);
+  void visitBinary(Operation *Op,
+                   IntRange (*Fold)(const IntRange &, const IntRange &));
+  IntRange identityRecordFieldRange(Operation *Func, int64_t Field) const;
+  void setResultsToTop(Operation *Op);
+
+  /// Tracked spill cells: alloca result -> linear constant cell index ->
+  /// the stores and loads touching that cell. Only allocas whose every
+  /// use is a constant-index load/store (no escapes) are tracked.
+  struct Cell {
+    std::vector<Operation *> Stores;
+    std::vector<Operation *> Loads;
+  };
+  std::map<detail::ValueImpl *, std::map<int64_t, Cell>> Spills;
+};
+
+//===----------------------------------------------------------------------===//
+// Access-proof helpers (shared by annotate-inbounds and lint-kernels)
+//===----------------------------------------------------------------------===//
+
+/// Statically-known extents of \p MemRef: an all-static memref shape, or
+/// the `sycl.arg_ranges` entry host-device constant propagation recorded
+/// for a kernel block argument. Empty when unknown.
+std::optional<std::vector<int64_t>> getKnownExtents(Value MemRef);
+
+/// The linear-index footprint of one access site, mirroring what the
+/// execution tiers actually check: the prefix row-major fold of the index
+/// ranges against the total storage length.
+struct AccessFootprint {
+  /// False when the base extents (and thus TotalLen/Index) are unknown.
+  bool ExtentsKnown = false;
+  /// Range of the linear index, as the VM computes it (for accesses
+  /// through a `memref.subview`, this includes the subview offset).
+  IntRange Index;
+  /// Product of the base memory's extents (the VM's bounds-check limit).
+  int64_t TotalLen = 0;
+
+  /// Every execution stays within the storage.
+  bool provablyInBounds() const {
+    return ExtentsKnown && Index.containedIn(0, TotalLen - 1);
+  }
+  /// Every execution faults (the range misses the storage entirely).
+  bool provablyOutOfBounds() const {
+    return ExtentsKnown && !Index.isBottom() &&
+           (Index.Min >= TotalLen || Index.Max < 0);
+  }
+};
+
+/// Computes the footprint of \p Op: a `memref.load`/`memref.store`/
+/// `affine.load`/`affine.store` (directly on a base memref or through one
+/// level of `memref.subview`), or a `memref.subview` itself (the range of
+/// the view's linear offset). ExtentsKnown is false for anything else.
+AccessFootprint computeAccessFootprint(const IntegerRangeAnalysis &RA,
+                                       Operation *Op);
+
+/// Lowered-kernel identity-record field layout (mirrors the interpreter's
+/// ItemState binding: three index words per field group).
+namespace identity {
+inline constexpr int64_t GlobalID = 0;
+inline constexpr int64_t GlobalRange = 3;
+inline constexpr int64_t LocalID = 6;
+inline constexpr int64_t LocalRange = 9;
+inline constexpr int64_t GroupID = 12;
+inline constexpr int64_t Words = 15;
+} // namespace identity
+
+} // namespace smlir
+
+#endif // SMLIR_ANALYSIS_INTEGERRANGE_H

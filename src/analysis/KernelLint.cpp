@@ -1,0 +1,197 @@
+//===- KernelLint.cpp - Static kernel safety linter -------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelLint.h"
+
+#include "analysis/IntegerRange.h"
+#include "analysis/MemoryAccess.h"
+#include "analysis/Uniformity.h"
+#include "dialect/GPU.h"
+#include "dialect/MemRef.h"
+#include "dialect/SYCL.h"
+
+#include <sstream>
+
+using namespace smlir;
+
+namespace {
+
+/// The function (by name) enclosing \p Op, for diagnostic context.
+std::string enclosingFunctionName(Operation *Op) {
+  for (Operation *P = Op->getParentOp(); P; P = P->getParentOp())
+    if (P->getName().getStringRef() == FuncOp::getOperationName())
+      return FuncOp::cast(P).getName();
+  return "";
+}
+
+void report(std::vector<LintDiagnostic> &Diags, std::string RuleId,
+            std::string Message, Operation *Op) {
+  Diags.push_back({std::move(RuleId), std::move(Message), Op->getLoc(),
+                   enclosingFunctionName(Op)});
+}
+
+/// Rule `oob-access`: the access's linear index range provably misses the
+/// accessed storage entirely — every execution of the operation faults.
+void checkOutOfBounds(FuncOp Func, AnalysisManager &AM,
+                      std::vector<LintDiagnostic> &Diags) {
+  IntegerRangeAnalysis &RA =
+      AM.get<IntegerRangeAnalysis>(Func.getOperation());
+  Func.getOperation()->walk([&](Operation *Op) {
+    AccessFootprint FP = computeAccessFootprint(RA, Op);
+    if (!FP.provablyOutOfBounds())
+      return;
+    std::ostringstream OS;
+    OS << "access index range [" << FP.Index.Min << ", " << FP.Index.Max
+       << "] never intersects the accessed memory (size " << FP.TotalLen
+       << ")";
+    report(Diags, "oob-access", OS.str(), Op);
+  });
+}
+
+/// Rule `divergent-barrier`: a work-group barrier under control flow that
+/// is not provably uniform deadlocks work-items that never reach it.
+void checkDivergentBarriers(Operation *Root, AnalysisManager &AM,
+                            std::vector<LintDiagnostic> &Diags) {
+  UniformityAnalysis &UA = AM.get<UniformityAnalysis>(Root);
+  Root->walk([&](Operation *Op) {
+    const std::string &Name = Op->getName().getStringRef();
+    if (Name != gpu::BarrierOp::getOperationName() &&
+        Name != sycl::GroupBarrierOp::getOperationName())
+      return;
+    if (UA.isInDivergentRegion(Op))
+      report(Diags, "divergent-barrier",
+             "work-group barrier under non-uniform control flow; "
+             "work-items that skip it deadlock the group",
+             Op);
+  });
+}
+
+/// Rule `racy-write`: a store whose address is the same for every
+/// work-item (Broadcast inter-work-item pattern) but whose stored value is
+/// work-item dependent — concurrent conflicting writes to one cell.
+void checkRacyWrites(FuncOp Kernel, AnalysisManager &AM, Operation *Root,
+                     std::vector<LintDiagnostic> &Diags) {
+  MemoryAccessAnalysis &MAA =
+      AM.get<MemoryAccessAnalysis>(Kernel.getOperation());
+  UniformityAnalysis &UA = AM.get<UniformityAnalysis>(Root);
+  Kernel.getOperation()->walk([&](Operation *Op) {
+    const std::string &Name = Op->getName().getStringRef();
+    if (Name != memref::StoreOp::getOperationName() &&
+        Name != affine::AffineStoreOp::getOperationName())
+      return;
+    MemoryAccess MA = MAA.analyze(Op);
+    if (!MA.Valid || MA.classifyInterWorkItem() != AccessPattern::Broadcast)
+      return;
+    // Private/local memory is per-work-item or synchronized separately.
+    if (auto MemTy = MA.BaseMemory.getType().dyn_cast<MemRefType>())
+      if (MemTy.getMemorySpace() == MemorySpace::Private ||
+          MemTy.getMemorySpace() == MemorySpace::Local)
+        return;
+    // The lowered accessor ABI addresses through subviews whose offsets
+    // carry the work-item id: a uniform store index through such a view
+    // still writes a distinct cell per work-item. Only report when the
+    // whole subview chain's offsets are provably uniform too.
+    for (Value Mem = Op->getOperand(1);;) {
+      Operation *Def = Mem.getDefiningOp();
+      if (!Def || Def->getName().getStringRef() !=
+                      memref::SubViewOp::getOperationName())
+        break;
+      const std::vector<Value> DefOps = Def->getOperands();
+      for (size_t I = 1; I < DefOps.size(); ++I)
+        if (UA.getUniformity(DefOps[I]) != Uniformity::Uniform)
+          return;
+      Mem = DefOps[0];
+    }
+    // All work-items write the same cell; that is only a data race when
+    // they write different values.
+    if (UA.getUniformity(Op->getOperand(0)) != Uniformity::NonUniform)
+      return;
+    report(Diags, "racy-write",
+           "all work-items store work-item-dependent values to the same "
+           "address",
+           Op);
+  });
+}
+
+/// Rule `uninit-read`: a private/local alloca with at least one read and
+/// no operation that could ever write it.
+void checkUninitReads(FuncOp Func, std::vector<LintDiagnostic> &Diags) {
+  Func.getOperation()->walk([&](Operation *Op) {
+    auto Alloca = memref::AllocaOp::dyn_cast(Op);
+    if (!Alloca)
+      return;
+    Value Mem = Op->getResult(0);
+    bool Read = false, Written = false, Escapes = false;
+    for (OpOperand *Use : Mem.getUses()) {
+      Operation *User = Use->getOwner();
+      const std::string &Name = User->getName().getStringRef();
+      unsigned OperandNo = Use->getOperandNumber();
+      if ((Name == memref::LoadOp::getOperationName() ||
+           Name == affine::AffineLoadOp::getOperationName()) &&
+          OperandNo == 0) {
+        Read = true;
+        continue;
+      }
+      if ((Name == memref::StoreOp::getOperationName() ||
+           Name == affine::AffineStoreOp::getOperationName())) {
+        if (OperandNo == 1)
+          Written = true;
+        else
+          Escapes = true; // The alloca itself stored as a value.
+        continue;
+      }
+      if (Name == sycl::ConstructorOp::getOperationName()) {
+        if (OperandNo == 0)
+          Written = true; // Constructed in place.
+        else
+          Escapes = true;
+        continue;
+      }
+      if (Name == memref::DimOp::getOperationName() ||
+          Name == memref::OffsetOp::getOperationName())
+        continue; // Metadata-only.
+      // SYCL getters read the object they are applied to.
+      if (Name.rfind("sycl.", 0) == 0 && OperandNo == 0) {
+        Read = true;
+        continue;
+      }
+      // Subviews, calls, yields: the memory escapes this rule's model.
+      Escapes = true;
+    }
+    if (Read && !Written && !Escapes)
+      report(Diags, "uninit-read",
+             "allocation is read but never written through any use", Op);
+  });
+}
+
+} // namespace
+
+std::vector<LintDiagnostic> smlir::lintKernels(Operation *Root,
+                                               AnalysisManager &AM) {
+  std::vector<LintDiagnostic> Diags;
+  std::vector<FuncOp> Funcs;
+  Root->walk([&](Operation *Op) {
+    if (auto Func = FuncOp::dyn_cast(Op))
+      if (!Func.isDeclaration())
+        Funcs.push_back(Func);
+  });
+  checkDivergentBarriers(Root, AM, Diags);
+  for (FuncOp Func : Funcs) {
+    checkOutOfBounds(Func, AM, Diags);
+    checkUninitReads(Func, Diags);
+    if (Func.getOperation()->hasAttr("sycl.kernel"))
+      checkRacyWrites(Func, AM, Root, Diags);
+  }
+  return Diags;
+}
+
+std::string smlir::formatLintDiagnostic(const LintDiagnostic &Diag) {
+  std::string Result = Diag.Loc.isUnknown() ? "?" : Diag.Loc.str();
+  Result += ": error: [" + Diag.RuleId + "] " + Diag.Message;
+  if (!Diag.Kernel.empty())
+    Result += " (in @" + Diag.Kernel + ")";
+  return Result;
+}

@@ -1,0 +1,61 @@
+//===- KernelLint.h - Static kernel safety linter ---------------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static detection of kernel bugs the analyses can prove, reported as
+/// structured, location-carrying diagnostics. Rules (stable IDs):
+///
+///   - `oob-access`: a load/store/subview whose index range provably
+///     misses the accessed memory entirely (integer-range analysis).
+///   - `divergent-barrier`: a `gpu.barrier`/`sycl.group_barrier` under
+///     control flow that is not provably uniform — some work-items reach
+///     the barrier while others never do (uniformity analysis).
+///   - `racy-write`: a global/accessor store whose address is identical
+///     across work-items (a Broadcast access) while the stored value is
+///     work-item dependent — concurrent conflicting writes to one cell
+///     (memory-access + uniformity analyses).
+///   - `uninit-read`: a private/local alloca that is read but never
+///     written through any of its uses.
+///
+/// The `lint-kernels` pass and `smlir-opt --lint` both drive this core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_ANALYSIS_KERNELLINT_H
+#define SMLIR_ANALYSIS_KERNELLINT_H
+
+#include "ir/Operation.h"
+#include "ir/Pass.h"
+
+#include <string>
+#include <vector>
+
+namespace smlir {
+
+/// One lint finding, tied to a rule and a source location.
+struct LintDiagnostic {
+  /// Stable rule identifier (`oob-access`, `divergent-barrier`,
+  /// `racy-write`, `uninit-read`).
+  std::string RuleId;
+  /// Human-readable description of the specific finding.
+  std::string Message;
+  /// Location of the offending operation.
+  Location Loc;
+  /// Name of the kernel (or function) containing the finding.
+  std::string Kernel;
+};
+
+/// Runs every lint rule over all functions under \p Root, using \p AM for
+/// the underlying analyses (uniformity, memory-access, integer-range).
+/// Diagnostics are ordered by discovery (walk order).
+std::vector<LintDiagnostic> lintKernels(Operation *Root, AnalysisManager &AM);
+
+/// Formats one diagnostic as `<loc>: error: [<rule>] <message> [in @<fn>]`.
+std::string formatLintDiagnostic(const LintDiagnostic &Diag);
+
+} // namespace smlir
+
+#endif // SMLIR_ANALYSIS_KERNELLINT_H

@@ -6,11 +6,47 @@
 
 #include "analysis/Uniformity.h"
 
+#include "analysis/IntegerRange.h"
+#include "dialect/Arith.h"
 #include "dialect/Builtin.h"
+#include "dialect/MemRef.h"
 #include "dialect/SCF.h"
+#include "dialect/SYCL.h"
 #include "ir/Block.h"
 
 using namespace smlir;
+
+namespace {
+
+/// Lowered-ABI uniformity of \p Op if it is a load from a lowered kernel's
+/// identity record (block argument 0): the global/local id fields are
+/// work-item dependent, the range and group-id fields are uniform within a
+/// work-group. Nullopt when \p Op is not such a load.
+std::optional<Uniformity> identityRecordLoadUniformity(Operation *Op) {
+  const std::string &Name = Op->getName().getStringRef();
+  if (Name != memref::LoadOp::getOperationName() &&
+      Name != affine::AffineLoadOp::getOperationName())
+    return std::nullopt;
+  Value Mem = Op->getOperand(0);
+  if (!Mem.isBlockArgument() || Mem.getIndex() != 0)
+    return std::nullopt;
+  Operation *Parent = Mem.getOwnerBlock()->getParentOp();
+  if (!Parent || !Parent->hasAttr(sycl::kLoweredKernelAttrName))
+    return std::nullopt;
+  std::optional<int64_t> C = Op->getNumOperands() == 2
+                                 ? getConstantIntValue(Op->getOperand(1))
+                                 : std::nullopt;
+  if (!C)
+    return Uniformity::NonUniform; // Could be reading an id field.
+  int64_t Field = (*C / 3) * 3;
+  if (Field == identity::GlobalID || Field == identity::LocalID)
+    return Uniformity::NonUniform;
+  // Ranges and the group id are identical across the work-group, which is
+  // the scope barrier-divergence cares about.
+  return Uniformity::Uniform;
+}
+
+} // namespace
 
 std::string_view smlir::stringifyUniformity(Uniformity U) {
   switch (U) {
@@ -169,6 +205,13 @@ void UniformityAnalysis::visitOp(Operation *Op, Operation *Func) {
     return;
   }
 
+  // Lowered device ABI: reads of the per-work-item identity record are the
+  // lowered form of the id queries above.
+  if (std::optional<Uniformity> U = identityRecordLoadUniformity(Op)) {
+    update(Op->getResult(0), *U);
+    return;
+  }
+
   // Calls: results take the callee's return summary.
   if (auto Call = CallOp::dyn_cast(Op)) {
     auto Scope = ModuleOp::dyn_cast(Root);
@@ -258,7 +301,9 @@ void UniformityAnalysis::visitOp(Operation *Op, Operation *Func) {
       for (const MemoryEffect &Effect : Effects) {
         if (Effect.Kind != EffectKind::Read)
           continue;
-        if (RDIt == ReachingDefs.end()) {
+        // A null effect value reads an unspecified resource (barriers,
+        // fences): nothing to refine through reaching definitions.
+        if (!Effect.Val || RDIt == ReachingDefs.end()) {
           U = meet(U, Uniformity::Unknown);
           continue;
         }

@@ -19,6 +19,7 @@
 
 #include "exec/Bytecode.h"
 
+#include "analysis/IntegerRange.h"
 #include "analysis/MemoryAccess.h"
 #include "dialect/Arith.h"
 #include "dialect/MemRef.h"
@@ -91,6 +92,48 @@ void bc::setDefaultFusionEnabled(bool Enabled) {
   CurrentFusionEnabled.store(Enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
+namespace {
+/// Same -1/0/1 protocol as CurrentFusionEnabled.
+std::atomic<int> CurrentInboundsEnabled{-1};
+std::atomic<int> CurrentValidateEnabled{-1};
+
+int resolveBoolEnv(std::atomic<int> &Slot, const char *Name, int Default) {
+  int Enabled = Slot.load(std::memory_order_relaxed);
+  if (Enabled < 0) {
+    Enabled = [&] {
+      const char *Env = std::getenv(Name);
+      if (!Env || !*Env)
+        return Default;
+      std::string_view Value(Env);
+      if (Value == "0")
+        return 0;
+      if (Value == "1")
+        return 1;
+      reportFatalError(std::string(Name) + ": unknown value '" +
+                       std::string(Value) + "' (expected '0' or '1')");
+    }();
+    Slot.store(Enabled, std::memory_order_relaxed);
+  }
+  return Enabled;
+}
+} // namespace
+
+bool bc::getDefaultInboundsEnabled() {
+  return resolveBoolEnv(CurrentInboundsEnabled, "SMLIR_BC_INBOUNDS", 1) != 0;
+}
+
+void bc::setDefaultInboundsEnabled(bool Enabled) {
+  CurrentInboundsEnabled.store(Enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool bc::validationEnabled() {
+  return resolveBoolEnv(CurrentValidateEnabled, "SMLIR_BC_VALIDATE", 0) != 0;
+}
+
+void bc::setValidationEnabled(bool Enabled) {
+  CurrentValidateEnabled.store(Enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
 //===----------------------------------------------------------------------===//
 // Superinstruction fusion
 //===----------------------------------------------------------------------===//
@@ -99,6 +142,10 @@ namespace {
 
 bool isIntBinop(Opc Op) { return Op >= Opc::AddI && Op <= Opc::MaxSI; }
 bool isFloatBinop(Opc Op) { return Op >= Opc::AddF && Op <= Opc::MaxF; }
+// Checked or proven-in-bounds variant: either works as a fused tail (the
+// tail dispatch re-selects the right standalone body).
+bool isLoadOpc(Opc Op) { return Op == Opc::Load || Op == Opc::LoadU; }
+bool isStoreOpc(Opc Op) { return Op == Opc::Store || Op == Opc::StoreU; }
 
 } // namespace
 
@@ -129,7 +176,7 @@ size_t bc::fuseSuperinstructions(Function &Fn) {
     } else if (Head.Op == Opc::Load && HeadPriv && (Head.U8 & 1) &&
                isFloatBinop(Tail.Op)) {
       Fused = Opc::FusedLoadFArith;
-    } else if (isIntBinop(Head.Op) && Tail.Op == Opc::Load) {
+    } else if (isIntBinop(Head.Op) && isLoadOpc(Tail.Op)) {
       Head.U16 = static_cast<uint16_t>(Head.Op);
       Fused = Opc::FusedArithILoad;
     } else if (isIntBinop(Head.Op) && Tail.Op == Opc::CmpI) {
@@ -137,7 +184,7 @@ size_t bc::fuseSuperinstructions(Function &Fn) {
       Fused = Opc::FusedArithICmp;
     } else if (Head.Op == Opc::SelI && isIntBinop(Tail.Op)) {
       Fused = Opc::FusedSelIArith;
-    } else if (isFloatBinop(Head.Op) && Tail.Op == Opc::Store) {
+    } else if (isFloatBinop(Head.Op) && isStoreOpc(Tail.Op)) {
       Head.U16 = static_cast<uint16_t>(Head.Op);
       Fused = Opc::FusedArithFStore;
     } else if (isFloatBinop(Head.Op) && isFloatBinop(Tail.Op)) {
@@ -145,17 +192,17 @@ size_t bc::fuseSuperinstructions(Function &Fn) {
       Fused = Opc::FusedArithFArith;
     } else if (Head.Op == Opc::CmpI && Tail.Op == Opc::CondBr) {
       Fused = Opc::FusedCmpBr;
-    } else if (Head.Op == Opc::Load && HeadPriv && Tail.Op == Opc::Load) {
+    } else if (Head.Op == Opc::Load && HeadPriv && isLoadOpc(Tail.Op)) {
       Fused = Opc::FusedLoadLoad;
-    } else if (Head.Op == Opc::Store && HeadPriv && Tail.Op == Opc::Load) {
+    } else if (Head.Op == Opc::Store && HeadPriv && isLoadOpc(Tail.Op)) {
       Fused = Opc::FusedStoreLoad;
-    } else if (Head.Op == Opc::Store && HeadPriv && Tail.Op == Opc::Store) {
+    } else if (Head.Op == Opc::Store && HeadPriv && isStoreOpc(Tail.Op)) {
       Fused = Opc::FusedStoreStore;
-    } else if (Head.Op == Opc::AllocaPriv && Tail.Op == Opc::Store) {
+    } else if (Head.Op == Opc::AllocaPriv && isStoreOpc(Tail.Op)) {
       Fused = Opc::FusedAllocaStore;
     } else if (Head.Op == Opc::Load && HeadPriv && Tail.Op == Opc::SubView) {
       Fused = Opc::FusedLoadSubView;
-    } else if (Head.Op == Opc::ConstI && Tail.Op == Opc::Load) {
+    } else if (Head.Op == Opc::ConstI && isLoadOpc(Tail.Op)) {
       Fused = Opc::FusedConstILoad;
     } else if (Head.Op == Opc::ConstF && isFloatBinop(Tail.Op)) {
       Fused = Opc::FusedConstFArith;
@@ -343,6 +390,16 @@ private:
     bool IsFloat;
   };
   std::unordered_map<detail::ValueImpl *, PrivSlot> PrivSlots;
+
+  /// Whether accesses carrying `smlir.inbounds` compile to the
+  /// unchecked LoadU/StoreU variants (latched at construction so one
+  /// translation is internally consistent).
+  const bool InboundsEnabled = getDefaultInboundsEnabled();
+
+  /// Records the launch shapes the in-bounds proofs assumed (the
+  /// kernel's sycl.global_size/sycl.wg_size/sycl.arg_ranges facts) so
+  /// the VM can re-verify them once per launch.
+  void recordElisionAssumptions();
 };
 
 std::unique_ptr<Function> Translator::run(std::string *WhyNot) {
@@ -397,7 +454,40 @@ std::unique_ptr<Function> Translator::run(std::string *WhyNot) {
   // the instruction array.
   if (Entry->back()->getName().getStringRef() != "func.return")
     return Fail("kernel body without a return terminator");
+  if (Fn->HasElision)
+    recordElisionAssumptions();
   return std::move(Fn);
+}
+
+void Translator::recordElisionAssumptions() {
+  Operation *Op = Kernel.getOperation();
+  // Launch sizes. The proofs treated dimensions beyond the attribute's
+  // rank as exactly 0 (ids) / 1 (ranges), so those dimensions are
+  // pinned to 1 here, not left unconstrained.
+  auto ReadSizes = [&](const char *Name, std::array<int64_t, 3> &Out) {
+    auto Attr = Op->getAttrOfType<ArrayAttr>(Name);
+    if (!Attr)
+      return; // Unconstrained: the proofs only assumed range >= 1.
+    for (unsigned D = 0; D < 3; ++D)
+      Out[D] = D < Attr.size()
+                   ? Attr[D].cast<IntegerAttr>().getValue()
+                   : 1;
+  };
+  ReadSizes("sycl.global_size", Fn->AssumeGlobal);
+  ReadSizes("sycl.wg_size", Fn->AssumeLocal);
+  // Accessor extents, via the same helper the proofs used, so the
+  // recorded assumption is exactly what was assumed. The identity
+  // record (argument 0) needs no entry: bindLaunch always provides it
+  // with exactly ItemStateWords words at offset 0.
+  Block *Entry = Kernel.getEntryBlock();
+  for (unsigned I = 1; I < Kernel.getNumArguments(); ++I) {
+    Value Arg = Entry->getArgument(I);
+    if (!Arg.getType().dyn_cast<MemRefType>())
+      continue;
+    if (auto Extents = smlir::getKnownExtents(Arg))
+      Fn->AssumeArgExtents.push_back(
+          {static_cast<int32_t>(I - 1), std::move(*Extents)});
+  }
 }
 
 bool Translator::translateBlock(Block &B, YieldCtx *YC, FuncCtx &FC) {
@@ -852,8 +942,17 @@ bool Translator::translateLoadStore(Operation *Op, bool IsStore) {
       Direct = It->second.Offset;
     }
   }
-  emit({IsStore ? Opc::Store : Opc::Load, Flags, (uint16_t)NumIdx, ValReg,
-        Mem, PoolIdx, Direct});
+  // Accesses `annotate-inbounds` proved safe compile to the unchecked
+  // variants (flag bit 3) — except direct private-arena accesses, whose
+  // short body has no general bounds check to elide and whose bit-4
+  // form the fusion head patterns key on.
+  Opc Opcode = IsStore ? Opc::Store : Opc::Load;
+  if (InboundsEnabled && !(Flags & 4) && Op->hasAttr("smlir.inbounds")) {
+    Opcode = IsStore ? Opc::StoreU : Opc::LoadU;
+    Flags |= 8;
+    Fn->HasElision = true;
+  }
+  emit({Opcode, Flags, (uint16_t)NumIdx, ValReg, Mem, PoolIdx, Direct});
   return true;
 }
 
@@ -1121,7 +1220,9 @@ const char *bc::opcName(Opc Op) {
   case Opc::AllocaPriv: return "alloca.priv";
   case Opc::AllocaLocal: return "alloca.local";
   case Opc::Load: return "load";
+  case Opc::LoadU: return "load.inb";
   case Opc::Store: return "store";
+  case Opc::StoreU: return "store.inb";
   case Opc::Dim: return "dim";
   case Opc::SubView: return "subview";
   case Opc::ViewOff: return "viewoff";
@@ -1305,7 +1406,9 @@ std::string bc::disassemble(const Function &Fn) {
       OS << " m" << I.A << ", local" << I.B;
       break;
     case Opc::Load:
+    case Opc::LoadU:
     case Opc::Store:
+    case Opc::StoreU:
     case Opc::FusedLoadIArith:
     case Opc::FusedLoadFArith:
     case Opc::FusedLoadLoad:
@@ -1327,6 +1430,8 @@ std::string bc::disassemble(const Function &Fn) {
       OS << "]" << ((I.U8 & 2) ? " coalesced" : " uncoalesced");
       if (I.U8 & 4)
         OS << " priv[" << I.D << "]";
+      if (I.U8 & 8)
+        OS << " inbounds";
       break;
     }
     case Opc::Dim:

@@ -39,6 +39,7 @@
 
 #include "exec/Device.h"
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -97,6 +98,26 @@ bool getDefaultFusionEnabled();
 /// cache their bytecode.
 void setDefaultFusionEnabled(bool Enabled);
 
+/// Whether translation emits the unchecked LoadU/StoreU variants for
+/// accesses `annotate-inbounds` proved in bounds: $SMLIR_BC_INBOUNDS
+/// when set (must be "0" or "1"), otherwise enabled.
+bool getDefaultInboundsEnabled();
+
+/// Overrides the process in-bounds-elision default (benchmarks compare
+/// elided and checked translations of the same kernel in one process).
+/// Like fusion, only affects later translations.
+void setDefaultInboundsEnabled(bool Enabled);
+
+/// $SMLIR_BC_VALIDATE=1 keeps every elided bounds check executing: the
+/// VM runs LoadU/StoreU through the checked body even when the launch
+/// guard holds, and a check that trips is a fatal error (it means the
+/// static analysis was wrong, not the kernel). The fuzzer runs every
+/// random kernel under this mode.
+bool validationEnabled();
+
+/// Overrides the validation default (tests toggle it in-process).
+void setValidationEnabled(bool Enabled);
+
 /// $SMLIR_BC_PROFILE=1 enables the per-opcode / per-adjacent-pair
 /// dynamic-frequency counters (dumped to stderr at process exit; see
 /// scripts/bench_exec.sh). Profile with SMLIR_BC_FUSION=0 to measure
@@ -139,7 +160,14 @@ enum class Opc : uint8_t {
         ///< U8 bit0: destination is the float plane, bit1: coalesced,
         ///< bit2: M[B] is statically a rank-1 private alloca slot at
         ///< arena offset D (the VM skips the view fetch).
+  LoadU, ///< Load whose bounds (and bind) check `annotate-inbounds`
+        ///< proved redundant; fields as Load, U8 bit3 additionally set.
+        ///< Elided only when the per-launch guard verified the
+        ///< Function::Assume* records; otherwise runs the checked Load
+        ///< body (and under $SMLIR_BC_VALIDATE a tripped check is a
+        ///< hard failure — the analysis, not the kernel, is wrong).
   Store, ///< M[B][indices] = reg[A]; layout as Load (bit0: value plane).
+  StoreU,///< Store with the bounds check elided (see LoadU).
   Dim,     ///< I[A] = extent of M[B] in dim I[C]; pool D: rank, shape.
   SubView, ///< M[A] = rank-1 tail view of M[B]; pool C: n, n index regs,
           ///< rank, shape. One ArithOp + ArithCost.
@@ -219,7 +247,8 @@ enum class Opc : uint8_t {
   X(NegF) X(CmpI) X(CmpF) X(SelI) X(SelF)                                     \
   X(CopyI) X(TruncI) X(SIToFP) X(FPToSI)                                      \
   X(Sqrt) X(Exp) X(FAbs)                                                      \
-  X(AllocaPriv) X(AllocaLocal) X(Load) X(Store) X(Dim) X(SubView)             \
+  X(AllocaPriv) X(AllocaLocal) X(Load) X(LoadU) X(Store) X(StoreU)            \
+  X(Dim) X(SubView)                                                           \
   X(ViewOff) X(Disjoint)                                                      \
   X(Br) X(CondBr) X(IfYield) X(ForInit) X(ForYield) X(CallArgs)               \
   X(RetCopy) X(Barrier) X(Halt)                                               \
@@ -301,6 +330,26 @@ struct Function {
   /// Largest scf.for yield arity, for the VM's copy scratch (yield
   /// sources may alias body-argument destinations).
   uint32_t MaxYieldVals = 0;
+
+  /// True when the stream contains LoadU/StoreU: accesses whose bounds
+  /// checks `annotate-inbounds` proved redundant. The proofs assumed the
+  /// launch shapes below; the VM re-verifies them once per launch and
+  /// downgrades every U access to the checked body on any mismatch.
+  bool HasElision = false;
+  /// Global/local launch sizes the in-bounds proofs assumed (from the
+  /// kernel's sycl.global_size / sycl.wg_size attributes); -1 = the
+  /// proofs did not constrain that dimension.
+  std::array<int64_t, 3> AssumeGlobal = {-1, -1, -1};
+  std::array<int64_t, 3> AssumeLocal = {-1, -1, -1};
+  /// Accessor extents the proofs assumed, per launch argument (index
+  /// into Args, i.e. kernel argument minus the identity record). The
+  /// guard requires an offset-free accessor whose range matches exactly
+  /// and whose storage covers the product.
+  struct ArgExtents {
+    int32_t ArgIndex = 0;
+    std::vector<int64_t> Extents;
+  };
+  std::vector<ArgExtents> AssumeArgExtents;
 };
 
 /// Translates a lowered (`sycl.lowered`) kernel into bytecode. The

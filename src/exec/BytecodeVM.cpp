@@ -303,6 +303,49 @@ bool evalCmpF(uint8_t Pred, double A, double B) {
   return false;
 }
 
+/// Per-launch mode of the proven-in-bounds LoadU/StoreU accesses.
+/// GuardElide: the launch matched every assumption the translator's
+/// proofs relied on, so the bounds checks are genuinely skipped.
+/// GuardRecheck: some assumption does not hold for this launch (or the
+/// function has no elided accesses); U opcodes run the full checked
+/// bodies with the legacy error behavior. GuardValidate: assumptions
+/// hold but $SMLIR_BC_VALIDATE keeps the checks executing, turning any
+/// trip into a fatal analysis-bug report.
+enum : int { GuardElide = 0, GuardRecheck = 1, GuardValidate = 2 };
+
+int computeLaunchGuard(const Function &Fn, const NDRange &Range,
+                       const std::vector<KernelArg> &Args) {
+  if (!Fn.HasElision)
+    return GuardRecheck; // No U opcodes in the stream; never consulted.
+  for (unsigned D = 0; D < 3; ++D) {
+    if (Fn.AssumeGlobal[D] >= 0 && Range.Global[D] != Fn.AssumeGlobal[D])
+      return GuardRecheck;
+    if (Fn.AssumeLocal[D] >= 0 && Range.Local[D] != Fn.AssumeLocal[D])
+      return GuardRecheck;
+  }
+  for (const Function::ArgExtents &AE : Fn.AssumeArgExtents) {
+    if ((size_t)AE.ArgIndex >= Args.size() || AE.Extents.size() > 3)
+      return GuardRecheck;
+    const KernelArg &Arg = Args[(size_t)AE.ArgIndex];
+    // An offset-free bound accessor whose range matches the proof's
+    // extents exactly and whose storage covers their product: then the
+    // VM's linear index equals the proof's fold and every proven index
+    // lands inside the storage.
+    if (Arg.ArgKind != KernelArg::Kind::Accessor || !Arg.Accessor.Data)
+      return GuardRecheck;
+    int64_t Product = 1;
+    for (size_t D = 0; D < AE.Extents.size(); ++D) {
+      if (Arg.Accessor.Offset[D] != 0 ||
+          Arg.Accessor.Range[D] != AE.Extents[D])
+        return GuardRecheck;
+      Product *= AE.Extents[D];
+    }
+    if ((int64_t)Arg.Accessor.Data->size() < Product)
+      return GuardRecheck;
+  }
+  return validationEnabled() ? GuardValidate : GuardElide;
+}
+
 /// One work item: register planes, private arena and program counter.
 /// Reused across items for barrier-free kernels (registers are SSA
 /// def-before-use). Setup is staged by lifetime: init/bindArgs/bindLaunch
@@ -331,6 +374,8 @@ struct VMItem {
   /// All cost constants are small non-negative integers, enabling the
   /// exact counter-product cost reconstruction in the loop prologue.
   bool ExactCosts = false;
+  /// computeLaunchGuard's verdict for this launch (see the enum above).
+  int GuardMode = GuardRecheck;
   std::string ErrorMessage;
 
   void init(const Function &TheFn, LaunchCounters &TheCount) {
@@ -552,6 +597,7 @@ LogicalResult bc::execute(const Function &Fn,
     return Fail(RangeError);
 
   LaunchCounters Count{&Stats, &Props, 0.0};
+  const int Guard = computeLaunchGuard(Fn, Range, Args);
 
   // Group-local state is allocated once and reset per group (sites keep
   // their capacity; the first AllocaLocal of a group re-zeroes).
@@ -563,6 +609,7 @@ LogicalResult bc::execute(const Function &Fn,
     // item in sequence; nothing allocates in steady state.
     VMItem Item;
     Item.init(Fn, Count);
+    Item.GuardMode = Guard;
     Item.bindArgs(Args);
     Item.bindLaunch(Range);
     for (int64_t G2 = 0; G2 < NumGroups[2]; ++G2) {
@@ -588,6 +635,7 @@ LogicalResult bc::execute(const Function &Fn,
     std::vector<VMItem> Items(NumLocal);
     for (VMItem &Item : Items) {
       Item.init(Fn, Count);
+      Item.GuardMode = Guard;
       Item.bindArgs(Args);
       Item.bindLaunch(Range);
     }

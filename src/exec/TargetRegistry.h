@@ -59,7 +59,7 @@ std::string_view stringifyKernelForm(KernelForm Form);
 /// CompilerOptions::LowerToLoops — the no-double-lowering dedupe in
 /// applyTargetSuffix relies on both spelling it identically.
 inline constexpr const char *kLoweredFormPipeline =
-    "convert-sycl-to-scf,canonicalize,cse,dce";
+    "convert-sycl-to-scf,canonicalize,cse,dce,annotate-inbounds";
 
 /// One compilation/execution target. Backends are registered once in the
 /// TargetRegistry and live for the process; they are stateless beyond

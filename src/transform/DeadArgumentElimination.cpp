@@ -72,8 +72,9 @@ private:
       return;
 
     // Remap sycl.arg_noalias to the post-removal indices (pairs touching a
-    // dead argument are dropped).
+    // dead argument are dropped), and sycl.arg_ranges likewise.
     remapNoAliasPairs(Kernel, Dead);
+    remapArgRanges(Kernel, Dead);
 
     // Remove from the kernel (highest first to keep indices stable).
     for (auto It = Dead.rbegin(); It != Dead.rend(); ++It) {
@@ -141,6 +142,40 @@ private:
     else
       Kernel.getOperation()->setAttr("sycl.arg_noalias",
                                      ArrayAttr::get(Ctx, NewPairs));
+  }
+
+  void remapArgRanges(FuncOp Kernel, const std::vector<unsigned> &Dead) {
+    auto Ranges =
+        Kernel.getOperation()->getAttrOfType<ArrayAttr>("sycl.arg_ranges");
+    if (!Ranges)
+      return;
+    auto Remap = [&](int64_t Index) -> std::optional<int64_t> {
+      int64_t Shift = 0;
+      for (unsigned D : Dead) {
+        if (static_cast<int64_t>(D) == Index)
+          return std::nullopt;
+        if (static_cast<int64_t>(D) < Index)
+          ++Shift;
+      }
+      return Index - Shift;
+    };
+    std::vector<Attribute> NewEntries;
+    MLIRContext *Ctx = Kernel.getContext();
+    for (unsigned I = 0; I < Ranges.size(); ++I) {
+      auto Entry = Ranges[I].cast<ArrayAttr>();
+      auto ArgIndex = Remap(Entry[0].cast<IntegerAttr>().getValue());
+      if (!ArgIndex)
+        continue; // The argument is gone; drop its extents.
+      std::vector<int64_t> NewEntry{*ArgIndex};
+      for (unsigned J = 1; J < Entry.size(); ++J)
+        NewEntry.push_back(Entry[J].cast<IntegerAttr>().getValue());
+      NewEntries.push_back(getIndexArrayAttr(Ctx, NewEntry));
+    }
+    if (NewEntries.empty())
+      Kernel.getOperation()->removeAttr("sycl.arg_ranges");
+    else
+      Kernel.getOperation()->setAttr("sycl.arg_ranges",
+                                     ArrayAttr::get(Ctx, NewEntries));
   }
 };
 

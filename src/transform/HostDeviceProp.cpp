@@ -164,6 +164,7 @@ private:
     propagateAccessorRanges(Kernel, Accessors);
     inferEqualRanges(Kernel, Accessors);
     recordDisjointness(Kernel, Accessors);
+    recordArgRanges(Kernel, Accessors);
   }
 
   /// Replaces device-side ND-range queries with constants.
@@ -342,6 +343,32 @@ private:
       Kernel.getOperation()->setAttr("sycl.arg_noalias",
                                      ArrayAttr::get(Ctx, Pairs));
       incrementStatistic("num-noalias-pairs", Pairs.size());
+    }
+  }
+
+  /// Records constant accessor extents as `sycl.arg_ranges`
+  /// ([[argIndex, e0, e1, ...], ...]) — the integer-range analysis uses
+  /// them as the statically known shape of otherwise-dynamic kernel
+  /// argument memrefs. Launch-time assumption checks in the bytecode tier
+  /// re-verify the recorded extents before running elided bounds checks.
+  void recordArgRanges(FuncOp Kernel,
+                       const std::vector<AccessorInfo> &Accessors) {
+    std::vector<Attribute> Entries;
+    MLIRContext *Ctx = Kernel.getContext();
+    for (const AccessorInfo &Info : Accessors) {
+      if (Info.IsLocal || !Info.RangeObj)
+        continue; // Local accessors have launch-bound shapes.
+      auto Range = getConstantRange(Info.RangeObj);
+      if (!Range || Range->empty())
+        continue;
+      std::vector<int64_t> Entry{static_cast<int64_t>(Info.KernelArgIndex)};
+      Entry.insert(Entry.end(), Range->begin(), Range->end());
+      Entries.push_back(getIndexArrayAttr(Ctx, Entry));
+    }
+    if (!Entries.empty()) {
+      Kernel.getOperation()->setAttr("sycl.arg_ranges",
+                                     ArrayAttr::get(Ctx, Entries));
+      incrementStatistic("num-arg-ranges", Entries.size());
     }
   }
 };

@@ -1,0 +1,52 @@
+//===- LintKernels.cpp - Kernel safety lint pass ----------------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lint Kernels: runs the static kernel safety rules (analysis/KernelLint.h)
+/// over the module and prints structured, location-carrying diagnostics to
+/// stderr. The pass never modifies the IR and never fails the pipeline —
+/// `smlir-opt --lint` wraps the same core with a failing exit code for use
+/// as a gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transform/Passes.h"
+
+#include "analysis/KernelLint.h"
+#include "ir/PassRegistry.h"
+
+#include <iostream>
+
+using namespace smlir;
+
+namespace {
+
+class LintKernelsPass : public Pass {
+public:
+  LintKernelsPass() : Pass("LintKernels", "lint-kernels") {}
+
+  PassResult runOnOperation(Operation *Root, AnalysisManager &AM) override {
+    std::vector<LintDiagnostic> Diags = lintKernels(Root, AM);
+    for (const LintDiagnostic &Diag : Diags)
+      std::cerr << formatLintDiagnostic(Diag) << "\n";
+    incrementStatistic("num-findings", (int64_t)Diags.size());
+    return {success(), PreservedAnalyses::all()};
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> smlir::createLintKernelsPass() {
+  return std::make_unique<LintKernelsPass>();
+}
+
+void smlir::registerLintKernelsPasses() {
+  PassRegistry::get().registerPass(
+      "lint-kernels",
+      "Report statically provable kernel bugs (oob-access, "
+      "divergent-barrier, racy-write, uninit-read) to stderr",
+      createLintKernelsPass);
+}

@@ -67,6 +67,19 @@ std::unique_ptr<Pass> createHostDeviceConstantPropagationPass();
 /// cheaper.
 std::unique_ptr<Pass> createDeadArgumentEliminationPass();
 
+/// Annotate In-Bounds: marks `memref.load`/`memref.store`/`memref.subview`
+/// sites whose linear index range the integer-range analysis proves within
+/// the accessed storage with the `smlir.inbounds` unit attribute. The
+/// bytecode translator turns annotated accesses into unchecked opcodes
+/// (elided bounds checks; see SMLIR_BC_VALIDATE for the checked mode).
+std::unique_ptr<Pass> createAnnotateInboundsPass();
+
+/// Lint Kernels: runs the static kernel safety rules (see
+/// analysis/KernelLint.h) and prints structured diagnostics to stderr.
+/// The IR is never modified; findings do not fail the pass (use
+/// `smlir-opt --lint` for a failing gate).
+std::unique_ptr<Pass> createLintKernelsPass();
+
 //===----------------------------------------------------------------------===//
 // Registration
 //===----------------------------------------------------------------------===//
@@ -84,6 +97,8 @@ void registerLoopInternalizationPasses();// loop-internalization
 void registerHostRaisingPasses();        // host-raising
 void registerHostDevicePropPasses();     // host-device-prop
 void registerDeadArgumentEliminationPasses(); // sycl-dae
+void registerAnnotateInboundsPasses();   // annotate-inbounds
+void registerLintKernelsPasses();        // lint-kernels
 
 /// Registers every transform pass above; idempotent and cheap to call
 /// from any pipeline entry point (compiler driver, smlir-opt, tests).

@@ -21,6 +21,8 @@ void smlir::registerAllPasses() {
     registerHostRaisingPasses();
     registerHostDevicePropPasses();
     registerDeadArgumentEliminationPasses();
+    registerAnnotateInboundsPasses();
+    registerLintKernelsPasses();
     registerConversionPasses();
     return true;
   }();

@@ -13,6 +13,8 @@
 
 #include "analysis/AliasAnalysis.h"
 #include "analysis/Dominance.h"
+#include "analysis/IntegerRange.h"
+#include "analysis/KernelLint.h"
 #include "analysis/MemoryAccess.h"
 #include "analysis/ReachingDefinitions.h"
 #include "analysis/Uniformity.h"
@@ -524,6 +526,261 @@ TEST_F(AnalysisTest, BroadcastAccess) {
   MemoryAccess MA = MAA.analyze(Access);
   ASSERT_TRUE(MA.Valid);
   EXPECT_EQ(MA.classifyInterWorkItem(), AccessPattern::Broadcast);
+}
+
+//===----------------------------------------------------------------------===//
+// IntRange lattice
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, IntRangeLatticeJoin) {
+  IntRange Bottom;
+  EXPECT_TRUE(Bottom.isBottom());
+  EXPECT_FALSE(Bottom.isConstant());
+
+  // Join with bottom is a no-op; join into bottom adopts the other state.
+  IntRange A = IntRange::range(2, 5);
+  EXPECT_FALSE(A.join(IntRange()));
+  EXPECT_EQ(A, IntRange::range(2, 5));
+  IntRange B;
+  EXPECT_TRUE(B.join(A));
+  EXPECT_EQ(B, A);
+
+  // Join widens to the convex hull and reports whether anything changed.
+  EXPECT_TRUE(A.join(IntRange::range(7, 9)));
+  EXPECT_EQ(A, IntRange::range(2, 9));
+  EXPECT_FALSE(A.join(IntRange::range(3, 4)));
+
+  // Top absorbs everything.
+  IntRange T = IntRange::top();
+  EXPECT_TRUE(T.isTop());
+  EXPECT_FALSE(T.join(IntRange::constant(42)));
+  EXPECT_TRUE(A.join(T));
+  EXPECT_TRUE(A.isTop());
+
+  // Empty interval collapses to bottom; containment needs non-bottom.
+  EXPECT_TRUE(IntRange::range(5, 2).isBottom());
+  EXPECT_TRUE(IntRange::range(0, 7).containedIn(0, 7));
+  EXPECT_FALSE(IntRange::range(0, 8).containedIn(0, 7));
+  EXPECT_FALSE(IntRange().containedIn(0, 7) &&
+               !IntRange().isBottom());
+}
+
+TEST_F(AnalysisTest, IntRangeArithmeticSaturates) {
+  IntRange A = IntRange::range(-3, 4);
+  IntRange B = IntRange::range(2, 5);
+  EXPECT_EQ(addRanges(A, B), IntRange::range(-1, 9));
+  EXPECT_EQ(subRanges(A, B), IntRange::range(-8, 2));
+  EXPECT_EQ(mulRanges(A, B), IntRange::range(-15, 20));
+  // Division/remainder are precise only for all-positive divisors.
+  EXPECT_EQ(divRanges(IntRange::range(0, 20), IntRange::range(4, 5)),
+            IntRange::range(0, 5));
+  EXPECT_TRUE(divRanges(A, IntRange::range(-1, 1)).isTop());
+  EXPECT_EQ(remRanges(IntRange::range(0, 100), IntRange::constant(8)),
+            IntRange::range(0, 7));
+  EXPECT_EQ(minRanges(A, B), IntRange::range(-3, 4));
+  EXPECT_EQ(maxRanges(A, B), IntRange::range(2, 5));
+  // Bottom is infectious.
+  EXPECT_TRUE(addRanges(A, IntRange()).isBottom());
+  // Saturation instead of wraparound at the int64 rim.
+  IntRange Huge = IntRange::constant(INT64_MAX);
+  EXPECT_EQ(addRanges(Huge, IntRange::constant(1)).Max, INT64_MAX);
+}
+
+//===----------------------------------------------------------------------===//
+// Integer-range analysis (dataflow framework client)
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, RangeOfLoopInductionVariable) {
+  const char *Source = R"(module {
+  func.func @f(%ptr: memref<16xindex>) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c3 = "arith.constant"() {value = 3 : index} : () -> (index)
+    %c16 = "arith.constant"() {value = 16 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%c3, %c16, %c1) ({
+    ^bb0(%iv: index):
+      %double = "arith.addi"(%iv, %iv) {tag = "double"} : (index, index) -> (index)
+      "memref.store"(%double, %ptr, %iv) : (index, memref<16xindex>, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  IntegerRangeAnalysis RA(Module.get());
+  // The IV is bounded by [lb, ub-1]; arithmetic on it stays bounded, which
+  // is what makes loop bodies converge instead of widening forever.
+  Operation *Double = findTagged(Module.get(), "double");
+  EXPECT_EQ(RA.getRange(Double->getOperand(0)), IntRange::range(3, 15));
+  EXPECT_EQ(RA.getRange(Double->getResult(0)), IntRange::range(6, 30));
+}
+
+TEST_F(AnalysisTest, RangeConvergesThroughLoopCarriedSpill) {
+  // A spill cell written inside a loop with a value derived from its own
+  // loads: the fixpoint must converge (widening limit) and the load must
+  // see the join of the zero-initialized arena and every store.
+  const char *Source = R"(module {
+  func.func @f() attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c8 = "arith.constant"() {value = 8 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %cell = "memref.alloca"() : () -> (memref<1xindex, 5>)
+    "scf.for"(%c0, %c8, %c1) ({
+    ^bb0(%iv: index):
+      %acc = "memref.load"(%cell, %c0) {tag = "acc"} : (memref<1xindex, 5>, index) -> (index)
+      %next = "arith.addi"(%acc, %c1) : (index, index) -> (index)
+      "memref.store"(%next, %cell, %c0) : (index, memref<1xindex, 5>, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  IntegerRangeAnalysis RA(Module.get());
+  Operation *Acc = findTagged(Module.get(), "acc");
+  IntRange R = RA.getRange(Acc->getResult(0));
+  // The accumulator genuinely grows without bound, so the fixpoint can
+  // only terminate by widening: the solver must reach top (not hang, not
+  // stay bottom) once the per-value update budget is exhausted.
+  ASSERT_FALSE(R.isBottom());
+  EXPECT_TRUE(R.isTop());
+}
+
+TEST_F(AnalysisTest, RangeJoinsOverCallSites) {
+  const char *Source = R"(module {
+  func.func @helper(%x: index) -> (index) {
+    %one = "arith.constant"() {value = 1 : index} : () -> (index)
+    %inc = "arith.addi"(%x, %one) {tag = "inc"} : (index, index) -> (index)
+    "func.return"(%inc) : (index) -> ()
+  }
+  func.func @K(%item: memref<15xindex, 5>) attributes {sycl.kernel, sycl.lowered} {
+    %c2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %c7 = "arith.constant"() {value = 7 : index} : () -> (index)
+    %r1 = "func.call"(%c2) {callee = @helper, tag = "call1"} : (index) -> (index)
+    %r2 = "func.call"(%c7) {callee = @helper, tag = "call2"} : (index) -> (index)
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  IntegerRangeAnalysis RA(Module.get());
+  // The helper's parameter is the join over both call sites ([2,2] ⊔
+  // [7,7] = [2,7]); both call results observe the returned join.
+  Operation *Inc = findTagged(Module.get(), "inc");
+  EXPECT_EQ(RA.getRange(Inc->getOperand(0)), IntRange::range(2, 7));
+  EXPECT_EQ(RA.getRange(Inc->getResult(0)), IntRange::range(3, 8));
+  Operation *Call1 = findTagged(Module.get(), "call1");
+  Operation *Call2 = findTagged(Module.get(), "call2");
+  EXPECT_EQ(RA.getRange(Call1->getResult(0)), IntRange::range(3, 8));
+  EXPECT_EQ(RA.getRange(Call2->getResult(0)), IntRange::range(3, 8));
+}
+
+TEST_F(AnalysisTest, UncalledHelperArgumentsAreUnconstrained) {
+  const char *Source = R"(module {
+  func.func @orphan(%x: index) -> (index) {
+    %one = "arith.constant"() {value = 1 : index} : () -> (index)
+    %inc = "arith.addi"(%x, %one) {tag = "inc"} : (index, index) -> (index)
+    "func.return"(%inc) : (index) -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  IntegerRangeAnalysis RA(Module.get());
+  // No call sites constrain %x, but the function is still an entry point:
+  // its body must be analyzed with the argument at top, not left bottom.
+  Operation *Inc = findTagged(Module.get(), "inc");
+  EXPECT_TRUE(RA.getRange(Inc->getOperand(0)).isTop());
+  EXPECT_FALSE(RA.getRange(Inc->getResult(0)).isBottom());
+}
+
+TEST_F(AnalysisTest, RangeOfIdentityRecordAndSpills) {
+  // The lowered-kernel shape: arg0 is the 15-word identity record, the
+  // launch configuration comes from host-propagated attributes, and
+  // values round-trip through a private spill arena.
+  const char *Source = R"(module {
+  func.func @K(%id: memref<15xindex, 5>, %buf: memref<?xf32>) attributes {sycl.kernel, sycl.lowered, sycl.global_size = [24 : index], sycl.wg_size = [8 : index], sycl.arg_ranges = [[1 : index, 24 : index]]} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c3 = "arith.constant"() {value = 3 : index} : () -> (index)
+    %c12 = "arith.constant"() {value = 12 : index} : () -> (index)
+    %gid = "memref.load"(%id, %c0) {tag = "gid"} : (memref<15xindex, 5>, index) -> (index)
+    %gsz = "memref.load"(%id, %c3) {tag = "gsz"} : (memref<15xindex, 5>, index) -> (index)
+    %grp = "memref.load"(%id, %c12) {tag = "grp"} : (memref<15xindex, 5>, index) -> (index)
+    %spill = "memref.alloca"() : () -> (memref<4xindex, 5>)
+    "memref.store"(%gid, %spill, %c0) : (index, memref<4xindex, 5>, index) -> ()
+    %reload = "memref.load"(%spill, %c0) {tag = "reload"} : (memref<4xindex, 5>, index) -> (index)
+    %v = "arith.constant"() {value = 1.0 : f32} : () -> (f32)
+    "memref.store"(%v, %buf, %reload) {tag = "store"} : (f32, memref<?xf32>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  IntegerRangeAnalysis RA(Module.get());
+  EXPECT_EQ(RA.getRange(findTagged(Module.get(), "gid")->getResult(0)),
+            IntRange::range(0, 23));
+  EXPECT_EQ(RA.getRange(findTagged(Module.get(), "gsz")->getResult(0)),
+            IntRange::constant(24));
+  // Group id: ceil(24 / 8) - 1 = 2.
+  EXPECT_EQ(RA.getRange(findTagged(Module.get(), "grp")->getResult(0)),
+            IntRange::range(0, 2));
+  // The spilled gid reloads as the join with the arena's zero-init.
+  EXPECT_EQ(RA.getRange(findTagged(Module.get(), "reload")->getResult(0)),
+            IntRange::range(0, 23));
+  // And the access proof goes through: the store is provably in bounds
+  // against the host-recorded accessor range.
+  AccessFootprint FP =
+      computeAccessFootprint(RA, findTagged(Module.get(), "store"));
+  ASSERT_TRUE(FP.ExtentsKnown);
+  EXPECT_EQ(FP.TotalLen, 24);
+  EXPECT_TRUE(FP.provablyInBounds());
+  EXPECT_FALSE(FP.provablyOutOfBounds());
+}
+
+TEST_F(AnalysisTest, AccessFootprintProvesOutOfBounds) {
+  const char *Source = R"(module {
+  func.func @K(%id: memref<15xindex, 5>, %buf: memref<?xf32>) attributes {sycl.kernel, sycl.lowered, sycl.arg_ranges = [[1 : index, 8 : index]]} {
+    %c9 = "arith.constant"() {value = 9 : index} : () -> (index)
+    %v = "arith.constant"() {value = 1.0 : f32} : () -> (f32)
+    "memref.store"(%v, %buf, %c9) {tag = "oob"} : (f32, memref<?xf32>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  IntegerRangeAnalysis RA(Module.get());
+  AccessFootprint FP =
+      computeAccessFootprint(RA, findTagged(Module.get(), "oob"));
+  ASSERT_TRUE(FP.ExtentsKnown);
+  EXPECT_EQ(FP.TotalLen, 8);
+  EXPECT_FALSE(FP.provablyInBounds());
+  EXPECT_TRUE(FP.provablyOutOfBounds());
+  // The linter reports the same site under the stable rule id.
+  AnalysisManager AM;
+  std::vector<LintDiagnostic> Diags = lintKernels(Module.get(), AM);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].RuleId, "oob-access");
+  EXPECT_EQ(Diags[0].Kernel, "K");
+  EXPECT_NE(formatLintDiagnostic(Diags[0]).find("[oob-access]"),
+            std::string::npos);
+}
+
+TEST_F(AnalysisTest, FootprintUnknownWithoutArgRanges) {
+  // Helper-function arguments carry no runtime size guarantee, and a
+  // dynamic memref without `sycl.arg_ranges` has no known extents: the
+  // footprint must refuse to prove anything either way.
+  const char *Source = R"(module {
+  func.func @helper(%buf: memref<?xf32>, %i: index) {
+    %v = "arith.constant"() {value = 1.0 : f32} : () -> (f32)
+    "memref.store"(%v, %buf, %i) {tag = "store"} : (f32, memref<?xf32>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  IntegerRangeAnalysis RA(Module.get());
+  EXPECT_FALSE(getKnownExtents(
+                   findTagged(Module.get(), "store")->getOperand(1))
+                   .has_value());
+  AccessFootprint FP =
+      computeAccessFootprint(RA, findTagged(Module.get(), "store"));
+  EXPECT_FALSE(FP.ExtentsKnown);
+  EXPECT_FALSE(FP.provablyInBounds());
+  EXPECT_FALSE(FP.provablyOutOfBounds());
 }
 
 } // namespace

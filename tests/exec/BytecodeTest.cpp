@@ -25,7 +25,9 @@
 #include "exec/Device.h"
 #include "ir/MLIRContext.h"
 #include "ir/Parser.h"
+#include "ir/Pass.h"
 #include "ir/Verifier.h"
+#include "transform/Passes.h"
 
 #include <gtest/gtest.h>
 
@@ -571,6 +573,164 @@ TEST_F(BytecodeTest, FusedHeadOutOfBoundsErrorParity) {
         return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
       },
       {"alloca.store", "load.arith.i"});
+}
+
+TEST_F(BytecodeTest, InboundsElisionParityAndGuardDemotion) {
+  // A kernel whose accesses annotate-inbounds proved safe under the
+  // host-recorded launch configuration: the translator must compile them
+  // to the unchecked load.inb/store.inb forms, and the launch-time guard
+  // must (a) run them elided with bit-identical results and stats when
+  // the launch matches the proof assumptions, and (b) silently demote to
+  // fully checked execution when it does not — including reproducing the
+  // interpreter's out-of-bounds error exactly.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered, sycl.global_size = [16 : index], sycl.arg_ranges = [[1 : index, 16 : index]]} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c1 = "arith.constant"() {value = 1 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %v = "arith.addi"(%gid, %c1) : (index, index) -> (index)
+    "memref.store"(%v, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  {
+    PassManager PM(&Ctx);
+    PM.addPass(createAnnotateInboundsPass());
+    ASSERT_TRUE(PM.run(Module.get()).succeeded());
+  }
+  std::string Why;
+  std::unique_ptr<bc::Function> Fn = bc::translate(K, &Why);
+  ASSERT_TRUE(Fn) << Why;
+  EXPECT_TRUE(Fn->HasElision);
+  EXPECT_EQ(Fn->AssumeGlobal[0], 16);
+  std::string Listing = bc::disassemble(*Fn);
+  EXPECT_NE(Listing.find("load.inb"), std::string::npos) << Listing;
+  EXPECT_NE(Listing.find("store.inb"), std::string::npos) << Listing;
+
+  // (a) Launch matching the proof: the guard elides, results and stats
+  // stay bit-identical to the interpreter.
+  expectParity(K, range1D(16), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Int, 16);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+  // (b) Launch wider than the proof assumed: the guard must demote to
+  // checked execution, and the genuine OOB at gid >= 16 must fail with
+  // the interpreter's exact error string.
+  expectParity(K, range1D(32), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Int, 16);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+  // (c) Launch matching, but a narrower accessor than the proof assumed:
+  // again a demotion, again error-string parity.
+  expectParity(K, range1D(16), [&](std::vector<Storage *> &Bufs) {
+    Storage *Out = Dev.allocate(Storage::Kind::Int, 8);
+    Bufs.push_back(Out);
+    return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+  });
+}
+
+TEST_F(BytecodeTest, InboundsElisionFusedTailParity) {
+  // Elided memory ops must keep participating in superinstruction fusion:
+  // the fused tails re-dispatch on the recorded opcode, so load.inb /
+  // store.inb behind an arith head still honor the launch guard.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered, sycl.global_size = [16 : index], sycl.arg_ranges = [[1 : index, 16 : index]]} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %c2 = "arith.constant"() {value = 2 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %in = "memref.load"(%out, %gid) : (memref<?xindex>, index) -> (index)
+    %v = "arith.muli"(%in, %c2) : (index, index) -> (index)
+    "memref.store"(%v, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  {
+    PassManager PM(&Ctx);
+    PM.addPass(createAnnotateInboundsPass());
+    ASSERT_TRUE(PM.run(Module.get()).succeeded());
+  }
+  expectFusedParity(
+      K, range1D(16),
+      [&](std::vector<Storage *> &Bufs) {
+        Storage *Out = Dev.allocate(Storage::Kind::Int, 16);
+        Bufs.push_back(Out);
+        for (size_t I = 0; I < Out->Ints.size(); ++I)
+          Out->Ints[I] = static_cast<int64_t>(I) - 4;
+        return std::vector<KernelArg>{KernelArg::accessor(wholeBuffer(Out))};
+      },
+      {"const.load"});
+  // The const.load superinstruction's tail is the elided global load:
+  // the fused dispatch must land on the load.inb handler, not the
+  // checked one, proving the tail re-dispatch keys on the real opcode.
+  std::string Why;
+  std::unique_ptr<bc::Function> Fused =
+      bc::translate(K, /*EnableFusion=*/true, &Why);
+  ASSERT_TRUE(Fused) << Why;
+  std::string Listing = bc::disassemble(*Fused);
+  EXPECT_NE(Listing.find("load.inb"), std::string::npos) << Listing;
+  EXPECT_NE(Listing.find("store.inb"), std::string::npos) << Listing;
+}
+
+TEST_F(BytecodeTest, ValidateModeTripsOnWrongProof) {
+  // SMLIR_BC_VALIDATE is the safety net for analysis bugs: a (here
+  // deliberately forged) smlir.inbounds annotation on an out-of-bounds
+  // store must hard-fail with the validation marker when the guard would
+  // otherwise have elided the check.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered, sycl.global_size = [8 : index], sycl.arg_ranges = [[1 : index, 8 : index]]} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %big = "arith.constant"() {value = 1000 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) {smlir.inbounds} : (memref<15xindex, 5>, index) -> (index)
+    "memref.store"(%gid, %out, %big) {smlir.inbounds} : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  std::string Why;
+  std::unique_ptr<bc::Function> Fn = bc::translate(K, &Why);
+  ASSERT_TRUE(Fn) << Why;
+  ASSERT_TRUE(Fn->HasElision);
+
+  const bool SavedValidate = bc::validationEnabled();
+  bc::setValidationEnabled(true);
+  EXPECT_DEATH(
+      {
+        Storage *Out = Dev.allocate(Storage::Kind::Int, 8);
+        LaunchStats Stats;
+        std::string Error;
+        (void)Dev.launch(*Fn, range1D(8),
+                         {KernelArg::accessor(wholeBuffer(Out))}, Stats,
+                         &Error);
+      },
+      "SMLIR_BC_VALIDATE: elided bounds check tripped.*'K'");
+  bc::setValidationEnabled(SavedValidate);
+}
+
+TEST_F(BytecodeTest, InboundsKnobDisablesElision) {
+  // With the inbounds knob off, annotations are ignored and the checked
+  // opcodes are emitted — the escape hatch for suspected analysis bugs.
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered, sycl.global_size = [8 : index], sycl.arg_ranges = [[1 : index, 8 : index]]} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) {smlir.inbounds} : (memref<15xindex, 5>, index) -> (index)
+    "memref.store"(%gid, %out, %gid) {smlir.inbounds} : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  const bool SavedInbounds = bc::getDefaultInboundsEnabled();
+  bc::setDefaultInboundsEnabled(false);
+  std::string Why;
+  std::unique_ptr<bc::Function> Fn = bc::translate(K, &Why);
+  bc::setDefaultInboundsEnabled(SavedInbounds);
+  ASSERT_TRUE(Fn) << Why;
+  EXPECT_FALSE(Fn->HasElision);
+  std::string Listing = bc::disassemble(*Fn);
+  EXPECT_EQ(Listing.find(".inb"), std::string::npos) << Listing;
 }
 
 TEST_F(BytecodeTest, ArgumentCountMismatchParity) {

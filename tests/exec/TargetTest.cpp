@@ -204,10 +204,10 @@ TEST_F(TargetTest, PipelineDerivationPerTarget) {
 
   // virtual-cpu appends its lowering suffix to the flow pipeline.
   EXPECT_EQ(Cpu.getPipelineSuffix(),
-            "convert-sycl-to-scf,canonicalize,cse,dce");
+            "convert-sycl-to-scf,canonicalize,cse,dce,annotate-inbounds");
   EXPECT_EQ(core::Compiler::getPipeline(Options, Cpu),
             core::Compiler::getPipeline(Options) +
-                ",convert-sycl-to-scf,canonicalize,cse,dce");
+                ",convert-sycl-to-scf,canonicalize,cse,dce,annotate-inbounds");
 
   // A flow that already ends with the lowering stage (LowerToLoops) is
   // not lowered twice.

@@ -24,7 +24,9 @@
 #include "exec/Device.h"
 #include "ir/MLIRContext.h"
 #include "ir/Parser.h"
+#include "ir/Pass.h"
 #include "ir/Verifier.h"
+#include "transform/Passes.h"
 
 #include <gtest/gtest.h>
 
@@ -67,9 +69,18 @@ public:
   explicit KernelGen(const FuzzConfig &C) : Cfg(C), Rng(C.Seed) {}
 
   std::string generate() {
+    // The launch-configuration attributes mirror what host-device
+    // propagation records for real kernels and match the fixed NDRange /
+    // accessor shapes checkOne launches with, so annotate-inbounds can
+    // prove the generator's wrap-around (remsi) accessor accesses and the
+    // validate-mode launch exercises genuinely elided bounds checks.
     OS << "module {\n"
        << "  func.func @K(%arg0: memref<15xindex, 5>, %outI: memref<?xindex>, "
-       << "%outF: memref<?x?xf64>) attributes {sycl.kernel, sycl.lowered} "
+       << "%outF: memref<?x?xf64>) attributes {sycl.kernel, sycl.lowered, "
+       << "sycl.global_size = [" << kGlobal << " : index], "
+       << "sycl.wg_size = [" << kLocal << " : index], "
+       << "sycl.arg_ranges = [[1 : index, " << kIntLen << " : index], "
+       << "[2 : index, " << kRows << " : index, " << kCols << " : index]]} "
        << "{\n";
     prologue();
     int Budget = Cfg.Stmts;
@@ -468,6 +479,16 @@ std::optional<Divergence> checkOne(const FuzzConfig &Cfg) {
   if (!K)
     return Fail("generated module has no @K");
 
+  // Prove what can be proven: the fused/unfused translations below then
+  // compile the proven accesses to their elided forms, so every seed
+  // fuzzes the elision machinery alongside fusion and dispatch.
+  {
+    PassManager PM(&Ctx);
+    PM.addPass(createAnnotateInboundsPass());
+    if (PM.run(Module.get()).failed())
+      return Fail("annotate-inbounds failed on the generated kernel");
+  }
+
   // Fusion is pinned explicitly (not read from the environment): the
   // fused translation is the differential subject, and the unfused one
   // is cross-checked below so a divergence indicts the superinstruction
@@ -512,12 +533,14 @@ std::optional<Divergence> checkOne(const FuzzConfig &Cfg) {
   Storage *InterpI = nullptr, *InterpF = nullptr;
   Storage *ByteI = nullptr, *ByteF = nullptr;
   Storage *PlainI = nullptr, *PlainF = nullptr;
+  Storage *ValI = nullptr, *ValF = nullptr;
   std::vector<KernelArg> InterpArgs = MakeArgs(InterpI, InterpF);
   std::vector<KernelArg> ByteArgs = MakeArgs(ByteI, ByteF);
   std::vector<KernelArg> PlainArgs = MakeArgs(PlainI, PlainF);
+  std::vector<KernelArg> ValArgs = MakeArgs(ValI, ValF);
 
-  LaunchStats InterpStats, ByteStats, PlainStats;
-  std::string InterpError, ByteError, PlainError;
+  LaunchStats InterpStats, ByteStats, PlainStats, ValStats;
+  std::string InterpError, ByteError, PlainError, ValError;
   bool InterpOk =
       Dev.launch(K, Range, InterpArgs, InterpStats, &InterpError).succeeded();
   bool ByteOk =
@@ -525,6 +548,16 @@ std::optional<Divergence> checkOne(const FuzzConfig &Cfg) {
   bool PlainOk =
       Dev.launch(*Plain, Range, PlainArgs, PlainStats, &PlainError)
           .succeeded();
+  // SMLIR_BC_VALIDATE sweep: every elided bounds check re-executes and
+  // hard-aborts the process if it would have tripped, so a wrong
+  // annotate-inbounds proof cannot hide behind an in-bounds-by-luck run.
+  bool ValOk;
+  {
+    const bool SavedValidate = bc::validationEnabled();
+    bc::setValidationEnabled(true);
+    ValOk = Dev.launch(*Fn, Range, ValArgs, ValStats, &ValError).succeeded();
+    bc::setValidationEnabled(SavedValidate);
+  }
 
   std::ostringstream Diff;
   if (InterpOk != ByteOk)
@@ -579,6 +612,23 @@ std::optional<Divergence> checkOne(const FuzzConfig &Cfg) {
     if (ByteF->Floats[size_t(I)] != PlainF->Floats[size_t(I)])
       Diff << "fusion on/off outF[" << I << "]: " << ByteF->Floats[size_t(I)]
            << " vs " << PlainF->Floats[size_t(I)] << "\n";
+  // The validate run executes the checked bodies but must remain
+  // bit-identical to the normal (elided) bytecode run in everything the
+  // kernel can observe.
+  if (ByteOk != ValOk || ByteError != ValError)
+    Diff << "validate on/off outcome: '" << ByteError << "' vs '" << ValError
+         << "'\n";
+  Cmp("validate on/off StepsExecuted", ByteStats.StepsExecuted,
+      ValStats.StepsExecuted);
+  Cmp("validate on/off SimTime", ByteStats.SimTime, ValStats.SimTime);
+  for (int64_t I = 0; I < kIntLen; ++I)
+    if (ByteI->Ints[size_t(I)] != ValI->Ints[size_t(I)])
+      Diff << "validate on/off outI[" << I << "]: " << ByteI->Ints[size_t(I)]
+           << " vs " << ValI->Ints[size_t(I)] << "\n";
+  for (int64_t I = 0; I < kRows * kCols; ++I)
+    if (ByteF->Floats[size_t(I)] != ValF->Floats[size_t(I)])
+      Diff << "validate on/off outF[" << I << "]: " << ByteF->Floats[size_t(I)]
+           << " vs " << ValF->Floats[size_t(I)] << "\n";
   if (Diff.str().empty())
     return std::nullopt;
   return Fail("tier divergence:\n" + Diff.str());

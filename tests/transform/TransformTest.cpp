@@ -371,4 +371,45 @@ TEST_F(TransformTest, RuntimeABIRoundTrip) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// annotate-inbounds (integer-range consumer)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TransformTest, AnnotateInboundsMarksOnlyProvenAccesses) {
+  // One provable store (gid < 24 against a 24-element accessor range), one
+  // unprovable store (no host-recorded range for %raw): the pass must mark
+  // exactly the accesses the range analysis proves, never the rest.
+  const char *Source = R"(module {
+  func.func @K(%id: memref<15xindex, 5>, %buf: memref<?xf32>, %raw: memref<?xf32>) attributes {sycl.kernel, sycl.lowered, sycl.global_size = [24 : index], sycl.arg_ranges = [[1 : index, 24 : index]]} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "memref.load"(%id, %c0) : (memref<15xindex, 5>, index) -> (index)
+    %v = "arith.constant"() {value = 1.0 : f32} : () -> (f32)
+    "memref.store"(%v, %buf, %gid) : (f32, memref<?xf32>, index) -> ()
+    "memref.store"(%v, %raw, %gid) : (f32, memref<?xf32>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})";
+  OwningOpRef Module = parse(Source);
+  ASSERT_TRUE(runPass(Module.get(), createAnnotateInboundsPass()).succeeded());
+  unsigned Annotated = 0, Stores = 0, AnnotatedStores = 0;
+  Module->walk([&](Operation *Op) {
+    bool Marked = Op->hasAttr("smlir.inbounds");
+    Annotated += Marked;
+    if (Op->getName().getStringRef() == "memref.store") {
+      ++Stores;
+      AnnotatedStores += Marked;
+    }
+  });
+  // The identity-record load and the proven store are marked; the store
+  // through %raw is not.
+  EXPECT_EQ(Annotated, 2u);
+  EXPECT_EQ(Stores, 2u);
+  EXPECT_EQ(AnnotatedStores, 1u);
+  // Idempotent: a second run must not double-annotate or fail.
+  ASSERT_TRUE(runPass(Module.get(), createAnnotateInboundsPass()).succeeded());
+  unsigned Again = 0;
+  Module->walk([&](Operation *Op) { Again += Op->hasAttr("smlir.inbounds"); });
+  EXPECT_EQ(Again, Annotated);
+}
+
 } // namespace

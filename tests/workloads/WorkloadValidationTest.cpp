@@ -14,8 +14,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelLint.h"
 #include "bench/workloads/Workloads.h"
 #include "core/Compiler.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
 #include "runtime/Runtime.h"
 
 #include <gtest/gtest.h>
@@ -219,6 +222,94 @@ TEST_P(WorkloadValidation, AdaptiveCppValidates) {
       runFlow(GetParam().W, core::CompilerFlow::AdaptiveCpp);
   EXPECT_TRUE(Result.Success) << Result.Error;
   EXPECT_TRUE(Result.Validated);
+}
+
+TEST_P(WorkloadValidation, LintClean) {
+  // The kernel safety linter must be quiet on the entire evaluation
+  // surface, in both the high-level SYCL form and the lowered scf/memref
+  // form — the false-positive budget for `smlir-opt --lint` is zero.
+  for (bool LowerToLoops : {false, true}) {
+    MLIRContext Ctx;
+    registerAllDialects(Ctx);
+    frontend::SourceProgram Program = GetParam().W.Build(Ctx);
+    core::CompilerOptions Options;
+    Options.Flow = core::CompilerFlow::SYCLMLIR;
+    Options.LowerToLoops = LowerToLoops;
+    core::Compiler TheCompiler(Options);
+    std::string Error;
+    auto Exe = TheCompiler.compileFor(Program, /*Target=*/{}, &Error);
+    ASSERT_TRUE(Exe) << GetParam().W.Name << ": " << Error;
+    AnalysisManager AM;
+    std::vector<LintDiagnostic> Diags =
+        lintKernels(Exe->getModule().getOperation(), AM);
+    std::string All;
+    for (const LintDiagnostic &Diag : Diags)
+      All += formatLintDiagnostic(Diag) + "\n";
+    EXPECT_TRUE(Diags.empty())
+        << GetParam().W.Name << (LowerToLoops ? " (lowered): " : ": ")
+        << "\n" << All;
+  }
+}
+
+TEST(KernelLintCorpus, SeededViolationsReportTheRightRules) {
+  // One kernel per lint rule, each seeded with exactly the bug the rule
+  // describes; the linter must report each under its stable rule id and
+  // nothing else.
+  const char *Source = R"(module {
+  func.func @oob(%id: memref<15xindex, 5>, %buf: memref<?xf32>) attributes {sycl.kernel, sycl.lowered, sycl.arg_ranges = [[1 : index, 8 : index]]} {
+    %c9 = "arith.constant"() {value = 9 : index} : () -> (index)
+    %v = "arith.constant"() {value = 1.0 : f32} : () -> (f32)
+    "memref.store"(%v, %buf, %c9) : (f32, memref<?xf32>, index) -> ()
+    "func.return"() : () -> ()
+  }
+  func.func @divbar(%item: memref<?x!sycl.nd_item<1>>, %n: index) attributes {sycl.kernel} {
+    %c0 = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %gid = "sycl.nd_item.get_global_id"(%item, %c0) : (memref<?x!sycl.nd_item<1>>, i32) -> (index)
+    %cond = "arith.cmpi"(%gid, %n) {predicate = "slt"} : (index, index) -> (i1)
+    "scf.if"(%cond) ({
+      "gpu.barrier"() : () -> ()
+      "scf.yield"() : () -> ()
+    }, {
+      "scf.yield"() : () -> ()
+    }) : (i1) -> ()
+    "func.return"() : () -> ()
+  }
+  func.func @racy(%item: memref<?x!sycl.nd_item<1>>, %out: memref<?xindex>) attributes {sycl.kernel} {
+    %c0i = "arith.constant"() {value = 0 : i32} : () -> (i32)
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "sycl.nd_item.get_global_id"(%item, %c0i) : (memref<?x!sycl.nd_item<1>>, i32) -> (index)
+    "memref.store"(%gid, %out, %c0) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+  func.func @uninit(%id: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %p = "memref.alloca"() : () -> (memref<4xindex, 5>)
+    %x = "memref.load"(%p, %c0) : (memref<4xindex, 5>, index) -> (index)
+    "func.return"() : () -> ()
+  }
+})";
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  std::string Error;
+  OwningOpRef Module = parseSourceString(&Ctx, Source, &Error);
+  ASSERT_TRUE(Module) << Error;
+  ASSERT_TRUE(verify(Module.get(), &Error).succeeded()) << Error;
+
+  AnalysisManager AM;
+  std::vector<LintDiagnostic> Diags = lintKernels(Module.get(), AM);
+  std::multiset<std::pair<std::string, std::string>> Got;
+  for (const LintDiagnostic &Diag : Diags)
+    Got.insert({Diag.RuleId, Diag.Kernel});
+  std::multiset<std::pair<std::string, std::string>> Expected = {
+      {"oob-access", "oob"},
+      {"divergent-barrier", "divbar"},
+      {"racy-write", "racy"},
+      {"uninit-read", "uninit"},
+  };
+  std::string All;
+  for (const LintDiagnostic &Diag : Diags)
+    All += formatLintDiagnostic(Diag) + "\n";
+  EXPECT_EQ(Got, Expected) << All;
 }
 
 std::vector<Case> allCases() {

@@ -24,6 +24,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelLint.h"
 #include "dialect/Builtin.h"
 #include "exec/Bytecode.h"
 #include "exec/TargetRegistry.h"
@@ -52,6 +53,7 @@ struct Options {
   std::string Target;
   bool EmitBytecode = false;
   std::string EmitBytecodeKernel;
+  bool Lint = false;
   bool VerifyEach = true;
   bool PrintIRAfterAll = false;
   bool PrintIRBeforeAll = false;
@@ -90,6 +92,12 @@ void printHelp(std::ostream &OS) {
      << "                         (superinstruction fusion, default on);\n"
      << "                         kernels must be in lowered form, e.g. via\n"
      << "                         --target=virtual-cpu.\n"
+     << "  --lint                 After the pipeline runs, apply the static\n"
+     << "                         kernel safety rules (oob-access,\n"
+     << "                         divergent-barrier, racy-write,\n"
+     << "                         uninit-read) and print their diagnostics\n"
+     << "                         to stderr; exits 2 when any rule fires,\n"
+     << "                         so it works as a CI gate.\n"
      << "  --list-passes          List registered passes and exit.\n"
      << "  --list-targets         List registered target backends and exit.\n"
      << "  -o <file>              Write output IR to <file> ('-' = stdout).\n"
@@ -130,6 +138,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
         Error = "--emit-bytecode= expects a kernel name";
         return false;
       }
+    } else if (Arg == "--lint") {
+      Opts.Lint = true;
     } else if (Arg == "--list-passes") {
       Opts.ListPasses = true;
     } else if (Arg == "--list-targets") {
@@ -279,6 +289,23 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // The lint gate runs over the post-pipeline module (so e.g.
+  // --target=virtual-cpu lints the lowered form the VM executes) with a
+  // fresh analysis cache. Exit 2 distinguishes findings from usage and
+  // pipeline errors.
+  int ExitCode = 0;
+  if (Opts.Lint) {
+    AnalysisManager AM;
+    std::vector<LintDiagnostic> Diags = lintKernels(Module.get(), AM);
+    for (const LintDiagnostic &Diag : Diags)
+      std::cerr << formatLintDiagnostic(Diag) << "\n";
+    if (!Diags.empty()) {
+      std::cerr << "smlir-opt: --lint: " << Diags.size() << " finding"
+                << (Diags.size() == 1 ? "" : "s") << "\n";
+      ExitCode = 2;
+    }
+  }
+
   std::string IR;
   if (Opts.EmitBytecode) {
     // Print the bytecode tier's compiled form instead of the IR, in the
@@ -331,5 +358,5 @@ int main(int Argc, char **Argv) {
     }
     Out << IR;
   }
-  return 0;
+  return ExitCode;
 }
