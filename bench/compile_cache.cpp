@@ -1,0 +1,185 @@
+//===- compile_cache.cpp - Compilation-service latency benchmark -------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the two-tier compilation service buys on the full
+/// evaluation surface: for every workload, the wall-clock latency of
+///
+///  - a cold compile (full pass pipeline, disk store included),
+///  - a warm-memory hit (same context re-request: a shared_ptr handout),
+///  - a warm-disk hit (memory tier cleared, fresh context: re-parse +
+///    re-verify of the stored IR, bytecode seeded from the stored
+///    blobs — the cost a restarted process pays instead of the
+///    pipeline).
+///
+/// Prints a JSON report to stdout (scripts/bench_compile.sh wraps this
+/// into BENCH_compile.json together with the smlir-serve batch
+/// throughput) and fails — nonzero exit — if any warm-disk request
+/// falls through to the pass pipeline, so the benchmark doubles as a
+/// hit-rate check.
+///
+/// Usage: compile_cache [cache-dir]   (default: a fresh directory under
+/// the system temp dir; the directory is wiped first so the cold pass
+/// is genuinely cold.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/workloads/Workloads.h"
+#include "core/CompileService.h"
+#include "core/Compiler.h"
+#include "exec/TargetRegistry.h"
+#include "ir/MLIRContext.h"
+#include "transform/Passes.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace smlir;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+std::string formatMs(double Ms) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Ms);
+  return Buf;
+}
+
+struct Row {
+  std::string Name;
+  double ColdMs = 0.0;
+  double WarmMemoryMs = 0.0;
+  double WarmDiskMs = 0.0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  registerAllPasses();
+  exec::registerAllTargets();
+
+  std::string Dir = Argc > 1
+                        ? Argv[1]
+                        : (std::filesystem::temp_directory_path() /
+                           "smlir-bench-compile-cache")
+                              .string();
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    std::cerr << "compile_cache: cannot create '" << Dir
+              << "': " << EC.message() << "\n";
+    return 1;
+  }
+
+  auto &Service = core::CompileService::get();
+  Service.resetForTesting();
+  Service.setDiskCacheDir(Dir);
+  Service.setMemoryCapacity(64);
+
+  std::vector<workloads::Workload> All = workloads::getAllWorkloads();
+  std::vector<Row> Rows;
+  Rows.reserve(All.size());
+
+  // Pass 1+2: cold compile (pipeline + disk store) and the warm-memory
+  // re-request out of the same context.
+  for (const workloads::Workload &W : All) {
+    MLIRContext Ctx;
+    registerAllDialects(Ctx);
+    frontend::SourceProgram Program = W.Build(Ctx);
+    core::Compiler TheCompiler({});
+    Row R;
+    R.Name = W.Name;
+
+    std::string Error;
+    auto ColdStart = std::chrono::steady_clock::now();
+    auto Cold = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+    R.ColdMs = msSince(ColdStart);
+    if (!Cold) {
+      std::cerr << "compile_cache: " << W.Name << ": " << Error << "\n";
+      return 1;
+    }
+
+    auto WarmStart = std::chrono::steady_clock::now();
+    auto Warm = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+    R.WarmMemoryMs = msSince(WarmStart);
+    if (!Warm) {
+      std::cerr << "compile_cache: " << W.Name << " (warm): " << Error
+                << "\n";
+      return 1;
+    }
+    Rows.push_back(R);
+  }
+  core::CompileService::Stats AfterCold = Service.getStats();
+
+  // Pass 3: a simulated restart — memory tier dropped, cache directory
+  // kept. Fresh contexts so nothing is left to share in memory.
+  Service.clearMemoryTier();
+  for (size_t I = 0; I < All.size(); ++I) {
+    MLIRContext Ctx;
+    registerAllDialects(Ctx);
+    frontend::SourceProgram Program = All[I].Build(Ctx);
+    core::Compiler TheCompiler({});
+    std::string Error;
+    auto Start = std::chrono::steady_clock::now();
+    auto Exe = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+    Rows[I].WarmDiskMs = msSince(Start);
+    if (!Exe) {
+      std::cerr << "compile_cache: " << All[I].Name
+                << " (disk): " << Error << "\n";
+      return 1;
+    }
+  }
+  core::CompileService::Stats AfterDisk = Service.getStats();
+
+  double ColdTotal = 0.0, WarmMemoryTotal = 0.0, WarmDiskTotal = 0.0;
+  for (const Row &R : Rows) {
+    ColdTotal += R.ColdMs;
+    WarmMemoryTotal += R.WarmMemoryMs;
+    WarmDiskTotal += R.WarmDiskMs;
+  }
+  uint64_t DiskPassMisses = AfterDisk.Misses - AfterCold.Misses;
+
+  std::cout << "{\n  \"workloads\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::cout << "    {\"name\": \"" << R.Name << "\", \"cold_ms\": "
+              << formatMs(R.ColdMs) << ", \"warm_memory_ms\": "
+              << formatMs(R.WarmMemoryMs) << ", \"warm_disk_ms\": "
+              << formatMs(R.WarmDiskMs) << "}"
+              << (I + 1 < Rows.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n"
+            << "  \"totals\": {\"workloads\": " << Rows.size()
+            << ", \"cold_ms\": " << formatMs(ColdTotal)
+            << ", \"warm_memory_ms\": " << formatMs(WarmMemoryTotal)
+            << ", \"warm_disk_ms\": " << formatMs(WarmDiskTotal)
+            << ", \"disk_hits\": " << AfterDisk.DiskHits
+            << ", \"disk_pass_misses\": " << DiskPassMisses
+            << ", \"disk_invalid\": " << AfterDisk.DiskInvalid << "}\n"
+            << "}\n";
+
+  // The hit-rate contract: a warm disk cache must serve the entire sweep
+  // without a single pipeline run.
+  if (DiskPassMisses != 0 || AfterDisk.DiskHits == 0 ||
+      AfterDisk.DiskInvalid != 0) {
+    std::cerr << "compile_cache: warm-disk pass was not fully served from "
+                 "the cache (misses="
+              << DiskPassMisses << ", disk hits=" << AfterDisk.DiskHits
+              << ", invalid=" << AfterDisk.DiskInvalid << ")\n";
+    return 2;
+  }
+  return 0;
+}

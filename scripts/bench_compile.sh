@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Measures the compilation service's two cache tiers on the full workload
+# sweep and writes BENCH_compile.json (or $1):
+#
+#   - per-workload cold / warm-memory / warm-disk compile latency
+#     (bench/compile_cache.cpp; the binary itself enforces that the
+#     warm-disk pass is served entirely from the cache),
+#   - one smlir-serve whole-manifest throughput row: the 38-workload
+#     manifest served cold and then warm against a shared cache
+#     directory, with the aggregate disk-hit count asserted > 0 — the
+#     same cross-process persistence property CI gates on.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+OUT="${1:-$REPO_ROOT/BENCH_compile.json}"
+
+cmake --build "$BUILD_DIR" -j "$JOBS" --target compile_cache smlir-serve
+
+BENCH="$BUILD_DIR/bench/compile_cache"
+SERVE="$BUILD_DIR/tools/smlir-serve"
+for BIN in "$BENCH" "$SERVE"; do
+  if [ ! -x "$BIN" ]; then
+    echo "bench_compile.sh: binary not found or not executable: $BIN" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Tier latencies (the binary exits nonzero if the warm-disk pass ever
+# falls back to the pass pipeline).
+"$BENCH" "$WORK/bench-cache" > "$WORK/tiers.json"
+
+# Batch throughput: dump the workload manifest once, serve it twice
+# against one cache directory — a cold process and a warm one.
+"$SERVE" --dump-workloads "$WORK/wl" 2> /dev/null
+"$SERVE" --json --cache-dir="$WORK/serve-cache" "$WORK/wl/manifest.txt" \
+  > "$WORK/serve-cold.json"
+"$SERVE" --json --cache-dir="$WORK/serve-cache" "$WORK/wl/manifest.txt" \
+  > "$WORK/serve-warm.json"
+
+python3 - "$WORK/tiers.json" "$WORK/serve-cold.json" \
+  "$WORK/serve-warm.json" "$OUT" <<'EOF'
+import json, sys
+
+tiers_path, cold_path, warm_path, out_path = sys.argv[1:5]
+with open(tiers_path) as f:
+    report = json.load(f)
+with open(cold_path) as f:
+    cold = json.load(f)
+with open(warm_path) as f:
+    warm = json.load(f)
+
+# The persistence property: the second (warm) process must be served
+# from the disk tier, not recompile.
+warm_disk_hits = warm["service"]["disk_hits"]
+warm_misses = warm["service"]["misses"]
+if warm_disk_hits == 0:
+    sys.exit("bench_compile.sh: warm smlir-serve run had zero disk hits")
+if any(not r["ok"] for r in cold["requests"] + warm["requests"]):
+    sys.exit("bench_compile.sh: a serve request failed")
+
+report["serve"] = {
+    "requests": cold["aggregate"]["requests"],
+    "cold_wall_ms": cold["aggregate"]["wall_ms"],
+    "cold_requests_per_s": cold["aggregate"]["requests_per_s"],
+    "warm_wall_ms": warm["aggregate"]["wall_ms"],
+    "warm_requests_per_s": warm["aggregate"]["requests_per_s"],
+    "warm_disk_hits": warm_disk_hits,
+    "warm_misses": warm_misses,
+}
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+t = report["totals"]
+print(f"compile tiers over {t['workloads']} workloads: "
+      f"cold {float(t['cold_ms']):.1f} ms, "
+      f"warm-memory {float(t['warm_memory_ms']):.1f} ms, "
+      f"warm-disk {float(t['warm_disk_ms']):.1f} ms")
+s = report["serve"]
+print(f"smlir-serve manifest: cold {s['cold_wall_ms']} ms "
+      f"({s['cold_requests_per_s']} req/s), warm {s['warm_wall_ms']} ms "
+      f"({s['warm_requests_per_s']} req/s), "
+      f"{s['warm_disk_hits']} disk hits")
+print(f"wrote {out_path}")
+EOF

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Cross-process cache-persistence gate, run by CI after the tier-1 verify
+# (both in the plain build and under ASan+UBSan): dump the workload
+# manifest, serve it from two separate smlir-serve processes sharing one
+# cache directory, and fail unless the second process is served from the
+# disk tier — nonzero disk hits, zero pipeline misses, zero invalid
+# entries. This is the property that makes $SMLIR_CACHE_DIR useful at
+# all: artifacts written by one process must be loadable by the next.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+cmake --build "$BUILD_DIR" -j "$JOBS" --target smlir-serve
+SERVE="$BUILD_DIR/tools/smlir-serve"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$SERVE" --dump-workloads "$WORK/wl" 2> /dev/null
+
+# First process: cold — every request compiles and stores its artifact.
+"$SERVE" --cache-dir="$WORK/cache" "$WORK/wl/manifest.txt" \
+  > "$WORK/cold.txt"
+# Second process: must come back warm off the same directory.
+"$SERVE" --cache-dir="$WORK/cache" "$WORK/wl/manifest.txt" \
+  > "$WORK/warm.txt"
+
+counter() { # counter <file> <label>
+  sed -n "s/^  $2: \([0-9][0-9]*\)\$/\1/p" "$1"
+}
+
+COLD_STORES="$(counter "$WORK/cold.txt" "disk stores")"
+WARM_HITS="$(counter "$WORK/warm.txt" "disk hits")"
+WARM_MISSES="$(counter "$WORK/warm.txt" "misses")"
+WARM_INVALID="$(counter "$WORK/warm.txt" "disk invalid")"
+
+echo "cache persistence: ${COLD_STORES:-0} stored cold," \
+  "${WARM_HITS:-0} disk hits / ${WARM_MISSES:-?} misses /" \
+  "${WARM_INVALID:-?} invalid warm"
+
+if [ -z "$COLD_STORES" ] || [ "$COLD_STORES" -eq 0 ]; then
+  echo "check_cache_persistence.sh: cold run stored nothing to disk" >&2
+  exit 1
+fi
+if [ -z "$WARM_HITS" ] || [ "$WARM_HITS" -eq 0 ]; then
+  echo "check_cache_persistence.sh: warm run had zero disk hits" >&2
+  tail -20 "$WORK/warm.txt" >&2
+  exit 1
+fi
+if [ "$WARM_MISSES" != 0 ] || [ "$WARM_INVALID" != 0 ]; then
+  echo "check_cache_persistence.sh: warm run fell back to the pipeline" \
+    "(misses=$WARM_MISSES, invalid=$WARM_INVALID)" >&2
+  tail -20 "$WORK/warm.txt" >&2
+  exit 1
+fi

@@ -1,0 +1,619 @@
+//===- CompileService.cpp - Process-wide two-tier compile cache ----------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CompileService.h"
+
+#include "dialect/Builtin.h"
+#include "ir/Block.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace smlir;
+using namespace smlir::core;
+
+std::string_view core::stringifyOutcome(CompileOutcome Outcome) {
+  switch (Outcome) {
+  case CompileOutcome::MemoryHit:
+    return "memory-hit";
+  case CompileOutcome::Rematerialized:
+    return "rematerialized";
+  case CompileOutcome::DiskHit:
+    return "disk-hit";
+  case CompileOutcome::Miss:
+    return "miss";
+  case CompileOutcome::Failed:
+    return "failed";
+  }
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Binary helpers (disk-entry encoding)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t fnv1a(std::string_view Bytes) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (char C : Bytes) {
+    Hash ^= static_cast<uint8_t>(C);
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+/// The content hash naming a disk entry: the format version is mixed in
+/// so a version bump changes every filename and old files simply stop
+/// being found (in addition to the in-file version check).
+uint64_t hashKey(const std::string &Key) {
+  std::string Tagged = "smlirc-v";
+  Tagged += std::to_string(kCompileCacheFormatVersion);
+  Tagged += ':';
+  Tagged += Key;
+  return fnv1a(Tagged);
+}
+
+struct Writer {
+  std::string Out;
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void str(std::string_view S) {
+    u64(S.size());
+    Out.append(S);
+  }
+};
+
+struct Reader {
+  std::string_view In;
+  size_t Pos = 0;
+  bool Bad = false;
+
+  size_t remaining() const { return Bad ? 0 : In.size() - Pos; }
+  bool ok() const { return !Bad; }
+  uint8_t u8() {
+    if (remaining() < 1) {
+      Bad = true;
+      return 0;
+    }
+    return static_cast<uint8_t>(In[Pos++]);
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(u8()) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(u8()) << (8 * I);
+    return V;
+  }
+  std::string str() {
+    uint64_t Len = u64();
+    if (remaining() < Len) {
+      Bad = true;
+      return {};
+    }
+    std::string S(In.substr(Pos, Len));
+    Pos += Len;
+    return S;
+  }
+  /// Count whose elements (at least \p ElemSize bytes each) must fit in
+  /// the remaining input — a corrupt count must not drive allocation.
+  uint64_t count(size_t ElemSize) {
+    uint64_t N = u64();
+    if (ElemSize != 0 && N > remaining() / ElemSize) {
+      Bad = true;
+      return 0;
+    }
+    return N;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+CompileService &CompileService::get() {
+  static CompileService *Service = new CompileService();
+  return *Service;
+}
+
+CompileService::CompileService() { loadConfigFromEnv(); }
+
+void CompileService::loadConfigFromEnv() {
+  Capacity = 64;
+  if (const char *Env = std::getenv("SMLIR_CACHE_MEM_ENTRIES"))
+    if (*Env) {
+      char *End = nullptr;
+      long Value = std::strtol(Env, &End, 10);
+      if (End && *End == '\0' && Value >= 1)
+        Capacity = static_cast<size_t>(Value);
+    }
+  CacheDir.clear();
+  if (const char *Env = std::getenv("SMLIR_CACHE_DIR"))
+    CacheDir = Env;
+}
+
+void CompileService::watchContextLocked(MLIRContext *Ctx) {
+  if (!WatchedContexts.insert(Ctx).second)
+    return;
+  Ctx->addDestructionObserver(
+      [](MLIRContext *Dead) { CompileService::get().onContextDestroyed(Dead); });
+}
+
+CompileService::Entry &
+CompileService::touchEntryLocked(const std::string &Key) {
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    LRU.push_front(Key);
+    It = Entries.emplace(Key, Entry{}).first;
+    It->second.LRUPos = LRU.begin();
+    return It->second;
+  }
+  LRU.splice(LRU.begin(), LRU, It->second.LRUPos);
+  return It->second;
+}
+
+void CompileService::enforceCapacityLocked() {
+  while (Entries.size() > Capacity) {
+    // The back of the LRU is never the entry just touched (size >
+    // capacity >= 1 implies at least two entries). Dropping the entry
+    // releases the artifact and the service's module references;
+    // executables holding the module through their shared_ptr are
+    // unaffected.
+    Entries.erase(LRU.back());
+    LRU.pop_back();
+    ++S.Evictions;
+  }
+}
+
+void CompileService::onContextDestroyed(MLIRContext *Ctx) {
+  std::lock_guard<std::mutex> Lock(M);
+  WatchedContexts.erase(Ctx);
+  for (auto &KV : Entries)
+    S.DeadContextEvictions += KV.second.Modules.erase(Ctx);
+}
+
+CompileService::Stats CompileService::getStats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Stats Snapshot = S;
+  Snapshot.MemoryEntries = Entries.size();
+  return Snapshot;
+}
+
+void CompileService::setMemoryCapacity(size_t NewCapacity) {
+  std::lock_guard<std::mutex> Lock(M);
+  Capacity = std::max<size_t>(1, NewCapacity);
+  enforceCapacityLocked();
+}
+
+void CompileService::setDiskCacheDir(std::string Dir) {
+  std::lock_guard<std::mutex> Lock(M);
+  CacheDir = std::move(Dir);
+}
+
+std::string CompileService::getDiskCacheDir() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return CacheDir;
+}
+
+void CompileService::clearMemoryTier() {
+  std::lock_guard<std::mutex> Lock(M);
+  Entries.clear();
+  LRU.clear();
+}
+
+void CompileService::resetForTesting() {
+  std::lock_guard<std::mutex> Lock(M);
+  Entries.clear();
+  LRU.clear();
+  S = Stats{};
+  // Contexts stay watched: their observers already point here and
+  // re-registering on the next request would stack duplicates.
+  loadConfigFromEnv();
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact <-> CompiledModule
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const CompileService::Artifact>
+CompileService::buildArtifact(const CompiledModule &Compiled,
+                              bool WithBytecode) {
+  auto Art = std::make_shared<Artifact>();
+  Art->OptimizedIR = Compiled.Module.get()->str();
+  Art->DeadArgs = Compiled.DeadArgs;
+  Art->Report = Compiled.Report;
+  Art->Lowered = Compiled.Lowered;
+  Art->BcFusion = exec::bc::getDefaultFusionEnabled();
+  Art->BcInbounds = exec::bc::getDefaultInboundsEnabled();
+  if (WithBytecode && Compiled.Lowered) {
+    // Translate every kernel now (the translations land in the module's
+    // own bytecode cache, so launches reuse them) and persist the
+    // successes; untranslatable kernels simply have no blob and a warm
+    // process re-attempts them lazily.
+    auto Top = ModuleOp::cast(Compiled.Module.get());
+    if (auto Kernels = ModuleOp::dyn_cast(Top.lookupSymbol("kernels")))
+      for (Operation *Op : *Kernels.getBody()) {
+        auto Kernel = FuncOp::dyn_cast(Op);
+        if (!Kernel)
+          continue;
+        std::string Name(Kernel.getName());
+        if (const exec::bc::Function *Fn = Compiled.getBytecode(Kernel, Name))
+          Art->Bytecode.emplace_back(Name, exec::bc::serialize(*Fn));
+      }
+  }
+  return Art;
+}
+
+std::shared_ptr<const CompiledModule>
+CompileService::materialize(const Artifact &Art, MLIRContext *Ctx) {
+  std::string ParseError;
+  OwningOpRef Module = parseSourceString(Ctx, Art.OptimizedIR, &ParseError);
+  if (!Module || verify(Module.get()).failed())
+    return nullptr;
+  auto Compiled = std::make_shared<CompiledModule>();
+  Compiled->Module = std::move(Module);
+  Compiled->DeadArgs = Art.DeadArgs;
+  Compiled->Report = Art.Report;
+  Compiled->Lowered = Art.Lowered;
+  // Seed the stored bytecode only when this process runs the same
+  // translation configuration the blobs were produced under — otherwise
+  // lazy retranslation recreates them with the current knobs.
+  if (Art.BcFusion == exec::bc::getDefaultFusionEnabled() &&
+      Art.BcInbounds == exec::bc::getDefaultInboundsEnabled())
+    for (const auto &[Name, Blob] : Art.Bytecode)
+      if (std::unique_ptr<exec::bc::Function> Fn = exec::bc::deserialize(Blob))
+        Compiled->seedBytecode(Name, std::move(Fn));
+  return Compiled;
+}
+
+//===----------------------------------------------------------------------===//
+// Disk tier
+//===----------------------------------------------------------------------===//
+
+std::string CompileService::diskPathFor(const std::string &Dir,
+                                        const std::string &Key) {
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(hashKey(Key)));
+  return Dir + "/" + Hex + ".smlirc";
+}
+
+std::shared_ptr<const CompileService::Artifact>
+CompileService::loadDiskEntry(const std::string &Path, const std::string &Key,
+                              bool &Invalid) {
+  Invalid = false;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return nullptr; // No entry: a plain miss, not corruption.
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Bytes = Buffer.str();
+
+  // Header: magic, format version, key hash, payload checksum, payload
+  // size. Validation order matters for the counters: a version bump or
+  // bit flip is "invalid" (counted, recompiled); a hash collision whose
+  // stored key differs is a plain miss.
+  constexpr size_t HeaderSize = 4 + 4 + 8 + 8 + 8;
+  Invalid = true;
+  if (Bytes.size() < HeaderSize || Bytes.substr(0, 4) != "SMLC")
+    return nullptr;
+  Reader H{Bytes, 4};
+  if (H.u32() != kCompileCacheFormatVersion)
+    return nullptr;
+  if (H.u64() != hashKey(Key))
+    return nullptr;
+  uint64_t Checksum = H.u64();
+  uint64_t PayloadSize = H.u64();
+  if (PayloadSize != Bytes.size() - HeaderSize)
+    return nullptr;
+  std::string_view Payload(Bytes.data() + HeaderSize, PayloadSize);
+  if (fnv1a(Payload) != Checksum)
+    return nullptr;
+
+  Reader R{Payload};
+  std::string StoredKey = R.str();
+  if (R.ok() && StoredKey != Key) {
+    Invalid = false; // A different key hashed to this file name.
+    return nullptr;
+  }
+  auto Art = std::make_shared<Artifact>();
+  Art->OptimizedIR = R.str();
+  Art->Report = R.str();
+  Art->Lowered = R.u8() != 0;
+  uint64_t NumDead = R.count(16);
+  for (uint64_t I = 0; R.ok() && I < NumDead; ++I) {
+    std::string Kernel = R.str();
+    uint64_t N = R.count(4);
+    std::set<unsigned> &Indices = Art->DeadArgs[Kernel];
+    for (uint64_t J = 0; R.ok() && J < N; ++J)
+      Indices.insert(R.u32());
+  }
+  Art->BcFusion = R.u8() != 0;
+  Art->BcInbounds = R.u8() != 0;
+  uint64_t NumBlobs = R.count(16);
+  for (uint64_t I = 0; R.ok() && I < NumBlobs; ++I) {
+    std::string Name = R.str();
+    std::string Blob = R.str();
+    Art->Bytecode.emplace_back(std::move(Name), std::move(Blob));
+  }
+  if (!R.ok() || R.remaining() != 0)
+    return nullptr;
+  Invalid = false;
+  return Art;
+}
+
+void CompileService::storeDiskEntry(const std::string &Path,
+                                    const std::string &Key,
+                                    const Artifact &Art) {
+  Writer P;
+  P.str(Key);
+  P.str(Art.OptimizedIR);
+  P.str(Art.Report);
+  P.u8(Art.Lowered ? 1 : 0);
+  P.u64(Art.DeadArgs.size());
+  for (const auto &[Kernel, Indices] : Art.DeadArgs) {
+    P.str(Kernel);
+    P.u64(Indices.size());
+    for (unsigned Index : Indices)
+      P.u32(Index);
+  }
+  P.u8(Art.BcFusion ? 1 : 0);
+  P.u8(Art.BcInbounds ? 1 : 0);
+  P.u64(Art.Bytecode.size());
+  for (const auto &[Name, Blob] : Art.Bytecode) {
+    P.str(Name);
+    P.str(Blob);
+  }
+
+  Writer File;
+  File.Out.append("SMLC");
+  File.u32(kCompileCacheFormatVersion);
+  File.u64(hashKey(Key));
+  File.u64(fnv1a(P.Out));
+  File.u64(P.Out.size());
+  File.Out.append(P.Out);
+
+  // Best-effort and atomic: a full temp file renamed into place, so a
+  // concurrent reader (or a second process sharing the directory) sees
+  // either no entry or a complete one, never a torn write. IO failures
+  // leave the cache cold — the compile already succeeded.
+  std::error_code EC;
+  std::filesystem::create_directories(
+      std::filesystem::path(Path).parent_path(), EC);
+  if (EC)
+    return;
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(File.Out.data(),
+              static_cast<std::streamsize>(File.Out.size()));
+    if (!Out) {
+      Out.close();
+      std::filesystem::remove(Tmp, EC);
+      return;
+    }
+  }
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC)
+    std::filesystem::remove(Tmp, EC);
+}
+
+//===----------------------------------------------------------------------===//
+// compileThrough
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const CompiledModule> CompileService::compileThrough(
+    MLIRContext *Ctx, std::string SourceIR, std::string_view Target,
+    std::string_view Pipeline, const CompileFn &RunPipeline,
+    CompileOutcome *Outcome, std::string *ErrorMessage) {
+  auto SetOutcome = [&](CompileOutcome O) {
+    if (Outcome)
+      *Outcome = O;
+  };
+
+  std::string Key;
+  Key.reserve(Target.size() + Pipeline.size() + SourceIR.size() + 2);
+  Key.append(Target);
+  Key.push_back('\0');
+  Key.append(Pipeline);
+  Key.push_back('\0');
+  Key.append(SourceIR);
+
+  // The retry loop re-enters the lookup after waiting on an in-flight
+  // compile (whose published entry then serves this request) or after a
+  // rematerialization raced an eviction.
+  for (;;) {
+    std::shared_ptr<const Artifact> Art;
+    std::shared_ptr<InFlight> Flight;
+    bool IsOwner = false;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      watchContextLocked(Ctx);
+      if (auto It = Entries.find(Key); It != Entries.end()) {
+        Entry &E = touchEntryLocked(Key);
+        if (auto MIt = E.Modules.find(Ctx); MIt != E.Modules.end()) {
+          ++S.MemoryHits;
+          SetOutcome(CompileOutcome::MemoryHit);
+          return MIt->second;
+        }
+        Art = E.Art;
+      } else {
+        auto &Slot = InFlightMap[Key];
+        if (!Slot) {
+          Slot = std::make_shared<InFlight>();
+          IsOwner = true;
+        } else {
+          ++S.InFlightWaits;
+        }
+        Flight = Slot;
+      }
+    }
+
+    // Cross-context service: parse the artifact into this context
+    // outside the lock (context uniquing is internally locked; two
+    // requesters racing here insert-if-absent below and one copy wins).
+    if (Art) {
+      std::shared_ptr<const CompiledModule> Module = materialize(*Art, Ctx);
+      std::lock_guard<std::mutex> Lock(M);
+      auto It = Entries.find(Key);
+      if (Module) {
+        if (It != Entries.end()) {
+          Module = It->second.Modules.emplace(Ctx, Module).first->second;
+        } else {
+          // Evicted while parsing: re-insert, the artifact is valid.
+          Entry &E = touchEntryLocked(Key);
+          E.Art = Art;
+          E.Modules.emplace(Ctx, Module);
+          enforceCapacityLocked();
+        }
+        ++S.Rematerialized;
+        SetOutcome(CompileOutcome::Rematerialized);
+        return Module;
+      }
+      // The stored IR failed to parse/verify in this context (a context
+      // with different dialects registered, or a poisoned artifact):
+      // drop the entry and recompile from scratch.
+      if (It != Entries.end()) {
+        LRU.erase(It->second.LRUPos);
+        Entries.erase(It);
+      }
+      continue;
+    }
+
+    if (!IsOwner) {
+      {
+        std::unique_lock<std::mutex> FlightLock(Flight->M);
+        Flight->CV.wait(FlightLock, [&] { return Flight->Done; });
+        if (!Flight->Success) {
+          if (ErrorMessage)
+            *ErrorMessage = Flight->Error;
+          SetOutcome(CompileOutcome::Failed);
+          return nullptr;
+        }
+      }
+      continue; // The owner published the entry; the re-lookup serves it.
+    }
+
+    // Owner path: this request resolves the key for the whole process.
+    auto PublishFlight = [&](bool Success, std::string Error) {
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        InFlightMap.erase(Key);
+      }
+      {
+        std::lock_guard<std::mutex> FlightLock(Flight->M);
+        Flight->Done = true;
+        Flight->Success = Success;
+        Flight->Error = std::move(Error);
+      }
+      Flight->CV.notify_all();
+    };
+
+    std::string Dir;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Dir = CacheDir;
+    }
+
+    // Disk probe: a valid entry replaces the pipeline run with a parse +
+    // verify; anything wrong with the file demotes silently.
+    if (!Dir.empty()) {
+      bool Invalid = false;
+      std::shared_ptr<const Artifact> DiskArt =
+          loadDiskEntry(diskPathFor(Dir, Key), Key, Invalid);
+      std::shared_ptr<const CompiledModule> Module;
+      if (DiskArt) {
+        Module = materialize(*DiskArt, Ctx);
+        if (!Module)
+          Invalid = true; // Stored IR no longer parses in this build.
+      }
+      if (Invalid) {
+        std::lock_guard<std::mutex> Lock(M);
+        ++S.DiskInvalid;
+      }
+      if (Module) {
+        {
+          std::lock_guard<std::mutex> Lock(M);
+          Entry &E = touchEntryLocked(Key);
+          E.Art = DiskArt;
+          E.Modules.emplace(Ctx, Module);
+          ++S.DiskHits;
+          enforceCapacityLocked();
+        }
+        PublishFlight(true, {});
+        SetOutcome(CompileOutcome::DiskHit);
+        return Module;
+      }
+    }
+
+    // Full compile. The concurrency high-water mark is the observable
+    // proof that independent keys overlap (including in one context —
+    // the old whole-context pipeline serialization is gone).
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++ActiveCompiles;
+      S.MaxConcurrentCompiles =
+          std::max(S.MaxConcurrentCompiles, ActiveCompiles);
+    }
+    std::string Error;
+    std::shared_ptr<const CompiledModule> Result = RunPipeline(Error);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      --ActiveCompiles;
+    }
+
+    if (!Result) {
+      PublishFlight(false, Error);
+      if (ErrorMessage)
+        *ErrorMessage = Error;
+      SetOutcome(CompileOutcome::Failed);
+      return nullptr;
+    }
+
+    std::shared_ptr<const Artifact> NewArt =
+        buildArtifact(*Result, /*WithBytecode=*/!Dir.empty());
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Entry &E = touchEntryLocked(Key);
+      E.Art = NewArt;
+      E.Modules.emplace(Ctx, Result);
+      ++S.Misses;
+      enforceCapacityLocked();
+    }
+    if (!Dir.empty()) {
+      storeDiskEntry(diskPathFor(Dir, Key), Key, *NewArt);
+      std::lock_guard<std::mutex> Lock(M);
+      ++S.DiskStores;
+    }
+    PublishFlight(true, {});
+    SetOutcome(CompileOutcome::Miss);
+    return Result;
+  }
+}

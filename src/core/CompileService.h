@@ -1,0 +1,234 @@
+//===- CompileService.h - Process-wide two-tier compile cache ---*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-global compilation service behind `Compiler::compileFor`:
+/// every compilation request in the process, from any `Compiler` instance
+/// and any `MLIRContext`, funnels through one content-addressed cache
+/// with two tiers.
+///
+///  - **Memory tier**: a size-bounded LRU of compilation *artifacts*
+///    (the optimized module's printed IR plus its launch metadata),
+///    keyed by (target, pipeline, printed source IR) — no context in the
+///    key, so textually identical programs share one artifact
+///    process-wide. Each artifact carries the `CompiledModule`s already
+///    materialized from it, per context: a requester in the same context
+///    gets the identical `shared_ptr` (a memory hit); a requester in a
+///    different context re-parses the artifact's IR into its own context
+///    (a rematerialization) — modules never cross context boundaries, so
+///    a context dying can never dangle another context's executable.
+///    A destruction observer on every context the service has seen drops
+///    that context's materialized modules the moment it dies.
+///
+///  - **Disk tier** (`$SMLIR_CACHE_DIR`, off when unset): artifacts are
+///    persisted as one file per content hash, with a format version, the
+///    full key echoed for exact match, a payload checksum, and the
+///    per-kernel serialized bytecode (exec/Bytecode.h serialize). A warm
+///    process re-parses and re-verifies the stored IR instead of running
+///    the pass pipeline; any version or hash mismatch, truncation or
+///    checksum failure silently demotes to a full compile (counted in
+///    DiskInvalid). Writes are atomic (temp file + rename), so
+///    concurrent processes sharing one cache directory never observe a
+///    torn entry.
+///
+/// In-flight compilations deduplicate process-wide: the first requester
+/// of a key compiles, every concurrent requester of the same key waits
+/// for that one result — one pipeline run per key no matter how many
+/// compilers race. Distinct keys compile genuinely concurrently, in the
+/// same context too (the old per-context pipeline serialization is gone;
+/// MaxConcurrentCompiles in the stats proves the overlap).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_CORE_COMPILESERVICE_H
+#define SMLIR_CORE_COMPILESERVICE_H
+
+#include "core/Compiler.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smlir {
+namespace core {
+
+/// How one compileThrough request was served (most-shared to least).
+enum class CompileOutcome {
+  /// The requesting context already had the materialized module.
+  MemoryHit,
+  /// Another context's compile left an artifact; re-parsed into the
+  /// requesting context without running the pipeline.
+  Rematerialized,
+  /// Loaded from the disk tier: parsed + verified from the stored IR,
+  /// bytecode seeded from the stored blobs.
+  DiskHit,
+  /// Nothing cached anywhere: this request ran the pass pipeline.
+  Miss,
+  /// The pipeline failed (failures are never cached).
+  Failed,
+};
+
+std::string_view stringifyOutcome(CompileOutcome Outcome);
+
+/// Bump when the cached artifact layout, the printed-IR format, or
+/// anything else that makes old disk entries meaningless changes. Old
+/// entries then read as version mismatches and recompile cleanly.
+inline constexpr uint32_t kCompileCacheFormatVersion = 1;
+
+class CompileService {
+public:
+  /// Per-tier counters; a getStats() snapshot is internally consistent.
+  struct Stats {
+    uint64_t MemoryHits = 0;      ///< Same-context shared_ptr handouts.
+    uint64_t Rematerialized = 0;  ///< Cross-context re-parses.
+    uint64_t DiskHits = 0;        ///< Entries loaded from $SMLIR_CACHE_DIR.
+    uint64_t DiskStores = 0;      ///< Entries persisted to disk.
+    uint64_t DiskInvalid = 0;     ///< Corrupt/stale disk entries demoted.
+    uint64_t Misses = 0;          ///< Full pipeline runs.
+    uint64_t Evictions = 0;       ///< LRU capacity evictions.
+    uint64_t DeadContextEvictions = 0; ///< Modules dropped at context death.
+    uint64_t InFlightWaits = 0;   ///< Requests that waited on another's run.
+    uint64_t MaxConcurrentCompiles = 0; ///< High-water mark of pipeline runs.
+    uint64_t MemoryEntries = 0;   ///< Current memory-tier size.
+  };
+
+  /// Runs the full pass pipeline for a key nobody has compiled: returns
+  /// the compiled module, or null with \p Error set. Supplied by
+  /// Compiler::compileFor; invoked outside the service lock, at most
+  /// once per key process-wide at a time.
+  using CompileFn =
+      std::function<std::shared_ptr<const CompiledModule>(std::string &Error)>;
+
+  /// The process-wide service.
+  static CompileService &get();
+
+  /// Serves one compilation request for (\p Target, \p Pipeline,
+  /// \p SourceIR) materialized into \p Ctx, trying tiers most-shared
+  /// first: same-context module, cross-context artifact, disk entry,
+  /// then \p RunPipeline. \p Outcome (optional) reports which tier
+  /// served it. Returns null with \p ErrorMessage on pipeline failure.
+  std::shared_ptr<const CompiledModule>
+  compileThrough(MLIRContext *Ctx, std::string SourceIR,
+                 std::string_view Target, std::string_view Pipeline,
+                 const CompileFn &RunPipeline,
+                 CompileOutcome *Outcome = nullptr,
+                 std::string *ErrorMessage = nullptr);
+
+  Stats getStats() const;
+
+  /// Memory-tier capacity in artifacts (min 1). Initialized from
+  /// $SMLIR_CACHE_MEM_ENTRIES (default 64).
+  void setMemoryCapacity(size_t Entries);
+
+  /// Points the disk tier at \p Dir (created on first store); empty
+  /// disables it. Initialized from $SMLIR_CACHE_DIR.
+  void setDiskCacheDir(std::string Dir);
+  std::string getDiskCacheDir() const;
+
+  /// Drops every memory-tier entry (artifacts and materialized modules;
+  /// outstanding executables keep theirs alive through their
+  /// shared_ptr). The disk tier and the counters are untouched — this is
+  /// how one process simulates a cold restart against a warm disk cache.
+  void clearMemoryTier();
+
+  /// Returns the service to its freshly-constructed state: memory tier
+  /// cleared, counters zeroed, capacity and disk directory re-read from
+  /// the environment. Tests asserting exact hit/miss counts call this
+  /// first so earlier tests in the binary can't pre-warm their keys.
+  void resetForTesting();
+
+  /// Invoked by the MLIRContext destruction observer: drops every module
+  /// materialized in \p Ctx (artifacts stay — they are context-free).
+  void onContextDestroyed(MLIRContext *Ctx);
+
+private:
+  CompileService();
+
+  /// A context-free compilation result: everything needed to rebuild a
+  /// CompiledModule in any context, and the unit the disk tier persists.
+  struct Artifact {
+    std::string OptimizedIR;
+    std::map<std::string, std::set<unsigned>> DeadArgs;
+    std::string Report;
+    bool Lowered = false;
+    /// Translation configuration of the bytecode blobs below; seeding is
+    /// skipped when the loading process runs different defaults (lazy
+    /// retranslation covers it).
+    bool BcFusion = false;
+    bool BcInbounds = false;
+    /// Kernel name -> bc::serialize blob (only populated when the disk
+    /// tier is active; the memory tier retranslates lazily).
+    std::vector<std::pair<std::string, std::string>> Bytecode;
+  };
+
+  struct Entry {
+    std::shared_ptr<const Artifact> Art;
+    /// Modules already parsed from Art, one per living context.
+    std::map<MLIRContext *, std::shared_ptr<const CompiledModule>> Modules;
+    std::list<std::string>::iterator LRUPos;
+  };
+
+  /// One compilation in progress (per key, process-wide).
+  struct InFlight {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    bool Success = false;
+    std::string Error;
+  };
+
+  void loadConfigFromEnv();
+  /// Registers the dead-context observer for \p Ctx once. Lock held.
+  void watchContextLocked(MLIRContext *Ctx);
+  /// Inserts/refreshes \p Key at the front of the LRU. Lock held.
+  Entry &touchEntryLocked(const std::string &Key);
+  /// Evicts least-recently-used entries down to capacity. Lock held.
+  void enforceCapacityLocked();
+
+  /// Builds an Artifact from a freshly compiled module (prints the IR;
+  /// when \p WithBytecode, translates and serializes every kernel).
+  static std::shared_ptr<const Artifact>
+  buildArtifact(const CompiledModule &Compiled, bool WithBytecode);
+  /// Parses \p Art into \p Ctx and rebuilds a CompiledModule (verifying
+  /// the parsed IR); null if the stored IR does not parse/verify.
+  static std::shared_ptr<const CompiledModule>
+  materialize(const Artifact &Art, MLIRContext *Ctx);
+
+  static std::string diskPathFor(const std::string &Dir,
+                                 const std::string &Key);
+  /// Reads + fully validates the disk entry for \p Key. Returns null and
+  /// sets \p Invalid when a file existed but was corrupt/stale/mismatched
+  /// (no file at all is a plain miss, not an invalid entry).
+  static std::shared_ptr<const Artifact>
+  loadDiskEntry(const std::string &Path, const std::string &Key,
+                bool &Invalid);
+  static void storeDiskEntry(const std::string &Path, const std::string &Key,
+                             const Artifact &Art);
+
+  mutable std::mutex M;
+  std::map<std::string, Entry> Entries;
+  /// Front = most recently used.
+  std::list<std::string> LRU;
+  std::map<std::string, std::shared_ptr<InFlight>> InFlightMap;
+  std::set<MLIRContext *> WatchedContexts;
+  size_t Capacity = 64;
+  std::string CacheDir;
+  Stats S;
+  uint64_t ActiveCompiles = 0;
+};
+
+} // namespace core
+} // namespace smlir
+
+#endif // SMLIR_CORE_COMPILESERVICE_H

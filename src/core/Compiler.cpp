@@ -6,6 +6,7 @@
 
 #include "core/Compiler.h"
 
+#include "core/CompileService.h"
 #include "dialect/SYCL.h"
 #include "ir/Block.h"
 #include "ir/PassRegistry.h"
@@ -49,6 +50,15 @@ CompiledModule::getBytecode(FuncOp Kernel, std::string_view Name,
   if (!It->second.first && WhyNot)
     *WhyNot = It->second.second;
   return It->second.first.get();
+}
+
+void CompiledModule::seedBytecode(std::string Name,
+                                  std::unique_ptr<const exec::bc::Function> Fn) {
+  std::lock_guard<std::mutex> Lock(BytecodeMutex);
+  // emplace keeps an existing translation: the first seed (or a lazy
+  // translation that raced it) wins.
+  Bytecode.emplace(std::move(Name),
+                   std::make_pair(std::move(Fn), std::string()));
 }
 
 //===----------------------------------------------------------------------===//
@@ -301,7 +311,9 @@ LogicalResult Compiler::buildPipeline(PassManager &PM,
 std::unique_ptr<Executable>
 Compiler::compileFor(const frontend::SourceProgram &Program,
                      const exec::TargetBackend &Target,
-                     std::string *ErrorMessage) {
+                     std::string *ErrorMessage, CompileOutcome *Outcome) {
+  if (Outcome)
+    *Outcome = CompileOutcome::Failed;
   if (!Program.DeviceModule) {
     if (ErrorMessage)
       *ErrorMessage = "program has no device module";
@@ -309,79 +321,19 @@ Compiler::compileFor(const frontend::SourceProgram &Program,
   }
 
   std::string Pipeline = getPipeline(Options, Target);
-  // Content-addressed cache key: the printed source module (so a program
+  // Content-addressed request: the printed source module (so a program
   // rebuilt or mutated in place can never silently hit a stale entry —
-  // one print is cheap next to a pipeline run), scoped to its context
-  // (modules must not cross MLIRContext lifetimes).
-  CacheKey Key = std::make_tuple(static_cast<const void *>(Program.Context),
-                                 Program.DeviceModule.get()->str(),
-                                 std::string(Target.getMnemonic()), Pipeline);
+  // one print is cheap next to a pipeline run). The CompileService keys
+  // on (target, pipeline, source IR) process-wide: textually identical
+  // programs share one compiled artifact across compilers and contexts.
+  std::string SourceIR = Program.DeviceModule.get()->str();
 
-  // Cache lookup with in-flight deduplication: the first requester of a
-  // key becomes its owner and compiles; concurrent requesters wait for
-  // the owner's result instead of compiling the same module twice.
-  std::shared_ptr<InFlightCompile> Flight;
-  bool IsOwner = false;
-  {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    if (auto It = Cache.find(Key); It != Cache.end()) {
-      Hits.fetch_add(1, std::memory_order_acq_rel);
-      LastReport = It->second->Report;
-      return std::make_unique<Executable>(It->second, Options, Target);
-    }
-    auto &Slot = InFlight[Key];
-    if (!Slot) {
-      Slot = std::make_shared<InFlightCompile>();
-      IsOwner = true;
-    }
-    Flight = Slot;
-  }
-
-  if (!IsOwner) {
-    std::unique_lock<std::mutex> FlightLock(Flight->M);
-    Flight->CV.wait(FlightLock, [&] { return Flight->Done; });
-    if (!Flight->Result) {
-      if (ErrorMessage)
-        *ErrorMessage = Flight->Error;
-      return nullptr;
-    }
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    Hits.fetch_add(1, std::memory_order_acq_rel);
-    LastReport = Flight->Result->Report;
-    return std::make_unique<Executable>(Flight->Result, Options, Target);
-  }
-
-  // Owner path: compile, then publish (to the cache and to any waiter).
-  auto Publish = [&](std::shared_ptr<const CompiledModule> Result,
-                     std::string Error) {
-    {
-      std::lock_guard<std::mutex> Lock(CacheMutex);
-      if (Result) {
-        Misses.fetch_add(1, std::memory_order_acq_rel);
-        LastReport = Result->Report;
-        Cache.emplace(Key, Result);
-      }
-      InFlight.erase(Key);
-    }
-    {
-      std::lock_guard<std::mutex> FlightLock(Flight->M);
-      Flight->Done = true;
-      Flight->Result = Result;
-      Flight->Error = std::move(Error);
-    }
-    Flight->CV.notify_all();
-  };
-
-  std::string CompileError;
-  std::shared_ptr<CompiledModule> Compiled;
-  {
-    // Serialize pipeline runs per context: each compile clones and
-    // mutates only its own module, and uniquing is locked inside the
-    // context, but op construction/erasure during a pipeline is not
-    // designed for two pipelines interleaving in one context.
-    std::lock_guard<std::mutex> PipelineLock(
-        Program.Context->getPipelineMutex());
-
+  // The full pipeline run the service invokes on a miss — at most once
+  // per key process-wide at a time, concurrently for distinct keys (the
+  // context's uniquing tables are internally locked; each run mutates
+  // only its own clone).
+  auto RunPipeline =
+      [&](std::string &Error) -> std::shared_ptr<const CompiledModule> {
     // Clone so that one source can be compiled under several
     // configurations and targets.
     IRMapping Mapper;
@@ -405,15 +357,11 @@ Compiler::compileFor(const frontend::SourceProgram &Program,
     PassManager PM(Ctx);
     PM.enableVerifier(Options.VerifyPasses);
     registerAllPasses();
-    if (parsePassPipeline(Pipeline, PM, &CompileError).failed() ||
-        PM.run(Module.get(), &CompileError).failed()) {
-      Publish(nullptr, CompileError);
-      if (ErrorMessage)
-        *ErrorMessage = CompileError;
+    if (parsePassPipeline(Pipeline, PM, &Error).failed() ||
+        PM.run(Module.get(), &Error).failed())
       return nullptr;
-    }
 
-    Compiled = std::make_shared<CompiledModule>();
+    auto Compiled = std::make_shared<CompiledModule>();
     Compiled->Module = std::move(Module);
     Compiled->Report = PM.getReport();
     // Collect launch metadata in one walk: the kernel form the pipeline
@@ -437,18 +385,40 @@ Compiler::compileFor(const frontend::SourceProgram &Program,
             static_cast<unsigned>(SigIndex - 1));
       }
     });
-  }
+    return Compiled;
+  };
 
-  Publish(Compiled, std::string());
-  return std::make_unique<Executable>(std::move(Compiled), Options, Target);
+  CompileOutcome Served = CompileOutcome::Failed;
+  std::shared_ptr<const CompiledModule> Result =
+      CompileService::get().compileThrough(
+          Program.Context, std::move(SourceIR), Target.getMnemonic(),
+          Pipeline, RunPipeline, &Served, ErrorMessage);
+  if (Outcome)
+    *Outcome = Served;
+  if (!Result)
+    return nullptr;
+
+  // Per-instance stats: a Miss ran the pipeline in this call; any other
+  // outcome was served from shared state (including waiting on another
+  // thread's in-flight run — only one compilation happened).
+  if (Served == CompileOutcome::Miss)
+    Misses.fetch_add(1, std::memory_order_acq_rel);
+  else
+    Hits.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> Lock(ReportMutex);
+    LastReport = Result->Report;
+  }
+  return std::make_unique<Executable>(std::move(Result), Options, Target);
 }
 
 std::unique_ptr<Executable>
 Compiler::compileFor(const frontend::SourceProgram &Program,
-                     std::string_view Target, std::string *ErrorMessage) {
+                     std::string_view Target, std::string *ErrorMessage,
+                     CompileOutcome *Outcome) {
   const exec::TargetBackend *Backend =
       exec::resolveTarget(Target, ErrorMessage);
   if (!Backend)
     return nullptr;
-  return compileFor(Program, *Backend, ErrorMessage);
+  return compileFor(Program, *Backend, ErrorMessage, Outcome);
 }

@@ -21,9 +21,10 @@
 /// (`Compiler::compileFor`): the final pipeline is flow × target × kernel
 /// form — the target's pipeline suffix selects the kernel form it
 /// executes (high-level SYCL for `virtual-gpu`, lowered scf/memref for
-/// `virtual-cpu`) — and optimized modules are cached per
-/// (program, target, pipeline), so recompiling one SourceProgram for the
-/// same target is a table lookup.
+/// `virtual-cpu`) — and optimized modules are cached process-wide by the
+/// CompileService (content hash of printed IR + target + pipeline, plus
+/// an optional disk tier), so recompiling one SourceProgram for the same
+/// target is a table lookup from any Compiler or context.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,16 +38,18 @@
 #include "runtime/Runtime.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
-#include <tuple>
 
 namespace smlir {
 namespace core {
+
+/// How the process-wide CompileService served a request (defined in
+/// core/CompileService.h).
+enum class CompileOutcome;
 
 enum class CompilerFlow { DPCPP, SYCLMLIR, AdaptiveCpp };
 
@@ -101,6 +104,13 @@ struct CompiledModule {
   /// interpreter. Thread-safe (launches race through the scheduler).
   const exec::bc::Function *getBytecode(FuncOp Kernel, std::string_view Name,
                                         std::string *WhyNot = nullptr) const;
+
+  /// Pre-populates the bytecode cache with an already-translated (or
+  /// deserialized) function — the disk tier of the compile service seeds
+  /// modules it loads so a warm process skips retranslation too. First
+  /// seed per name wins; called before the module is published/shared.
+  void seedBytecode(std::string Name,
+                    std::unique_ptr<const exec::bc::Function> Fn);
 
 private:
   mutable std::mutex BytecodeMutex;
@@ -175,13 +185,14 @@ private:
 
 /// Drives compilation of a SourceProgram under a given configuration.
 ///
-/// `compileFor` is thread-safe: the module cache is locked, concurrent
-/// requests for the same (program, target, pipeline) key deduplicate
-/// in-flight — the first caller compiles, the others wait for its result
-/// instead of compiling again — and pipeline runs in the same
-/// MLIRContext are serialized (the context's op registry and each
-/// compile's cloned module are private, but pass pipelines create IR
-/// concurrently, so one context compiles one module at a time).
+/// `compileFor` is thread-safe and delegates all caching to the
+/// process-wide CompileService (core/CompileService.h): compiled modules
+/// are shared across every Compiler instance and MLIRContext in the
+/// process (content-addressed by target + pipeline + printed source IR),
+/// concurrent requests for the same key deduplicate in-flight — exactly
+/// one pipeline run per key — and, with $SMLIR_CACHE_DIR set, survive
+/// process restarts through the disk tier. Distinct keys compile
+/// genuinely concurrently, including within one context.
 /// `getLastReport` remains a single-threaded driver convenience.
 class Compiler {
 public:
@@ -190,21 +201,23 @@ public:
   /// Compiles \p Program for \p Target: the flow pipeline plus the
   /// target's suffix runs over a clone of the program's module (the
   /// source remains reusable for other configurations and targets), and
-  /// the result binds the kernel form the target prefers. Optimized
-  /// modules are cached per (program, target, pipeline): recompiling the
-  /// same program for the same target shares the module. Returns null on
-  /// pipeline failure.
+  /// the result binds the kernel form the target prefers. Served through
+  /// the CompileService cache; \p Outcome (optional) reports which tier
+  /// answered (memory, rematerialized, disk, full compile). Returns null
+  /// on pipeline failure.
   std::unique_ptr<Executable>
   compileFor(const frontend::SourceProgram &Program,
              const exec::TargetBackend &Target,
-             std::string *ErrorMessage = nullptr);
+             std::string *ErrorMessage = nullptr,
+             CompileOutcome *Outcome = nullptr);
 
   /// Convenience: target by registry mnemonic; empty selects the process
   /// default target ($SMLIR_DEFAULT_TARGET or virtual-gpu). Fails on an
   /// unknown mnemonic.
   std::unique_ptr<Executable>
   compileFor(const frontend::SourceProgram &Program, std::string_view Target,
-             std::string *ErrorMessage = nullptr);
+             std::string *ErrorMessage = nullptr,
+             CompileOutcome *Outcome = nullptr);
 
   /// The textual pass pipeline for \p Options alone: PipelineOverride
   /// when set, otherwise the flow's pipeline with disabled optimizations
@@ -229,9 +242,12 @@ public:
   /// replay the cached run's report).
   const std::string &getLastReport() const { return LastReport; }
 
-  /// Compile-cache behavior of this Compiler instance. A compile that
-  /// waited on another thread's in-flight compilation of the same key
-  /// counts as a hit — only one compilation ran.
+  /// Compile-cache behavior of this Compiler instance: a Miss is a
+  /// compileFor call that ran the pass pipeline itself; a Hit was served
+  /// any other way (shared module, rematerialization, disk entry, or
+  /// waiting on another thread's in-flight compilation of the same key —
+  /// only one compilation ran). Process-wide per-tier counters live in
+  /// CompileService::getStats().
   struct CacheStats {
     unsigned Hits = 0;
     unsigned Misses = 0;
@@ -246,32 +262,10 @@ public:
   }
 
 private:
-  using CacheKey =
-      std::tuple<const void *, std::string, std::string, std::string>;
-
-  /// One compilation in progress: the first thread to request a key
-  /// compiles and publishes here; concurrent requesters of the same key
-  /// block on it instead of compiling the same module twice.
-  struct InFlightCompile {
-    std::mutex M;
-    std::condition_variable CV;
-    bool Done = false;
-    std::shared_ptr<const CompiledModule> Result; // Null on failure.
-    std::string Error;
-  };
-
   CompilerOptions Options;
   std::string LastReport;
-  /// Guards Cache, InFlight and LastReport.
-  mutable std::mutex CacheMutex;
-  /// (context, printed source module, target mnemonic, pipeline) ->
-  /// optimized module. Content-addressed: textually equal programs in
-  /// one context share their compiled module, and rebuilding or mutating
-  /// a program can never alias a stale entry. Entries are only valid
-  /// while the MLIRContext outlives this Compiler, the usual driver
-  /// lifetime.
-  std::map<CacheKey, std::shared_ptr<const CompiledModule>> Cache;
-  std::map<CacheKey, std::shared_ptr<InFlightCompile>> InFlight;
+  /// Guards LastReport (the caches live in the CompileService).
+  mutable std::mutex ReportMutex;
   std::atomic<unsigned> Hits{0};
   std::atomic<unsigned> Misses{0};
 };

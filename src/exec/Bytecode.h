@@ -376,6 +376,28 @@ size_t fuseSuperinstructions(Function &Fn);
 /// one instruction per line, pool operands printed inline).
 std::string disassemble(const Function &Fn);
 
+/// Version of the binary bytecode serialization format below. Bump on any
+/// change to the Function field set, the Inst layout or the opcode
+/// numbering — a serialized blob is only meaningful under the exact
+/// format it was written with, and deserialize rejects every other
+/// version (the disk compile cache then retranslates from IR).
+inline constexpr uint32_t kBytecodeFormatVersion = 1;
+
+/// Serializes \p Fn to a self-contained binary blob: "SMBC" magic,
+/// kBytecodeFormatVersion, every Function field in a fixed little-endian
+/// layout, and a trailing checksum over the whole prefix. The blob
+/// round-trips bit-exactly through deserialize (disassembly-identical,
+/// tested over every workload kernel) and is what the disk compile cache
+/// persists per kernel.
+std::string serialize(const Function &Fn);
+
+/// Reconstructs a Function from \p Bytes. Every read is bounds-checked
+/// and structurally validated (magic, version, checksum, opcode range,
+/// argument-kind range), so a truncated or bit-flipped blob returns null
+/// with \p Error set rather than a Function the VM could crash on.
+std::unique_ptr<Function> deserialize(std::string_view Bytes,
+                                      std::string *Error = nullptr);
+
 /// The stable mnemonic of \p Op as used by the disassembly listings and
 /// the opcode-frequency profile.
 const char *opcName(Opc Op);

@@ -1,0 +1,322 @@
+//===- BytecodeSerialize.cpp - Binary bytecode serialization -------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of translated kernels (bc::Function) for the disk
+/// tier of the compile cache. The format is deliberately dumb: "SMBC"
+/// magic, a format version, every Function field written little-endian in
+/// declaration order (vectors as a u64 count plus elements), and a
+/// trailing FNV-1a checksum of everything before it. The deserializer
+/// trusts nothing — every length is bounds-checked against the remaining
+/// bytes, opcodes and argument kinds are range-validated — because a
+/// corrupt blob must demote to a clean retranslation, never reach the VM.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/Bytecode.h"
+
+#include <bit>
+#include <cstring>
+
+using namespace smlir;
+using namespace smlir::exec;
+using namespace smlir::exec::bc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+struct Writer {
+  std::string Out;
+
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u16(uint16_t V) {
+    for (int I = 0; I < 2; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) { u64(std::bit_cast<uint64_t>(V)); }
+  void str(std::string_view S) {
+    u64(S.size());
+    Out.append(S);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+/// Cursor over the blob; every accessor fails (setting Bad) instead of
+/// reading past the end, and callers check ok() once per structural unit.
+struct Reader {
+  std::string_view In;
+  size_t Pos = 0;
+  bool Bad = false;
+
+  size_t remaining() const { return Bad ? 0 : In.size() - Pos; }
+  bool ok() const { return !Bad; }
+  void fail() { Bad = true; }
+
+  uint8_t u8() {
+    if (remaining() < 1) {
+      fail();
+      return 0;
+    }
+    return static_cast<uint8_t>(In[Pos++]);
+  }
+  uint16_t u16() {
+    uint16_t V = 0;
+    for (int I = 0; I < 2; ++I)
+      V |= static_cast<uint16_t>(u8()) << (8 * I);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(u8()) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(u8()) << (8 * I);
+    return V;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    uint64_t Len = u64();
+    if (remaining() < Len) {
+      fail();
+      return {};
+    }
+    std::string S(In.substr(Pos, Len));
+    Pos += Len;
+    return S;
+  }
+  /// A vector count, rejected when even minimal elements of \p ElemSize
+  /// bytes could not fit in the remaining input (a corrupt count must
+  /// not drive a multi-gigabyte reserve).
+  uint64_t count(size_t ElemSize) {
+    uint64_t N = u64();
+    if (ElemSize != 0 && N > remaining() / ElemSize) {
+      fail();
+      return 0;
+    }
+    return N;
+  }
+};
+
+uint64_t fnv1a(std::string_view Bytes) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (char C : Bytes) {
+    Hash ^= static_cast<uint8_t>(C);
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+bool failWith(std::string *Error, std::string_view Reason) {
+  if (Error)
+    *Error = std::string(Reason);
+  return false;
+}
+
+} // namespace
+
+std::string bc::serialize(const Function &Fn) {
+  Writer W;
+  W.Out.append("SMBC");
+  W.u32(kBytecodeFormatVersion);
+
+  W.str(Fn.Name);
+  W.u32(Fn.NumIntRegs);
+  W.u32(Fn.NumFloatRegs);
+  W.u32(Fn.NumMemRegs);
+  W.i64(Fn.PrivIntWords);
+  W.i64(Fn.PrivFloatWords);
+
+  W.u64(Fn.LocalSites.size());
+  for (const Function::LocalSite &Site : Fn.LocalSites) {
+    W.u8(Site.IsFloat ? 1 : 0);
+    W.i64(Site.Words);
+  }
+
+  W.u64(Fn.Args.size());
+  for (const Function::ArgBind &Arg : Fn.Args) {
+    W.u8(static_cast<uint8_t>(Arg.K));
+    W.i32(Arg.Reg);
+  }
+  W.i32(Fn.ItemReg);
+
+  W.u64(Fn.Code.size());
+  for (const Inst &I : Fn.Code) {
+    W.u8(static_cast<uint8_t>(I.Op));
+    W.u8(I.U8);
+    W.u16(I.U16);
+    W.i32(I.A);
+    W.i32(I.B);
+    W.i32(I.C);
+    W.i32(I.D);
+  }
+
+  W.u64(Fn.IntPool.size());
+  for (int64_t V : Fn.IntPool)
+    W.i64(V);
+  W.u64(Fn.FloatPool.size());
+  for (double V : Fn.FloatPool)
+    W.f64(V);
+  W.u64(Fn.Pool.size());
+  for (int64_t V : Fn.Pool)
+    W.i64(V);
+
+  W.u32(Fn.NumBarrierSites);
+  W.u32(Fn.MaxYieldVals);
+
+  W.u8(Fn.HasElision ? 1 : 0);
+  for (int64_t V : Fn.AssumeGlobal)
+    W.i64(V);
+  for (int64_t V : Fn.AssumeLocal)
+    W.i64(V);
+  W.u64(Fn.AssumeArgExtents.size());
+  for (const Function::ArgExtents &AE : Fn.AssumeArgExtents) {
+    W.i32(AE.ArgIndex);
+    W.u64(AE.Extents.size());
+    for (int64_t V : AE.Extents)
+      W.i64(V);
+  }
+
+  W.u64(fnv1a(W.Out));
+  return std::move(W.Out);
+}
+
+std::unique_ptr<Function> bc::deserialize(std::string_view Bytes,
+                                          std::string *Error) {
+  // The checksum covers everything before it; verify first so any
+  // truncation or bit flip is one uniform diagnostic instead of whatever
+  // field-level check the damage happens to land on.
+  if (Bytes.size() < 8 + 8) {
+    failWith(Error, "bytecode blob too short");
+    return nullptr;
+  }
+  std::string_view Payload = Bytes.substr(0, Bytes.size() - 8);
+  Reader Sum{Bytes.substr(Bytes.size() - 8)};
+  if (Sum.u64() != fnv1a(Payload)) {
+    failWith(Error, "bytecode blob checksum mismatch");
+    return nullptr;
+  }
+
+  Reader R{Payload};
+  if (Payload.substr(0, 4) != "SMBC") {
+    failWith(Error, "bad bytecode magic");
+    return nullptr;
+  }
+  R.Pos = 4;
+  if (uint32_t Version = R.u32(); Version != kBytecodeFormatVersion) {
+    failWith(Error, "unsupported bytecode format version " +
+                        std::to_string(Version));
+    return nullptr;
+  }
+
+  auto Fn = std::make_unique<Function>();
+  Fn->Name = R.str();
+  Fn->NumIntRegs = R.u32();
+  Fn->NumFloatRegs = R.u32();
+  Fn->NumMemRegs = R.u32();
+  Fn->PrivIntWords = R.i64();
+  Fn->PrivFloatWords = R.i64();
+
+  uint64_t NumLocal = R.count(9);
+  for (uint64_t I = 0; R.ok() && I < NumLocal; ++I) {
+    Function::LocalSite Site;
+    Site.IsFloat = R.u8() != 0;
+    Site.Words = R.i64();
+    Fn->LocalSites.push_back(Site);
+  }
+
+  uint64_t NumArgs = R.count(5);
+  for (uint64_t I = 0; R.ok() && I < NumArgs; ++I) {
+    Function::ArgBind Arg;
+    uint8_t Kind = R.u8();
+    if (Kind > static_cast<uint8_t>(Function::ArgBind::Kind::FloatScalar)) {
+      failWith(Error, "invalid argument-bind kind");
+      return nullptr;
+    }
+    Arg.K = static_cast<Function::ArgBind::Kind>(Kind);
+    Arg.Reg = R.i32();
+    Fn->Args.push_back(Arg);
+  }
+  Fn->ItemReg = R.i32();
+
+  uint64_t NumInsts = R.count(20);
+  Fn->Code.reserve(NumInsts);
+  for (uint64_t I = 0; R.ok() && I < NumInsts; ++I) {
+    Inst Ins;
+    uint8_t Op = R.u8();
+    if (Op >= kNumOpcodes) {
+      failWith(Error, "invalid opcode " + std::to_string(Op));
+      return nullptr;
+    }
+    Ins.Op = static_cast<Opc>(Op);
+    Ins.U8 = R.u8();
+    Ins.U16 = R.u16();
+    Ins.A = R.i32();
+    Ins.B = R.i32();
+    Ins.C = R.i32();
+    Ins.D = R.i32();
+    Fn->Code.push_back(Ins);
+  }
+
+  uint64_t NumIntPool = R.count(8);
+  Fn->IntPool.reserve(NumIntPool);
+  for (uint64_t I = 0; R.ok() && I < NumIntPool; ++I)
+    Fn->IntPool.push_back(R.i64());
+  uint64_t NumFloatPool = R.count(8);
+  Fn->FloatPool.reserve(NumFloatPool);
+  for (uint64_t I = 0; R.ok() && I < NumFloatPool; ++I)
+    Fn->FloatPool.push_back(R.f64());
+  uint64_t NumPool = R.count(8);
+  Fn->Pool.reserve(NumPool);
+  for (uint64_t I = 0; R.ok() && I < NumPool; ++I)
+    Fn->Pool.push_back(R.i64());
+
+  Fn->NumBarrierSites = R.u32();
+  Fn->MaxYieldVals = R.u32();
+
+  Fn->HasElision = R.u8() != 0;
+  for (int64_t &V : Fn->AssumeGlobal)
+    V = R.i64();
+  for (int64_t &V : Fn->AssumeLocal)
+    V = R.i64();
+  uint64_t NumExtents = R.count(12);
+  for (uint64_t I = 0; R.ok() && I < NumExtents; ++I) {
+    Function::ArgExtents AE;
+    AE.ArgIndex = R.i32();
+    uint64_t N = R.count(8);
+    for (uint64_t J = 0; R.ok() && J < N; ++J)
+      AE.Extents.push_back(R.i64());
+    Fn->AssumeArgExtents.push_back(std::move(AE));
+  }
+
+  if (!R.ok() || R.remaining() != 0) {
+    failWith(Error, R.ok() ? "trailing bytes after bytecode blob"
+                           : "truncated bytecode blob");
+    return nullptr;
+  }
+  return Fn;
+}

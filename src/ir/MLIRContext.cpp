@@ -26,7 +26,11 @@ struct MLIRContext::Impl {
   /// registration (registerAllDialects) must complete before the context
   /// is used concurrently, after which the registries are immutable.
   std::mutex UniquingMutex;
-  std::mutex PipelineMutex;
+  /// Guards DestructionObservers (registrations race with each other on
+  /// scheduler workers; the destructor moves the list out under the lock
+  /// and invokes outside it, so an observer may take its own locks).
+  std::mutex ObserverMutex;
+  std::vector<std::function<void(MLIRContext *)>> DestructionObservers;
   std::unordered_map<std::string, std::unique_ptr<detail::TypeStorage>>
       TypeStorages;
   std::unordered_map<std::string, std::unique_ptr<detail::AttributeStorage>>
@@ -39,7 +43,19 @@ struct MLIRContext::Impl {
 };
 
 MLIRContext::MLIRContext() : TheImpl(std::make_unique<Impl>()) {}
-MLIRContext::~MLIRContext() = default;
+
+MLIRContext::~MLIRContext() {
+  // Observers run first, while the uniquing tables and registries are
+  // still intact: an observer releasing modules owned by this context
+  // destroys real IR, which walks types and op descriptions.
+  std::vector<std::function<void(MLIRContext *)>> Observers;
+  {
+    std::lock_guard<std::mutex> Lock(TheImpl->ObserverMutex);
+    Observers.swap(TheImpl->DestructionObservers);
+  }
+  for (auto &Fn : Observers)
+    Fn(this);
+}
 
 detail::TypeStorage *MLIRContext::getTypeStorage(
     const std::string &Key,
@@ -75,7 +91,11 @@ const std::string *MLIRContext::internString(std::string_view Str) {
   return &*TheImpl->InternedStrings.emplace(Str).first;
 }
 
-std::mutex &MLIRContext::getPipelineMutex() { return TheImpl->PipelineMutex; }
+void MLIRContext::addDestructionObserver(
+    std::function<void(MLIRContext *)> Fn) {
+  std::lock_guard<std::mutex> Lock(TheImpl->ObserverMutex);
+  TheImpl->DestructionObservers.push_back(std::move(Fn));
+}
 
 Dialect *MLIRContext::registerDialect(std::unique_ptr<Dialect> D) {
   assert(!getDialect(D->getNamespace()) && "dialect registered twice");

@@ -76,12 +76,14 @@ public:
   /// Interns \p Str and returns a stable pointer to it (used by Location).
   const std::string *internString(std::string_view Str);
 
-  /// A context-scoped mutex serializing bulk IR-mutation phases: pass
-  /// pipelines run one at a time per context (Compiler::compileFor locks
-  /// it around clone + pipeline), while compiles in distinct contexts
-  /// proceed in parallel. Owning it here ties its lifetime to the
-  /// context instead of a process-global table keyed by address.
-  std::mutex &getPipelineMutex();
+  /// Registers \p Fn to run at the very start of this context's
+  /// destruction, before any IR storage is torn down — observers may
+  /// still destroy modules owned by the context. The process-wide
+  /// compile service uses this to drop cached modules materialized in a
+  /// dying context so they can never be handed out dangling.
+  /// Registration is thread-safe; observers run on the destroying thread
+  /// in registration order, outside the registration lock.
+  void addDestructionObserver(std::function<void(MLIRContext *)> Fn);
 
   //===--------------------------------------------------------------------===//
   // Dialect and operation registries

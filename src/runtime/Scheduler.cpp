@@ -171,6 +171,20 @@ void Scheduler::executeTask(TaskNode &Node) {
     EarliestStart = std::max(EarliestStart, Pred.getEndTime());
   }
 
+  // Host tasks: plain work on the worker thread, no device, no simulated
+  // duration — they retire at their latest predecessor's end time.
+  if (Node.HostWork) {
+    std::string HostError;
+    if (Node.HostWork(&HostError).failed()) {
+      Node.Done.State->resolve(false, EarliestStart, exec::LaunchStats(),
+                               std::move(HostError));
+      return;
+    }
+    Node.Done.State->resolve(true, EarliestStart, exec::LaunchStats(),
+                             std::string());
+    return;
+  }
+
   exec::LaunchStats Launch;
   std::string Error;
   if (Node.Launcher

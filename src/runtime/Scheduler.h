@@ -141,6 +141,15 @@ struct TaskNode {
   std::string KernelName;
   exec::NDRange Range;
   std::vector<exec::KernelArg> Args;
+  /// Host task: when set, executeTask runs this on the worker instead of
+  /// a kernel launch (Launcher/Device/Range/Args are unused; KernelName
+  /// still labels the task for error reporting). Host tasks join the
+  /// same dependency DAG — they wait for their predecessors, propagate
+  /// failure as cancellation, and resolve Done — but carry no simulated
+  /// duration: their end time is the latest predecessor's. The batch
+  /// compile driver (smlir-serve) runs compilations through the pool
+  /// this way.
+  std::function<LogicalResult(std::string *Error)> HostWork;
   /// One-time simulated cost billed to this command at submission
   /// (KernelLauncher::prepareLaunch — JIT compilation in the AdaptiveCpp
   /// flow), added to the launch's simulated duration.

@@ -863,4 +863,76 @@ TEST(BytecodeCoverageTest, ExecutableCachesAndSelectsBytecode) {
   EXPECT_EQ(Exe->getExecutionTier(), ExecutionTier::Bytecode);
 }
 
+// The binary serialization contract (the disk tier of the compile
+// service stores these blobs): for every workload kernel the lowered
+// pipeline produces, serialize + deserialize reproduces the function
+// exactly — asserted on the disassembly, which lists every instruction,
+// pool entry, register count and binding.
+TEST(BytecodeSerializeTest, EveryWorkloadKernelRoundTrips) {
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  core::CompilerOptions Options;
+  Options.Flow = core::CompilerFlow::SYCLMLIR;
+  Options.LowerToLoops = true;
+  core::Compiler TheCompiler(Options);
+
+  unsigned NumKernels = 0;
+  for (const workloads::Workload &W : workloads::getAllWorkloads()) {
+    frontend::SourceProgram Program = W.Build(Ctx);
+    std::string Error;
+    auto Exe = TheCompiler.compileFor(Program, "virtual-cpu", &Error);
+    ASSERT_TRUE(Exe) << W.Name << ": " << Error;
+    Exe->getModule().getOperation()->walk([&](Operation *Op) {
+      FuncOp F = FuncOp::dyn_cast(Op);
+      if (!F || !Op->hasAttr("sycl.kernel"))
+        return;
+      const bc::Function *Fn = Exe->getKernelBytecode(F.getName());
+      if (!Fn)
+        return; // The coverage gate reports untranslatable kernels.
+      ++NumKernels;
+      std::string Bytes = bc::serialize(*Fn);
+      std::string Why;
+      std::unique_ptr<bc::Function> Back = bc::deserialize(Bytes, &Why);
+      ASSERT_TRUE(Back) << W.Name << "::" << F.getName() << ": " << Why;
+      EXPECT_EQ(bc::disassemble(*Back), bc::disassemble(*Fn))
+          << W.Name << "::" << F.getName();
+      EXPECT_EQ(bc::serialize(*Back), Bytes)
+          << W.Name << "::" << F.getName();
+    });
+  }
+  EXPECT_GT(NumKernels, 0u);
+}
+
+TEST_F(BytecodeTest, SerializeRejectsEveryCorruption) {
+  FuncOp K = parseKernel(R"(module {
+  func.func @K(%arg0: memref<15xindex, 5>, %out: memref<?xindex>) attributes {sycl.kernel, sycl.lowered} {
+    %c0 = "arith.constant"() {value = 0 : index} : () -> (index)
+    %gid = "memref.load"(%arg0, %c0) : (memref<15xindex, 5>, index) -> (index)
+    "memref.store"(%gid, %out, %gid) : (index, memref<?xindex>, index) -> ()
+    "func.return"() : () -> ()
+  }
+})");
+  ASSERT_TRUE(K);
+  std::string Why;
+  std::unique_ptr<bc::Function> Fn = bc::translate(K, &Why);
+  ASSERT_TRUE(Fn) << Why;
+  std::string Bytes = bc::serialize(*Fn);
+  ASSERT_TRUE(bc::deserialize(Bytes));
+
+  // Every truncation must be rejected (the trailing checksum cannot
+  // survive losing bytes), as must every single-bit-flipped byte — a
+  // flip in the body breaks the checksum, a flip in the checksum breaks
+  // the match. No corruption may crash or yield a function.
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    EXPECT_EQ(bc::deserialize(std::string_view(Bytes.data(), Len)), nullptr)
+        << "truncated to " << Len << " bytes";
+  }
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Flipped = Bytes;
+    Flipped[I] = static_cast<char>(Flipped[I] ^ 0x20);
+    EXPECT_EQ(bc::deserialize(Flipped), nullptr) << "byte " << I
+                                                 << " flipped";
+  }
+}
+
 } // namespace

@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/CompileService.h"
 #include "core/Compiler.h"
 #include "exec/TargetRegistry.h"
 #include "frontend/HostIRImporter.h"
@@ -263,6 +264,11 @@ TEST_F(TargetTest, CompileForBindsPreferredKernelForm) {
 }
 
 TEST_F(TargetTest, CompileCacheIsKeyedOnProgramTargetPipeline) {
+  // The cache is process-wide (core/CompileService.h): start from a
+  // clean service so earlier tests in this binary (or an inherited
+  // $SMLIR_CACHE_DIR) cannot pre-warm these keys.
+  core::CompileService::get().resetForTesting();
+  core::CompileService::get().setDiskCacheDir("");
   frontend::SourceProgram Program = makeProgram();
   core::Compiler TheCompiler({});
   std::string Error;

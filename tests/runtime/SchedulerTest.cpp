@@ -16,14 +16,19 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/CompileService.h"
 #include "core/Compiler.h"
 #include "frontend/HostIRImporter.h"
 #include "frontend/KernelBuilder.h"
+#include "ir/PassRegistry.h"
 #include "runtime/Runtime.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <random>
 #include <thread>
 
@@ -402,6 +407,10 @@ TEST_F(SchedulerTest, UnknownKernelFailsAtSubmission) {
 //===----------------------------------------------------------------------===//
 
 TEST_F(SchedulerTest, ConcurrentCompileForDeduplicatesInFlight) {
+  // The cache is process-wide: start clean so earlier tests in this
+  // binary (or an inherited $SMLIR_CACHE_DIR) cannot pre-warm the key.
+  core::CompileService::get().resetForTesting();
+  core::CompileService::get().setDiskCacheDir("");
   Program = makeCombineProgram(Ctx);
   core::Compiler TheCompiler({});
 
@@ -433,6 +442,8 @@ TEST_F(SchedulerTest, ConcurrentCompileForDeduplicatesInFlight) {
 }
 
 TEST_F(SchedulerTest, ConcurrentCompileForDistinctTargets) {
+  core::CompileService::get().resetForTesting();
+  core::CompileService::get().setDiskCacheDir("");
   Program = makeCombineProgram(Ctx);
   core::Compiler TheCompiler({});
 
@@ -457,6 +468,73 @@ TEST_F(SchedulerTest, ConcurrentCompileForDistinctTargets) {
   EXPECT_EQ(Stats.Hits, 2u);
   EXPECT_EQ(Exes[0]->getKernelForm(), exec::KernelForm::HighLevelSYCL);
   EXPECT_EQ(Exes[1]->getKernelForm(), exec::KernelForm::LoweredSCF);
+}
+
+/// Shared state of the rendezvous pass below: each pipeline run that
+/// reaches the pass announces itself and waits (bounded) for a peer.
+struct Rendezvous {
+  std::mutex M;
+  std::condition_variable CV;
+  unsigned Arrived = 0;
+};
+
+/// A pass that blocks inside the pipeline until two runs are inside it
+/// simultaneously. If compilations on one context were serialized (the
+/// old whole-context pipeline mutex), the second run could never arrive
+/// while the first is in here — the wait would time out and the
+/// concurrency assertion below would read 1.
+struct RendezvousPass : Pass {
+  Rendezvous &R;
+  explicit RendezvousPass(Rendezvous &R)
+      : Pass("TestRendezvous", "test-rendezvous"), R(R) {}
+  PassResult runOnOperation(Operation *, AnalysisManager &) override {
+    std::unique_lock<std::mutex> Lock(R.M);
+    ++R.Arrived;
+    R.CV.notify_all();
+    R.CV.wait_for(Lock, std::chrono::seconds(10),
+                  [&] { return R.Arrived >= 2; });
+    return success();
+  }
+};
+
+TEST_F(SchedulerTest, DistinctPipelinesOverlapWithinOneContext) {
+  core::CompileService::get().resetForTesting();
+  core::CompileService::get().setDiskCacheDir("");
+  Program = makeCombineProgram(Ctx);
+
+  static Rendezvous RV;
+  RV.Arrived = 0;
+  PassRegistry::get().registerPass(
+      "test-rendezvous", "test-only: blocks until two runs are inside",
+      [] { return std::make_unique<RendezvousPass>(RV); });
+
+  // Two distinct keys (same program, same context, different pipelines),
+  // each pipeline containing the rendezvous pass: both threads must be
+  // inside their pass managers at the same moment for either to finish
+  // promptly, and the service's high-water mark must observe both.
+  const char *Pipelines[2] = {"test-rendezvous,canonicalize",
+                              "test-rendezvous,cse"};
+  std::vector<std::unique_ptr<core::Executable>> Exes(2);
+  std::vector<std::string> Errors(2);
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned I = 0; I < 2; ++I)
+      Threads.emplace_back([&, I] {
+        core::CompilerOptions Options;
+        Options.PipelineOverride = Pipelines[I];
+        core::Compiler TheCompiler(Options);
+        Exes[I] = TheCompiler.compileFor(*Program, "virtual-gpu", &Errors[I]);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  for (unsigned I = 0; I < 2; ++I)
+    ASSERT_TRUE(Exes[I]) << Errors[I];
+  EXPECT_EQ(RV.Arrived, 2u);
+  core::CompileService::Stats Stats = core::CompileService::get().getStats();
+  EXPECT_EQ(Stats.Misses, 2u);
+  EXPECT_GE(Stats.MaxConcurrentCompiles, 2u)
+      << "independent compilations on one context were serialized";
 }
 
 } // namespace

@@ -1,0 +1,529 @@
+//===- smlir-serve.cpp - Batch compilation-service driver ------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch surface of the process-wide CompileService: reads a manifest
+/// of compilation requests, runs every request through
+/// `Compiler::compileFor` on the runtime scheduler's worker pool (host
+/// tasks, so requests genuinely overlap the way queue submissions do),
+/// and reports per-request and aggregate results — which tier served
+/// each request (memory hit, rematerialized, disk hit, full compile),
+/// wall time, and the service's process-wide counters.
+///
+/// Manifest format — one request per line, `#` starts a comment:
+///
+///   <program.mlir> <target> [pipeline]
+///
+/// Paths are relative to the manifest file. The optional third column is
+/// a textual pass pipeline (CompilerOptions::PipelineOverride — used
+/// verbatim, no target suffix appended); without it the request compiles
+/// with the default SYCLMLIR flow for the named target. Identical
+/// (program, target, pipeline) rows dedupe through the service: the
+/// aggregate report shows one miss and the rest as hits.
+///
+/// With `$SMLIR_CACHE_DIR` set (or --cache-dir), a second run of the
+/// same manifest is served from the disk tier; the aggregate report's
+/// `disk hits: N` line is the greppable handle CI uses to assert cache
+/// persistence across processes.
+///
+/// `--dump-workloads <dir>` writes the device modules of the in-tree
+/// benchmark workloads as `.mlir` files plus a ready-to-serve
+/// manifest.txt, so the full workload sweep is one command:
+///
+///   smlir-serve --dump-workloads /tmp/wl && smlir-serve /tmp/wl/manifest.txt
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/workloads/Workloads.h"
+#include "core/CompileService.h"
+#include "core/Compiler.h"
+#include "dialect/Builtin.h"
+#include "exec/TargetRegistry.h"
+#include "frontend/SourceProgram.h"
+#include "ir/MLIRContext.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "runtime/Scheduler.h"
+#include "transform/Passes.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace smlir;
+
+namespace {
+
+struct Options {
+  std::string ManifestFile;
+  std::string DumpDir;
+  std::string CacheDir;
+  bool CacheDirSet = false;
+  bool JSON = false;
+  int Threads = -1; // -1: scheduler default.
+  bool ShowHelp = false;
+};
+
+/// One manifest row and everything measured about it.
+struct Request {
+  std::string File;     ///< As written in the manifest.
+  std::string Path;     ///< Resolved against the manifest directory.
+  std::string Target;
+  std::string Pipeline; ///< Empty: default flow pipeline for Target.
+  unsigned Line = 0;
+
+  bool Ok = false;
+  core::CompileOutcome Outcome = core::CompileOutcome::Failed;
+  double Ms = 0.0;
+  std::string Error;
+};
+
+void printHelp(std::ostream &OS) {
+  OS << "usage: smlir-serve [options] <manifest>\n"
+     << "       smlir-serve --dump-workloads <dir>\n"
+     << "\n"
+     << "Compiles every request in the manifest through the process-wide\n"
+     << "compilation service, on the runtime scheduler's worker pool, and\n"
+     << "reports how each request was served (miss = ran the pipeline;\n"
+     << "memory-hit / rematerialized / disk-hit = cached tiers).\n"
+     << "\n"
+     << "Manifest lines: <program.mlir> <target> [pipeline]   (# comments)\n"
+     << "Paths are relative to the manifest file.\n"
+     << "\n"
+     << "  --threads=<n>          Worker pool size (0 = compile inline on\n"
+     << "                         the main thread; default:\n"
+     << "                         $SMLIR_SCHEDULER_THREADS or min(4, cores),\n"
+     << "                         raised to 1 so batches use the pool).\n"
+     << "  --cache-dir=<dir>      Enable the disk cache tier at <dir>\n"
+     << "                         (overrides $SMLIR_CACHE_DIR).\n"
+     << "  --json                 Machine-readable report on stdout.\n"
+     << "  --dump-workloads <dir> Write the in-tree benchmark workloads'\n"
+     << "                         device modules to <dir> as .mlir files\n"
+     << "                         plus a manifest.txt, then exit.\n"
+     << "  --help                 Show this help.\n";
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      Opts.ShowHelp = true;
+    } else if (Arg == "--json") {
+      Opts.JSON = true;
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      std::string Value(Arg.substr(strlen("--threads=")));
+      char *End = nullptr;
+      long N = std::strtol(Value.c_str(), &End, 10);
+      if (!End || *End != '\0' || N < 0 || N > 1024) {
+        Error = "--threads expects an integer in [0, 1024]";
+        return false;
+      }
+      Opts.Threads = static_cast<int>(N);
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = std::string(Arg.substr(strlen("--cache-dir=")));
+      Opts.CacheDirSet = true;
+    } else if (Arg == "--dump-workloads") {
+      if (I + 1 >= Argc) {
+        Error = "--dump-workloads expects a directory";
+        return false;
+      }
+      Opts.DumpDir = Argv[++I];
+    } else if (Arg == "-" || Arg[0] != '-') {
+      if (!Opts.ManifestFile.empty()) {
+        Error = "multiple manifests: '" + Opts.ManifestFile + "' and '" +
+                std::string(Arg) + "'";
+        return false;
+      }
+      Opts.ManifestFile = std::string(Arg);
+    } else {
+      Error = "unknown option '" + std::string(Arg) + "'";
+      return false;
+    }
+  }
+  if (!Opts.ShowHelp && Opts.DumpDir.empty() && Opts.ManifestFile.empty()) {
+    Error = "expected a manifest file (or --dump-workloads <dir>)";
+    return false;
+  }
+  return true;
+}
+
+/// Workload display names ("2D convolution") to file stems
+/// ("2d-convolution").
+std::string sanitizeName(std::string_view Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    if ((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9')) {
+      Out += C;
+    } else if (C >= 'A' && C <= 'Z') {
+      Out += static_cast<char>(C - 'A' + 'a');
+    } else if (!Out.empty() && Out.back() != '-') {
+      Out += '-';
+    }
+  }
+  while (!Out.empty() && Out.back() == '-')
+    Out.pop_back();
+  return Out.empty() ? "workload" : Out;
+}
+
+int dumpWorkloads(const std::string &Dir) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    std::cerr << "smlir-serve: cannot create '" << Dir
+              << "': " << EC.message() << "\n";
+    return 1;
+  }
+
+  std::string Error;
+  const exec::TargetBackend *Default = exec::resolveTarget("", &Error);
+  if (!Default) {
+    std::cerr << "smlir-serve: " << Error << "\n";
+    return 1;
+  }
+
+  std::ostringstream Manifest;
+  Manifest << "# Generated by smlir-serve --dump-workloads: every in-tree\n"
+           << "# benchmark workload, compiled for the process default "
+              "target.\n";
+  unsigned Written = 0;
+  for (const workloads::Workload &W : workloads::getAllWorkloads()) {
+    // Each workload builds in its own context; only the printed IR is
+    // kept, so the contexts stay small and die immediately.
+    MLIRContext Ctx;
+    registerAllDialects(Ctx);
+    frontend::SourceProgram Program = W.Build(Ctx);
+    if (!Program.DeviceModule) {
+      std::cerr << "smlir-serve: workload '" << W.Name
+                << "' produced no device module; skipped\n";
+      continue;
+    }
+    std::string IR = Program.DeviceModule.get()->str();
+    if (IR.empty() || IR.back() != '\n')
+      IR += '\n';
+    std::string Stem = sanitizeName(W.Name);
+    std::string Path = Dir + "/" + Stem + ".mlir";
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    if (!Out.good()) {
+      std::cerr << "smlir-serve: cannot write '" << Path << "'\n";
+      return 1;
+    }
+    Out << IR;
+    Manifest << Stem << ".mlir " << Default->getMnemonic() << "\n";
+    ++Written;
+  }
+
+  std::string ManifestPath = Dir + "/manifest.txt";
+  std::ofstream Out(ManifestPath, std::ios::binary | std::ios::trunc);
+  if (!Out.good()) {
+    std::cerr << "smlir-serve: cannot write '" << ManifestPath << "'\n";
+    return 1;
+  }
+  Out << Manifest.str();
+  std::cerr << "smlir-serve: wrote " << Written << " workloads + manifest to "
+            << Dir << "\n";
+  return 0;
+}
+
+bool parseManifest(const std::string &Path, std::vector<Request> &Requests,
+                   std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.good()) {
+    Error = "cannot open manifest '" + Path + "'";
+    return false;
+  }
+  std::string BaseDir =
+      std::filesystem::path(Path).parent_path().string();
+
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Fields(Line);
+    Request Req;
+    Req.Line = LineNo;
+    if (!(Fields >> Req.File))
+      continue; // Blank / comment-only line.
+    if (!(Fields >> Req.Target)) {
+      Error = "manifest line " + std::to_string(LineNo) +
+              ": expected '<program.mlir> <target> [pipeline]'";
+      return false;
+    }
+    // The rest of the line (if any) is the pipeline — pipelines contain
+    // commas and parens but never spaces, so one field suffices; taking
+    // the remainder keeps the error crisp if someone writes two.
+    std::string Rest;
+    std::getline(Fields, Rest);
+    size_t Begin = Rest.find_first_not_of(" \t");
+    if (Begin != std::string::npos) {
+      size_t End = Rest.find_last_not_of(" \t\r");
+      Req.Pipeline = Rest.substr(Begin, End - Begin + 1);
+    }
+    Req.Path = (BaseDir.empty() || Req.File.front() == '/')
+                   ? Req.File
+                   : BaseDir + "/" + Req.File;
+    Requests.push_back(std::move(Req));
+  }
+  if (Requests.empty()) {
+    Error = "manifest '" + Path + "' contains no requests";
+    return false;
+  }
+  return true;
+}
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string formatMs(double Ms) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", Ms);
+  return Buf;
+}
+
+void printJSONReport(const std::vector<Request> &Requests, double WallMs,
+                     unsigned Threads) {
+  core::CompileService::Stats S = core::CompileService::get().getStats();
+  unsigned OkCount = 0;
+  for (const Request &Req : Requests)
+    OkCount += Req.Ok ? 1 : 0;
+  double PerSec = WallMs > 0.0 ? 1000.0 * Requests.size() / WallMs : 0.0;
+
+  std::cout << "{\n  \"requests\": [\n";
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    const Request &Req = Requests[I];
+    std::cout << "    {\"file\": \"" << jsonEscape(Req.File)
+              << "\", \"target\": \"" << jsonEscape(Req.Target)
+              << "\", \"pipeline\": \"" << jsonEscape(Req.Pipeline)
+              << "\", \"outcome\": \""
+              << core::stringifyOutcome(Req.Outcome) << "\", \"ms\": "
+              << formatMs(Req.Ms) << ", \"ok\": "
+              << (Req.Ok ? "true" : "false") << ", \"error\": \""
+              << jsonEscape(Req.Error) << "\"}"
+              << (I + 1 < Requests.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n"
+            << "  \"aggregate\": {\"requests\": " << Requests.size()
+            << ", \"ok\": " << OkCount << ", \"failed\": "
+            << (Requests.size() - OkCount) << ", \"wall_ms\": "
+            << formatMs(WallMs) << ", \"requests_per_s\": "
+            << formatMs(PerSec) << ", \"threads\": " << Threads << "},\n"
+            << "  \"service\": {\"memory_hits\": " << S.MemoryHits
+            << ", \"rematerialized\": " << S.Rematerialized
+            << ", \"disk_hits\": " << S.DiskHits << ", \"disk_stores\": "
+            << S.DiskStores << ", \"disk_invalid\": " << S.DiskInvalid
+            << ", \"misses\": " << S.Misses << ", \"evictions\": "
+            << S.Evictions << ", \"in_flight_waits\": " << S.InFlightWaits
+            << ", \"max_concurrent_compiles\": " << S.MaxConcurrentCompiles
+            << ", \"memory_entries\": " << S.MemoryEntries << "}\n"
+            << "}\n";
+}
+
+void printTextReport(const std::vector<Request> &Requests, double WallMs,
+                     unsigned Threads) {
+  size_t FileWidth = 4, TargetWidth = 6;
+  for (const Request &Req : Requests) {
+    FileWidth = std::max(FileWidth, Req.File.size());
+    TargetWidth = std::max(TargetWidth, Req.Target.size());
+  }
+
+  unsigned OkCount = 0;
+  uint64_t ByOutcome[5] = {0, 0, 0, 0, 0};
+  for (const Request &Req : Requests) {
+    OkCount += Req.Ok ? 1 : 0;
+    ByOutcome[static_cast<int>(Req.Outcome)]++;
+  }
+
+  for (const Request &Req : Requests) {
+    std::cout << "  " << Req.File
+              << std::string(FileWidth - Req.File.size() + 2, ' ')
+              << Req.Target
+              << std::string(TargetWidth - Req.Target.size() + 2, ' ');
+    std::string Outcome(core::stringifyOutcome(Req.Outcome));
+    std::cout << Outcome << std::string(16 - Outcome.size(), ' ')
+              << formatMs(Req.Ms) << " ms";
+    if (!Req.Ok)
+      std::cout << "  (" << Req.Error << ")";
+    std::cout << "\n";
+  }
+
+  double PerSec = WallMs > 0.0 ? 1000.0 * Requests.size() / WallMs : 0.0;
+  core::CompileService::Stats S = core::CompileService::get().getStats();
+  std::cout << "\n"
+            << Requests.size() << " requests (" << OkCount << " ok, "
+            << (Requests.size() - OkCount) << " failed) in "
+            << formatMs(WallMs) << " ms on " << Threads
+            << (Threads == 1 ? " thread" : " threads") << " ("
+            << formatMs(PerSec) << " req/s)\n"
+            << "  served: " << ByOutcome[3] << " compiled, "
+            << ByOutcome[0] << " memory hits, " << ByOutcome[1]
+            << " rematerialized, " << ByOutcome[2] << " from disk\n"
+            << "service counters (process-wide):\n"
+            << "  memory hits: " << S.MemoryHits
+            << "\n  rematerialized: " << S.Rematerialized
+            << "\n  disk hits: " << S.DiskHits
+            << "\n  disk stores: " << S.DiskStores
+            << "\n  disk invalid: " << S.DiskInvalid
+            << "\n  misses: " << S.Misses
+            << "\n  in-flight waits: " << S.InFlightWaits
+            << "\n  max concurrent compiles: " << S.MaxConcurrentCompiles
+            << "\n  memory entries: " << S.MemoryEntries << "\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  std::string Error;
+  if (!parseArgs(Argc, Argv, Opts, Error)) {
+    std::cerr << "smlir-serve: " << Error << "\n";
+    printHelp(std::cerr);
+    return 1;
+  }
+  if (Opts.ShowHelp) {
+    printHelp(std::cout);
+    return 0;
+  }
+
+  registerAllPasses();
+  exec::registerAllTargets();
+
+  if (!Opts.DumpDir.empty())
+    return dumpWorkloads(Opts.DumpDir);
+
+  if (Opts.CacheDirSet)
+    core::CompileService::get().setDiskCacheDir(Opts.CacheDir);
+
+  std::vector<Request> Requests;
+  if (!parseManifest(Opts.ManifestFile, Requests, Error)) {
+    std::cerr << "smlir-serve: " << Error << "\n";
+    return 1;
+  }
+
+  // All programs parse into one shared context up front — the service
+  // hands identical manifest rows the same materialized module, and a
+  // parse failure is reported per-request without costing a worker.
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  std::deque<frontend::SourceProgram> Programs;
+  std::vector<frontend::SourceProgram *> ProgramOf(Requests.size(), nullptr);
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    Request &Req = Requests[I];
+    std::ifstream In(Req.Path, std::ios::binary);
+    if (!In.good()) {
+      Req.Error = "cannot open '" + Req.Path + "'";
+      continue;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    OwningOpRef Module = parseSourceString(&Ctx, Buffer.str(), &Error);
+    if (!Module) {
+      Req.Error = "parse error: " + Error;
+      continue;
+    }
+    if (verify(Module.get(), &Error).failed()) {
+      Req.Error = "verification error: " + Error;
+      continue;
+    }
+    Programs.emplace_back(&Ctx);
+    Programs.back().DeviceModule = std::move(Module);
+    ProgramOf[I] = &Programs.back();
+  }
+
+  unsigned Threads = Opts.Threads >= 0
+                         ? static_cast<unsigned>(Opts.Threads)
+                         : std::max(1u, rt::Scheduler::defaultThreadCount());
+
+  auto BatchStart = std::chrono::steady_clock::now();
+  {
+    // The same worker pool queue submissions run on; compile requests
+    // join the DAG as host tasks (no device, no simulated time). The
+    // scope drains and joins the pool before the report reads Requests.
+    rt::Scheduler Pool(Threads);
+    for (size_t I = 0; I < Requests.size(); ++I) {
+      Request &Req = Requests[I];
+      frontend::SourceProgram *Program = ProgramOf[I];
+      if (!Program)
+        continue; // Parse-stage failure, already recorded.
+      auto Node = std::make_shared<rt::TaskNode>();
+      Node->KernelName = "compile:" + Req.File;
+      Node->Done = rt::Event::makePending(Node->KernelName);
+      Node->HostWork = [&Req, Program](std::string *) -> LogicalResult {
+        core::CompilerOptions CompOpts;
+        CompOpts.PipelineOverride = Req.Pipeline;
+        core::Compiler Comp(CompOpts);
+        std::string CompileError;
+        auto Start = std::chrono::steady_clock::now();
+        std::unique_ptr<core::Executable> Exe = Comp.compileFor(
+            *Program, Req.Target, &CompileError, &Req.Outcome);
+        Req.Ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+        Req.Ok = Exe != nullptr;
+        if (!Req.Ok)
+          Req.Error = CompileError;
+        // Failures are per-request report rows, not batch failures.
+        return success();
+      };
+      Pool.submit(std::move(Node));
+    }
+    Pool.waitAll();
+  }
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - BatchStart)
+                      .count();
+
+  if (Opts.JSON)
+    printJSONReport(Requests, WallMs, Threads);
+  else
+    printTextReport(Requests, WallMs, Threads);
+
+  unsigned Failed = 0;
+  for (const Request &Req : Requests)
+    Failed += Req.Ok ? 0 : 1;
+  return Failed == 0 ? 0 : 2;
+}
