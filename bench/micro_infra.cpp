@@ -28,10 +28,12 @@
 #include "frontend/KernelBuilder.h"
 #include "ir/Parser.h"
 #include "runtime/Runtime.h"
+#include "support/Telemetry.h"
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <sstream>
 
 using namespace smlir;
 
@@ -300,10 +302,31 @@ frontend::SourceProgram makeStencil(MLIRContext &Ctx) {
 /// (threaded + fused) default. \p NoElide keeps the tuned dispatch but
 /// refuses the `annotate-inbounds` proofs, so every access re-checks
 /// bounds at runtime — isolating the proven-in-bounds elision win.
+/// \p Traced collects a telemetry trace for the whole measurement (one
+/// vm.launch span per iteration), quantifying the recording overhead
+/// next to the identical untraced variant; the trace is drained outside
+/// the timed region.
 void runExecTier(benchmark::State &State,
                  frontend::SourceProgram (*Make)(MLIRContext &),
                  const char *Kernel, exec::ExecutionTier Tier,
-                 bool BaseVM = false, bool NoElide = false) {
+                 bool BaseVM = false, bool NoElide = false,
+                 bool Traced = false) {
+  // Stops collection (discarding the events) on every exit path, so a
+  // traced variant can never leave process-global tracing enabled for
+  // whichever benchmark the interleaved schedule runs next.
+  struct TraceGuard {
+    bool On = false;
+    ~TraceGuard() {
+      if (On) {
+        std::ostringstream Discard;
+        telemetry::stopTrace(Discard);
+      }
+    }
+  } Tracing;
+  if (Traced) {
+    telemetry::startTrace();
+    Tracing.On = true;
+  }
   // Restores the process VM configuration on every exit path.
   struct VMConfigGuard {
     bool Fusion = exec::bc::getDefaultFusionEnabled();
@@ -401,6 +424,12 @@ void BM_ExecTier_MatMul_BytecodeNoElide(benchmark::State &State) {
 }
 BENCHMARK(BM_ExecTier_MatMul_BytecodeNoElide)->Unit(benchmark::kMicrosecond);
 
+void BM_ExecTier_MatMul_BytecodeTraced(benchmark::State &State) {
+  runExecTier(State, makeProgram, "k", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/false, /*NoElide=*/false, /*Traced=*/true);
+}
+BENCHMARK(BM_ExecTier_MatMul_BytecodeTraced)->Unit(benchmark::kMicrosecond);
+
 void BM_ExecTier_Saxpy_Interpreter(benchmark::State &State) {
   runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Interpreter);
 }
@@ -422,6 +451,12 @@ void BM_ExecTier_Saxpy_BytecodeNoElide(benchmark::State &State) {
               /*BaseVM=*/false, /*NoElide=*/true);
 }
 BENCHMARK(BM_ExecTier_Saxpy_BytecodeNoElide)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Saxpy_BytecodeTraced(benchmark::State &State) {
+  runExecTier(State, makeSaxpy, "saxpy", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/false, /*NoElide=*/false, /*Traced=*/true);
+}
+BENCHMARK(BM_ExecTier_Saxpy_BytecodeTraced)->Unit(benchmark::kMicrosecond);
 
 void BM_ExecTier_Stencil_Interpreter(benchmark::State &State) {
   runExecTier(State, makeStencil, "stencil",
@@ -445,6 +480,12 @@ void BM_ExecTier_Stencil_BytecodeNoElide(benchmark::State &State) {
               /*BaseVM=*/false, /*NoElide=*/true);
 }
 BENCHMARK(BM_ExecTier_Stencil_BytecodeNoElide)->Unit(benchmark::kMicrosecond);
+
+void BM_ExecTier_Stencil_BytecodeTraced(benchmark::State &State) {
+  runExecTier(State, makeStencil, "stencil", exec::ExecutionTier::Bytecode,
+              /*BaseVM=*/false, /*NoElide=*/false, /*Traced=*/true);
+}
+BENCHMARK(BM_ExecTier_Stencil_BytecodeTraced)->Unit(benchmark::kMicrosecond);
 
 //===----------------------------------------------------------------------===//
 // Asynchronous runtime (task-graph scheduler)

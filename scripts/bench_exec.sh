@@ -3,14 +3,19 @@
 # BM_ExecTier_* microbenchmarks and writes the google-benchmark JSON
 # report to BENCH_exec.json (or $1).
 #
-# Four variants run per kernel family (matmul, saxpy, stencil):
+# Five variants run per kernel family (matmul, saxpy, stencil):
 #   *_Interpreter      - the tree-walking reference interpreter
 #   *_BytecodeBase     - the VM with fusion off, portable switch dispatch
 #   *_BytecodeNoElide  - tuned dispatch, but annotate-inbounds proofs
 #                        refused (every access re-checks bounds)
 #   *_Bytecode         - the tuned default (threaded + fused + elision)
-# and the script prints a one-line speedup summary per family, plus the
-# bounds-check elision win (NoElide / tuned) per family.
+#   *_BytecodeTraced   - the tuned default with telemetry tracing on
+#                        (one vm.launch span recorded per iteration)
+# and the script prints a one-line speedup summary per family, the
+# bounds-check elision win (NoElide / tuned) and the tracing overhead
+# (Traced / tuned) per family. The untraced variants double as the
+# disabled-path cost check: tracing off is one atomic load per site, so
+# *_Bytecode must not move when the telemetry layer changes.
 #
 # To regenerate the opcode/pair frequency profile that justifies the
 # fused opcode set (see fuseSuperinstructions in src/exec/Bytecode.cpp):
@@ -63,7 +68,8 @@ for entry in report.get("benchmarks", []):
         medians[entry["run_name"]] = entry["real_time"]
 
 families = ["MatMul", "Saxpy", "Stencil"]
-variants = ["Interpreter", "BytecodeBase", "BytecodeNoElide", "Bytecode"]
+variants = ["Interpreter", "BytecodeBase", "BytecodeNoElide", "Bytecode",
+            "BytecodeTraced"]
 missing = [
     f"BM_ExecTier_{fam}_{var}"
     for fam in families
@@ -77,23 +83,30 @@ if missing:
 
 ratios = []
 elisions = []
+traces = []
 for fam in families:
     interp = medians[f"BM_ExecTier_{fam}_Interpreter"]
     base = medians[f"BM_ExecTier_{fam}_BytecodeBase"]
     checked = medians[f"BM_ExecTier_{fam}_BytecodeNoElide"]
     tuned = medians[f"BM_ExecTier_{fam}_Bytecode"]
+    traced = medians[f"BM_ExecTier_{fam}_BytecodeTraced"]
     ratios.append(base / tuned)
     elisions.append(checked / tuned)
+    traces.append(traced / tuned)
     print(f"{fam.lower()}: interpreter {interp:.0f}us, "
           f"bytecode(base) {base:.0f}us, bytecode(no-elide) "
           f"{checked:.0f}us, bytecode(threaded+fused+elide) "
-          f"{tuned:.0f}us -> {interp / tuned:.1f}x vs interpreter, "
+          f"{tuned:.0f}us, bytecode(traced) {traced:.0f}us -> "
+          f"{interp / tuned:.1f}x vs interpreter, "
           f"{base / tuned:.2f}x vs base VM, "
-          f"{checked / tuned:.2f}x from bounds-check elision")
+          f"{checked / tuned:.2f}x from bounds-check elision, "
+          f"{(traced / tuned - 1) * 100:+.1f}% tracing overhead")
 geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 print(f"geomean threaded+fused speedup vs base VM: {geomean:.2f}x")
 egeomean = math.exp(sum(math.log(r) for r in elisions) / len(elisions))
 print(f"geomean proven-in-bounds elision speedup: {egeomean:.2f}x")
+tgeomean = math.exp(sum(math.log(r) for r in traces) / len(traces))
+print(f"geomean tracing-enabled overhead: {(tgeomean - 1) * 100:+.1f}%")
 EOF
 
 echo "wrote $OUT"

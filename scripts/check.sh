@@ -40,3 +40,9 @@ SMLIR_EXEC_TIER=interpreter \
 # reproducible via `smlir-opt --pass-pipeline=<recorded pipeline>`, and
 # --target must reproduce the per-target pipeline derivation.
 BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/smoke_smlir_opt.sh"
+
+# Observability gate: a traced smlir-serve --run over the full workload
+# manifest must emit a strict-JSON Chrome trace with compile / pass /
+# scheduler / vm spans on >= 2 worker threads, and a metrics snapshot
+# that agrees exactly with the run's own report counters.
+BUILD_DIR="$BUILD_DIR" "$REPO_ROOT/scripts/check_trace.sh"

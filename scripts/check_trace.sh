@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Observability gate: one traced smlir-serve run over the full in-tree
+# workload manifest must produce
+#   - a strict-JSON Chrome trace (SMLIR_TRACE=<file>) containing
+#     compile-service, pass, scheduler-task and VM-launch spans, with
+#     scheduler/VM spans attributed to at least two distinct worker tids;
+#   - a strict-JSON metrics snapshot (--metrics-out=<file>) whose
+#     compile_service.* counters agree exactly with the service counters
+#     in the run's own JSON report, and whose runtime.launches equals the
+#     report's summed per-run queue launches.
+# Validation uses python3's json module (stdlib only): an emitter bug
+# that chrome://tracing would reject fails here first.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+SMLIR_SERVE="${SMLIR_SERVE:-$BUILD_DIR/tools/smlir-serve}"
+
+if [[ ! -x "$SMLIR_SERVE" ]]; then
+  echo "check_trace: $SMLIR_SERVE not found or not executable" >&2
+  echo "(build first: cmake --build $BUILD_DIR --target smlir-serve)" >&2
+  exit 1
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_trace: python3 unavailable; skipping trace validation" >&2
+  exit 0
+fi
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$SMLIR_SERVE" --dump-workloads "$WORKDIR/wl" >/dev/null
+
+# An inherited cache directory would serve every compile from disk and
+# starve the trace of real pipeline runs; trace the cold path.
+env -u SMLIR_CACHE_DIR SMLIR_TRACE="$WORKDIR/trace.json" \
+  "$SMLIR_SERVE" --threads=4 --run --json \
+  --metrics-out="$WORKDIR/metrics.json" \
+  "$WORKDIR/wl/manifest.txt" > "$WORKDIR/report.json"
+
+# Strict JSON: json.tool re-parses each artifact with the stdlib parser.
+python3 -m json.tool "$WORKDIR/trace.json" >/dev/null
+python3 -m json.tool "$WORKDIR/metrics.json" >/dev/null
+python3 -m json.tool "$WORKDIR/report.json" >/dev/null
+
+python3 - "$WORKDIR/trace.json" "$WORKDIR/metrics.json" \
+    "$WORKDIR/report.json" <<'EOF'
+import json
+import sys
+
+trace_path, metrics_path, report_path = sys.argv[1:4]
+trace = json.load(open(trace_path))
+metrics = json.load(open(metrics_path))
+report = json.load(open(report_path))
+
+events = trace["traceEvents"]
+assert events, "trace has no events"
+
+spans = [e for e in events if e.get("ph") == "X"]
+cats = {e.get("cat", "") for e in spans}
+names = {e.get("name", "") for e in spans}
+for cat in ("compile", "pass", "scheduler", "vm"):
+    assert cat in cats, f"trace is missing span category '{cat}'"
+for name in ("compile.request", "pass.pipeline", "vm.launch"):
+    assert name in names, f"trace is missing span '{name}'"
+
+for cat in ("scheduler", "vm"):
+    tids = {e["tid"] for e in spans if e.get("cat") == cat}
+    assert len(tids) >= 2, (
+        f"'{cat}' spans on {len(tids)} tid(s); expected >= 2 workers")
+
+# Worker threads are named in the trace metadata.
+thread_names = {
+    e["args"]["name"]
+    for e in events
+    if e.get("ph") == "M" and e.get("name") == "thread_name"
+}
+assert any(n.startswith("smlir-worker-") for n in thread_names), (
+    f"no named worker threads in {sorted(thread_names)}")
+
+# Metrics must agree exactly with the run's own report: the service
+# counters (one canonical storage location, read through the registry
+# collector) and the summed per-queue launch counts.
+service = report["service"]
+for key, want in service.items():
+    got = metrics.get(f"compile_service.{key}")
+    assert got == want, (
+        f"compile_service.{key}: metrics say {got}, report says {want}")
+
+run_launches = report["run_aggregate"]["launches"]
+assert metrics.get("runtime.launches") == run_launches, (
+    f"runtime.launches: metrics say {metrics.get('runtime.launches')}, "
+    f"report says {run_launches}")
+
+assert report["run_aggregate"]["workloads"] > 0, "no workloads executed"
+failed = [r["workload"] for r in report["run"] if not r["ok"]]
+assert not failed, f"workloads failed under tracing: {failed}"
+
+print(f"check_trace: OK — {len(spans)} spans, "
+      f"{len(metrics)} metrics, "
+      f"{report['run_aggregate']['workloads']} workloads, "
+      f"{run_launches} launches")
+EOF

@@ -10,6 +10,7 @@
 #include "ir/Block.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -141,7 +142,29 @@ CompileService &CompileService::get() {
   return *Service;
 }
 
-CompileService::CompileService() { loadConfigFromEnv(); }
+CompileService::CompileService() {
+  loadConfigFromEnv();
+  // The service is the canonical store for its counters; the metrics
+  // registry pulls a coherent snapshot (one lock acquisition) on demand
+  // instead of mirroring each increment. The singleton never dies, so
+  // the collector is never unregistered.
+  telemetry::registerCollector([this](telemetry::MetricSink &Sink) {
+    Stats Snapshot = getStats();
+    Sink.add("compile_service.memory_hits", Snapshot.MemoryHits);
+    Sink.add("compile_service.rematerialized", Snapshot.Rematerialized);
+    Sink.add("compile_service.disk_hits", Snapshot.DiskHits);
+    Sink.add("compile_service.disk_stores", Snapshot.DiskStores);
+    Sink.add("compile_service.disk_invalid", Snapshot.DiskInvalid);
+    Sink.add("compile_service.misses", Snapshot.Misses);
+    Sink.add("compile_service.evictions", Snapshot.Evictions);
+    Sink.add("compile_service.dead_context_evictions",
+             Snapshot.DeadContextEvictions);
+    Sink.add("compile_service.in_flight_waits", Snapshot.InFlightWaits);
+    Sink.add("compile_service.max_concurrent_compiles",
+             Snapshot.MaxConcurrentCompiles);
+    Sink.add("compile_service.memory_entries", Snapshot.MemoryEntries);
+  });
+}
 
 void CompileService::loadConfigFromEnv() {
   Capacity = 64;
@@ -433,7 +456,14 @@ std::shared_ptr<const CompiledModule> CompileService::compileThrough(
     MLIRContext *Ctx, std::string SourceIR, std::string_view Target,
     std::string_view Pipeline, const CompileFn &RunPipeline,
     CompileOutcome *Outcome, std::string *ErrorMessage) {
+  // One span per request, whichever tier serves it; pipeline and pass
+  // spans of a full compile nest inside it (same thread).
+  telemetry::Span RequestSpan("compile.request", "compile");
+  if (RequestSpan.isActive())
+    RequestSpan.arg("target", Target);
   auto SetOutcome = [&](CompileOutcome O) {
+    if (RequestSpan.isActive())
+      RequestSpan.arg("outcome", stringifyOutcome(O));
     if (Outcome)
       *Outcome = O;
   };

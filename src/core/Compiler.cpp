@@ -10,6 +10,7 @@
 #include "dialect/SYCL.h"
 #include "ir/Block.h"
 #include "ir/PassRegistry.h"
+#include "support/Telemetry.h"
 #include "transform/Passes.h"
 
 #include <sstream>
@@ -308,6 +309,20 @@ LogicalResult Compiler::buildPipeline(PassManager &PM,
   return parsePassPipeline(getPipeline(Options), PM, ErrorMessage);
 }
 
+Compiler::Compiler(CompilerOptions Options) : Options(Options) {
+  // Publish this instance's cache behavior through the metrics registry.
+  // Same-key samples from several live Compilers accumulate into one
+  // process-wide compiler.cache.* series.
+  CollectorHandle = telemetry::registerCollector(
+      [this](telemetry::MetricSink &Sink) {
+        CacheStats Snapshot = getCacheStats();
+        Sink.add("compiler.cache.hits", uint64_t(Snapshot.Hits));
+        Sink.add("compiler.cache.misses", uint64_t(Snapshot.Misses));
+      });
+}
+
+Compiler::~Compiler() { telemetry::unregisterCollector(CollectorHandle); }
+
 std::unique_ptr<Executable>
 Compiler::compileFor(const frontend::SourceProgram &Program,
                      const exec::TargetBackend &Target,
@@ -400,11 +415,11 @@ Compiler::compileFor(const frontend::SourceProgram &Program,
 
   // Per-instance stats: a Miss ran the pipeline in this call; any other
   // outcome was served from shared state (including waiting on another
-  // thread's in-flight run — only one compilation happened).
-  if (Served == CompileOutcome::Miss)
-    Misses.fetch_add(1, std::memory_order_acq_rel);
-  else
-    Hits.fetch_add(1, std::memory_order_acq_rel);
+  // thread's in-flight run — only one compilation happened). Both
+  // counters share one word so snapshots cannot tear (getCacheStats).
+  HitsAndMisses.fetch_add(Served == CompileOutcome::Miss ? 1
+                                                         : (uint64_t(1) << 32),
+                          std::memory_order_acq_rel);
   {
     std::lock_guard<std::mutex> Lock(ReportMutex);
     LastReport = Result->Report;

@@ -196,7 +196,7 @@ private:
 /// `getLastReport` remains a single-threaded driver convenience.
 class Compiler {
 public:
-  explicit Compiler(CompilerOptions Options) : Options(Options) {}
+  explicit Compiler(CompilerOptions Options);
 
   /// Compiles \p Program for \p Target: the flow pipeline plus the
   /// target's suffix runs over a clone of the program's module (the
@@ -252,22 +252,31 @@ public:
     unsigned Hits = 0;
     unsigned Misses = 0;
   };
-  /// A consistent snapshot of the counters (they advance atomically, so
-  /// concurrent compileFor calls never tear the report).
+  /// A coherent snapshot of the counters: both live in one atomic word
+  /// (hits in the high half, misses in the low half), so a single load
+  /// observes a state the process actually passed through — two separate
+  /// atomics could tear against a concurrent compileFor and report a
+  /// hit/miss pair that never coexisted.
   CacheStats getCacheStats() const {
+    uint64_t Packed = HitsAndMisses.load(std::memory_order_acquire);
     CacheStats Snapshot;
-    Snapshot.Hits = Hits.load(std::memory_order_acquire);
-    Snapshot.Misses = Misses.load(std::memory_order_acquire);
+    Snapshot.Hits = static_cast<unsigned>(Packed >> 32);
+    Snapshot.Misses = static_cast<unsigned>(Packed & 0xffffffffu);
     return Snapshot;
   }
+
+  ~Compiler();
 
 private:
   CompilerOptions Options;
   std::string LastReport;
   /// Guards LastReport (the caches live in the CompileService).
   mutable std::mutex ReportMutex;
-  std::atomic<unsigned> Hits{0};
-  std::atomic<unsigned> Misses{0};
+  /// Hits << 32 | Misses; see getCacheStats.
+  std::atomic<uint64_t> HitsAndMisses{0};
+  /// Metrics-registry collector handle (compiler.cache.* samples),
+  /// released in the destructor.
+  uint64_t CollectorHandle = 0;
 };
 
 } // namespace core

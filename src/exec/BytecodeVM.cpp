@@ -41,6 +41,7 @@
 #include "dialect/MemRef.h"
 #include "exec/LaunchCommon.h"
 #include "support/ErrorHandling.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <atomic>
@@ -110,8 +111,31 @@ bool bc::profilingEnabled() {
   static const bool Enabled = [] {
     const char *Env = std::getenv("SMLIR_BC_PROFILE");
     bool On = Env && std::string_view(Env) == "1";
-    if (On)
+    if (On) {
+      // The env var stays an alias for "collect + dump at exit"; the
+      // canonical, queryable view of the same counters is the metrics
+      // registry (vm.opcode.* / vm.opcode_pair.* in snapshotJson).
       std::atexit(dumpProfileAtExit);
+      telemetry::registerCollector([](telemetry::MetricSink &Sink) {
+        for (size_t K = 0; K < kNumOpcodes; ++K) {
+          uint64_t N = ProfOpCount[K].load(std::memory_order_relaxed);
+          if (N)
+            Sink.add("vm.opcode." +
+                         std::string(opcName(static_cast<Opc>(K))),
+                     N);
+        }
+        for (size_t A = 0; A < kNumOpcodes; ++A)
+          for (size_t B = 0; B < kNumOpcodes; ++B) {
+            uint64_t N = ProfPairCount[A * kNumOpcodes + B].load(
+                std::memory_order_relaxed);
+            if (N)
+              Sink.add("vm.opcode_pair." +
+                           std::string(opcName(static_cast<Opc>(A))) + "->" +
+                           std::string(opcName(static_cast<Opc>(B))),
+                       N);
+          }
+      });
+    }
     return On;
   }();
   return Enabled;
@@ -667,5 +691,16 @@ LogicalResult Device::launch(const bc::Function &Fn, const NDRange &Range,
                              const std::vector<KernelArg> &Args,
                              LaunchStats &Stats,
                              std::string *ErrorMessage) {
+  static telemetry::Counter &Launches =
+      telemetry::counter("vm.launches.bytecode");
+  Launches.add();
+  telemetry::Span LaunchSpan("vm.launch", "vm");
+  if (LaunchSpan.isActive()) {
+    LaunchSpan.arg("kernel", Fn.Name);
+    LaunchSpan.arg("tier", "bytecode");
+    LaunchSpan.arg("dispatch", bc::stringifyDispatchMode(bc::getDispatchMode()));
+    LaunchSpan.arg("fusion", bc::getDefaultFusionEnabled());
+    LaunchSpan.arg("inbounds", bc::getDefaultInboundsEnabled());
+  }
   return bc::execute(Fn, Props, Range, Args, Stats, ErrorMessage);
 }

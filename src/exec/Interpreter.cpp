@@ -23,6 +23,7 @@
 #include "dialect/MemRef.h"
 #include "dialect/SCF.h"
 #include "ir/Block.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cmath>
@@ -942,6 +943,14 @@ LogicalResult Device::launch(FuncOp Kernel, const NDRange &Range,
                              const std::vector<KernelArg> &Args,
                              LaunchStats &Stats,
                              std::string *ErrorMessage) {
+  static telemetry::Counter &Launches =
+      telemetry::counter("vm.launches.interpreter");
+  Launches.add();
+  telemetry::Span LaunchSpan("vm.launch", "vm");
+  if (LaunchSpan.isActive()) {
+    LaunchSpan.arg("kernel", Kernel.getName());
+    LaunchSpan.arg("tier", "interpreter");
+  }
   auto Fail = [&](std::string Message) {
     if (ErrorMessage)
       *ErrorMessage = std::move(Message);

@@ -11,6 +11,7 @@
 #include "ir/MLIRContext.h"
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
+#include "support/Telemetry.h"
 
 #include <chrono>
 #include <cstdio>
@@ -67,13 +68,24 @@ static std::string describeFunction(Operation *Func) {
 PassResult FunctionPipelinePass::runOnOperation(Operation *Root,
                                                 AnalysisManager &AM) {
   PreservedAnalyses Preserved = PreservedAnalyses::all();
+  NestedTimingsMs.assign(Passes.size(), 0.0);
   for (Operation *Func : collectFunctions(Root)) {
-    for (auto &P : Passes) {
+    for (size_t PassIdx = 0, NumPasses = Passes.size(); PassIdx != NumPasses;
+         ++PassIdx) {
+      auto &P = Passes[PassIdx];
+      telemetry::Span NestedSpan(P->getArgument(), "pass");
+      if (NestedSpan.isActive())
+        NestedSpan.arg("function", describeFunction(Func));
+      auto Start = std::chrono::steady_clock::now();
       // FunctionPasses dispatch straight to their per-function hook; other
       // passes see the function as their root.
       PassResult Result = P->asFunctionPass()
                               ? P->asFunctionPass()->runOnFunction(Func, AM)
                               : P->runOnOperation(Func, AM);
+      NestedTimingsMs[PassIdx] +=
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - Start)
+              .count();
       Preserved.intersect(Result.getPreserved());
       AM.invalidate(Result.getPreserved());
       if (Result.failed()) {
@@ -122,6 +134,9 @@ LogicalResult PassManager::run(Operation *Root, std::string *ErrorMessage) {
   AM.clear();
   TimingsMs.assign(Passes.size(), 0.0);
   NumExecuted = 0;
+  telemetry::Span PipelineSpan("pass.pipeline", "compiler");
+  if (PipelineSpan.isActive())
+    PipelineSpan.arg("passes", Passes.size());
   for (auto &P : Passes)
     P->setNestedVerifier(VerifyEach);
   for (unsigned I = 0, E = Passes.size(); I != E; ++I) {
@@ -132,10 +147,18 @@ LogicalResult PassManager::run(Operation *Root, std::string *ErrorMessage) {
       Root->dump();
     }
     auto Start = std::chrono::steady_clock::now();
-    PassResult Result = P.runOnOperation(Root, AM);
+    PassResult Result = [&] {
+      // Scoped so the span covers exactly the pass body, not the
+      // verification and cache invalidation that follow.
+      telemetry::Span PassSpan(P.getArgument(), "pass");
+      return P.runOnOperation(Root, AM);
+    }();
     auto End = std::chrono::steady_clock::now();
     TimingsMs[I] =
         std::chrono::duration<double, std::milli>(End - Start).count();
+    telemetry::counter("pass.runs." + P.getArgument()).add();
+    telemetry::counter("pass.us." + P.getArgument())
+        .add(static_cast<uint64_t>(TimingsMs[I] * 1000.0));
     NumExecuted = I + 1;
     // Drop exactly the analyses the pass did not declare preserved.
     AM.invalidate(Result.getPreserved());
@@ -195,5 +218,46 @@ std::string PassManager::getReport() const {
       OS << "  " << S.Name << ": " << S.Hits << " hits, " << S.Misses
          << " misses\n";
   }
+  return OS.str();
+}
+
+/// One "  0.0012 ( 34.5%)  name" row of the timing report.
+static void printTimingRow(std::ostream &OS, double Ms, double TotalMs,
+                           unsigned Indent, const std::string &Name) {
+  double Share = TotalMs > 0.0 ? (Ms / TotalMs) * 100.0 : 0.0;
+  char Row[64];
+  std::snprintf(Row, sizeof(Row), "  %8.4f (%5.1f%%)  ", Ms / 1000.0, Share);
+  OS << Row << std::string(Indent, ' ') << Name << "\n";
+}
+
+std::string PassManager::getTimingReport() const {
+  double TotalMs = 0.0;
+  for (unsigned I = 0; I < NumExecuted && I < TimingsMs.size(); ++I)
+    TotalMs += TimingsMs[I];
+
+  std::ostringstream OS;
+  OS << "===" << std::string(73, '-') << "===\n";
+  OS << "                      ... Pass execution timing report ...\n";
+  OS << "===" << std::string(73, '-') << "===\n";
+  char Total[64];
+  std::snprintf(Total, sizeof(Total), "  Total Execution Time: %.4f seconds\n",
+                TotalMs / 1000.0);
+  OS << Total << "\n";
+  OS << "  ----Wall Time----  ----Name----\n";
+  for (unsigned I = 0; I < NumExecuted && I < TimingsMs.size(); ++I) {
+    const Pass &P = *Passes[I];
+    printTimingRow(OS, TimingsMs[I], TotalMs, 0, P.getArgument());
+    // Nested `func(...)` pipelines report each child's time accumulated
+    // across all functions; the remainder (walks, verification) shows up
+    // as the difference to the parent row.
+    if (const auto *Pipeline = dynamic_cast<const FunctionPipelinePass *>(&P)) {
+      const auto &Children = Pipeline->getPasses();
+      const auto &ChildMs = Pipeline->getNestedTimingsMs();
+      for (size_t C = 0; C != Children.size() && C != ChildMs.size(); ++C)
+        printTimingRow(OS, ChildMs[C], TotalMs, 2,
+                       Children[C]->getArgument());
+    }
+  }
+  printTimingRow(OS, TotalMs, TotalMs, 0, "Total");
   return OS.str();
 }

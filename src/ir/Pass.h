@@ -324,8 +324,16 @@ public:
       P->setNestedVerifier(Enable);
   }
 
+  /// Wall time of each nested pass accumulated across every function of
+  /// the last run (parallel to getPasses(); feeds the nested rows of
+  /// PassManager::getTimingReport).
+  const std::vector<double> &getNestedTimingsMs() const {
+    return NestedTimingsMs;
+  }
+
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
+  std::vector<double> NestedTimingsMs;
   /// Mirrors the owning pass manager's verify-each setting: each function
   /// is re-verified after each nested pass, as it would be had the nested
   /// passes run at the top level.
@@ -368,6 +376,12 @@ public:
   /// analysis cache hits/misses; passes the last run never reached are
   /// annotated "(not run)".
   std::string getReport() const;
+
+  /// MLIR `-mlir-timing`-style nested wall-time report of the last run:
+  /// total execution time, one row per top-level pass with its share, and
+  /// indented rows for passes nested in `func(...)` pipelines (their
+  /// times accumulated across all functions). Backs `smlir-opt --timing`.
+  std::string getTimingReport() const;
 
   const std::vector<std::unique_ptr<Pass>> &getPasses() const {
     return Passes;

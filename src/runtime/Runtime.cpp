@@ -7,6 +7,7 @@
 #include "runtime/Runtime.h"
 
 #include "support/ErrorHandling.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 
@@ -255,6 +256,11 @@ LogicalResult Queue::wait(std::string *ErrorMessage) {
     const exec::LaunchStats &Launch = Done.State->Launch;
     double EndTime = Done.getEndTime();
     ++Stats.NumLaunches;
+    // Mirrored into the process metrics at the exact point QueueStats
+    // advances, so a metrics snapshot agrees with every queue's stats.
+    static telemetry::Counter &Launches =
+        telemetry::counter("runtime.launches");
+    Launches.add();
     Stats.TotalKernelTime += Launch.SimTime;
     Stats.Makespan = std::max(Stats.Makespan, EndTime);
     Stats.Aggregate.CoalescedGlobalAccesses += Launch.CoalescedGlobalAccesses;

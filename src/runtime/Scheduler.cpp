@@ -7,8 +7,10 @@
 #include "runtime/Scheduler.h"
 
 #include "runtime/Runtime.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 using namespace smlir;
@@ -141,7 +143,10 @@ unsigned Scheduler::defaultThreadCount() {
 Scheduler::Scheduler(unsigned NumThreads) {
   Workers.reserve(NumThreads);
   for (unsigned I = 0; I < NumThreads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] {
+      telemetry::setThreadName("smlir-worker-" + std::to_string(I));
+      workerLoop();
+    });
 }
 
 Scheduler::~Scheduler() {
@@ -156,6 +161,40 @@ Scheduler::~Scheduler() {
 }
 
 void Scheduler::executeTask(TaskNode &Node) {
+  static telemetry::Counter &Executed =
+      telemetry::counter("scheduler.tasks_executed");
+  static telemetry::Counter &RunUs =
+      telemetry::counter("scheduler.task_run_us");
+  Executed.add();
+  auto RunStart = std::chrono::steady_clock::now();
+  // Billed to the utilization counter however the function exits.
+  struct BillRunTime {
+    std::chrono::steady_clock::time_point Start;
+    ~BillRunTime() {
+      RunUs.add(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count()));
+    }
+  } Bill{RunStart};
+
+  telemetry::Span TaskSpan(Node.HostWork ? "task.host" : "task.run",
+                           "scheduler");
+  if (TaskSpan.isActive()) {
+    if (!Node.KernelName.empty())
+      TaskSpan.arg("kernel", Node.KernelName);
+    if (Node.TraceId)
+      TaskSpan.arg("task", Node.TraceId);
+    TaskSpan.arg("predecessors", Node.Predecessors.size());
+    // Arrows from each traced predecessor's span into this one, then the
+    // outgoing anchor successors will point their arrows at.
+    for (const Event &Pred : Node.Predecessors)
+      if (uint64_t PredId = Pred.State->TraceId)
+        telemetry::flowEnd(PredId, "scheduler");
+    if (Node.TraceId)
+      telemetry::flowStart(Node.TraceId, "scheduler");
+  }
+
   // Predecessors have resolved when a worker runs the node (the ready
   // protocol guarantees it); for the inline path, the failed()/
   // getEndTime() calls below block until each predecessor resolves.
@@ -206,6 +245,14 @@ void Scheduler::executeTask(TaskNode &Node) {
 }
 
 void Scheduler::submit(std::shared_ptr<TaskNode> Node) {
+  static telemetry::Counter &Submitted =
+      telemetry::counter("scheduler.tasks_submitted");
+  Submitted.add();
+  if (telemetry::tracingEnabled()) {
+    Node->TraceId = telemetry::nextId();
+    Node->Done.State->TraceId = Node->TraceId;
+  }
+
   if (Workers.empty()) {
     executeTask(*Node);
     return;
@@ -232,9 +279,14 @@ void Scheduler::submit(std::shared_ptr<TaskNode> Node) {
 }
 
 void Scheduler::markReady(std::shared_ptr<TaskNode> Node) {
+  static telemetry::Gauge &Depth = telemetry::gauge("scheduler.queue_depth");
+  static telemetry::Gauge &DepthMax =
+      telemetry::gauge("scheduler.queue_depth_max");
   {
     std::lock_guard<std::mutex> Lock(M);
     Ready.push_back(std::move(Node));
+    Depth.set(static_cast<int64_t>(Ready.size()));
+    DepthMax.takeMax(static_cast<int64_t>(Ready.size()));
   }
   ReadyCV.notify_one();
 }
@@ -251,6 +303,7 @@ void Scheduler::waitAll() {
 }
 
 void Scheduler::workerLoop() {
+  static telemetry::Gauge &Depth = telemetry::gauge("scheduler.queue_depth");
   while (true) {
     std::shared_ptr<TaskNode> Node;
     {
@@ -260,6 +313,7 @@ void Scheduler::workerLoop() {
         return; // Stopping, fully drained.
       Node = std::move(Ready.front());
       Ready.pop_front();
+      Depth.set(static_cast<int64_t>(Ready.size()));
     }
     executeTask(*Node);
     finishTask();

@@ -84,6 +84,11 @@ struct EventState {
   exec::LaunchStats Launch;
   std::string Error;
   std::vector<std::function<void()>> Callbacks;
+
+  /// Trace id of the command that resolves this event (0 when tracing
+  /// was off at submission). Written once at submit, read by consumers
+  /// after the event resolved — the ready protocol orders the accesses.
+  uint64_t TraceId = 0;
 };
 
 } // namespace detail
@@ -163,6 +168,11 @@ struct TaskNode {
   /// Pending-predecessor guard: starts at 1 (submission guard) plus one
   /// per unresolved predecessor; the node becomes ready at 0.
   std::atomic<unsigned> Remaining{1};
+
+  /// Trace id of this command (assigned at submission while tracing is
+  /// enabled; 0 otherwise). Mirrored into Done's EventState so
+  /// successors can draw predecessor flow arrows in the trace.
+  uint64_t TraceId = 0;
 };
 
 /// A fixed worker pool executing the command DAG. Owned by rt::Context;

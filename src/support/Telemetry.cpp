@@ -1,0 +1,540 @@
+//===- Telemetry.cpp - Process-wide tracing and metrics --------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+using namespace smlir;
+using namespace smlir::telemetry;
+
+std::atomic<bool> telemetry::detail::TracingOn{false};
+
+namespace {
+
+/// Nanoseconds since the process epoch (first telemetry use). steady_clock
+/// so spans are immune to wall-clock adjustments.
+uint64_t nowNs() {
+  static const auto Epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+struct TraceEvent {
+  std::string Name;
+  const char *Cat = nullptr;
+  char Ph = 'X';
+  uint64_t TsNs = 0;
+  uint64_t DurNs = 0;
+  uint64_t Id = 0;
+  std::vector<detail::TraceArg> Args;
+};
+
+/// One thread's event buffer. The mutex is uncontended while the thread
+/// runs (stopTrace is the only other locker) — this is the
+/// "lock-free-ish" part: no global lock on the record path.
+struct ThreadBuffer {
+  std::mutex M;
+  uint32_t Tid = 0;
+  std::string ThreadName;
+  std::vector<TraceEvent> Events;
+};
+
+/// Global registry of thread buffers. Leaked on purpose: worker threads
+/// and atexit hooks may record/flush during static destruction.
+struct TraceState {
+  std::mutex M;
+  std::vector<std::shared_ptr<ThreadBuffer>> Buffers;
+  uint32_t NextTid = 1;
+};
+
+TraceState &traceState() {
+  static TraceState *State = new TraceState();
+  return *State;
+}
+
+ThreadBuffer &myBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> Buf = [] {
+    auto B = std::make_shared<ThreadBuffer>();
+    TraceState &State = traceState();
+    std::lock_guard<std::mutex> Lock(State.M);
+    B->Tid = State.NextTid++;
+    State.Buffers.push_back(B);
+    return B;
+  }();
+  return *Buf;
+}
+
+void record(TraceEvent Ev) {
+  ThreadBuffer &Buf = myBuffer();
+  std::lock_guard<std::mutex> Lock(Buf.M);
+  Buf.Events.push_back(std::move(Ev));
+}
+
+void appendJsonNumberNs(std::string &Out, uint64_t Ns) {
+  // Chrome timestamps are microseconds; keep nanosecond precision as a
+  // fixed three-decimal fraction (strict JSON, locale-independent).
+  char Tmp[32];
+  std::snprintf(Tmp, sizeof(Tmp), "%llu.%03u",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned>(Ns % 1000));
+  Out += Tmp;
+}
+
+void appendArgs(std::string &Out, const std::vector<detail::TraceArg> &Args) {
+  Out += "\"args\":{";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += '"';
+    appendJsonEscaped(Out, Args[I].Key);
+    Out += "\":";
+    switch (Args[I].K) {
+    case detail::TraceArg::Kind::Str:
+      Out += '"';
+      appendJsonEscaped(Out, Args[I].S);
+      Out += '"';
+      break;
+    case detail::TraceArg::Kind::Int:
+      Out += std::to_string(Args[I].I);
+      break;
+    case detail::TraceArg::Kind::Dbl: {
+      char Tmp[64];
+      std::snprintf(Tmp, sizeof(Tmp), "%.17g", Args[I].D);
+      Out += Tmp;
+      break;
+    }
+    }
+  }
+  Out += '}';
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics state
+//===----------------------------------------------------------------------===//
+
+struct MetricsState {
+  std::mutex M;
+  // Node-stable maps: counter()/gauge() hand out references that must
+  // survive later insertions.
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, Gauge, std::less<>> Gauges;
+  uint64_t NextHandle = 1;
+  std::vector<std::pair<uint64_t, std::function<void(MetricSink &)>>>
+      Collectors;
+};
+
+MetricsState &metricsState() {
+  static MetricsState *State = new MetricsState();
+  return *State;
+}
+
+//===----------------------------------------------------------------------===//
+// Environment activation
+//===----------------------------------------------------------------------===//
+
+std::string &traceOutPath() {
+  static std::string *Path = new std::string();
+  return *Path;
+}
+std::string &metricsOutPath() {
+  static std::string *Path = new std::string();
+  return *Path;
+}
+
+void flushAtExit() {
+  if (!traceOutPath().empty())
+    if (!writeTraceFile(traceOutPath()))
+      std::fprintf(stderr, "smlir: cannot write SMLIR_TRACE file '%s'\n",
+                   traceOutPath().c_str());
+  if (!metricsOutPath().empty())
+    if (!writeMetricsFile(metricsOutPath()))
+      std::fprintf(stderr, "smlir: cannot write SMLIR_METRICS file '%s'\n",
+                   metricsOutPath().c_str());
+}
+
+/// Reads SMLIR_TRACE / SMLIR_METRICS once at static initialization (the
+/// telemetry TU is linked into every binary that instruments anything).
+struct EnvInit {
+  EnvInit() {
+    const char *Trace = std::getenv("SMLIR_TRACE");
+    const char *Metrics = std::getenv("SMLIR_METRICS");
+    if (Trace && *Trace) {
+      traceOutPath() = Trace;
+      startTrace();
+    }
+    if (Metrics && *Metrics)
+      metricsOutPath() = Metrics;
+    if ((Trace && *Trace) || (Metrics && *Metrics))
+      std::atexit(flushAtExit);
+  }
+};
+EnvInit TheEnvInit;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tracing API
+//===----------------------------------------------------------------------===//
+
+void telemetry::startTrace() {
+  TraceState &State = traceState();
+  std::lock_guard<std::mutex> Lock(State.M);
+  for (auto &Buf : State.Buffers) {
+    std::lock_guard<std::mutex> BufLock(Buf->M);
+    Buf->Events.clear();
+  }
+  nowNs(); // Pin the epoch before the first event.
+  detail::TracingOn.store(true, std::memory_order_relaxed);
+}
+
+size_t telemetry::stopTrace(std::ostream &OS) {
+  detail::TracingOn.store(false, std::memory_order_relaxed);
+
+  struct Flat {
+    uint32_t Tid;
+    TraceEvent Ev;
+  };
+  std::vector<Flat> All;
+  std::vector<std::pair<uint32_t, std::string>> ThreadNames;
+  {
+    TraceState &State = traceState();
+    std::lock_guard<std::mutex> Lock(State.M);
+    for (auto &Buf : State.Buffers) {
+      std::vector<TraceEvent> Events;
+      std::string Name;
+      {
+        std::lock_guard<std::mutex> BufLock(Buf->M);
+        Events.swap(Buf->Events);
+        Name = Buf->ThreadName;
+      }
+      if (!Name.empty())
+        ThreadNames.emplace_back(Buf->Tid, Name);
+      for (auto &Ev : Events)
+        All.push_back(Flat{Buf->Tid, std::move(Ev)});
+    }
+  }
+  std::stable_sort(All.begin(), All.end(), [](const Flat &A, const Flat &B) {
+    return A.Ev.TsNs < B.Ev.TsNs;
+  });
+
+  std::string Out;
+  Out.reserve(128 + All.size() * 96);
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const auto &[Tid, Name] : ThreadNames) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    Out += std::to_string(Tid);
+    Out += ",\"args\":{\"name\":\"";
+    appendJsonEscaped(Out, Name);
+    Out += "\"}}";
+  }
+  for (const Flat &F : All) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    appendJsonEscaped(Out, F.Ev.Name);
+    Out += "\",\"cat\":\"";
+    appendJsonEscaped(Out, F.Ev.Cat ? F.Ev.Cat : "");
+    Out += "\",\"ph\":\"";
+    Out += F.Ev.Ph;
+    Out += "\",\"pid\":1,\"tid\":";
+    Out += std::to_string(F.Tid);
+    Out += ",\"ts\":";
+    appendJsonNumberNs(Out, F.Ev.TsNs);
+    if (F.Ev.Ph == 'X') {
+      Out += ",\"dur\":";
+      appendJsonNumberNs(Out, F.Ev.DurNs);
+    }
+    if (F.Ev.Ph == 's' || F.Ev.Ph == 'f') {
+      Out += ",\"id\":";
+      Out += std::to_string(F.Ev.Id);
+      if (F.Ev.Ph == 'f')
+        Out += ",\"bp\":\"e\"";
+    }
+    if (F.Ev.Ph == 'i')
+      Out += ",\"s\":\"t\"";
+    if (!F.Ev.Args.empty()) {
+      Out += ',';
+      appendArgs(Out, F.Ev.Args);
+    }
+    Out += '}';
+  }
+  Out += "]}";
+  OS << Out;
+  return All.size();
+}
+
+bool telemetry::writeTraceFile(const std::string &Path) {
+  std::ofstream OS(Path, std::ios::trunc);
+  if (!OS)
+    return false;
+  stopTrace(OS);
+  OS << "\n";
+  return static_cast<bool>(OS);
+}
+
+uint64_t telemetry::nextId() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void telemetry::setThreadName(std::string_view Name) {
+  ThreadBuffer &Buf = myBuffer();
+  std::lock_guard<std::mutex> Lock(Buf.M);
+  Buf.ThreadName = std::string(Name);
+}
+
+Span::Span(std::string_view SpanName, const char *SpanCat)
+    : Active(tracingEnabled()) {
+  if (!Active)
+    return;
+  Name = std::string(SpanName);
+  Cat = SpanCat;
+  StartNs = nowNs();
+}
+
+Span::~Span() {
+  if (!Active)
+    return;
+  uint64_t EndNs = nowNs();
+  TraceEvent Ev;
+  Ev.Name = std::move(Name);
+  Ev.Cat = Cat;
+  Ev.Ph = 'X';
+  Ev.TsNs = StartNs;
+  Ev.DurNs = EndNs - StartNs;
+  Ev.Args = std::move(Args);
+  record(std::move(Ev));
+}
+
+void Span::arg(std::string_view Key, std::string_view Value) {
+  if (!Active)
+    return;
+  detail::TraceArg A;
+  A.Key = std::string(Key);
+  A.K = detail::TraceArg::Kind::Str;
+  A.S = std::string(Value);
+  Args.push_back(std::move(A));
+}
+
+void Span::arg(std::string_view Key, int64_t Value) {
+  if (!Active)
+    return;
+  detail::TraceArg A;
+  A.Key = std::string(Key);
+  A.K = detail::TraceArg::Kind::Int;
+  A.I = Value;
+  Args.push_back(std::move(A));
+}
+
+void Span::arg(std::string_view Key, double Value) {
+  if (!Active)
+    return;
+  detail::TraceArg A;
+  A.Key = std::string(Key);
+  A.K = detail::TraceArg::Kind::Dbl;
+  A.D = Value;
+  Args.push_back(std::move(A));
+}
+
+void telemetry::instant(std::string_view Name, const char *Cat) {
+  if (!tracingEnabled())
+    return;
+  TraceEvent Ev;
+  Ev.Name = std::string(Name);
+  Ev.Cat = Cat;
+  Ev.Ph = 'i';
+  Ev.TsNs = nowNs();
+  record(std::move(Ev));
+}
+
+void telemetry::flowStart(uint64_t Id, const char *Cat) {
+  if (!tracingEnabled())
+    return;
+  TraceEvent Ev;
+  Ev.Name = "flow";
+  Ev.Cat = Cat;
+  Ev.Ph = 's';
+  Ev.TsNs = nowNs();
+  Ev.Id = Id;
+  record(std::move(Ev));
+}
+
+void telemetry::flowEnd(uint64_t Id, const char *Cat) {
+  if (!tracingEnabled())
+    return;
+  TraceEvent Ev;
+  Ev.Name = "flow";
+  Ev.Cat = Cat;
+  Ev.Ph = 'f';
+  Ev.TsNs = nowNs();
+  Ev.Id = Id;
+  record(std::move(Ev));
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics API
+//===----------------------------------------------------------------------===//
+
+Counter &telemetry::counter(std::string_view Name) {
+  MetricsState &State = metricsState();
+  std::lock_guard<std::mutex> Lock(State.M);
+  auto It = State.Counters.find(Name);
+  if (It == State.Counters.end())
+    It = State.Counters.try_emplace(std::string(Name)).first;
+  return It->second;
+}
+
+Gauge &telemetry::gauge(std::string_view Name) {
+  MetricsState &State = metricsState();
+  std::lock_guard<std::mutex> Lock(State.M);
+  auto It = State.Gauges.find(Name);
+  if (It == State.Gauges.end())
+    It = State.Gauges.try_emplace(std::string(Name)).first;
+  return It->second;
+}
+
+void MetricSink::add(std::string_view Key, int64_t Value) {
+  for (auto &[K, S] : Samples)
+    if (K == Key) {
+      if (S.IsInt)
+        S.I += Value;
+      else
+        S.D += static_cast<double>(Value);
+      return;
+    }
+  Sample S;
+  S.IsInt = true;
+  S.I = Value;
+  Samples.emplace_back(std::string(Key), S);
+}
+
+void MetricSink::add(std::string_view Key, double Value) {
+  for (auto &[K, S] : Samples)
+    if (K == Key) {
+      if (S.IsInt) {
+        S.IsInt = false;
+        S.D = static_cast<double>(S.I);
+      }
+      S.D += Value;
+      return;
+    }
+  Sample S;
+  S.IsInt = false;
+  S.D = Value;
+  Samples.emplace_back(std::string(Key), S);
+}
+
+uint64_t telemetry::registerCollector(std::function<void(MetricSink &)> Fn) {
+  MetricsState &State = metricsState();
+  std::lock_guard<std::mutex> Lock(State.M);
+  uint64_t Handle = State.NextHandle++;
+  State.Collectors.emplace_back(Handle, std::move(Fn));
+  return Handle;
+}
+
+void telemetry::unregisterCollector(uint64_t Handle) {
+  MetricsState &State = metricsState();
+  std::lock_guard<std::mutex> Lock(State.M);
+  auto &Cs = State.Collectors;
+  Cs.erase(std::remove_if(Cs.begin(), Cs.end(),
+                          [&](const auto &P) { return P.first == Handle; }),
+           Cs.end());
+}
+
+std::string telemetry::snapshotJson() {
+  MetricSink Sink;
+  {
+    MetricsState &State = metricsState();
+    std::lock_guard<std::mutex> Lock(State.M);
+    for (const auto &[Name, C] : State.Counters)
+      Sink.add(Name, static_cast<int64_t>(C.get()));
+    for (const auto &[Name, G] : State.Gauges)
+      Sink.add(Name, G.get());
+    for (const auto &[Handle, Fn] : State.Collectors)
+      Fn(Sink);
+  }
+  std::map<std::string, std::string> Rendered;
+  for (const auto &[Key, S] : Sink.Samples) {
+    if (S.IsInt) {
+      Rendered[Key] = std::to_string(S.I);
+    } else {
+      char Tmp[64];
+      std::snprintf(Tmp, sizeof(Tmp), "%.17g", S.D);
+      // %g may render integral doubles without a decimal point — still
+      // a valid JSON number either way.
+      Rendered[Key] = Tmp;
+    }
+  }
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Key, Value] : Rendered) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "\n  \"";
+    appendJsonEscaped(Out, Key);
+    Out += "\": ";
+    Out += Value;
+  }
+  Out += "\n}\n";
+  return Out;
+}
+
+bool telemetry::writeMetricsFile(const std::string &Path) {
+  std::ofstream OS(Path, std::ios::trunc);
+  if (!OS)
+    return false;
+  OS << snapshotJson();
+  return static_cast<bool>(OS);
+}
+
+void telemetry::appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Tmp[8];
+        std::snprintf(Tmp, sizeof(Tmp), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Tmp;
+      } else {
+        Out += C;
+      }
+      break;
+    }
+  }
+}

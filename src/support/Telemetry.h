@@ -1,0 +1,231 @@
+//===- Telemetry.h - Process-wide tracing and metrics -----------*- C++ -*-===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One observability layer for every subsystem: structured trace spans
+/// (pass runs, compile-service requests, scheduler task lifetimes, VM
+/// launches) exported as Chrome `trace_event` JSON, plus a process-wide
+/// metrics registry of named counters/gauges that the pre-existing stats
+/// surfaces publish through.
+///
+/// Tracing model: each thread appends events to its own buffer (one
+/// uncontended mutex per buffer, taken only while tracing is enabled);
+/// `stopTrace` gathers every buffer, sorts by timestamp and writes a
+/// strict-JSON Chrome trace loadable in chrome://tracing or Perfetto.
+/// When tracing is disabled the entire cost of an instrumentation site is
+/// one relaxed atomic load and a predictable branch — `Span` construction
+/// does not copy its name, take a lock, or allocate.
+///
+/// Enabling:
+///  - `SMLIR_TRACE=<file>`: tracing is on from process start; the trace
+///    is written to <file> at exit.
+///  - `SMLIR_METRICS=<file>`: the metrics snapshot (snapshotJson) is
+///    written to <file> at exit.
+///  - programmatic: `startTrace()` / `stopTrace(OS)`.
+///
+/// Metrics model: `counter("name")` / `gauge("name")` return stable
+/// references to registry-owned atomics (cache the reference at the call
+/// site). Subsystems that already keep canonical stats under their own
+/// lock (CompileService, the VM opcode profile) register a *collector*
+/// instead: a callback that reads the canonical values coherently at
+/// snapshot time, so there is exactly one storage location per stat.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SMLIR_SUPPORT_TELEMETRY_H
+#define SMLIR_SUPPORT_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smlir {
+namespace telemetry {
+
+namespace detail {
+/// The global "is tracing on" flag behind tracingEnabled(). Only
+/// startTrace/stopTrace write it.
+extern std::atomic<bool> TracingOn;
+
+/// One key/value argument of a trace event.
+struct TraceArg {
+  enum class Kind : uint8_t { Str, Int, Dbl };
+  std::string Key;
+  Kind K = Kind::Int;
+  std::string S;
+  int64_t I = 0;
+  double D = 0.0;
+};
+} // namespace detail
+
+/// True while a trace is being collected. Instrumentation sites branch on
+/// this; the disabled path is a single relaxed atomic load.
+inline bool tracingEnabled() {
+  return detail::TracingOn.load(std::memory_order_relaxed);
+}
+
+/// Starts (or restarts) trace collection, discarding any events from a
+/// previous trace that was never written out.
+void startTrace();
+
+/// Stops collection and writes everything recorded since startTrace() as
+/// Chrome trace_event JSON to \p OS. Returns the number of events
+/// written. No-op (returns 0, writes an empty trace) when tracing was
+/// never started.
+size_t stopTrace(std::ostream &OS);
+
+/// stopTrace() into \p Path; false when the file cannot be written.
+bool writeTraceFile(const std::string &Path);
+
+/// Process-unique id for flow events and span correlation.
+uint64_t nextId();
+
+/// Names the calling thread in the trace ("worker-1", "main", ...);
+/// emitted as Chrome thread_name metadata.
+void setThreadName(std::string_view Name);
+
+/// A RAII duration span on the calling thread: records one complete
+/// ("ph":"X") event from construction to destruction. Inactive (and
+/// free beyond the enabled-flag branch) when tracing is off at
+/// construction. Arguments show up in the trace viewer's detail pane.
+class Span {
+public:
+  Span(std::string_view Name, const char *Cat);
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  bool isActive() const { return Active; }
+
+  void arg(std::string_view Key, std::string_view Value);
+  void arg(std::string_view Key, const char *Value) {
+    arg(Key, std::string_view(Value));
+  }
+  void arg(std::string_view Key, int64_t Value);
+  void arg(std::string_view Key, uint64_t Value) {
+    arg(Key, static_cast<int64_t>(Value));
+  }
+  void arg(std::string_view Key, int Value) {
+    arg(Key, static_cast<int64_t>(Value));
+  }
+  void arg(std::string_view Key, unsigned Value) {
+    arg(Key, static_cast<int64_t>(Value));
+  }
+  void arg(std::string_view Key, bool Value) {
+    arg(Key, Value ? std::string_view("true") : std::string_view("false"));
+  }
+  void arg(std::string_view Key, double Value);
+
+private:
+  bool Active;
+  uint64_t StartNs = 0;
+  std::string Name;
+  const char *Cat = nullptr;
+  std::vector<detail::TraceArg> Args;
+};
+
+/// Records an instant event ("ph":"i") on the calling thread.
+void instant(std::string_view Name, const char *Cat);
+
+/// Flow arrows between spans on different threads (Chrome "s"/"f"
+/// events): flowStart inside the producing span, flowEnd inside the
+/// consuming span, with the same \p Id (from nextId()) and category.
+void flowStart(uint64_t Id, const char *Cat);
+void flowEnd(uint64_t Id, const char *Cat);
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+/// A monotonically increasing count, owned by the registry.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  uint64_t get() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A point-in-time signed value, owned by the registry.
+class Gauge {
+public:
+  void set(int64_t Value) { V.store(Value, std::memory_order_relaxed); }
+  void add(int64_t Delta) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  /// Raises the gauge to \p Value if it is higher (high-water marks).
+  void takeMax(int64_t Value) {
+    int64_t Cur = V.load(std::memory_order_relaxed);
+    while (Cur < Value &&
+           !V.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+  }
+  int64_t get() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Returns the registry-owned counter/gauge named \p Name, creating it on
+/// first use. The reference is stable for the process lifetime — cache it
+/// (e.g. in a function-local static) on hot paths.
+Counter &counter(std::string_view Name);
+Gauge &gauge(std::string_view Name);
+
+/// Receives samples from a collector during snapshotJson(). Same-key
+/// samples accumulate (several instances of a subsystem sum into one
+/// process-wide series).
+class MetricSink {
+public:
+  void add(std::string_view Key, int64_t Value);
+  void add(std::string_view Key, uint64_t Value) {
+    add(Key, static_cast<int64_t>(Value));
+  }
+  void add(std::string_view Key, int Value) {
+    add(Key, static_cast<int64_t>(Value));
+  }
+  void add(std::string_view Key, unsigned Value) {
+    add(Key, static_cast<int64_t>(Value));
+  }
+  void add(std::string_view Key, double Value);
+
+private:
+  friend std::string snapshotJson();
+  struct Sample {
+    bool IsInt = true;
+    int64_t I = 0;
+    double D = 0.0;
+  };
+  std::vector<std::pair<std::string, Sample>> Samples;
+};
+
+/// Registers a callback that contributes samples to every metrics
+/// snapshot by reading its subsystem's canonical stats (under that
+/// subsystem's own lock, so the sampled values are coherent). Returns a
+/// handle for unregisterCollector — mandatory before the collector's
+/// captures die.
+uint64_t registerCollector(std::function<void(MetricSink &)> Fn);
+void unregisterCollector(uint64_t Handle);
+
+/// One flat, sorted JSON object mapping metric key to value: all
+/// registered counters and gauges plus every collector's samples.
+/// Integer-valued metrics are emitted as exact JSON integers.
+std::string snapshotJson();
+
+/// snapshotJson() into \p Path; false when the file cannot be written.
+bool writeMetricsFile(const std::string &Path);
+
+/// Appends \p S to \p Out with JSON string escaping (no quotes added).
+void appendJsonEscaped(std::string &Out, std::string_view S);
+
+} // namespace telemetry
+} // namespace smlir
+
+#endif // SMLIR_SUPPORT_TELEMETRY_H

@@ -1,0 +1,623 @@
+//===- TelemetryTest.cpp - Tracing + metrics layer tests ---------------------===//
+//
+// Part of the SYCL-MLIR reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the unified observability layer (support/Telemetry.h): the
+/// Chrome trace JSON is strict JSON with correctly escaped strings, spans
+/// nest by timestamp enclosure, worker threads attribute their spans to
+/// distinct tids with thread_name metadata, the metrics registry
+/// accumulates collector samples, and Compiler::getCacheStats snapshots
+/// stay coherent under concurrent compilation (the packed-atomic fix —
+/// swept by the TSan CI job like every other suite).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/workloads/Workloads.h"
+#include "core/CompileService.h"
+#include "core/Compiler.h"
+#include "frontend/HostIRImporter.h"
+#include "frontend/KernelBuilder.h"
+#include "runtime/Runtime.h"
+#include "runtime/Scheduler.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+using namespace smlir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A strict JSON parser: rejects trailing commas, unquoted keys, bare
+// values outside JSON's grammar. Intentionally independent of the
+// emitter so it actually checks conformance.
+//===----------------------------------------------------------------------===//
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      V = nullptr;
+
+  bool isNumber() const { return std::holds_alternative<double>(V); }
+  double num() const { return std::get<double>(V); }
+  const std::string &str() const { return std::get<std::string>(V); }
+  const JsonArray &arr() const { return std::get<JsonArray>(V); }
+  const JsonObject &obj() const { return std::get<JsonObject>(V); }
+  bool has(const std::string &Key) const {
+    return std::holds_alternative<JsonObject>(V) && obj().count(Key) > 0;
+  }
+  const JsonValue &at(const std::string &Key) const { return obj().at(Key); }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view Text) : Text(Text) {}
+
+  /// Parses the whole input as one JSON value; empty optional on any
+  /// syntax error (including trailing garbage).
+  static std::optional<JsonValue> parse(std::string_view Text) {
+    JsonParser P(Text);
+    JsonValue Result;
+    if (!P.parseValue(Result))
+      return std::nullopt;
+    P.skipWs();
+    if (P.Pos != Text.size())
+      return std::nullopt;
+    return Result;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return false;
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out.V = std::move(S);
+      return true;
+    }
+    case 't':
+      if (Text.substr(Pos, 4) == "true") {
+        Pos += 4;
+        Out.V = true;
+        return true;
+      }
+      return false;
+    case 'f':
+      if (Text.substr(Pos, 5) == "false") {
+        Pos += 5;
+        Out.V = false;
+        return true;
+      }
+      return false;
+    case 'n':
+      if (Text.substr(Pos, 4) == "null") {
+        Pos += 4;
+        Out.V = nullptr;
+        return true;
+      }
+      return false;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    if (!consume('{'))
+      return false;
+    JsonObject Obj;
+    skipWs();
+    if (consume('}')) {
+      Out.V = std::move(Obj);
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!consume(':'))
+        return false;
+      JsonValue Val;
+      if (!parseValue(Val))
+        return false;
+      Obj.emplace(std::move(Key), std::move(Val));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        break;
+      return false;
+    }
+    Out.V = std::move(Obj);
+    return true;
+  }
+
+  bool parseArray(JsonValue &Out) {
+    if (!consume('['))
+      return false;
+    JsonArray Arr;
+    skipWs();
+    if (consume(']')) {
+      Out.V = std::move(Arr);
+      return true;
+    }
+    while (true) {
+      JsonValue Val;
+      if (!parseValue(Val))
+        return false;
+      Arr.push_back(std::move(Val));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        break;
+      return false;
+    }
+    Out.V = std::move(Arr);
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // Raw control characters are illegal in JSON.
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return false;
+        char E = Text[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return false;
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos + I];
+            if (!std::isxdigit(static_cast<unsigned char>(H)))
+              return false;
+            Code = Code * 16 + (std::isdigit(static_cast<unsigned char>(H))
+                                    ? H - '0'
+                                    : std::tolower(H) - 'a' + 10);
+          }
+          Pos += 4;
+          // The emitter only writes \u00XX for control chars.
+          Out += static_cast<char>(Code);
+          break;
+        }
+        default:
+          return false;
+        }
+        continue;
+      }
+      Out += C;
+      ++Pos;
+    }
+    return false;
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos == Start)
+      return false;
+    Out.V = std::stod(std::string(Text.substr(Start, Pos - Start)));
+    return true;
+  }
+};
+
+/// Collects a trace around \p Body and returns the parsed JSON.
+JsonValue collectTrace(const std::function<void()> &Body) {
+  telemetry::startTrace();
+  Body();
+  std::ostringstream OS;
+  telemetry::stopTrace(OS);
+  auto Parsed = JsonParser::parse(OS.str());
+  EXPECT_TRUE(Parsed.has_value()) << "trace is not strict JSON";
+  return Parsed.value_or(JsonValue{});
+}
+
+/// All "ph":"X" events named \p Name.
+std::vector<JsonValue> completeEvents(const JsonValue &Trace,
+                                      std::string_view Name = {}) {
+  std::vector<JsonValue> Out;
+  for (const JsonValue &E : Trace.at("traceEvents").arr()) {
+    if (!E.has("ph") || E.at("ph").str() != "X")
+      continue;
+    if (!Name.empty() && E.at("name").str() != Name)
+      continue;
+    Out.push_back(E);
+  }
+  return Out;
+}
+
+TEST(TelemetryTrace, StrictJsonAndEscaping) {
+  JsonValue Trace = collectTrace([] {
+    telemetry::Span S("outer \"quoted\"\nname\\path", "test");
+    S.arg("str", "tab\there, quote\"backslash\\");
+    S.arg("int", int64_t(-42));
+    S.arg("big", uint64_t(1) << 40);
+    S.arg("dbl", 2.5);
+    S.arg("flag", true);
+    telemetry::instant("marker", "test");
+  });
+  ASSERT_TRUE(Trace.has("traceEvents"));
+  EXPECT_EQ(Trace.at("displayTimeUnit").str(), "ms");
+
+  auto Spans = completeEvents(Trace, "outer \"quoted\"\nname\\path");
+  ASSERT_EQ(Spans.size(), 1u);
+  const JsonValue &Args = Spans[0].at("args");
+  EXPECT_EQ(Args.at("str").str(), "tab\there, quote\"backslash\\");
+  EXPECT_EQ(Args.at("int").num(), -42.0);
+  EXPECT_EQ(Args.at("big").num(), double(uint64_t(1) << 40));
+  EXPECT_EQ(Args.at("dbl").num(), 2.5);
+  EXPECT_EQ(Args.at("flag").str(), "true");
+
+  // The instant event is present with its own phase.
+  bool SawInstant = false;
+  for (const JsonValue &E : Trace.at("traceEvents").arr())
+    if (E.has("ph") && E.at("ph").str() == "i" && E.at("name").str() == "marker")
+      SawInstant = true;
+  EXPECT_TRUE(SawInstant);
+}
+
+TEST(TelemetryTrace, SpansNestByTimestampEnclosure) {
+  JsonValue Trace = collectTrace([] {
+    telemetry::Span Outer("nest.outer", "test");
+    {
+      telemetry::Span Inner("nest.inner", "test");
+      telemetry::instant("nest.tick", "test");
+    }
+  });
+  auto Outer = completeEvents(Trace, "nest.outer");
+  auto Inner = completeEvents(Trace, "nest.inner");
+  ASSERT_EQ(Outer.size(), 1u);
+  ASSERT_EQ(Inner.size(), 1u);
+  double OuterTs = Outer[0].at("ts").num(), OuterDur = Outer[0].at("dur").num();
+  double InnerTs = Inner[0].at("ts").num(), InnerDur = Inner[0].at("dur").num();
+  EXPECT_LE(OuterTs, InnerTs);
+  EXPECT_LE(InnerTs + InnerDur, OuterTs + OuterDur + 1e-9);
+  EXPECT_EQ(Outer[0].at("tid").num(), Inner[0].at("tid").num());
+}
+
+TEST(TelemetryTrace, SpanInactiveWhenTracingOff) {
+  ASSERT_FALSE(telemetry::tracingEnabled());
+  telemetry::Span S("never.recorded", "test");
+  EXPECT_FALSE(S.isActive());
+  S.arg("ignored", 1); // Must be a no-op, not a crash.
+}
+
+TEST(TelemetryTrace, WorkerThreadsGetDistinctTids) {
+  // Two host tasks rendezvous, so both of the pool's workers are
+  // provably running one span each when the barrier releases.
+  JsonValue Trace = collectTrace([] {
+    rt::Scheduler Pool(2);
+    std::mutex M;
+    std::condition_variable CV;
+    int Arrived = 0;
+    for (int I = 0; I < 2; ++I) {
+      auto Node = std::make_shared<rt::TaskNode>();
+      Node->KernelName = "rendezvous";
+      Node->Done = rt::Event::makePending(Node->KernelName);
+      Node->HostWork = [&](std::string *) -> LogicalResult {
+        std::unique_lock<std::mutex> Lock(M);
+        if (++Arrived == 2)
+          CV.notify_all();
+        else
+          CV.wait(Lock, [&] { return Arrived == 2; });
+        return success();
+      };
+      Pool.submit(std::move(Node));
+    }
+    Pool.waitAll();
+  });
+
+  std::set<double> Tids;
+  for (const JsonValue &E : completeEvents(Trace, "task.host"))
+    Tids.insert(E.at("tid").num());
+  EXPECT_GE(Tids.size(), 2u) << "rendezvous tasks must run on two workers";
+
+  // Worker threads announce themselves via thread_name metadata.
+  std::set<std::string> Names;
+  for (const JsonValue &E : Trace.at("traceEvents").arr())
+    if (E.has("ph") && E.at("ph").str() == "M" &&
+        E.at("name").str() == "thread_name")
+      Names.insert(E.at("args").at("name").str());
+  EXPECT_TRUE(Names.count("smlir-worker-0")) << "worker 0 must be named";
+  EXPECT_TRUE(Names.count("smlir-worker-1")) << "worker 1 must be named";
+}
+
+TEST(TelemetryTrace, CompileAndRunEmitsAllSpanCategories) {
+  // End-to-end: compiling and running one workload under tracing yields
+  // compiler, pass, scheduler and vm spans in a single strict-JSON
+  // trace (the in-process version of scripts/check_trace.sh).
+  const std::vector<workloads::Workload> All = workloads::getAllWorkloads();
+  ASSERT_FALSE(All.empty());
+  JsonValue Trace = collectTrace([&] {
+    MLIRContext Ctx;
+    registerAllDialects(Ctx);
+    frontend::SourceProgram Program = All.front().Build(Ctx);
+    core::Compiler Comp({});
+    std::string Error;
+    auto Exe = Comp.compileFor(Program, "virtual-gpu", &Error);
+    ASSERT_TRUE(Exe) << Error;
+    rt::Context RT(2);
+    rt::RunResult Result = rt::runProgram(Program, *Exe, RT, "virtual-gpu");
+    EXPECT_TRUE(Result.Success) << Result.Error;
+  });
+
+  std::set<std::string> Cats;
+  std::set<std::string> Names;
+  for (const JsonValue &E : Trace.at("traceEvents").arr()) {
+    if (E.has("cat"))
+      Cats.insert(E.at("cat").str());
+    if (E.has("name"))
+      Names.insert(E.at("name").str());
+  }
+  for (const char *Cat : {"compile", "compiler", "pass", "scheduler", "vm"})
+    EXPECT_TRUE(Cats.count(Cat)) << "missing span category " << Cat;
+  for (const char *Name : {"compile.request", "pass.pipeline", "vm.launch"})
+    EXPECT_TRUE(Names.count(Name)) << "missing span " << Name;
+
+  // The vm.launch span carries its kernel and tier.
+  auto Launches = completeEvents(Trace, "vm.launch");
+  ASSERT_FALSE(Launches.empty());
+  EXPECT_TRUE(Launches[0].at("args").has("kernel"));
+  EXPECT_TRUE(Launches[0].at("args").has("tier"));
+}
+
+TEST(TelemetryTrace, StopTraceDisablesAndDrains) {
+  telemetry::startTrace();
+  { telemetry::Span S("drain.one", "test"); }
+  std::ostringstream First;
+  size_t N1 = telemetry::stopTrace(First);
+  EXPECT_GE(N1, 1u);
+  EXPECT_FALSE(telemetry::tracingEnabled());
+  // A second stop yields an empty (but still valid) trace.
+  std::ostringstream Second;
+  size_t N2 = telemetry::stopTrace(Second);
+  EXPECT_EQ(N2, 0u);
+  auto Parsed = JsonParser::parse(Second.str());
+  ASSERT_TRUE(Parsed.has_value());
+  // Only thread_name metadata may remain; every recorded event drained.
+  for (const JsonValue &E : Parsed->at("traceEvents").arr())
+    EXPECT_EQ(E.at("ph").str(), "M");
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryMetrics, CountersGaugesAndSnapshot) {
+  telemetry::Counter &C = telemetry::counter("test.metrics.counter");
+  telemetry::Gauge &G = telemetry::gauge("test.metrics.gauge");
+  uint64_t Before = C.get();
+  C.add();
+  C.add(4);
+  EXPECT_EQ(C.get(), Before + 5);
+  // Same name, same storage.
+  EXPECT_EQ(&telemetry::counter("test.metrics.counter"), &C);
+
+  G.set(7);
+  G.takeMax(3); // Lower: ignored.
+  EXPECT_EQ(G.get(), 7);
+  G.takeMax(11);
+  EXPECT_EQ(G.get(), 11);
+  G.add(-1);
+  EXPECT_EQ(G.get(), 10);
+
+  auto Parsed = JsonParser::parse(telemetry::snapshotJson());
+  ASSERT_TRUE(Parsed.has_value()) << "metrics snapshot is not strict JSON";
+  EXPECT_EQ(Parsed->at("test.metrics.counter").num(), double(Before + 5));
+  EXPECT_EQ(Parsed->at("test.metrics.gauge").num(), 10.0);
+}
+
+TEST(TelemetryMetrics, CollectorsAccumulateSameKey) {
+  // Two "instances" of a subsystem publish under one key: snapshots sum
+  // them (the Compiler cache collector relies on this).
+  uint64_t H1 = telemetry::registerCollector(
+      [](telemetry::MetricSink &Sink) { Sink.add("test.collector.sum", 3); });
+  uint64_t H2 = telemetry::registerCollector(
+      [](telemetry::MetricSink &Sink) { Sink.add("test.collector.sum", 4); });
+  auto Parsed = JsonParser::parse(telemetry::snapshotJson());
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->at("test.collector.sum").num(), 7.0);
+
+  telemetry::unregisterCollector(H1);
+  auto After = JsonParser::parse(telemetry::snapshotJson());
+  ASSERT_TRUE(After.has_value());
+  EXPECT_EQ(After->at("test.collector.sum").num(), 4.0);
+  telemetry::unregisterCollector(H2);
+  auto Gone = JsonParser::parse(telemetry::snapshotJson());
+  ASSERT_TRUE(Gone.has_value());
+  EXPECT_FALSE(Gone->has("test.collector.sum"));
+}
+
+TEST(TelemetryMetrics, CompilerCachePublishesThroughRegistry) {
+  // Cold, memory-only service: the first compile must be a real miss
+  // (an inherited $SMLIR_CACHE_DIR would turn it into a disk hit).
+  core::CompileService::get().resetForTesting();
+  core::CompileService::get().setDiskCacheDir("");
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  frontend::SourceProgram Program(&Ctx);
+  frontend::KernelBuilder KB(Program, "metrics_probe", 1,
+                             /*UsesNDItem=*/false);
+  Value In = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+  Value Out = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Write);
+  Value I = KB.gid(0);
+  KB.storeAcc(Out, {I}, KB.loadAcc(In, {I}));
+  KB.finish();
+  frontend::importHostIR(Program);
+
+  core::Compiler Comp({});
+  std::string Error;
+  ASSERT_TRUE(Comp.compileFor(Program, "virtual-gpu", &Error)) << Error;
+  ASSERT_TRUE(Comp.compileFor(Program, "virtual-gpu", &Error)) << Error;
+
+  core::Compiler::CacheStats Stats = Comp.getCacheStats();
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Hits, 1u);
+
+  // The registry snapshot includes this live compiler's counters (other
+  // compilers may add to the same keys; ours guarantee the minimum).
+  auto Parsed = JsonParser::parse(telemetry::snapshotJson());
+  ASSERT_TRUE(Parsed.has_value());
+  ASSERT_TRUE(Parsed->has("compiler.cache.hits"));
+  EXPECT_GE(Parsed->at("compiler.cache.hits").num(), 1.0);
+  EXPECT_GE(Parsed->at("compiler.cache.misses").num(), 1.0);
+}
+
+TEST(TelemetryMetrics, CacheStatsSnapshotsAreCoherentUnderConcurrency) {
+  // The regression this locks in: Hits and Misses used to be two
+  // separate atomics, so a reader could observe the increment to one but
+  // not the other — a state the process never passed through. Both now
+  // live in one packed word; concurrent snapshots must always be
+  // monotone in *both* fields and in their sum. Run under TSan in CI,
+  // this also proves getCacheStats is race-free.
+  MLIRContext Ctx;
+  registerAllDialects(Ctx);
+  std::vector<frontend::SourceProgram> Programs;
+  for (int I = 0; I < 8; ++I) {
+    frontend::SourceProgram Program(&Ctx);
+    frontend::KernelBuilder KB(Program, "coherence_probe", 1,
+                               /*UsesNDItem=*/false);
+    Value In = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Read);
+    Value Out = KB.addAccessorArg(KB.f32(), 1, sycl::AccessMode::Write);
+    Value Idx = KB.gid(0);
+    KB.storeAcc(Out, {Idx},
+                KB.mulf(KB.loadAcc(In, {Idx}), KB.cFloat(KB.f32(), I + 1.0)));
+    KB.finish();
+    frontend::importHostIR(Program);
+    Programs.push_back(std::move(Program));
+  }
+
+  core::Compiler Comp({});
+  std::atomic<bool> Done{false};
+  std::atomic<bool> Torn{false};
+  std::thread Reader([&] {
+    unsigned LastHits = 0, LastMisses = 0;
+    while (!Done.load(std::memory_order_acquire)) {
+      core::Compiler::CacheStats Stats = Comp.getCacheStats();
+      if (Stats.Hits < LastHits || Stats.Misses < LastMisses)
+        Torn.store(true, std::memory_order_relaxed);
+      LastHits = Stats.Hits;
+      LastMisses = Stats.Misses;
+    }
+  });
+  std::vector<std::thread> Writers;
+  for (int T = 0; T < 2; ++T)
+    Writers.emplace_back([&, T] {
+      for (int Round = 0; Round < 6; ++Round)
+        for (size_t I = T; I < Programs.size(); I += 2) {
+          std::string Error;
+          ASSERT_TRUE(Comp.compileFor(Programs[I], "virtual-gpu", &Error))
+              << Error;
+        }
+    });
+  for (std::thread &W : Writers)
+    W.join();
+  Done.store(true, std::memory_order_release);
+  Reader.join();
+
+  EXPECT_FALSE(Torn.load()) << "getCacheStats returned a regressing snapshot";
+  core::Compiler::CacheStats Final = Comp.getCacheStats();
+  // 2 writers x 6 rounds x 4 programs each: every compileFor is either
+  // a hit or a miss, and none is dropped.
+  EXPECT_EQ(Final.Hits + Final.Misses, 48u);
+}
+
+} // namespace

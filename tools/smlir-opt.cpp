@@ -58,6 +58,7 @@ struct Options {
   bool PrintIRAfterAll = false;
   bool PrintIRBeforeAll = false;
   bool PassStatistics = false;
+  bool Timing = false;
   bool ListPasses = false;
   bool ListTargets = false;
   bool ShowHelp = false;
@@ -81,6 +82,9 @@ void printHelp(std::ostream &OS) {
      << "  --print-ir-before-all  Print the IR to stderr before each pass.\n"
      << "  --pass-statistics      Print the pass/analysis-cache report to\n"
      << "                         stderr after the run.\n"
+     << "  --timing               Print a nested per-pass wall-time report\n"
+     << "                         (mlir-opt -mlir-timing style) to stderr\n"
+     << "                         after the run.\n"
      << "  --target=<name>        Append the pipeline suffix of the given\n"
      << "                         target backend (e.g. virtual-cpu lowers\n"
      << "                         kernels with convert-sycl-to-scf).\n"
@@ -128,6 +132,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
       Opts.PrintIRBeforeAll = true;
     } else if (Arg == "--pass-statistics") {
       Opts.PassStatistics = true;
+    } else if (Arg == "--timing") {
+      Opts.Timing = true;
     } else if (Arg == "--emit-bytecode") {
       Opts.EmitBytecode = true;
     } else if (Arg.rfind("--emit-bytecode=", 0) == 0) {
@@ -276,6 +282,7 @@ int main(int Argc, char **Argv) {
   PM.enableVerifier(Opts.VerifyEach);
   PM.enableIRPrinting(Opts.PrintIRAfterAll);
   PM.enableIRPrintingBefore(Opts.PrintIRBeforeAll);
+  PM.enableTiming(Opts.Timing);
   if (parsePassPipeline(Opts.Pipeline, PM, &Error).failed()) {
     std::cerr << "smlir-opt: " << Error << "\n";
     return 1;
@@ -284,6 +291,8 @@ int main(int Argc, char **Argv) {
   LogicalResult RunResult = PM.run(Module.get(), &Error);
   if (Opts.PassStatistics)
     std::cerr << PM.getReport();
+  if (Opts.Timing)
+    std::cerr << PM.getTimingReport();
   if (RunResult.failed()) {
     std::cerr << "smlir-opt: " << Error << "\n";
     return 1;

@@ -35,6 +35,15 @@
 ///
 ///   smlir-serve --dump-workloads /tmp/wl && smlir-serve /tmp/wl/manifest.txt
 ///
+/// `--run` adds an execution phase: every manifest row whose file stem
+/// names an in-tree workload is rebuilt as a full program (buffers,
+/// submissions, validation) and executed through the runtime — kernel
+/// launches fan out across the task-graph scheduler's worker pool, so a
+/// traced serve run (`SMLIR_TRACE=<file>`) contains compile-service,
+/// scheduler-task and VM-launch spans from multiple workers.
+/// `--metrics-out=<file>` writes the process metrics snapshot
+/// (telemetry::snapshotJson) after the batch.
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/workloads/Workloads.h"
@@ -46,8 +55,12 @@
 #include "ir/MLIRContext.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "runtime/Runtime.h"
 #include "runtime/Scheduler.h"
+#include "support/Telemetry.h"
 #include "transform/Passes.h"
+
+#include <map>
 
 #include <algorithm>
 #include <chrono>
@@ -70,8 +83,10 @@ struct Options {
   std::string ManifestFile;
   std::string DumpDir;
   std::string CacheDir;
+  std::string MetricsOut;
   bool CacheDirSet = false;
   bool JSON = false;
+  bool Run = false;
   int Threads = -1; // -1: scheduler default.
   bool ShowHelp = false;
 };
@@ -86,6 +101,19 @@ struct Request {
 
   bool Ok = false;
   core::CompileOutcome Outcome = core::CompileOutcome::Failed;
+  double Ms = 0.0;
+  std::string Error;
+};
+
+/// One --run execution: a manifest row whose file stem named an in-tree
+/// workload, rebuilt as a full program and executed through the runtime.
+struct RunRow {
+  std::string Workload;
+  std::string Target;
+  bool Ok = false;
+  bool Validated = false;
+  uint64_t Launches = 0;
+  double Makespan = 0.0;
   double Ms = 0.0;
   std::string Error;
 };
@@ -109,6 +137,11 @@ void printHelp(std::ostream &OS) {
      << "  --cache-dir=<dir>      Enable the disk cache tier at <dir>\n"
      << "                         (overrides $SMLIR_CACHE_DIR).\n"
      << "  --json                 Machine-readable report on stdout.\n"
+     << "  --run                  After compiling, execute every manifest\n"
+     << "                         row that names an in-tree workload\n"
+     << "                         (kernel launches run on the worker pool).\n"
+     << "  --metrics-out=<file>   Write the process metrics snapshot\n"
+     << "                         (JSON) after the batch.\n"
      << "  --dump-workloads <dir> Write the in-tree benchmark workloads'\n"
      << "                         device modules to <dir> as .mlir files\n"
      << "                         plus a manifest.txt, then exit.\n"
@@ -134,6 +167,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts, std::string &Error) {
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {
       Opts.CacheDir = std::string(Arg.substr(strlen("--cache-dir=")));
       Opts.CacheDirSet = true;
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      Opts.MetricsOut = std::string(Arg.substr(strlen("--metrics-out=")));
+      if (Opts.MetricsOut.empty()) {
+        Error = "--metrics-out expects a file path";
+        return false;
+      }
+    } else if (Arg == "--run") {
+      Opts.Run = true;
     } else if (Arg == "--dump-workloads") {
       if (I + 1 >= Argc) {
         Error = "--dump-workloads expects a directory";
@@ -286,6 +327,64 @@ bool parseManifest(const std::string &Path, std::vector<Request> &Requests,
   return true;
 }
 
+/// The --run phase: executes every successfully-compiled manifest row
+/// whose file stem matches an in-tree workload (the stems
+/// --dump-workloads writes). Programs run sequentially on this thread;
+/// their kernel launches fan out across \p RunCtx's worker pool, so
+/// traced runs show scheduler-task and VM-launch spans on the workers.
+std::vector<RunRow> runWorkloads(const std::vector<Request> &Requests,
+                                 rt::Context &RunCtx) {
+  // Keep the workload list alive for the whole phase; ByStem stores
+  // pointers into it.
+  const std::vector<workloads::Workload> AllWorkloads =
+      workloads::getAllWorkloads();
+  std::map<std::string, const workloads::Workload *> ByStem;
+  for (const workloads::Workload &W : AllWorkloads)
+    ByStem.emplace(sanitizeName(W.Name), &W);
+
+  std::vector<RunRow> Rows;
+  MLIRContext IRCtx;
+  registerAllDialects(IRCtx);
+  // Programs own the buffers/submissions the runtime references; keep
+  // them alive until the pool has drained (RunCtx outlives this scope's
+  // queues — runProgram waits internally).
+  std::deque<frontend::SourceProgram> Programs;
+  for (const Request &Req : Requests) {
+    if (!Req.Ok)
+      continue;
+    auto It = ByStem.find(std::filesystem::path(Req.File).stem().string());
+    if (It == ByStem.end())
+      continue;
+    RunRow Row;
+    Row.Workload = It->second->Name;
+    Row.Target = Req.Target;
+    auto Start = std::chrono::steady_clock::now();
+    Programs.push_back(It->second->Build(IRCtx));
+    frontend::SourceProgram &Program = Programs.back();
+    core::CompilerOptions CompOpts;
+    CompOpts.PipelineOverride = Req.Pipeline;
+    core::Compiler Comp(CompOpts);
+    std::string CompileError;
+    std::unique_ptr<core::Executable> Exe =
+        Comp.compileFor(Program, Req.Target, &CompileError);
+    if (!Exe) {
+      Row.Error = "compile: " + CompileError;
+    } else {
+      rt::RunResult Result = rt::runProgram(Program, *Exe, RunCtx, Req.Target);
+      Row.Ok = Result.Success;
+      Row.Validated = Result.Validated;
+      Row.Launches = Result.Stats.NumLaunches;
+      Row.Makespan = Result.Stats.Makespan;
+      Row.Error = Result.Error;
+    }
+    Row.Ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
 std::string jsonEscape(std::string_view S) {
   std::string Out;
   Out.reserve(S.size() + 8);
@@ -325,7 +424,8 @@ std::string formatMs(double Ms) {
   return Buf;
 }
 
-void printJSONReport(const std::vector<Request> &Requests, double WallMs,
+void printJSONReport(const std::vector<Request> &Requests,
+                     const std::vector<RunRow> &Runs, double WallMs,
                      unsigned Threads) {
   core::CompileService::Stats S = core::CompileService::get().getStats();
   unsigned OkCount = 0;
@@ -346,8 +446,27 @@ void printJSONReport(const std::vector<Request> &Requests, double WallMs,
               << jsonEscape(Req.Error) << "\"}"
               << (I + 1 < Requests.size() ? "," : "") << "\n";
   }
-  std::cout << "  ],\n"
-            << "  \"aggregate\": {\"requests\": " << Requests.size()
+  std::cout << "  ],\n";
+  if (!Runs.empty()) {
+    uint64_t RunLaunches = 0;
+    std::cout << "  \"run\": [\n";
+    for (size_t I = 0; I < Runs.size(); ++I) {
+      const RunRow &Row = Runs[I];
+      RunLaunches += Row.Launches;
+      std::cout << "    {\"workload\": \"" << jsonEscape(Row.Workload)
+                << "\", \"target\": \"" << jsonEscape(Row.Target)
+                << "\", \"ok\": " << (Row.Ok ? "true" : "false")
+                << ", \"validated\": " << (Row.Validated ? "true" : "false")
+                << ", \"launches\": " << Row.Launches << ", \"ms\": "
+                << formatMs(Row.Ms) << ", \"error\": \""
+                << jsonEscape(Row.Error) << "\"}"
+                << (I + 1 < Runs.size() ? "," : "") << "\n";
+    }
+    std::cout << "  ],\n"
+              << "  \"run_aggregate\": {\"workloads\": " << Runs.size()
+              << ", \"launches\": " << RunLaunches << "},\n";
+  }
+  std::cout << "  \"aggregate\": {\"requests\": " << Requests.size()
             << ", \"ok\": " << OkCount << ", \"failed\": "
             << (Requests.size() - OkCount) << ", \"wall_ms\": "
             << formatMs(WallMs) << ", \"requests_per_s\": "
@@ -363,7 +482,8 @@ void printJSONReport(const std::vector<Request> &Requests, double WallMs,
             << "}\n";
 }
 
-void printTextReport(const std::vector<Request> &Requests, double WallMs,
+void printTextReport(const std::vector<Request> &Requests,
+                     const std::vector<RunRow> &Runs, double WallMs,
                      unsigned Threads) {
   size_t FileWidth = 4, TargetWidth = 6;
   for (const Request &Req : Requests) {
@@ -412,6 +532,26 @@ void printTextReport(const std::vector<Request> &Requests, double WallMs,
             << "\n  in-flight waits: " << S.InFlightWaits
             << "\n  max concurrent compiles: " << S.MaxConcurrentCompiles
             << "\n  memory entries: " << S.MemoryEntries << "\n";
+
+  if (!Runs.empty()) {
+    unsigned RunOk = 0;
+    uint64_t RunLaunches = 0;
+    std::cout << "executed workloads (--run):\n";
+    for (const RunRow &Row : Runs) {
+      RunOk += Row.Ok ? 1 : 0;
+      RunLaunches += Row.Launches;
+      std::cout << "  " << Row.Workload << " [" << Row.Target << "]: "
+                << (Row.Ok ? (Row.Validated ? "ok" : "ran (not validated)")
+                           : "FAILED")
+                << ", " << Row.Launches << " launches, " << formatMs(Row.Ms)
+                << " ms";
+      if (!Row.Error.empty())
+        std::cout << "  (" << Row.Error << ")";
+      std::cout << "\n";
+    }
+    std::cout << "  " << Runs.size() << " workloads (" << RunOk << " ok), "
+              << RunLaunches << " kernel launches total\n";
+  }
 }
 
 } // namespace
@@ -513,17 +653,33 @@ int main(int Argc, char **Argv) {
     }
     Pool.waitAll();
   }
+  // Execution phase: sequential on this thread, kernel launches on the
+  // context's worker pool (same thread count as the compile phase).
+  std::vector<RunRow> Runs;
+  if (Opts.Run) {
+    rt::Context RunCtx(Threads);
+    Runs = runWorkloads(Requests, RunCtx);
+  }
   double WallMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - BatchStart)
                       .count();
 
   if (Opts.JSON)
-    printJSONReport(Requests, WallMs, Threads);
+    printJSONReport(Requests, Runs, WallMs, Threads);
   else
-    printTextReport(Requests, WallMs, Threads);
+    printTextReport(Requests, Runs, WallMs, Threads);
+
+  if (!Opts.MetricsOut.empty() &&
+      !telemetry::writeMetricsFile(Opts.MetricsOut)) {
+    std::cerr << "smlir-serve: cannot write metrics file '" << Opts.MetricsOut
+              << "'\n";
+    return 1;
+  }
 
   unsigned Failed = 0;
   for (const Request &Req : Requests)
     Failed += Req.Ok ? 0 : 1;
+  for (const RunRow &Row : Runs)
+    Failed += Row.Ok ? 0 : 1;
   return Failed == 0 ? 0 : 2;
 }
